@@ -1,0 +1,170 @@
+//===- bench/ablation_metadata_offset.cpp - Section 3.3 opt. 1 ------------===//
+///
+/// \file
+/// The paper's metadata-coloring optimization (Section 3.3, optimization
+/// 1): DDmalloc shifts the metadata's position inside the heap by the
+/// process id, so the metadata of multiple runtimes sharing a cache does
+/// not collide in the same associativity sets. "The effect of this
+/// optimization is significant on Niagara where multiple hardware threads
+/// share a small L1 cache."
+///
+/// This is an inherently multi-process effect, so this ablation simulates
+/// it directly: four DDmalloc instances (one per hardware thread of a
+/// Niagara core) run the same transaction; their allocator traffic is
+/// recorded, rebased to each heap's origin (the threads' heaps map to the
+/// same cache sets), and interleaved through one shared 8 KB 4-way L1D
+/// model, with coloring on and off.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/DDmalloc.h"
+#include "sim/Cache.h"
+#include "support/ArgParse.h"
+#include "support/Random.h"
+#include "support/Table.h"
+#include "workload/TraceGenerator.h"
+#include "workload/WorkloadSpec.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+using namespace ddm;
+
+namespace {
+
+/// Records every access the allocator makes (metadata and free-list
+/// traffic).
+class RecordingSink : public AccessSink {
+public:
+  struct Access {
+    uintptr_t Addr;
+    bool IsWrite;
+  };
+  std::vector<Access> Accesses;
+
+  void load(uintptr_t Addr, uint32_t Bytes) override {
+    (void)Bytes;
+    Accesses.push_back({Addr, false});
+  }
+  void store(uintptr_t Addr, uint32_t Bytes) override {
+    (void)Bytes;
+    Accesses.push_back({Addr, true});
+  }
+  void instructions(uint64_t) override {}
+};
+
+/// Drives the allocator with one transaction, ignoring application-side
+/// costs (only the allocator's own traffic matters here).
+class AllocOnlyExecutor : public TxExecutor {
+public:
+  explicit AllocOnlyExecutor(DDmallocAllocator &Alloc) : A(Alloc) {}
+
+  void onAlloc(uint32_t Id, size_t Size) override {
+    if (Id >= Objects.size())
+      Objects.resize(Id + 1);
+    Objects[Id] = A.allocate(Size);
+  }
+  void onFree(uint32_t Id) override { A.deallocate(Objects[Id]); }
+  void onRealloc(uint32_t Id, size_t OldSize, size_t NewSize) override {
+    Objects[Id] = A.reallocate(Objects[Id], OldSize, NewSize);
+  }
+  void onTouch(uint32_t, bool) override {}
+  void onWork(uint64_t) override {}
+  void onStateTouch(uint64_t, bool) override {}
+
+private:
+  DDmallocAllocator &A;
+  std::vector<void *> Objects;
+};
+
+constexpr size_t HeapReserve = 64ull * 1024 * 1024;
+
+/// Runs one transaction on a fresh DDmalloc with the given process id and
+/// coloring setting; returns its traffic rebased to the heap origin and
+/// tagged with the thread id in the high bits (so different threads' data
+/// never counts as shared).
+std::vector<RecordingSink::Access> recordThread(const WorkloadSpec &W,
+                                                uint32_t Thread, bool Coloring,
+                                                double Scale) {
+  DDmallocConfig Config;
+  Config.ProcessId = Thread;
+  Config.MetadataColoring = Coloring;
+  Config.HeapReserveBytes = HeapReserve;
+  DDmallocAllocator Allocator(Config);
+  RecordingSink Sink;
+  Allocator.attachSink(&Sink);
+
+  AllocOnlyExecutor Executor(Allocator);
+  Rng R(7 + Thread);
+  runTransaction(W, Scale, R, Executor);
+
+  void *Probe = Allocator.allocate(8);
+  uintptr_t ArenaBase =
+      reinterpret_cast<uintptr_t>(Probe) & ~(uintptr_t(HeapReserve) - 1);
+  std::vector<RecordingSink::Access> Rebased = std::move(Sink.Accesses);
+  for (auto &Access : Rebased)
+    Access.Addr =
+        (Access.Addr - ArenaBase) | (static_cast<uintptr_t>(Thread + 1) << 40);
+  return Rebased;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  double Scale = 0.2;
+  uint64_t Threads = 4;
+  bool Csv = false;
+  ArgParser Parser("Ablation: DDmalloc metadata coloring under a shared "
+                   "Niagara-style L1 (paper Section 3.3, optimization 1).");
+  Parser.addFlag("scale", &Scale, "workload scale");
+  Parser.addFlag("threads", &Threads, "hardware threads sharing the L1");
+  Parser.addFlag("csv", &Csv, "emit CSV instead of ASCII");
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+
+  WorkloadSpec W = mediaWikiReadOnly();
+
+  Table Out(
+      {"metadata coloring", "shared-L1 accesses", "misses", "miss rate %"});
+  double MissRates[2] = {0, 0};
+  for (bool Coloring : {false, true}) {
+    std::vector<std::vector<RecordingSink::Access>> Streams;
+    for (uint32_t Thread = 0; Thread < Threads; ++Thread)
+      Streams.push_back(recordThread(W, Thread, Coloring, Scale));
+
+    // Interleave the threads round-robin through one shared L1.
+    Cache SharedL1(CacheGeometry{8 * 1024, 4, 64});
+    size_t MaxLength = 0;
+    for (const auto &Stream : Streams)
+      MaxLength = std::max(MaxLength, Stream.size());
+    uint64_t Accesses = 0;
+    for (size_t I = 0; I < MaxLength; ++I) {
+      for (const auto &Stream : Streams) {
+        if (I >= Stream.size())
+          continue;
+        SharedL1.access(Stream[I].Addr, Stream[I].IsWrite);
+        ++Accesses;
+      }
+    }
+    double MissRate = 100.0 * static_cast<double>(SharedL1.misses()) /
+                      static_cast<double>(Accesses);
+    MissRates[Coloring ? 1 : 0] = MissRate;
+    Out.row()
+        .cell(Coloring ? "on" : "off")
+        .cell(Accesses)
+        .cell(SharedL1.misses())
+        .cell(MissRate, 2);
+  }
+
+  std::printf("Ablation: metadata coloring with %llu threads sharing an "
+              "8 KB 4-way L1 (Niagara-style core)\n\n",
+              static_cast<unsigned long long>(Threads));
+  std::fputs((Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
+  std::printf("\nmiss rate %.2f%% (coloring off) -> %.2f%% (coloring on); "
+              "the paper reports a significant effect on Niagara's shared "
+              "small L1.\n",
+              MissRates[0], MissRates[1]);
+  return 0;
+}

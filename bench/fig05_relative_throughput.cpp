@@ -1,0 +1,91 @@
+//===- bench/fig05_relative_throughput.cpp - Reproduce Figure 5 -----------===//
+///
+/// \file
+/// Figure 5 of the paper: relative throughput of the region-based
+/// allocator and DDmalloc over the default allocator of the PHP runtime,
+/// for all seven workloads, on all 8 cores of the Xeon-like and
+/// Niagara-like platforms.
+///
+/// Paper shape to reproduce: DDmalloc wins everywhere (up to +11.1% Xeon /
+/// +11.4% Niagara); the region allocator loses on most Xeon workloads (as
+/// low as -27.2%) and is roughly a wash on Niagara.
+///
+//===----------------------------------------------------------------------===//
+
+#include "experiments/Measure.h"
+#include "support/ArgParse.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace ddm;
+
+int main(int Argc, char **Argv) {
+  double Scale = 0.5;
+  uint64_t WarmupTx = 2;
+  uint64_t MeasureTx = 3;
+  uint64_t Seed = 1;
+  bool Csv = false;
+  bool Verbose = false;
+  ArgParser Parser(
+      "Reproduces Figure 5: relative throughput over the default allocator "
+      "on 8 cores of the Xeon-like and Niagara-like platforms.");
+  Parser.addFlag("scale", &Scale, "workload scale (1.0 = paper call counts)");
+  Parser.addFlag("warmup", &WarmupTx, "warm-up transactions");
+  Parser.addFlag("transactions", &MeasureTx, "measured transactions");
+  Parser.addFlag("seed", &Seed, "random seed");
+  Parser.addFlag("csv", &Csv, "emit CSV instead of ASCII");
+  Parser.addFlag("verbose", &Verbose, "print model internals per point");
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+
+  SimulationOptions Options;
+  Options.Scale = Scale;
+  Options.WarmupTx = static_cast<unsigned>(WarmupTx);
+  Options.MeasureTx = static_cast<unsigned>(MeasureTx);
+  Options.Seed = Seed;
+
+  std::printf("Figure 5: relative throughput over the default allocator of "
+              "the PHP runtime (8 cores)\n\n");
+
+  for (const Platform &P : {xeonLike(), niagaraLike()}) {
+    Table Out({"workload", "default (tx/s)", "region", "ddmalloc"});
+    for (const WorkloadSpec &W : phpWorkloads()) {
+      SimPoint Default = simulate(W, AllocatorKind::Default, P, P.Cores, Options);
+      SimPoint Region = simulate(W, AllocatorKind::Region, P, P.Cores, Options);
+      SimPoint DDm = simulate(W, AllocatorKind::DDmalloc, P, P.Cores, Options);
+      Out.row()
+          .cell(W.Name)
+          .cell(Default.Perf.TxPerSec * Scale, 1)
+          .percentCell(percentOver(Region.Perf.TxPerSec, Default.Perf.TxPerSec))
+          .percentCell(percentOver(DDm.Perf.TxPerSec, Default.Perf.TxPerSec));
+      if (Verbose) {
+        auto Dump = [&](const char *Name, const SimPoint &Point) {
+          DomainEvents T = Point.Events.total();
+          std::printf(
+              "  %-10s %-9s cyc/tx=%.3gM mm%%=%.1f U=%.2f bus/tx=%.2fMB "
+              "L2miss=%llu wb=%llu pf=%llu instr=%.3gM\n",
+              W.Name.c_str(), Name, Point.Perf.CyclesPerTx / 1e6,
+              100.0 * Point.Perf.MmCyclesPerTx / Point.Perf.CyclesPerTx,
+              Point.Perf.BusUtilization, Point.Perf.BusBytesPerTx / 1e6,
+              static_cast<unsigned long long>(T.L2Misses),
+              static_cast<unsigned long long>(T.Writebacks),
+              static_cast<unsigned long long>(T.PrefetchesIssued),
+              Point.Perf.InstructionsPerTx / 1e6);
+        };
+        Dump("default", Default);
+        Dump("region", Region);
+        Dump("ddmalloc", DDm);
+      }
+    }
+    std::printf("--- platform: %s-like, %u cores ---\n", P.Name.c_str(),
+                P.Cores);
+    std::fputs((Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
+    std::printf("\n");
+  }
+
+  std::printf("Paper: DDmalloc best everywhere (max +11.1%% Xeon, +11.4%% "
+              "Niagara; avg +7.7%%/+8.3%%); region as low as -27.2%% on "
+              "Xeon, mixed on Niagara.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+//===- bench/fig07_core_scaling.cpp - Reproduce Figure 7 ------------------===//
+///
+/// \file
+/// Figure 7 of the paper: throughput of MediaWiki (read-only) with
+/// increasing numbers of cores on both platforms, for the three
+/// allocators.
+///
+/// Paper shape: the region allocator ties or beats DDmalloc up to 2 cores
+/// (Xeon) / 4 cores (Niagara), then falls behind as the bus saturates;
+/// DDmalloc scales like the default allocator but from a faster base and
+/// is best at 8 cores on both platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#include "experiments/Measure.h"
+#include "support/ArgParse.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace ddm;
+
+int main(int Argc, char **Argv) {
+  double Scale = 1.0;
+  uint64_t WarmupTx = 1;
+  uint64_t MeasureTx = 2;
+  uint64_t Seed = 1;
+  std::string WorkloadName = "mediawiki-read";
+  bool Csv = false;
+  ArgParser Parser("Reproduces Figure 7: throughput with increasing core "
+                   "counts on the Xeon-like and Niagara-like platforms.");
+  Parser.addFlag("scale", &Scale, "workload scale");
+  Parser.addFlag("warmup", &WarmupTx, "warm-up transactions");
+  Parser.addFlag("transactions", &MeasureTx, "measured transactions");
+  Parser.addFlag("seed", &Seed, "random seed");
+  Parser.addFlag("workload", &WorkloadName, "workload name");
+  Parser.addFlag("csv", &Csv, "emit CSV instead of ASCII");
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+
+  const WorkloadSpec *W = findWorkload(WorkloadName);
+  if (!W) {
+    std::fprintf(stderr, "unknown workload '%s'\n", WorkloadName.c_str());
+    return 1;
+  }
+
+  SimulationOptions Options;
+  Options.Scale = Scale;
+  Options.WarmupTx = static_cast<unsigned>(WarmupTx);
+  Options.MeasureTx = static_cast<unsigned>(MeasureTx);
+  Options.Seed = Seed;
+
+  std::printf("Figure 7: %s throughput (tx/s) vs. core count\n\n",
+              W->Name.c_str());
+  const unsigned CoreCounts[] = {1, 2, 4, 6, 8};
+  for (const Platform &P : {xeonLike(), niagaraLike()}) {
+    Table Out({"cores", "default", "region-based", "our DDmalloc"});
+    for (unsigned Cores : CoreCounts) {
+      SimPoint Default = simulate(*W, AllocatorKind::Default, P, Cores, Options);
+      SimPoint Region = simulate(*W, AllocatorKind::Region, P, Cores, Options);
+      SimPoint DDm = simulate(*W, AllocatorKind::DDmalloc, P, Cores, Options);
+      Out.row()
+          .cell(Cores)
+          .cell(Default.Perf.TxPerSec * Scale, 1)
+          .cell(Region.Perf.TxPerSec * Scale, 1)
+          .cell(DDm.Perf.TxPerSec * Scale, 1);
+    }
+    std::printf("--- platform: %s-like ---\n", P.Name.c_str());
+    std::fputs((Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
+    std::printf("\n");
+  }
+  std::printf("Paper: region competitive at low core counts, then falls off; "
+              "DDmalloc best at 8 cores on both platforms.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+//===- bench/native_allocators.cpp - Native microbenchmarks ---------------===//
+///
+/// \file
+/// Google-Benchmark microbenchmarks of the real allocator implementations
+/// running natively on the host (no simulation): raw malloc/free cost,
+/// transaction-shaped churn with freeAll, and realloc. These validate the
+/// paper's CPU-cost ordering (region < DDmalloc < thread-cache allocators
+/// < boundary-tag allocators) on actual hardware, independent of the
+/// machine model.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AllocatorFactory.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+using namespace ddm;
+
+namespace {
+
+AllocatorOptions benchOptions() {
+  AllocatorOptions Options;
+  Options.HeapReserveBytes = 512ull * 1024 * 1024;
+  return Options;
+}
+
+/// malloc/free pairs at a fixed small size (the web-workload hot path).
+void BM_MallocFreePair(benchmark::State &State, AllocatorKind Kind) {
+  auto Allocator = createAllocator(Kind, benchOptions());
+  bool BulkFree = Allocator->supportsBulkFree();
+  uint64_t Allocated = 0;
+  for (auto _ : State) {
+    void *P = Allocator->allocate(64);
+    benchmark::DoNotOptimize(P);
+    Allocator->deallocate(P);
+    // Regions never reuse: reset once in a while so they cannot run dry.
+    if (BulkFree && ++Allocated % 1000000 == 0)
+      Allocator->freeAll();
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+/// A transaction-shaped burst: mixed sizes, 85% freed young, freeAll (or
+/// full sweep) at the end.
+void BM_Transaction(benchmark::State &State, AllocatorKind Kind) {
+  auto Allocator = createAllocator(Kind, benchOptions());
+  Rng R(42);
+  std::vector<void *> Ring(64, nullptr);
+  for (auto _ : State) {
+    size_t Cursor = 0;
+    for (int I = 0; I < 4096; ++I) {
+      size_t Size = 8 + R.nextBelow(240);
+      void *P = Allocator->allocate(Size);
+      benchmark::DoNotOptimize(P);
+      if (Ring[Cursor])
+        Allocator->deallocate(Ring[Cursor]);
+      Ring[Cursor] = P;
+      Cursor = (Cursor + 1) % Ring.size();
+    }
+    if (Allocator->supportsBulkFree()) {
+      Allocator->freeAll();
+      std::fill(Ring.begin(), Ring.end(), nullptr);
+    } else {
+      for (void *&P : Ring) {
+        if (P)
+          Allocator->deallocate(P);
+        P = nullptr;
+      }
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * 4096);
+}
+
+/// freeAll cost after a populated transaction.
+void BM_FreeAll(benchmark::State &State, AllocatorKind Kind) {
+  auto Allocator = createAllocator(Kind, benchOptions());
+  Rng R(7);
+  for (auto _ : State) {
+    State.PauseTiming();
+    for (int I = 0; I < 2048; ++I)
+      benchmark::DoNotOptimize(Allocator->allocate(8 + R.nextBelow(500)));
+    State.ResumeTiming();
+    Allocator->freeAll();
+  }
+}
+
+void registerAll() {
+  for (AllocatorKind Kind : allAllocatorKinds()) {
+    std::string Name = allocatorKindName(Kind);
+    benchmark::RegisterBenchmark(("malloc_free_pair/" + Name).c_str(),
+                                 [Kind](benchmark::State &State) {
+                                   BM_MallocFreePair(State, Kind);
+                                 });
+    benchmark::RegisterBenchmark(
+        ("transaction_4096/" + Name).c_str(),
+        [Kind](benchmark::State &State) { BM_Transaction(State, Kind); });
+  }
+  for (AllocatorKind Kind : phpStudyAllocatorKinds())
+    benchmark::RegisterBenchmark(
+        ("free_all/" + std::string(allocatorKindName(Kind))).c_str(),
+        [Kind](benchmark::State &State) { BM_FreeAll(State, Kind); });
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  registerAll();
+  benchmark::Initialize(&Argc, Argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,105 @@
+//===- examples/cache_explorer.cpp - Using the machine model directly -----===//
+///
+/// \file
+/// The machine-model substrate is a public API too. This example drives
+/// the cache, TLB, and prefetcher models with two classic access patterns
+/// (sequential streaming vs. LIFO reuse) to show, in isolation, why the
+/// region allocator's no-reuse policy turns into bus traffic: streaming
+/// writes miss and write back every line once, while reusing a small pool
+/// of hot lines stays in cache entirely.
+///
+///   ./build/examples/cache_explorer
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/Cache.h"
+#include "sim/Prefetcher.h"
+#include "sim/Tlb.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace ddm;
+
+namespace {
+
+struct PatternResult {
+  uint64_t Accesses = 0;
+  uint64_t Misses = 0;
+  uint64_t Writebacks = 0;
+  uint64_t Prefetches = 0;
+  uint64_t TlbMisses = 0;
+};
+
+/// Replays `Rounds x Span` writes through an L2 + TLB + prefetcher stack.
+/// `Stride == 0` means LIFO reuse of a small pool; otherwise a bump
+/// pointer walks forward for ever (the region allocator's pattern).
+PatternResult replay(bool Streaming, uint64_t TotalBytes) {
+  Cache L2(CacheGeometry{2 * 1024 * 1024, 16, 64});
+  Tlb DTlb(256, 4096);
+  StreamPrefetcher Prefetcher;
+  PatternResult Result;
+
+  uint64_t PoolBytes = 256 * 1024; // the "reused heap" for the LIFO case
+  for (uint64_t Offset = 0; Offset < TotalBytes; Offset += 64) {
+    uintptr_t Addr = Streaming ? Offset : (Offset % PoolBytes);
+    ++Result.Accesses;
+    if (!DTlb.access(Addr))
+      ++Result.TlbMisses;
+    Cache::Outcome Out = L2.access(Addr, /*IsWrite=*/true);
+    if (Out.Hit) {
+      if (Out.HitWasPrefetched)
+        for (uintptr_t Line : Prefetcher.onPrefetchedHit(Addr)) {
+          if (!L2.probe(Line)) {
+            ++Result.Prefetches;
+            Cache::Outcome Fill = L2.install(Line, true);
+            if (Fill.Evicted && Fill.EvictedDirty)
+              ++Result.Writebacks;
+          }
+        }
+      continue;
+    }
+    ++Result.Misses;
+    if (Out.Evicted && Out.EvictedDirty)
+      ++Result.Writebacks;
+    for (uintptr_t Line : Prefetcher.onDemandMiss(Addr)) {
+      if (!L2.probe(Line)) {
+        ++Result.Prefetches;
+        Cache::Outcome Fill = L2.install(Line, true);
+        if (Fill.Evicted && Fill.EvictedDirty)
+          ++Result.Writebacks;
+      }
+    }
+  }
+  return Result;
+}
+
+} // namespace
+
+int main() {
+  const uint64_t TotalBytes = 64ull * 1024 * 1024;
+
+  std::printf("cache explorer: 64 MiB of writes through a 2 MiB L2 with a "
+              "stream prefetcher\n\n");
+  Table Out({"pattern", "accesses", "L2 misses", "writebacks", "prefetches",
+             "bus lines", "D-TLB misses"});
+  for (bool Streaming : {true, false}) {
+    PatternResult R = replay(Streaming, TotalBytes);
+    Out.row()
+        .cell(Streaming ? "streaming (region/bump)" : "LIFO reuse (DDmalloc)")
+        .cell(R.Accesses)
+        .cell(R.Misses)
+        .cell(R.Writebacks)
+        .cell(R.Prefetches)
+        .cell(R.Misses + R.Writebacks + R.Prefetches)
+        .cell(R.TlbMisses);
+  }
+  std::fputs(Out.renderAscii().c_str(), stdout);
+  std::printf(
+      "\nStreaming transfers every line over the bus (miss or prefetch,\n"
+      "then a dirty writeback); the prefetcher hides the latency but not\n"
+      "the traffic. LIFO reuse of a small pool stays resident: almost no\n"
+      "bus traffic at all. Multiply the first row by eight cores and the\n"
+      "bus saturates - the paper's Figure 7 in one table.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===- examples/quickstart.cpp - Using DDmalloc directly ------------------===//
+///
+/// \file
+/// The smallest possible tour of the public API: create the paper's three
+/// allocators, run a transaction-shaped burst of allocations through each,
+/// free everything with freeAll (where supported), and print what each
+/// allocator did. Build and run:
+///
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AllocatorFactory.h"
+#include "support/Format.h"
+#include "support/Random.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace ddm;
+
+int main() {
+  std::printf("defrag-dodging memory management: quickstart\n\n");
+
+  Table Out({"allocator", "per-object free", "bulk free", "mallocs", "frees",
+             "memory consumption"});
+
+  for (AllocatorKind Kind : phpStudyAllocatorKinds()) {
+    auto Allocator = createAllocator(Kind);
+
+    // A transaction-shaped burst: allocate a few thousand small objects,
+    // free most of them promptly (web objects die young), then reclaim
+    // everything at once at the "end of the transaction".
+    Rng R(42);
+    std::vector<void *> Recent;
+    for (int I = 0; I < 5000; ++I) {
+      size_t Size = 8 + R.nextBelow(256);
+      void *Object = Allocator->allocate(Size);
+      if (!Object) {
+        std::fprintf(stderr, "heap exhausted!\n");
+        return 1;
+      }
+      Recent.push_back(Object);
+      // Free the ~16 most recent objects in LIFO-ish order.
+      if (Recent.size() > 16) {
+        Allocator->deallocate(Recent.front());
+        Recent.erase(Recent.begin());
+      }
+    }
+
+    uint64_t Consumption = Allocator->memoryConsumption();
+    if (Allocator->supportsBulkFree())
+      Allocator->freeAll(); // the transaction ends: everything dies at once
+
+    const AllocatorStats &Stats = Allocator->stats();
+    Out.row()
+        .cell(Allocator->name())
+        .cell(Allocator->supportsPerObjectFree() ? "yes" : "no")
+        .cell(Allocator->supportsBulkFree() ? "yes" : "no")
+        .cell(Stats.MallocCalls)
+        .cell(Stats.FreeCalls)
+        .cell(formatBytes(Consumption));
+  }
+
+  std::fputs(Out.renderAscii().c_str(), stdout);
+  std::printf(
+      "\nThe region allocator consumed every byte it ever allocated (no\n"
+      "reuse). The default allocator recycled freed chunks into a tiny\n"
+      "footprint but paid for coalescing and splitting on the way.\n"
+      "DDmalloc recycled freed objects too, at near-zero cost, spending\n"
+      "some extra space on per-class segments - the paper's Table 1 and\n"
+      "Figure 9 tradeoffs in action.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===- core/AllocatorFactory.cpp - Allocator construction by name --------===//
+
+#include "core/AllocatorFactory.h"
+#include "core/DDmalloc.h"
+#include "core/GlibcModelAllocator.h"
+#include "core/HoardModel.h"
+#include "core/ObstackAllocator.h"
+#include "core/RegionAllocator.h"
+#include "core/TCMallocModel.h"
+#include "core/ZendDefaultAllocator.h"
+#include "support/Error.h"
+
+using namespace ddm;
+
+std::unique_ptr<TxAllocator>
+ddm::createAllocator(AllocatorKind Kind, const AllocatorOptions &Options) {
+  switch (Kind) {
+  case AllocatorKind::DDmalloc: {
+    DDmallocConfig Config;
+    Config.SegmentSize = Options.SegmentSize;
+    Config.HeapReserveBytes = Options.HeapReserveBytes;
+    Config.ProcessId = Options.ProcessId;
+    Config.MetadataColoring = Options.MetadataColoring;
+    Config.LargePages = Options.LargePages;
+    return std::make_unique<DDmallocAllocator>(Config);
+  }
+  case AllocatorKind::Region: {
+    RegionConfig Config;
+    Config.ChunkBytes = Options.RegionChunkBytes;
+    return std::make_unique<RegionAllocator>(Config);
+  }
+  case AllocatorKind::Obstack: {
+    ObstackConfig Config;
+    Config.HeapReserveBytes = Options.HeapReserveBytes;
+    return std::make_unique<ObstackAllocator>(Config);
+  }
+  case AllocatorKind::Default: {
+    ZendConfig Config;
+    Config.HeapReserveBytes = Options.HeapReserveBytes;
+    return std::make_unique<ZendDefaultAllocator>(Config);
+  }
+  case AllocatorKind::Glibc: {
+    GlibcConfig Config;
+    Config.HeapReserveBytes = Options.HeapReserveBytes;
+    return std::make_unique<GlibcModelAllocator>(Config);
+  }
+  case AllocatorKind::TCMalloc: {
+    TCMallocConfig Config;
+    Config.HeapReserveBytes = Options.HeapReserveBytes;
+    return std::make_unique<TCMallocModelAllocator>(Config);
+  }
+  case AllocatorKind::Hoard: {
+    HoardConfig Config;
+    Config.HeapReserveBytes = Options.HeapReserveBytes;
+    return std::make_unique<HoardModelAllocator>(Config);
+  }
+  }
+  unreachable("unknown allocator kind");
+}
+
+const char *ddm::allocatorKindName(AllocatorKind Kind) {
+  switch (Kind) {
+  case AllocatorKind::DDmalloc:
+    return "ddmalloc";
+  case AllocatorKind::Region:
+    return "region";
+  case AllocatorKind::Obstack:
+    return "obstack";
+  case AllocatorKind::Default:
+    return "default";
+  case AllocatorKind::Glibc:
+    return "glibc";
+  case AllocatorKind::TCMalloc:
+    return "tcmalloc";
+  case AllocatorKind::Hoard:
+    return "hoard";
+  }
+  unreachable("unknown allocator kind");
+}
+
+std::optional<AllocatorKind>
+ddm::allocatorKindFromName(const std::string &Name) {
+  for (AllocatorKind Kind : allAllocatorKinds())
+    if (Name == allocatorKindName(Kind))
+      return Kind;
+  return std::nullopt;
+}
+
+std::vector<AllocatorKind> ddm::allAllocatorKinds() {
+  return {AllocatorKind::DDmalloc, AllocatorKind::Region,
+          AllocatorKind::Obstack,  AllocatorKind::Default,
+          AllocatorKind::Glibc,    AllocatorKind::TCMalloc,
+          AllocatorKind::Hoard};
+}
+
+std::vector<AllocatorKind> ddm::phpStudyAllocatorKinds() {
+  return {AllocatorKind::Default, AllocatorKind::Region,
+          AllocatorKind::DDmalloc};
+}
+
+std::vector<AllocatorKind> ddm::rubyStudyAllocatorKinds() {
+  return {AllocatorKind::Glibc, AllocatorKind::Hoard, AllocatorKind::TCMalloc,
+          AllocatorKind::DDmalloc};
+}

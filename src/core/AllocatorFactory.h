@@ -1,0 +1,73 @@
+//===- core/AllocatorFactory.h - Allocator construction by name *- C++ -*-===//
+///
+/// \file
+/// Creates any of the study's allocators from an enum or its stable string
+/// name. The experiment harness, benches, and examples all construct
+/// allocators through this factory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_CORE_ALLOCATORFACTORY_H
+#define DDM_CORE_ALLOCATORFACTORY_H
+
+#include "core/TxAllocator.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ddm {
+
+/// Every allocator the study compares.
+enum class AllocatorKind {
+  DDmalloc,   ///< The paper's defrag-dodging allocator.
+  Region,     ///< 256 MB-chunk bump-pointer region allocator.
+  Obstack,    ///< GNU-obstack-style small-chunk region allocator.
+  Default,    ///< Model of the PHP runtime's default (Zend) allocator.
+  Glibc,      ///< Model of glibc malloc (no bulk free).
+  TCMalloc,   ///< Model of TCmalloc (no bulk free).
+  Hoard,      ///< Model of Hoard (no bulk free).
+};
+
+/// Cross-allocator construction knobs. Per-allocator details (segment
+/// size, thresholds) keep their defaults unless overridden here.
+struct AllocatorOptions {
+  /// Runtime process id: feeds DDmalloc's metadata coloring.
+  uint32_t ProcessId = 0;
+  /// Heap reservation for allocators with a single arena.
+  size_t HeapReserveBytes = 256ull * 1024 * 1024;
+  /// DDmalloc segment size.
+  size_t SegmentSize = 32 * 1024;
+  /// DDmalloc metadata coloring (Section 3.3 optimization 1).
+  bool MetadataColoring = true;
+  /// Large-page heap flag, consumed by the machine simulator's TLB model.
+  bool LargePages = false;
+  /// Region allocator chunk size.
+  size_t RegionChunkBytes = 256ull * 1024 * 1024;
+};
+
+/// Constructs the allocator \p Kind.
+std::unique_ptr<TxAllocator>
+createAllocator(AllocatorKind Kind,
+                const AllocatorOptions &Options = AllocatorOptions());
+
+/// Stable name ("ddmalloc", "region", "obstack", "default", "glibc",
+/// "tcmalloc", "hoard").
+const char *allocatorKindName(AllocatorKind Kind);
+
+/// Parses a stable name back to the enum; std::nullopt if unknown.
+std::optional<AllocatorKind> allocatorKindFromName(const std::string &Name);
+
+/// All kinds, in the order the paper discusses them.
+std::vector<AllocatorKind> allAllocatorKinds();
+
+/// The three allocators of the PHP study (Figures 5-9, Tables 3-4).
+std::vector<AllocatorKind> phpStudyAllocatorKinds();
+
+/// The four allocators of the Ruby study (Figures 10-12).
+std::vector<AllocatorKind> rubyStudyAllocatorKinds();
+
+} // namespace ddm
+
+#endif // DDM_CORE_ALLOCATORFACTORY_H

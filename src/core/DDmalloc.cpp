@@ -1,0 +1,318 @@
+//===- core/DDmalloc.cpp - The defrag-dodging allocator ------------------===//
+
+#include "core/DDmalloc.h"
+#include "support/Error.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace ddm;
+
+namespace {
+
+/// Dynamic-instruction estimates for each operation path, used by the
+/// machine simulator. They approximate the paper's observation that
+/// DDmalloc's malloc/free do nothing beyond free-list maintenance.
+constexpr uint64_t InstrMallocFromFreeList = 14;
+constexpr uint64_t InstrMallocFromRun = 18;
+constexpr uint64_t InstrMallocNewSegment = 42;
+constexpr uint64_t InstrMallocLargeBase = 36;
+constexpr uint64_t InstrMallocLargePerSegment = 6;
+constexpr uint64_t InstrFreeSmall = 10;
+constexpr uint64_t InstrFreeLargePerSegment = 8;
+constexpr uint64_t InstrFreeAllBase = 32;
+/// freeAll clears metadata with a memset-like loop; charge one instruction
+/// per this many bytes.
+constexpr uint64_t FreeAllBytesPerInstr = 16;
+
+} // namespace
+
+DDmallocAllocator::DDmallocAllocator(const DDmallocConfig &C)
+    : Config(C), Classes(C.SegmentSize / 2),
+      Heap(C.HeapReserveBytes, C.SegmentSize) {
+  assert((C.SegmentSize & (C.SegmentSize - 1)) == 0 &&
+         "segment size must be a power of two");
+  assert(C.SegmentSize >= 4096 && "segment size too small");
+  assert(C.HeapReserveBytes >= 4 * C.SegmentSize && "heap reservation too small");
+
+  SegmentShift = static_cast<unsigned>(__builtin_ctzll(C.SegmentSize));
+  NumSegments = Heap.size() >> SegmentShift;
+
+  // Metadata layout: color offset, then the per-class arrays, then the
+  // per-segment class bytes. Everything lives inside the heap arena so the
+  // cache simulator sees the real addresses (and the real conflicts the
+  // coloring is meant to avoid).
+  unsigned NumClasses = Classes.numClasses();
+  uint64_t ArraysBytes = sizeof(uintptr_t) * (2 * NumClasses + 1) +
+                         sizeof(uint64_t) + NumSegments;
+  // Stagger by a cache-line-odd stride so consecutive process ids land in
+  // different L1/L2 sets.
+  constexpr uint64_t ColorStride = 2240; // 35 cache lines.
+  uint64_t MaxColor = Config.SegmentSize / 2;
+  MetadataColorOffset =
+      Config.MetadataColoring ? (Config.ProcessId * ColorStride) % MaxColor : 0;
+  MetadataColorOffset &= ~static_cast<uint64_t>(63); // keep 64B alignment
+  MetadataSize = ArraysBytes;
+
+  uint64_t MetaEnd = MetadataColorOffset + ArraysBytes;
+  FirstUsableSegment = (MetaEnd + Config.SegmentSize - 1) >> SegmentShift;
+  if (FirstUsableSegment >= NumSegments)
+    fatal("ddmalloc heap reservation too small for its metadata");
+
+  std::byte *Meta = Heap.base() + MetadataColorOffset;
+  FreeHead = reinterpret_cast<uintptr_t *>(Meta);
+  RunPtr = FreeHead + NumClasses;
+  FreeSegHead = RunPtr + NumClasses;
+  SegCursor = reinterpret_cast<uint64_t *>(FreeSegHead + 1);
+  SegClass = reinterpret_cast<uint8_t *>(SegCursor + 1);
+
+  // Fresh mmap memory is already zero; just set the cursor.
+  *SegCursor = FirstUsableSegment;
+}
+
+DDmallocAllocator::~DDmallocAllocator() = default;
+
+std::byte *DDmallocAllocator::takeSegment() {
+  // Prefer a previously freed segment (from a freed large object).
+  uintptr_t Head = *FreeSegHead;
+  Sink.load(FreeSegHead, sizeof(uintptr_t));
+  if (Head != 0) {
+    auto *Seg = reinterpret_cast<std::byte *>(Head);
+    // The freed segment stores the next list entry in its first word.
+    uintptr_t Next = *reinterpret_cast<uintptr_t *>(Seg);
+    Sink.load(Seg, sizeof(uintptr_t));
+    *FreeSegHead = Next;
+    Sink.store(FreeSegHead, sizeof(uintptr_t));
+    return Seg;
+  }
+  uint64_t Cursor = *SegCursor;
+  Sink.load(SegCursor, sizeof(uint64_t));
+  if (Cursor >= NumSegments)
+    return nullptr;
+  *SegCursor = Cursor + 1;
+  Sink.store(SegCursor, sizeof(uint64_t));
+  return segmentBase(Cursor);
+}
+
+void *DDmallocAllocator::allocateSmall(size_t Size) {
+  unsigned Class = Classes.classFor(Size);
+  size_t ObjectSize = Classes.classSize(Class);
+
+  // Path 1: reuse an explicitly freed object (LIFO).
+  uintptr_t Head = FreeHead[Class];
+  Sink.load(&FreeHead[Class], sizeof(uintptr_t));
+  if (Head != 0) {
+    uintptr_t Next = *reinterpret_cast<uintptr_t *>(Head);
+    Sink.load(reinterpret_cast<void *>(Head), sizeof(uintptr_t));
+    FreeHead[Class] = Next;
+    Sink.store(&FreeHead[Class], sizeof(uintptr_t));
+    Sink.instructions(InstrMallocFromFreeList);
+    noteMalloc(Size, ObjectSize);
+    return reinterpret_cast<void *>(Head);
+  }
+
+  // Path 2: carve the next object out of the current segment's run of
+  // never-allocated objects. The run length lives in the heap at the run's
+  // first object (paper Figure 3).
+  uintptr_t Run = RunPtr[Class];
+  Sink.load(&RunPtr[Class], sizeof(uintptr_t));
+  if (Run == 0) {
+    // Path 3: start a new segment for this class.
+    std::byte *Seg = takeSegment();
+    if (!Seg)
+      return nullptr;
+    size_t Index = segmentIndexFor(Seg);
+    SegClass[Index] = static_cast<uint8_t>(Class + 1);
+    Sink.store(&SegClass[Index], 1);
+    uint32_t ObjectsPerSegment =
+        static_cast<uint32_t>(Config.SegmentSize / ObjectSize);
+    *reinterpret_cast<uint32_t *>(Seg) = ObjectsPerSegment;
+    Sink.store(Seg, sizeof(uint32_t));
+    RunPtr[Class] = reinterpret_cast<uintptr_t>(Seg);
+    Sink.store(&RunPtr[Class], sizeof(uintptr_t));
+    Run = RunPtr[Class];
+    Sink.instructions(InstrMallocNewSegment);
+  }
+
+  auto *RunFirst = reinterpret_cast<std::byte *>(Run);
+  uint32_t Remaining = *reinterpret_cast<uint32_t *>(RunFirst);
+  Sink.load(RunFirst, sizeof(uint32_t));
+  if (Remaining > 1) {
+    std::byte *Next = RunFirst + ObjectSize;
+    *reinterpret_cast<uint32_t *>(Next) = Remaining - 1;
+    Sink.store(Next, sizeof(uint32_t));
+    RunPtr[Class] = reinterpret_cast<uintptr_t>(Next);
+  } else {
+    RunPtr[Class] = 0;
+  }
+  Sink.store(&RunPtr[Class], sizeof(uintptr_t));
+  Sink.instructions(InstrMallocFromRun);
+  noteMalloc(Size, ObjectSize);
+  return RunFirst;
+}
+
+void *DDmallocAllocator::allocateLarge(size_t Size) {
+  size_t Segments = (Size + Config.SegmentSize - 1) >> SegmentShift;
+  std::byte *Start = nullptr;
+  size_t StartIndex = 0;
+
+  if (Segments == 1) {
+    Start = takeSegment();
+    if (!Start)
+      return nullptr;
+    StartIndex = segmentIndexFor(Start);
+  } else {
+    // Multi-segment objects need contiguous segments; they are taken from
+    // the cursor only. They are very rare in transaction-scoped workloads
+    // and everything is reclaimed by freeAll, so skipping the freed-segment
+    // list here keeps allocation O(1) without a contiguity search.
+    uint64_t Cursor = *SegCursor;
+    Sink.load(SegCursor, sizeof(uint64_t));
+    if (Cursor + Segments > NumSegments)
+      return nullptr;
+    *SegCursor = Cursor + Segments;
+    Sink.store(SegCursor, sizeof(uint64_t));
+    StartIndex = Cursor;
+    Start = segmentBase(StartIndex);
+  }
+
+  SegClass[StartIndex] = SegLargeStart;
+  Sink.store(&SegClass[StartIndex], 1);
+  for (size_t I = 1; I < Segments; ++I) {
+    SegClass[StartIndex + I] = SegLargeCont;
+    Sink.store(&SegClass[StartIndex + I], 1);
+  }
+  Sink.instructions(InstrMallocLargeBase + InstrMallocLargePerSegment * Segments);
+  noteMalloc(Size, Segments << SegmentShift);
+  return Start;
+}
+
+void *DDmallocAllocator::allocate(size_t Size) {
+  if (Classes.isSmall(Size))
+    return allocateSmall(Size);
+  return allocateLarge(Size);
+}
+
+void DDmallocAllocator::deallocateLarge(void *Ptr, size_t SegIndex) {
+  size_t Segments = 1;
+  while (SegIndex + Segments < NumSegments &&
+         SegClass[SegIndex + Segments] == SegLargeCont)
+    ++Segments;
+
+  noteFree(Segments << SegmentShift);
+  for (size_t I = 0; I < Segments; ++I) {
+    size_t Index = SegIndex + I;
+    Sink.load(&SegClass[Index], 1);
+    SegClass[Index] = SegUnused;
+    Sink.store(&SegClass[Index], 1);
+    // Push each segment on the freed-segment list for reuse.
+    std::byte *Seg = segmentBase(Index);
+    *reinterpret_cast<uintptr_t *>(Seg) = *FreeSegHead;
+    Sink.store(Seg, sizeof(uintptr_t));
+    *FreeSegHead = reinterpret_cast<uintptr_t>(Seg);
+    Sink.store(FreeSegHead, sizeof(uintptr_t));
+  }
+  Sink.instructions(InstrFreeLargePerSegment * Segments);
+  (void)Ptr;
+}
+
+void DDmallocAllocator::deallocate(void *Ptr) {
+  if (!Ptr)
+    return;
+  assert(owns(Ptr) && "pointer not from this heap");
+  size_t SegIndex = segmentIndexFor(Ptr);
+  uint8_t Mark = SegClass[SegIndex];
+  Sink.load(&SegClass[SegIndex], 1);
+  assert(Mark != SegUnused && "freeing into an unused segment");
+
+  if (Mark == SegLargeStart) {
+    deallocateLarge(Ptr, SegIndex);
+    return;
+  }
+  assert(Mark != SegLargeCont && "pointer into the middle of a large object");
+
+  unsigned Class = Mark - 1;
+  // Chain onto the class free list; freed objects are reused LIFO.
+  *reinterpret_cast<uintptr_t *>(Ptr) = FreeHead[Class];
+  Sink.store(Ptr, sizeof(uintptr_t));
+  Sink.load(&FreeHead[Class], sizeof(uintptr_t));
+  FreeHead[Class] = reinterpret_cast<uintptr_t>(Ptr);
+  Sink.store(&FreeHead[Class], sizeof(uintptr_t));
+  Sink.instructions(InstrFreeSmall);
+  noteFree(Classes.classSize(Class));
+}
+
+size_t DDmallocAllocator::usableSize(const void *Ptr) const {
+  assert(Ptr && owns(Ptr) && "pointer not from this heap");
+  size_t SegIndex = segmentIndexFor(Ptr);
+  uint8_t Mark = SegClass[SegIndex];
+  assert(Mark != SegUnused && Mark != SegLargeCont && "not an object start");
+  if (Mark == SegLargeStart) {
+    size_t Segments = 1;
+    while (SegIndex + Segments < NumSegments &&
+           SegClass[SegIndex + Segments] == SegLargeCont)
+      ++Segments;
+    return Segments << SegmentShift;
+  }
+  return Classes.classSize(Mark - 1);
+}
+
+void *DDmallocAllocator::reallocate(void *Ptr, size_t OldSize, size_t NewSize) {
+  ++Stats.ReallocCalls;
+  if (!Ptr)
+    return allocate(NewSize);
+  size_t OldUsable = usableSize(Ptr);
+  assert(OldSize <= OldUsable && "old size exceeds the object's capacity");
+  (void)OldSize;
+  // Growing within the same size class (or shrinking) is free.
+  if (NewSize <= OldUsable &&
+      (!Classes.isSmall(NewSize) ||
+       Classes.roundedSize(NewSize) == OldUsable)) {
+    Sink.instructions(InstrMallocFromFreeList);
+    return Ptr;
+  }
+  void *Fresh = allocate(NewSize);
+  if (!Fresh)
+    return nullptr;
+  size_t CopyBytes = OldUsable < NewSize ? OldUsable : NewSize;
+  std::memcpy(Fresh, Ptr, CopyBytes);
+  Sink.copy(Ptr, Fresh, CopyBytes);
+  Sink.instructions(CopyBytes / 16 + 8);
+  deallocate(Ptr);
+  return Fresh;
+}
+
+void DDmallocAllocator::freeAll() {
+  unsigned NumClasses = Classes.numClasses();
+  uint64_t UsedSegments = *SegCursor;
+
+  std::memset(FreeHead, 0, sizeof(uintptr_t) * NumClasses);
+  std::memset(RunPtr, 0, sizeof(uintptr_t) * NumClasses);
+  *FreeSegHead = 0;
+  std::memset(SegClass, 0, UsedSegments); // only the touched prefix
+  *SegCursor = FirstUsableSegment;
+
+  // Mirror the metadata clear into the simulator: the cleared bytes are the
+  // entire cost of freeAll.
+  uint64_t ClearedBytes =
+      sizeof(uintptr_t) * (2 * NumClasses + 1) + sizeof(uint64_t) + UsedSegments;
+  if (Sink) {
+    for (uint64_t Offset = 0; Offset < ClearedBytes; Offset += 64) {
+      uint32_t Piece =
+          ClearedBytes - Offset > 64 ? 64 : static_cast<uint32_t>(ClearedBytes - Offset);
+      Sink.store(reinterpret_cast<std::byte *>(FreeHead) + Offset, Piece);
+    }
+    Sink.instructions(InstrFreeAllBase + ClearedBytes / FreeAllBytesPerInstr);
+  }
+  noteFreeAll();
+}
+
+uint64_t DDmallocAllocator::segmentsInUse() const {
+  return *SegCursor - FirstUsableSegment;
+}
+
+uint64_t DDmallocAllocator::memoryConsumption() const {
+  // Paper Figure 9: "the total amount of memory used for allocated segments
+  // and the metadata for DDmalloc".
+  return segmentsInUse() * Config.SegmentSize + MetadataSize;
+}

@@ -1,0 +1,106 @@
+//===- core/HoardModel.h - Superblock allocator model ----------*- C++ -*-===//
+///
+/// \file
+/// A model of the Hoard allocator for the Ruby study (paper Section 4.4).
+/// Hoard organizes memory into superblocks (64 KB here), each dedicated to
+/// one size class; objects are served from the superblock's internal free
+/// list or bump region. The emptiness mechanism the model captures: a
+/// superblock whose last object is freed is returned to a global pool and
+/// can be re-purposed for another class — Hoard's defragmentation-ish
+/// bookkeeping that bounds blowup but costs list moves on malloc/free, plus
+/// a per-superblock header each free must touch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_CORE_HOARDMODEL_H
+#define DDM_CORE_HOARDMODEL_H
+
+#include "core/SizeClasses.h"
+#include "core/TxAllocator.h"
+#include "support/Arena.h"
+
+#include <map>
+#include <vector>
+
+namespace ddm {
+
+/// Construction-time knobs for HoardModelAllocator.
+struct HoardConfig {
+  size_t HeapReserveBytes = 512ull * 1024 * 1024;
+};
+
+/// The Hoard model: per-class superblock lists + a global empty pool.
+class HoardModelAllocator : public TxAllocator {
+public:
+  explicit HoardModelAllocator(const HoardConfig &Config = HoardConfig());
+
+  void *allocate(size_t Size) override;
+  void deallocate(void *Ptr) override;
+  void *reallocate(void *Ptr, size_t OldSize, size_t NewSize) override;
+  /// Not supported: the Ruby study restarts processes instead.
+  void freeAll() override;
+  bool supportsPerObjectFree() const override { return true; }
+  bool supportsBulkFree() const override { return false; }
+  size_t usableSize(const void *Ptr) const override;
+  const char *name() const override { return "hoard"; }
+  uint64_t memoryConsumption() const override;
+
+  /// \name Introspection for tests.
+  /// @{
+  static constexpr size_t SuperblockBytes = 64 * 1024;
+  uint64_t superblocksInUse() const { return Frontier; }
+  uint64_t emptyPoolSize() const;
+  bool owns(const void *Ptr) const { return Heap.contains(Ptr); }
+  /// @}
+
+private:
+  static constexpr size_t ObjectsOffset = 64; ///< Header pad inside a SB.
+  static constexpr uint8_t SbUnused = 0;
+  static constexpr uint8_t SbSmall = 1;
+  static constexpr uint8_t SbLargeStart = 2;
+  static constexpr uint8_t SbLargeCont = 3;
+
+  /// The header living at the start of every small-object superblock.
+  struct SuperblockHeader {
+    uint32_t ClassIndex;
+    uint32_t Used;
+    uintptr_t FreeHead;
+    std::byte *BumpNext;
+    uint32_t BumpRemaining;
+    SuperblockHeader *Next;
+    SuperblockHeader *Prev;
+  };
+
+  void *allocateLarge(size_t Size);
+  SuperblockHeader *acquireSuperblock(unsigned Class);
+  void listPush(SuperblockHeader *&Head, SuperblockHeader *Sb);
+  void listRemove(SuperblockHeader *&Head, SuperblockHeader *Sb);
+
+  size_t sbIndexFor(const void *Ptr) const {
+    return (reinterpret_cast<uintptr_t>(Ptr) -
+            reinterpret_cast<uintptr_t>(Heap.base())) /
+           SuperblockBytes;
+  }
+  SuperblockHeader *headerFor(const void *Ptr) const {
+    auto Addr = reinterpret_cast<uintptr_t>(Ptr) &
+                ~static_cast<uintptr_t>(SuperblockBytes - 1);
+    return reinterpret_cast<SuperblockHeader *>(Addr);
+  }
+
+  HoardConfig Config;
+  SizeClassMap Classes;
+  AlignedArena Heap;
+  size_t NumSuperblocks;
+  size_t Frontier = 0; ///< First never-used superblock.
+  uint64_t HighWaterSuperblocks = 0;
+
+  std::vector<SuperblockHeader *> Available; ///< Per class.
+  SuperblockHeader *EmptyPool = nullptr;
+  std::vector<uint8_t> SbMap;
+  /// Free large runs keyed by first superblock index.
+  std::map<size_t, size_t> FreeRuns;
+};
+
+} // namespace ddm
+
+#endif // DDM_CORE_HOARDMODEL_H

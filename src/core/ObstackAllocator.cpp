@@ -1,0 +1,113 @@
+//===- core/ObstackAllocator.cpp - GNU-obstack-style regions -------------===//
+
+#include "core/ObstackAllocator.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace ddm;
+
+namespace {
+
+/// Obstack's growing-object protocol costs a few more instructions per
+/// allocation than a bare bump: alignment mask, limit check, header access.
+constexpr uint64_t InstrMallocBump = 14;
+constexpr uint64_t InstrNewChunk = 90;
+constexpr uint64_t InstrFreeAll = 40;
+
+constexpr size_t alignUp8(size_t Size) { return (Size + 7) & ~size_t(7); }
+
+} // namespace
+
+ObstackAllocator::ObstackAllocator(const ObstackConfig &C)
+    : Config(C), Heap(C.HeapReserveBytes, 4096) {
+  assert(Config.ChunkBytes >= 256 && "chunk too small");
+  ArenaNext = Heap.base();
+  ChunkIndex = 0;
+  bool Ok = startNewChunk(0);
+  (void)Ok;
+  assert(Ok && "initial chunk must fit");
+  ChunkIndex = 0;
+}
+
+ObstackAllocator::~ObstackAllocator() = default;
+
+bool ObstackAllocator::startNewChunk(size_t Rounded) {
+  size_t Payload = Config.ChunkBytes - sizeof(ChunkHeader);
+  size_t ChunkSize = Config.ChunkBytes;
+  if (Rounded > Payload)
+    ChunkSize = alignUp8(Rounded + sizeof(ChunkHeader));
+  if (ArenaNext + ChunkSize > Heap.base() + Heap.size())
+    return false;
+  auto *Header = reinterpret_cast<ChunkHeader *>(ArenaNext);
+  Header->Limit = ArenaNext + ChunkSize;
+  Header->Prev = Current;
+  Sink.store(Header, sizeof(ChunkHeader));
+  Current = Header;
+  Next = ArenaNext + sizeof(ChunkHeader);
+  Limit = Header->Limit;
+  ArenaNext += ChunkSize;
+  ++ChunkIndex;
+  return true;
+}
+
+void *ObstackAllocator::allocate(size_t Size) {
+  size_t Rounded = alignUp8(Size ? Size : 1);
+  Sink.load(&Next, sizeof(Next));
+  if (Next + Rounded > Limit) {
+    if (!startNewChunk(Rounded))
+      return nullptr;
+    Sink.instructions(InstrNewChunk);
+  }
+  void *Result = Next;
+  Next += Rounded;
+  Sink.store(&Next, sizeof(Next));
+  Sink.instructions(InstrMallocBump);
+  BytesAllocated += Rounded;
+  noteMalloc(Size, Rounded);
+  return Result;
+}
+
+void ObstackAllocator::deallocate(void *Ptr) {
+  if (!Ptr)
+    return;
+  ++Stats.FreeCalls;
+}
+
+void *ObstackAllocator::reallocate(void *Ptr, size_t OldSize, size_t NewSize) {
+  ++Stats.ReallocCalls;
+  if (!Ptr)
+    return allocate(NewSize);
+  size_t OldRounded = alignUp8(OldSize ? OldSize : 1);
+  if (NewSize <= OldRounded) {
+    Sink.instructions(InstrMallocBump);
+    return Ptr;
+  }
+  void *Fresh = allocate(NewSize);
+  if (!Fresh)
+    return nullptr;
+  std::memcpy(Fresh, Ptr, OldSize);
+  Sink.copy(Ptr, Fresh, OldSize);
+  Sink.instructions(OldSize / 16 + 8);
+  return Fresh;
+}
+
+void ObstackAllocator::freeAll() {
+  // Rewind to the first chunk. (GNU obstack would also return the later
+  // chunks to malloc; our chunks come from one arena, so rewinding the
+  // arena bump achieves the same.)
+  ArenaNext = Heap.base();
+  Current = nullptr;
+  ChunkIndex = 0;
+  bool Ok = startNewChunk(0);
+  (void)Ok;
+  assert(Ok && "rewind cannot fail");
+  ChunkIndex = 0;
+  BytesAllocated = 0;
+  Sink.instructions(InstrFreeAll);
+  noteFreeAll();
+}
+
+uint64_t ObstackAllocator::memoryConsumption() const {
+  return static_cast<uint64_t>(ArenaNext - Heap.base());
+}

@@ -1,0 +1,32 @@
+//===- core/SizeClasses.cpp - DDmalloc size-class ladder -----------------===//
+
+#include "core/SizeClasses.h"
+
+using namespace ddm;
+
+SizeClassMap::SizeClassMap(size_t MaxSmallSize) {
+  assert(MaxSmallSize >= 1024 && "ladder needs at least one power-of-two rung");
+  assert((MaxSmallSize & (MaxSmallSize - 1)) == 0 &&
+         "max small size must be a power of two");
+
+  // Rule 1: multiples of 8 up to 128.
+  for (size_t Size = 8; Size <= 128; Size += 8)
+    Sizes.push_back(Size);
+  // Rule 2: multiples of 32 up to 512.
+  for (size_t Size = 160; Size <= 512; Size += 32)
+    Sizes.push_back(Size);
+  // Rule 3: powers of two up to MaxSmallSize.
+  FirstPow2Class = static_cast<unsigned>(Sizes.size());
+  for (size_t Size = 1024; Size <= MaxSmallSize; Size *= 2)
+    Sizes.push_back(Size);
+
+  // Dense lookup for sizes <= 512, indexed by ceil(Size / 8).
+  SmallTable.resize(512 / 8 + 1);
+  unsigned Class = 0;
+  for (size_t Octet = 0; Octet <= 512 / 8; ++Octet) {
+    size_t Size = Octet * 8;
+    while (Sizes[Class] < Size)
+      ++Class;
+    SmallTable[Octet] = static_cast<uint8_t>(Class);
+  }
+}

@@ -1,0 +1,69 @@
+//===- core/SizeClasses.h - DDmalloc size-class ladder ---------*- C++ -*-===//
+///
+/// \file
+/// The size-class mapping of Section 3.2 of the paper:
+///   1) requests below 128 bytes round up to a multiple of 8 bytes,
+///   2) requests below 512 bytes round up to a multiple of 32 bytes,
+///   3) larger requests round up to the next power of two,
+/// up to half the segment size; anything larger is a "large object" that is
+/// given whole segments directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_CORE_SIZECLASSES_H
+#define DDM_CORE_SIZECLASSES_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ddm {
+
+/// Maps request sizes to dense size-class indices and back.
+class SizeClassMap {
+public:
+  /// Builds the ladder for a heap whose small objects must not exceed
+  /// \p MaxSmallSize (DDmalloc passes SegmentSize / 2). \p MaxSmallSize
+  /// must be a power of two >= 1024.
+  explicit SizeClassMap(size_t MaxSmallSize);
+
+  unsigned numClasses() const { return static_cast<unsigned>(Sizes.size()); }
+
+  /// Largest size still served from the class ladder.
+  size_t maxSmallSize() const { return Sizes.back(); }
+
+  /// True if \p Size is served from the ladder (false: large object).
+  bool isSmall(size_t Size) const { return Size <= maxSmallSize(); }
+
+  /// Returns the class index for \p Size; requires isSmall(Size).
+  /// Zero-byte requests map to the smallest class.
+  unsigned classFor(size_t Size) const {
+    assert(isSmall(Size) && "large objects have no size class");
+    if (Size <= 512)
+      return SmallTable[(Size + 7) / 8];
+    // Round up to the next power of two, then index off the end of the
+    // 512-byte ladder.
+    unsigned Log = 64 - static_cast<unsigned>(__builtin_clzll(Size - 1));
+    return FirstPow2Class + (Log - 10);
+  }
+
+  /// The allocation size of class \p Index.
+  size_t classSize(unsigned Index) const {
+    assert(Index < Sizes.size() && "class index out of range");
+    return Sizes[Index];
+  }
+
+  /// Convenience: the rounded allocation size for \p Size.
+  size_t roundedSize(size_t Size) const { return Sizes[classFor(Size)]; }
+
+private:
+  std::vector<size_t> Sizes;
+  /// Lookup table for (Size + 7) / 8 for sizes <= 512.
+  std::vector<uint8_t> SmallTable;
+  unsigned FirstPow2Class = 0;
+};
+
+} // namespace ddm
+
+#endif // DDM_CORE_SIZECLASSES_H

@@ -1,0 +1,271 @@
+//===- core/TCMallocModel.cpp - Thread-caching malloc model --------------===//
+
+#include "core/TCMallocModel.h"
+#include "support/Error.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace ddm;
+
+namespace {
+
+constexpr uint64_t InstrMallocFast = 14;
+constexpr uint64_t InstrFreeFast = 14;
+constexpr uint64_t InstrRefillBase = 40;
+constexpr uint64_t InstrRefillPerObject = 5;
+constexpr uint64_t InstrCarveSpanBase = 60;
+constexpr uint64_t InstrCarvePerObject = 4;
+constexpr uint64_t InstrScavengeBase = 80;
+constexpr uint64_t InstrScavengePerObject = 6;
+constexpr uint64_t InstrLargeAlloc = 80;
+constexpr uint64_t InstrLargeFree = 70;
+
+} // namespace
+
+TCMallocModelAllocator::TCMallocModelAllocator(const TCMallocConfig &C)
+    : Config(C), Classes(16 * 1024), Heap(C.HeapReserveBytes, PageSize) {
+  NumPages = Heap.size() / PageSize;
+  unsigned NumClasses = Classes.numClasses();
+  CacheHead.assign(NumClasses, 0);
+  CacheCount.assign(NumClasses, 0);
+  CentralHead.assign(NumClasses, 0);
+  CentralCount.assign(NumClasses, 0);
+  PageMap.assign(NumPages, PageUnused);
+}
+
+size_t TCMallocModelAllocator::takePages(size_t Pages) {
+  // First fit over the free runs (the page-heap search).
+  for (auto It = FreeRuns.begin(), End = FreeRuns.end(); It != End; ++It) {
+    Sink.instructions(4);
+    if (It->second < Pages)
+      continue;
+    size_t First = It->first;
+    size_t RunLength = It->second;
+    FreeRuns.erase(It);
+    if (RunLength > Pages)
+      FreeRuns.emplace(First + Pages, RunLength - Pages);
+    return First;
+  }
+  if (PageFrontier + Pages > NumPages)
+    return SIZE_MAX;
+  size_t First = PageFrontier;
+  PageFrontier += Pages;
+  if (PageFrontier > HighWaterPages)
+    HighWaterPages = PageFrontier;
+  return First;
+}
+
+void TCMallocModelAllocator::releasePages(size_t FirstPage, size_t Pages) {
+  for (size_t I = 0; I < Pages; ++I) {
+    PageMap[FirstPage + I] = PageUnused;
+    Sink.store(&PageMap[FirstPage + I], 1);
+  }
+  // Coalesce with the preceding and following runs (page-level
+  // defragmentation).
+  auto After = FreeRuns.lower_bound(FirstPage);
+  if (After != FreeRuns.end() && After->first == FirstPage + Pages) {
+    Pages += After->second;
+    After = FreeRuns.erase(After);
+    Sink.instructions(8);
+  }
+  if (After != FreeRuns.begin()) {
+    auto Before = std::prev(After);
+    if (Before->first + Before->second == FirstPage) {
+      FirstPage = Before->first;
+      Pages += Before->second;
+      FreeRuns.erase(Before);
+      Sink.instructions(8);
+    }
+  }
+  FreeRuns.emplace(FirstPage, Pages);
+}
+
+void TCMallocModelAllocator::refillCache(unsigned Class) {
+  size_t ObjectSize = Classes.classSize(Class);
+
+  // Move a batch from the central list if it has stock.
+  unsigned Moved = 0;
+  while (CentralCount[Class] > 0 && Moved < Config.RefillBatch) {
+    uintptr_t Node = CentralHead[Class];
+    Sink.load(reinterpret_cast<void *>(Node), sizeof(uintptr_t));
+    CentralHead[Class] = *reinterpret_cast<uintptr_t *>(Node);
+    --CentralCount[Class];
+    *reinterpret_cast<uintptr_t *>(Node) = CacheHead[Class];
+    Sink.store(reinterpret_cast<void *>(Node), sizeof(uintptr_t));
+    CacheHead[Class] = Node;
+    ++CacheCount[Class];
+    CacheBytes += ObjectSize;
+    ++Moved;
+  }
+  if (Moved > 0) {
+    Sink.instructions(InstrRefillBase + InstrRefillPerObject * Moved);
+    return;
+  }
+
+  // Carve a fresh span into objects for this class.
+  size_t First = takePages(SpanPages);
+  if (First == SIZE_MAX)
+    return; // Heap exhausted; allocate() will observe the empty cache.
+  std::byte *Span = pageBase(First);
+  for (size_t I = 0; I < SpanPages; ++I) {
+    PageMap[First + I] = static_cast<uint8_t>(Class);
+    Sink.store(&PageMap[First + I], 1);
+  }
+  size_t Objects = (SpanPages * PageSize) / ObjectSize;
+  for (size_t I = 0; I < Objects; ++I) {
+    std::byte *Object = Span + I * ObjectSize;
+    *reinterpret_cast<uintptr_t *>(Object) = CacheHead[Class];
+    Sink.store(Object, sizeof(uintptr_t));
+    CacheHead[Class] = reinterpret_cast<uintptr_t>(Object);
+  }
+  CacheCount[Class] += static_cast<uint32_t>(Objects);
+  CacheBytes += Objects * ObjectSize;
+  Sink.instructions(InstrCarveSpanBase + InstrCarvePerObject * Objects);
+}
+
+void TCMallocModelAllocator::scavenge() {
+  // The delayed defragmentation: move half of every thread-cache list back
+  // to the central lists.
+  ++Scavenges;
+  uint64_t MovedTotal = 0;
+  for (unsigned Class = 0, End = Classes.numClasses(); Class != End; ++Class) {
+    uint32_t ToMove = CacheCount[Class] / 2;
+    size_t ObjectSize = Classes.classSize(Class);
+    for (uint32_t I = 0; I < ToMove; ++I) {
+      uintptr_t Node = CacheHead[Class];
+      Sink.load(reinterpret_cast<void *>(Node), sizeof(uintptr_t));
+      CacheHead[Class] = *reinterpret_cast<uintptr_t *>(Node);
+      *reinterpret_cast<uintptr_t *>(Node) = CentralHead[Class];
+      Sink.store(reinterpret_cast<void *>(Node), sizeof(uintptr_t));
+      CentralHead[Class] = Node;
+      ++CentralCount[Class];
+    }
+    CacheCount[Class] -= ToMove;
+    CacheBytes -= static_cast<uint64_t>(ToMove) * ObjectSize;
+    MovedTotal += ToMove;
+  }
+  Sink.instructions(InstrScavengeBase + InstrScavengePerObject * MovedTotal);
+}
+
+void *TCMallocModelAllocator::allocateSmall(size_t Size) {
+  unsigned Class = Classes.classFor(Size);
+  size_t ObjectSize = Classes.classSize(Class);
+  Sink.load(&CacheHead[Class], sizeof(uintptr_t));
+  if (CacheHead[Class] == 0) {
+    refillCache(Class);
+    if (CacheHead[Class] == 0)
+      return nullptr;
+  }
+  uintptr_t Node = CacheHead[Class];
+  CacheHead[Class] = *reinterpret_cast<uintptr_t *>(Node);
+  Sink.load(reinterpret_cast<void *>(Node), sizeof(uintptr_t));
+  Sink.store(&CacheHead[Class], sizeof(uintptr_t));
+  --CacheCount[Class];
+  CacheBytes -= ObjectSize;
+  Sink.instructions(InstrMallocFast);
+  noteMalloc(Size, ObjectSize);
+  return reinterpret_cast<void *>(Node);
+}
+
+void *TCMallocModelAllocator::allocateLarge(size_t Size) {
+  size_t Pages = (Size + PageSize - 1) / PageSize;
+  size_t First = takePages(Pages);
+  if (First == SIZE_MAX)
+    return nullptr;
+  PageMap[First] = PageLargeStart;
+  Sink.store(&PageMap[First], 1);
+  for (size_t I = 1; I < Pages; ++I) {
+    PageMap[First + I] = PageLargeCont;
+    Sink.store(&PageMap[First + I], 1);
+  }
+  Sink.instructions(InstrLargeAlloc);
+  noteMalloc(Size, Pages * PageSize);
+  return pageBase(First);
+}
+
+void *TCMallocModelAllocator::allocate(size_t Size) {
+  if (Classes.isSmall(Size))
+    return allocateSmall(Size);
+  return allocateLarge(Size);
+}
+
+void TCMallocModelAllocator::deallocate(void *Ptr) {
+  if (!Ptr)
+    return;
+  assert(owns(Ptr) && "pointer not from this heap");
+  size_t Page = pageIndexFor(Ptr);
+  uint8_t Mark = PageMap[Page];
+  Sink.load(&PageMap[Page], 1);
+  assert(Mark != PageUnused && Mark != PageLargeCont && "bad free");
+
+  if (Mark == PageLargeStart) {
+    size_t Pages = 1;
+    while (Page + Pages < NumPages && PageMap[Page + Pages] == PageLargeCont)
+      ++Pages;
+    noteFree(Pages * PageSize);
+    releasePages(Page, Pages);
+    Sink.instructions(InstrLargeFree);
+    return;
+  }
+
+  unsigned Class = Mark;
+  size_t ObjectSize = Classes.classSize(Class);
+  *reinterpret_cast<uintptr_t *>(Ptr) = CacheHead[Class];
+  Sink.store(Ptr, sizeof(uintptr_t));
+  CacheHead[Class] = reinterpret_cast<uintptr_t>(Ptr);
+  Sink.store(&CacheHead[Class], sizeof(uintptr_t));
+  ++CacheCount[Class];
+  CacheBytes += ObjectSize;
+  Sink.instructions(InstrFreeFast);
+  noteFree(ObjectSize);
+
+  if (CacheBytes > Config.ScavengeThresholdBytes)
+    scavenge();
+}
+
+size_t TCMallocModelAllocator::usableSize(const void *Ptr) const {
+  assert(Ptr && owns(Ptr) && "bad pointer");
+  size_t Page = pageIndexFor(Ptr);
+  uint8_t Mark = PageMap[Page];
+  assert(Mark != PageUnused && Mark != PageLargeCont && "not an object");
+  if (Mark == PageLargeStart) {
+    size_t Pages = 1;
+    while (Page + Pages < NumPages && PageMap[Page + Pages] == PageLargeCont)
+      ++Pages;
+    return Pages * PageSize;
+  }
+  return Classes.classSize(Mark);
+}
+
+void *TCMallocModelAllocator::reallocate(void *Ptr, size_t OldSize,
+                                         size_t NewSize) {
+  ++Stats.ReallocCalls;
+  (void)OldSize;
+  if (!Ptr)
+    return allocate(NewSize);
+  size_t OldUsable = usableSize(Ptr);
+  if (NewSize <= OldUsable &&
+      (!Classes.isSmall(NewSize) ||
+       Classes.roundedSize(NewSize) == OldUsable)) {
+    Sink.instructions(InstrMallocFast);
+    return Ptr;
+  }
+  void *Fresh = allocate(NewSize);
+  if (!Fresh)
+    return nullptr;
+  size_t CopyBytes = OldUsable < NewSize ? OldUsable : NewSize;
+  std::memcpy(Fresh, Ptr, CopyBytes);
+  Sink.copy(Ptr, Fresh, CopyBytes);
+  Sink.instructions(CopyBytes / 16 + 8);
+  deallocate(Ptr);
+  return Fresh;
+}
+
+void TCMallocModelAllocator::freeAll() {
+  unreachable("the TCmalloc model has no bulk free; restart the process");
+}
+
+uint64_t TCMallocModelAllocator::memoryConsumption() const {
+  return HighWaterPages * PageSize;
+}

@@ -1,0 +1,8 @@
+//===- core/TxAllocator.cpp - Transaction-scoped allocator API -----------===//
+
+#include "core/TxAllocator.h"
+
+using namespace ddm;
+
+// Out-of-line virtual-method anchor.
+TxAllocator::~TxAllocator() = default;

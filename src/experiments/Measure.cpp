@@ -1,0 +1,55 @@
+//===- experiments/Measure.cpp - Shared experiment harness ----------------===//
+
+#include "experiments/Measure.h"
+
+#include <cassert>
+
+using namespace ddm;
+
+SimPoint ddm::simulateRuntime(const WorkloadSpec &Workload,
+                              const RuntimeConfig &RuntimeCfg,
+                              const Platform &P, unsigned ActiveCores,
+                              const SimulationOptions &Options) {
+  assert(Options.MeasureTx > 0 && "need at least one measured transaction");
+
+  SimSink Sink(P, ActiveCores, Options.LargePages);
+
+  RuntimeConfig Config = RuntimeCfg;
+  Config.Scale = Options.Scale;
+  Config.Seed = Options.Seed;
+  // The runtime process id feeds DDmalloc's metadata coloring; derive a
+  // stable id from the seed so multi-process experiments differ.
+  if (Config.AllocOptions.ProcessId == 0)
+    Config.AllocOptions.ProcessId = static_cast<uint32_t>(Options.Seed % 64);
+  Config.AllocOptions.LargePages = Options.LargePages;
+
+  TransactionRuntime Runtime(Workload, Config, &Sink);
+
+  for (unsigned I = 0; I < Options.WarmupTx; ++I)
+    Runtime.executeTransaction();
+  Sink.resetCounters();
+  for (unsigned I = 0; I < Options.MeasureTx; ++I)
+    Runtime.executeTransaction();
+
+  SimPoint Point;
+  Point.Events =
+      averageEvents(Sink, Options.MeasureTx, Workload.AppCodeFootprintBytes,
+                    Runtime.allocatorCodeFootprintBytes());
+  Point.Perf = evaluatePerformance(P, Point.Events, ActiveCores);
+  Point.MeanConsumptionBytes = Runtime.metrics().ConsumptionBytes.mean();
+  Point.Metrics = Runtime.metrics();
+  return Point;
+}
+
+SimPoint ddm::simulate(const WorkloadSpec &Workload, AllocatorKind Kind,
+                       const Platform &P, unsigned ActiveCores,
+                       const SimulationOptions &Options) {
+  RuntimeConfig Config;
+  Config.Kind = Kind;
+  Config.UseBulkFree = true;
+  return simulateRuntime(Workload, Config, P, ActiveCores, Options);
+}
+
+double ddm::percentOver(double Value, double Baseline) {
+  return Baseline != 0.0 ? (Value / Baseline - 1.0) * 100.0 : 0.0;
+}

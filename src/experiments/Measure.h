@@ -1,0 +1,66 @@
+//===- experiments/Measure.h - Shared experiment harness -------*- C++ -*-===//
+///
+/// \file
+/// The measurement pipeline every table/figure reproduction uses:
+///
+///   workload spec + allocator kind + platform + core count
+///     -> TransactionRuntime with a SimSink attached
+///     -> warm-up transactions (caches fill, heap reaches steady state)
+///     -> measured transactions (counters averaged per transaction)
+///     -> evaluatePerformance (cycles, throughput, bus utilization)
+///
+/// One representative runtime process is simulated; the performance model
+/// scales to the requested core count analytically (see sim/Performance.h
+/// and DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_EXPERIMENTS_MEASURE_H
+#define DDM_EXPERIMENTS_MEASURE_H
+
+#include "runtime/TransactionRuntime.h"
+#include "sim/Performance.h"
+#include "sim/Platform.h"
+#include "sim/SimSink.h"
+#include "workload/WorkloadSpec.h"
+
+namespace ddm {
+
+/// Knobs of one simulation run.
+struct SimulationOptions {
+  unsigned WarmupTx = 2;
+  unsigned MeasureTx = 4;
+  /// Workload scale; 1.0 replays the paper's full per-transaction counts.
+  double Scale = 1.0;
+  uint64_t Seed = 0x5eed;
+  bool LargePages = false;
+};
+
+/// The outputs of one (workload, allocator, platform, cores) point.
+struct SimPoint {
+  PerfResult Perf;
+  PerTxEvents Events;
+  /// Mean allocator memory consumption at transaction end (Figure 9).
+  double MeanConsumptionBytes = 0;
+  RuntimeMetrics Metrics;
+};
+
+/// Runs the pipeline with full control over the runtime configuration
+/// (Ruby mode, restart periods, allocator options).
+SimPoint simulateRuntime(const WorkloadSpec &Workload,
+                         const RuntimeConfig &Runtime, const Platform &P,
+                         unsigned ActiveCores, const SimulationOptions &Options);
+
+/// Convenience wrapper for the PHP study: bulk-free runtime with default
+/// allocator options.
+SimPoint simulate(const WorkloadSpec &Workload, AllocatorKind Kind,
+                  const Platform &P, unsigned ActiveCores,
+                  const SimulationOptions &Options);
+
+/// Percentage difference of \p Value versus \p Baseline (+4.0 means 4%
+/// faster/larger).
+double percentOver(double Value, double Baseline);
+
+} // namespace ddm
+
+#endif // DDM_EXPERIMENTS_MEASURE_H

@@ -1,0 +1,208 @@
+//===- runtime/TransactionRuntime.cpp - PHP/Ruby-style runtime ------------===//
+
+#include "runtime/TransactionRuntime.h"
+#include "support/Error.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace ddm;
+
+namespace {
+
+/// Hot-code footprints per allocator for the L1I model: defragmenting
+/// allocators carry several times more code (bin management, coalescing,
+/// splitting) than a bump pointer — the paper credits DDmalloc's and the
+/// region allocator's L1I-miss reductions to "the smaller size of the
+/// allocator code".
+double codeFootprintFor(AllocatorKind Kind) {
+  switch (Kind) {
+  case AllocatorKind::Region:
+    return 0.5 * 1024;
+  case AllocatorKind::Obstack:
+    return 1.0 * 1024;
+  case AllocatorKind::DDmalloc:
+    return 2.0 * 1024;
+  case AllocatorKind::TCMalloc:
+    return 6.0 * 1024;
+  case AllocatorKind::Hoard:
+    return 5.0 * 1024;
+  case AllocatorKind::Default:
+  case AllocatorKind::Glibc:
+    return 8.0 * 1024;
+  }
+  unreachable("unknown allocator kind");
+}
+
+} // namespace
+
+TransactionRuntime::TransactionRuntime(const WorkloadSpec &W,
+                                       const RuntimeConfig &C, AccessSink *S)
+    : Workload(W), Config(C), Sink(S), SinkHandleView(S),
+      StateArea(W.AppStateBytes, 4096), R(C.Seed),
+      TouchRng(C.Seed ^ 0x70c4e5) {
+  Allocator = createAllocator(Config.Kind, Config.AllocOptions);
+  Allocator->attachSink(Sink);
+  // Fault the state area in once so it behaves like a resident interpreter
+  // working set.
+  std::memset(StateArea.base(), 0x11, StateArea.size());
+}
+
+TransactionRuntime::~TransactionRuntime() = default;
+
+double TransactionRuntime::allocatorCodeFootprintBytes() const {
+  return codeFootprintFor(Config.Kind);
+}
+
+TransactionRuntime::ObjectRecord &TransactionRuntime::recordFor(uint32_t Id) {
+  if (Id >= Objects.size())
+    Objects.resize(Id + 1);
+  return Objects[Id];
+}
+
+void TransactionRuntime::onAlloc(uint32_t Id, size_t Size) {
+  SinkHandleView.setDomain(CostDomain::MemoryManagement);
+  void *Ptr = Allocator->allocate(Size);
+  if (!Ptr)
+    fatal("allocator '" + std::string(Allocator->name()) +
+          "' exhausted its heap during a transaction");
+  SinkHandleView.setDomain(CostDomain::Application);
+
+  ObjectRecord &Record = recordFor(Id);
+  Record.Ptr = Ptr;
+  Record.Size = static_cast<uint32_t>(Size);
+  Record.Live = true;
+
+  // The application initializes every new object (constructor/copy): a
+  // real canary write plus the full-size store mirrored to the sink.
+  if (Size >= sizeof(uint32_t))
+    *static_cast<uint32_t *>(Ptr) = Id;
+  SinkHandleView.store(Ptr, static_cast<uint32_t>(Size ? Size : 1));
+  SinkHandleView.instructions(4 + Size / 32); // init loop
+}
+
+void TransactionRuntime::onFree(uint32_t Id) {
+  ObjectRecord &Record = recordFor(Id);
+  assert(Record.Live && "freeing a dead object");
+  // Canary: the object's identity must have survived.
+  if (Record.Size >= sizeof(uint32_t) &&
+      *static_cast<uint32_t *>(Record.Ptr) != Id)
+    fatal("heap corruption detected: canary mismatch before free");
+  SinkHandleView.setDomain(CostDomain::MemoryManagement);
+  Allocator->deallocate(Record.Ptr);
+  SinkHandleView.setDomain(CostDomain::Application);
+  Record.Live = false;
+  Record.Ptr = nullptr;
+}
+
+void TransactionRuntime::onRealloc(uint32_t Id, size_t OldSize,
+                                   size_t NewSize) {
+  ObjectRecord &Record = recordFor(Id);
+  assert(Record.Live && "realloc of a dead object");
+  assert(Record.Size == OldSize && "size bookkeeping out of sync");
+  SinkHandleView.setDomain(CostDomain::MemoryManagement);
+  void *Ptr = Allocator->reallocate(Record.Ptr, OldSize, NewSize);
+  if (!Ptr)
+    fatal("allocator '" + std::string(Allocator->name()) +
+          "' exhausted its heap during realloc");
+  SinkHandleView.setDomain(CostDomain::Application);
+  Record.Ptr = Ptr;
+  Record.Size = static_cast<uint32_t>(NewSize);
+  if (NewSize >= sizeof(uint32_t))
+    *static_cast<uint32_t *>(Ptr) = Id; // refresh the canary
+  SinkHandleView.store(Ptr, sizeof(uint32_t));
+}
+
+void TransactionRuntime::onTouch(uint32_t Id, bool IsWrite) {
+  ObjectRecord &Record = recordFor(Id);
+  assert(Record.Live && "touching a dead object");
+  if (Record.Size >= sizeof(uint32_t) &&
+      *static_cast<uint32_t *>(Record.Ptr) != Id)
+    fatal("heap corruption detected: canary mismatch on touch");
+  // Touch one line of the object at a random offset.
+  uint32_t Offset =
+      Record.Size > 64
+          ? static_cast<uint32_t>(TouchRng.nextBelow(Record.Size - 63)) & ~63u
+          : 0;
+  auto *Addr = static_cast<std::byte *>(Record.Ptr) + Offset;
+  if (IsWrite)
+    SinkHandleView.store(Addr, 8);
+  else
+    SinkHandleView.load(Addr, 8);
+  SinkHandleView.instructions(6);
+}
+
+void TransactionRuntime::onWork(uint64_t Instructions) {
+  SinkHandleView.instructions(Instructions);
+}
+
+void TransactionRuntime::onStateTouch(uint64_t Offset, bool IsWrite) {
+  assert(Offset + 64 <= StateArea.size() && "state touch out of range");
+  std::byte *Addr = StateArea.base() + Offset;
+  if (IsWrite)
+    SinkHandleView.store(Addr, 8);
+  else
+    SinkHandleView.load(Addr, 8);
+  SinkHandleView.instructions(3);
+}
+
+void TransactionRuntime::cleanupTransaction() {
+  // Sample memory consumption at the end of the transaction, before any
+  // reclamation (paper Figure 9's "during the transactions").
+  Metrics.ConsumptionBytes.add(
+      static_cast<double>(Allocator->memoryConsumption()));
+
+  SinkHandleView.setDomain(CostDomain::MemoryManagement);
+  if (Config.UseBulkFree) {
+    // GC-frequency modelling: collect only every N transactions.
+    if (Config.BulkFreePeriodTx <= 1 ||
+        (Metrics.Transactions + 1) % Config.BulkFreePeriodTx == 0)
+      Allocator->freeAll();
+  } else {
+    // Ruby mode: the GC sweeps dead objects through per-object free; a
+    // small fraction of litter escapes until the process restarts.
+    for (ObjectRecord &Record : Objects) {
+      if (!Record.Live)
+        continue;
+      if (R.nextBool(Config.LeakFraction)) {
+        ++LeakedObjects;
+      } else {
+        Allocator->deallocate(Record.Ptr);
+      }
+      Record.Live = false;
+      Record.Ptr = nullptr;
+    }
+  }
+  SinkHandleView.setDomain(CostDomain::Application);
+  Objects.clear();
+}
+
+void TransactionRuntime::restartProcess() {
+  // A fresh process: new heap, interpreter boot cost. The boot cost is
+  // charged through the sink so it lands in the measured transactions and
+  // is amortized over the restart period automatically.
+  Allocator = createAllocator(Config.Kind, Config.AllocOptions);
+  Allocator->attachSink(Sink);
+  LeakedObjects = 0;
+  ++Metrics.Restarts;
+  Metrics.RestartInstructions += Config.RestartCostInstructions;
+  SinkHandleView.instructions(Config.RestartCostInstructions);
+}
+
+void TransactionRuntime::executeTransaction() {
+  TraceStats Stats = runTransaction(Workload, Config.Scale, R, *this);
+  cleanupTransaction();
+
+  Metrics.TotalTrace.Mallocs += Stats.Mallocs;
+  Metrics.TotalTrace.Frees += Stats.Frees;
+  Metrics.TotalTrace.Reallocs += Stats.Reallocs;
+  Metrics.TotalTrace.AllocatedBytes += Stats.AllocatedBytes;
+  Metrics.TotalTrace.ObjectTouches += Stats.ObjectTouches;
+  Metrics.TotalTrace.StateTouches += Stats.StateTouches;
+  Metrics.TotalTrace.WorkInstructions += Stats.WorkInstructions;
+  ++Metrics.Transactions;
+
+  if (!Config.UseBulkFree && Config.RestartPeriodTx != 0 &&
+      Metrics.Transactions % Config.RestartPeriodTx == 0)
+    restartProcess();
+}

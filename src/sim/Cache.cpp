@@ -1,0 +1,129 @@
+//===- sim/Cache.cpp - Set-associative LRU cache model --------------------===//
+
+#include "sim/Cache.h"
+
+#include <cassert>
+
+using namespace ddm;
+
+namespace {
+
+unsigned log2Exact(uint64_t Value) {
+  assert(Value != 0 && (Value & (Value - 1)) == 0 && "not a power of two");
+  return static_cast<unsigned>(__builtin_ctzll(Value));
+}
+
+} // namespace
+
+Cache::Cache(const CacheGeometry &Geometry) {
+  assert(Geometry.LineBytes >= 16 && "line too small");
+  LineShift = log2Exact(Geometry.LineBytes);
+  Assoc = Geometry.Associativity;
+  assert(Assoc >= 1 && "need at least one way");
+  uint64_t Lines = Geometry.SizeBytes / Geometry.LineBytes;
+  if (Lines < Assoc)
+    Lines = Assoc; // degenerate tiny caches become fully associative
+  Sets = Lines / Assoc;
+  // Round the set count down to a power of two for cheap indexing.
+  while (Sets & (Sets - 1))
+    Sets &= Sets - 1;
+  if (Sets == 0)
+    Sets = 1;
+  Ways.assign(Sets * Assoc, Way());
+}
+
+Cache::Way *Cache::findWay(uint64_t Line) {
+  uint64_t Set = Line & (Sets - 1);
+  uint64_t Tag = Line / Sets;
+  Way *Base = &Ways[Set * Assoc];
+  for (unsigned I = 0; I < Assoc; ++I)
+    if (Base[I].Valid && Base[I].Tag == Tag)
+      return &Base[I];
+  return nullptr;
+}
+
+const Cache::Way *Cache::findWay(uint64_t Line) const {
+  return const_cast<Cache *>(this)->findWay(Line);
+}
+
+Cache::Way *Cache::victimWay(uint64_t Line) {
+  uint64_t Set = Line & (Sets - 1);
+  Way *Base = &Ways[Set * Assoc];
+  Way *Victim = &Base[0];
+  for (unsigned I = 0; I < Assoc; ++I) {
+    if (!Base[I].Valid)
+      return &Base[I];
+    if (Base[I].LastUse < Victim->LastUse)
+      Victim = &Base[I];
+  }
+  return Victim;
+}
+
+Cache::Outcome Cache::access(uintptr_t Addr, bool IsWrite) {
+  uint64_t Line = lineOf(Addr);
+  ++Clock;
+  Outcome Result;
+  if (Way *W = findWay(Line)) {
+    ++Hits;
+    Result.Hit = true;
+    if (W->Prefetched) {
+      Result.HitWasPrefetched = true;
+      W->Prefetched = false;
+    }
+    W->LastUse = Clock;
+    W->Dirty |= IsWrite;
+    return Result;
+  }
+  ++Misses;
+  Way *Victim = victimWay(Line);
+  if (Victim->Valid) {
+    Result.Evicted = true;
+    Result.EvictedLine = Victim->Tag * Sets + (Line & (Sets - 1));
+    Result.EvictedDirty = Victim->Dirty;
+  }
+  Victim->Valid = true;
+  Victim->Tag = Line / Sets;
+  Victim->LastUse = Clock;
+  Victim->Dirty = IsWrite;
+  Victim->Prefetched = false;
+  return Result;
+}
+
+Cache::Outcome Cache::install(uintptr_t Addr, bool MarkPrefetched) {
+  uint64_t Line = lineOf(Addr);
+  ++Clock;
+  Outcome Result;
+  if (findWay(Line)) {
+    Result.Hit = true;
+    return Result; // already resident; do not disturb LRU on a prefetch
+  }
+  Way *Victim = victimWay(Line);
+  if (Victim->Valid) {
+    Result.Evicted = true;
+    Result.EvictedLine = Victim->Tag * Sets + (Line & (Sets - 1));
+    Result.EvictedDirty = Victim->Dirty;
+  }
+  Victim->Valid = true;
+  Victim->Tag = Line / Sets;
+  // Install near the LRU end so useless prefetches die quickly.
+  Victim->LastUse = Clock > 0 ? Clock - 1 : 0;
+  Victim->Dirty = false;
+  Victim->Prefetched = MarkPrefetched;
+  return Result;
+}
+
+bool Cache::probe(uintptr_t Addr) const { return findWay(lineOf(Addr)); }
+
+bool Cache::markDirtyIfPresent(uintptr_t Addr) {
+  if (Way *W = findWay(lineOf(Addr))) {
+    W->Dirty = true;
+    return true;
+  }
+  return false;
+}
+
+void Cache::reset() {
+  for (Way &W : Ways)
+    W = Way();
+  Clock = Hits = Misses = 0;
+}

@@ -1,0 +1,121 @@
+//===- sim/Performance.cpp - Cycles, contention, and throughput -----------===//
+
+#include "sim/Performance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace ddm;
+
+namespace {
+
+DomainEvents scaleEvents(const DomainEvents &E, double Divisor) {
+  auto Scale = [Divisor](uint64_t V) {
+    return static_cast<uint64_t>(std::llround(static_cast<double>(V) / Divisor));
+  };
+  DomainEvents Out;
+  Out.Instructions = Scale(E.Instructions);
+  Out.LineAccesses = Scale(E.LineAccesses);
+  Out.L1DMisses = Scale(E.L1DMisses);
+  Out.L2Hits = Scale(E.L2Hits);
+  Out.L2Misses = Scale(E.L2Misses);
+  Out.TlbMisses = Scale(E.TlbMisses);
+  Out.Writebacks = Scale(E.Writebacks);
+  Out.PrefetchesIssued = Scale(E.PrefetchesIssued);
+  Out.PrefetchesUseful = Scale(E.PrefetchesUseful);
+  return Out;
+}
+
+} // namespace
+
+PerTxEvents ddm::averageEvents(const SimSink &Sink, uint64_t Transactions,
+                               double AppCodeFootprintBytes,
+                               double AllocCodeFootprintBytes) {
+  assert(Transactions > 0 && "need at least one measured transaction");
+  PerTxEvents Out;
+  Out.App = scaleEvents(Sink.events(CostDomain::Application),
+                        static_cast<double>(Transactions));
+  Out.Mm = scaleEvents(Sink.events(CostDomain::MemoryManagement),
+                       static_cast<double>(Transactions));
+  Out.AppCodeFootprintBytes = AppCodeFootprintBytes;
+  Out.AllocCodeFootprintBytes = AllocCodeFootprintBytes;
+  return Out;
+}
+
+PerfResult ddm::evaluatePerformance(const Platform &P,
+                                    const PerTxEvents &Events,
+                                    unsigned ActiveCores) {
+  assert(ActiveCores >= 1 && ActiveCores <= P.Cores && "bad core count");
+
+  // --- L1I model: misses scale with how far the hot code overflows L1I.
+  double Footprint =
+      Events.AppCodeFootprintBytes + Events.AllocCodeFootprintBytes;
+  double Overflow =
+      Footprint > 0 ? std::max(0.0, 1.0 - static_cast<double>(P.L1IBytes) /
+                                              Footprint)
+                    : 0.0;
+  // BaseIMissPerInstr is defined at footprint = 2 x capacity (overflow 0.5).
+  double IMissRate = P.BaseIMissPerInstr * (Overflow / 0.5);
+
+  auto DomainCycles = [&](const DomainEvents &E, double BusFactor) {
+    double InstrCycles = static_cast<double>(E.Instructions) / P.BaseIpc;
+    double IMissStall =
+        static_cast<double>(E.Instructions) * IMissRate * P.L2HitLatencyCycles;
+    double L2HitStall = static_cast<double>(E.L2Hits) * P.L2HitLatencyCycles;
+    double MemStall =
+        static_cast<double>(E.L2Misses) * P.MemLatencyCycles * BusFactor;
+    double TlbStall = static_cast<double>(E.TlbMisses) * P.TlbMissPenaltyCycles;
+    double Visible =
+        (L2HitStall + MemStall) * (1.0 - P.OooOverlap) + TlbStall + IMissStall;
+    return InstrCycles + Visible;
+  };
+
+  DomainEvents Total = Events.total();
+  double BusBytesPerTx = 64.0 * (static_cast<double>(Total.L2Misses) +
+                                 static_cast<double>(Total.Writebacks) +
+                                 static_cast<double>(Total.PrefetchesIssued));
+  double BusBytesPerSec = P.BusBytesPerCycle * P.FreqGHz * 1e9;
+
+  unsigned ThreadsPerCore = P.ThreadsPerCore;
+  double InstrCyclesTotal = static_cast<double>(Total.Instructions) / P.BaseIpc;
+
+  // --- Fixed point on bus utilization.
+  double U = 0.0;
+  double TxPerSec = 0.0;
+  double ThreadCycles = 0.0;
+  for (int Iteration = 0; Iteration < 200; ++Iteration) {
+    double BusFactor = 1.0 + U / (1.0 - U); // M/M/1 waiting, capped below
+    ThreadCycles =
+        DomainCycles(Events.App, BusFactor) + DomainCycles(Events.Mm, BusFactor);
+    // Core throughput: latency bound (T threads overlapping stalls) capped
+    // by the shared-issue bound.
+    double LatencyBound = static_cast<double>(ThreadsPerCore) / ThreadCycles;
+    double IssueBound = 1.0 / InstrCyclesTotal;
+    double CoreTxPerCycle = std::min(LatencyBound, IssueBound);
+    TxPerSec = static_cast<double>(ActiveCores) * CoreTxPerCycle * P.FreqGHz * 1e9;
+
+    double Demand = TxPerSec * BusBytesPerTx;
+    double NewU = std::min(0.97, Demand / BusBytesPerSec);
+    if (std::abs(NewU - U) < 1e-6) {
+      U = NewU;
+      break;
+    }
+    U = 0.5 * U + 0.5 * NewU;
+  }
+
+  double BusFactor = 1.0 + U / (1.0 - U);
+  double AppCycles = DomainCycles(Events.App, BusFactor);
+  double MmCycles = DomainCycles(Events.Mm, BusFactor);
+
+  PerfResult Result;
+  Result.CyclesPerTx = AppCycles + MmCycles;
+  Result.AppCyclesPerTx = AppCycles;
+  Result.MmCyclesPerTx = MmCycles;
+  Result.TxPerSec = TxPerSec;
+  Result.BusUtilization = U;
+  Result.BusBytesPerTx = BusBytesPerTx;
+  Result.L1IMissesPerTx = static_cast<double>(Total.Instructions) * IMissRate;
+  Result.InstructionsPerTx = static_cast<double>(Total.Instructions);
+  return Result;
+}

@@ -1,0 +1,100 @@
+//===- sim/Prefetcher.cpp - Hardware stream prefetcher model --------------===//
+
+#include "sim/Prefetcher.h"
+
+#include <cassert>
+
+using namespace ddm;
+
+// Stream invariant: for an unconfirmed stream (Confidence < 3), NextLine is
+// the line whose miss would extend it. For a confirmed stream, NextLine is
+// the first line NOT yet prefetched; demand activity within the trailing
+// window [NextLine - Degree - 2, NextLine) keeps the head running ahead.
+
+StreamPrefetcher::StreamPrefetcher(unsigned NumStreams, unsigned PrefetchDegree,
+                                   unsigned LineBytes)
+    : Degree(PrefetchDegree) {
+  assert(NumStreams >= 1 && PrefetchDegree >= 1);
+  assert((LineBytes & (LineBytes - 1)) == 0 && "line size power of two");
+  LineShift = static_cast<unsigned>(__builtin_ctz(LineBytes));
+  Streams.assign(NumStreams, Stream());
+}
+
+std::vector<uintptr_t> StreamPrefetcher::onPrefetchedHit(uintptr_t Addr) {
+  uint64_t Line = Addr >> LineShift;
+  ++Clock;
+  for (Stream &S : Streams) {
+    if (!S.Valid || S.Confidence < 3)
+      continue;
+    if (Line < S.NextLine && S.NextLine - Line <= Degree + 2) {
+      S.LastUse = Clock;
+      std::vector<uintptr_t> Out;
+      for (unsigned I = 0; I < Degree; ++I)
+        Out.push_back((S.NextLine + I) << LineShift);
+      S.NextLine += Degree;
+      return Out;
+    }
+  }
+  return {};
+}
+
+std::vector<uintptr_t> StreamPrefetcher::onDemandMiss(uintptr_t Addr) {
+  uint64_t Line = Addr >> LineShift;
+  ++Clock;
+
+  for (Stream &S : Streams) {
+    if (!S.Valid)
+      continue;
+    if (S.Confidence >= 3) {
+      // Confirmed stream: a miss just behind or at the head re-arms it
+      // (e.g. a prefetched line was evicted before use).
+      if (Line + Degree + 2 >= S.NextLine && Line <= S.NextLine + 1) {
+        S.LastUse = Clock;
+        std::vector<uintptr_t> Out;
+        uint64_t From = Line + 1 > S.NextLine ? Line + 1 : S.NextLine;
+        for (unsigned I = 0; I < Degree; ++I)
+          Out.push_back((From + I) << LineShift);
+        S.NextLine = From + Degree;
+        return Out;
+      }
+      continue;
+    }
+    if (Line == S.NextLine || Line == S.NextLine + 1) {
+      S.LastUse = Clock;
+      ++S.Confidence;
+      S.NextLine = Line + 1;
+      // Two matches (three sequential misses) confirm a stream.
+      if (S.Confidence < 3)
+        return {};
+      ++StreamsDetected;
+      std::vector<uintptr_t> Out;
+      for (unsigned I = 1; I <= Degree; ++I)
+        Out.push_back((Line + I) << LineShift);
+      S.NextLine = Line + Degree + 1;
+      return Out;
+    }
+  }
+
+  // Otherwise start tracking a new potential stream.
+  Stream *Victim = nullptr;
+  for (Stream &S : Streams) {
+    if (!S.Valid) {
+      Victim = &S;
+      break;
+    }
+    if (!Victim || S.LastUse < Victim->LastUse)
+      Victim = &S;
+  }
+  Victim->Valid = true;
+  Victim->NextLine = Line + 1;
+  Victim->Confidence = 1;
+  Victim->LastUse = Clock;
+  return {};
+}
+
+void StreamPrefetcher::reset() {
+  for (Stream &S : Streams)
+    S = Stream();
+  Clock = 0;
+  StreamsDetected = 0;
+}

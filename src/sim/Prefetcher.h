@@ -1,0 +1,63 @@
+//===- sim/Prefetcher.h - Hardware stream prefetcher model -----*- C++ -*-===//
+///
+/// \file
+/// A next-line stream prefetcher in the style of the Xeon's L2 prefetcher.
+/// It watches the L2 demand-miss stream; when consecutive misses land on
+/// adjacent lines it declares a stream and issues prefetches ahead of it.
+///
+/// The paper observes that on Xeon "the increases in bus transactions were
+/// much larger than the increases in the L2 cache misses. This difference
+/// mainly came from the hardware memory prefetcher" — the region
+/// allocator's sequential bump allocation is exactly the pattern that
+/// trains this unit, so its bus traffic is amplified. That mechanism is
+/// what this model reproduces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_SIM_PREFETCHER_H
+#define DDM_SIM_PREFETCHER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ddm {
+
+/// Stream prefetcher watching one core's L2 miss stream.
+class StreamPrefetcher {
+public:
+  /// \p Streams concurrent stream trackers, prefetching \p Degree lines
+  /// ahead once a stream is confirmed.
+  explicit StreamPrefetcher(unsigned Streams = 16, unsigned Degree = 2,
+                            unsigned LineBytes = 64);
+
+  /// Reports a demand L2 miss at byte address \p Addr. Returns the line
+  /// addresses (byte address of line start) to prefetch (possibly empty).
+  /// Call installs on the L2 for each returned address.
+  std::vector<uintptr_t> onDemandMiss(uintptr_t Addr);
+
+  /// Reports a demand hit on a line the prefetcher brought in: confirmed
+  /// streams keep running ahead of the consumer (prefetch-on-prefetch-hit),
+  /// which is how a stream's latency stays hidden once it is established.
+  std::vector<uintptr_t> onPrefetchedHit(uintptr_t Addr);
+
+  uint64_t streamsDetected() const { return StreamsDetected; }
+  void reset();
+
+private:
+  struct Stream {
+    uint64_t NextLine = 0; ///< Expected next miss line.
+    uint64_t LastUse = 0;
+    unsigned Confidence = 0;
+    bool Valid = false;
+  };
+
+  unsigned LineShift;
+  unsigned Degree;
+  std::vector<Stream> Streams;
+  uint64_t Clock = 0;
+  uint64_t StreamsDetected = 0;
+};
+
+} // namespace ddm
+
+#endif // DDM_SIM_PREFETCHER_H

@@ -1,0 +1,144 @@
+//===- sim/SimSink.cpp - AccessSink driving the machine model -------------===//
+
+#include "sim/SimSink.h"
+
+#include <cassert>
+
+using namespace ddm;
+
+DomainEvents &DomainEvents::operator+=(const DomainEvents &Other) {
+  Instructions += Other.Instructions;
+  LineAccesses += Other.LineAccesses;
+  L1DMisses += Other.L1DMisses;
+  L2Hits += Other.L2Hits;
+  L2Misses += Other.L2Misses;
+  TlbMisses += Other.TlbMisses;
+  Writebacks += Other.Writebacks;
+  PrefetchesIssued += Other.PrefetchesIssued;
+  PrefetchesUseful += Other.PrefetchesUseful;
+  return *this;
+}
+
+SimSink::SimSink(const Platform &P, unsigned ActiveCores, bool LargePages)
+    : Plat(P), Cores(ActiveCores), UseLargePages(LargePages) {
+  assert(ActiveCores >= 1 && ActiveCores <= P.Cores && "bad core count");
+
+  // The L1D and D-TLB of a core are shared by its hardware threads; the
+  // representative runtime sees 1/ThreadsPerCore of each.
+  EffL1DBytes = P.L1D.SizeBytes / P.ThreadsPerCore;
+  EffTlbEntries = P.TlbEntries / P.ThreadsPerCore;
+  if (EffTlbEntries < 4)
+    EffTlbEntries = 4;
+
+  // Runtimes are spread evenly over the L2 instances; each runtime sees
+  // an equal slice of its L2.
+  unsigned L2Instances = P.Cores / P.CoresPerL2;
+  unsigned ActiveThreads = ActiveCores * P.ThreadsPerCore;
+  unsigned ThreadsPerL2 = (ActiveThreads + L2Instances - 1) / L2Instances;
+  if (ThreadsPerL2 < 1)
+    ThreadsPerL2 = 1;
+  EffL2Bytes = P.L2Bytes / ThreadsPerL2;
+
+  CacheGeometry L1Geometry = P.L1D;
+  L1Geometry.SizeBytes = EffL1DBytes;
+  L1D = std::make_unique<Cache>(L1Geometry);
+
+  CacheGeometry L2Geometry;
+  L2Geometry.SizeBytes = EffL2Bytes;
+  L2Geometry.Associativity = P.L2Assoc;
+  L2Geometry.LineBytes = 64;
+  L2 = std::make_unique<Cache>(L2Geometry);
+
+  uint64_t PageBytes = LargePages ? P.LargePageBytes : P.PageBytes;
+  Dtlb = std::make_unique<Tlb>(EffTlbEntries, PageBytes);
+
+  if (P.HasPrefetcher)
+    Prefetcher = std::make_unique<StreamPrefetcher>();
+}
+
+void SimSink::touchLine(uintptr_t Addr, bool IsWrite) {
+  DomainEvents &E = Events[DomainIndex];
+  ++E.LineAccesses;
+
+  if (!Dtlb->access(Addr))
+    ++E.TlbMisses;
+
+  Cache::Outcome L1Result = L1D->access(Addr, IsWrite);
+  if (L1Result.Hit)
+    return;
+  ++E.L1DMisses;
+  if (L1Result.Evicted && L1Result.EvictedDirty) {
+    // Dirty L1 victim: lands in the L2 if resident there (the common,
+    // inclusive case), otherwise it goes all the way to memory.
+    uintptr_t EvictedAddr = L1Result.EvictedLine << 6;
+    if (!L2->markDirtyIfPresent(EvictedAddr))
+      ++E.Writebacks;
+  }
+
+  Cache::Outcome L2Result = L2->access(Addr, IsWrite);
+  if (L2Result.Hit) {
+    ++E.L2Hits;
+    if (L2Result.HitWasPrefetched) {
+      ++E.PrefetchesUseful;
+      if (Prefetcher) {
+        // Consuming a prefetched line keeps the stream running ahead.
+        for (uintptr_t Line : Prefetcher->onPrefetchedHit(Addr)) {
+          if (L2->probe(Line))
+            continue;
+          ++E.PrefetchesIssued;
+          Cache::Outcome Fill = L2->install(Line, /*MarkPrefetched=*/true);
+          if (Fill.Evicted && Fill.EvictedDirty)
+            ++E.Writebacks;
+        }
+      }
+    }
+    return;
+  }
+  ++E.L2Misses;
+  if (L2Result.Evicted && L2Result.EvictedDirty)
+    ++E.Writebacks;
+
+  if (Prefetcher) {
+    for (uintptr_t Line : Prefetcher->onDemandMiss(Addr)) {
+      if (L2->probe(Line))
+        continue;
+      ++E.PrefetchesIssued;
+      Cache::Outcome Fill = L2->install(Line, /*MarkPrefetched=*/true);
+      if (Fill.Evicted && Fill.EvictedDirty)
+        ++E.Writebacks;
+    }
+  }
+}
+
+void SimSink::load(uintptr_t Addr, uint32_t Bytes) {
+  uintptr_t First = Addr & ~uintptr_t(63);
+  uintptr_t Last = (Addr + (Bytes ? Bytes - 1 : 0)) & ~uintptr_t(63);
+  for (uintptr_t Line = First; Line <= Last; Line += 64)
+    touchLine(Line, /*IsWrite=*/false);
+}
+
+void SimSink::store(uintptr_t Addr, uint32_t Bytes) {
+  uintptr_t First = Addr & ~uintptr_t(63);
+  uintptr_t Last = (Addr + (Bytes ? Bytes - 1 : 0)) & ~uintptr_t(63);
+  for (uintptr_t Line = First; Line <= Last; Line += 64)
+    touchLine(Line, /*IsWrite=*/true);
+}
+
+void SimSink::instructions(uint64_t Count) {
+  Events[DomainIndex].Instructions += Count;
+}
+
+void SimSink::setDomain(CostDomain Domain) {
+  DomainIndex = static_cast<unsigned>(Domain);
+}
+
+void SimSink::resetCounters() {
+  Events[0] = DomainEvents();
+  Events[1] = DomainEvents();
+}
+
+DomainEvents SimSink::totalEvents() const {
+  DomainEvents Total = Events[0];
+  Total += Events[1];
+  return Total;
+}

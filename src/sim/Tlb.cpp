@@ -1,0 +1,44 @@
+//===- sim/Tlb.cpp - D-TLB model ------------------------------------------===//
+
+#include "sim/Tlb.h"
+
+#include <cassert>
+
+using namespace ddm;
+
+Tlb::Tlb(unsigned NumEntries, uint64_t PageBytes) : MaxEntries(NumEntries) {
+  assert(NumEntries >= 1 && "need at least one entry");
+  assert(PageBytes != 0 && (PageBytes & (PageBytes - 1)) == 0 &&
+         "page size must be a power of two");
+  PageShift = static_cast<unsigned>(__builtin_ctzll(PageBytes));
+  Entries.reserve(2 * NumEntries);
+}
+
+bool Tlb::access(uintptr_t Addr) {
+  uint64_t Page = Addr >> PageShift;
+  ++Clock;
+  // Hits are the common case and must be O(1); the LRU eviction scan on a
+  // miss is O(entries), which amortizes fine at realistic miss rates.
+  auto It = Entries.find(Page);
+  if (It != Entries.end()) {
+    It->second = Clock;
+    ++Hits;
+    return true;
+  }
+  ++Misses;
+  if (Entries.size() >= MaxEntries) {
+    auto Victim = Entries.begin();
+    for (auto Candidate = Entries.begin(), End = Entries.end();
+         Candidate != End; ++Candidate)
+      if (Candidate->second < Victim->second)
+        Victim = Candidate;
+    Entries.erase(Victim);
+  }
+  Entries.emplace(Page, Clock);
+  return false;
+}
+
+void Tlb::reset() {
+  Entries.clear();
+  Clock = Hits = Misses = 0;
+}

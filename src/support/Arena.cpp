@@ -1,0 +1,100 @@
+//===- support/Arena.cpp - Aligned address-space reservations ------------===//
+
+#include "support/Arena.h"
+#include "support/Error.h"
+
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <sys/mman.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace ddm;
+
+static size_t pageSize() {
+  static const size_t Cached = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return Cached;
+}
+
+AlignedArena::AlignedArena(size_t RequestedSize, size_t Alignment) {
+  assert(RequestedSize > 0 && "arena must be nonempty");
+  assert((Alignment & (Alignment - 1)) == 0 && "alignment must be power of 2");
+  size_t Page = pageSize();
+  if (Alignment < Page)
+    Alignment = Page;
+  // Round the usable size up to whole pages.
+  Size = (RequestedSize + Page - 1) & ~(Page - 1);
+
+  // Over-allocate so that an aligned sub-range is guaranteed, then trim.
+  MapSize = Size + Alignment;
+  void *Raw = mmap(nullptr, MapSize, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (Raw == MAP_FAILED)
+    fatal("mmap of " + std::to_string(MapSize) + " bytes failed");
+  MapBase = static_cast<std::byte *>(Raw);
+
+  uintptr_t RawAddr = reinterpret_cast<uintptr_t>(Raw);
+  uintptr_t Aligned = (RawAddr + Alignment - 1) & ~(Alignment - 1);
+  Base = reinterpret_cast<std::byte *>(Aligned);
+
+  // Trim the unaligned head and the unused tail so the kernel can reuse
+  // the address space.
+  size_t Head = Aligned - RawAddr;
+  if (Head > 0) {
+    munmap(MapBase, Head);
+    MapBase += Head;
+    MapSize -= Head;
+  }
+  size_t Tail = MapSize - Size;
+  if (Tail > 0) {
+    munmap(Base + Size, Tail);
+    MapSize -= Tail;
+  }
+}
+
+AlignedArena::~AlignedArena() {
+  if (MapBase)
+    munmap(MapBase, MapSize);
+}
+
+AlignedArena::AlignedArena(AlignedArena &&Other) noexcept
+    : Base(Other.Base), Size(Other.Size), MapBase(Other.MapBase),
+      MapSize(Other.MapSize) {
+  Other.Base = Other.MapBase = nullptr;
+  Other.Size = Other.MapSize = 0;
+}
+
+AlignedArena &AlignedArena::operator=(AlignedArena &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  if (MapBase)
+    munmap(MapBase, MapSize);
+  Base = Other.Base;
+  Size = Other.Size;
+  MapBase = Other.MapBase;
+  MapSize = Other.MapSize;
+  Other.Base = Other.MapBase = nullptr;
+  Other.Size = Other.MapSize = 0;
+  return *this;
+}
+
+void AlignedArena::decommit() {
+  if (Base && madvise(Base, Size, MADV_DONTNEED) != 0)
+    fatal("madvise(MADV_DONTNEED) failed");
+}
+
+size_t AlignedArena::residentBytes() const {
+  if (!Base)
+    return 0;
+  size_t Page = pageSize();
+  size_t Pages = Size / Page;
+  std::vector<unsigned char> Map(Pages);
+  if (mincore(Base, Size, Map.data()) != 0)
+    return 0;
+  size_t Resident = 0;
+  for (unsigned char Flags : Map)
+    if (Flags & 1)
+      ++Resident;
+  return Resident * Page;
+}

@@ -1,0 +1,61 @@
+//===- support/Arena.h - Aligned address-space reservations ----*- C++ -*-===//
+///
+/// \file
+/// AlignedArena reserves a large range of anonymous memory whose base
+/// address is aligned to a caller-chosen power of two. The allocators build
+/// their heaps inside arenas: DDmalloc needs segment-size alignment so that
+/// an object's segment is computable with a mask, and the region allocator
+/// needs cheap multi-hundred-megabyte reservations that only commit pages
+/// on first touch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_SUPPORT_ARENA_H
+#define DDM_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ddm {
+
+/// An aligned, lazily-committed reservation of anonymous memory.
+class AlignedArena {
+public:
+  /// Reserves \p Size bytes aligned to \p Alignment (a power of two >= the
+  /// page size). Aborts via fatal() if the OS refuses the mapping.
+  AlignedArena(size_t Size, size_t Alignment);
+  ~AlignedArena();
+
+  AlignedArena(const AlignedArena &) = delete;
+  AlignedArena &operator=(const AlignedArena &) = delete;
+  AlignedArena(AlignedArena &&Other) noexcept;
+  AlignedArena &operator=(AlignedArena &&Other) noexcept;
+
+  std::byte *base() const { return Base; }
+  size_t size() const { return Size; }
+
+  /// True if \p Ptr points into this arena.
+  bool contains(const void *Ptr) const {
+    auto P = reinterpret_cast<uintptr_t>(Ptr);
+    auto B = reinterpret_cast<uintptr_t>(Base);
+    return P >= B && P < B + Size;
+  }
+
+  /// Returns the committed pages to the OS (contents become zero) without
+  /// releasing the address range.
+  void decommit();
+
+  /// Bytes of the arena currently backed by physical pages, measured by the
+  /// kernel (via mincore); used by the memory-consumption experiments.
+  size_t residentBytes() const;
+
+private:
+  std::byte *Base = nullptr;
+  size_t Size = 0;
+  std::byte *MapBase = nullptr;
+  size_t MapSize = 0;
+};
+
+} // namespace ddm
+
+#endif // DDM_SUPPORT_ARENA_H

@@ -1,0 +1,36 @@
+//===- support/Error.h - Fatal-error and unreachable helpers ---*- C++ -*-===//
+///
+/// \file
+/// Minimal error-handling helpers used across the library. The library does
+/// not use exceptions; programmatic errors abort via assertions or
+/// ddm::fatal, and recoverable conditions are reported through return
+/// values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_SUPPORT_ERROR_H
+#define DDM_SUPPORT_ERROR_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ddm {
+
+/// Prints \p Message to stderr and aborts. Used for unrecoverable
+/// environment failures (e.g. the OS refuses to map memory).
+[[noreturn]] inline void fatal(const std::string &Message) {
+  std::fprintf(stderr, "ddmalloc fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+/// Marks a point in the program that must never be reached if the library's
+/// invariants hold.
+[[noreturn]] inline void unreachable(const char *Message) {
+  std::fprintf(stderr, "ddmalloc internal error: unreachable: %s\n", Message);
+  std::abort();
+}
+
+} // namespace ddm
+
+#endif // DDM_SUPPORT_ERROR_H

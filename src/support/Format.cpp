@@ -1,0 +1,43 @@
+//===- support/Format.cpp - Human-readable value formatting --------------===//
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace ddm;
+
+std::string ddm::formatBytes(uint64_t Bytes) {
+  static const char *Units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double Value = static_cast<double>(Bytes);
+  unsigned Unit = 0;
+  while (Value >= 1024.0 && Unit < 4) {
+    Value /= 1024.0;
+    ++Unit;
+  }
+  char Buffer[48];
+  if (Unit == 0)
+    std::snprintf(Buffer, sizeof(Buffer), "%llu B",
+                  static_cast<unsigned long long>(Bytes));
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "%.1f %s", Value, Units[Unit]);
+  return Buffer;
+}
+
+std::string ddm::formatCount(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Out;
+  size_t Length = Digits.size();
+  for (size_t I = 0; I != Length; ++I) {
+    if (I != 0 && (Length - I) % 3 == 0)
+      Out += ',';
+    Out += Digits[I];
+  }
+  return Out;
+}
+
+std::string ddm::formatRelative(double Ratio, unsigned Precision) {
+  char Buffer[48];
+  std::snprintf(Buffer, sizeof(Buffer), "%+.*f%%", Precision,
+                (Ratio - 1.0) * 100.0);
+  return Buffer;
+}

@@ -1,0 +1,29 @@
+//===- support/Format.h - Human-readable value formatting ------*- C++ -*-===//
+///
+/// \file
+/// Small formatting helpers shared by reports: byte counts with binary
+/// units, large counts with thousands separators, and signed percentages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_SUPPORT_FORMAT_H
+#define DDM_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace ddm {
+
+/// Formats \p Bytes as "123 B", "1.5 KiB", "3.2 MiB", ...
+std::string formatBytes(uint64_t Bytes);
+
+/// Formats \p Value with ',' thousands separators.
+std::string formatCount(uint64_t Value);
+
+/// Formats a ratio as a signed percentage relative to 1.0, e.g. 1.04 ->
+/// "+4.0%".
+std::string formatRelative(double Ratio, unsigned Precision = 1);
+
+} // namespace ddm
+
+#endif // DDM_SUPPORT_FORMAT_H

@@ -1,0 +1,144 @@
+//===- support/Random.h - Deterministic pseudo-random numbers --*- C++ -*-===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (xoshiro256**) plus the handful of
+/// distributions the workload generators need. Everything in the project
+/// that involves randomness flows through this class so that a run is fully
+/// reproducible from a single 64-bit seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_SUPPORT_RANDOM_H
+#define DDM_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace ddm {
+
+/// Deterministic pseudo-random number generator.
+///
+/// Uses splitmix64 to expand the seed into the xoshiro256** state, so any
+/// seed (including 0) yields a well-mixed stream.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) { reseed(Seed); }
+
+  /// Re-initializes the stream from \p Seed.
+  void reseed(uint64_t Seed) {
+    uint64_t X = Seed;
+    for (auto &Word : State) {
+      // splitmix64 step.
+      X += 0x9e3779b97f4a7c15ull;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniformly distributed integer in [0, Bound). \p Bound must be
+  /// nonzero. Uses Lemire's multiply-shift rejection method.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a nonzero bound");
+    // Unbiased for all bounds that matter here; the slight bias of a plain
+    // multiply-shift is acceptable for bounds far below 2^64, but rejection
+    // keeps the generator exact for tests.
+    uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      uint64_t R = next();
+      __uint128_t M = static_cast<__uint128_t>(R) * Bound;
+      if (static_cast<uint64_t>(M) >= Threshold)
+        return static_cast<uint64_t>(M >> 64);
+    }
+  }
+
+  /// Returns a uniformly distributed integer in [Lo, Hi] inclusive.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) {
+    if (P <= 0.0)
+      return false;
+    if (P >= 1.0)
+      return true;
+    return nextDouble() < P;
+  }
+
+  /// Samples a geometric distribution: the number of failures before the
+  /// first success with success probability \p P in (0, 1].
+  uint64_t nextGeometric(double P) {
+    assert(P > 0.0 && P <= 1.0 && "probability out of range");
+    if (P >= 1.0)
+      return 0;
+    double U = nextDouble();
+    // Avoid log(0).
+    if (U <= 0.0)
+      U = 0x1.0p-53;
+    return static_cast<uint64_t>(std::log(U) / std::log1p(-P));
+  }
+
+  /// Samples a (discretized) log-normal distribution with the given
+  /// parameters of the underlying normal. Useful for allocation sizes,
+  /// which are heavily right-skewed in web workloads.
+  double nextLogNormal(double Mu, double Sigma) {
+    return std::exp(Mu + Sigma * nextGaussian());
+  }
+
+  /// Samples a standard normal via the polar Box-Muller method.
+  double nextGaussian() {
+    if (HasSpare) {
+      HasSpare = false;
+      return Spare;
+    }
+    double U, V, S;
+    do {
+      U = 2.0 * nextDouble() - 1.0;
+      V = 2.0 * nextDouble() - 1.0;
+      S = U * U + V * V;
+    } while (S >= 1.0 || S == 0.0);
+    double Factor = std::sqrt(-2.0 * std::log(S) / S);
+    Spare = V * Factor;
+    HasSpare = true;
+    return U * Factor;
+  }
+
+  /// Derives an independent child generator; used to give each transaction
+  /// or each runtime its own stream while staying reproducible.
+  Rng split() { return Rng(next() ^ 0xd1b54a32d192ed03ull); }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4] = {};
+  double Spare = 0.0;
+  bool HasSpare = false;
+};
+
+} // namespace ddm
+
+#endif // DDM_SUPPORT_RANDOM_H

@@ -1,0 +1,76 @@
+//===- support/Stats.h - Streaming statistics and histograms ---*- C++ -*-===//
+///
+/// \file
+/// Streaming mean/variance accumulation (Welford) and a log2-bucketed
+/// histogram. Used by the workload generators to verify that generated
+/// traces match the paper's Table 3 statistics, and by the experiment
+/// harness for reporting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_SUPPORT_STATS_H
+#define DDM_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddm {
+
+/// Accumulates count/mean/variance/min/max of a stream of samples without
+/// storing them.
+class RunningStat {
+public:
+  /// Adds one sample.
+  void add(double X);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStat &Other);
+
+  uint64_t count() const { return N; }
+  double mean() const { return N ? Mean : 0.0; }
+  /// Population variance of the samples seen so far.
+  double variance() const { return N ? M2 / static_cast<double>(N) : 0.0; }
+  double stddev() const;
+  double min() const { return N ? Min : 0.0; }
+  double max() const { return N ? Max : 0.0; }
+  double sum() const { return Mean * static_cast<double>(N); }
+
+private:
+  uint64_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Histogram over nonnegative integers with power-of-two buckets:
+/// [0,1), [1,2), [2,4), [4,8), ...
+class Log2Histogram {
+public:
+  /// Adds one sample with weight \p Weight.
+  void add(uint64_t Value, uint64_t Weight = 1);
+
+  uint64_t totalCount() const { return Total; }
+
+  /// Returns the number of samples in the bucket whose range contains
+  /// \p Value.
+  uint64_t countFor(uint64_t Value) const;
+
+  /// Smallest value V such that at least \p Fraction of the samples are
+  /// <= V, resolved to the (exclusive) upper bound of its bucket.
+  uint64_t percentileUpperBound(double Fraction) const;
+
+  /// Renders a textual bar chart, one line per nonempty bucket.
+  std::string render(unsigned MaxBarWidth = 40) const;
+
+private:
+  static unsigned bucketIndex(uint64_t Value);
+
+  std::vector<uint64_t> Buckets;
+  uint64_t Total = 0;
+};
+
+} // namespace ddm
+
+#endif // DDM_SUPPORT_STATS_H

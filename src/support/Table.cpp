@@ -1,0 +1,129 @@
+//===- support/Table.cpp - ASCII and CSV table rendering -----------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace ddm;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {
+  assert(!this->Header.empty() && "a table needs at least one column");
+}
+
+Table &Table::row() {
+  assert((Rows.empty() || Rows.back().size() == Header.size()) &&
+         "previous row is incomplete");
+  Rows.emplace_back();
+  return *this;
+}
+
+Table &Table::cell(const std::string &Value) {
+  assert(!Rows.empty() && "call row() before cell()");
+  assert(Rows.back().size() < Header.size() && "row has too many cells");
+  Rows.back().push_back(Value);
+  return *this;
+}
+
+Table &Table::cell(const char *Value) { return cell(std::string(Value)); }
+
+Table &Table::cell(double Value, unsigned Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Value);
+  return cell(std::string(Buffer));
+}
+
+Table &Table::cell(uint64_t Value) {
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "%llu",
+                static_cast<unsigned long long>(Value));
+  return cell(std::string(Buffer));
+}
+
+Table &Table::cell(int64_t Value) {
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "%lld",
+                static_cast<long long>(Value));
+  return cell(std::string(Buffer));
+}
+
+Table &Table::cell(int Value) { return cell(static_cast<int64_t>(Value)); }
+
+Table &Table::cell(unsigned Value) { return cell(static_cast<uint64_t>(Value)); }
+
+Table &Table::percentCell(double Value, unsigned Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%+.*f%%", Precision, Value);
+  return cell(std::string(Buffer));
+}
+
+const std::string &Table::at(size_t Row, size_t Col) const {
+  assert(Row < Rows.size() && Col < Rows[Row].size() && "cell out of range");
+  return Rows[Row][Col];
+}
+
+std::string Table::renderAscii() const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t I = 0, E = Header.size(); I != E; ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0, E = Row.size(); I != E; ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  auto RenderRow = [&](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t I = 0, E = Header.size(); I != E; ++I) {
+      const std::string &Text = I < Cells.size() ? Cells[I] : std::string();
+      Line += Text;
+      if (I + 1 != E)
+        Line.append(Widths[I] - Text.size() + 2, ' ');
+    }
+    // Trim trailing spaces.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = RenderRow(Header);
+  size_t SeparatorWidth = 0;
+  for (size_t I = 0, E = Widths.size(); I != E; ++I)
+    SeparatorWidth += Widths[I] + (I + 1 != E ? 2 : 0);
+  Out.append(SeparatorWidth, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}
+
+static std::string csvEscape(const std::string &Text) {
+  bool NeedsQuoting = Text.find_first_of(",\"\n") != std::string::npos;
+  if (!NeedsQuoting)
+    return Text;
+  std::string Out = "\"";
+  for (char C : Text) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string Table::renderCsv() const {
+  auto RenderRow = [](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t I = 0, E = Cells.size(); I != E; ++I) {
+      if (I)
+        Line += ',';
+      Line += csvEscape(Cells[I]);
+    }
+    Line += '\n';
+    return Line;
+  };
+  std::string Out = RenderRow(Header);
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}

@@ -1,0 +1,58 @@
+//===- support/Table.h - ASCII and CSV table rendering ---------*- C++ -*-===//
+///
+/// \file
+/// A small table builder used by every experiment driver to print the rows
+/// the paper's tables and figures report. Tables render either as aligned
+/// ASCII (for the terminal) or as CSV (for plotting).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_SUPPORT_TABLE_H
+#define DDM_SUPPORT_TABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddm {
+
+/// Column-aligned table with a header row.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table &row();
+
+  /// Appends a cell to the current row.
+  Table &cell(const std::string &Value);
+  Table &cell(const char *Value);
+  Table &cell(double Value, unsigned Precision = 2);
+  Table &cell(uint64_t Value);
+  Table &cell(int64_t Value);
+  Table &cell(int Value);
+  Table &cell(unsigned Value);
+
+  /// Convenience: formats \p Value as a signed percentage ("+4.0%").
+  Table &percentCell(double Value, unsigned Precision = 1);
+
+  size_t numRows() const { return Rows.size(); }
+  size_t numColumns() const { return Header.size(); }
+
+  /// Returns the cell at (\p Row, \p Col); both must be in range.
+  const std::string &at(size_t Row, size_t Col) const;
+
+  /// Renders the table as aligned ASCII with a separator under the header.
+  std::string renderAscii() const;
+
+  /// Renders the table as CSV (quoting cells that contain commas/quotes).
+  std::string renderCsv() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace ddm
+
+#endif // DDM_SUPPORT_TABLE_H

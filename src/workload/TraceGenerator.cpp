@@ -1,0 +1,216 @@
+//===- workload/TraceGenerator.cpp - Transaction trace synthesis ----------===//
+
+#include "workload/TraceGenerator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+using namespace ddm;
+
+TxExecutor::~TxExecutor() = default;
+
+namespace {
+
+/// Ring-buffer calendar of pending per-object frees, bucketed by step.
+class FreeCalendar {
+public:
+  explicit FreeCalendar(size_t Window) : Buckets(Window) {}
+
+  void schedule(uint64_t Step, uint64_t DeathStep, uint32_t Id) {
+    uint64_t Delay = DeathStep - Step;
+    if (Delay >= Buckets.size())
+      Delay = Buckets.size() - 1;
+    Buckets[(Cursor + Delay) % Buckets.size()].push_back(Id);
+  }
+
+  /// Returns (and clears) the ids dying at the current step, then advances.
+  std::vector<uint32_t> &popCurrent() {
+    Scratch.swap(Buckets[Cursor]);
+    Buckets[Cursor].clear();
+    Cursor = (Cursor + 1) % Buckets.size();
+    return Scratch;
+  }
+
+private:
+  std::vector<std::vector<uint32_t>> Buckets;
+  std::vector<uint32_t> Scratch;
+  size_t Cursor = 0;
+};
+
+/// Live-object table with O(1) insert/remove and recency-biased sampling.
+class LiveTable {
+public:
+  void insert(uint32_t Id, uint32_t Size) {
+    Position[Id] = Objects.size();
+    Objects.push_back({Id, Size});
+  }
+
+  bool contains(uint32_t Id) const { return Position.count(Id) != 0; }
+
+  uint32_t sizeOf(uint32_t Id) const { return Objects[Position.at(Id)].Size; }
+
+  void resize(uint32_t Id, uint32_t NewSize) {
+    Objects[Position.at(Id)].Size = NewSize;
+  }
+
+  void remove(uint32_t Id) {
+    size_t Pos = Position.at(Id);
+    Position.erase(Id);
+    if (Pos + 1 != Objects.size()) {
+      Objects[Pos] = Objects.back();
+      Position[Objects[Pos].Id] = Pos;
+    }
+    Objects.pop_back();
+  }
+
+  bool empty() const { return Objects.empty(); }
+  size_t size() const { return Objects.size(); }
+
+  /// Picks a live object, biased toward recent insertions (temporal
+  /// locality of interpreter data).
+  uint32_t sampleRecent(Rng &R) const {
+    assert(!Objects.empty());
+    uint64_t Back = R.nextGeometric(0.08); // mean ~11.5 objects back
+    if (Back >= Objects.size())
+      Back = R.nextBelow(Objects.size());
+    return Objects[Objects.size() - 1 - Back].Id;
+  }
+
+private:
+  struct Entry {
+    uint32_t Id;
+    uint32_t Size;
+  };
+  std::vector<Entry> Objects;
+  std::unordered_map<uint32_t, size_t> Position;
+};
+
+} // namespace
+
+TraceStats ddm::runTransaction(const WorkloadSpec &Spec, double Scale, Rng &R,
+                               TxExecutor &Executor) {
+  assert(Scale > 0.0 && "scale must be positive");
+  uint64_t Steps = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::llround(Spec.MallocCalls * Scale)));
+
+  double FreeFraction = Spec.perObjectFreeFraction();
+  double ReallocRate =
+      Spec.MallocCalls
+          ? static_cast<double>(Spec.ReallocCalls) / Spec.MallocCalls
+          : 0.0;
+  double LifetimeP = 1.0 / (1.0 + Spec.MeanLifetimeSteps);
+
+  // Size model: a point-mass mixture over the interpreter's favourite
+  // sizes plus a log-normal tail, with the tail's mean solved so the
+  // overall mean (including the rare large objects) hits Table 3.
+  static const uint32_t PointSizes[] = {16, 32, 48, 64, 96, 160, 256};
+  static const double PointCdf[] = {0.22, 0.50, 0.68, 0.82, 0.90, 0.96, 1.00};
+  constexpr double PointMean = 16 * 0.22 + 32 * 0.28 + 48 * 0.18 + 64 * 0.14 +
+                               96 * 0.08 + 160 * 0.06 + 256 * 0.04;
+  double LargeMean =
+      (Spec.LargeMinBytes + Spec.LargeMaxBytes) / 2.0 * Spec.LargeObjectRate;
+  double PointFraction = Spec.PointMassFraction;
+  double TailMeanTarget =
+      (Spec.MeanAllocBytes - LargeMean - PointFraction * PointMean) /
+      std::max(1e-9, 1.0 - PointFraction - Spec.LargeObjectRate);
+  if (TailMeanTarget < 8.0) {
+    // The point masses alone overshoot the target mean: shrink their share.
+    PointFraction = std::max(
+        0.0, (Spec.MeanAllocBytes - LargeMean - 8.0) / (PointMean - 8.0));
+    TailMeanTarget = 8.0;
+  }
+  double Mu =
+      std::log(TailMeanTarget) - Spec.SizeSigma * Spec.SizeSigma / 2.0;
+
+  TraceStats Stats;
+  FreeCalendar Calendar(4096);
+  LiveTable Live;
+  uint32_t NextId = 0;
+  double TouchAccumulator = 0.0;
+  double StateAccumulator = 0.0;
+  uint64_t WorkChunk =
+      static_cast<uint64_t>(std::llround(Spec.WorkInstrPerMalloc));
+
+  for (uint64_t Step = 0; Step < Steps; ++Step) {
+    // 1. Application compute.
+    Executor.onWork(WorkChunk);
+    Stats.WorkInstructions += WorkChunk;
+
+    // 2. Background working-set touches (hot subset vs. cold sweep).
+    StateAccumulator += Spec.StateTouchesPerStep;
+    while (StateAccumulator >= 1.0) {
+      StateAccumulator -= 1.0;
+      uint64_t Range = R.nextBool(Spec.StateHotFraction)
+                           ? std::min(Spec.StateHotBytes, Spec.AppStateBytes)
+                           : Spec.AppStateBytes;
+      uint64_t Offset = R.nextBelow(Range) & ~uint64_t(63);
+      Executor.onStateTouch(Offset, R.nextBool(0.2));
+      ++Stats.StateTouches;
+    }
+
+    // 3. Revisit recently allocated objects.
+    TouchAccumulator += Spec.ObjectTouchesPerStep;
+    while (TouchAccumulator >= 1.0) {
+      TouchAccumulator -= 1.0;
+      if (Live.empty())
+        continue;
+      Executor.onTouch(Live.sampleRecent(R), R.nextBool(0.3));
+      ++Stats.ObjectTouches;
+    }
+
+    // 4. Per-object frees due this step.
+    for (uint32_t Id : Calendar.popCurrent()) {
+      if (!Live.contains(Id))
+        continue; // already gone (shrunk away by realloc bookkeeping)
+      Live.remove(Id);
+      Executor.onFree(Id);
+      ++Stats.Frees;
+    }
+
+    // 5. Occasional realloc of a live object.
+    if (!Live.empty() && R.nextBool(ReallocRate)) {
+      uint32_t Id = Live.sampleRecent(R);
+      uint32_t OldSize = Live.sizeOf(Id);
+      // Buffers typically grow by 1.5x-2.5x; cap runaway growth chains.
+      uint64_t Grown = OldSize + OldSize / 2 + R.nextBelow(OldSize + 1);
+      auto NewSize = static_cast<uint32_t>(
+          std::min<uint64_t>(std::max<uint64_t>(8, Grown), 64 * 1024));
+      Live.resize(Id, NewSize);
+      Executor.onRealloc(Id, OldSize, NewSize);
+      ++Stats.Reallocs;
+    }
+
+    // 6. The allocation itself.
+    size_t Size;
+    if (R.nextBool(Spec.LargeObjectRate)) {
+      Size = R.nextInRange(Spec.LargeMinBytes, Spec.LargeMaxBytes);
+    } else if (R.nextBool(PointFraction)) {
+      double U = R.nextDouble();
+      unsigned Bucket = 0;
+      while (U > PointCdf[Bucket])
+        ++Bucket;
+      Size = PointSizes[Bucket];
+    } else {
+      double Draw = R.nextLogNormal(Mu, Spec.SizeSigma);
+      Size = static_cast<size_t>(std::max(1.0, std::min(Draw, 16000.0)));
+    }
+    uint32_t Id = NextId++;
+    Live.insert(Id, static_cast<uint32_t>(Size));
+    Executor.onAlloc(Id, Size);
+    ++Stats.Mallocs;
+    Stats.AllocatedBytes += Size;
+
+    if (R.nextBool(FreeFraction)) {
+      uint64_t Death = Step + 1 + R.nextGeometric(LifetimeP);
+      Calendar.schedule(Step, Death, Id);
+    }
+  }
+
+  // Unfreed objects stay live; the runtime reclaims them with freeAll (or
+  // never, in the Ruby study). Tell the executor nothing: the allocator's
+  // freeAll handles them wholesale.
+  return Stats;
+}

@@ -1,0 +1,80 @@
+//===- workload/TraceGenerator.h - Transaction trace synthesis -*- C++ -*-===//
+///
+/// \file
+/// Generates one web transaction's worth of allocator and memory events
+/// from a WorkloadSpec, pushing them into a TxExecutor. The generator owns
+/// the object-lifetime bookkeeping (which object dies when, which object a
+/// realloc hits); the executor maps object ids onto real pointers and
+/// performs the actual work.
+///
+/// The schedule per allocation step:
+///   1. application compute (WorkInstrPerMalloc instructions);
+///   2. background state touches (interpreter/data working set);
+///   3. revisits of recently-allocated live objects;
+///   4. per-object frees that fall due this step (objects die after a
+///      geometric lifetime; a FreeCalls/MallocCalls fraction dies at all —
+///      the paper reports 7.9%-27.3% of objects are never freed
+///      per-object and only reclaimed by freeAll);
+///   5. occasional reallocs of live objects;
+///   6. one allocation with a log-normal size matching Table 3's mean.
+///
+/// Everything is deterministic given the Rng.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_WORKLOAD_TRACEGENERATOR_H
+#define DDM_WORKLOAD_TRACEGENERATOR_H
+
+#include "support/Random.h"
+#include "workload/WorkloadSpec.h"
+
+#include <cstdint>
+
+namespace ddm {
+
+/// Receiver of generated transaction events.
+class TxExecutor {
+public:
+  virtual ~TxExecutor();
+
+  /// A new object \p Id of \p Size bytes.
+  virtual void onAlloc(uint32_t Id, size_t Size) = 0;
+  /// Object \p Id dies (per-object free).
+  virtual void onFree(uint32_t Id) = 0;
+  /// Object \p Id is resized from \p OldSize to \p NewSize.
+  virtual void onRealloc(uint32_t Id, size_t OldSize, size_t NewSize) = 0;
+  /// Object \p Id is read (or written if \p IsWrite).
+  virtual void onTouch(uint32_t Id, bool IsWrite) = 0;
+  /// \p Instructions of application compute.
+  virtual void onWork(uint64_t Instructions) = 0;
+  /// One cache line of the application's background state at \p Offset
+  /// (relative to the state area) is read or written.
+  virtual void onStateTouch(uint64_t Offset, bool IsWrite) = 0;
+};
+
+/// Actual counts produced for one transaction (for Table 3 validation).
+struct TraceStats {
+  uint64_t Mallocs = 0;
+  uint64_t Frees = 0;
+  uint64_t Reallocs = 0;
+  uint64_t AllocatedBytes = 0;
+  uint64_t ObjectTouches = 0;
+  uint64_t StateTouches = 0;
+  uint64_t WorkInstructions = 0;
+
+  double meanAllocBytes() const {
+    return Mallocs ? static_cast<double>(AllocatedBytes) /
+                         static_cast<double>(Mallocs)
+                   : 0.0;
+  }
+};
+
+/// Generates one transaction of \p Spec at \p Scale (1.0 = the paper's
+/// full per-transaction call counts) into \p Executor, drawing randomness
+/// from \p R.
+TraceStats runTransaction(const WorkloadSpec &Spec, double Scale, Rng &R,
+                          TxExecutor &Executor);
+
+} // namespace ddm
+
+#endif // DDM_WORKLOAD_TRACEGENERATOR_H

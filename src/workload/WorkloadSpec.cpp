@@ -1,0 +1,161 @@
+//===- workload/WorkloadSpec.cpp - Application workload models ------------===//
+
+#include "workload/WorkloadSpec.h"
+
+using namespace ddm;
+
+// The Table 3 numbers are verbatim from the paper. The behavioural
+// parameters (work per allocation, working sets) are calibrated against
+// Table 4's single-core Xeon throughputs and Figure 6's CPU breakdown; see
+// EXPERIMENTS.md for the calibration record.
+
+WorkloadSpec ddm::mediaWikiReadOnly() {
+  WorkloadSpec W;
+  W.Name = "mediawiki-read";
+  W.MallocCalls = 151770;
+  W.FreeCalls = 129141;
+  W.ReallocCalls = 6147;
+  W.MeanAllocBytes = 62.1;
+  W.SizeSigma = 1.05;
+  W.WorkInstrPerMalloc = 500;
+  W.ObjectTouchesPerStep = 2.0;
+  W.AppStateBytes = 8ull * 1024 * 1024;
+  W.StateTouchesPerStep = 1.4;
+  W.StateHotFraction = 0.85;
+  return W;
+}
+
+WorkloadSpec ddm::mediaWikiReadWrite() {
+  WorkloadSpec W;
+  W.Name = "mediawiki-write";
+  W.MallocCalls = 404983;
+  W.FreeCalls = 354775;
+  W.ReallocCalls = 22371;
+  W.MeanAllocBytes = 66.7;
+  W.SizeSigma = 1.05;
+  W.WorkInstrPerMalloc = 426;
+  W.ObjectTouchesPerStep = 2.0;
+  W.AppStateBytes = 6ull * 1024 * 1024;
+  W.StateTouchesPerStep = 1.1;
+  return W;
+}
+
+WorkloadSpec ddm::sugarCrm() {
+  WorkloadSpec W;
+  W.Name = "sugarcrm";
+  W.MallocCalls = 276853;
+  W.FreeCalls = 225800;
+  W.ReallocCalls = 3120;
+  W.MeanAllocBytes = 49.3;
+  W.SizeSigma = 0.95;
+  W.WorkInstrPerMalloc = 375;
+  W.ObjectTouchesPerStep = 1.8;
+  W.AppStateBytes = 5ull * 1024 * 1024;
+  W.StateTouchesPerStep = 1.0;
+  return W;
+}
+
+WorkloadSpec ddm::ezPublish() {
+  WorkloadSpec W;
+  W.Name = "ezpublish";
+  W.MallocCalls = 123019;
+  W.FreeCalls = 109856;
+  W.ReallocCalls = 4646;
+  W.MeanAllocBytes = 78.6;
+  W.SizeSigma = 1.1;
+  W.WorkInstrPerMalloc = 635;
+  W.ObjectTouchesPerStep = 2.2;
+  W.AppStateBytes = 5ull * 1024 * 1024;
+  W.StateTouchesPerStep = 1.2;
+  return W;
+}
+
+WorkloadSpec ddm::phpBb() {
+  WorkloadSpec W;
+  W.Name = "phpbb";
+  W.MallocCalls = 46965;
+  W.FreeCalls = 43267;
+  W.ReallocCalls = 1003;
+  W.MeanAllocBytes = 56.3;
+  W.SizeSigma = 1.0;
+  W.WorkInstrPerMalloc = 790;
+  W.ObjectTouchesPerStep = 2.0;
+  W.AppStateBytes = 3ull * 1024 * 1024;
+  W.StateTouchesPerStep = 1.3;
+  return W;
+}
+
+WorkloadSpec ddm::cakePhp() {
+  WorkloadSpec W;
+  W.Name = "cakephp";
+  W.MallocCalls = 99195;
+  W.FreeCalls = 82645;
+  W.ReallocCalls = 3574;
+  W.MeanAllocBytes = 68.6;
+  W.SizeSigma = 1.05;
+  W.WorkInstrPerMalloc = 840;
+  W.ObjectTouchesPerStep = 2.0;
+  W.AppStateBytes = 4ull * 1024 * 1024;
+  W.StateTouchesPerStep = 1.2;
+  return W;
+}
+
+WorkloadSpec ddm::specWeb2005() {
+  WorkloadSpec W;
+  W.Name = "specweb";
+  W.MallocCalls = 3277;
+  W.FreeCalls = 2383;
+  W.ReallocCalls = 106;
+  W.MeanAllocBytes = 175.6;
+  W.SizeSigma = 1.3;
+  // SPECweb's eCommerce PHP pages are simple; most CPU goes to static file
+  // serving, modeled as heavy per-step work over a large state.
+  W.WorkInstrPerMalloc = 3760;
+  W.ObjectTouchesPerStep = 2.0;
+  W.AppStateBytes = 16ull * 1024 * 1024;
+  W.StateTouchesPerStep = 6.0;
+  // Served files are cached effectively; moderate cold traffic.
+  W.StateHotFraction = 0.8;
+  W.StateHotBytes = 1536 * 1024;
+  W.AppCodeFootprintBytes = 64.0 * 1024;
+  return W;
+}
+
+WorkloadSpec ddm::railsApp() {
+  WorkloadSpec W = cakePhp();
+  W.Name = "rails";
+  // Ruby's interpreter allocates somewhat more small objects per request
+  // than CakePHP and keeps a larger interpreter state.
+  W.MallocCalls = 120000;
+  W.FreeCalls = 102000;
+  W.ReallocCalls = 2800;
+  W.MeanAllocBytes = 61.0;
+  W.WorkInstrPerMalloc = 700;
+  W.AppStateBytes = 6ull * 1024 * 1024;
+  return W;
+}
+
+std::vector<WorkloadSpec> ddm::phpWorkloads() {
+  return {mediaWikiReadOnly(), mediaWikiReadWrite(), sugarCrm(), ezPublish(),
+          phpBb(),             cakePhp(),            specWeb2005()};
+}
+
+const WorkloadSpec *ddm::findWorkload(const std::string &Name) {
+  static const std::vector<WorkloadSpec> All = [] {
+    std::vector<WorkloadSpec> V = phpWorkloads();
+    V.push_back(railsApp());
+    return V;
+  }();
+  for (const WorkloadSpec &W : All)
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}
+
+std::vector<std::string> ddm::workloadNames() {
+  std::vector<std::string> Names;
+  for (const WorkloadSpec &W : phpWorkloads())
+    Names.push_back(W.Name);
+  Names.push_back(railsApp().Name);
+  return Names;
+}

@@ -1,0 +1,121 @@
+//===- workload/WorkloadSpec.h - Application workload models ---*- C++ -*-===//
+///
+/// \file
+/// Parameter sets describing the allocation behaviour of the paper's
+/// workloads (Table 2/3): the six PHP applications of the main study plus
+/// the Ruby on Rails application of Section 4.4.
+///
+/// The paper ran the real applications behind lighttpd/MySQL/memcached; we
+/// model each as a stochastic transaction trace whose first-order
+/// statistics are pinned to the paper's Table 3 — malloc/free/realloc
+/// calls per transaction and mean allocation size — plus behavioural
+/// parameters (object lifetimes, access counts, interpreter working set,
+/// compute per allocation) calibrated so the simulated platforms reproduce
+/// the paper's throughput and CPU-breakdown shapes. An allocator only ever
+/// observes this stream, which is why the substitution preserves the
+/// study's comparisons (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_WORKLOAD_WORKLOADSPEC_H
+#define DDM_WORKLOAD_WORKLOADSPEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddm {
+
+/// One application's transaction model.
+struct WorkloadSpec {
+  std::string Name;
+
+  /// \name Table 3 statistics (per transaction, scale = 1).
+  /// @{
+  uint64_t MallocCalls = 0;
+  uint64_t FreeCalls = 0;
+  uint64_t ReallocCalls = 0;
+  double MeanAllocBytes = 64.0;
+  /// @}
+
+  /// \name Behavioural parameters.
+  /// @{
+  /// Log-normal shape of the size distribution (sigma of the underlying
+  /// normal). Web-application allocation sizes are strongly right-skewed.
+  double SizeSigma = 1.0;
+
+  /// Interpreters allocate the bulk of their objects in a handful of fixed
+  /// sizes (zvals, hashtable buckets, small strings); this fraction of
+  /// allocations comes from that point-mass mixture, the rest from the
+  /// log-normal tail whose mean is solved so the overall mean matches
+  /// Table 3.
+  double PointMassFraction = 0.70;
+
+  /// Probability that an allocation is a "large" buffer (paper: objects
+  /// over half a segment take whole segments); sampled uniformly in
+  /// [LargeMinBytes, LargeMaxBytes].
+  double LargeObjectRate = 5e-5;
+  uint64_t LargeMinBytes = 20 * 1024;
+  uint64_t LargeMaxBytes = 96 * 1024;
+
+  /// Mean object lifetime, measured in allocation steps, for objects freed
+  /// per-object (geometric). Web objects die young.
+  double MeanLifetimeSteps = 24.0;
+
+  /// Application compute between allocations (dynamic instructions).
+  double WorkInstrPerMalloc = 300.0;
+
+  /// Read/write revisits of live objects per allocation step.
+  double ObjectTouchesPerStep = 2.0;
+
+  /// Interpreter/application background working set and how often it is
+  /// touched (one cache line per touch).
+  uint64_t AppStateBytes = 4ull * 1024 * 1024;
+  double StateTouchesPerStep = 1.2;
+
+  /// Locality of the background touches: StateHotFraction of them land in
+  /// a StateHotBytes-sized hot subset (interpreter globals, hot cache
+  /// entries); the rest are uniform over the whole state.
+  double StateHotFraction = 0.90;
+  uint64_t StateHotBytes = 512 * 1024;
+
+  /// Hot application code footprint (feeds the L1I model).
+  double AppCodeFootprintBytes = 96.0 * 1024;
+  /// @}
+
+  /// Fraction of allocations that are freed per-object during the
+  /// transaction (the rest live until freeAll / process restart).
+  double perObjectFreeFraction() const {
+    return MallocCalls ? static_cast<double>(FreeCalls) /
+                             static_cast<double>(MallocCalls)
+                       : 0.0;
+  }
+};
+
+/// \name The paper's workloads.
+/// @{
+WorkloadSpec mediaWikiReadOnly();
+WorkloadSpec mediaWikiReadWrite();
+WorkloadSpec sugarCrm();
+WorkloadSpec ezPublish();
+WorkloadSpec phpBb();
+WorkloadSpec cakePhp();
+WorkloadSpec specWeb2005();
+/// The Ruby on Rails telephone-directory application (Section 4.4); its
+/// transactions follow the CakePHP scenario.
+WorkloadSpec railsApp();
+/// @}
+
+/// The seven PHP-study workloads in the paper's presentation order.
+std::vector<WorkloadSpec> phpWorkloads();
+
+/// Looks a workload up by name (including "rails"); empty name list on
+/// mismatch handled by the caller.
+const WorkloadSpec *findWorkload(const std::string &Name);
+
+/// All workload names, for --help texts.
+std::vector<std::string> workloadNames();
+
+} // namespace ddm
+
+#endif // DDM_WORKLOAD_WORKLOADSPEC_H

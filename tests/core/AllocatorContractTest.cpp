@@ -1,0 +1,282 @@
+//===- tests/core/AllocatorContractTest.cpp - Cross-allocator laws --------===//
+///
+/// \file
+/// Property tests every allocator in the study must satisfy, parameterized
+/// over (allocator kind, RNG seed). The invariants:
+///  - results are non-null (within the reservation) and 8-byte aligned;
+///  - live objects never overlap and their contents survive arbitrary
+///    interleavings of malloc/free/realloc;
+///  - for allocators without per-object free, contents survive deallocate
+///    too (until freeAll);
+///  - freeAll (where supported) discards everything and bounds footprint
+///    across transactions;
+///  - per-object free actually enables reuse (bounded footprint under
+///    churn), and its absence means unbounded growth — the paper's Table 1
+///    capability matrix, enforced in code.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AllocatorFactory.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+using namespace ddm;
+
+namespace {
+
+struct TrackedObject {
+  unsigned char *Ptr;
+  size_t Size;
+  unsigned char Pattern;
+  bool Freed; ///< deallocate was called (only kept for no-reuse allocators).
+};
+
+class AllocatorContractTest
+    : public ::testing::TestWithParam<std::tuple<AllocatorKind, uint64_t>> {
+protected:
+  AllocatorKind kind() const { return std::get<0>(GetParam()); }
+  uint64_t seed() const { return std::get<1>(GetParam()); }
+
+  std::unique_ptr<TxAllocator> makeAllocator() const {
+    AllocatorOptions Options;
+    Options.HeapReserveBytes = 128ull * 1024 * 1024;
+    return createAllocator(kind(), Options);
+  }
+
+  static void checkPattern(const TrackedObject &Object) {
+    for (size_t I = 0; I < Object.Size; I += 53)
+      ASSERT_EQ(Object.Ptr[I], Object.Pattern)
+          << "content corrupted (size " << Object.Size << ")";
+  }
+};
+
+} // namespace
+
+TEST_P(AllocatorContractTest, AlignmentAndNonNull) {
+  auto A = makeAllocator();
+  for (size_t Size : {0ul, 1ul, 3ul, 8ul, 13ul, 64ul, 100ul, 1000ul, 5000ul}) {
+    void *P = A->allocate(Size);
+    ASSERT_NE(P, nullptr) << "size " << Size;
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % 8, 0u) << "size " << Size;
+  }
+}
+
+TEST_P(AllocatorContractTest, ZeroSizeAllocationsAreDistinct) {
+  auto A = makeAllocator();
+  void *P = A->allocate(0);
+  void *Q = A->allocate(0);
+  EXPECT_NE(P, Q);
+}
+
+TEST_P(AllocatorContractTest, UsableSizeCoversRequest) {
+  auto A = makeAllocator();
+  for (size_t Size : {1ul, 17ul, 256ul, 4000ul}) {
+    void *P = A->allocate(Size);
+    ASSERT_NE(P, nullptr);
+    size_t Usable = A->usableSize(P);
+    if (Usable != 0) { // headerless region allocators report 0
+      EXPECT_GE(Usable, Size);
+    }
+  }
+}
+
+TEST_P(AllocatorContractTest, RandomOperationsPreserveContents) {
+  auto A = makeAllocator();
+  Rng R(seed());
+  std::vector<TrackedObject> Objects;
+  bool Reuses = A->supportsPerObjectFree();
+  bool BulkFree = A->supportsBulkFree();
+  uint64_t LiveCount = 0;
+
+  for (int Step = 0; Step < 6000; ++Step) {
+    double Action = R.nextDouble();
+    if (BulkFree && Step > 0 && Step % 2000 == 0) {
+      // Transaction boundary: everything dies at once.
+      for (const TrackedObject &Object : Objects)
+        if (!Object.Freed)
+          checkPattern(Object);
+      A->freeAll();
+      Objects.clear();
+      LiveCount = 0;
+      continue;
+    }
+    if (LiveCount == 0 || Action < 0.55) {
+      size_t Size = 1 + static_cast<size_t>(R.nextLogNormal(3.6, 1.3));
+      if (Size > 40000)
+        Size = 40000;
+      auto *P = static_cast<unsigned char *>(A->allocate(Size));
+      ASSERT_NE(P, nullptr);
+      auto Pattern = static_cast<unsigned char>(R.next() | 1);
+      std::memset(P, Pattern, Size);
+      Objects.push_back({P, Size, Pattern, false});
+      ++LiveCount;
+    } else if (Action < 0.85) {
+      // Free a random live object.
+      size_t Index = R.nextBelow(Objects.size());
+      while (Objects[Index].Freed)
+        Index = (Index + 1) % Objects.size();
+      TrackedObject &Object = Objects[Index];
+      checkPattern(Object);
+      A->deallocate(Object.Ptr);
+      --LiveCount;
+      if (Reuses) {
+        // The slot may be recycled: stop tracking it.
+        Objects[Index] = Objects.back();
+        Objects.pop_back();
+      } else {
+        // No reuse: the bytes must stay intact until freeAll.
+        Object.Freed = true;
+      }
+    } else {
+      size_t Index = R.nextBelow(Objects.size());
+      while (Objects[Index].Freed)
+        Index = (Index + 1) % Objects.size();
+      TrackedObject &Object = Objects[Index];
+      size_t NewSize = 1 + static_cast<size_t>(R.nextLogNormal(3.6, 1.3));
+      if (NewSize > 40000)
+        NewSize = 40000;
+      auto *P = static_cast<unsigned char *>(
+          A->reallocate(Object.Ptr, Object.Size, NewSize));
+      ASSERT_NE(P, nullptr);
+      size_t Preserved = Object.Size < NewSize ? Object.Size : NewSize;
+      for (size_t I = 0; I < Preserved; I += 53)
+        ASSERT_EQ(P[I], Object.Pattern);
+      unsigned char Pattern = Object.Pattern;
+      if (!Reuses && P != Object.Ptr) {
+        // The old copy is still addressable in a region; keep checking it.
+        // (Mutate through the vector before push_back invalidates Object.)
+        Objects[Index].Freed = true;
+        std::memset(P, Pattern, NewSize);
+        Objects.push_back({P, NewSize, Pattern, false});
+      } else {
+        Object.Ptr = P;
+        Object.Size = NewSize;
+        std::memset(P, Pattern, NewSize);
+      }
+    }
+  }
+  for (const TrackedObject &Object : Objects)
+    if (!Object.Freed)
+      checkPattern(Object);
+}
+
+TEST_P(AllocatorContractTest, LiveObjectsNeverOverlap) {
+  auto A = makeAllocator();
+  Rng R(seed() ^ 0xABCD);
+  std::map<uintptr_t, size_t> Live; // start -> size
+  std::vector<void *> Order;
+  for (int Step = 0; Step < 3000; ++Step) {
+    if (Order.empty() || R.nextBool(0.6)) {
+      size_t Size = 1 + static_cast<size_t>(R.nextLogNormal(3.0, 1.4));
+      void *P = A->allocate(Size);
+      ASSERT_NE(P, nullptr);
+      auto Start = reinterpret_cast<uintptr_t>(P);
+      auto After = Live.lower_bound(Start);
+      if (After != Live.end()) {
+        ASSERT_LE(Start + Size, After->first) << "overlap with next object";
+      }
+      if (After != Live.begin()) {
+        auto Before = std::prev(After);
+        ASSERT_LE(Before->first + Before->second, Start)
+            << "overlap with previous object";
+      }
+      Live.emplace(Start, Size);
+      Order.push_back(P);
+    } else if (A->supportsPerObjectFree()) {
+      size_t Index = R.nextBelow(Order.size());
+      void *P = Order[Index];
+      Live.erase(reinterpret_cast<uintptr_t>(P));
+      A->deallocate(P);
+      Order[Index] = Order.back();
+      Order.pop_back();
+    }
+  }
+}
+
+TEST_P(AllocatorContractTest, PerObjectFreeControlsReuse) {
+  // Table 1's capability matrix: with per-object free, a tight
+  // allocate/deallocate loop stays in O(1) memory; without it, memory
+  // consumption grows with every allocation.
+  auto A = makeAllocator();
+  constexpr int Rounds = 5000;
+  constexpr size_t Size = 256;
+  for (int I = 0; I < Rounds; ++I) {
+    void *P = A->allocate(Size);
+    ASSERT_NE(P, nullptr);
+    A->deallocate(P);
+  }
+  uint64_t Consumption = A->memoryConsumption();
+  if (A->supportsPerObjectFree())
+    EXPECT_LT(Consumption, 1024u * 1024)
+        << "reuse should bound the footprint";
+  else
+    EXPECT_GE(Consumption, Rounds * Size)
+        << "a region cannot reuse freed objects";
+}
+
+TEST_P(AllocatorContractTest, FreeAllBoundsFootprintAcrossTransactions) {
+  auto A = makeAllocator();
+  if (!A->supportsBulkFree())
+    GTEST_SKIP() << "no bulk free: the Ruby study restarts processes";
+  Rng R(seed());
+  uint64_t FirstTxConsumption = 0;
+  for (int Tx = 0; Tx < 20; ++Tx) {
+    for (int I = 0; I < 500; ++I) {
+      void *P = A->allocate(R.nextInRange(8, 2048));
+      ASSERT_NE(P, nullptr);
+      if (A->supportsPerObjectFree() && R.nextBool(0.5))
+        A->deallocate(P);
+    }
+    uint64_t Consumption = A->memoryConsumption();
+    if (Tx == 0)
+      FirstTxConsumption = Consumption;
+    // Footprint must not creep across transactions (allow 3x slack for
+    // randomness in sizes).
+    EXPECT_LE(Consumption, 3 * FirstTxConsumption + (1 << 20))
+        << "transaction " << Tx;
+    A->freeAll();
+  }
+  EXPECT_EQ(A->stats().UsableBytesLive, 0u);
+}
+
+TEST_P(AllocatorContractTest, StatsAreConsistent) {
+  auto A = makeAllocator();
+  Rng R(seed());
+  uint64_t Mallocs = 0, Frees = 0;
+  std::vector<std::pair<void *, size_t>> Live;
+  for (int I = 0; I < 500; ++I) {
+    size_t Size = R.nextInRange(1, 1000);
+    void *P = A->allocate(Size);
+    ASSERT_NE(P, nullptr);
+    ++Mallocs;
+    Live.push_back({P, Size});
+    if (Live.size() > 50) {
+      A->deallocate(Live.front().first);
+      ++Frees;
+      Live.erase(Live.begin());
+    }
+  }
+  EXPECT_EQ(A->stats().MallocCalls, Mallocs);
+  EXPECT_EQ(A->stats().FreeCalls, Frees);
+  EXPECT_GT(A->stats().BytesRequested, 0u);
+  // Live accounting covers at least the requested bytes still alive.
+  uint64_t RequestedLive = 0;
+  for (const auto &[Ptr, Size] : Live)
+    RequestedLive += Size;
+  EXPECT_GE(A->stats().UsableBytesLive, RequestedLive);
+  EXPECT_GE(A->stats().PeakUsableBytesLive, A->stats().UsableBytesLive);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, AllocatorContractTest,
+    ::testing::Combine(::testing::ValuesIn(allAllocatorKinds()),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<std::tuple<AllocatorKind, uint64_t>> &Info) {
+      return std::string(allocatorKindName(std::get<0>(Info.param))) +
+             "_seed" + std::to_string(std::get<1>(Info.param));
+    });

@@ -1,0 +1,110 @@
+//===- tests/core/HeapVerifierTest.cpp - Negative tests of verify() -------===//
+///
+/// \file
+/// The boundary-tag heap's verify() walker is itself test infrastructure,
+/// so these tests corrupt a healthy heap on purpose and check that every
+/// class of damage is caught. (A verifier that returns true on a corrupt
+/// heap would silently weaken the whole property suite.)
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/BoundaryTagHeap.h"
+
+#include <gtest/gtest.h>
+
+using namespace ddm;
+
+namespace {
+
+/// Builds a heap with an in-use chunk sandwiched between a free chunk and
+/// a guard, returning the payload pointers.
+struct Fixture {
+  BoundaryTagHeap Heap{4 * 1024 * 1024};
+  void *FreePayload;   ///< A freed chunk sitting in a bin.
+  void *MiddlePayload; ///< In use, after the free chunk.
+  void *GuardPayload;  ///< In use, keeps everything off the wilderness.
+
+  Fixture() {
+    FreePayload = Heap.malloc(256);
+    MiddlePayload = Heap.malloc(128);
+    GuardPayload = Heap.malloc(64);
+    Heap.free(FreePayload);
+    EXPECT_TRUE(Heap.verify());
+  }
+
+  uint64_t &headerOf(void *Payload) {
+    return *reinterpret_cast<uint64_t *>(static_cast<std::byte *>(Payload) - 8);
+  }
+};
+
+} // namespace
+
+TEST(HeapVerifierTest, DetectsCorruptedChunkSize) {
+  Fixture F;
+  F.headerOf(F.MiddlePayload) += 16; // grow the recorded size
+  EXPECT_FALSE(F.Heap.verify());
+}
+
+TEST(HeapVerifierTest, DetectsShrunkChunkSize) {
+  Fixture F;
+  // Shrinking a chunk makes the walk land mid-payload, where the bytes do
+  // not form a valid header.
+  F.headerOf(F.MiddlePayload) -= 16;
+  EXPECT_FALSE(F.Heap.verify());
+}
+
+TEST(HeapVerifierTest, DetectsStalePrevInUseFlag) {
+  Fixture F;
+  // MiddlePayload follows the freed chunk, so its prev-in-use must be 0.
+  F.headerOf(F.MiddlePayload) |= 2;
+  EXPECT_FALSE(F.Heap.verify());
+}
+
+TEST(HeapVerifierTest, DetectsFooterMismatch) {
+  Fixture F;
+  uint64_t Size = F.headerOf(F.FreePayload) & ~15ull;
+  auto *Chunk = static_cast<std::byte *>(F.FreePayload) - 8;
+  *reinterpret_cast<uint64_t *>(Chunk + Size - 8) = Size + 16;
+  EXPECT_FALSE(F.Heap.verify());
+}
+
+TEST(HeapVerifierTest, DetectsFreeChunkMissingFromBins) {
+  Fixture F;
+  // Flip the free chunk to "free" bit pattern inconsistency: mark the
+  // in-use middle chunk free without inserting it into any bin.
+  uint64_t &Header = F.headerOf(F.MiddlePayload);
+  uint64_t Size = Header & ~15ull;
+  Header &= ~1ull; // clear in-use
+  // Give it a plausible footer so only the bin check can catch it.
+  auto *Chunk = static_cast<std::byte *>(F.MiddlePayload) - 8;
+  *reinterpret_cast<uint64_t *>(Chunk + Size - 8) = Size;
+  EXPECT_FALSE(F.Heap.verify());
+}
+
+TEST(HeapVerifierTest, DetectsBrokenBinBackLink) {
+  Fixture F;
+  // Free another chunk of the same size so the bin has two nodes, then
+  // scramble a back-link.
+  void *Second = F.Heap.malloc(256);
+  void *Guard = F.Heap.malloc(64);
+  F.Heap.free(Second);
+  ASSERT_TRUE(F.Heap.verify());
+  auto *Chunk = static_cast<std::byte *>(Second) - 8;
+  *reinterpret_cast<std::byte **>(Chunk + 16) = Chunk; // bck -> itself
+  EXPECT_FALSE(F.Heap.verify());
+  (void)Guard;
+}
+
+TEST(HeapVerifierTest, CleanHeapAlwaysVerifies) {
+  BoundaryTagHeap Heap(1 * 1024 * 1024);
+  EXPECT_TRUE(Heap.verify()); // empty
+  std::vector<void *> Ptrs;
+  for (int I = 0; I < 200; ++I)
+    Ptrs.push_back(Heap.malloc(32 + (I % 7) * 48));
+  EXPECT_TRUE(Heap.verify());
+  for (size_t I = 0; I < Ptrs.size(); I += 2)
+    Heap.free(Ptrs[I]);
+  EXPECT_TRUE(Heap.verify());
+  Heap.reset();
+  EXPECT_TRUE(Heap.verify());
+}

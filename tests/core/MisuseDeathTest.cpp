@@ -1,0 +1,77 @@
+//===- tests/core/MisuseDeathTest.cpp - Programmatic-error handling -------===//
+///
+/// \file
+/// The library's error philosophy (LLVM-style): programmatic errors abort
+/// loudly at the point of failure. These death tests pin down that
+/// misusing the API actually trips the checks rather than corrupting
+/// memory silently.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AllocatorFactory.h"
+#include "core/BoundaryTagHeap.h"
+#include "core/DDmalloc.h"
+#include "support/Error.h"
+
+#include <gtest/gtest.h>
+
+using namespace ddm;
+
+namespace {
+
+DDmallocConfig smallConfig() {
+  DDmallocConfig Config;
+  Config.HeapReserveBytes = 8ull * 1024 * 1024;
+  return Config;
+}
+
+} // namespace
+
+TEST(MisuseDeathTest, FatalAborts) {
+  EXPECT_DEATH(fatal("boom"), "ddmalloc fatal error: boom");
+}
+
+TEST(MisuseDeathTest, UnreachableAborts) {
+  EXPECT_DEATH(unreachable("should not happen"),
+               "unreachable: should not happen");
+}
+
+TEST(MisuseDeathTest, FreeAllOnMallocOnlyAllocatorsAborts) {
+  // The paper's Ruby-study allocators support only the malloc-free
+  // interface; calling freeAll on them is a programming error.
+  for (AllocatorKind Kind :
+       {AllocatorKind::Glibc, AllocatorKind::TCMalloc, AllocatorKind::Hoard}) {
+    auto A = createAllocator(Kind);
+    ASSERT_FALSE(A->supportsBulkFree());
+    EXPECT_DEATH(A->freeAll(), "no bulk free") << allocatorKindName(Kind);
+  }
+}
+
+TEST(MisuseDeathTest, DDmallocForeignPointerFreeAsserts) {
+  DDmallocAllocator A(smallConfig());
+  int Local = 0;
+  EXPECT_DEATH(A.deallocate(&Local), "not from this heap");
+}
+
+TEST(MisuseDeathTest, DDmallocFreeIntoUnusedSegmentAsserts) {
+  DDmallocAllocator A(smallConfig());
+  // An address inside the heap but in a never-allocated segment.
+  void *P = A.allocate(64);
+  auto Addr = reinterpret_cast<uintptr_t>(P) + 4 * A.config().SegmentSize;
+  EXPECT_DEATH(A.deallocate(reinterpret_cast<void *>(Addr)),
+               "unused segment");
+}
+
+TEST(MisuseDeathTest, BoundaryTagDoubleFreeAsserts) {
+  BoundaryTagHeap H(1 << 20);
+  void *P = H.malloc(100);
+  void *Guard = H.malloc(100); // keep the chunk away from the wilderness
+  H.free(P);
+  EXPECT_DEATH(H.free(P), "double free");
+  (void)Guard;
+}
+
+TEST(MisuseDeathTest, BoundaryTagNullFreeAsserts) {
+  BoundaryTagHeap H(1 << 20);
+  EXPECT_DEATH(H.free(nullptr), "bad pointer");
+}

@@ -1,0 +1,82 @@
+//===- tests/core/SizeClassesTest.cpp - Size-class ladder tests -----------===//
+
+#include "core/SizeClasses.h"
+
+#include <gtest/gtest.h>
+
+using namespace ddm;
+
+TEST(SizeClassesTest, LadderForPaperSegmentSize) {
+  // 32 KB segments -> small objects up to 16 KB.
+  SizeClassMap Map(16 * 1024);
+  // 16 classes at 8-byte spacing, 12 at 32-byte spacing, 5 powers of two.
+  EXPECT_EQ(Map.numClasses(), 16u + 12u + 5u);
+  EXPECT_EQ(Map.maxSmallSize(), 16u * 1024);
+  EXPECT_EQ(Map.classSize(0), 8u);
+  EXPECT_EQ(Map.classSize(15), 128u);
+  EXPECT_EQ(Map.classSize(16), 160u);
+  EXPECT_EQ(Map.classSize(27), 512u);
+  EXPECT_EQ(Map.classSize(28), 1024u);
+  EXPECT_EQ(Map.classSize(32), 16u * 1024);
+}
+
+TEST(SizeClassesTest, Rule1MultiplesOf8Below128) {
+  SizeClassMap Map(16 * 1024);
+  EXPECT_EQ(Map.roundedSize(1), 8u);
+  EXPECT_EQ(Map.roundedSize(8), 8u);
+  EXPECT_EQ(Map.roundedSize(9), 16u);
+  EXPECT_EQ(Map.roundedSize(63), 64u);
+  EXPECT_EQ(Map.roundedSize(121), 128u);
+  EXPECT_EQ(Map.roundedSize(128), 128u);
+}
+
+TEST(SizeClassesTest, Rule2MultiplesOf32Below512) {
+  SizeClassMap Map(16 * 1024);
+  EXPECT_EQ(Map.roundedSize(129), 160u);
+  EXPECT_EQ(Map.roundedSize(160), 160u);
+  EXPECT_EQ(Map.roundedSize(161), 192u);
+  EXPECT_EQ(Map.roundedSize(481), 512u);
+  EXPECT_EQ(Map.roundedSize(512), 512u);
+}
+
+TEST(SizeClassesTest, Rule3PowersOfTwoAbove512) {
+  SizeClassMap Map(16 * 1024);
+  EXPECT_EQ(Map.roundedSize(513), 1024u);
+  EXPECT_EQ(Map.roundedSize(1024), 1024u);
+  EXPECT_EQ(Map.roundedSize(1025), 2048u);
+  EXPECT_EQ(Map.roundedSize(5000), 8192u);
+  EXPECT_EQ(Map.roundedSize(16 * 1024), 16u * 1024);
+}
+
+TEST(SizeClassesTest, ZeroMapsToSmallestClass) {
+  SizeClassMap Map(16 * 1024);
+  EXPECT_EQ(Map.classFor(0), 0u);
+  EXPECT_EQ(Map.roundedSize(0), 8u);
+}
+
+TEST(SizeClassesTest, IsSmallBoundary) {
+  SizeClassMap Map(16 * 1024);
+  EXPECT_TRUE(Map.isSmall(16 * 1024));
+  EXPECT_FALSE(Map.isSmall(16 * 1024 + 1));
+}
+
+TEST(SizeClassesTest, RoundTripAndMonotonicity) {
+  SizeClassMap Map(16 * 1024);
+  for (unsigned Class = 0; Class < Map.numClasses(); ++Class) {
+    size_t Size = Map.classSize(Class);
+    EXPECT_EQ(Map.classFor(Size), Class)
+        << "class size must map back to its class (" << Size << ")";
+    if (Class > 0) {
+      EXPECT_GT(Size, Map.classSize(Class - 1));
+    }
+  }
+  // Every size rounds up, never down.
+  for (size_t Size = 0; Size <= 16 * 1024; Size += 7)
+    EXPECT_GE(Map.roundedSize(Size), Size);
+}
+
+TEST(SizeClassesTest, SmallerSegmentShortensTheLadder) {
+  SizeClassMap Map(4096);
+  EXPECT_EQ(Map.maxSmallSize(), 4096u);
+  EXPECT_EQ(Map.numClasses(), 16u + 12u + 3u); // 1024, 2048, 4096
+}

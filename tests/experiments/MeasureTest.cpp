@@ -1,0 +1,81 @@
+//===- tests/experiments/MeasureTest.cpp - Harness unit tests -------------===//
+
+#include "experiments/Measure.h"
+
+#include <gtest/gtest.h>
+
+using namespace ddm;
+
+namespace {
+
+SimulationOptions tinyOptions() {
+  SimulationOptions Options;
+  Options.Scale = 0.05;
+  Options.WarmupTx = 1;
+  Options.MeasureTx = 2;
+  Options.Seed = 5;
+  return Options;
+}
+
+} // namespace
+
+TEST(MeasureTest, PercentOver) {
+  EXPECT_NEAR(percentOver(110.0, 100.0), 10.0, 1e-9);
+  EXPECT_NEAR(percentOver(75.0, 100.0), -25.0, 1e-9);
+  EXPECT_DOUBLE_EQ(percentOver(5.0, 0.0), 0.0); // guarded division
+}
+
+TEST(MeasureTest, SimulateIsDeterministic) {
+  WorkloadSpec W = phpBb();
+  Platform P = xeonLike();
+  SimPoint A = simulate(W, AllocatorKind::DDmalloc, P, 4, tinyOptions());
+  SimPoint B = simulate(W, AllocatorKind::DDmalloc, P, 4, tinyOptions());
+  EXPECT_DOUBLE_EQ(A.Perf.TxPerSec, B.Perf.TxPerSec);
+  EXPECT_DOUBLE_EQ(A.Perf.CyclesPerTx, B.Perf.CyclesPerTx);
+  EXPECT_EQ(A.Events.total().L2Misses, B.Events.total().L2Misses);
+}
+
+TEST(MeasureTest, SeedChangesTheRunButNotTheShape) {
+  WorkloadSpec W = phpBb();
+  Platform P = xeonLike();
+  SimulationOptions O1 = tinyOptions(), O2 = tinyOptions();
+  O2.Seed = 6;
+  SimPoint A = simulate(W, AllocatorKind::DDmalloc, P, 4, O1);
+  SimPoint B = simulate(W, AllocatorKind::DDmalloc, P, 4, O2);
+  EXPECT_NE(A.Perf.CyclesPerTx, B.Perf.CyclesPerTx);
+  // Same order of magnitude: the workload model, not the seed, dominates.
+  EXPECT_NEAR(A.Perf.CyclesPerTx / B.Perf.CyclesPerTx, 1.0, 0.2);
+}
+
+TEST(MeasureTest, EventsAreAveragedPerTransaction) {
+  WorkloadSpec W = phpBb();
+  Platform P = xeonLike();
+  SimulationOptions Short = tinyOptions();
+  SimulationOptions Long = tinyOptions();
+  Long.MeasureTx = 6;
+  SimPoint A = simulate(W, AllocatorKind::Region, P, 1, Short);
+  SimPoint B = simulate(W, AllocatorKind::Region, P, 1, Long);
+  // Per-transaction instruction counts are independent of how many
+  // transactions were measured (within noise).
+  EXPECT_NEAR(A.Perf.InstructionsPerTx / B.Perf.InstructionsPerTx, 1.0, 0.05);
+}
+
+TEST(MeasureTest, MmShareRespondsToTheAllocator) {
+  WorkloadSpec W = phpBb();
+  Platform P = xeonLike();
+  SimPoint Default = simulate(W, AllocatorKind::Default, P, 1, tinyOptions());
+  SimPoint Region = simulate(W, AllocatorKind::Region, P, 1, tinyOptions());
+  double DefaultShare = Default.Perf.MmCyclesPerTx / Default.Perf.CyclesPerTx;
+  double RegionShare = Region.Perf.MmCyclesPerTx / Region.Perf.CyclesPerTx;
+  EXPECT_GT(DefaultShare, 3.0 * RegionShare);
+}
+
+TEST(MeasureTest, LargePageOptionReachesTheTlbModel) {
+  WorkloadSpec W = phpBb();
+  Platform P = xeonLike();
+  SimulationOptions Options = tinyOptions();
+  SimPoint Small = simulate(W, AllocatorKind::DDmalloc, P, 1, Options);
+  Options.LargePages = true;
+  SimPoint Large = simulate(W, AllocatorKind::DDmalloc, P, 1, Options);
+  EXPECT_LT(Large.Events.total().TlbMisses, Small.Events.total().TlbMisses);
+}

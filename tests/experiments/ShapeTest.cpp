@@ -1,0 +1,178 @@
+//===- tests/experiments/ShapeTest.cpp - End-to-end paper shapes ----------===//
+///
+/// \file
+/// Integration tests asserting the paper's qualitative results end-to-end
+/// through the full pipeline (workload -> runtime -> machine model). These
+/// run at a reduced workload scale to stay fast; the bench binaries
+/// reproduce the full-scale numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "experiments/Measure.h"
+
+#include <gtest/gtest.h>
+
+using namespace ddm;
+
+namespace {
+
+SimulationOptions quickOptions() {
+  SimulationOptions Options;
+  Options.Scale = 0.35;
+  Options.WarmupTx = 1;
+  Options.MeasureTx = 2;
+  Options.Seed = 1;
+  return Options;
+}
+
+} // namespace
+
+TEST(ShapeTest, RegionBeatsDefaultOnOneXeonCore) {
+  // Paper Table 4: the region allocator improves every workload on 1 core.
+  WorkloadSpec W = mediaWikiReadOnly();
+  Platform P = xeonLike();
+  SimPoint Default = simulate(W, AllocatorKind::Default, P, 1, quickOptions());
+  SimPoint Region = simulate(W, AllocatorKind::Region, P, 1, quickOptions());
+  EXPECT_GT(Region.Perf.TxPerSec, Default.Perf.TxPerSec);
+}
+
+TEST(ShapeTest, RegionLosesToDefaultOnEightXeonCores) {
+  // Paper's headline: at 8 Xeon cores the region allocator degrades
+  // malloc-heavy workloads (up to -27.2%).
+  WorkloadSpec W = mediaWikiReadOnly();
+  Platform P = xeonLike();
+  SimPoint Default = simulate(W, AllocatorKind::Default, P, 8, quickOptions());
+  SimPoint Region = simulate(W, AllocatorKind::Region, P, 8, quickOptions());
+  EXPECT_LT(Region.Perf.TxPerSec, Default.Perf.TxPerSec);
+  // And the mechanism is the bus: region saturates it.
+  EXPECT_GT(Region.Perf.BusUtilization, Default.Perf.BusUtilization + 0.2);
+  EXPECT_GT(Region.Perf.BusBytesPerTx, 2.0 * Default.Perf.BusBytesPerTx);
+}
+
+TEST(ShapeTest, DDmallocBestOnEightCoresBothPlatforms) {
+  WorkloadSpec W = mediaWikiReadOnly();
+  for (const Platform &P : {xeonLike(), niagaraLike()}) {
+    SimPoint Default = simulate(W, AllocatorKind::Default, P, 8, quickOptions());
+    SimPoint Region = simulate(W, AllocatorKind::Region, P, 8, quickOptions());
+    SimPoint DDm = simulate(W, AllocatorKind::DDmalloc, P, 8, quickOptions());
+    EXPECT_GT(DDm.Perf.TxPerSec, Default.Perf.TxPerSec) << P.Name;
+    EXPECT_GT(DDm.Perf.TxPerSec, Region.Perf.TxPerSec) << P.Name;
+  }
+}
+
+TEST(ShapeTest, RegionDegradationMilderOnNiagara) {
+  // Paper: Niagara's bandwidth headroom keeps the region allocator
+  // roughly competitive at 8 cores.
+  WorkloadSpec W = mediaWikiReadOnly();
+  SimPoint XeonDefault =
+      simulate(W, AllocatorKind::Default, xeonLike(), 8, quickOptions());
+  SimPoint XeonRegion =
+      simulate(W, AllocatorKind::Region, xeonLike(), 8, quickOptions());
+  SimPoint NiagaraDefault =
+      simulate(W, AllocatorKind::Default, niagaraLike(), 8, quickOptions());
+  SimPoint NiagaraRegion =
+      simulate(W, AllocatorKind::Region, niagaraLike(), 8, quickOptions());
+  double XeonDelta =
+      percentOver(XeonRegion.Perf.TxPerSec, XeonDefault.Perf.TxPerSec);
+  double NiagaraDelta =
+      percentOver(NiagaraRegion.Perf.TxPerSec, NiagaraDefault.Perf.TxPerSec);
+  EXPECT_GT(NiagaraDelta, XeonDelta + 5.0);
+}
+
+TEST(ShapeTest, MemoryManagementShareShrinksInPaperOrder) {
+  // Paper Figure 6: region cuts ~85% of the default's memory-management
+  // time, DDmalloc ~56%.
+  WorkloadSpec W = mediaWikiReadOnly();
+  Platform P = xeonLike();
+  SimPoint Default = simulate(W, AllocatorKind::Default, P, 8, quickOptions());
+  SimPoint Region = simulate(W, AllocatorKind::Region, P, 8, quickOptions());
+  SimPoint DDm = simulate(W, AllocatorKind::DDmalloc, P, 8, quickOptions());
+  double Base = Default.Perf.MmCyclesPerTx;
+  EXPECT_LT(Region.Perf.MmCyclesPerTx, 0.3 * Base);
+  EXPECT_LT(DDm.Perf.MmCyclesPerTx, 0.75 * Base);
+  EXPECT_GT(DDm.Perf.MmCyclesPerTx, Region.Perf.MmCyclesPerTx);
+}
+
+TEST(ShapeTest, RegionConsumesSeveralTimesMoreMemory) {
+  // Paper Figure 9.
+  WorkloadSpec W = mediaWikiReadOnly();
+  Platform P = xeonLike();
+  SimPoint Default = simulate(W, AllocatorKind::Default, P, 1, quickOptions());
+  SimPoint Region = simulate(W, AllocatorKind::Region, P, 1, quickOptions());
+  SimPoint DDm = simulate(W, AllocatorKind::DDmalloc, P, 1, quickOptions());
+  EXPECT_GT(Region.MeanConsumptionBytes, 2.0 * Default.MeanConsumptionBytes);
+  EXPECT_LT(DDm.MeanConsumptionBytes, 2.0 * Default.MeanConsumptionBytes);
+}
+
+TEST(ShapeTest, DDmallocWinsTheRubyStudy) {
+  // Paper Figures 10/11: DDmalloc beats glibc/Hoard/TCmalloc without even
+  // using freeAll, and spends the least time in memory operations.
+  const WorkloadSpec *W = findWorkload("rails");
+  ASSERT_NE(W, nullptr);
+  Platform P = xeonLike();
+  SimulationOptions Options = quickOptions();
+  Options.Scale = 0.1;
+  Options.WarmupTx = 5;
+  Options.MeasureTx = 10;
+
+  double GlibcTps = 0, GlibcMm = 0;
+  double DDmTps = 0, DDmMm = 0;
+  for (AllocatorKind Kind : rubyStudyAllocatorKinds()) {
+    RuntimeConfig Config;
+    Config.Kind = Kind;
+    Config.UseBulkFree = false;
+    Config.RestartPeriodTx = 50;
+    SimPoint Point = simulateRuntime(*W, Config, P, 8, Options);
+    if (Kind == AllocatorKind::Glibc) {
+      GlibcTps = Point.Perf.TxPerSec;
+      GlibcMm = Point.Perf.MmCyclesPerTx;
+    }
+    if (Kind == AllocatorKind::DDmalloc) {
+      DDmTps = Point.Perf.TxPerSec;
+      DDmMm = Point.Perf.MmCyclesPerTx;
+    }
+  }
+  EXPECT_GT(DDmTps, GlibcTps);
+  EXPECT_LT(DDmMm, 0.5 * GlibcMm);
+}
+
+TEST(ShapeTest, ObstackIsARegionButSlowerThanOurs) {
+  // Paper Section 4.1: "our own region-based allocator outperformed the
+  // obstack".
+  WorkloadSpec W = phpBb();
+  Platform P = xeonLike();
+  SimulationOptions Options = quickOptions();
+  SimPoint Region = simulate(W, AllocatorKind::Region, P, 1, Options);
+  SimPoint Obstack = simulate(W, AllocatorKind::Obstack, P, 1, Options);
+  EXPECT_GE(Region.Perf.TxPerSec, Obstack.Perf.TxPerSec);
+}
+
+TEST(ShapeTest, LargePagesHelpDDmalloc) {
+  // Paper Section 4.3: enabling large pages on Xeon raises DDmalloc's
+  // improvement; D-TLB misses drop sharply.
+  WorkloadSpec W = mediaWikiReadOnly();
+  Platform P = xeonLike();
+  SimulationOptions Options = quickOptions();
+  SimPoint Small = simulate(W, AllocatorKind::DDmalloc, P, 8, Options);
+  Options.LargePages = true;
+  SimPoint Large = simulate(W, AllocatorKind::DDmalloc, P, 8, Options);
+  EXPECT_GE(Large.Perf.TxPerSec, Small.Perf.TxPerSec);
+  EXPECT_LT(Large.Events.total().TlbMisses,
+            Small.Events.total().TlbMisses / 2);
+}
+
+TEST(ShapeTest, ScalingSaturatesForRegionButNotDDmalloc) {
+  // Paper Figure 7 / Table 4: speedup from 1 to 8 cores.
+  WorkloadSpec W = mediaWikiReadOnly();
+  Platform P = xeonLike();
+  auto SpeedupOf = [&](AllocatorKind Kind) {
+    SimPoint One = simulate(W, Kind, P, 1, quickOptions());
+    SimPoint Eight = simulate(W, Kind, P, 8, quickOptions());
+    return Eight.Perf.TxPerSec / One.Perf.TxPerSec;
+  };
+  double DefaultSpeedup = SpeedupOf(AllocatorKind::Default);
+  double RegionSpeedup = SpeedupOf(AllocatorKind::Region);
+  double DDmSpeedup = SpeedupOf(AllocatorKind::DDmalloc);
+  EXPECT_LT(RegionSpeedup, DefaultSpeedup - 1.0);
+  EXPECT_GT(DDmSpeedup, RegionSpeedup);
+}

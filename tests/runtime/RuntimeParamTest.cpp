@@ -1,0 +1,137 @@
+//===- tests/runtime/RuntimeParamTest.cpp - Runtime x allocator sweeps ----===//
+///
+/// \file
+/// The full transaction engine driven against every allocator, with the
+/// built-in canary checks acting as heap-corruption detectors (the
+/// runtime calls fatal() if any object's contents are damaged while
+/// live). Parameterized over (allocator, workload).
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TransactionRuntime.h"
+#include "sim/SimSink.h"
+
+#include <gtest/gtest.h>
+
+using namespace ddm;
+
+namespace {
+
+class RuntimeParamTest
+    : public ::testing::TestWithParam<std::tuple<AllocatorKind, std::string>> {
+protected:
+  AllocatorKind kind() const { return std::get<0>(GetParam()); }
+  const WorkloadSpec &workload() const {
+    const WorkloadSpec *W = findWorkload(std::get<1>(GetParam()));
+    EXPECT_NE(W, nullptr);
+    return *W;
+  }
+
+  RuntimeConfig config() const {
+    RuntimeConfig Config;
+    Config.Kind = kind();
+    Config.UseBulkFree = createAllocator(kind())->supportsBulkFree();
+    Config.Scale = 0.05;
+    return Config;
+  }
+};
+
+} // namespace
+
+TEST_P(RuntimeParamTest, TransactionsRunCleanlyWithCanaries) {
+  // Three transactions; any cross-object corruption trips the runtime's
+  // canary checks (fatal/abort) and fails the test hard.
+  TransactionRuntime Runtime(workload(), config());
+  for (int I = 0; I < 3; ++I)
+    Runtime.executeTransaction();
+  EXPECT_EQ(Runtime.metrics().Transactions, 3u);
+}
+
+TEST_P(RuntimeParamTest, AllocatorStatsAgreeWithTrace) {
+  RuntimeConfig Config = config();
+  Config.LeakFraction = 0.0;
+  TransactionRuntime Runtime(workload(), Config);
+  Runtime.executeTransaction();
+  const RuntimeMetrics &M = Runtime.metrics();
+  const AllocatorStats &S = Runtime.allocator().stats();
+  // Reallocs may allocate internally, so MallocCalls >= trace mallocs.
+  EXPECT_GE(S.MallocCalls, M.TotalTrace.Mallocs);
+  EXPECT_EQ(S.ReallocCalls, M.TotalTrace.Reallocs);
+  if (Config.UseBulkFree) {
+    EXPECT_EQ(S.FreeAllCalls, 1u);
+  } else {
+    // Ruby mode with no leak: every object went through per-object free.
+    EXPECT_EQ(S.UsableBytesLive, 0u);
+  }
+}
+
+TEST_P(RuntimeParamTest, SimulatedRunMatchesNativeRunLogically) {
+  // The same seed with and without a sink must produce identical traces:
+  // instrumentation must not perturb behaviour.
+  RuntimeConfig Config = config();
+  Config.Seed = 321;
+  TransactionRuntime Native(workload(), Config);
+  Native.executeTransaction();
+
+  Platform P = xeonLike();
+  SimSink Sink(P, 2);
+  TransactionRuntime Simulated(workload(), Config, &Sink);
+  Simulated.executeTransaction();
+
+  EXPECT_EQ(Native.metrics().TotalTrace.Mallocs,
+            Simulated.metrics().TotalTrace.Mallocs);
+  EXPECT_EQ(Native.metrics().TotalTrace.AllocatedBytes,
+            Simulated.metrics().TotalTrace.AllocatedBytes);
+  EXPECT_EQ(Native.metrics().ConsumptionBytes.mean(),
+            Simulated.metrics().ConsumptionBytes.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllocatorsByWorkload, RuntimeParamTest,
+    ::testing::Combine(::testing::ValuesIn(allAllocatorKinds()),
+                       ::testing::Values(std::string("phpbb"),
+                                         std::string("specweb"))),
+    [](const ::testing::TestParamInfo<std::tuple<AllocatorKind, std::string>>
+           &Info) {
+      return std::string(allocatorKindName(std::get<0>(Info.param))) + "_" +
+             std::get<1>(Info.param);
+    });
+
+TEST(GcFrequencyTest, LongerBulkFreePeriodsGrowTheHeap) {
+  // The Section 5 knob: collecting every N transactions lets N
+  // transactions of garbage accumulate (a GC heap filling up).
+  const WorkloadSpec *W = findWorkload("phpbb");
+  ASSERT_NE(W, nullptr);
+  uint64_t LastConsumption = 0;
+  for (uint64_t Period : {1u, 2u, 4u}) {
+    RuntimeConfig Config;
+    Config.Kind = AllocatorKind::Region;
+    Config.BulkFreePeriodTx = Period;
+    Config.Scale = 0.1;
+    TransactionRuntime Runtime(*W, Config);
+    for (int I = 0; I < 8; ++I)
+      Runtime.executeTransaction();
+    auto Consumption =
+        static_cast<uint64_t>(Runtime.metrics().ConsumptionBytes.max());
+    EXPECT_GT(Consumption, LastConsumption) << "period " << Period;
+    LastConsumption = Consumption;
+    // freeAll ran exactly 8 / Period times.
+    EXPECT_EQ(Runtime.allocator().stats().FreeAllCalls, 8 / Period);
+  }
+}
+
+TEST(GcFrequencyTest, PeriodOneIsTheDefaultBehaviour) {
+  const WorkloadSpec *W = findWorkload("phpbb");
+  RuntimeConfig A;
+  A.Kind = AllocatorKind::Region;
+  A.Scale = 0.05;
+  RuntimeConfig B = A;
+  B.BulkFreePeriodTx = 1;
+  TransactionRuntime Ra(*W, A), Rb(*W, B);
+  for (int I = 0; I < 3; ++I) {
+    Ra.executeTransaction();
+    Rb.executeTransaction();
+  }
+  EXPECT_EQ(Ra.allocator().stats().FreeAllCalls,
+            Rb.allocator().stats().FreeAllCalls);
+}

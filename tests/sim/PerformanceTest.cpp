@@ -1,0 +1,134 @@
+//===- tests/sim/PerformanceTest.cpp - Performance model tests ------------===//
+
+#include "sim/Performance.h"
+
+#include <gtest/gtest.h>
+
+using namespace ddm;
+
+namespace {
+
+/// A CPU-only workload profile: no misses at all.
+PerTxEvents cpuOnly(uint64_t Instructions) {
+  PerTxEvents E;
+  E.App.Instructions = Instructions;
+  E.AppCodeFootprintBytes = 16 * 1024; // fits in L1I: no I-misses
+  E.AllocCodeFootprintBytes = 0;
+  return E;
+}
+
+} // namespace
+
+TEST(PerformanceTest, CpuBoundThroughputMatchesIpc) {
+  Platform P = xeonLike();
+  PerTxEvents E = cpuOnly(10'000'000);
+  PerfResult R = evaluatePerformance(P, E, 1);
+  // cycles = instr / IPC; tx/s = freq / cycles.
+  EXPECT_NEAR(R.CyclesPerTx, 10e6 / P.BaseIpc, 1e3);
+  EXPECT_NEAR(R.TxPerSec, P.FreqGHz * 1e9 / R.CyclesPerTx, 1.0);
+  EXPECT_NEAR(R.BusUtilization, 0.0, 1e-9);
+}
+
+TEST(PerformanceTest, CpuBoundScalesLinearlyWithCores) {
+  Platform P = xeonLike();
+  PerTxEvents E = cpuOnly(10'000'000);
+  PerfResult One = evaluatePerformance(P, E, 1);
+  PerfResult Eight = evaluatePerformance(P, E, 8);
+  EXPECT_NEAR(Eight.TxPerSec / One.TxPerSec, 8.0, 0.01);
+}
+
+TEST(PerformanceTest, MemoryStallsAddCycles) {
+  Platform P = xeonLike();
+  PerTxEvents Clean = cpuOnly(10'000'000);
+  PerTxEvents Missy = Clean;
+  Missy.App.L2Misses = 50'000;
+  Missy.App.L1DMisses = 50'000;
+  PerfResult A = evaluatePerformance(P, Clean, 1);
+  PerfResult B = evaluatePerformance(P, Missy, 1);
+  EXPECT_GT(B.CyclesPerTx, A.CyclesPerTx + 50'000 * P.MemLatencyCycles * 0.5);
+}
+
+TEST(PerformanceTest, BusSaturationLimitsThroughput) {
+  Platform P = xeonLike();
+  PerTxEvents E = cpuOnly(10'000'000);
+  E.App.L2Misses = 200'000; // ~12.8 MB of traffic per transaction
+  E.App.L1DMisses = 200'000;
+  E.App.Writebacks = 100'000;
+  PerfResult One = evaluatePerformance(P, E, 1);
+  PerfResult Eight = evaluatePerformance(P, E, 8);
+  // Eight cores cannot deliver 8x the bandwidth-heavy throughput.
+  EXPECT_LT(Eight.TxPerSec / One.TxPerSec, 5.0);
+  EXPECT_GT(Eight.BusUtilization, 0.6);
+  // The bandwidth ceiling itself is respected.
+  double BytesPerSec = Eight.TxPerSec * Eight.BusBytesPerTx;
+  EXPECT_LE(BytesPerSec, P.BusBytesPerCycle * P.FreqGHz * 1e9 * 1.01);
+}
+
+TEST(PerformanceTest, NiagaraThreadsHideMemoryLatency) {
+  Platform P = niagaraLike();
+  PerTxEvents E = cpuOnly(10'000'000);
+  E.App.L2Misses = 30'000;
+  E.App.L1DMisses = 30'000;
+  PerfResult R = evaluatePerformance(P, E, 1);
+  // Four threads overlap the stalls: the core stays issue-bound, so the
+  // throughput matches the no-miss case.
+  PerfResult Clean = evaluatePerformance(P, cpuOnly(10'000'000), 1);
+  EXPECT_NEAR(R.TxPerSec, Clean.TxPerSec, Clean.TxPerSec * 0.02);
+  // A single-threaded core could not do that.
+  Platform SingleThreaded = P;
+  SingleThreaded.ThreadsPerCore = 1;
+  PerfResult S = evaluatePerformance(SingleThreaded, E, 1);
+  EXPECT_LT(S.TxPerSec, 0.8 * R.TxPerSec);
+}
+
+TEST(PerformanceTest, TlbMissesCostTheirPenalty) {
+  Platform P = xeonLike();
+  PerTxEvents Clean = cpuOnly(10'000'000);
+  PerTxEvents Tlb = Clean;
+  Tlb.App.TlbMisses = 100'000;
+  PerfResult A = evaluatePerformance(P, Clean, 1);
+  PerfResult B = evaluatePerformance(P, Tlb, 1);
+  EXPECT_NEAR(B.CyclesPerTx - A.CyclesPerTx,
+              100'000 * P.TlbMissPenaltyCycles, 1e4);
+}
+
+TEST(PerformanceTest, CodeFootprintDrivesL1IMisses) {
+  Platform P = xeonLike();
+  PerTxEvents SmallCode = cpuOnly(10'000'000);
+  PerTxEvents BigCode = SmallCode;
+  BigCode.AppCodeFootprintBytes = 96 * 1024;
+  BigCode.AllocCodeFootprintBytes = 8 * 1024;
+  PerfResult A = evaluatePerformance(P, SmallCode, 1);
+  PerfResult B = evaluatePerformance(P, BigCode, 1);
+  EXPECT_EQ(A.L1IMissesPerTx, 0.0);
+  EXPECT_GT(B.L1IMissesPerTx, 0.0);
+  EXPECT_GT(B.CyclesPerTx, A.CyclesPerTx);
+}
+
+TEST(PerformanceTest, DomainAttributionSumsToTotal) {
+  Platform P = xeonLike();
+  PerTxEvents E;
+  E.App.Instructions = 8'000'000;
+  E.Mm.Instructions = 2'000'000;
+  E.App.L2Misses = 10'000;
+  E.Mm.L2Misses = 3'000;
+  E.App.L1DMisses = 15'000;
+  E.Mm.L1DMisses = 5'000;
+  PerfResult R = evaluatePerformance(P, E, 4);
+  EXPECT_NEAR(R.AppCyclesPerTx + R.MmCyclesPerTx, R.CyclesPerTx, 1.0);
+  EXPECT_GT(R.AppCyclesPerTx, R.MmCyclesPerTx);
+}
+
+TEST(PerformanceTest, ContentionMonotonicInCoreCount) {
+  Platform P = xeonLike();
+  PerTxEvents E = cpuOnly(20'000'000);
+  E.App.L2Misses = 100'000;
+  E.App.L1DMisses = 100'000;
+  double LastPerCore = 1e18;
+  for (unsigned Cores : {1u, 2u, 4u, 8u}) {
+    PerfResult R = evaluatePerformance(P, E, Cores);
+    double PerCore = R.TxPerSec / Cores;
+    EXPECT_LE(PerCore, LastPerCore * 1.0001) << Cores << " cores";
+    LastPerCore = PerCore;
+  }
+}

@@ -1,0 +1,53 @@
+//===- tests/sim/PlatformTest.cpp - Platform preset sanity ----------------===//
+
+#include "sim/Platform.h"
+
+#include <gtest/gtest.h>
+
+using namespace ddm;
+
+TEST(PlatformTest, XeonPreset) {
+  Platform P = xeonLike();
+  EXPECT_EQ(P.Name, "xeon");
+  EXPECT_EQ(P.Cores, 8u);
+  EXPECT_EQ(P.ThreadsPerCore, 1u);
+  EXPECT_EQ(P.totalThreads(), 8u);
+  EXPECT_TRUE(P.HasPrefetcher);
+  EXPECT_GT(P.OooOverlap, 0.0);
+  EXPECT_EQ(P.CoresPerL2, 2u); // Clovertown: 4 MB L2 per core pair
+  EXPECT_EQ(P.L2Bytes, 4ull * 1024 * 1024);
+}
+
+TEST(PlatformTest, NiagaraPreset) {
+  Platform P = niagaraLike();
+  EXPECT_EQ(P.Name, "niagara");
+  EXPECT_EQ(P.Cores, 8u);
+  EXPECT_EQ(P.ThreadsPerCore, 4u);
+  EXPECT_EQ(P.totalThreads(), 32u);
+  EXPECT_FALSE(P.HasPrefetcher); // T1 has no hardware prefetcher
+  EXPECT_EQ(P.OooOverlap, 0.0);  // in-order pipeline
+  EXPECT_EQ(P.CoresPerL2, 8u);   // one L2 shared chip-wide
+}
+
+TEST(PlatformTest, TheContrastsThePaperRelysOn) {
+  Platform Xeon = xeonLike();
+  Platform Niagara = niagaraLike();
+  // "The Xeon processor focuses on fast single-thread performance ...
+  // higher frequency, larger cache memories, a hardware memory
+  // prefetcher, and out-of-order cores."
+  EXPECT_GT(Xeon.FreqGHz, Niagara.FreqGHz);
+  EXPECT_GT(Xeon.L1D.SizeBytes, Niagara.L1D.SizeBytes);
+  EXPECT_GT(Xeon.BaseIpc, Niagara.BaseIpc);
+  // "Niagara provides relatively higher memory bandwidth than Xeon":
+  // bytes per cycle per core-clock, and per unit of compute.
+  double XeonBandwidthPerCompute =
+      Xeon.BusBytesPerCycle / (Xeon.Cores * Xeon.BaseIpc);
+  double NiagaraBandwidthPerCompute =
+      Niagara.BusBytesPerCycle / (Niagara.Cores * Niagara.BaseIpc);
+  EXPECT_GT(NiagaraBandwidthPerCompute, XeonBandwidthPerCompute);
+  // Software TLB refill is costlier on Niagara.
+  EXPECT_GT(Niagara.TlbMissPenaltyCycles, Xeon.TlbMissPenaltyCycles);
+  // Large pages exist on both (4 MB class on Niagara).
+  EXPECT_GE(Niagara.LargePageBytes, 4ull * 1024 * 1024);
+  EXPECT_GT(Xeon.LargePageBytes, Xeon.PageBytes);
+}

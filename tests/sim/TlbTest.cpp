@@ -1,0 +1,58 @@
+//===- tests/sim/TlbTest.cpp - TLB model unit tests -----------------------===//
+
+#include "sim/Tlb.h"
+
+#include <gtest/gtest.h>
+
+using namespace ddm;
+
+TEST(TlbTest, SamePageHits) {
+  Tlb T(16, 4096);
+  EXPECT_FALSE(T.access(0x1000));
+  EXPECT_TRUE(T.access(0x1FFF));
+  EXPECT_FALSE(T.access(0x2000)); // next page
+  EXPECT_EQ(T.hits(), 1u);
+  EXPECT_EQ(T.misses(), 2u);
+}
+
+TEST(TlbTest, LruReplacement) {
+  Tlb T(2, 4096);
+  T.access(0x0000);  // page 0
+  T.access(0x1000);  // page 1
+  T.access(0x0000);  // page 0 most recent
+  T.access(0x2000);  // page 2 evicts page 1
+  EXPECT_TRUE(T.access(0x0000));
+  EXPECT_FALSE(T.access(0x1000)); // was evicted
+}
+
+TEST(TlbTest, LargePagesCoverMoreAddressSpace) {
+  Tlb Small(8, 4096);
+  Tlb Large(8, 4 * 1024 * 1024);
+  // Touch 64 KB at page strides.
+  uint64_t SmallMisses = 0, LargeMisses = 0;
+  for (int Round = 0; Round < 2; ++Round) {
+    for (uintptr_t Addr = 0; Addr < 64 * 1024; Addr += 4096) {
+      if (!Small.access(Addr))
+        ++SmallMisses;
+      if (!Large.access(Addr))
+        ++LargeMisses;
+    }
+  }
+  // 16 4-KB pages do not fit in 8 entries; one 4-MB page covers it all.
+  EXPECT_EQ(LargeMisses, 1u);
+  EXPECT_GT(SmallMisses, 16u);
+}
+
+TEST(TlbTest, PageBytesReported) {
+  Tlb T(4, 8192);
+  EXPECT_EQ(T.pageBytes(), 8192u);
+}
+
+TEST(TlbTest, ResetClearsEntries) {
+  Tlb T(4, 4096);
+  T.access(0x1000);
+  T.reset();
+  EXPECT_EQ(T.hits(), 0u);
+  EXPECT_EQ(T.misses(), 0u);
+  EXPECT_FALSE(T.access(0x1000));
+}

@@ -1,0 +1,69 @@
+//===- tests/support/ArenaTest.cpp - AlignedArena unit tests --------------===//
+
+#include "support/Arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace ddm;
+
+TEST(ArenaTest, BaseIsAligned) {
+  for (size_t Alignment : {4096ul, 32768ul, 1048576ul}) {
+    AlignedArena Arena(1 << 20, Alignment);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(Arena.base()) % Alignment, 0u);
+    EXPECT_GE(Arena.size(), 1u << 20);
+  }
+}
+
+TEST(ArenaTest, MemoryIsZeroedAndWritable) {
+  AlignedArena Arena(64 * 1024, 4096);
+  for (size_t I = 0; I < Arena.size(); I += 997)
+    EXPECT_EQ(Arena.base()[I], std::byte{0});
+  std::memset(Arena.base(), 0xAB, Arena.size());
+  EXPECT_EQ(Arena.base()[Arena.size() - 1], std::byte{0xAB});
+}
+
+TEST(ArenaTest, Contains) {
+  AlignedArena Arena(4096, 4096);
+  EXPECT_TRUE(Arena.contains(Arena.base()));
+  EXPECT_TRUE(Arena.contains(Arena.base() + 4095));
+  EXPECT_FALSE(Arena.contains(Arena.base() + 4096));
+  int Local;
+  EXPECT_FALSE(Arena.contains(&Local));
+}
+
+TEST(ArenaTest, DecommitZeroesContents) {
+  AlignedArena Arena(64 * 1024, 4096);
+  std::memset(Arena.base(), 0xCD, Arena.size());
+  Arena.decommit();
+  for (size_t I = 0; I < Arena.size(); I += 511)
+    EXPECT_EQ(Arena.base()[I], std::byte{0});
+}
+
+TEST(ArenaTest, ResidentBytesGrowsWithTouch) {
+  AlignedArena Arena(1 << 20, 4096);
+  size_t Before = Arena.residentBytes();
+  std::memset(Arena.base(), 1, 512 * 1024);
+  size_t After = Arena.residentBytes();
+  EXPECT_GE(After, Before);
+  EXPECT_GE(After, 512u * 1024);
+}
+
+TEST(ArenaTest, MoveTransfersOwnership) {
+  AlignedArena A(8192, 4096);
+  std::byte *Base = A.base();
+  AlignedArena B(std::move(A));
+  EXPECT_EQ(B.base(), Base);
+  EXPECT_EQ(A.base(), nullptr);
+  AlignedArena C(4096, 4096);
+  C = std::move(B);
+  EXPECT_EQ(C.base(), Base);
+}
+
+TEST(ArenaTest, LazyCommitKeepsLargeReservationsCheap) {
+  // A 1 GiB reservation must not consume 1 GiB of RAM.
+  AlignedArena Arena(1ull << 30, 4096);
+  Arena.base()[0] = std::byte{1};
+  EXPECT_LT(Arena.residentBytes(), 64u * 1024 * 1024);
+}

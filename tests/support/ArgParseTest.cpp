@@ -1,0 +1,101 @@
+//===- tests/support/ArgParseTest.cpp - ArgParser unit tests --------------===//
+
+#include "support/ArgParse.h"
+
+#include <gtest/gtest.h>
+
+using namespace ddm;
+
+namespace {
+
+bool parseArgs(ArgParser &Parser, std::initializer_list<const char *> Args) {
+  std::vector<const char *> Argv = {"prog"};
+  Argv.insert(Argv.end(), Args.begin(), Args.end());
+  return Parser.parse(static_cast<int>(Argv.size()), Argv.data());
+}
+
+} // namespace
+
+TEST(ArgParseTest, AllTypesSpaceForm) {
+  ArgParser P("test");
+  std::string S = "def";
+  int64_t I = 0;
+  uint64_t U = 0;
+  double D = 0;
+  bool B = false;
+  P.addFlag("s", &S, "string");
+  P.addFlag("i", &I, "int");
+  P.addFlag("u", &U, "uint");
+  P.addFlag("d", &D, "double");
+  P.addFlag("b", &B, "bool");
+  EXPECT_TRUE(parseArgs(P, {"--s", "hello", "--i", "-3", "--u", "9", "--d",
+                            "2.5", "--b"}));
+  EXPECT_EQ(S, "hello");
+  EXPECT_EQ(I, -3);
+  EXPECT_EQ(U, 9u);
+  EXPECT_DOUBLE_EQ(D, 2.5);
+  EXPECT_TRUE(B);
+}
+
+TEST(ArgParseTest, EqualsForm) {
+  ArgParser P("test");
+  int64_t I = 0;
+  bool B = true;
+  P.addFlag("i", &I, "int");
+  P.addFlag("b", &B, "bool");
+  EXPECT_TRUE(parseArgs(P, {"--i=17", "--b=false"}));
+  EXPECT_EQ(I, 17);
+  EXPECT_FALSE(B);
+}
+
+TEST(ArgParseTest, NegatedBool) {
+  ArgParser P("test");
+  bool B = true;
+  P.addFlag("color", &B, "bool");
+  EXPECT_TRUE(parseArgs(P, {"--no-color"}));
+  EXPECT_FALSE(B);
+}
+
+TEST(ArgParseTest, UnknownFlagFails) {
+  ArgParser P("test");
+  EXPECT_FALSE(parseArgs(P, {"--nope"}));
+}
+
+TEST(ArgParseTest, MissingValueFails) {
+  ArgParser P("test");
+  int64_t I = 0;
+  P.addFlag("i", &I, "int");
+  EXPECT_FALSE(parseArgs(P, {"--i"}));
+}
+
+TEST(ArgParseTest, BadNumberFails) {
+  ArgParser P("test");
+  int64_t I = 0;
+  uint64_t U = 0;
+  P.addFlag("i", &I, "int");
+  P.addFlag("u", &U, "uint");
+  EXPECT_FALSE(parseArgs(P, {"--i", "abc"}));
+  ArgParser P2("test");
+  P2.addFlag("u", &U, "uint");
+  EXPECT_FALSE(parseArgs(P2, {"--u", "-1"}));
+}
+
+TEST(ArgParseTest, PositionalCollected) {
+  ArgParser P("test");
+  int64_t I = 0;
+  P.addFlag("i", &I, "int");
+  EXPECT_TRUE(parseArgs(P, {"alpha", "--i", "2", "beta"}));
+  ASSERT_EQ(P.positional().size(), 2u);
+  EXPECT_EQ(P.positional()[0], "alpha");
+  EXPECT_EQ(P.positional()[1], "beta");
+}
+
+TEST(ArgParseTest, HelpTextListsFlagsAndDefaults) {
+  ArgParser P("my tool");
+  int64_t I = 42;
+  P.addFlag("iterations", &I, "how many");
+  std::string Help = P.helpText("prog");
+  EXPECT_NE(Help.find("my tool"), std::string::npos);
+  EXPECT_NE(Help.find("--iterations"), std::string::npos);
+  EXPECT_NE(Help.find("42"), std::string::npos);
+}

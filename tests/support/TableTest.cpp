@@ -1,0 +1,82 @@
+//===- tests/support/TableTest.cpp - Table unit tests ---------------------===//
+
+#include "support/Table.h"
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace ddm;
+
+TEST(TableTest, CellsRoundTrip) {
+  Table T({"a", "b", "c"});
+  T.row().cell("x").cell(uint64_t(7)).cell(3.14159, 2);
+  EXPECT_EQ(T.numRows(), 1u);
+  EXPECT_EQ(T.numColumns(), 3u);
+  EXPECT_EQ(T.at(0, 0), "x");
+  EXPECT_EQ(T.at(0, 1), "7");
+  EXPECT_EQ(T.at(0, 2), "3.14");
+}
+
+TEST(TableTest, PercentCellSign) {
+  Table T({"v"});
+  T.row().percentCell(4.05);
+  T.row().percentCell(-27.2);
+  // 4.05 is not exactly representable; printf rounds the stored 4.0499...
+  EXPECT_EQ(T.at(0, 0), "+4.0%");
+  EXPECT_EQ(T.at(1, 0), "-27.2%");
+}
+
+TEST(TableTest, AsciiAlignment) {
+  Table T({"name", "x"});
+  T.row().cell("longvalue").cell("1");
+  T.row().cell("s").cell("22");
+  std::string Text = T.renderAscii();
+  // Header, separator, two rows.
+  int Lines = 0;
+  for (char C : Text)
+    if (C == '\n')
+      ++Lines;
+  EXPECT_EQ(Lines, 4);
+  // The second column starts at the same offset in both data rows.
+  size_t HeaderEnd = Text.find('\n');
+  size_t SepEnd = Text.find('\n', HeaderEnd + 1);
+  std::string Row1 = Text.substr(SepEnd + 1, Text.find('\n', SepEnd + 1) - SepEnd - 1);
+  EXPECT_EQ(Row1.find('1'), std::string("longvalue  ").size());
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table T({"a", "b"});
+  T.row().cell("plain").cell("with,comma");
+  T.row().cell("with\"quote").cell("x");
+  std::string Csv = T.renderCsv();
+  EXPECT_NE(Csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(Csv.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(Csv.find("a,b\n"), std::string::npos);
+}
+
+TEST(TableTest, IntCellTypes) {
+  Table T({"a"});
+  T.row().cell(int64_t(-5));
+  T.row().cell(42);
+  T.row().cell(7u);
+  EXPECT_EQ(T.at(0, 0), "-5");
+  EXPECT_EQ(T.at(1, 0), "42");
+  EXPECT_EQ(T.at(2, 0), "7");
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(formatBytes(512), "512 B");
+  EXPECT_EQ(formatBytes(2048), "2.0 KiB");
+  EXPECT_EQ(formatBytes(3 * 1024 * 1024 + 512 * 1024), "3.5 MiB");
+}
+
+TEST(FormatTest, Count) {
+  EXPECT_EQ(formatCount(7), "7");
+  EXPECT_EQ(formatCount(1234), "1,234");
+  EXPECT_EQ(formatCount(1234567), "1,234,567");
+}
+
+TEST(FormatTest, Relative) {
+  EXPECT_EQ(formatRelative(1.04), "+4.0%");
+  EXPECT_EQ(formatRelative(0.728), "-27.2%");
+}

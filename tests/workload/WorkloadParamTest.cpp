@@ -1,0 +1,112 @@
+//===- tests/workload/WorkloadParamTest.cpp - Per-workload sweeps ---------===//
+///
+/// \file
+/// Parameterized Table-3 validation and protocol checks, one test instance
+/// per (workload, seed).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/TraceGenerator.h"
+#include "workload/WorkloadSpec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+
+using namespace ddm;
+
+namespace {
+
+class WorkloadParamTest
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {
+protected:
+  const WorkloadSpec &workload() const {
+    const WorkloadSpec *W = findWorkload(std::get<0>(GetParam()));
+    EXPECT_NE(W, nullptr);
+    return *W;
+  }
+  uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+class CountingExecutor : public TxExecutor {
+public:
+  void onAlloc(uint32_t Id, size_t Size) override {
+    Live[Id] = Size;
+    TotalBytes += Size;
+    ++Allocs;
+  }
+  void onFree(uint32_t Id) override {
+    ASSERT_EQ(Live.erase(Id), 1u);
+    ++Frees;
+  }
+  void onRealloc(uint32_t Id, size_t OldSize, size_t NewSize) override {
+    auto It = Live.find(Id);
+    ASSERT_NE(It, Live.end());
+    ASSERT_EQ(It->second, OldSize);
+    It->second = NewSize;
+  }
+  void onTouch(uint32_t Id, bool) override {
+    ASSERT_EQ(Live.count(Id), 1u);
+  }
+  void onWork(uint64_t) override {}
+  void onStateTouch(uint64_t, bool) override {}
+
+  std::unordered_map<uint32_t, size_t> Live;
+  uint64_t Allocs = 0, Frees = 0, TotalBytes = 0;
+};
+
+} // namespace
+
+TEST_P(WorkloadParamTest, CallCountsMatchTable3) {
+  Rng R(seed());
+  CountingExecutor Executor;
+  TraceStats Stats = runTransaction(workload(), 1.0, R, Executor);
+  EXPECT_EQ(Stats.Mallocs, workload().MallocCalls);
+  EXPECT_NEAR(static_cast<double>(Stats.Frees),
+              static_cast<double>(workload().FreeCalls),
+              0.03 * workload().FreeCalls + 5.0);
+}
+
+TEST_P(WorkloadParamTest, MeanSizeMatchesTable3) {
+  Rng R(seed());
+  CountingExecutor Executor;
+  TraceStats Stats = runTransaction(workload(), 1.0, R, Executor);
+  // Tolerance includes a sampling term: SPECweb has only ~3k allocations
+  // per transaction and a heavy-tailed size distribution.
+  double Tolerance = workload().MeanAllocBytes *
+                     (0.06 + 8.0 / std::sqrt(static_cast<double>(Stats.Mallocs)));
+  EXPECT_NEAR(Stats.meanAllocBytes(), workload().MeanAllocBytes, Tolerance);
+}
+
+TEST_P(WorkloadParamTest, LeftoversAreTheUnfreedFraction) {
+  Rng R(seed());
+  CountingExecutor Executor;
+  TraceStats Stats = runTransaction(workload(), 1.0, R, Executor);
+  EXPECT_EQ(Executor.Live.size(), Stats.Mallocs - Stats.Frees);
+}
+
+TEST_P(WorkloadParamTest, ScaledRunsKeepRatios) {
+  Rng R(seed());
+  CountingExecutor Executor;
+  TraceStats Stats = runTransaction(workload(), 0.25, R, Executor);
+  double FreeRatio =
+      static_cast<double>(Stats.Frees) / static_cast<double>(Stats.Mallocs);
+  EXPECT_NEAR(FreeRatio, workload().perObjectFreeFraction(), 0.05);
+  double Tolerance = workload().MeanAllocBytes *
+                     (0.08 + 8.0 / std::sqrt(static_cast<double>(Stats.Mallocs)));
+  EXPECT_NEAR(Stats.meanAllocBytes(), workload().MeanAllocBytes, Tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadParamTest,
+    ::testing::Combine(::testing::ValuesIn(workloadNames()),
+                       ::testing::Values(11u, 23u)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, uint64_t>>
+           &Info) {
+      std::string Name = std::get<0>(Info.param);
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name + "_seed" + std::to_string(std::get<1>(Info.param));
+    });
