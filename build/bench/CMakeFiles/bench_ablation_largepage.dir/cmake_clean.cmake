@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_largepage.dir/ablation_largepage.cpp.o"
+  "CMakeFiles/bench_ablation_largepage.dir/ablation_largepage.cpp.o.d"
+  "bench_ablation_largepage"
+  "bench_ablation_largepage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_largepage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

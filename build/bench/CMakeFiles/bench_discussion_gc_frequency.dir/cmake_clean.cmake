@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discussion_gc_frequency.dir/discussion_gc_frequency.cpp.o"
+  "CMakeFiles/bench_discussion_gc_frequency.dir/discussion_gc_frequency.cpp.o.d"
+  "bench_discussion_gc_frequency"
+  "bench_discussion_gc_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discussion_gc_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_event_deltas.dir/fig08_event_deltas.cpp.o"
+  "CMakeFiles/bench_fig08_event_deltas.dir/fig08_event_deltas.cpp.o.d"
+  "bench_fig08_event_deltas"
+  "bench_fig08_event_deltas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_event_deltas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_memory_consumption.dir/fig09_memory_consumption.cpp.o"
+  "CMakeFiles/bench_fig09_memory_consumption.dir/fig09_memory_consumption.cpp.o.d"
+  "bench_fig09_memory_consumption"
+  "bench_fig09_memory_consumption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_memory_consumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_native_allocators.dir/native_allocators.cpp.o"
+  "CMakeFiles/bench_native_allocators.dir/native_allocators.cpp.o.d"
+  "bench_native_allocators"
+  "bench_native_allocators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_native_allocators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_profile_probe.dir/profile_probe.cpp.o"
+  "CMakeFiles/bench_profile_probe.dir/profile_probe.cpp.o.d"
+  "bench_profile_probe"
+  "bench_profile_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profile_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_sim.dir/webserver_sim.cpp.o"
+  "CMakeFiles/webserver_sim.dir/webserver_sim.cpp.o.d"
+  "webserver_sim"
+  "webserver_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AllocatorFactory.cpp" "src/core/CMakeFiles/ddm_core.dir/AllocatorFactory.cpp.o" "gcc" "src/core/CMakeFiles/ddm_core.dir/AllocatorFactory.cpp.o.d"
+  "/root/repo/src/core/BoundaryTagHeap.cpp" "src/core/CMakeFiles/ddm_core.dir/BoundaryTagHeap.cpp.o" "gcc" "src/core/CMakeFiles/ddm_core.dir/BoundaryTagHeap.cpp.o.d"
+  "/root/repo/src/core/DDmalloc.cpp" "src/core/CMakeFiles/ddm_core.dir/DDmalloc.cpp.o" "gcc" "src/core/CMakeFiles/ddm_core.dir/DDmalloc.cpp.o.d"
+  "/root/repo/src/core/GlibcModelAllocator.cpp" "src/core/CMakeFiles/ddm_core.dir/GlibcModelAllocator.cpp.o" "gcc" "src/core/CMakeFiles/ddm_core.dir/GlibcModelAllocator.cpp.o.d"
+  "/root/repo/src/core/HoardModel.cpp" "src/core/CMakeFiles/ddm_core.dir/HoardModel.cpp.o" "gcc" "src/core/CMakeFiles/ddm_core.dir/HoardModel.cpp.o.d"
+  "/root/repo/src/core/ObstackAllocator.cpp" "src/core/CMakeFiles/ddm_core.dir/ObstackAllocator.cpp.o" "gcc" "src/core/CMakeFiles/ddm_core.dir/ObstackAllocator.cpp.o.d"
+  "/root/repo/src/core/RegionAllocator.cpp" "src/core/CMakeFiles/ddm_core.dir/RegionAllocator.cpp.o" "gcc" "src/core/CMakeFiles/ddm_core.dir/RegionAllocator.cpp.o.d"
+  "/root/repo/src/core/SizeClasses.cpp" "src/core/CMakeFiles/ddm_core.dir/SizeClasses.cpp.o" "gcc" "src/core/CMakeFiles/ddm_core.dir/SizeClasses.cpp.o.d"
+  "/root/repo/src/core/TCMallocModel.cpp" "src/core/CMakeFiles/ddm_core.dir/TCMallocModel.cpp.o" "gcc" "src/core/CMakeFiles/ddm_core.dir/TCMallocModel.cpp.o.d"
+  "/root/repo/src/core/TxAllocator.cpp" "src/core/CMakeFiles/ddm_core.dir/TxAllocator.cpp.o" "gcc" "src/core/CMakeFiles/ddm_core.dir/TxAllocator.cpp.o.d"
+  "/root/repo/src/core/ZendDefaultAllocator.cpp" "src/core/CMakeFiles/ddm_core.dir/ZendDefaultAllocator.cpp.o" "gcc" "src/core/CMakeFiles/ddm_core.dir/ZendDefaultAllocator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ddm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddm_core.dir/AllocatorFactory.cpp.o"
+  "CMakeFiles/ddm_core.dir/AllocatorFactory.cpp.o.d"
+  "CMakeFiles/ddm_core.dir/BoundaryTagHeap.cpp.o"
+  "CMakeFiles/ddm_core.dir/BoundaryTagHeap.cpp.o.d"
+  "CMakeFiles/ddm_core.dir/DDmalloc.cpp.o"
+  "CMakeFiles/ddm_core.dir/DDmalloc.cpp.o.d"
+  "CMakeFiles/ddm_core.dir/GlibcModelAllocator.cpp.o"
+  "CMakeFiles/ddm_core.dir/GlibcModelAllocator.cpp.o.d"
+  "CMakeFiles/ddm_core.dir/HoardModel.cpp.o"
+  "CMakeFiles/ddm_core.dir/HoardModel.cpp.o.d"
+  "CMakeFiles/ddm_core.dir/ObstackAllocator.cpp.o"
+  "CMakeFiles/ddm_core.dir/ObstackAllocator.cpp.o.d"
+  "CMakeFiles/ddm_core.dir/RegionAllocator.cpp.o"
+  "CMakeFiles/ddm_core.dir/RegionAllocator.cpp.o.d"
+  "CMakeFiles/ddm_core.dir/SizeClasses.cpp.o"
+  "CMakeFiles/ddm_core.dir/SizeClasses.cpp.o.d"
+  "CMakeFiles/ddm_core.dir/TCMallocModel.cpp.o"
+  "CMakeFiles/ddm_core.dir/TCMallocModel.cpp.o.d"
+  "CMakeFiles/ddm_core.dir/TxAllocator.cpp.o"
+  "CMakeFiles/ddm_core.dir/TxAllocator.cpp.o.d"
+  "CMakeFiles/ddm_core.dir/ZendDefaultAllocator.cpp.o"
+  "CMakeFiles/ddm_core.dir/ZendDefaultAllocator.cpp.o.d"
+  "libddm_core.a"
+  "libddm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/experiments/Measure.cpp" "src/experiments/CMakeFiles/ddm_experiments.dir/Measure.cpp.o" "gcc" "src/experiments/CMakeFiles/ddm_experiments.dir/Measure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/ddm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ddm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ddm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ddm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ddm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddm_experiments.dir/Measure.cpp.o"
+  "CMakeFiles/ddm_experiments.dir/Measure.cpp.o.d"
+  "libddm_experiments.a"
+  "libddm_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddm_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

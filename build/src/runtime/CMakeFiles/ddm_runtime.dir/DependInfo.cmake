@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/TransactionRuntime.cpp" "src/runtime/CMakeFiles/ddm_runtime.dir/TransactionRuntime.cpp.o" "gcc" "src/runtime/CMakeFiles/ddm_runtime.dir/TransactionRuntime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ddm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ddm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ddm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddm_runtime.dir/TransactionRuntime.cpp.o"
+  "CMakeFiles/ddm_runtime.dir/TransactionRuntime.cpp.o.d"
+  "libddm_runtime.a"
+  "libddm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

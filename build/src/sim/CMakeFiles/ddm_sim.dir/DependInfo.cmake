@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/Cache.cpp" "src/sim/CMakeFiles/ddm_sim.dir/Cache.cpp.o" "gcc" "src/sim/CMakeFiles/ddm_sim.dir/Cache.cpp.o.d"
+  "/root/repo/src/sim/Performance.cpp" "src/sim/CMakeFiles/ddm_sim.dir/Performance.cpp.o" "gcc" "src/sim/CMakeFiles/ddm_sim.dir/Performance.cpp.o.d"
+  "/root/repo/src/sim/Platform.cpp" "src/sim/CMakeFiles/ddm_sim.dir/Platform.cpp.o" "gcc" "src/sim/CMakeFiles/ddm_sim.dir/Platform.cpp.o.d"
+  "/root/repo/src/sim/Prefetcher.cpp" "src/sim/CMakeFiles/ddm_sim.dir/Prefetcher.cpp.o" "gcc" "src/sim/CMakeFiles/ddm_sim.dir/Prefetcher.cpp.o.d"
+  "/root/repo/src/sim/SimSink.cpp" "src/sim/CMakeFiles/ddm_sim.dir/SimSink.cpp.o" "gcc" "src/sim/CMakeFiles/ddm_sim.dir/SimSink.cpp.o.d"
+  "/root/repo/src/sim/Tlb.cpp" "src/sim/CMakeFiles/ddm_sim.dir/Tlb.cpp.o" "gcc" "src/sim/CMakeFiles/ddm_sim.dir/Tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ddm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ddm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

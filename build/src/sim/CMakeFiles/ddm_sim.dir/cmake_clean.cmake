@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddm_sim.dir/Cache.cpp.o"
+  "CMakeFiles/ddm_sim.dir/Cache.cpp.o.d"
+  "CMakeFiles/ddm_sim.dir/Performance.cpp.o"
+  "CMakeFiles/ddm_sim.dir/Performance.cpp.o.d"
+  "CMakeFiles/ddm_sim.dir/Platform.cpp.o"
+  "CMakeFiles/ddm_sim.dir/Platform.cpp.o.d"
+  "CMakeFiles/ddm_sim.dir/Prefetcher.cpp.o"
+  "CMakeFiles/ddm_sim.dir/Prefetcher.cpp.o.d"
+  "CMakeFiles/ddm_sim.dir/SimSink.cpp.o"
+  "CMakeFiles/ddm_sim.dir/SimSink.cpp.o.d"
+  "CMakeFiles/ddm_sim.dir/Tlb.cpp.o"
+  "CMakeFiles/ddm_sim.dir/Tlb.cpp.o.d"
+  "libddm_sim.a"
+  "libddm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

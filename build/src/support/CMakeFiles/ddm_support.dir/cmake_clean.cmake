@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddm_support.dir/Arena.cpp.o"
+  "CMakeFiles/ddm_support.dir/Arena.cpp.o.d"
+  "CMakeFiles/ddm_support.dir/ArgParse.cpp.o"
+  "CMakeFiles/ddm_support.dir/ArgParse.cpp.o.d"
+  "CMakeFiles/ddm_support.dir/Format.cpp.o"
+  "CMakeFiles/ddm_support.dir/Format.cpp.o.d"
+  "CMakeFiles/ddm_support.dir/Stats.cpp.o"
+  "CMakeFiles/ddm_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/ddm_support.dir/Table.cpp.o"
+  "CMakeFiles/ddm_support.dir/Table.cpp.o.d"
+  "libddm_support.a"
+  "libddm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

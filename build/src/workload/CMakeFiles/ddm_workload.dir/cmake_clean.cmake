@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddm_workload.dir/TraceGenerator.cpp.o"
+  "CMakeFiles/ddm_workload.dir/TraceGenerator.cpp.o.d"
+  "CMakeFiles/ddm_workload.dir/WorkloadSpec.cpp.o"
+  "CMakeFiles/ddm_workload.dir/WorkloadSpec.cpp.o.d"
+  "libddm_workload.a"
+  "libddm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

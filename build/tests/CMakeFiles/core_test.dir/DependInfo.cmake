@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/AllocatorContractTest.cpp" "tests/CMakeFiles/core_test.dir/core/AllocatorContractTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/AllocatorContractTest.cpp.o.d"
+  "/root/repo/tests/core/AllocatorFactoryTest.cpp" "tests/CMakeFiles/core_test.dir/core/AllocatorFactoryTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/AllocatorFactoryTest.cpp.o.d"
+  "/root/repo/tests/core/BoundaryTagHeapTest.cpp" "tests/CMakeFiles/core_test.dir/core/BoundaryTagHeapTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/BoundaryTagHeapTest.cpp.o.d"
+  "/root/repo/tests/core/DDmallocParamTest.cpp" "tests/CMakeFiles/core_test.dir/core/DDmallocParamTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/DDmallocParamTest.cpp.o.d"
+  "/root/repo/tests/core/DDmallocTest.cpp" "tests/CMakeFiles/core_test.dir/core/DDmallocTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/DDmallocTest.cpp.o.d"
+  "/root/repo/tests/core/HeapVerifierTest.cpp" "tests/CMakeFiles/core_test.dir/core/HeapVerifierTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/HeapVerifierTest.cpp.o.d"
+  "/root/repo/tests/core/HoardModelTest.cpp" "tests/CMakeFiles/core_test.dir/core/HoardModelTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/HoardModelTest.cpp.o.d"
+  "/root/repo/tests/core/MisuseDeathTest.cpp" "tests/CMakeFiles/core_test.dir/core/MisuseDeathTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/MisuseDeathTest.cpp.o.d"
+  "/root/repo/tests/core/RegionAllocatorTest.cpp" "tests/CMakeFiles/core_test.dir/core/RegionAllocatorTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/RegionAllocatorTest.cpp.o.d"
+  "/root/repo/tests/core/SizeClassesTest.cpp" "tests/CMakeFiles/core_test.dir/core/SizeClassesTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/SizeClassesTest.cpp.o.d"
+  "/root/repo/tests/core/TCMallocModelTest.cpp" "tests/CMakeFiles/core_test.dir/core/TCMallocModelTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/TCMallocModelTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/ddm_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ddm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ddm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ddm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ddm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ddm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

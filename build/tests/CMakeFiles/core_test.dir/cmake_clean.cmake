@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/AllocatorContractTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/AllocatorContractTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/AllocatorFactoryTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/AllocatorFactoryTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/BoundaryTagHeapTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/BoundaryTagHeapTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/DDmallocParamTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/DDmallocParamTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/DDmallocTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/DDmallocTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/HeapVerifierTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/HeapVerifierTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/HoardModelTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/HoardModelTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/MisuseDeathTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/MisuseDeathTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/RegionAllocatorTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/RegionAllocatorTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/SizeClassesTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/SizeClassesTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/TCMallocModelTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/TCMallocModelTest.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapes_test.dir/experiments/MeasureTest.cpp.o"
+  "CMakeFiles/shapes_test.dir/experiments/MeasureTest.cpp.o.d"
+  "CMakeFiles/shapes_test.dir/experiments/ShapeTest.cpp.o"
+  "CMakeFiles/shapes_test.dir/experiments/ShapeTest.cpp.o.d"
+  "shapes_test"
+  "shapes_test.pdb"
+  "shapes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

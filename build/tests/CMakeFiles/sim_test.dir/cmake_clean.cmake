@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/CacheReferenceTest.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/CacheReferenceTest.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/CacheTest.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/CacheTest.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/PerformanceTest.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/PerformanceTest.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/PlatformTest.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/PlatformTest.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/PrefetcherTest.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/PrefetcherTest.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/SimSinkTest.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/SimSinkTest.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/TlbTest.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/TlbTest.cpp.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
