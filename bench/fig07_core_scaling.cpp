@@ -14,6 +14,7 @@
 
 #include "experiments/Measure.h"
 #include "support/ArgParse.h"
+#include "support/Json.h"
 #include "support/Table.h"
 
 #include <cstdio>
@@ -27,6 +28,7 @@ int main(int Argc, char **Argv) {
   uint64_t Seed = 1;
   std::string WorkloadName = "mediawiki-read";
   bool Csv = false;
+  bool Json = false;
   ArgParser Parser("Reproduces Figure 7: throughput with increasing core "
                    "counts on the Xeon-like and Niagara-like platforms.");
   Parser.addFlag("scale", &Scale, "workload scale");
@@ -35,6 +37,8 @@ int main(int Argc, char **Argv) {
   Parser.addFlag("seed", &Seed, "random seed");
   Parser.addFlag("workload", &WorkloadName, "workload name");
   Parser.addFlag("csv", &Csv, "emit CSV instead of ASCII");
+  Parser.addFlag("json", &Json,
+                 "emit machine-readable JSON (redirect to BENCH_*.json)");
   if (!Parser.parse(Argc, Argv))
     return 1;
 
@@ -50,26 +54,55 @@ int main(int Argc, char **Argv) {
   Options.MeasureTx = static_cast<unsigned>(MeasureTx);
   Options.Seed = Seed;
 
-  std::printf("Figure 7: %s throughput (tx/s) vs. core count\n\n",
-              W->Name.c_str());
+  if (!Json)
+    std::printf("Figure 7: %s throughput (tx/s) vs. core count\n\n",
+                W->Name.c_str());
+  JsonWriter J;
+  if (Json)
+    J.beginObject()
+        .field("bench", "fig07_core_scaling")
+        .field("workload", W->Name)
+        .field("seed", Seed)
+        .field("scale", Scale)
+        .key("platforms")
+        .beginArray();
   const unsigned CoreCounts[] = {1, 2, 4, 6, 8};
   for (const Platform &P : {xeonLike(), niagaraLike()}) {
     Table Out({"cores", "default", "region-based", "our DDmalloc"});
+    if (Json)
+      J.beginObject().field("platform", P.Name).key("points").beginArray();
     for (unsigned Cores : CoreCounts) {
       SimPoint Default = simulate(*W, AllocatorKind::Default, P, Cores, Options);
       SimPoint Region = simulate(*W, AllocatorKind::Region, P, Cores, Options);
       SimPoint DDm = simulate(*W, AllocatorKind::DDmalloc, P, Cores, Options);
-      Out.row()
-          .cell(Cores)
-          .cell(Default.Perf.TxPerSec * Scale, 1)
-          .cell(Region.Perf.TxPerSec * Scale, 1)
-          .cell(DDm.Perf.TxPerSec * Scale, 1);
+      if (Json)
+        J.beginObject()
+            .field("cores", Cores)
+            .field("default_tps", Default.Perf.TxPerSec * Scale)
+            .field("region_tps", Region.Perf.TxPerSec * Scale)
+            .field("ddmalloc_tps", DDm.Perf.TxPerSec * Scale)
+            .endObject();
+      else
+        Out.row()
+            .cell(Cores)
+            .cell(Default.Perf.TxPerSec * Scale, 1)
+            .cell(Region.Perf.TxPerSec * Scale, 1)
+            .cell(DDm.Perf.TxPerSec * Scale, 1);
     }
-    std::printf("--- platform: %s-like ---\n", P.Name.c_str());
-    std::fputs((Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
-    std::printf("\n");
+    if (Json) {
+      J.endArray().endObject();
+    } else {
+      std::printf("--- platform: %s-like ---\n", P.Name.c_str());
+      std::fputs((Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
+      std::printf("\n");
+    }
   }
-  std::printf("Paper: region competitive at low core counts, then falls off; "
-              "DDmalloc best at 8 cores on both platforms.\n");
+  if (Json) {
+    J.endArray().endObject();
+    std::printf("%s\n", J.str().c_str());
+  } else {
+    std::printf("Paper: region competitive at low core counts, then falls "
+                "off; DDmalloc best at 8 cores on both platforms.\n");
+  }
   return 0;
 }

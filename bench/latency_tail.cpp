@@ -1,0 +1,264 @@
+//===- bench/latency_tail.cpp - Allocator x offered-load tail sweep -------===//
+///
+/// \file
+/// The serving layer's headline experiment: sweep offered load toward
+/// saturation on both platforms and report the latency tail (p50/p90/p99/
+/// p999), drop rate, and goodput for the three PHP-study allocators.
+///
+/// The offered-load grid is expressed as fractions of the *DDmalloc*
+/// model's saturation capacity, so every allocator sees the same absolute
+/// request rates. Expected shape: on the 8-core Xeon-like platform the
+/// region allocator's bus saturation caps its capacity below the grid's
+/// upper points — its queue grows, requests drop, and p99 blows up at
+/// offered loads DDmalloc still absorbs (the paper's Figure 7 crossover,
+/// expressed as tail latency instead of throughput).
+///
+///   ./build/bench/bench_latency_tail
+///   ./build/bench/bench_latency_tail --json > BENCH_latency_tail.json
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/ServingSimulator.h"
+#include "support/ArgParse.h"
+#include "support/Json.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ddm;
+
+namespace {
+
+/// Parses a comma-separated list of doubles; exits on malformed input.
+std::vector<double> parseLoadList(const std::string &Text) {
+  std::vector<double> Out;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Comma = Text.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Text.size();
+    std::string Item = Text.substr(Pos, Comma - Pos);
+    char *End = nullptr;
+    double V = std::strtod(Item.c_str(), &End);
+    if (!End || *End != '\0' || V <= 0) {
+      std::fprintf(stderr, "bad load fraction '%s'\n", Item.c_str());
+      std::exit(1);
+    }
+    Out.push_back(V);
+    Pos = Comma + 1;
+  }
+  if (Out.empty()) {
+    std::fprintf(stderr, "--loads needs at least one fraction\n");
+    std::exit(1);
+  }
+  return Out;
+}
+
+struct PointResult {
+  double LoadFraction;
+  ServingMetrics Metrics;
+};
+
+void emitPointJson(JsonWriter &J, const PointResult &P) {
+  J.beginObject()
+      .field("load_fraction", P.LoadFraction)
+      .field("offered_rps", P.Metrics.OfferedRps)
+      .field("goodput_rps", P.Metrics.GoodputRps)
+      .field("p50_ms", P.Metrics.p50Ms())
+      .field("p90_ms", P.Metrics.p90Ms())
+      .field("p99_ms", P.Metrics.p99Ms())
+      .field("p999_ms", P.Metrics.p999Ms())
+      .field("mean_ms", P.Metrics.meanLatencyMs())
+      .field("mean_wait_ms", P.Metrics.meanWaitMs())
+      .field("drop_rate", P.Metrics.dropRate())
+      .field("mean_queue_depth", P.Metrics.QueueDepthAtArrival.mean())
+      .field("utilization", P.Metrics.Utilization)
+      .endObject();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string WorkloadName = "mediawiki-read";
+  std::string PlatformName; // empty = both
+  std::string PolicyName = "fifo";
+  std::string ArrivalName = "poisson";
+  std::string LoadList = "0.5,0.7,0.85,0.95,1.05";
+  uint64_t Cores = 0; // 0 = all of the platform's cores
+  uint64_t DurationTx = 3000;
+  uint64_t QueueCap = 512;
+  uint64_t Samples = 12;
+  uint64_t Warmup = 1;
+  uint64_t Seed = 1;
+  double Scale = 0.2;
+  bool Json = false;
+  ArgParser Parser(
+      "Sweeps offered load toward saturation and reports tail latency, "
+      "drops, and goodput per allocator (the serving-layer view of the "
+      "paper's bus-saturation result).");
+  Parser.addFlag("workload", &WorkloadName, "workload name");
+  Parser.addFlag("platform", &PlatformName, "xeon, niagara, or empty = both");
+  Parser.addFlag("cores", &Cores, "active cores (0 = all)");
+  Parser.addFlag("policy", &PolicyName, "queue policy: fifo or sjf");
+  Parser.addFlag("arrival", &ArrivalName, "arrival process: poisson or bursty");
+  Parser.addFlag("loads", &LoadList,
+                 "offered-load fractions of DDmalloc capacity");
+  Parser.addFlag("duration-tx", &DurationTx, "requests offered per point");
+  Parser.addFlag("queue-cap", &QueueCap, "admission queue bound");
+  Parser.addFlag("samples", &Samples, "profiled transactions per workload");
+  Parser.addFlag("warmup", &Warmup, "warm-up transactions");
+  Parser.addFlag("scale", &Scale, "workload scale");
+  Parser.addFlag("seed", &Seed, "random seed");
+  Parser.addFlag("json", &Json,
+                 "emit machine-readable JSON (redirect to BENCH_*.json)");
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+
+  const WorkloadSpec *W = findWorkload(WorkloadName);
+  if (!W) {
+    std::fprintf(stderr, "unknown workload '%s'\n", WorkloadName.c_str());
+    return 1;
+  }
+  auto Policy = queuePolicyFromName(PolicyName);
+  if (!Policy) {
+    std::fprintf(stderr, "unknown policy '%s' (fifo or sjf)\n",
+                 PolicyName.c_str());
+    return 1;
+  }
+  auto Arrival = arrivalProcessFromName(ArrivalName);
+  if (!Arrival || *Arrival == ArrivalProcess::ClosedLoop) {
+    std::fprintf(stderr, "arrival must be poisson or bursty for the sweep\n");
+    return 1;
+  }
+  std::vector<double> Loads = parseLoadList(LoadList);
+
+  std::vector<Platform> Platforms;
+  if (PlatformName.empty()) {
+    Platforms = {xeonLike(), niagaraLike()};
+  } else {
+    auto P = platformByName(PlatformName);
+    if (!P) {
+      std::fprintf(stderr, "unknown platform '%s' (xeon or niagara)\n",
+                   PlatformName.c_str());
+      return 1;
+    }
+    Platforms = {*P};
+  }
+
+  const AllocatorKind Kinds[] = {AllocatorKind::Default, AllocatorKind::Region,
+                                 AllocatorKind::DDmalloc};
+
+  SimulationOptions Options;
+  Options.Scale = Scale;
+  Options.WarmupTx = static_cast<unsigned>(Warmup);
+  Options.MeasureTx = static_cast<unsigned>(Samples);
+  Options.Seed = Seed;
+
+  JsonWriter J;
+  if (Json)
+    J.beginObject()
+        .field("bench", "latency_tail")
+        .field("workload", W->Name)
+        .field("seed", Seed)
+        .field("scale", Scale)
+        .field("duration_tx", DurationTx)
+        .field("queue_capacity", QueueCap)
+        .field("policy", queuePolicyName(*Policy))
+        .field("arrival", arrivalProcessName(*Arrival))
+        .key("platforms")
+        .beginArray();
+  else
+    std::printf("Tail latency vs offered load: %s, %s arrivals, %s queue\n\n",
+                W->Name.c_str(), arrivalProcessName(*Arrival),
+                queuePolicyName(*Policy));
+
+  for (const Platform &P : Platforms) {
+    unsigned ActiveCores = Cores ? static_cast<unsigned>(Cores) : P.Cores;
+    std::string Error;
+    if (!validateActiveCores(P, ActiveCores, Error)) {
+      std::fprintf(stderr, "%s\n", Error.c_str());
+      return 1;
+    }
+
+    // One service-time model per allocator; the DDmalloc model's
+    // saturation capacity anchors the shared offered-load grid.
+    std::vector<ServiceTimeModel> Models;
+    for (AllocatorKind Kind : Kinds)
+      Models.push_back(
+          buildServiceTimeModel({*W}, Kind, P, ActiveCores, Options));
+    double RefCapacity = Models.back().capacityRps();
+
+    if (Json)
+      J.beginObject()
+          .field("platform", P.Name)
+          .field("cores", ActiveCores)
+          .field("workers", Models.back().Workers)
+          .field("reference_capacity_rps", RefCapacity)
+          .key("series")
+          .beginArray();
+    else
+      std::printf("--- platform: %s-like, %u cores (DDmalloc capacity "
+                  "%.1f rq/s) ---\n",
+                  P.Name.c_str(), ActiveCores, RefCapacity);
+
+    for (size_t KindIdx = 0; KindIdx < Models.size(); ++KindIdx) {
+      const ServiceTimeModel &Model = Models[KindIdx];
+      std::vector<PointResult> Points;
+      for (double F : Loads) {
+        ServingConfig Config;
+        Config.Load.Process = *Arrival;
+        Config.Load.RatePerSec = F * RefCapacity;
+        Config.Load.Seed = Seed + static_cast<uint64_t>(F * 1000);
+        Config.Policy = *Policy;
+        Config.QueueCapacity = QueueCap;
+        Config.DurationTx = DurationTx;
+        Points.push_back({F, runServing(Model, Config)});
+      }
+
+      if (Json) {
+        J.beginObject()
+            .field("allocator", allocatorKindName(Model.Kind))
+            .field("capacity_rps", Model.capacityRps())
+            .key("points")
+            .beginArray();
+        for (const PointResult &Pt : Points)
+          emitPointJson(J, Pt);
+        J.endArray().endObject();
+      } else {
+        std::printf("allocator: %s (capacity %.1f rq/s)\n",
+                    allocatorKindName(Model.Kind), Model.capacityRps());
+        Table Out({"load", "offered rq/s", "goodput", "p50 ms", "p90 ms",
+                   "p99 ms", "p999 ms", "drop %", "queue", "util %"});
+        for (const PointResult &Pt : Points)
+          Out.row()
+              .cell(Pt.LoadFraction, 2)
+              .cell(Pt.Metrics.OfferedRps, 1)
+              .cell(Pt.Metrics.GoodputRps, 1)
+              .cell(Pt.Metrics.p50Ms(), 2)
+              .cell(Pt.Metrics.p90Ms(), 2)
+              .cell(Pt.Metrics.p99Ms(), 2)
+              .cell(Pt.Metrics.p999Ms(), 2)
+              .cell(100.0 * Pt.Metrics.dropRate(), 1)
+              .cell(Pt.Metrics.QueueDepthAtArrival.mean(), 1)
+              .cell(100.0 * Pt.Metrics.Utilization, 1);
+        std::fputs(Out.renderAscii().c_str(), stdout);
+        std::printf("\n");
+      }
+    }
+
+    if (Json)
+      J.endArray().endObject();
+  }
+
+  if (Json) {
+    J.endArray().endObject();
+    std::printf("%s\n", J.str().c_str());
+  } else {
+    std::printf("Expected shape: as offered load approaches DDmalloc's "
+                "capacity, the region allocator's p99 and drop rate blow "
+                "up first on the Xeon-like platform - bus saturation as "
+                "tail latency.\n");
+  }
+  return 0;
+}

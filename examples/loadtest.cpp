@@ -1,0 +1,215 @@
+//===- examples/loadtest.cpp - Drive the serving simulation ---------------===//
+///
+/// \file
+/// A configurable load test against the simulated multicore server: pick a
+/// workload mix, an allocator, an arrival process, and an offered load,
+/// and read the tail latency off the report — the operator's view of the
+/// paper's allocator study:
+///
+///   ./build/examples/loadtest --workload mediawiki-read --allocator region
+///       --platform xeon --cores 8 --arrival poisson --rps 300
+///
+/// `--rps 0` (the default) offers 85% of the selected allocator's modelled
+/// capacity. A mix is written "name:weight,name:weight".
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/ServingSimulator.h"
+#include "support/ArgParse.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ddm;
+
+namespace {
+
+/// Parses "name[:weight],name[:weight],..." into specs + weights.
+bool parseMix(const std::string &Text, std::vector<WorkloadSpec> &Mix,
+              std::vector<double> &Weights) {
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Comma = Text.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Text.size();
+    std::string Item = Text.substr(Pos, Comma - Pos);
+    double Weight = 1.0;
+    size_t Colon = Item.find(':');
+    if (Colon != std::string::npos) {
+      char *End = nullptr;
+      Weight = std::strtod(Item.c_str() + Colon + 1, &End);
+      if (!End || *End != '\0' || Weight <= 0) {
+        std::fprintf(stderr, "bad mix weight in '%s'\n", Item.c_str());
+        return false;
+      }
+      Item.resize(Colon);
+    }
+    const WorkloadSpec *W = findWorkload(Item);
+    if (!W) {
+      std::fprintf(stderr, "unknown workload '%s'; try --help\n",
+                   Item.c_str());
+      return false;
+    }
+    Mix.push_back(*W);
+    Weights.push_back(Weight);
+    Pos = Comma + 1;
+  }
+  return !Mix.empty();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string WorkloadMix = "mediawiki-read";
+  std::string PlatformName = "xeon";
+  std::string AllocatorName = "ddmalloc";
+  std::string ArrivalName = "poisson";
+  std::string PolicyName = "fifo";
+  uint64_t Cores = 8;
+  uint64_t DurationTx = 2000;
+  uint64_t QueueCap = 512;
+  uint64_t Clients = 32;
+  uint64_t Samples = 12;
+  uint64_t Seed = 1;
+  double Rps = 0.0;
+  double ThinkMs = 100.0;
+  double BurstBoost = 4.0;
+  double BurstOn = 0.2;
+  double Scale = 0.2;
+  ArgParser Parser(
+      "Open- or closed-loop load test of a workload mix on the simulated "
+      "multicore server; reports latency percentiles, queueing, drops, and "
+      "goodput for the chosen allocator.");
+  Parser.addFlag("workload", &WorkloadMix,
+                 "workload mix, e.g. 'mediawiki-read' or "
+                 "'mediawiki-read:3,sugarcrm:1'");
+  Parser.addFlag("platform", &PlatformName, "xeon or niagara");
+  Parser.addFlag("allocator", &AllocatorName,
+                 "ddmalloc, region, obstack, default, glibc, tcmalloc, hoard");
+  Parser.addFlag("arrival", &ArrivalName, "poisson, bursty, or closed");
+  Parser.addFlag("policy", &PolicyName, "queue policy: fifo or sjf");
+  Parser.addFlag("cores", &Cores, "active cores");
+  Parser.addFlag("rps", &Rps,
+                 "offered requests/sec (0 = 85% of modelled capacity)");
+  Parser.addFlag("duration-tx", &DurationTx,
+                 "requests to offer (open loop) / complete (closed loop)");
+  Parser.addFlag("queue-cap", &QueueCap, "admission queue bound");
+  Parser.addFlag("clients", &Clients, "closed-loop client population");
+  Parser.addFlag("think-ms", &ThinkMs, "closed-loop mean think time (ms)");
+  Parser.addFlag("burst-boost", &BurstBoost, "bursty on-phase rate multiplier");
+  Parser.addFlag("burst-on", &BurstOn, "bursty on-phase time fraction");
+  Parser.addFlag("samples", &Samples, "profiled transactions per workload");
+  Parser.addFlag("scale", &Scale, "workload scale");
+  Parser.addFlag("seed", &Seed, "random seed");
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+
+  std::vector<WorkloadSpec> Mix;
+  std::vector<double> Weights;
+  if (!parseMix(WorkloadMix, Mix, Weights))
+    return 1;
+  auto P = platformByName(PlatformName);
+  if (!P) {
+    std::fprintf(stderr, "unknown platform '%s' (xeon or niagara)\n",
+                 PlatformName.c_str());
+    return 1;
+  }
+  std::string Error;
+  if (!validateActiveCores(*P, Cores, Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+  auto Kind = allocatorKindFromName(AllocatorName);
+  if (!Kind) {
+    std::fprintf(stderr, "unknown allocator '%s'; try --help\n",
+                 AllocatorName.c_str());
+    return 1;
+  }
+  auto Arrival = arrivalProcessFromName(ArrivalName);
+  if (!Arrival) {
+    std::fprintf(stderr, "unknown arrival process '%s' (poisson, bursty, "
+                 "closed)\n",
+                 ArrivalName.c_str());
+    return 1;
+  }
+  auto Policy = queuePolicyFromName(PolicyName);
+  if (!Policy) {
+    std::fprintf(stderr, "unknown policy '%s' (fifo or sjf)\n",
+                 PolicyName.c_str());
+    return 1;
+  }
+
+  SimulationOptions Options;
+  Options.Scale = Scale;
+  Options.WarmupTx = 1;
+  Options.MeasureTx = static_cast<unsigned>(Samples);
+  Options.Seed = Seed;
+
+  ServiceTimeModel Model = buildServiceTimeModel(
+      Mix, *Kind, *P, static_cast<unsigned>(Cores), Options);
+  double Capacity = Model.capacityRps(Weights);
+  if (Rps <= 0)
+    Rps = 0.85 * Capacity;
+
+  std::printf("allocator %s on %llu %s-like core(s) (%u workers), scale "
+              "%.2f\n",
+              allocatorKindName(*Kind),
+              static_cast<unsigned long long>(Cores), P->Name.c_str(),
+              Model.Workers, Scale);
+  Table ModelOut({"workload", "base service ms", "slowdown @full pool",
+                  "capacity rq/s"});
+  for (size_t I = 0; I < Model.Workloads.size(); ++I) {
+    const auto &W = Model.Workloads[I];
+    ModelOut.row()
+        .cell(W.Name)
+        .cell(W.BaseServiceSec * 1e3, 3)
+        .cell(W.Slowdown[Model.Workers - 1], 2)
+        .cell(static_cast<double>(Model.Workers) /
+                  (W.BaseServiceSec * W.Slowdown[Model.Workers - 1]),
+              1);
+  }
+  std::fputs(ModelOut.renderAscii().c_str(), stdout);
+  std::printf("mixed capacity %.1f rq/s; offering %.1f rq/s (%s, %s)\n\n",
+              Capacity, Rps, arrivalProcessName(*Arrival),
+              queuePolicyName(*Policy));
+
+  ServingConfig Config;
+  Config.Load.Process = *Arrival;
+  Config.Load.RatePerSec = Rps;
+  Config.Load.BurstBoost = BurstBoost;
+  Config.Load.BurstOnFraction = BurstOn;
+  Config.Load.Clients = static_cast<unsigned>(Clients);
+  Config.Load.MeanThinkSec = ThinkMs / 1e3;
+  Config.Load.MixWeights = Weights;
+  Config.Load.Seed = Seed;
+  Config.Policy = *Policy;
+  Config.QueueCapacity = QueueCap;
+  Config.DurationTx = DurationTx;
+
+  ServingMetrics M = runServing(Model, Config);
+
+  Table Out({"metric", "value"});
+  Out.row().cell("offered rq/s").cell(M.OfferedRps, 1);
+  Out.row().cell("goodput rq/s").cell(M.GoodputRps, 1);
+  Out.row().cell("completed").cell(M.Completed);
+  Out.row().cell("dropped").cell(M.Dropped);
+  Out.row().cell("drop rate %").cell(100.0 * M.dropRate(), 2);
+  Out.row().cell("p50 latency ms").cell(M.p50Ms(), 2);
+  Out.row().cell("p90 latency ms").cell(M.p90Ms(), 2);
+  Out.row().cell("p99 latency ms").cell(M.p99Ms(), 2);
+  Out.row().cell("p999 latency ms").cell(M.p999Ms(), 2);
+  Out.row().cell("mean latency ms").cell(M.meanLatencyMs(), 2);
+  Out.row().cell("mean wait ms").cell(M.meanWaitMs(), 2);
+  Out.row().cell("mean queue depth").cell(M.QueueDepthAtArrival.mean(), 1);
+  Out.row().cell("max queue depth").cell(M.QueueDepthAtArrival.max(), 0);
+  Out.row().cell("worker utilization %").cell(100.0 * M.Utilization, 1);
+  std::fputs(Out.renderAscii().c_str(), stdout);
+
+  std::printf("\nlatency distribution (us):\n%s",
+              M.LatencyUs.render().c_str());
+  std::printf("\nTry --allocator region vs --allocator ddmalloc at the same "
+              "--rps near capacity: the region allocator's bus saturation "
+              "shows up as queue growth and a p99 blowup.\n");
+  return 0;
+}

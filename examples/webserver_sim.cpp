@@ -48,14 +48,16 @@ int main(int Argc, char **Argv) {
                  WorkloadName.c_str());
     return 1;
   }
-  if (PlatformName != "xeon" && PlatformName != "niagara") {
+  std::optional<Platform> Preset = platformByName(PlatformName);
+  if (!Preset) {
     std::fprintf(stderr, "unknown platform '%s' (xeon or niagara)\n",
                  PlatformName.c_str());
     return 1;
   }
-  Platform P = PlatformName == "xeon" ? xeonLike() : niagaraLike();
-  if (Cores < 1 || Cores > P.Cores) {
-    std::fprintf(stderr, "core count must be 1..%u\n", P.Cores);
+  Platform P = *Preset;
+  std::string CoresError;
+  if (!validateActiveCores(P, Cores, CoresError)) {
+    std::fprintf(stderr, "%s\n", CoresError.c_str());
     return 1;
   }
 

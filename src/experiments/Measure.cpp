@@ -3,6 +3,8 @@
 #include "experiments/Measure.h"
 
 #include <cassert>
+#include <cmath>
+#include <vector>
 
 using namespace ddm;
 
@@ -48,6 +50,81 @@ SimPoint ddm::simulate(const WorkloadSpec &Workload, AllocatorKind Kind,
   Config.Kind = Kind;
   Config.UseBulkFree = true;
   return simulateRuntime(Workload, Config, P, ActiveCores, Options);
+}
+
+ServiceProfile ddm::profileService(const WorkloadSpec &Workload,
+                                   const RuntimeConfig &RuntimeCfg,
+                                   const Platform &P, unsigned ActiveCores,
+                                   unsigned SampleTx,
+                                   const SimulationOptions &Options) {
+  assert(SampleTx > 0 && "need at least one sampled transaction");
+
+  SimSink Sink(P, ActiveCores, Options.LargePages);
+
+  RuntimeConfig Config = RuntimeCfg;
+  Config.Scale = Options.Scale;
+  Config.Seed = Options.Seed;
+  if (Config.AllocOptions.ProcessId == 0)
+    Config.AllocOptions.ProcessId = static_cast<uint32_t>(Options.Seed % 64);
+  Config.AllocOptions.LargePages = Options.LargePages;
+
+  TransactionRuntime Runtime(Workload, Config, &Sink);
+  for (unsigned I = 0; I < Options.WarmupTx; ++I)
+    Runtime.executeTransaction();
+
+  // One counter window per transaction: the per-transaction events feed a
+  // single-core performance evaluation whose cycles become that
+  // transaction's relative service demand.
+  std::vector<PerTxEvents> PerTx;
+  PerTx.reserve(SampleTx);
+  for (unsigned I = 0; I < SampleTx; ++I) {
+    Sink.resetCounters();
+    Runtime.executeTransaction();
+    PerTx.push_back(averageEvents(Sink, 1, Workload.AppCodeFootprintBytes,
+                                  Runtime.allocatorCodeFootprintBytes()));
+  }
+
+  ServiceProfile Profile;
+  DomainEvents AppSum, MmSum;
+  std::vector<double> Cycles;
+  Cycles.reserve(SampleTx);
+  double CycleSum = 0.0;
+  for (const PerTxEvents &E : PerTx) {
+    AppSum += E.App;
+    MmSum += E.Mm;
+    double C = evaluatePerformance(P, E, 1).CyclesPerTx;
+    Cycles.push_back(C);
+    CycleSum += C;
+  }
+
+  auto Divide = [SampleTx](const DomainEvents &Sum) {
+    auto Scale = [SampleTx](uint64_t V) {
+      return static_cast<uint64_t>(
+          std::llround(static_cast<double>(V) / SampleTx));
+    };
+    DomainEvents Out;
+    Out.Instructions = Scale(Sum.Instructions);
+    Out.LineAccesses = Scale(Sum.LineAccesses);
+    Out.L1DMisses = Scale(Sum.L1DMisses);
+    Out.L2Hits = Scale(Sum.L2Hits);
+    Out.L2Misses = Scale(Sum.L2Misses);
+    Out.TlbMisses = Scale(Sum.TlbMisses);
+    Out.Writebacks = Scale(Sum.Writebacks);
+    Out.PrefetchesIssued = Scale(Sum.PrefetchesIssued);
+    Out.PrefetchesUseful = Scale(Sum.PrefetchesUseful);
+    return Out;
+  };
+  Profile.MeanEvents.App = Divide(AppSum);
+  Profile.MeanEvents.Mm = Divide(MmSum);
+  Profile.MeanEvents.AppCodeFootprintBytes = Workload.AppCodeFootprintBytes;
+  Profile.MeanEvents.AllocCodeFootprintBytes =
+      Runtime.allocatorCodeFootprintBytes();
+
+  double MeanCycles = CycleSum / SampleTx;
+  Profile.RelativeWeights.reserve(SampleTx);
+  for (double C : Cycles)
+    Profile.RelativeWeights.push_back(MeanCycles > 0 ? C / MeanCycles : 1.0);
+  return Profile;
 }
 
 double ddm::percentOver(double Value, double Baseline) {

@@ -57,6 +57,24 @@ SimPoint simulate(const WorkloadSpec &Workload, AllocatorKind Kind,
                   const Platform &P, unsigned ActiveCores,
                   const SimulationOptions &Options);
 
+/// Per-transaction service-demand profile for the serving layer
+/// (src/server): the event averages of the measured transactions plus
+/// each transaction's relative cycle demand around that mean — the
+/// variability that becomes per-request service-time spread.
+struct ServiceProfile {
+  PerTxEvents MeanEvents;
+  /// One entry per measured transaction: its single-core cycles divided
+  /// by the mean over all measured transactions (mean 1.0).
+  std::vector<double> RelativeWeights;
+};
+
+/// Runs the pipeline like simulateRuntime() but snapshots the event
+/// counters after every measured transaction (\p SampleTx of them).
+ServiceProfile profileService(const WorkloadSpec &Workload,
+                              const RuntimeConfig &Runtime, const Platform &P,
+                              unsigned ActiveCores, unsigned SampleTx,
+                              const SimulationOptions &Options);
+
 /// Percentage difference of \p Value versus \p Baseline (+4.0 means 4%
 /// faster/larger).
 double percentOver(double Value, double Baseline);

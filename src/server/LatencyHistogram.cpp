@@ -1,0 +1,120 @@
+//===- server/LatencyHistogram.cpp - HDR-style latency histogram ----------===//
+
+#include "server/LatencyHistogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace ddm;
+
+LatencyHistogram::LatencyHistogram(unsigned SubBucketBits)
+    : SubBits(SubBucketBits), HalfCount(1u << (SubBucketBits - 1)) {
+  assert(SubBucketBits >= 2 && SubBucketBits <= 16 && "unusable resolution");
+}
+
+unsigned LatencyHistogram::bucketIndex(uint64_t Value) const {
+  if (Value < (1ull << SubBits))
+    return static_cast<unsigned>(Value);
+  // 2^M <= Value < 2^(M+1); split that range into HalfCount linear
+  // sub-buckets of width 2^(M-SubBits+1).
+  unsigned M = 63 - static_cast<unsigned>(std::countl_zero(Value));
+  unsigned Sub =
+      static_cast<unsigned>((Value - (1ull << M)) >> (M - SubBits + 1));
+  return (1u << SubBits) + (M - SubBits) * HalfCount + Sub;
+}
+
+uint64_t LatencyHistogram::bucketLowerBound(unsigned Index) const {
+  if (Index < (1u << SubBits))
+    return Index;
+  unsigned R = Index - (1u << SubBits);
+  unsigned M = SubBits + R / HalfCount;
+  unsigned Sub = R % HalfCount;
+  return (1ull << M) + (static_cast<uint64_t>(Sub) << (M - SubBits + 1));
+}
+
+uint64_t LatencyHistogram::bucketUpperBound(unsigned Index) const {
+  if (Index < (1u << SubBits))
+    return Index;
+  unsigned R = Index - (1u << SubBits);
+  unsigned M = SubBits + R / HalfCount;
+  return bucketLowerBound(Index) + ((1ull << (M - SubBits + 1)) - 1);
+}
+
+void LatencyHistogram::add(uint64_t Value, uint64_t Weight) {
+  if (!Weight)
+    return;
+  unsigned Index = bucketIndex(Value);
+  if (Index >= Buckets.size())
+    Buckets.resize(Index + 1, 0);
+  Buckets[Index] += Weight;
+  Total += Weight;
+  MinValue = std::min(MinValue, Value);
+  MaxValue = std::max(MaxValue, Value);
+  WeightedSum += static_cast<double>(Value) * static_cast<double>(Weight);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram &Other) {
+  assert(SubBits == Other.SubBits && "incompatible resolutions");
+  if (Other.Buckets.size() > Buckets.size())
+    Buckets.resize(Other.Buckets.size(), 0);
+  for (size_t I = 0; I < Other.Buckets.size(); ++I)
+    Buckets[I] += Other.Buckets[I];
+  Total += Other.Total;
+  if (Other.Total) {
+    MinValue = std::min(MinValue, Other.MinValue);
+    MaxValue = std::max(MaxValue, Other.MaxValue);
+  }
+  WeightedSum += Other.WeightedSum;
+}
+
+double LatencyHistogram::mean() const {
+  return Total ? WeightedSum / static_cast<double>(Total) : 0.0;
+}
+
+uint64_t LatencyHistogram::percentile(double Fraction) const {
+  if (!Total)
+    return 0;
+  Fraction = std::clamp(Fraction, 0.0, 1.0);
+  uint64_t Target = static_cast<uint64_t>(
+      std::ceil(Fraction * static_cast<double>(Total)));
+  Target = std::clamp<uint64_t>(Target, 1, Total);
+  uint64_t Seen = 0;
+  for (size_t I = 0; I < Buckets.size(); ++I) {
+    Seen += Buckets[I];
+    if (Seen >= Target)
+      return std::min(bucketUpperBound(static_cast<unsigned>(I)), MaxValue);
+  }
+  return MaxValue;
+}
+
+double LatencyHistogram::relativeError() const {
+  return std::ldexp(1.0, 1 - static_cast<int>(SubBits));
+}
+
+std::string LatencyHistogram::render(unsigned MaxBarWidth) const {
+  std::string Out;
+  if (!Total)
+    return Out;
+  uint64_t Peak = *std::max_element(Buckets.begin(), Buckets.end());
+  for (size_t I = 0; I < Buckets.size(); ++I) {
+    if (!Buckets[I])
+      continue;
+    unsigned Width = static_cast<unsigned>(
+        std::llround(static_cast<double>(Buckets[I]) * MaxBarWidth /
+                     static_cast<double>(Peak)));
+    char Line[64];
+    std::snprintf(Line, sizeof(Line), "[%10llu, %10llu] %8llu ",
+                  static_cast<unsigned long long>(
+                      bucketLowerBound(static_cast<unsigned>(I))),
+                  static_cast<unsigned long long>(
+                      bucketUpperBound(static_cast<unsigned>(I))),
+                  static_cast<unsigned long long>(Buckets[I]));
+    Out += Line;
+    Out.append(std::max(1u, Width), '#');
+    Out += '\n';
+  }
+  return Out;
+}

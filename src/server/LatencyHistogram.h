@@ -1,0 +1,75 @@
+//===- server/LatencyHistogram.h - HDR-style latency histogram -*- C++ -*-===//
+///
+/// \file
+/// A log-bucketed histogram with linear sub-buckets per power-of-two range
+/// (the HdrHistogram idea): constant-time recording over the full uint64
+/// range with bounded *relative* error, which is exactly what tail-latency
+/// reporting needs — microsecond resolution near the median and ~3%
+/// resolution out at p999, without storing samples.
+///
+/// The serving layer records request latencies in microseconds; the class
+/// itself is unit-agnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_SERVER_LATENCYHISTOGRAM_H
+#define DDM_SERVER_LATENCYHISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddm {
+
+/// Log-bucketed histogram with 2^(SubBucketBits-1) linear sub-buckets per
+/// power-of-two range. Values below 2^SubBucketBits are recorded exactly;
+/// larger values with relative error at most 2^(1-SubBucketBits) (~3% for
+/// the default 6 bits).
+class LatencyHistogram {
+public:
+  explicit LatencyHistogram(unsigned SubBucketBits = 6);
+
+  /// Records one sample with weight \p Weight.
+  void add(uint64_t Value, uint64_t Weight = 1);
+
+  /// Merges \p Other (must use the same SubBucketBits).
+  void merge(const LatencyHistogram &Other);
+
+  uint64_t count() const { return Total; }
+  uint64_t min() const { return Total ? MinValue : 0; }
+  uint64_t max() const { return MaxValue; }
+  double mean() const;
+
+  /// Smallest recorded-bucket upper bound V such that at least
+  /// \p Fraction of the samples are <= V, clamped to the observed
+  /// maximum. For a sorted reference R, percentile(q) is >= the exact
+  /// order statistic and overshoots it by at most the bucket's relative
+  /// resolution.
+  uint64_t percentile(double Fraction) const;
+
+  /// Upper bound of the relative quantization error: 2^(1-SubBucketBits).
+  double relativeError() const;
+
+  /// Renders a bar chart, one line per nonempty bucket.
+  std::string render(unsigned MaxBarWidth = 40) const;
+
+  /// \name Bucket mapping (exposed for tests).
+  /// @{
+  unsigned bucketIndex(uint64_t Value) const;
+  uint64_t bucketLowerBound(unsigned Index) const;
+  uint64_t bucketUpperBound(unsigned Index) const;
+  /// @}
+
+private:
+  unsigned SubBits;         ///< Values < 2^SubBits are exact.
+  unsigned HalfCount;       ///< Sub-buckets per power-of-two range.
+  std::vector<uint64_t> Buckets;
+  uint64_t Total = 0;
+  uint64_t MinValue = UINT64_MAX;
+  uint64_t MaxValue = 0;
+  double WeightedSum = 0.0;
+};
+
+} // namespace ddm
+
+#endif // DDM_SERVER_LATENCYHISTOGRAM_H

@@ -1,0 +1,67 @@
+//===- server/ServingMetrics.h - Tail-latency accounting -------*- C++ -*-===//
+///
+/// \file
+/// The outputs of one serving-simulation run: latency percentiles, queue
+/// and drop accounting, and goodput versus offered load — the numbers a
+/// web operator reads off a load test, computed over the discrete-event
+/// run of server/ServingSimulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_SERVER_SERVINGMETRICS_H
+#define DDM_SERVER_SERVINGMETRICS_H
+
+#include "server/LatencyHistogram.h"
+#include "support/Stats.h"
+
+#include <cstdint>
+
+namespace ddm {
+
+/// Aggregated results of one (allocator, platform, offered-load) serving
+/// run. Latencies are recorded in microseconds; the *Ms helpers convert.
+struct ServingMetrics {
+  /// Long-run configured arrival rate (open loop) or the realized request
+  /// rate (closed loop).
+  double OfferedRps = 0.0;
+  /// Completed requests per second of makespan.
+  double GoodputRps = 0.0;
+  /// First arrival to last completion.
+  double MakespanSec = 0.0;
+
+  uint64_t Offered = 0;
+  uint64_t Completed = 0;
+  uint64_t Dropped = 0;
+
+  /// End-to-end sojourn time (arrival -> completion), microseconds.
+  LatencyHistogram LatencyUs;
+  /// Queueing delay (arrival -> service start), microseconds.
+  LatencyHistogram WaitUs;
+
+  /// Admission-queue depth sampled at every arrival.
+  RunningStat QueueDepthAtArrival;
+  /// Time-averaged number of busy workers.
+  double MeanBusyWorkers = 0.0;
+  /// MeanBusyWorkers / pool size, in [0, 1].
+  double Utilization = 0.0;
+
+  double dropRate() const {
+    return Offered ? static_cast<double>(Dropped) /
+                         static_cast<double>(Offered)
+                   : 0.0;
+  }
+
+  double percentileMs(double Fraction) const {
+    return static_cast<double>(LatencyUs.percentile(Fraction)) / 1000.0;
+  }
+  double p50Ms() const { return percentileMs(0.50); }
+  double p90Ms() const { return percentileMs(0.90); }
+  double p99Ms() const { return percentileMs(0.99); }
+  double p999Ms() const { return percentileMs(0.999); }
+  double meanLatencyMs() const { return LatencyUs.mean() / 1000.0; }
+  double meanWaitMs() const { return WaitUs.mean() / 1000.0; }
+};
+
+} // namespace ddm
+
+#endif // DDM_SERVER_SERVINGMETRICS_H

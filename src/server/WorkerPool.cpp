@@ -1,0 +1,118 @@
+//===- server/WorkerPool.cpp - Event-driven request scheduler -------------===//
+
+#include "server/WorkerPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace ddm;
+
+const char *ddm::queuePolicyName(QueuePolicy Policy) {
+  switch (Policy) {
+  case QueuePolicy::Fifo:
+    return "fifo";
+  case QueuePolicy::Sjf:
+    return "sjf";
+  }
+  return "?";
+}
+
+std::optional<QueuePolicy> ddm::queuePolicyFromName(const std::string &Name) {
+  if (Name == "fifo")
+    return QueuePolicy::Fifo;
+  if (Name == "sjf")
+    return QueuePolicy::Sjf;
+  return std::nullopt;
+}
+
+WorkerPool::WorkerPool(unsigned Workers, size_t Capacity, QueuePolicy P,
+                       RateFn R)
+    : NumWorkers(Workers), QueueCapacity(Capacity), Policy(P),
+      Rate(std::move(R)) {
+  assert(NumWorkers >= 1 && "need at least one worker");
+  InService.reserve(NumWorkers);
+}
+
+double WorkerPool::rateOf(const InFlight &F) const {
+  double R = Rate(F.Req.WorkloadIdx,
+                  static_cast<unsigned>(InService.size()));
+  // A zero or negative rate would wedge the simulation; clamp.
+  return std::max(R, 1e-9);
+}
+
+void WorkerPool::advanceTo(double T) {
+  assert(T >= NowSec - 1e-12 && "time must be monotone");
+  double Dt = T - NowSec;
+  if (Dt > 0.0) {
+    for (InFlight &F : InService)
+      F.RemainingWork = std::max(0.0, F.RemainingWork - Dt * rateOf(F));
+    BusyIntegral += Dt * static_cast<double>(InService.size());
+  }
+  NowSec = T;
+}
+
+void WorkerPool::startService(const Request &Req, double Now) {
+  assert(InService.size() < NumWorkers && "no free worker");
+  InService.push_back({Req, Now, Req.WorkSec});
+}
+
+bool WorkerPool::offer(const Request &Req) {
+  advanceTo(Req.ArrivalSec);
+  if (InService.size() < NumWorkers) {
+    startService(Req, NowSec);
+    return true;
+  }
+  if (Queue.size() < QueueCapacity) {
+    Queue.push_back(Req);
+    return true;
+  }
+  ++Dropped;
+  return false;
+}
+
+double WorkerPool::nextCompletionSec() const {
+  double Best = std::numeric_limits<double>::infinity();
+  for (const InFlight &F : InService)
+    Best = std::min(Best, NowSec + F.RemainingWork / rateOf(F));
+  return Best;
+}
+
+Request WorkerPool::popQueued() {
+  assert(!Queue.empty());
+  auto It = Queue.begin();
+  if (Policy == QueuePolicy::Sjf)
+    It = std::min_element(Queue.begin(), Queue.end(),
+                          [](const Request &A, const Request &B) {
+                            return A.WorkSec < B.WorkSec;
+                          });
+  Request R = *It;
+  Queue.erase(It);
+  return R;
+}
+
+Completion WorkerPool::completeNext() {
+  assert(busy() && "nothing in service");
+  // Find the earliest finisher under the current (piecewise-constant)
+  // rates, advance exactly to that instant, and retire it.
+  size_t BestIdx = 0;
+  double BestT = std::numeric_limits<double>::infinity();
+  for (size_t I = 0; I < InService.size(); ++I) {
+    double T = NowSec + InService[I].RemainingWork / rateOf(InService[I]);
+    if (T < BestT) {
+      BestT = T;
+      BestIdx = I;
+    }
+  }
+  advanceTo(BestT);
+
+  Completion Done;
+  Done.Req = InService[BestIdx].Req;
+  Done.StartSec = InService[BestIdx].StartSec;
+  Done.FinishSec = NowSec;
+  InService.erase(InService.begin() + static_cast<long>(BestIdx));
+
+  if (!Queue.empty())
+    startService(popQueued(), NowSec);
+  return Done;
+}

@@ -1,0 +1,130 @@
+//===- server/WorkerPool.h - Event-driven request scheduler ----*- C++ -*-===//
+///
+/// \file
+/// The serving simulation's scheduler: maps in-flight requests onto a
+/// fixed pool of workers (the platform's hardware threads), with a bounded
+/// admission queue and FIFO or shortest-job-first dispatch.
+///
+/// Service progress is contention-aware: each in-service request carries
+/// its demand in "contention-free seconds" and progresses at a rate
+/// supplied by the caller as a function of how many workers are currently
+/// busy. That rate function is where the allocator simulator's
+/// bus-saturation behaviour enters — with the region allocator at 8 busy
+/// Xeon cores, every request slows down together, so load that DDmalloc
+/// absorbs becomes queue growth and tail blowup here (the paper's Figure 7
+/// effect, expressed as latency).
+///
+/// The pool is a pure discrete-event engine: rates are piecewise-constant
+/// between events (arrivals, completions), so work integrals are exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_SERVER_WORKERPOOL_H
+#define DDM_SERVER_WORKERPOOL_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ddm {
+
+/// Admission-queue dispatch order.
+enum class QueuePolicy {
+  Fifo, ///< First come, first served.
+  Sjf,  ///< Shortest (expected) job first.
+};
+
+const char *queuePolicyName(QueuePolicy Policy);
+std::optional<QueuePolicy> queuePolicyFromName(const std::string &Name);
+
+/// One request flowing through the serving simulation.
+struct Request {
+  uint64_t Id = 0;
+  unsigned WorkloadIdx = 0;
+  /// Closed-loop client that issued the request (0 for open loop).
+  unsigned Client = 0;
+  double ArrivalSec = 0.0;
+  /// Service demand in contention-free seconds (one busy worker).
+  double WorkSec = 0.0;
+};
+
+/// A finished request with its scheduling timestamps.
+struct Completion {
+  Request Req;
+  double StartSec = 0.0;  ///< When a worker picked it up.
+  double FinishSec = 0.0; ///< When service completed.
+
+  double waitSec() const { return StartSec - Req.ArrivalSec; }
+  double sojournSec() const { return FinishSec - Req.ArrivalSec; }
+};
+
+/// Event-driven bounded-queue worker pool.
+class WorkerPool {
+public:
+  /// Service progress rate (work-seconds per second, normally <= 1) of a
+  /// request of \p WorkloadIdx when \p BusyWorkers workers are busy.
+  using RateFn = std::function<double(unsigned WorkloadIdx,
+                                      unsigned BusyWorkers)>;
+
+  /// \p QueueCapacity bounds the number of *waiting* requests; arrivals
+  /// beyond it are dropped at admission.
+  WorkerPool(unsigned Workers, size_t QueueCapacity, QueuePolicy Policy,
+             RateFn Rate);
+
+  /// Offers a request at Req.ArrivalSec (times must be non-decreasing
+  /// across offer() calls). Returns false if the queue was full and the
+  /// request was dropped.
+  bool offer(const Request &Req);
+
+  /// True while any request is in service.
+  bool busy() const { return !InService.empty(); }
+
+  /// Absolute time the earliest in-service request finishes (+inf when
+  /// idle).
+  double nextCompletionSec() const;
+
+  /// Advances the clock to the earliest completion and returns it. The
+  /// freed worker immediately picks up the next queued request.
+  Completion completeNext();
+
+  size_t queueDepth() const { return Queue.size(); }
+  unsigned busyWorkers() const {
+    return static_cast<unsigned>(InService.size());
+  }
+  unsigned workers() const { return NumWorkers; }
+  uint64_t dropped() const { return Dropped; }
+
+  /// Integral of busyWorkers() over time — utilization accounting.
+  double busyWorkerSeconds() const { return BusyIntegral; }
+  double nowSec() const { return NowSec; }
+
+private:
+  struct InFlight {
+    Request Req;
+    double StartSec;
+    double RemainingWork; ///< Contention-free seconds still owed.
+  };
+
+  void advanceTo(double T);
+  void startService(const Request &Req, double Now);
+  double rateOf(const InFlight &F) const;
+  Request popQueued();
+
+  unsigned NumWorkers;
+  size_t QueueCapacity;
+  QueuePolicy Policy;
+  RateFn Rate;
+
+  std::vector<InFlight> InService;
+  std::deque<Request> Queue; ///< FIFO order; SJF scans for the minimum.
+  double NowSec = 0.0;
+  double BusyIntegral = 0.0;
+  uint64_t Dropped = 0;
+};
+
+} // namespace ddm
+
+#endif // DDM_SERVER_WORKERPOOL_H

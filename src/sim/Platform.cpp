@@ -56,3 +56,24 @@ Platform ddm::niagaraLike() {
   P.BaseIMissPerInstr = 0.006;
   return P;
 }
+
+std::optional<Platform> ddm::platformByName(const std::string &Name) {
+  if (Name == "xeon")
+    return xeonLike();
+  if (Name == "niagara")
+    return niagaraLike();
+  return std::nullopt;
+}
+
+std::vector<std::string> ddm::platformNames() { return {"xeon", "niagara"}; }
+
+bool ddm::validateActiveCores(const Platform &P, uint64_t Cores,
+                              std::string &Error) {
+  if (Cores >= 1 && Cores <= P.Cores) {
+    Error.clear();
+    return true;
+  }
+  Error = "core count must be 1.." + std::to_string(P.Cores) + " on the " +
+          P.Name + "-like platform (got " + std::to_string(Cores) + ")";
+  return false;
+}

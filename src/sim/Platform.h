@@ -26,7 +26,9 @@
 #include "sim/Cache.h"
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace ddm {
 
@@ -75,6 +77,18 @@ Platform xeonLike();
 
 /// The UltraSPARC-T1-class preset.
 Platform niagaraLike();
+
+/// Looks a preset up by name ("xeon" or "niagara"); nullopt on mismatch.
+std::optional<Platform> platformByName(const std::string &Name);
+
+/// All preset names, for --help texts.
+std::vector<std::string> platformNames();
+
+/// Validates a user-supplied --cores value against \p P. On failure fills
+/// \p Error with a printable message and returns false. Shared by every
+/// CLI driver so none of them silently accepts an impossible core count.
+bool validateActiveCores(const Platform &P, uint64_t Cores,
+                         std::string &Error);
 
 } // namespace ddm
 

@@ -1,0 +1,119 @@
+//===- tests/server/LatencyHistogramTest.cpp - Histogram unit tests -------===//
+
+#include "server/LatencyHistogram.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+#include <numeric>
+#include <vector>
+
+using namespace ddm;
+
+namespace {
+
+/// Exact order statistic with the same convention the histogram documents:
+/// smallest value V such that at least Fraction of the samples are <= V.
+uint64_t exactPercentile(std::vector<uint64_t> Sorted, double Fraction) {
+  size_t Rank = static_cast<size_t>(
+      std::ceil(Fraction * static_cast<double>(Sorted.size())));
+  Rank = std::clamp<size_t>(Rank, 1, Sorted.size());
+  return Sorted[Rank - 1];
+}
+
+} // namespace
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram H;
+  for (uint64_t V = 0; V < 64; ++V)
+    H.add(V);
+  EXPECT_EQ(H.count(), 64u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 63u);
+  // Values below 2^SubBucketBits land in singleton buckets.
+  for (uint64_t V = 0; V < 64; ++V) {
+    unsigned Index = H.bucketIndex(V);
+    EXPECT_EQ(H.bucketLowerBound(Index), V);
+    EXPECT_EQ(H.bucketUpperBound(Index), V);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketBoundsContainTheirValues) {
+  LatencyHistogram H;
+  Rng R(7);
+  for (int I = 0; I < 20000; ++I) {
+    uint64_t V = R.next() >> R.nextBelow(64);
+    unsigned Index = H.bucketIndex(V);
+    EXPECT_LE(H.bucketLowerBound(Index), V);
+    EXPECT_GE(H.bucketUpperBound(Index), V);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketIndexIsMonotone) {
+  LatencyHistogram H;
+  uint64_t Previous = 0;
+  for (uint64_t V = 1; V < (1ull << 40); V = V * 3 / 2 + 1) {
+    unsigned Index = H.bucketIndex(V);
+    EXPECT_GE(Index, Previous);
+    Previous = Index;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentilesMatchSortedReference) {
+  // Log-normal-ish latencies spanning ~4 decades: the shape the serving
+  // simulation actually records.
+  LatencyHistogram H;
+  Rng R(42);
+  std::vector<uint64_t> Samples;
+  for (int I = 0; I < 50000; ++I) {
+    uint64_t V =
+        static_cast<uint64_t>(std::llround(R.nextLogNormal(8.0, 1.5)));
+    Samples.push_back(V);
+    H.add(V);
+  }
+  std::sort(Samples.begin(), Samples.end());
+  for (double Q : {0.50, 0.90, 0.99, 0.999}) {
+    uint64_t Exact = exactPercentile(Samples, Q);
+    uint64_t Estimate = H.percentile(Q);
+    // Documented contract: never below the exact order statistic, above it
+    // by at most the bucket's relative resolution.
+    EXPECT_GE(Estimate, Exact) << "q=" << Q;
+    EXPECT_LE(static_cast<double>(Estimate),
+              static_cast<double>(Exact) * (1.0 + H.relativeError()) + 1.0)
+        << "q=" << Q;
+  }
+  EXPECT_EQ(H.percentile(1.0), Samples.back());
+  EXPECT_NEAR(H.mean(),
+              static_cast<double>(std::accumulate(Samples.begin(),
+                                                  Samples.end(), 0.0)) /
+                  Samples.size(),
+              1e-6);
+}
+
+TEST(LatencyHistogramTest, MergeEqualsCombinedRecording) {
+  LatencyHistogram A, B, Combined;
+  Rng R(3);
+  for (int I = 0; I < 4000; ++I) {
+    uint64_t V = R.nextBelow(1 << 20);
+    (I % 2 ? A : B).add(V);
+    Combined.add(V);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), Combined.count());
+  EXPECT_EQ(A.min(), Combined.min());
+  EXPECT_EQ(A.max(), Combined.max());
+  for (double Q : {0.5, 0.9, 0.99})
+    EXPECT_EQ(A.percentile(Q), Combined.percentile(Q));
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramIsInert) {
+  LatencyHistogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.percentile(0.99), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_DOUBLE_EQ(H.mean(), 0.0);
+  EXPECT_TRUE(H.render().empty());
+}

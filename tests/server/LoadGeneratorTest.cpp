@@ -1,0 +1,144 @@
+//===- tests/server/LoadGeneratorTest.cpp - Arrival-process tests ---------===//
+
+#include "server/LoadGenerator.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <vector>
+
+using namespace ddm;
+
+namespace {
+
+std::vector<double> arrivalTimes(const LoadConfig &Config, unsigned N) {
+  LoadGenerator Gen(Config);
+  std::vector<double> Times;
+  Times.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Times.push_back(Gen.nextArrivalSec());
+  return Times;
+}
+
+} // namespace
+
+TEST(LoadGeneratorTest, SameSeedSameArrivalSequence) {
+  for (ArrivalProcess Process :
+       {ArrivalProcess::Poisson, ArrivalProcess::Bursty}) {
+    LoadConfig Config;
+    Config.Process = Process;
+    Config.RatePerSec = 250.0;
+    Config.Seed = 0xfeed;
+    std::vector<double> A = arrivalTimes(Config, 500);
+    std::vector<double> B = arrivalTimes(Config, 500);
+    ASSERT_EQ(A.size(), B.size());
+    for (size_t I = 0; I < A.size(); ++I)
+      EXPECT_DOUBLE_EQ(A[I], B[I]) << arrivalProcessName(Process);
+  }
+}
+
+TEST(LoadGeneratorTest, DifferentSeedsDiffer) {
+  LoadConfig Config;
+  Config.Seed = 1;
+  std::vector<double> A = arrivalTimes(Config, 50);
+  Config.Seed = 2;
+  std::vector<double> B = arrivalTimes(Config, 50);
+  EXPECT_NE(A.front(), B.front());
+}
+
+TEST(LoadGeneratorTest, ArrivalsAreMonotone) {
+  for (ArrivalProcess Process :
+       {ArrivalProcess::Poisson, ArrivalProcess::Bursty}) {
+    LoadConfig Config;
+    Config.Process = Process;
+    std::vector<double> Times = arrivalTimes(Config, 2000);
+    for (size_t I = 1; I < Times.size(); ++I)
+      EXPECT_GE(Times[I], Times[I - 1]);
+  }
+}
+
+TEST(LoadGeneratorTest, PoissonLongRunRateMatches) {
+  LoadConfig Config;
+  Config.RatePerSec = 400.0;
+  Config.Seed = 9;
+  std::vector<double> Times = arrivalTimes(Config, 40000);
+  double Rate = static_cast<double>(Times.size()) / Times.back();
+  EXPECT_NEAR(Rate / Config.RatePerSec, 1.0, 0.03);
+}
+
+TEST(LoadGeneratorTest, BurstyLongRunRateMatches) {
+  LoadConfig Config;
+  Config.Process = ArrivalProcess::Bursty;
+  Config.RatePerSec = 400.0;
+  Config.BurstBoost = 4.0;
+  Config.BurstOnFraction = 0.2;
+  Config.MeanOnSec = 0.25;
+  Config.Seed = 11;
+  std::vector<double> Times = arrivalTimes(Config, 60000);
+  double Rate = static_cast<double>(Times.size()) / Times.back();
+  // On-off phases need more averaging than plain Poisson.
+  EXPECT_NEAR(Rate / Config.RatePerSec, 1.0, 0.10);
+}
+
+TEST(LoadGeneratorTest, BurstyIsBurstierThanPoisson) {
+  // Index of dispersion of counts in fixed windows: 1 for Poisson, > 1
+  // for the on-off modulated process.
+  auto Dispersion = [](const std::vector<double> &Times, double Window) {
+    std::vector<uint64_t> Counts(
+        static_cast<size_t>(Times.back() / Window) + 1, 0);
+    for (double T : Times)
+      ++Counts[static_cast<size_t>(T / Window)];
+    double Mean = 0, Var = 0;
+    for (uint64_t C : Counts)
+      Mean += static_cast<double>(C);
+    Mean /= static_cast<double>(Counts.size());
+    for (uint64_t C : Counts)
+      Var += (static_cast<double>(C) - Mean) * (static_cast<double>(C) - Mean);
+    Var /= static_cast<double>(Counts.size());
+    return Var / Mean;
+  };
+  LoadConfig Config;
+  Config.RatePerSec = 300.0;
+  Config.Seed = 21;
+  std::vector<double> Poisson = arrivalTimes(Config, 30000);
+  Config.Process = ArrivalProcess::Bursty;
+  Config.BurstBoost = 4.0;
+  Config.BurstOnFraction = 0.2;
+  std::vector<double> Bursty = arrivalTimes(Config, 30000);
+  double DPoisson = Dispersion(Poisson, 0.1);
+  double DBursty = Dispersion(Bursty, 0.1);
+  EXPECT_NEAR(DPoisson, 1.0, 0.25);
+  EXPECT_GT(DBursty, 2.0 * DPoisson);
+}
+
+TEST(LoadGeneratorTest, MixWeightsAreRespected) {
+  LoadConfig Config;
+  Config.MixWeights = {3.0, 1.0};
+  Config.Seed = 5;
+  LoadGenerator Gen(Config);
+  unsigned Counts[2] = {0, 0};
+  for (int I = 0; I < 20000; ++I)
+    ++Counts[Gen.pickWorkload()];
+  double Share = static_cast<double>(Counts[0]) / 20000.0;
+  EXPECT_NEAR(Share, 0.75, 0.02);
+}
+
+TEST(LoadGeneratorTest, ThinkTimesHaveTheConfiguredMean) {
+  LoadConfig Config;
+  Config.Process = ArrivalProcess::ClosedLoop;
+  Config.MeanThinkSec = 0.05;
+  Config.Seed = 8;
+  LoadGenerator Gen(Config);
+  double Sum = 0;
+  const int N = 30000;
+  for (int I = 0; I < N; ++I)
+    Sum += Gen.nextThinkSec();
+  EXPECT_NEAR(Sum / N / Config.MeanThinkSec, 1.0, 0.05);
+}
+
+TEST(LoadGeneratorTest, NamesRoundTrip) {
+  for (ArrivalProcess Process :
+       {ArrivalProcess::Poisson, ArrivalProcess::Bursty,
+        ArrivalProcess::ClosedLoop})
+    EXPECT_EQ(arrivalProcessFromName(arrivalProcessName(Process)), Process);
+  EXPECT_FALSE(arrivalProcessFromName("warp-drive").has_value());
+}

@@ -1,0 +1,155 @@
+//===- tests/server/ServingSimulatorTest.cpp - End-to-end serving tests ---===//
+
+#include "server/ServingSimulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace ddm;
+
+namespace {
+
+SimulationOptions tinyOptions() {
+  SimulationOptions Options;
+  // The bus-saturation mechanism needs a working set that spills out of
+  // L2; 0.35 is the scale the experiments/ShapeTest suite establishes as
+  // the smallest that preserves the paper's 8-core shapes.
+  Options.Scale = 0.35;
+  Options.WarmupTx = 1;
+  Options.MeasureTx = 4; // per-transaction samples for the profile
+  Options.Seed = 5;
+  return Options;
+}
+
+/// Models are expensive to build (each runs the allocator simulator), so
+/// build one per allocator once and share across tests.
+const ServiceTimeModel &modelFor(AllocatorKind Kind) {
+  static const ServiceTimeModel DDm =
+      buildServiceTimeModel({mediaWikiReadOnly()}, AllocatorKind::DDmalloc,
+                            xeonLike(), 8, tinyOptions());
+  static const ServiceTimeModel Region =
+      buildServiceTimeModel({mediaWikiReadOnly()}, AllocatorKind::Region,
+                            xeonLike(), 8, tinyOptions());
+  return Kind == AllocatorKind::Region ? Region : DDm;
+}
+
+ServingConfig baseConfig(double Rps) {
+  ServingConfig Config;
+  Config.Load.RatePerSec = Rps;
+  Config.Load.Seed = 0xabc;
+  Config.QueueCapacity = 256;
+  Config.DurationTx = 1500;
+  return Config;
+}
+
+} // namespace
+
+TEST(ServiceTimeModelTest, SlowdownIsMonotoneFromOne) {
+  const ServiceTimeModel &Model = modelFor(AllocatorKind::DDmalloc);
+  ASSERT_EQ(Model.Workers, 8u);
+  ASSERT_EQ(Model.Workloads.size(), 1u);
+  const auto &W = Model.Workloads[0];
+  EXPECT_GT(W.BaseServiceSec, 0.0);
+  EXPECT_DOUBLE_EQ(W.Slowdown.front(), 1.0);
+  for (size_t I = 1; I < W.Slowdown.size(); ++I)
+    EXPECT_GE(W.Slowdown[I], W.Slowdown[I - 1]);
+}
+
+TEST(ServiceTimeModelTest, RelativeWeightsAverageToOne) {
+  const auto &W = modelFor(AllocatorKind::DDmalloc).Workloads[0];
+  ASSERT_FALSE(W.RelativeWeights.empty());
+  double Sum = 0;
+  for (double X : W.RelativeWeights) {
+    EXPECT_GT(X, 0.0);
+    Sum += X;
+  }
+  EXPECT_NEAR(Sum / static_cast<double>(W.RelativeWeights.size()), 1.0, 1e-9);
+}
+
+TEST(ServiceTimeModelTest, RegionSaturatesTheBusHarderThanDDmalloc) {
+  // The paper's 8-core Xeon result, seen from the serving layer: the
+  // region allocator's extra bus traffic means a fuller pool slows its
+  // requests down more, and its saturation capacity lands lower.
+  const ServiceTimeModel &Region = modelFor(AllocatorKind::Region);
+  const ServiceTimeModel &DDm = modelFor(AllocatorKind::DDmalloc);
+  EXPECT_GT(Region.Workloads[0].Slowdown.back(),
+            DDm.Workloads[0].Slowdown.back());
+  EXPECT_LT(Region.capacityRps(), DDm.capacityRps());
+}
+
+TEST(ServingSimulatorTest, DeterministicGivenSeed) {
+  const ServiceTimeModel &Model = modelFor(AllocatorKind::DDmalloc);
+  ServingConfig Config = baseConfig(0.8 * Model.capacityRps());
+  ServingMetrics A = runServing(Model, Config);
+  ServingMetrics B = runServing(Model, Config);
+  EXPECT_EQ(A.Completed, B.Completed);
+  EXPECT_EQ(A.Dropped, B.Dropped);
+  EXPECT_EQ(A.LatencyUs.percentile(0.99), B.LatencyUs.percentile(0.99));
+  EXPECT_DOUBLE_EQ(A.GoodputRps, B.GoodputRps);
+}
+
+TEST(ServingSimulatorTest, BelowCapacityNothingDropsAndGoodputTracksOffered) {
+  const ServiceTimeModel &Model = modelFor(AllocatorKind::DDmalloc);
+  ServingConfig Config = baseConfig(0.5 * Model.capacityRps());
+  ServingMetrics M = runServing(Model, Config);
+  EXPECT_EQ(M.Dropped, 0u);
+  EXPECT_EQ(M.Completed, Config.DurationTx);
+  EXPECT_NEAR(M.GoodputRps / M.OfferedRps, 1.0, 0.1);
+  // Little's law sanity: utilization tracks offered/capacity.
+  EXPECT_NEAR(M.Utilization, 0.5, 0.15);
+}
+
+TEST(ServingSimulatorTest, OverloadShedsAndGoodputPinsAtCapacity) {
+  const ServiceTimeModel &Model = modelFor(AllocatorKind::DDmalloc);
+  ServingConfig Config = baseConfig(1.4 * Model.capacityRps());
+  Config.QueueCapacity = 32;
+  ServingMetrics M = runServing(Model, Config);
+  EXPECT_GT(M.Dropped, 0u);
+  EXPECT_LT(M.GoodputRps, M.OfferedRps);
+  EXPECT_NEAR(M.GoodputRps / Model.capacityRps(), 1.0, 0.15);
+  // The bounded queue keeps the tail finite but saturated.
+  EXPECT_GT(M.p99Ms(), 1.5 * Model.Workloads[0].BaseServiceSec * 1e3);
+}
+
+TEST(ServingSimulatorTest, RegionTailBlowsUpFirstNearSaturation) {
+  // The acceptance-criterion shape in miniature: at an offered load
+  // DDmalloc still absorbs (95% of its capacity), the region allocator -
+  // whose bus-limited capacity is lower - explodes in p99 and drops.
+  const ServiceTimeModel &Region = modelFor(AllocatorKind::Region);
+  const ServiceTimeModel &DDm = modelFor(AllocatorKind::DDmalloc);
+  double Offered = 0.95 * DDm.capacityRps();
+  ServingMetrics MRegion = runServing(Region, baseConfig(Offered));
+  ServingMetrics MDDm = runServing(DDm, baseConfig(Offered));
+  EXPECT_GT(MRegion.p99Ms(), 2.0 * MDDm.p99Ms());
+  EXPECT_GE(MRegion.dropRate(), MDDm.dropRate());
+}
+
+TEST(ServingSimulatorTest, ClosedLoopSelfLimits) {
+  const ServiceTimeModel &Model = modelFor(AllocatorKind::DDmalloc);
+  ServingConfig Config;
+  Config.Load.Process = ArrivalProcess::ClosedLoop;
+  Config.Load.Clients = 4;
+  Config.Load.MeanThinkSec = 2.0 * Model.Workloads[0].BaseServiceSec;
+  Config.Load.Seed = 0xc105ed;
+  Config.QueueCapacity = 64;
+  Config.DurationTx = 800;
+  ServingMetrics M = runServing(Model, Config);
+  EXPECT_EQ(M.Completed, Config.DurationTx);
+  EXPECT_EQ(M.Dropped, 0u); // population 4 never overflows a 64-deep queue
+  // At most Clients requests are ever in flight.
+  EXPECT_LE(M.QueueDepthAtArrival.max(), 4.0);
+  EXPECT_LE(M.MeanBusyWorkers, 4.0 + 1e-9);
+}
+
+TEST(ServingSimulatorTest, SjfReordersButConservesRequests) {
+  const ServiceTimeModel &Model = modelFor(AllocatorKind::DDmalloc);
+  ServingConfig Fifo = baseConfig(1.05 * Model.capacityRps());
+  ServingConfig Sjf = Fifo;
+  Sjf.Policy = QueuePolicy::Sjf;
+  ServingMetrics MFifo = runServing(Model, Fifo);
+  ServingMetrics MSjf = runServing(Model, Sjf);
+  EXPECT_EQ(MFifo.Offered, MSjf.Offered);
+  EXPECT_EQ(MFifo.Completed + MFifo.Dropped, MFifo.Offered);
+  EXPECT_EQ(MSjf.Completed + MSjf.Dropped, MSjf.Offered);
+  // Shortest-job-first cannot worsen the median under backlog.
+  EXPECT_LE(MSjf.p50Ms(), MFifo.p50Ms() * 1.05);
+}

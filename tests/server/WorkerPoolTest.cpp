@@ -1,0 +1,172 @@
+//===- tests/server/WorkerPoolTest.cpp - Scheduler & queueing tests -------===//
+
+#include "server/WorkerPool.h"
+
+#include "support/Random.h"
+#include "support/Stats.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <limits>
+
+using namespace ddm;
+
+namespace {
+
+/// Drives an M/M/c-style run through the pool: Poisson arrivals at
+/// \p LambdaPerSec, exponential service with mean \p MeanServiceSec, unit
+/// progress rate (no contention coupling). Returns aggregate stats.
+struct QueueRun {
+  uint64_t Offered = 0;
+  uint64_t Completed = 0;
+  uint64_t Dropped = 0;
+  RunningStat WaitSec;
+  RunningStat SojournSec;
+};
+
+QueueRun runMmc(unsigned Workers, size_t QueueCap, QueuePolicy Policy,
+                double LambdaPerSec, double MeanServiceSec, unsigned N,
+                uint64_t Seed) {
+  WorkerPool Pool(Workers, QueueCap, Policy,
+                  [](unsigned, unsigned) { return 1.0; });
+  Rng R(Seed);
+  auto Exp = [&R](double Mean) {
+    double U = R.nextDouble();
+    if (U <= 0.0)
+      U = 0x1.0p-53;
+    return -std::log(U) * Mean;
+  };
+
+  QueueRun Run;
+  double NextArrival = Exp(1.0 / LambdaPerSec);
+  uint64_t Remaining = N;
+  uint64_t Id = 0;
+  while (Remaining > 0 || Pool.busy()) {
+    double NextCompletion = Pool.nextCompletionSec();
+    if (Remaining > 0 && NextArrival <= NextCompletion) {
+      Request Req;
+      Req.Id = Id++;
+      Req.ArrivalSec = NextArrival;
+      Req.WorkSec = Exp(MeanServiceSec);
+      ++Run.Offered;
+      if (!Pool.offer(Req))
+        ++Run.Dropped;
+      --Remaining;
+      NextArrival += Exp(1.0 / LambdaPerSec);
+    } else {
+      Completion Done = Pool.completeNext();
+      ++Run.Completed;
+      Run.WaitSec.add(Done.waitSec());
+      Run.SojournSec.add(Done.sojournSec());
+    }
+  }
+  return Run;
+}
+
+} // namespace
+
+TEST(WorkerPoolTest, ConservationOfRequests) {
+  QueueRun Run = runMmc(2, 8, QueuePolicy::Fifo, 180.0, 0.01, 20000, 3);
+  EXPECT_EQ(Run.Offered, 20000u);
+  EXPECT_EQ(Run.Completed + Run.Dropped, Run.Offered);
+}
+
+TEST(WorkerPoolTest, NoDropsBelowCapacityWithHeadroom) {
+  // M/M/1 at rho = 0.5 with an effectively unbounded queue: nothing drops.
+  QueueRun Run = runMmc(1, std::numeric_limits<size_t>::max(),
+                        QueuePolicy::Fifo, 50.0, 0.01, 30000, 7);
+  EXPECT_EQ(Run.Dropped, 0u);
+  EXPECT_EQ(Run.Completed, 30000u);
+}
+
+TEST(WorkerPoolTest, MeanWaitGrowsWithUtilization) {
+  // M/M/1 mean wait is rho/(1-rho) * s: 0.01 s at rho 0.5 vs 0.04 s at
+  // rho 0.8 (s = 10 ms). Check growth and rough agreement with theory.
+  QueueRun Low = runMmc(1, std::numeric_limits<size_t>::max(),
+                        QueuePolicy::Fifo, 50.0, 0.01, 60000, 11);
+  QueueRun High = runMmc(1, std::numeric_limits<size_t>::max(),
+                         QueuePolicy::Fifo, 80.0, 0.01, 60000, 11);
+  EXPECT_GT(High.WaitSec.mean(), 2.5 * Low.WaitSec.mean());
+  EXPECT_NEAR(Low.WaitSec.mean(), 0.01, 0.004);
+  EXPECT_NEAR(High.WaitSec.mean(), 0.04, 0.015);
+}
+
+TEST(WorkerPoolTest, OverloadWithBoundedQueueDrops) {
+  // rho = 1.5: a bounded queue must shed ~1/3 of the offered load, and
+  // goodput pins at the service capacity.
+  QueueRun Run = runMmc(1, 16, QueuePolicy::Fifo, 150.0, 0.01, 40000, 13);
+  EXPECT_GT(Run.Dropped, 0u);
+  double DropRate =
+      static_cast<double>(Run.Dropped) / static_cast<double>(Run.Offered);
+  EXPECT_NEAR(DropRate, 1.0 / 3.0, 0.05);
+}
+
+TEST(WorkerPoolTest, SjfBeatsFifoOnMeanSojournUnderLoad) {
+  QueueRun Fifo = runMmc(1, std::numeric_limits<size_t>::max(),
+                         QueuePolicy::Fifo, 85.0, 0.01, 40000, 17);
+  QueueRun Sjf = runMmc(1, std::numeric_limits<size_t>::max(),
+                        QueuePolicy::Sjf, 85.0, 0.01, 40000, 17);
+  EXPECT_LT(Sjf.SojournSec.mean(), Fifo.SojournSec.mean());
+}
+
+TEST(WorkerPoolTest, ContentionSlowdownStretchesService) {
+  // Two workers, rate halves when both are busy: a pair of simultaneous
+  // unit jobs must take 2 s, not 1 s.
+  WorkerPool Pool(2, 4, QueuePolicy::Fifo, [](unsigned, unsigned Busy) {
+    return Busy <= 1 ? 1.0 : 0.5;
+  });
+  Request A;
+  A.Id = 0;
+  A.ArrivalSec = 0.0;
+  A.WorkSec = 1.0;
+  Request B = A;
+  B.Id = 1;
+  ASSERT_TRUE(Pool.offer(A));
+  ASSERT_TRUE(Pool.offer(B));
+  Completion First = Pool.completeNext();
+  EXPECT_NEAR(First.FinishSec, 2.0, 1e-9);
+  // After the first finishes the survivor speeds back up; it had the same
+  // work, so it finishes at the same instant.
+  Completion Second = Pool.completeNext();
+  EXPECT_NEAR(Second.FinishSec, 2.0, 1e-9);
+}
+
+TEST(WorkerPoolTest, QueueCapacityZeroRejectsWhenAllBusy) {
+  WorkerPool Pool(1, 0, QueuePolicy::Fifo,
+                  [](unsigned, unsigned) { return 1.0; });
+  Request A;
+  A.ArrivalSec = 0.0;
+  A.WorkSec = 1.0;
+  EXPECT_TRUE(Pool.offer(A));
+  Request B = A;
+  B.Id = 1;
+  B.ArrivalSec = 0.5;
+  EXPECT_FALSE(Pool.offer(B));
+  EXPECT_EQ(Pool.dropped(), 1u);
+  Completion Done = Pool.completeNext();
+  EXPECT_NEAR(Done.FinishSec, 1.0, 1e-9);
+}
+
+TEST(WorkerPoolTest, BusyIntegralTracksUtilization) {
+  WorkerPool Pool(2, 4, QueuePolicy::Fifo,
+                  [](unsigned, unsigned) { return 1.0; });
+  Request A;
+  A.ArrivalSec = 0.0;
+  A.WorkSec = 2.0;
+  Request B;
+  B.Id = 1;
+  B.ArrivalSec = 1.0;
+  B.WorkSec = 1.0;
+  Pool.offer(A);
+  Pool.offer(B);
+  Pool.completeNext();
+  Pool.completeNext();
+  // One worker busy 0..2, the other 1..2: 3 busy-worker-seconds.
+  EXPECT_NEAR(Pool.busyWorkerSeconds(), 3.0, 1e-9);
+}
+
+TEST(WorkerPoolTest, PolicyNamesRoundTrip) {
+  EXPECT_EQ(queuePolicyFromName("fifo"), QueuePolicy::Fifo);
+  EXPECT_EQ(queuePolicyFromName("sjf"), QueuePolicy::Sjf);
+  EXPECT_FALSE(queuePolicyFromName("lifo").has_value());
+}
