@@ -87,7 +87,7 @@ constexpr size_t HeapReserve = 64ull * 1024 * 1024;
 /// never counts as shared).
 std::vector<RecordingSink::Access> recordThread(const WorkloadSpec &W,
                                                 uint32_t Thread, bool Coloring,
-                                                double Scale) {
+                                                double Scale, uint64_t Seed) {
   DDmallocConfig Config;
   Config.ProcessId = Thread;
   Config.MetadataColoring = Coloring;
@@ -97,7 +97,7 @@ std::vector<RecordingSink::Access> recordThread(const WorkloadSpec &W,
   Allocator.attachSink(&Sink);
 
   AllocOnlyExecutor Executor(Allocator);
-  Rng R(7 + Thread);
+  Rng R(Seed + Thread);
   runTransaction(W, Scale, R, Executor);
 
   void *Probe = Allocator.allocate(8);
@@ -115,11 +115,13 @@ std::vector<RecordingSink::Access> recordThread(const WorkloadSpec &W,
 int main(int Argc, char **Argv) {
   double Scale = 0.2;
   uint64_t Threads = 4;
+  uint64_t Seed = 7;
   bool Csv = false;
   ArgParser Parser("Ablation: DDmalloc metadata coloring under a shared "
                    "Niagara-style L1 (paper Section 3.3, optimization 1).");
   Parser.addFlag("scale", &Scale, "workload scale");
   Parser.addFlag("threads", &Threads, "hardware threads sharing the L1");
+  Parser.addFlag("seed", &Seed, "random seed (per-thread seeds are seed+i)");
   Parser.addFlag("csv", &Csv, "emit CSV instead of ASCII");
   if (!Parser.parse(Argc, Argv))
     return 1;
@@ -132,7 +134,7 @@ int main(int Argc, char **Argv) {
   for (bool Coloring : {false, true}) {
     std::vector<std::vector<RecordingSink::Access>> Streams;
     for (uint32_t Thread = 0; Thread < Threads; ++Thread)
-      Streams.push_back(recordThread(W, Thread, Coloring, Scale));
+      Streams.push_back(recordThread(W, Thread, Coloring, Scale, Seed));
 
     // Interleave the threads round-robin through one shared L1.
     Cache SharedL1(CacheGeometry{8 * 1024, 4, 64});

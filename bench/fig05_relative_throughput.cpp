@@ -14,6 +14,7 @@
 
 #include "experiments/Measure.h"
 #include "support/ArgParse.h"
+#include "support/Json.h"
 #include "support/Table.h"
 
 #include <cstdio>
@@ -26,6 +27,7 @@ int main(int Argc, char **Argv) {
   uint64_t MeasureTx = 3;
   uint64_t Seed = 1;
   bool Csv = false;
+  bool Json = false;
   bool Verbose = false;
   ArgParser Parser(
       "Reproduces Figure 5: relative throughput over the default allocator "
@@ -35,6 +37,8 @@ int main(int Argc, char **Argv) {
   Parser.addFlag("transactions", &MeasureTx, "measured transactions");
   Parser.addFlag("seed", &Seed, "random seed");
   Parser.addFlag("csv", &Csv, "emit CSV instead of ASCII");
+  Parser.addFlag("json", &Json,
+                 "emit machine-readable JSON (redirect to BENCH_*.json)");
   Parser.addFlag("verbose", &Verbose, "print model internals per point");
   if (!Parser.parse(Argc, Argv))
     return 1;
@@ -45,21 +49,44 @@ int main(int Argc, char **Argv) {
   Options.MeasureTx = static_cast<unsigned>(MeasureTx);
   Options.Seed = Seed;
 
-  std::printf("Figure 5: relative throughput over the default allocator of "
-              "the PHP runtime (8 cores)\n\n");
+  if (!Json)
+    std::printf("Figure 5: relative throughput over the default allocator of "
+                "the PHP runtime (8 cores)\n\n");
+  JsonWriter J;
+  if (Json)
+    J.beginObject()
+        .field("bench", "fig05_relative_throughput")
+        .field("seed", Seed)
+        .field("scale", Scale)
+        .key("platforms")
+        .beginArray();
 
   for (const Platform &P : {xeonLike(), niagaraLike()}) {
     Table Out({"workload", "default (tx/s)", "region", "ddmalloc"});
+    if (Json)
+      J.beginObject().field("platform", P.Name).key("rows").beginArray();
     for (const WorkloadSpec &W : phpWorkloads()) {
       SimPoint Default = simulate(W, AllocatorKind::Default, P, P.Cores, Options);
       SimPoint Region = simulate(W, AllocatorKind::Region, P, P.Cores, Options);
       SimPoint DDm = simulate(W, AllocatorKind::DDmalloc, P, P.Cores, Options);
-      Out.row()
-          .cell(W.Name)
-          .cell(Default.Perf.TxPerSec * Scale, 1)
-          .percentCell(percentOver(Region.Perf.TxPerSec, Default.Perf.TxPerSec))
-          .percentCell(percentOver(DDm.Perf.TxPerSec, Default.Perf.TxPerSec));
-      if (Verbose) {
+      if (Json)
+        J.beginObject()
+            .field("workload", W.Name)
+            .field("default_tps", Default.Perf.TxPerSec * Scale)
+            .field("region_vs_default_pct",
+                   percentOver(Region.Perf.TxPerSec, Default.Perf.TxPerSec))
+            .field("ddmalloc_vs_default_pct",
+                   percentOver(DDm.Perf.TxPerSec, Default.Perf.TxPerSec))
+            .endObject();
+      else
+        Out.row()
+            .cell(W.Name)
+            .cell(Default.Perf.TxPerSec * Scale, 1)
+            .percentCell(
+                percentOver(Region.Perf.TxPerSec, Default.Perf.TxPerSec))
+            .percentCell(
+                percentOver(DDm.Perf.TxPerSec, Default.Perf.TxPerSec));
+      if (Verbose && !Json) {
         auto Dump = [&](const char *Name, const SimPoint &Point) {
           DomainEvents T = Point.Events.total();
           std::printf(
@@ -78,14 +105,23 @@ int main(int Argc, char **Argv) {
         Dump("ddmalloc", DDm);
       }
     }
-    std::printf("--- platform: %s-like, %u cores ---\n", P.Name.c_str(),
-                P.Cores);
-    std::fputs((Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
-    std::printf("\n");
+    if (Json) {
+      J.endArray().endObject();
+    } else {
+      std::printf("--- platform: %s-like, %u cores ---\n", P.Name.c_str(),
+                  P.Cores);
+      std::fputs((Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
+      std::printf("\n");
+    }
   }
 
-  std::printf("Paper: DDmalloc best everywhere (max +11.1%% Xeon, +11.4%% "
-              "Niagara; avg +7.7%%/+8.3%%); region as low as -27.2%% on "
-              "Xeon, mixed on Niagara.\n");
+  if (Json) {
+    J.endArray().endObject();
+    std::printf("%s\n", J.str().c_str());
+  } else {
+    std::printf("Paper: DDmalloc best everywhere (max +11.1%% Xeon, +11.4%% "
+                "Niagara; avg +7.7%%/+8.3%%); region as low as -27.2%% on "
+                "Xeon, mixed on Niagara.\n");
+  }
   return 0;
 }

@@ -15,11 +15,29 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 using namespace ddm;
 
 namespace {
+
+/// Seed of the churn RNGs; Google Benchmark owns argv, so --seed=N is
+/// peeled off before benchmark::Initialize sees it.
+uint64_t BenchSeed = 42;
+
+void extractSeedFlag(int &Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--seed=", 7) != 0)
+      continue;
+    BenchSeed = std::strtoull(Argv[I] + 7, nullptr, 10);
+    for (int J = I; J + 1 < Argc; ++J)
+      Argv[J] = Argv[J + 1];
+    --Argc;
+    return;
+  }
+}
 
 AllocatorOptions benchOptions() {
   AllocatorOptions Options;
@@ -47,7 +65,7 @@ void BM_MallocFreePair(benchmark::State &State, AllocatorKind Kind) {
 /// full sweep) at the end.
 void BM_Transaction(benchmark::State &State, AllocatorKind Kind) {
   auto Allocator = createAllocator(Kind, benchOptions());
-  Rng R(42);
+  Rng R(BenchSeed);
   std::vector<void *> Ring(64, nullptr);
   for (auto _ : State) {
     size_t Cursor = 0;
@@ -77,7 +95,7 @@ void BM_Transaction(benchmark::State &State, AllocatorKind Kind) {
 /// freeAll cost after a populated transaction.
 void BM_FreeAll(benchmark::State &State, AllocatorKind Kind) {
   auto Allocator = createAllocator(Kind, benchOptions());
-  Rng R(7);
+  Rng R(BenchSeed ^ 0xf4ee);
   for (auto _ : State) {
     State.PauseTiming();
     for (int I = 0; I < 2048; ++I)
@@ -107,6 +125,7 @@ void registerAll() {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  extractSeedFlag(Argc, Argv);
   registerAll();
   benchmark::Initialize(&Argc, Argv);
   benchmark::RunSpecifiedBenchmarks();

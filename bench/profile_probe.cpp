@@ -23,6 +23,7 @@ int main(int Argc, char **Argv) {
   double Scale = 0.3;
   uint64_t WarmupTx = 1;
   uint64_t MeasureTx = 1;
+  uint64_t Seed = 0x5eed;
   ArgParser Parser("Calibration probe: one simulated point with timing.");
   Parser.addFlag("workload", &WorkloadName, "workload name");
   Parser.addFlag("allocator", &AllocName, "allocator name");
@@ -31,6 +32,7 @@ int main(int Argc, char **Argv) {
   Parser.addFlag("scale", &Scale, "workload scale");
   Parser.addFlag("warmup", &WarmupTx, "warmup transactions");
   Parser.addFlag("transactions", &MeasureTx, "measured transactions");
+  Parser.addFlag("seed", &Seed, "random seed");
   if (!Parser.parse(Argc, Argv))
     return 1;
 
@@ -46,6 +48,7 @@ int main(int Argc, char **Argv) {
   Options.Scale = Scale;
   Options.WarmupTx = static_cast<unsigned>(WarmupTx);
   Options.MeasureTx = static_cast<unsigned>(MeasureTx);
+  Options.Seed = Seed;
 
   auto Start = std::chrono::steady_clock::now();
   SimPoint Point = simulate(*W, *Kind, P, static_cast<unsigned>(Cores), Options);

@@ -15,6 +15,7 @@
 
 #include "experiments/Measure.h"
 #include "support/ArgParse.h"
+#include "support/Json.h"
 #include "support/Table.h"
 
 #include <cstdio>
@@ -27,6 +28,7 @@ int main(int Argc, char **Argv) {
   uint64_t MeasureTx = 2;
   uint64_t Seed = 1;
   bool Csv = false;
+  bool Json = false;
   ArgParser Parser("Reproduces Table 4: 1-core and 8-core throughput and the "
                    "speedup for every workload, allocator, and platform.");
   Parser.addFlag("scale", &Scale, "workload scale");
@@ -34,6 +36,8 @@ int main(int Argc, char **Argv) {
   Parser.addFlag("transactions", &MeasureTx, "measured transactions");
   Parser.addFlag("seed", &Seed, "random seed");
   Parser.addFlag("csv", &Csv, "emit CSV instead of ASCII");
+  Parser.addFlag("json", &Json,
+                 "emit machine-readable JSON (redirect to BENCH_*.json)");
   if (!Parser.parse(Argc, Argv))
     return 1;
 
@@ -43,10 +47,21 @@ int main(int Argc, char **Argv) {
   Options.MeasureTx = static_cast<unsigned>(MeasureTx);
   Options.Seed = Seed;
 
-  std::printf("Table 4: speedups with 8 cores for each workload\n\n");
+  if (!Json)
+    std::printf("Table 4: speedups with 8 cores for each workload\n\n");
+  JsonWriter J;
+  if (Json)
+    J.beginObject()
+        .field("bench", "table4_speedups")
+        .field("seed", Seed)
+        .field("scale", Scale)
+        .key("platforms")
+        .beginArray();
   for (const Platform &P : {xeonLike(), niagaraLike()}) {
     Table Out({"workload", "allocator", "1 core (tx/s)", "vs default",
                "8 cores (tx/s)", "vs default", "speedup"});
+    if (Json)
+      J.beginObject().field("platform", P.Name).key("rows").beginArray();
     for (const WorkloadSpec &W : phpWorkloads()) {
       double BaseOne = 0, BaseEight = 0;
       for (AllocatorKind Kind : phpStudyAllocatorKinds()) {
@@ -57,6 +72,19 @@ int main(int Argc, char **Argv) {
         if (Kind == AllocatorKind::Default) {
           BaseOne = TpsOne;
           BaseEight = TpsEight;
+        }
+        if (Json) {
+          J.beginObject()
+              .field("workload", W.Name)
+              .field("allocator", allocatorKindName(Kind))
+              .field("one_core_tps", TpsOne)
+              .field("one_core_vs_default_pct", percentOver(TpsOne, BaseOne))
+              .field("eight_core_tps", TpsEight)
+              .field("eight_core_vs_default_pct",
+                     percentOver(TpsEight, BaseEight))
+              .field("speedup", TpsOne > 0 ? TpsEight / TpsOne : 0.0)
+              .endObject();
+          continue;
         }
         char Speedup[32];
         std::snprintf(Speedup, sizeof(Speedup), "%.1fx", TpsEight / TpsOne);
@@ -70,12 +98,21 @@ int main(int Argc, char **Argv) {
             .cell(Speedup);
       }
     }
-    std::printf("--- platform: %s-like ---\n", P.Name.c_str());
-    std::fputs((Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
-    std::printf("\n");
+    if (Json) {
+      J.endArray().endObject();
+    } else {
+      std::printf("--- platform: %s-like ---\n", P.Name.c_str());
+      std::fputs((Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
+      std::printf("\n");
+    }
   }
-  std::printf("Paper: on 1 core region and DDmalloc beat the default "
-              "everywhere; at 8 cores region's speedup collapses on Xeon "
-              "while DDmalloc keeps pace with the default allocator.\n");
+  if (Json) {
+    J.endArray().endObject();
+    std::printf("%s\n", J.str().c_str());
+  } else {
+    std::printf("Paper: on 1 core region and DDmalloc beat the default "
+                "everywhere; at 8 cores region's speedup collapses on Xeon "
+                "while DDmalloc keeps pace with the default allocator.\n");
+  }
   return 0;
 }

@@ -17,6 +17,8 @@
 #include "server/ServingSimulator.h"
 #include "support/ArgParse.h"
 #include "support/Table.h"
+#include "trace/TraceRecorder.h"
+#include "trace/TraceReplayer.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -102,13 +104,52 @@ int main(int Argc, char **Argv) {
   Parser.addFlag("samples", &Samples, "profiled transactions per workload");
   Parser.addFlag("scale", &Scale, "workload scale");
   Parser.addFlag("seed", &Seed, "random seed");
+  std::string RecordTrace;
+  std::string ReplayTrace;
+  Parser.addFlag("record-trace", &RecordTrace,
+                 "record the profiling run's allocation trace to this "
+                 ".ddmtrc file (single-workload mix only)");
+  Parser.addFlag("replay-trace", &ReplayTrace,
+                 "profile service times by replaying this .ddmtrc file "
+                 "(workload/scale/seed/sample count come from the trace)");
   if (!Parser.parse(Argc, Argv))
     return 1;
+  if (!RecordTrace.empty() && !ReplayTrace.empty()) {
+    std::fprintf(stderr, "--record-trace and --replay-trace are exclusive\n");
+    return 1;
+  }
+
+  if (!ReplayTrace.empty()) {
+    // Validate up front and adopt the trace's provenance: the profiling
+    // stage then relives the recorded transactions bit for bit.
+    TraceSummary Summary;
+    if (TraceStatus S = summarizeTrace(ReplayTrace, Summary); !S) {
+      std::fprintf(stderr, "bad trace '%s': %s\n", ReplayTrace.c_str(),
+                   S.describe().c_str());
+      return 1;
+    }
+    WorkloadMix = Summary.Meta.Workload;
+    Scale = Summary.Meta.Scale;
+    Seed = Summary.Meta.Seed;
+    // Profile over the whole recorded run (1 warmup + the rest sampled)
+    // so the replayed model reproduces the recorded one exactly.
+    Samples = Summary.Transactions > 1 ? Summary.Transactions - 1 : 1;
+    std::fprintf(stderr,
+                 "profiling from trace %s (%llu transactions, workload %s)\n",
+                 ReplayTrace.c_str(),
+                 static_cast<unsigned long long>(Summary.Transactions),
+                 Summary.Meta.Workload.c_str());
+  }
 
   std::vector<WorkloadSpec> Mix;
   std::vector<double> Weights;
   if (!parseMix(WorkloadMix, Mix, Weights))
     return 1;
+  if (Mix.size() > 1 && !(RecordTrace.empty() && ReplayTrace.empty())) {
+    std::fprintf(stderr, "trace record/replay needs a single-workload mix "
+                         "(one trace file holds one workload's feed)\n");
+    return 1;
+  }
   auto P = platformByName(PlatformName);
   if (!P) {
     std::fprintf(stderr, "unknown platform '%s' (xeon or niagara)\n",
@@ -146,8 +187,48 @@ int main(int Argc, char **Argv) {
   Options.MeasureTx = static_cast<unsigned>(Samples);
   Options.Seed = Seed;
 
+  TraceRecorder Recorder;
+  if (!RecordTrace.empty()) {
+    TraceMeta Meta;
+    Meta.Workload = Mix.front().Name;
+    Meta.Scale = Scale;
+    Meta.Seed = Seed;
+    if (TraceStatus S = Recorder.open(RecordTrace, Meta); !S) {
+      std::fprintf(stderr, "cannot record '%s': %s\n", RecordTrace.c_str(),
+                   S.describe().c_str());
+      return 1;
+    }
+    Options.RecordSink = &Recorder;
+  }
+  TraceReplayer Replayer;
+  if (!ReplayTrace.empty()) {
+    if (TraceStatus S = Replayer.open(ReplayTrace); !S) {
+      std::fprintf(stderr, "cannot replay '%s': %s\n", ReplayTrace.c_str(),
+                   S.describe().c_str());
+      return 1;
+    }
+    Options.ReplaySource = &Replayer;
+  }
+
   ServiceTimeModel Model = buildServiceTimeModel(
       Mix, *Kind, *P, static_cast<unsigned>(Cores), Options);
+  if (Options.RecordSink) {
+    if (TraceStatus S = Recorder.finish(); !S) {
+      std::fprintf(stderr, "recording '%s' failed: %s\n", RecordTrace.c_str(),
+                   S.describe().c_str());
+      return 1;
+    }
+    std::fprintf(
+        stderr, "recorded %llu transactions (%llu events, %llu bytes) to %s\n",
+        static_cast<unsigned long long>(Recorder.transactionsRecorded()),
+        static_cast<unsigned long long>(Recorder.eventsRecorded()),
+        static_cast<unsigned long long>(Recorder.bytesWritten()),
+        RecordTrace.c_str());
+  }
+  // The serving phase below draws from the profiled service-time model
+  // only; record/replay concerns the profiling transactions.
+  Options.RecordSink = nullptr;
+  Options.ReplaySource = nullptr;
   double Capacity = Model.capacityRps(Weights);
   if (Rps <= 0)
     Rps = 0.85 * Capacity;

@@ -16,6 +16,8 @@
 #include "support/ArgParse.h"
 #include "support/Format.h"
 #include "support/Table.h"
+#include "trace/TraceRecorder.h"
+#include "trace/TraceReplayer.h"
 
 #include <cstdio>
 
@@ -24,6 +26,8 @@ using namespace ddm;
 int main(int Argc, char **Argv) {
   std::string WorkloadName = "mediawiki-read";
   std::string PlatformName = "xeon";
+  std::string RecordTrace;
+  std::string ReplayTrace;
   uint64_t Cores = 8;
   double Scale = 0.5;
   uint64_t MeasureTx = 3;
@@ -39,8 +43,41 @@ int main(int Argc, char **Argv) {
   Parser.addFlag("scale", &Scale, "workload scale (1.0 = paper call counts)");
   Parser.addFlag("transactions", &MeasureTx, "measured transactions");
   Parser.addFlag("seed", &Seed, "random seed");
+  Parser.addFlag("record-trace", &RecordTrace,
+                 "record the executed allocation trace to this .ddmtrc file");
+  Parser.addFlag("replay-trace", &ReplayTrace,
+                 "replay transactions from this .ddmtrc file instead of "
+                 "generating them (workload/scale/seed/transaction count "
+                 "come from the trace)");
   if (!Parser.parse(Argc, Argv))
     return 1;
+  if (!RecordTrace.empty() && !ReplayTrace.empty()) {
+    std::fprintf(stderr, "--record-trace and --replay-trace are exclusive\n");
+    return 1;
+  }
+
+  if (!ReplayTrace.empty()) {
+    // Validate the whole file up front (clean diagnostics instead of a
+    // mid-measurement abort) and take the run parameters from its
+    // metadata so the replay is bit-exact against the recorded run.
+    TraceSummary Summary;
+    if (TraceStatus S = summarizeTrace(ReplayTrace, Summary); !S) {
+      std::fprintf(stderr, "bad trace '%s': %s\n", ReplayTrace.c_str(),
+                   S.describe().c_str());
+      return 1;
+    }
+    WorkloadName = Summary.Meta.Workload;
+    Scale = Summary.Meta.Scale;
+    Seed = Summary.Meta.Seed;
+    // Relive the whole recorded run (1 warmup + the rest measured); a
+    // partial replay would not reproduce the recorded numbers. Shorter
+    // runs come from `tracestat --truncate`, not from --transactions.
+    MeasureTx = Summary.Transactions > 1 ? Summary.Transactions - 1 : 1;
+    std::fprintf(stderr,
+                 "replaying %llu transactions from %s (workload %s)\n",
+                 static_cast<unsigned long long>(Summary.Transactions),
+                 ReplayTrace.c_str(), WorkloadName.c_str());
+  }
 
   const WorkloadSpec *W = findWorkload(WorkloadName);
   if (!W) {
@@ -74,9 +111,53 @@ int main(int Argc, char **Argv) {
   Table Out({"allocator", "throughput (tx/s)", "vs default", "mm share %",
              "bus util %", "memory/tx"});
   double Baseline = 0;
+  TraceRecorder Recorder;
+  bool FirstAllocator = true;
   for (AllocatorKind Kind : phpStudyAllocatorKinds()) {
+    // The generator's event stream is allocator-independent, so recording
+    // the first allocator's run captures the inputs of every allocator;
+    // replay re-reads the trace from the start for each one.
+    Options.RecordSink = nullptr;
+    if (!RecordTrace.empty() && FirstAllocator) {
+      TraceMeta Meta;
+      Meta.Workload = W->Name;
+      Meta.Scale = Scale;
+      Meta.Seed = Seed;
+      if (TraceStatus S = Recorder.open(RecordTrace, Meta); !S) {
+        std::fprintf(stderr, "cannot record '%s': %s\n", RecordTrace.c_str(),
+                     S.describe().c_str());
+        return 1;
+      }
+      Options.RecordSink = &Recorder;
+    }
+    TraceReplayer Replayer;
+    Options.ReplaySource = nullptr;
+    if (!ReplayTrace.empty()) {
+      if (TraceStatus S = Replayer.open(ReplayTrace); !S) {
+        std::fprintf(stderr, "cannot replay '%s': %s\n", ReplayTrace.c_str(),
+                     S.describe().c_str());
+        return 1;
+      }
+      Options.ReplaySource = &Replayer;
+    }
     SimPoint Point =
         simulate(*W, Kind, P, static_cast<unsigned>(Cores), Options);
+    if (Options.RecordSink) {
+      if (TraceStatus S = Recorder.finish(); !S) {
+        std::fprintf(stderr, "recording '%s' failed: %s\n",
+                     RecordTrace.c_str(), S.describe().c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "recorded %llu transactions (%llu events, %llu bytes) "
+                   "to %s\n",
+                   static_cast<unsigned long long>(
+                       Recorder.transactionsRecorded()),
+                   static_cast<unsigned long long>(Recorder.eventsRecorded()),
+                   static_cast<unsigned long long>(Recorder.bytesWritten()),
+                   RecordTrace.c_str());
+    }
+    FirstAllocator = false;
     double Tps = Point.Perf.TxPerSec * Scale;
     if (Kind == AllocatorKind::Default)
       Baseline = Tps;

@@ -2,11 +2,53 @@
 
 #include "experiments/Measure.h"
 
+#include "support/Error.h"
+#include "trace/TraceReplayer.h"
+
 #include <cassert>
 #include <cmath>
 #include <vector>
 
 using namespace ddm;
+
+namespace {
+
+/// Runs one transaction: generated live, or — when a replay source is
+/// set — relived from the recorded trace. Replay problems are fatal here;
+/// drivers validate traces up front (summarizeTrace) for clean errors.
+void runOneTransaction(TransactionRuntime &Runtime,
+                       const SimulationOptions &Options) {
+  if (!Options.ReplaySource) {
+    Runtime.executeTransaction();
+    return;
+  }
+  switch (Options.ReplaySource->replayTransaction(Runtime)) {
+  case TraceReplayer::Step::Tx:
+    return;
+  case TraceReplayer::Step::End:
+    fatal("trace replay: the trace has fewer transactions than this run "
+          "needs (replayed " +
+          std::to_string(Options.ReplaySource->transactionsReplayed()) + ")");
+  case TraceReplayer::Step::Error:
+    fatal("trace replay failed: " +
+          Options.ReplaySource->status().describe());
+  }
+}
+
+/// Replay forces the recorded provenance onto the run so the runtime's
+/// auxiliary random streams (touch offsets, Ruby leak decisions) line up
+/// with the recorded process.
+void applyReplayMeta(RuntimeConfig &Config, const SimulationOptions &Options) {
+  if (!Options.ReplaySource)
+    return;
+  const TraceMeta &Meta = Options.ReplaySource->meta();
+  Config.Scale = Meta.Scale;
+  Config.Seed = Meta.Seed;
+  if (Config.AllocOptions.ProcessId == 0)
+    Config.AllocOptions.ProcessId = static_cast<uint32_t>(Meta.Seed % 64);
+}
+
+} // namespace
 
 SimPoint ddm::simulateRuntime(const WorkloadSpec &Workload,
                               const RuntimeConfig &RuntimeCfg,
@@ -24,14 +66,16 @@ SimPoint ddm::simulateRuntime(const WorkloadSpec &Workload,
   if (Config.AllocOptions.ProcessId == 0)
     Config.AllocOptions.ProcessId = static_cast<uint32_t>(Options.Seed % 64);
   Config.AllocOptions.LargePages = Options.LargePages;
+  applyReplayMeta(Config, Options);
 
   TransactionRuntime Runtime(Workload, Config, &Sink);
+  Runtime.attachTraceSink(Options.RecordSink);
 
   for (unsigned I = 0; I < Options.WarmupTx; ++I)
-    Runtime.executeTransaction();
+    runOneTransaction(Runtime, Options);
   Sink.resetCounters();
   for (unsigned I = 0; I < Options.MeasureTx; ++I)
-    Runtime.executeTransaction();
+    runOneTransaction(Runtime, Options);
 
   SimPoint Point;
   Point.Events =
@@ -67,10 +111,12 @@ ServiceProfile ddm::profileService(const WorkloadSpec &Workload,
   if (Config.AllocOptions.ProcessId == 0)
     Config.AllocOptions.ProcessId = static_cast<uint32_t>(Options.Seed % 64);
   Config.AllocOptions.LargePages = Options.LargePages;
+  applyReplayMeta(Config, Options);
 
   TransactionRuntime Runtime(Workload, Config, &Sink);
+  Runtime.attachTraceSink(Options.RecordSink);
   for (unsigned I = 0; I < Options.WarmupTx; ++I)
-    Runtime.executeTransaction();
+    runOneTransaction(Runtime, Options);
 
   // One counter window per transaction: the per-transaction events feed a
   // single-core performance evaluation whose cycles become that
@@ -79,7 +125,7 @@ ServiceProfile ddm::profileService(const WorkloadSpec &Workload,
   PerTx.reserve(SampleTx);
   for (unsigned I = 0; I < SampleTx; ++I) {
     Sink.resetCounters();
-    Runtime.executeTransaction();
+    runOneTransaction(Runtime, Options);
     PerTx.push_back(averageEvents(Sink, 1, Workload.AppCodeFootprintBytes,
                                   Runtime.allocatorCodeFootprintBytes()));
   }

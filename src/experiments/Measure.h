@@ -26,6 +26,8 @@
 
 namespace ddm {
 
+class TraceReplayer;
+
 /// Knobs of one simulation run.
 struct SimulationOptions {
   unsigned WarmupTx = 2;
@@ -34,6 +36,17 @@ struct SimulationOptions {
   double Scale = 1.0;
   uint64_t Seed = 0x5eed;
   bool LargePages = false;
+
+  /// When set, every executed event is teed into this sink (trace
+  /// capture, src/trace). Warm-up transactions are recorded too: a
+  /// replayed run must relive the whole process history.
+  TraceSink *RecordSink = nullptr;
+
+  /// When set, transactions are replayed from this trace instead of being
+  /// generated; Seed and Scale are overridden by the trace's metadata so
+  /// the auxiliary random streams match the recorded run bit for bit. The
+  /// trace must hold at least WarmupTx + MeasureTx transactions.
+  TraceReplayer *ReplaySource = nullptr;
 };
 
 /// The outputs of one (workload, allocator, platform, cores) point.

@@ -40,7 +40,7 @@ TransactionRuntime::TransactionRuntime(const WorkloadSpec &W,
                                        const RuntimeConfig &C, AccessSink *S)
     : Workload(W), Config(C), Sink(S), SinkHandleView(S),
       StateArea(W.AppStateBytes, 4096), R(C.Seed),
-      TouchRng(C.Seed ^ 0x70c4e5) {
+      TouchRng(C.Seed ^ 0x70c4e5), CleanupRng(C.Seed ^ 0x51eeb) {
   Allocator = createAllocator(Config.Kind, Config.AllocOptions);
   Allocator->attachSink(Sink);
   // Fault the state area in once so it behaves like a resident interpreter
@@ -61,6 +61,13 @@ TransactionRuntime::ObjectRecord &TransactionRuntime::recordFor(uint32_t Id) {
 }
 
 void TransactionRuntime::onAlloc(uint32_t Id, size_t Size) {
+  if (Trace) {
+    TraceEvent E;
+    E.Op = TraceOp::Alloc;
+    E.Id = Id;
+    E.Size = Size;
+    Trace->event(E);
+  }
   SinkHandleView.setDomain(CostDomain::MemoryManagement);
   void *Ptr = Allocator->allocate(Size);
   if (!Ptr)
@@ -82,6 +89,12 @@ void TransactionRuntime::onAlloc(uint32_t Id, size_t Size) {
 }
 
 void TransactionRuntime::onFree(uint32_t Id) {
+  if (Trace) {
+    TraceEvent E;
+    E.Op = TraceOp::Free;
+    E.Id = Id;
+    Trace->event(E);
+  }
   ObjectRecord &Record = recordFor(Id);
   assert(Record.Live && "freeing a dead object");
   // Canary: the object's identity must have survived.
@@ -97,6 +110,14 @@ void TransactionRuntime::onFree(uint32_t Id) {
 
 void TransactionRuntime::onRealloc(uint32_t Id, size_t OldSize,
                                    size_t NewSize) {
+  if (Trace) {
+    TraceEvent E;
+    E.Op = TraceOp::Realloc;
+    E.Id = Id;
+    E.Size = NewSize;
+    E.OldSize = OldSize;
+    Trace->event(E);
+  }
   ObjectRecord &Record = recordFor(Id);
   assert(Record.Live && "realloc of a dead object");
   assert(Record.Size == OldSize && "size bookkeeping out of sync");
@@ -114,6 +135,13 @@ void TransactionRuntime::onRealloc(uint32_t Id, size_t OldSize,
 }
 
 void TransactionRuntime::onTouch(uint32_t Id, bool IsWrite) {
+  if (Trace) {
+    TraceEvent E;
+    E.Op = TraceOp::Touch;
+    E.Id = Id;
+    E.IsWrite = IsWrite;
+    Trace->event(E);
+  }
   ObjectRecord &Record = recordFor(Id);
   assert(Record.Live && "touching a dead object");
   if (Record.Size >= sizeof(uint32_t) &&
@@ -133,10 +161,23 @@ void TransactionRuntime::onTouch(uint32_t Id, bool IsWrite) {
 }
 
 void TransactionRuntime::onWork(uint64_t Instructions) {
+  if (Trace) {
+    TraceEvent E;
+    E.Op = TraceOp::Work;
+    E.Size = Instructions;
+    Trace->event(E);
+  }
   SinkHandleView.instructions(Instructions);
 }
 
 void TransactionRuntime::onStateTouch(uint64_t Offset, bool IsWrite) {
+  if (Trace) {
+    TraceEvent E;
+    E.Op = TraceOp::StateTouch;
+    E.Size = Offset;
+    E.IsWrite = IsWrite;
+    Trace->event(E);
+  }
   assert(Offset + 64 <= StateArea.size() && "state touch out of range");
   std::byte *Addr = StateArea.base() + Offset;
   if (IsWrite)
@@ -164,7 +205,7 @@ void TransactionRuntime::cleanupTransaction() {
     for (ObjectRecord &Record : Objects) {
       if (!Record.Live)
         continue;
-      if (R.nextBool(Config.LeakFraction)) {
+      if (CleanupRng.nextBool(Config.LeakFraction)) {
         ++LeakedObjects;
       } else {
         Allocator->deallocate(Record.Ptr);
@@ -189,8 +230,12 @@ void TransactionRuntime::restartProcess() {
   SinkHandleView.instructions(Config.RestartCostInstructions);
 }
 
-void TransactionRuntime::executeTransaction() {
-  TraceStats Stats = runTransaction(Workload, Config.Scale, R, *this);
+void TransactionRuntime::completeTransaction(const TraceStats &Stats) {
+  if (Trace) {
+    TraceEvent E;
+    E.Op = TraceOp::EndTx;
+    Trace->event(E);
+  }
   cleanupTransaction();
 
   Metrics.TotalTrace.Mallocs += Stats.Mallocs;
@@ -205,4 +250,8 @@ void TransactionRuntime::executeTransaction() {
   if (!Config.UseBulkFree && Config.RestartPeriodTx != 0 &&
       Metrics.Transactions % Config.RestartPeriodTx == 0)
     restartProcess();
+}
+
+void TransactionRuntime::executeTransaction() {
+  completeTransaction(runTransaction(Workload, Config.Scale, R, *this));
 }

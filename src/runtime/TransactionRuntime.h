@@ -28,6 +28,7 @@
 #include "core/AllocatorFactory.h"
 #include "support/Arena.h"
 #include "support/Stats.h"
+#include "trace/TraceEvent.h"
 #include "workload/TraceGenerator.h"
 
 #include <memory>
@@ -96,6 +97,17 @@ public:
   /// (Ruby mode) any scheduled process restart.
   void executeTransaction();
 
+  /// Finishes a transaction whose events were delivered externally (trace
+  /// replay): emits the EndTx tee, runs cleanup, folds \p Stats into the
+  /// metrics and performs any scheduled restart. executeTransaction() is
+  /// exactly runTransaction() followed by this.
+  void completeTransaction(const TraceStats &Stats);
+
+  /// Attaches (or detaches, with nullptr) a tee receiving every executed
+  /// event — the capture half of trace record/replay. Costs one predicted
+  /// branch per event when detached.
+  void attachTraceSink(TraceSink *T) { Trace = T; }
+
   const RuntimeMetrics &metrics() const { return Metrics; }
   TxAllocator &allocator() { return *Allocator; }
   const WorkloadSpec &workload() const { return Workload; }
@@ -134,6 +146,11 @@ private:
   AlignedArena StateArea;
   Rng R;
   Rng TouchRng;
+  /// Ruby-mode leak decisions draw from a dedicated stream (not R) so a
+  /// trace replay — which never advances the generator's R — makes the
+  /// same decisions as the recorded run.
+  Rng CleanupRng;
+  TraceSink *Trace = nullptr;
   std::vector<ObjectRecord> Objects; ///< Indexed by per-transaction id.
   uint64_t LeakedObjects = 0;
   RuntimeMetrics Metrics;

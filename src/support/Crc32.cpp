@@ -1,0 +1,34 @@
+//===- support/Crc32.cpp - CRC-32 checksums -------------------------------===//
+
+#include "support/Crc32.h"
+
+#include <array>
+
+using namespace ddm;
+
+namespace {
+
+constexpr uint32_t Polynomial = 0xEDB88320u;
+
+constexpr std::array<uint32_t, 256> makeTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I < 256; ++I) {
+    uint32_t C = I;
+    for (int Bit = 0; Bit < 8; ++Bit)
+      C = (C & 1) ? (C >> 1) ^ Polynomial : C >> 1;
+    Table[I] = C;
+  }
+  return Table;
+}
+
+constexpr std::array<uint32_t, 256> Table = makeTable();
+
+} // namespace
+
+uint32_t ddm::crc32(const void *Data, size_t Length, uint32_t Seed) {
+  const auto *Bytes = static_cast<const unsigned char *>(Data);
+  uint32_t C = ~Seed;
+  for (size_t I = 0; I < Length; ++I)
+    C = Table[(C ^ Bytes[I]) & 0xFF] ^ (C >> 8);
+  return ~C;
+}

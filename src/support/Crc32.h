@@ -1,0 +1,24 @@
+//===- support/Crc32.h - CRC-32 checksums ----------------------*- C++ -*-===//
+///
+/// \file
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte ranges,
+/// table-driven. Used by the trace container to detect corrupted or
+/// truncated blocks before any varint decoding touches them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_SUPPORT_CRC32_H
+#define DDM_SUPPORT_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ddm {
+
+/// CRC-32 of [Data, Data + Length). \p Seed chains partial computations:
+/// crc32(B, crc32(A)) == crc32(A ++ B).
+uint32_t crc32(const void *Data, size_t Length, uint32_t Seed = 0);
+
+} // namespace ddm
+
+#endif // DDM_SUPPORT_CRC32_H

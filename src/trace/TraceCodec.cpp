@@ -1,0 +1,250 @@
+//===- trace/TraceCodec.cpp - Varint + delta event encoding ---------------===//
+
+#include "trace/TraceCodec.h"
+
+#include <limits>
+
+using namespace ddm;
+
+void ddm::appendVarint(std::string &Out, uint64_t Value) {
+  while (Value >= 0x80) {
+    Out.push_back(static_cast<char>((Value & 0x7F) | 0x80));
+    Value >>= 7;
+  }
+  Out.push_back(static_cast<char>(Value));
+}
+
+void ddm::appendZigzag(std::string &Out, int64_t Value) {
+  appendVarint(Out, (static_cast<uint64_t>(Value) << 1) ^
+                        static_cast<uint64_t>(Value >> 63));
+}
+
+void ddm::appendU32(std::string &Out, uint32_t Value) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((Value >> (8 * I)) & 0xFF));
+}
+
+void ddm::appendU64(std::string &Out, uint64_t Value) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((Value >> (8 * I)) & 0xFF));
+}
+
+bool ddm::readVarint(const char *Data, size_t Size, size_t &Pos,
+                     uint64_t &Value) {
+  Value = 0;
+  for (unsigned Shift = 0; Shift < 70; Shift += 7) {
+    if (Pos >= Size)
+      return false; // truncated varint
+    auto Byte = static_cast<unsigned char>(Data[Pos++]);
+    if (Shift == 63 && (Byte & 0x7E))
+      return false; // overflows 64 bits
+    if (Shift >= 70 - 7 && (Byte & 0x80))
+      return false; // over-long encoding
+    Value |= static_cast<uint64_t>(Byte & 0x7F) << Shift;
+    if (!(Byte & 0x80))
+      return true;
+  }
+  return false;
+}
+
+bool ddm::readZigzag(const char *Data, size_t Size, size_t &Pos,
+                     int64_t &Value) {
+  uint64_t Raw;
+  if (!readVarint(Data, Size, Pos, Raw))
+    return false;
+  Value = static_cast<int64_t>((Raw >> 1) ^ (~(Raw & 1) + 1));
+  return true;
+}
+
+bool ddm::readU32(const char *Data, size_t Size, size_t &Pos,
+                  uint32_t &Value) {
+  if (Pos + 4 > Size)
+    return false;
+  Value = 0;
+  for (int I = 0; I < 4; ++I)
+    Value |= static_cast<uint32_t>(static_cast<unsigned char>(Data[Pos++]))
+             << (8 * I);
+  return true;
+}
+
+bool ddm::readU64(const char *Data, size_t Size, size_t &Pos,
+                  uint64_t &Value) {
+  if (Pos + 8 > Size)
+    return false;
+  Value = 0;
+  for (int I = 0; I < 8; ++I)
+    Value |= static_cast<uint64_t>(static_cast<unsigned char>(Data[Pos++]))
+             << (8 * I);
+  return true;
+}
+
+namespace {
+
+constexpr uint8_t OpMask = 0x07;
+constexpr uint8_t WriteFlag = 0x08;
+
+} // namespace
+
+void TraceEventEncoder::encode(const TraceEvent &E, std::string &Out) {
+  uint8_t Tag = static_cast<uint8_t>(E.Op);
+  if (E.IsWrite)
+    Tag |= WriteFlag;
+  Out.push_back(static_cast<char>(Tag));
+
+  int64_t Id = static_cast<int64_t>(E.Id);
+  switch (E.Op) {
+  case TraceOp::Alloc:
+    appendZigzag(Out, Id - (PrevAllocId + 1));
+    appendVarint(Out, E.Size);
+    appendVarint(Out, E.Alignment);
+    PrevAllocId = Id;
+    break;
+  case TraceOp::Free:
+  case TraceOp::Touch:
+    appendZigzag(Out, PrevAllocId - Id);
+    break;
+  case TraceOp::Realloc:
+    appendZigzag(Out, PrevAllocId - Id);
+    appendVarint(Out, E.OldSize);
+    appendVarint(Out, E.Size);
+    break;
+  case TraceOp::Work:
+    appendZigzag(Out, static_cast<int64_t>(E.Size) - PrevWork);
+    PrevWork = static_cast<int64_t>(E.Size);
+    break;
+  case TraceOp::StateTouch:
+    appendVarint(Out, E.Size);
+    break;
+  case TraceOp::EndTx:
+    PrevAllocId = -1; // object ids restart every transaction
+    break;
+  }
+}
+
+bool TraceEventDecoder::decode(const char *Data, size_t Size, size_t &Pos,
+                               TraceEvent &E) {
+  if (Pos >= Size) {
+    Error = "event starts past the end of the block";
+    return false;
+  }
+  auto Tag = static_cast<uint8_t>(Data[Pos++]);
+  if ((Tag & ~(OpMask | WriteFlag)) != 0 || (Tag & OpMask) > 6) {
+    Error = "unknown event tag " + std::to_string(Tag);
+    return false;
+  }
+
+  E = TraceEvent();
+  E.Op = static_cast<TraceOp>(Tag & OpMask);
+  E.IsWrite = (Tag & WriteFlag) != 0;
+
+  auto DecodeId = [&](int64_t Base, bool Subtract) {
+    int64_t Delta;
+    if (!readZigzag(Data, Size, Pos, Delta)) {
+      Error = "truncated or over-long id varint";
+      return false;
+    }
+    int64_t Id = Subtract ? Base - Delta : Base + Delta;
+    if (Id < 0 || Id > std::numeric_limits<uint32_t>::max()) {
+      Error = "decoded object id " + std::to_string(Id) + " out of range";
+      return false;
+    }
+    E.Id = static_cast<uint32_t>(Id);
+    return true;
+  };
+  auto Varint = [&](uint64_t &Value, const char *What) {
+    if (readVarint(Data, Size, Pos, Value))
+      return true;
+    Error = std::string("truncated or over-long ") + What + " varint";
+    return false;
+  };
+
+  switch (E.Op) {
+  case TraceOp::Alloc: {
+    if (!DecodeId(PrevAllocId + 1, /*Subtract=*/false))
+      return false;
+    uint64_t Alignment;
+    if (!Varint(E.Size, "size") || !Varint(Alignment, "alignment"))
+      return false;
+    if (Alignment > std::numeric_limits<uint32_t>::max()) {
+      Error = "alignment out of range";
+      return false;
+    }
+    E.Alignment = static_cast<uint32_t>(Alignment);
+    PrevAllocId = static_cast<int64_t>(E.Id);
+    break;
+  }
+  case TraceOp::Free:
+  case TraceOp::Touch:
+    if (!DecodeId(PrevAllocId, /*Subtract=*/true))
+      return false;
+    break;
+  case TraceOp::Realloc:
+    if (!DecodeId(PrevAllocId, /*Subtract=*/true) ||
+        !Varint(E.OldSize, "old size") || !Varint(E.Size, "new size"))
+      return false;
+    break;
+  case TraceOp::Work: {
+    int64_t Delta;
+    if (!readZigzag(Data, Size, Pos, Delta)) {
+      Error = "truncated or over-long work varint";
+      return false;
+    }
+    int64_t Instr = PrevWork + Delta;
+    if (Instr < 0) {
+      Error = "negative work instruction count";
+      return false;
+    }
+    E.Size = static_cast<uint64_t>(Instr);
+    PrevWork = Instr;
+    break;
+  }
+  case TraceOp::StateTouch:
+    if (!Varint(E.Size, "offset"))
+      return false;
+    break;
+  case TraceOp::EndTx:
+    PrevAllocId = -1;
+    break;
+  }
+  return true;
+}
+
+std::string ddm::encodeTraceMeta(const TraceMeta &Meta) {
+  std::string Out;
+  appendVarint(Out, Meta.Workload.size());
+  Out.append(Meta.Workload);
+  uint64_t ScaleBits;
+  static_assert(sizeof(ScaleBits) == sizeof(Meta.Scale));
+  __builtin_memcpy(&ScaleBits, &Meta.Scale, sizeof(ScaleBits));
+  appendU64(Out, ScaleBits);
+  appendU64(Out, Meta.Seed);
+  return Out;
+}
+
+bool ddm::decodeTraceMeta(const char *Data, size_t Size, TraceMeta &Meta,
+                          std::string &Error) {
+  size_t Pos = 0;
+  uint64_t NameLen;
+  if (!readVarint(Data, Size, Pos, NameLen) || Pos + NameLen > Size) {
+    Error = "truncated workload name";
+    return false;
+  }
+  Meta.Workload.assign(Data + Pos, NameLen);
+  Pos += NameLen;
+  uint64_t ScaleBits;
+  if (!readU64(Data, Size, Pos, ScaleBits) ||
+      !readU64(Data, Size, Pos, Meta.Seed)) {
+    Error = "truncated scale/seed fields";
+    return false;
+  }
+  __builtin_memcpy(&Meta.Scale, &ScaleBits, sizeof(Meta.Scale));
+  if (!(Meta.Scale > 0.0)) {
+    Error = "non-positive workload scale in metadata";
+    return false;
+  }
+  if (Pos != Size) {
+    Error = "trailing bytes after metadata";
+    return false;
+  }
+  return true;
+}

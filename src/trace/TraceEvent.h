@@ -1,0 +1,59 @@
+//===- trace/TraceEvent.h - Allocation-trace event vocabulary --*- C++ -*-===//
+///
+/// \file
+/// The event vocabulary of the allocation-trace subsystem: exactly what a
+/// TransactionRuntime observes through its TxExecutor interface, plus a
+/// transaction-boundary marker. A trace is the sequence of these events;
+/// everything else in src/trace (codec, files, replay) is representation.
+///
+/// TraceSink is the tee interface the runtime calls for every event when a
+/// recorder is attached. This header is dependency-free so the runtime can
+/// include it without linking the trace library: recording costs one
+/// predicted branch when no sink is attached.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_TRACE_TRACEEVENT_H
+#define DDM_TRACE_TRACEEVENT_H
+
+#include <cstdint>
+
+namespace ddm {
+
+/// Event kinds, in wire-format order (the values are part of the format).
+enum class TraceOp : uint8_t {
+  Alloc = 0,      ///< New object: Id, Size, Alignment.
+  Free = 1,       ///< Per-object free: Id.
+  Realloc = 2,    ///< Resize: Id, OldSize -> Size.
+  Touch = 3,      ///< Application revisit of a live object: Id, IsWrite.
+  Work = 4,       ///< Application compute: Size = instructions.
+  StateTouch = 5, ///< Background working-set touch: Size = offset, IsWrite.
+  EndTx = 6,      ///< Transaction boundary (runtime cleanup runs here).
+};
+
+/// One trace event. Field use per op is documented on TraceOp; unused
+/// fields are zero.
+struct TraceEvent {
+  TraceOp Op = TraceOp::EndTx;
+  uint32_t Id = 0;
+  uint64_t Size = 0;    ///< Alloc/realloc-new size, work instructions, or
+                        ///< state-touch offset.
+  uint64_t OldSize = 0; ///< Realloc only: size before the resize.
+  uint32_t Alignment = 0; ///< Alloc only; 0 = allocator default (the only
+                          ///< value current allocators produce — encoded so
+                          ///< the format survives aligned-allocation APIs).
+  bool IsWrite = false; ///< Touch/StateTouch only.
+};
+
+/// Receiver of the runtime's teed event stream (e.g. a TraceRecorder).
+class TraceSink {
+public:
+  virtual ~TraceSink() = default;
+
+  /// Called once per event, in execution order.
+  virtual void event(const TraceEvent &E) = 0;
+};
+
+} // namespace ddm
+
+#endif // DDM_TRACE_TRACEEVENT_H

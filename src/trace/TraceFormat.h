@@ -1,0 +1,83 @@
+//===- trace/TraceFormat.h - Binary trace container format -----*- C++ -*-===//
+///
+/// \file
+/// The on-disk container of allocation traces (`.ddmtrc`):
+///
+///   header   := magic[8] version:u32le
+///   meta     := frame whose payload is { workload-name, scale, seed }
+///   blocks   := frame*                (each holds whole encoded events)
+///   frame    := payload-len:u32le  event-count:u32le  crc32:u32le  payload
+///
+/// Events inside a block payload are varint + delta encoded (see
+/// TraceCodec.h); the reader keeps exactly one block in memory, so
+/// multi-GB traces stream in O(1) space. Every frame is CRC-32 protected;
+/// a trace ends at a clean end-of-file on a frame boundary, so truncation
+/// is always detectable.
+///
+/// Errors are reported through TraceStatus values carrying the byte offset
+/// and event index of the failure — the library never throws and never
+/// aborts on malformed input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_TRACE_TRACEFORMAT_H
+#define DDM_TRACE_TRACEFORMAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace ddm {
+
+/// \name Container constants.
+/// @{
+/// First eight bytes of every trace file.
+inline constexpr char TraceMagic[8] = {'d', 'd', 'm', 't',
+                                       'r', 'a', 'c', 'e'};
+/// Current format version; readers reject anything newer.
+inline constexpr uint32_t TraceVersion = 1;
+/// Writers cut a block once its payload reaches this size.
+inline constexpr size_t TraceBlockTarget = 64 * 1024;
+/// Readers reject frames claiming payloads beyond this bound (corrupt
+/// length fields would otherwise turn into huge allocations).
+inline constexpr size_t TraceMaxBlockBytes = 16 * 1024 * 1024;
+/// Conventional file suffix.
+inline constexpr const char *TraceFileSuffix = ".ddmtrc";
+/// @}
+
+/// Provenance of a trace: what drove the generator when it was recorded.
+/// Replay forces these onto the runtime so the auxiliary random streams
+/// (object-touch offsets, Ruby-mode leak decisions) line up bit-for-bit
+/// with the recorded run.
+struct TraceMeta {
+  std::string Workload; ///< WorkloadSpec name (see findWorkload()).
+  double Scale = 1.0;   ///< Workload scale of the recorded run.
+  uint64_t Seed = 0;    ///< RuntimeConfig seed of the recorded run.
+};
+
+/// Success-or-diagnostic result of every fallible trace operation.
+struct TraceStatus {
+  std::string Message;    ///< Empty iff the operation succeeded.
+  uint64_t ByteOffset = 0; ///< File offset of the offending frame or byte.
+  uint64_t EventIndex = 0; ///< Zero-based index of the offending event.
+
+  bool ok() const { return Message.empty(); }
+  explicit operator bool() const { return ok(); }
+
+  static TraceStatus success() { return {}; }
+  static TraceStatus error(std::string Msg, uint64_t Offset = 0,
+                           uint64_t Event = 0) {
+    return {std::move(Msg), Offset, Event};
+  }
+
+  /// "byte 1234, event 56: message" (for user-facing diagnostics).
+  std::string describe() const {
+    if (ok())
+      return "ok";
+    return "byte " + std::to_string(ByteOffset) + ", event " +
+           std::to_string(EventIndex) + ": " + Message;
+  }
+};
+
+} // namespace ddm
+
+#endif // DDM_TRACE_TRACEFORMAT_H

@@ -1,0 +1,129 @@
+//===- trace/TraceReader.cpp - Streaming trace file reader ----------------===//
+
+#include "trace/TraceReader.h"
+
+#include "support/Crc32.h"
+
+#include <cerrno>
+#include <cstring>
+
+using namespace ddm;
+
+TraceReader::~TraceReader() {
+  if (File)
+    std::fclose(File);
+}
+
+TraceStatus TraceReader::fail(std::string Message) {
+  Status = TraceStatus::error(std::move(Message), BlockOffset, EventIdx);
+  Done = true;
+  return Status;
+}
+
+TraceStatus TraceReader::open(const std::string &Path) {
+  if (File)
+    return TraceStatus::error("trace reader is already open");
+  File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return TraceStatus::error("cannot open '" + Path +
+                              "': " + std::strerror(errno));
+  Status = TraceStatus::success();
+  Done = false;
+  EventIdx = 0;
+  FileOffset = 0;
+  BlockPos = 0;
+  BlockLeft = 0;
+  Decoder = TraceEventDecoder();
+
+  char Header[sizeof(TraceMagic) + 4];
+  if (std::fread(Header, 1, sizeof(Header), File) != sizeof(Header))
+    return fail("file too short for trace header");
+  if (std::memcmp(Header, TraceMagic, sizeof(TraceMagic)) != 0)
+    return fail("bad magic: not a ddm trace file");
+  size_t Pos = sizeof(TraceMagic);
+  uint32_t Version;
+  readU32(Header, sizeof(Header), Pos, Version);
+  if (Version != TraceVersion)
+    return fail("unsupported trace version " + std::to_string(Version) +
+                " (reader supports " + std::to_string(TraceVersion) + ")");
+  FileOffset = sizeof(Header);
+
+  // The first frame is always metadata (event-count 0).
+  if (loadBlock() != Load::Block)
+    return Status.ok() ? fail("missing metadata frame") : Status;
+  if (BlockLeft != 0)
+    return fail("first frame is not a metadata frame");
+  std::string Error;
+  if (!decodeTraceMeta(Block.data(), Block.size(), Meta, Error))
+    return fail("bad metadata frame: " + Error);
+  Block.clear();
+  BlockPos = 0;
+  return Status;
+}
+
+TraceReader::Next TraceReader::next(TraceEvent &E) {
+  if (Done)
+    return Status.ok() ? Next::End : Next::Error;
+
+  if (BlockLeft == 0) {
+    if (BlockPos != Block.size()) {
+      fail("frame payload has " + std::to_string(Block.size() - BlockPos) +
+           " trailing bytes beyond its declared events");
+      return Next::Error;
+    }
+    switch (loadBlock()) {
+    case Load::End:
+      Done = true;
+      return Next::End;
+    case Load::Error:
+      return Next::Error;
+    case Load::Block:
+      break;
+    }
+  }
+
+  if (!Decoder.decode(Block.data(), Block.size(), BlockPos, E)) {
+    fail(Decoder.errorMessage());
+    return Next::Error;
+  }
+  --BlockLeft;
+  ++EventIdx;
+  return Next::Event;
+}
+
+TraceReader::Load TraceReader::loadBlock() {
+  BlockOffset = FileOffset;
+  char Header[12];
+  size_t Got = std::fread(Header, 1, sizeof(Header), File);
+  if (Got == 0 && std::feof(File))
+    return Load::End; // clean EOF: only legal on a frame boundary
+  if (Got != sizeof(Header)) {
+    fail("truncated frame header");
+    return Load::Error;
+  }
+  size_t Pos = 0;
+  uint32_t PayloadLen, EventCount, Crc;
+  readU32(Header, sizeof(Header), Pos, PayloadLen);
+  readU32(Header, sizeof(Header), Pos, EventCount);
+  readU32(Header, sizeof(Header), Pos, Crc);
+  if (PayloadLen > TraceMaxBlockBytes) {
+    fail("frame claims " + std::to_string(PayloadLen) +
+         " payload bytes (limit " + std::to_string(TraceMaxBlockBytes) + ")");
+    return Load::Error;
+  }
+  Block.resize(PayloadLen);
+  if (PayloadLen &&
+      std::fread(Block.data(), 1, PayloadLen, File) != PayloadLen) {
+    fail("truncated frame payload (declared " + std::to_string(PayloadLen) +
+         " bytes)");
+    return Load::Error;
+  }
+  if (crc32(Block.data(), Block.size()) != Crc) {
+    fail("CRC-32 mismatch: frame payload is corrupted");
+    return Load::Error;
+  }
+  FileOffset += sizeof(Header) + PayloadLen;
+  BlockPos = 0;
+  BlockLeft = EventCount;
+  return Load::Block;
+}

@@ -1,0 +1,79 @@
+//===- trace/TraceReader.h - Streaming trace file reader -------*- C++ -*-===//
+///
+/// \file
+/// Streams TraceEvents out of a `.ddmtrc` container. Holds exactly one
+/// CRC-verified block in memory at a time, so arbitrarily large traces
+/// read in O(1) space. All corruption (bad magic, unsupported version,
+/// truncated frame, CRC mismatch, malformed varint, event-count lies)
+/// surfaces as a TraceStatus diagnostic carrying the byte offset and
+/// event index — never an exception or abort.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_TRACE_TRACEREADER_H
+#define DDM_TRACE_TRACEREADER_H
+
+#include "trace/TraceCodec.h"
+#include "trace/TraceEvent.h"
+#include "trace/TraceFormat.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace ddm {
+
+class TraceReader {
+public:
+  /// Outcome of next().
+  enum class Next {
+    Event, ///< \p E was filled in.
+    End,   ///< Clean end of trace (EOF on a frame boundary).
+    Error, ///< Malformed input; see status().
+  };
+
+  TraceReader() = default;
+  ~TraceReader();
+
+  TraceReader(const TraceReader &) = delete;
+  TraceReader &operator=(const TraceReader &) = delete;
+
+  /// Opens \p Path and validates the header and meta frame.
+  TraceStatus open(const std::string &Path);
+
+  /// Provenance decoded from the meta frame (valid after open()).
+  const TraceMeta &meta() const { return Meta; }
+
+  /// Decodes the next event into \p E.
+  Next next(TraceEvent &E);
+
+  /// The diagnostic of the first failure (success-valued otherwise).
+  const TraceStatus &status() const { return Status; }
+
+  /// Zero-based index of the next event next() will produce.
+  uint64_t eventIndex() const { return EventIdx; }
+
+  /// File offset of the frame currently being decoded (diagnostics).
+  uint64_t byteOffset() const { return BlockOffset; }
+
+private:
+  enum class Load { Block, End, Error };
+  Load loadBlock();
+  TraceStatus fail(std::string Message);
+
+  FILE *File = nullptr;
+  TraceMeta Meta;
+  TraceEventDecoder Decoder;
+  std::string Block;      ///< Current block payload.
+  size_t BlockPos = 0;    ///< Decode cursor within Block.
+  uint32_t BlockLeft = 0; ///< Events the current frame still owes.
+  uint64_t FileOffset = 0; ///< Bytes consumed from the file so far.
+  uint64_t BlockOffset = 0; ///< File offset of the current frame header.
+  uint64_t EventIdx = 0;
+  TraceStatus Status;
+  bool Done = false;
+};
+
+} // namespace ddm
+
+#endif // DDM_TRACE_TRACEREADER_H

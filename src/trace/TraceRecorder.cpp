@@ -1,0 +1,34 @@
+//===- trace/TraceRecorder.cpp - TraceSink writing a trace file -----------===//
+
+#include "trace/TraceRecorder.h"
+
+using namespace ddm;
+
+void TraceRecorder::event(const TraceEvent &E) {
+  Writer.append(E);
+  switch (E.Op) {
+  case TraceOp::Alloc:
+    ++Stats.Mallocs;
+    Stats.AllocatedBytes += E.Size;
+    break;
+  case TraceOp::Free:
+    ++Stats.Frees;
+    break;
+  case TraceOp::Realloc:
+    // AllocatedBytes counts malloc'd bytes only (Table 3's mean allocation
+    // size definition) — matching the generator's TraceStats accounting.
+    ++Stats.Reallocs;
+    break;
+  case TraceOp::Touch:
+    ++Stats.ObjectTouches;
+    break;
+  case TraceOp::Work:
+    Stats.WorkInstructions += E.Size;
+    break;
+  case TraceOp::StateTouch:
+    ++Stats.StateTouches;
+    break;
+  case TraceOp::EndTx:
+    break;
+  }
+}

@@ -1,0 +1,49 @@
+//===- trace/TraceRecorder.h - TraceSink writing a trace file --*- C++ -*-===//
+///
+/// \file
+/// The capture half of record/replay: a TraceSink that encodes the
+/// runtime's teed event stream straight into a TraceWriter. Attach one to
+/// a TransactionRuntime (or pass it through SimulationOptions::RecordSink)
+/// and every executed transaction lands in the file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_TRACE_TRACERECORDER_H
+#define DDM_TRACE_TRACERECORDER_H
+
+#include "trace/TraceEvent.h"
+#include "trace/TraceWriter.h"
+#include "workload/TraceGenerator.h"
+
+#include <string>
+
+namespace ddm {
+
+class TraceRecorder : public TraceSink {
+public:
+  /// Creates the output file and writes the container header.
+  TraceStatus open(const std::string &Path, const TraceMeta &Meta) {
+    return Writer.open(Path, Meta);
+  }
+
+  /// TraceSink: forwards every event to the writer and keeps aggregate
+  /// workload statistics for post-run reporting.
+  void event(const TraceEvent &E) override;
+
+  /// Flushes and closes the file; returns the sticky write status.
+  TraceStatus finish() { return Writer.finish(); }
+
+  /// Aggregate statistics over everything recorded so far.
+  const TraceStats &stats() const { return Stats; }
+  uint64_t transactionsRecorded() const { return Writer.transactionsWritten(); }
+  uint64_t eventsRecorded() const { return Writer.eventsWritten(); }
+  uint64_t bytesWritten() const { return Writer.bytesWritten(); }
+
+private:
+  TraceWriter Writer;
+  TraceStats Stats;
+};
+
+} // namespace ddm
+
+#endif // DDM_TRACE_TRACERECORDER_H

@@ -1,0 +1,183 @@
+//===- trace/TraceReplayer.cpp - Deterministic trace replay ---------------===//
+
+#include "trace/TraceReplayer.h"
+
+#include "runtime/TransactionRuntime.h"
+
+using namespace ddm;
+
+TraceStatus TraceReplayer::fail(std::string Message) {
+  // The offending event is the one just decoded: index eventIndex()-1.
+  Status = TraceStatus::error(std::move(Message), Reader.byteOffset(),
+                              Reader.eventIndex() ? Reader.eventIndex() - 1
+                                                  : 0);
+  return Status;
+}
+
+TraceStatus TraceReplayer::open(const std::string &Path) {
+  Status = Reader.open(Path);
+  return Status;
+}
+
+const TraceStatus &TraceReplayer::status() const {
+  return Status.ok() ? Reader.status() : Status;
+}
+
+TraceReplayer::Step
+TraceReplayer::replayTransactionInto(TxExecutor &Executor, TraceStats &Stats,
+                                     uint64_t StateBytesLimit) {
+  if (!status().ok())
+    return Step::Error;
+
+  TraceEvent E;
+  while (true) {
+    switch (Reader.next(E)) {
+    case TraceReader::Next::End:
+      if (EventsInTx != 0) {
+        fail("trace ends in the middle of a transaction (" +
+             std::to_string(EventsInTx) + " events after the last boundary)");
+        return Step::Error;
+      }
+      return Step::End;
+    case TraceReader::Next::Error:
+      return Step::Error;
+    case TraceReader::Next::Event:
+      break;
+    }
+
+    auto Id = std::to_string(E.Id);
+    switch (E.Op) {
+    case TraceOp::Alloc: {
+      if (!LiveSize.emplace(E.Id, E.Size).second) {
+        fail("allocation reuses live object id " + Id);
+        return Step::Error;
+      }
+      ++EventsInTx;
+      ++Stats.Mallocs;
+      Stats.AllocatedBytes += E.Size;
+      Executor.onAlloc(E.Id, E.Size);
+      break;
+    }
+    case TraceOp::Free:
+      if (LiveSize.erase(E.Id) == 0) {
+        fail("free of unknown or already-freed object id " + Id);
+        return Step::Error;
+      }
+      ++EventsInTx;
+      ++Stats.Frees;
+      Executor.onFree(E.Id);
+      break;
+    case TraceOp::Realloc: {
+      auto It = LiveSize.find(E.Id);
+      if (It == LiveSize.end()) {
+        fail("realloc of unknown or already-freed object id " + Id);
+        return Step::Error;
+      }
+      if (It->second != E.OldSize) {
+        fail("realloc old-size mismatch on object id " + Id + ": trace says " +
+             std::to_string(E.OldSize) + ", object is " +
+             std::to_string(It->second) + " bytes");
+        return Step::Error;
+      }
+      It->second = E.Size;
+      ++EventsInTx;
+      // AllocatedBytes counts malloc'd bytes only (Table 3's mean
+      // allocation size definition), as in the generator's TraceStats.
+      ++Stats.Reallocs;
+      Executor.onRealloc(E.Id, E.OldSize, E.Size);
+      break;
+    }
+    case TraceOp::Touch:
+      if (!LiveSize.count(E.Id)) {
+        fail("touch of unknown or already-freed object id " + Id);
+        return Step::Error;
+      }
+      ++EventsInTx;
+      ++Stats.ObjectTouches;
+      Executor.onTouch(E.Id, E.IsWrite);
+      break;
+    case TraceOp::Work:
+      ++EventsInTx;
+      Stats.WorkInstructions += E.Size;
+      Executor.onWork(E.Size);
+      break;
+    case TraceOp::StateTouch:
+      if (StateBytesLimit && E.Size + 64 > StateBytesLimit) {
+        fail("state touch at offset " + std::to_string(E.Size) +
+             " is outside the workload's " + std::to_string(StateBytesLimit) +
+             "-byte state area");
+        return Step::Error;
+      }
+      ++EventsInTx;
+      ++Stats.StateTouches;
+      Executor.onStateTouch(E.Size, E.IsWrite);
+      break;
+    case TraceOp::EndTx:
+      // Object ids restart at zero next transaction; whatever is still
+      // live belongs to the runtime's end-of-transaction cleanup.
+      LiveSize.clear();
+      EventsInTx = 0;
+      ++Transactions;
+      return Step::Tx;
+    }
+  }
+}
+
+TraceReplayer::Step TraceReplayer::replayTransaction(TransactionRuntime &RT) {
+  TraceStats Stats;
+  Step S = replayTransactionInto(RT, Stats, RT.workload().AppStateBytes);
+  if (S == Step::Tx) {
+    RT.completeTransaction(Stats);
+    Total.Mallocs += Stats.Mallocs;
+    Total.Frees += Stats.Frees;
+    Total.Reallocs += Stats.Reallocs;
+    Total.AllocatedBytes += Stats.AllocatedBytes;
+    Total.ObjectTouches += Stats.ObjectTouches;
+    Total.StateTouches += Stats.StateTouches;
+    Total.WorkInstructions += Stats.WorkInstructions;
+  }
+  return S;
+}
+
+TraceStatus ddm::summarizeTrace(const std::string &Path,
+                                TraceSummary &Summary) {
+  /// A black hole: summarizing validates and counts without executing.
+  class NullExecutor final : public TxExecutor {
+    void onAlloc(uint32_t, size_t) override {}
+    void onFree(uint32_t) override {}
+    void onRealloc(uint32_t, size_t, size_t) override {}
+    void onTouch(uint32_t, bool) override {}
+    void onWork(uint64_t) override {}
+    void onStateTouch(uint64_t, bool) override {}
+  };
+
+  TraceReplayer Replayer;
+  if (TraceStatus S = Replayer.open(Path); !S)
+    return S;
+  Summary.Meta = Replayer.meta();
+
+  const WorkloadSpec *Spec = Replayer.workload();
+  uint64_t StateLimit = Spec ? Spec->AppStateBytes : 0;
+
+  NullExecutor Sink;
+  while (true) {
+    TraceStats Stats;
+    switch (Replayer.replayTransactionInto(Sink, Stats, StateLimit)) {
+    case TraceReplayer::Step::Error:
+      return Replayer.status();
+    case TraceReplayer::Step::End:
+      Summary.Transactions = Replayer.transactionsReplayed();
+      Summary.Events = Replayer.eventsReplayed();
+      return TraceStatus::success();
+    case TraceReplayer::Step::Tx:
+      Summary.Total.Mallocs += Stats.Mallocs;
+      Summary.Total.Frees += Stats.Frees;
+      Summary.Total.Reallocs += Stats.Reallocs;
+      Summary.Total.AllocatedBytes += Stats.AllocatedBytes;
+      Summary.Total.ObjectTouches += Stats.ObjectTouches;
+      Summary.Total.StateTouches += Stats.StateTouches;
+      Summary.Total.WorkInstructions += Stats.WorkInstructions;
+      break;
+    }
+  }
+}

@@ -1,0 +1,115 @@
+//===- trace/TraceReplayer.h - Deterministic trace replay ------*- C++ -*-===//
+///
+/// \file
+/// The replay half of record/replay: streams a recorded trace back through
+/// any TxExecutor — most usefully a TransactionRuntime, which makes the
+/// allocator under test relive the recorded run exactly. Because the
+/// generator's event stream never depends on the executor, one recorded
+/// trace drives every allocator at identical inputs, and replaying with
+/// the trace's own seed reproduces the live run bit-for-bit.
+///
+/// The replayer validates events against its own live-object table before
+/// forwarding them, so a malformed or hand-edited trace produces a
+/// TraceStatus diagnostic (with byte offset and event index) instead of
+/// tripping runtime assertions: unknown-handle free, double free, realloc
+/// after free, old-size mismatch, touch of a dead object, out-of-range
+/// state touch, and truncation inside a transaction are all caught.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_TRACE_TRACEREPLAYER_H
+#define DDM_TRACE_TRACEREPLAYER_H
+
+#include "trace/TraceReader.h"
+#include "workload/TraceGenerator.h"
+#include "workload/WorkloadSpec.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace ddm {
+
+class TransactionRuntime;
+
+class TraceReplayer {
+public:
+  /// Outcome of one replay step.
+  enum class Step {
+    Tx,    ///< One full transaction was replayed.
+    End,   ///< Clean end of trace (on a transaction boundary).
+    Error, ///< Malformed trace; see status().
+  };
+
+  /// Opens \p Path and validates the container header.
+  TraceStatus open(const std::string &Path);
+
+  /// Provenance of the recorded run (valid after open()).
+  const TraceMeta &meta() const { return Reader.meta(); }
+
+  /// The workload the trace was recorded from, or nullptr if the trace
+  /// names a workload this build does not know.
+  const WorkloadSpec *workload() const { return findWorkload(meta().Workload); }
+
+  /// Replays events up to and including the next transaction boundary
+  /// into \p Executor, accumulating what was delivered into \p Stats.
+  /// The EndTx marker itself is not forwarded — the caller owns the
+  /// end-of-transaction protocol.
+  Step replayTransactionInto(TxExecutor &Executor, TraceStats &Stats,
+                             uint64_t StateBytesLimit = 0);
+
+  /// Replays one transaction into \p RT and completes it (cleanup,
+  /// metrics, scheduled restart) exactly like executeTransaction().
+  Step replayTransaction(TransactionRuntime &RT);
+
+  /// The diagnostic of the first failure (success-valued otherwise).
+  const TraceStatus &status() const;
+
+  /// \name Aggregates over everything replayed so far.
+  /// @{
+  const TraceStats &totalStats() const { return Total; }
+  uint64_t transactionsReplayed() const { return Transactions; }
+  uint64_t eventsReplayed() const { return Reader.eventIndex(); }
+  /// @}
+
+private:
+  TraceStatus fail(std::string Message);
+
+  TraceReader Reader;
+  std::unordered_map<uint32_t, uint64_t> LiveSize; ///< id -> current size.
+  TraceStats Total;
+  uint64_t Transactions = 0;
+  uint64_t EventsInTx = 0;
+  TraceStatus Status;
+};
+
+/// Aggregate shape of a trace, computed by a validating scan without
+/// executing anything (the `tracestat` tool, pre-replay validation).
+struct TraceSummary {
+  TraceMeta Meta;
+  uint64_t Transactions = 0;
+  uint64_t Events = 0;
+  TraceStats Total;
+
+  /// \name Per-transaction means in Table 3's terms.
+  /// @{
+  double mallocsPerTx() const { return perTx(Total.Mallocs); }
+  double freesPerTx() const { return perTx(Total.Frees); }
+  double reallocsPerTx() const { return perTx(Total.Reallocs); }
+  double meanAllocBytes() const { return Total.meanAllocBytes(); }
+  /// @}
+
+private:
+  double perTx(uint64_t N) const {
+    return Transactions ? static_cast<double>(N) /
+                              static_cast<double>(Transactions)
+                        : 0.0;
+  }
+};
+
+/// Scans \p Path end to end, validating every frame and event, and fills
+/// \p Summary. Returns the first error found, if any.
+TraceStatus summarizeTrace(const std::string &Path, TraceSummary &Summary);
+
+} // namespace ddm
+
+#endif // DDM_TRACE_TRACEREPLAYER_H

@@ -1,0 +1,180 @@
+//===- trace/TraceTransform.cpp - Whole-trace transformations -------------===//
+
+#include "trace/TraceTransform.h"
+
+#include "trace/TraceReader.h"
+#include "trace/TraceWriter.h"
+
+#include <cmath>
+#include <memory>
+
+using namespace ddm;
+
+namespace {
+
+/// Scaled sizes must be a pure function of the input size: realloc
+/// old-sizes then map to exactly what the object's earlier alloc/realloc
+/// mapped to, keeping the transformed trace self-consistent.
+uint64_t scaleSize(uint64_t Size, double Factor) {
+  double Scaled = std::llround(static_cast<double>(Size) * Factor);
+  return Scaled < 1.0 ? 1 : static_cast<uint64_t>(Scaled);
+}
+
+TraceStatus inputError(const TraceReader &Reader, const std::string &Path) {
+  TraceStatus S = Reader.status();
+  S.Message = "'" + Path + "': " + S.Message;
+  return S;
+}
+
+} // namespace
+
+TraceStatus ddm::truncateTrace(const std::string &InPath,
+                               const std::string &OutPath,
+                               uint64_t MaxTransactions) {
+  TraceReader Reader;
+  if (TraceStatus S = Reader.open(InPath); !S)
+    return S;
+  TraceWriter Writer;
+  if (TraceStatus S = Writer.open(OutPath, Reader.meta()); !S)
+    return S;
+
+  TraceEvent E;
+  while (Writer.transactionsWritten() < MaxTransactions) {
+    switch (Reader.next(E)) {
+    case TraceReader::Next::End:
+      return Writer.finish();
+    case TraceReader::Next::Error:
+      return inputError(Reader, InPath);
+    case TraceReader::Next::Event:
+      Writer.append(E);
+      break;
+    }
+  }
+  return Writer.finish();
+}
+
+TraceStatus ddm::scaleTraceSizes(const std::string &InPath,
+                                 const std::string &OutPath, double Factor) {
+  if (!(Factor > 0.0))
+    return TraceStatus::error("size scale factor must be positive");
+  TraceReader Reader;
+  if (TraceStatus S = Reader.open(InPath); !S)
+    return S;
+  TraceWriter Writer;
+  if (TraceStatus S = Writer.open(OutPath, Reader.meta()); !S)
+    return S;
+
+  TraceEvent E;
+  while (true) {
+    switch (Reader.next(E)) {
+    case TraceReader::Next::End:
+      return Writer.finish();
+    case TraceReader::Next::Error:
+      return inputError(Reader, InPath);
+    case TraceReader::Next::Event:
+      if (E.Op == TraceOp::Alloc) {
+        E.Size = scaleSize(E.Size, Factor);
+      } else if (E.Op == TraceOp::Realloc) {
+        E.Size = scaleSize(E.Size, Factor);
+        E.OldSize = scaleSize(E.OldSize, Factor);
+      }
+      Writer.append(E);
+      break;
+    }
+  }
+}
+
+TraceStatus ddm::shardTrace(const std::string &InPath,
+                            const std::vector<std::string> &OutPaths) {
+  if (OutPaths.empty())
+    return TraceStatus::error("shardTrace needs at least one output");
+  TraceReader Reader;
+  if (TraceStatus S = Reader.open(InPath); !S)
+    return S;
+
+  std::vector<std::unique_ptr<TraceWriter>> Writers;
+  for (const std::string &Path : OutPaths) {
+    Writers.push_back(std::make_unique<TraceWriter>());
+    if (TraceStatus S = Writers.back()->open(Path, Reader.meta()); !S)
+      return S;
+  }
+
+  size_t Shard = 0;
+  TraceEvent E;
+  while (true) {
+    switch (Reader.next(E)) {
+    case TraceReader::Next::End:
+      for (auto &Writer : Writers)
+        if (TraceStatus S = Writer->finish(); !S)
+          return S;
+      return TraceStatus::success();
+    case TraceReader::Next::Error:
+      return inputError(Reader, InPath);
+    case TraceReader::Next::Event:
+      Writers[Shard]->append(E);
+      if (E.Op == TraceOp::EndTx)
+        Shard = (Shard + 1) % Writers.size();
+      break;
+    }
+  }
+}
+
+TraceStatus ddm::interleaveTraces(const std::vector<std::string> &InPaths,
+                                  const std::string &OutPath) {
+  if (InPaths.empty())
+    return TraceStatus::error("interleaveTraces needs at least one input");
+
+  std::vector<std::unique_ptr<TraceReader>> Readers;
+  for (const std::string &Path : InPaths) {
+    Readers.push_back(std::make_unique<TraceReader>());
+    if (TraceStatus S = Readers.back()->open(Path); !S)
+      return S;
+  }
+  const TraceMeta &Meta = Readers.front()->meta();
+  for (size_t I = 1; I < Readers.size(); ++I) {
+    const TraceMeta &M = Readers[I]->meta();
+    if (M.Workload != Meta.Workload || M.Scale != Meta.Scale ||
+        M.Seed != Meta.Seed)
+      return TraceStatus::error("'" + InPaths[I] +
+                                "' disagrees with '" + InPaths[0] +
+                                "' on workload metadata");
+  }
+
+  TraceWriter Writer;
+  if (TraceStatus S = Writer.open(OutPath, Meta); !S)
+    return S;
+
+  std::vector<bool> Exhausted(Readers.size(), false);
+  size_t Remaining = Readers.size();
+  TraceEvent E;
+  while (Remaining) {
+    for (size_t I = 0; I < Readers.size(); ++I) {
+      if (Exhausted[I])
+        continue;
+      // Copy one full transaction from input I.
+      uint64_t CopiedInTx = 0;
+      bool TxDone = false;
+      while (!TxDone) {
+        switch (Readers[I]->next(E)) {
+        case TraceReader::Next::End:
+          if (CopiedInTx)
+            return TraceStatus::error("'" + InPaths[I] +
+                                      "' ends in the middle of a transaction");
+          Exhausted[I] = true;
+          --Remaining;
+          TxDone = true;
+          break;
+        case TraceReader::Next::Error:
+          return inputError(*Readers[I], InPaths[I]);
+        case TraceReader::Next::Event:
+          Writer.append(E);
+          ++CopiedInTx;
+          if (E.Op == TraceOp::EndTx)
+            TxDone = true;
+          break;
+        }
+      }
+    }
+  }
+  return Writer.finish();
+}

@@ -1,0 +1,54 @@
+//===- trace/TraceTransform.h - Whole-trace transformations ----*- C++ -*-===//
+///
+/// \file
+/// Streaming trace-to-trace transformations (O(1) memory, any trace size):
+///
+///  - truncateTrace: keep only the first N transactions;
+///  - scaleTraceSizes: multiply every allocation size by a factor
+///    (what-if studies: the same call pattern with bigger/smaller
+///    objects). Realloc old-sizes are scaled through the same pure
+///    function, so the transformed trace still validates;
+///  - shardTrace: deal transactions round-robin across N output traces —
+///    a recorded single-process run split into per-core feeds;
+///  - interleaveTraces: the inverse merge. Sharding a trace across N
+///    files and interleaving them back reproduces the original file
+///    byte for byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_TRACE_TRACETRANSFORM_H
+#define DDM_TRACE_TRACETRANSFORM_H
+
+#include "trace/TraceFormat.h"
+
+#include <string>
+#include <vector>
+
+namespace ddm {
+
+/// Copies the first \p MaxTransactions transactions of \p InPath to
+/// \p OutPath (fewer if the input is shorter).
+TraceStatus truncateTrace(const std::string &InPath,
+                          const std::string &OutPath,
+                          uint64_t MaxTransactions);
+
+/// Copies \p InPath to \p OutPath with every allocation/realloc size
+/// multiplied by \p Factor (> 0), rounded, floored at one byte.
+TraceStatus scaleTraceSizes(const std::string &InPath,
+                            const std::string &OutPath, double Factor);
+
+/// Deals transactions of \p InPath round-robin across \p OutPaths
+/// (transaction i goes to output i % N): simulates splitting one recorded
+/// feed across N cores' worth of runtime processes.
+TraceStatus shardTrace(const std::string &InPath,
+                       const std::vector<std::string> &OutPaths);
+
+/// Merges \p InPaths round-robin (one transaction from each input in
+/// turn, skipping exhausted inputs) into \p OutPath. Inverse of
+/// shardTrace. All inputs must agree on workload metadata.
+TraceStatus interleaveTraces(const std::vector<std::string> &InPaths,
+                             const std::string &OutPath);
+
+} // namespace ddm
+
+#endif // DDM_TRACE_TRACETRANSFORM_H

@@ -1,0 +1,89 @@
+//===- trace/TraceWriter.cpp - Streaming trace file writer ----------------===//
+
+#include "trace/TraceWriter.h"
+
+#include "support/Crc32.h"
+
+#include <cerrno>
+#include <cstring>
+
+using namespace ddm;
+
+TraceWriter::~TraceWriter() { finish(); }
+
+TraceStatus TraceWriter::open(const std::string &Path, const TraceMeta &Meta) {
+  if (File)
+    return TraceStatus::error("trace writer is already open");
+  File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return TraceStatus::error("cannot create '" + Path +
+                              "': " + std::strerror(errno));
+  Status = TraceStatus::success();
+  Events = Transactions = Bytes = 0;
+  Encoder = TraceEventEncoder();
+  Block.clear();
+  BlockEvents = 0;
+
+  writeRaw(TraceMagic, sizeof(TraceMagic));
+  std::string Version;
+  appendU32(Version, TraceVersion);
+  writeRaw(Version.data(), Version.size());
+
+  // The meta frame reuses the block framing with event-count 0; readers
+  // identify it by position (always the first frame).
+  Block = encodeTraceMeta(Meta);
+  BlockEvents = 0;
+  flushBlock();
+  return Status;
+}
+
+void TraceWriter::append(const TraceEvent &E) {
+  if (!File || !Status.ok())
+    return;
+  Encoder.encode(E, Block);
+  ++BlockEvents;
+  ++Events;
+  if (E.Op == TraceOp::EndTx)
+    ++Transactions;
+  if (Block.size() >= TraceBlockTarget)
+    flushBlock();
+}
+
+TraceStatus TraceWriter::finish() {
+  if (!File)
+    return Status;
+  if (!Block.empty())
+    flushBlock();
+  if (std::fclose(File) != 0 && Status.ok())
+    Status = TraceStatus::error(std::string("close failed: ") +
+                                    std::strerror(errno),
+                                Bytes, Events);
+  File = nullptr;
+  return Status;
+}
+
+void TraceWriter::flushBlock() {
+  if (Block.empty() && BlockEvents == 0)
+    return;
+  std::string Frame;
+  Frame.reserve(12 + Block.size());
+  appendU32(Frame, static_cast<uint32_t>(Block.size()));
+  appendU32(Frame, BlockEvents);
+  appendU32(Frame, crc32(Block.data(), Block.size()));
+  writeRaw(Frame.data(), Frame.size());
+  writeRaw(Block.data(), Block.size());
+  Block.clear();
+  BlockEvents = 0;
+}
+
+void TraceWriter::writeRaw(const void *Data, size_t Size) {
+  if (!File || !Status.ok())
+    return;
+  if (std::fwrite(Data, 1, Size, File) != Size) {
+    Status = TraceStatus::error(std::string("write failed: ") +
+                                    std::strerror(errno),
+                                Bytes, Events);
+    return;
+  }
+  Bytes += Size;
+}

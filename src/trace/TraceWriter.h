@@ -1,0 +1,68 @@
+//===- trace/TraceWriter.h - Streaming trace file writer -------*- C++ -*-===//
+///
+/// \file
+/// Streams TraceEvents into a `.ddmtrc` container (see TraceFormat.h).
+/// Events are buffered into blocks of ~TraceBlockTarget bytes, each cut at
+/// an event boundary and framed with a length, event count and CRC-32.
+/// Errors are sticky: after the first I/O failure every call is a no-op
+/// and finish() returns the original diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_TRACE_TRACEWRITER_H
+#define DDM_TRACE_TRACEWRITER_H
+
+#include "trace/TraceCodec.h"
+#include "trace/TraceEvent.h"
+#include "trace/TraceFormat.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace ddm {
+
+class TraceWriter {
+public:
+  TraceWriter() = default;
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter &) = delete;
+  TraceWriter &operator=(const TraceWriter &) = delete;
+
+  /// Creates (truncates) \p Path and writes the header + meta frame.
+  TraceStatus open(const std::string &Path, const TraceMeta &Meta);
+
+  /// Appends one event. Cheap: encodes into the block buffer and flushes
+  /// only when the block target is reached.
+  void append(const TraceEvent &E);
+
+  /// Flushes the final partial block and closes the file. Returns the
+  /// first error encountered anywhere in the write stream, or success.
+  /// Idempotent; also called by the destructor (which discards errors).
+  TraceStatus finish();
+
+  /// \name Counters (valid while open and after finish()).
+  /// @{
+  uint64_t eventsWritten() const { return Events; }
+  uint64_t transactionsWritten() const { return Transactions; }
+  uint64_t bytesWritten() const { return Bytes; }
+  /// @}
+
+private:
+  void flushBlock();
+  void writeRaw(const void *Data, size_t Size);
+
+  FILE *File = nullptr;
+  TraceEventEncoder Encoder;
+  std::string Block;
+  uint32_t BlockEvents = 0;
+  uint64_t Events = 0;
+  uint64_t Transactions = 0;
+  uint64_t Bytes = 0;
+  TraceStatus Status;
+};
+
+} // namespace ddm
+
+#endif // DDM_TRACE_TRACEWRITER_H

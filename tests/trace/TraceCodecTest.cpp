@@ -1,0 +1,256 @@
+//===- tests/trace/TraceCodecTest.cpp - Varint/event codec tests ----------===//
+
+#include "trace/TraceCodec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+using namespace ddm;
+
+namespace {
+
+uint64_t roundTripVarint(uint64_t Value) {
+  std::string Buffer;
+  appendVarint(Buffer, Value);
+  size_t Pos = 0;
+  uint64_t Out = 0;
+  EXPECT_TRUE(readVarint(Buffer.data(), Buffer.size(), Pos, Out));
+  EXPECT_EQ(Pos, Buffer.size());
+  return Out;
+}
+
+int64_t roundTripZigzag(int64_t Value) {
+  std::string Buffer;
+  appendZigzag(Buffer, Value);
+  size_t Pos = 0;
+  int64_t Out = 0;
+  EXPECT_TRUE(readZigzag(Buffer.data(), Buffer.size(), Pos, Out));
+  EXPECT_EQ(Pos, Buffer.size());
+  return Out;
+}
+
+} // namespace
+
+TEST(TraceCodecTest, VarintRoundTripsBoundaryValues) {
+  for (uint64_t Value :
+       {uint64_t(0), uint64_t(1), uint64_t(127), uint64_t(128),
+        uint64_t(16383), uint64_t(16384), uint64_t(1) << 32,
+        std::numeric_limits<uint64_t>::max() - 1,
+        std::numeric_limits<uint64_t>::max()})
+    EXPECT_EQ(roundTripVarint(Value), Value) << Value;
+}
+
+TEST(TraceCodecTest, VarintUsesOneBytePerSevenBits) {
+  std::string Buffer;
+  appendVarint(Buffer, 127);
+  EXPECT_EQ(Buffer.size(), 1u);
+  Buffer.clear();
+  appendVarint(Buffer, 128);
+  EXPECT_EQ(Buffer.size(), 2u);
+  Buffer.clear();
+  appendVarint(Buffer, std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(Buffer.size(), 10u);
+}
+
+TEST(TraceCodecTest, ZigzagRoundTripsSignedValues) {
+  for (int64_t Value :
+       {int64_t(0), int64_t(-1), int64_t(1), int64_t(-2), int64_t(1000),
+        int64_t(-1000), std::numeric_limits<int64_t>::min(),
+        std::numeric_limits<int64_t>::max()})
+    EXPECT_EQ(roundTripZigzag(Value), Value) << Value;
+}
+
+TEST(TraceCodecTest, SmallMagnitudesEncodeSmall) {
+  // Zigzag's whole point: -1 must not cost ten bytes.
+  std::string Buffer;
+  appendZigzag(Buffer, -1);
+  EXPECT_EQ(Buffer.size(), 1u);
+}
+
+TEST(TraceCodecTest, TruncatedVarintRejected) {
+  std::string Buffer;
+  appendVarint(Buffer, 1u << 20);
+  for (size_t Cut = 0; Cut < Buffer.size(); ++Cut) {
+    size_t Pos = 0;
+    uint64_t Out = 0;
+    EXPECT_FALSE(readVarint(Buffer.data(), Cut, Pos, Out)) << Cut;
+  }
+}
+
+TEST(TraceCodecTest, OverlongVarintRejected) {
+  // Eleven continuation bytes: no valid uint64 needs more than ten.
+  std::string Buffer(11, char(0x80));
+  Buffer.push_back(0x01);
+  size_t Pos = 0;
+  uint64_t Out = 0;
+  EXPECT_FALSE(readVarint(Buffer.data(), Buffer.size(), Pos, Out));
+}
+
+TEST(TraceCodecTest, OverflowingTenByteVarintRejected) {
+  // Ten bytes whose top byte pushes past 64 bits of payload.
+  std::string Buffer(9, char(0x80));
+  Buffer.push_back(0x7f);
+  size_t Pos = 0;
+  uint64_t Out = 0;
+  EXPECT_FALSE(readVarint(Buffer.data(), Buffer.size(), Pos, Out));
+}
+
+TEST(TraceCodecTest, FixedWidthRoundTrips) {
+  std::string Buffer;
+  appendU32(Buffer, 0xdeadbeef);
+  appendU64(Buffer, 0x0123456789abcdefull);
+  EXPECT_EQ(Buffer.size(), 12u);
+  size_t Pos = 0;
+  uint32_t V32 = 0;
+  uint64_t V64 = 0;
+  EXPECT_TRUE(readU32(Buffer.data(), Buffer.size(), Pos, V32));
+  EXPECT_TRUE(readU64(Buffer.data(), Buffer.size(), Pos, V64));
+  EXPECT_EQ(V32, 0xdeadbeefu);
+  EXPECT_EQ(V64, 0x0123456789abcdefull);
+}
+
+TEST(TraceCodecTest, EventStreamRoundTrips) {
+  // One of everything, with the deltas exercised across a transaction
+  // boundary (ids restart, work deltas persist).
+  std::vector<TraceEvent> Events;
+  auto Push = [&Events](TraceOp Op, uint32_t Id, uint64_t Size,
+                        uint64_t OldSize, bool IsWrite) {
+    TraceEvent E;
+    E.Op = Op;
+    E.Id = Id;
+    E.Size = Size;
+    E.OldSize = OldSize;
+    E.IsWrite = IsWrite;
+    Events.push_back(E);
+  };
+  Push(TraceOp::Work, 0, 5000, 0, false);
+  Push(TraceOp::Alloc, 0, 64, 0, false);
+  Push(TraceOp::Alloc, 1, 120, 0, false);
+  Push(TraceOp::Touch, 0, 0, 0, true);
+  Push(TraceOp::Touch, 1, 0, 0, false);
+  Push(TraceOp::Realloc, 1, 240, 120, false);
+  Push(TraceOp::Free, 0, 0, 0, false);
+  Push(TraceOp::StateTouch, 0, 8192, 0, true);
+  Push(TraceOp::Work, 0, 5100, 0, false);
+  Push(TraceOp::EndTx, 0, 0, 0, false);
+  Push(TraceOp::Alloc, 0, 32, 0, false); // ids restart after EndTx
+  Push(TraceOp::Work, 0, 5050, 0, false);
+  Push(TraceOp::EndTx, 0, 0, 0, false);
+
+  TraceEventEncoder Encoder;
+  std::string Buffer;
+  for (const TraceEvent &E : Events)
+    Encoder.encode(E, Buffer);
+
+  TraceEventDecoder Decoder;
+  size_t Pos = 0;
+  for (size_t I = 0; I < Events.size(); ++I) {
+    TraceEvent E;
+    ASSERT_TRUE(Decoder.decode(Buffer.data(), Buffer.size(), Pos, E))
+        << "event " << I << ": " << Decoder.errorMessage();
+    EXPECT_EQ(E.Op, Events[I].Op) << I;
+    EXPECT_EQ(E.Id, Events[I].Id) << I;
+    EXPECT_EQ(E.Size, Events[I].Size) << I;
+    EXPECT_EQ(E.OldSize, Events[I].OldSize) << I;
+    EXPECT_EQ(E.IsWrite, Events[I].IsWrite) << I;
+  }
+  EXPECT_EQ(Pos, Buffer.size());
+}
+
+TEST(TraceCodecTest, SequentialAllocIdsEncodeCompactly) {
+  // The common case — sequential ids, constant work — must stay tiny.
+  TraceEventEncoder Encoder;
+  std::string Buffer;
+  for (uint32_t Id = 0; Id < 100; ++Id) {
+    TraceEvent E;
+    E.Op = TraceOp::Alloc;
+    E.Id = Id;
+    E.Size = 64;
+    Encoder.encode(E, Buffer);
+  }
+  // Tag + zero id-delta + size + alignment = 4 bytes per event.
+  EXPECT_LE(Buffer.size(), 400u);
+}
+
+TEST(TraceCodecTest, BadTagRejected) {
+  std::string Buffer(1, char(0x7f));
+  TraceEventDecoder Decoder;
+  size_t Pos = 0;
+  TraceEvent E;
+  EXPECT_FALSE(Decoder.decode(Buffer.data(), Buffer.size(), Pos, E));
+  EXPECT_FALSE(Decoder.errorMessage().empty());
+}
+
+TEST(TraceCodecTest, IdDeltaOutOfRangeRejected) {
+  // A free of an id far below any allocation: decodes to a negative id.
+  TraceEventEncoder Encoder;
+  std::string Buffer;
+  TraceEvent Alloc;
+  Alloc.Op = TraceOp::Alloc;
+  Alloc.Id = 0;
+  Alloc.Size = 8;
+  Encoder.encode(Alloc, Buffer);
+  // Hand-encode a Free whose delta from PrevAllocId=0 lands at id -5.
+  Buffer.push_back(char(uint8_t(TraceOp::Free)));
+  appendZigzag(Buffer, int64_t(0) - int64_t(-5));
+
+  TraceEventDecoder Decoder;
+  size_t Pos = 0;
+  TraceEvent E;
+  ASSERT_TRUE(Decoder.decode(Buffer.data(), Buffer.size(), Pos, E));
+  EXPECT_FALSE(Decoder.decode(Buffer.data(), Buffer.size(), Pos, E));
+}
+
+TEST(TraceCodecTest, MetaRoundTrips) {
+  TraceMeta Meta;
+  Meta.Workload = "mediawiki-read";
+  Meta.Scale = 0.25;
+  Meta.Seed = 0xfeedface12345678ull;
+  std::string Payload = encodeTraceMeta(Meta);
+
+  TraceMeta Out;
+  std::string Error;
+  ASSERT_TRUE(decodeTraceMeta(Payload.data(), Payload.size(), Out, Error))
+      << Error;
+  EXPECT_EQ(Out.Workload, Meta.Workload);
+  EXPECT_EQ(Out.Scale, Meta.Scale);
+  EXPECT_EQ(Out.Seed, Meta.Seed);
+}
+
+TEST(TraceCodecTest, MetaRejectsTrailingBytes) {
+  TraceMeta Meta;
+  Meta.Workload = "phpbb";
+  std::string Payload = encodeTraceMeta(Meta);
+  Payload.push_back('x');
+  TraceMeta Out;
+  std::string Error;
+  EXPECT_FALSE(decodeTraceMeta(Payload.data(), Payload.size(), Out, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(TraceCodecTest, MetaRejectsNonPositiveScale) {
+  TraceMeta Meta;
+  Meta.Workload = "phpbb";
+  Meta.Scale = 0.0;
+  std::string Payload = encodeTraceMeta(Meta);
+  TraceMeta Out;
+  std::string Error;
+  EXPECT_FALSE(decodeTraceMeta(Payload.data(), Payload.size(), Out, Error));
+}
+
+TEST(TraceCodecTest, MetaRejectsTruncation) {
+  TraceMeta Meta;
+  Meta.Workload = "mediawiki-read";
+  Meta.Scale = 1.0;
+  Meta.Seed = 42;
+  std::string Payload = encodeTraceMeta(Meta);
+  for (size_t Cut = 0; Cut < Payload.size(); ++Cut) {
+    TraceMeta Out;
+    std::string Error;
+    EXPECT_FALSE(decodeTraceMeta(Payload.data(), Cut, Out, Error)) << Cut;
+  }
+}

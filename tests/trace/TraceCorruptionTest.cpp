@@ -1,0 +1,362 @@
+//===- tests/trace/TraceCorruptionTest.cpp - Malformed-input handling -----===//
+///
+/// Every way a trace file can be broken must surface as a TraceStatus
+/// diagnostic — never an exception, abort, or silent misread: wrong magic,
+/// future version, truncated header/frame/payload, CRC mismatch, garbage
+/// inside a CRC-valid payload, and semantically impossible event streams
+/// (double alloc of a live id, free of an unknown id, realloc size lies,
+/// truncation inside a transaction).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Crc32.h"
+#include "trace/TraceReader.h"
+#include "trace/TraceReplayer.h"
+#include "trace/TraceWriter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ddm;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return testing::TempDir() + "ddm_corrupt_" + Name + TraceFileSuffix;
+}
+
+std::string slurp(const std::string &Path) {
+  std::string Data;
+  FILE *F = fopen(Path.c_str(), "rb");
+  EXPECT_NE(F, nullptr) << Path;
+  if (!F)
+    return Data;
+  char Buffer[4096];
+  size_t N;
+  while ((N = fread(Buffer, 1, sizeof(Buffer), F)) > 0)
+    Data.append(Buffer, N);
+  fclose(F);
+  return Data;
+}
+
+void spit(const std::string &Path, const std::string &Data) {
+  FILE *F = fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr) << Path;
+  ASSERT_EQ(fwrite(Data.data(), 1, Data.size(), F), Data.size());
+  fclose(F);
+}
+
+/// Writes a small valid trace (2 transactions of allocs + frees) and
+/// returns its bytes.
+std::string makeValidTrace(const std::string &Path) {
+  TraceWriter Writer;
+  TraceMeta Meta{"synthetic", 1.0, 3};
+  EXPECT_TRUE(Writer.open(Path, Meta).ok());
+  for (int Tx = 0; Tx < 2; ++Tx) {
+    for (uint32_t Id = 0; Id < 50; ++Id) {
+      TraceEvent E;
+      E.Op = TraceOp::Alloc;
+      E.Id = Id;
+      E.Size = 64 + Id;
+      Writer.append(E);
+    }
+    for (uint32_t Id = 0; Id < 50; ++Id) {
+      TraceEvent E;
+      E.Op = TraceOp::Free;
+      E.Id = Id;
+      Writer.append(E);
+    }
+    TraceEvent End;
+    End.Op = TraceOp::EndTx;
+    Writer.append(End);
+  }
+  EXPECT_TRUE(Writer.finish().ok());
+  return slurp(Path);
+}
+
+/// Expects open()-or-scan of \p Path to fail with a non-empty diagnostic.
+void expectBroken(const std::string &Path) {
+  TraceSummary Summary;
+  TraceStatus Status = summarizeTrace(Path, Summary);
+  EXPECT_FALSE(Status.ok());
+  EXPECT_FALSE(Status.Message.empty());
+  EXPECT_NE(Status.describe(), "ok");
+}
+
+/// Event-sequence builder for semantically invalid traces: container and
+/// CRC are valid, the event stream is not.
+std::string writeEventTrace(const std::string &Name,
+                            const std::vector<TraceEvent> &Events) {
+  std::string Path = tempPath(Name);
+  TraceWriter Writer;
+  TraceMeta Meta{"synthetic", 1.0, 3};
+  EXPECT_TRUE(Writer.open(Path, Meta).ok());
+  for (const TraceEvent &E : Events)
+    Writer.append(E);
+  EXPECT_TRUE(Writer.finish().ok());
+  return Path;
+}
+
+TraceEvent event(TraceOp Op, uint32_t Id = 0, uint64_t Size = 0,
+                 uint64_t OldSize = 0) {
+  TraceEvent E;
+  E.Op = Op;
+  E.Id = Id;
+  E.Size = Size;
+  E.OldSize = OldSize;
+  return E;
+}
+
+/// A sink that performs no allocation — replay validation runs before the
+/// executor sees anything, which is exactly what these tests exercise.
+class NullExecutor : public TxExecutor {
+public:
+  void onAlloc(uint32_t, size_t) override {}
+  void onFree(uint32_t) override {}
+  void onRealloc(uint32_t, size_t, size_t) override {}
+  void onTouch(uint32_t, bool) override {}
+  void onWork(uint64_t) override {}
+  void onStateTouch(uint64_t, bool) override {}
+};
+
+/// Replays \p Path to completion; returns the first non-Tx step.
+TraceReplayer::Step replayAll(const std::string &Path, TraceStatus &Status,
+                              uint64_t StateBytesLimit = 0) {
+  TraceReplayer Replayer;
+  TraceStatus Open = Replayer.open(Path);
+  if (!Open.ok()) {
+    Status = Open;
+    return TraceReplayer::Step::Error;
+  }
+  NullExecutor Executor;
+  TraceStats Stats;
+  TraceReplayer::Step Step;
+  while ((Step = Replayer.replayTransactionInto(Executor, Stats,
+                                                StateBytesLimit)) ==
+         TraceReplayer::Step::Tx)
+    ;
+  Status = Replayer.status();
+  return Step;
+}
+
+} // namespace
+
+TEST(TraceCorruptionTest, MissingFileFails) {
+  TraceReader Reader;
+  EXPECT_FALSE(Reader.open(tempPath("does_not_exist")).ok());
+}
+
+TEST(TraceCorruptionTest, EmptyFileFails) {
+  std::string Path = tempPath("empty");
+  spit(Path, "");
+  expectBroken(Path);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, BadMagicFails) {
+  std::string Path = tempPath("magic");
+  std::string Data = makeValidTrace(Path);
+  Data[0] = 'X';
+  spit(Path, Data);
+  expectBroken(Path);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, FutureVersionFails) {
+  std::string Path = tempPath("version");
+  std::string Data = makeValidTrace(Path);
+  Data[8] = char(99); // version field follows the 8-byte magic
+  spit(Path, Data);
+  expectBroken(Path);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, TruncatedHeaderFails) {
+  std::string Path = tempPath("header");
+  std::string Data = makeValidTrace(Path);
+  for (size_t Cut : {size_t(3), size_t(8), size_t(10)}) {
+    spit(Path, Data.substr(0, Cut));
+    expectBroken(Path);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, TruncatedFrameFails) {
+  // Any cut that is not a frame boundary must be detected — a trace that
+  // lost its tail is not silently shorter.
+  std::string Path = tempPath("truncated");
+  std::string Data = makeValidTrace(Path);
+  for (size_t Cut : {Data.size() - 1, Data.size() - 7, Data.size() / 2}) {
+    spit(Path, Data.substr(0, Cut));
+    expectBroken(Path);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, FlippedPayloadByteFailsCrc) {
+  std::string Path = tempPath("crc");
+  std::string Data = makeValidTrace(Path);
+  std::string Broken = Data;
+  Broken[Broken.size() - 1] ^= 0x40; // inside the last block's payload
+  spit(Path, Broken);
+  expectBroken(Path);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, CrcValidGarbagePayloadFailsDecode) {
+  // Re-frame a garbage payload with a *correct* CRC: the frame passes the
+  // integrity check and must then die in the event decoder.
+  std::string Path = tempPath("garbage");
+  std::string Data = makeValidTrace(Path);
+
+  std::string Payload = "\xff\xff\xff\xff"; // 0xff: invalid event tag
+  std::string Frame;
+  auto PutU32 = [&Frame](uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Frame.push_back(char((V >> (8 * I)) & 0xff));
+  };
+  PutU32(uint32_t(Payload.size()));
+  PutU32(4); // claims 4 events
+  PutU32(crc32(Payload.data(), Payload.size()));
+  Frame += Payload;
+
+  // Keep header + meta frame, replace everything after with the garbage
+  // frame. The meta frame starts at offset 12; find its end.
+  size_t Pos = 12;
+  auto GetU32 = [&Data](size_t At) {
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= uint32_t(uint8_t(Data[At + I])) << (8 * I);
+    return V;
+  };
+  size_t MetaEnd = Pos + 12 + GetU32(Pos);
+  spit(Path, Data.substr(0, MetaEnd) + Frame);
+  expectBroken(Path);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, EventCountLieFails) {
+  // A frame claiming more events than its payload holds.
+  std::string Path = tempPath("countlie");
+  std::string Data = makeValidTrace(Path);
+  // First data frame header is right after the meta frame.
+  auto GetU32 = [&Data](size_t At) {
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= uint32_t(uint8_t(Data[At + I])) << (8 * I);
+    return V;
+  };
+  size_t FrameAt = 12 + 12 + GetU32(12);
+  uint32_t Count = GetU32(FrameAt + 4) + 1000;
+  for (int I = 0; I < 4; ++I)
+    Data[FrameAt + 4 + I] = char((Count >> (8 * I)) & 0xff);
+  spit(Path, Data);
+  expectBroken(Path);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, OversizedFrameLengthFails) {
+  std::string Path = tempPath("oversize");
+  std::string Data = makeValidTrace(Path);
+  // Claim a payload beyond TraceMaxBlockBytes in the first data frame.
+  auto GetU32 = [&Data](size_t At) {
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= uint32_t(uint8_t(Data[At + I])) << (8 * I);
+    return V;
+  };
+  size_t FrameAt = 12 + 12 + GetU32(12);
+  uint32_t Huge = uint32_t(TraceMaxBlockBytes) + 1;
+  for (int I = 0; I < 4; ++I)
+    Data[FrameAt + I] = char((Huge >> (8 * I)) & 0xff);
+  spit(Path, Data);
+  expectBroken(Path);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, ReplayRejectsDoubleAllocOfLiveId) {
+  std::string Path = writeEventTrace(
+      "doublealloc", {event(TraceOp::Alloc, 0, 16), event(TraceOp::Alloc, 0, 16),
+                      event(TraceOp::EndTx)});
+  TraceStatus Status;
+  EXPECT_EQ(replayAll(Path, Status), TraceReplayer::Step::Error);
+  EXPECT_FALSE(Status.ok());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, ReplayRejectsFreeOfUnknownId) {
+  std::string Path =
+      writeEventTrace("freeunknown", {event(TraceOp::Alloc, 0, 16),
+                                      event(TraceOp::Free, 3),
+                                      event(TraceOp::EndTx)});
+  TraceStatus Status;
+  EXPECT_EQ(replayAll(Path, Status), TraceReplayer::Step::Error);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, ReplayRejectsDoubleFree) {
+  std::string Path = writeEventTrace(
+      "doublefree", {event(TraceOp::Alloc, 0, 16), event(TraceOp::Free, 0),
+                     event(TraceOp::Free, 0), event(TraceOp::EndTx)});
+  TraceStatus Status;
+  EXPECT_EQ(replayAll(Path, Status), TraceReplayer::Step::Error);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, ReplayRejectsReallocOldSizeMismatch) {
+  std::string Path = writeEventTrace(
+      "reallocsize", {event(TraceOp::Alloc, 0, 16),
+                      event(TraceOp::Realloc, 0, 64, /*OldSize=*/99),
+                      event(TraceOp::EndTx)});
+  TraceStatus Status;
+  EXPECT_EQ(replayAll(Path, Status), TraceReplayer::Step::Error);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, ReplayRejectsTouchOfDeadObject) {
+  std::string Path = writeEventTrace(
+      "touchdead", {event(TraceOp::Alloc, 0, 16), event(TraceOp::Free, 0),
+                    event(TraceOp::Touch, 0), event(TraceOp::EndTx)});
+  TraceStatus Status;
+  EXPECT_EQ(replayAll(Path, Status), TraceReplayer::Step::Error);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, ReplayRejectsStateTouchPastLimit) {
+  std::string Path = writeEventTrace(
+      "statetouch",
+      {event(TraceOp::StateTouch, 0, /*Size=offset*/ 1 << 20),
+       event(TraceOp::EndTx)});
+  TraceStatus Status;
+  EXPECT_EQ(replayAll(Path, Status, /*StateBytesLimit=*/4096),
+            TraceReplayer::Step::Error);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, ReplayRejectsEofMidTransaction) {
+  // Events but no EndTx: the file is well-formed, the run is incomplete.
+  std::string Path = writeEventTrace(
+      "midtx", {event(TraceOp::Alloc, 0, 16), event(TraceOp::Alloc, 1, 16)});
+  TraceStatus Status;
+  EXPECT_EQ(replayAll(Path, Status), TraceReplayer::Step::Error);
+  EXPECT_FALSE(Status.ok());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, DiagnosticsCarryLocation) {
+  // The classic triage flow: a byte flip deep in the file must report a
+  // frame offset the user can actually look at.
+  std::string Path = tempPath("location");
+  std::string Data = makeValidTrace(Path);
+  std::string Broken = Data;
+  Broken[Broken.size() - 2] ^= 0x01;
+  spit(Path, Broken);
+  TraceSummary Summary;
+  TraceStatus Status = summarizeTrace(Path, Summary);
+  ASSERT_FALSE(Status.ok());
+  EXPECT_GT(Status.ByteOffset, 0u);
+  std::remove(Path.c_str());
+}

@@ -1,0 +1,286 @@
+//===- tests/trace/TraceRoundTripTest.cpp - Record/replay properties ------===//
+///
+/// The subsystem's central property: a recorded run, replayed in-process,
+/// reproduces the live run exactly — same events, same runtime metrics,
+/// same allocator counters — for every workload and every allocator.
+/// Because the generator's event stream never depends on the allocator,
+/// one trace recorded under any allocator also drives every *other*
+/// allocator at inputs identical to that allocator's own live run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TransactionRuntime.h"
+#include "trace/TraceReader.h"
+#include "trace/TraceRecorder.h"
+#include "trace/TraceReplayer.h"
+#include "trace/TraceWriter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ddm;
+
+namespace {
+
+std::string tempTracePath(const std::string &Name) {
+  return testing::TempDir() + "ddm_" + Name + TraceFileSuffix;
+}
+
+RuntimeConfig testConfig(AllocatorKind Kind, bool BulkFree) {
+  RuntimeConfig Config;
+  Config.Kind = Kind;
+  Config.UseBulkFree = BulkFree && createAllocator(Kind)->supportsBulkFree();
+  Config.Scale = 0.05;
+  Config.Seed = 1234;
+  return Config;
+}
+
+/// Runs \p Transactions live with a recorder attached; returns the path.
+std::string recordRun(const WorkloadSpec &W, const RuntimeConfig &Config,
+                      unsigned Transactions, const std::string &Name) {
+  std::string Path = tempTracePath(Name);
+  TraceRecorder Recorder;
+  TraceMeta Meta;
+  Meta.Workload = W.Name;
+  Meta.Scale = Config.Scale;
+  Meta.Seed = Config.Seed;
+  EXPECT_TRUE(Recorder.open(Path, Meta).ok());
+  TransactionRuntime Runtime(W, Config);
+  Runtime.attachTraceSink(&Recorder);
+  for (unsigned I = 0; I < Transactions; ++I)
+    Runtime.executeTransaction();
+  EXPECT_TRUE(Recorder.finish().ok());
+  EXPECT_EQ(Recorder.transactionsRecorded(), Transactions);
+  return Path;
+}
+
+void expectSameTrace(const TraceStats &A, const TraceStats &B) {
+  EXPECT_EQ(A.Mallocs, B.Mallocs);
+  EXPECT_EQ(A.Frees, B.Frees);
+  EXPECT_EQ(A.Reallocs, B.Reallocs);
+  EXPECT_EQ(A.AllocatedBytes, B.AllocatedBytes);
+  EXPECT_EQ(A.ObjectTouches, B.ObjectTouches);
+  EXPECT_EQ(A.StateTouches, B.StateTouches);
+  EXPECT_EQ(A.WorkInstructions, B.WorkInstructions);
+}
+
+void expectSameRun(const TransactionRuntime &Live,
+                   const TransactionRuntime &Replayed) {
+  const RuntimeMetrics &L = Live.metrics();
+  const RuntimeMetrics &R = Replayed.metrics();
+  EXPECT_EQ(L.Transactions, R.Transactions);
+  EXPECT_EQ(L.Restarts, R.Restarts);
+  expectSameTrace(L.TotalTrace, R.TotalTrace);
+  EXPECT_EQ(L.ConsumptionBytes.count(), R.ConsumptionBytes.count());
+  EXPECT_DOUBLE_EQ(L.ConsumptionBytes.mean(), R.ConsumptionBytes.mean());
+}
+
+void expectSameAllocator(TransactionRuntime &Live,
+                         TransactionRuntime &Replayed) {
+  const AllocatorStats &L = Live.allocator().stats();
+  const AllocatorStats &R = Replayed.allocator().stats();
+  EXPECT_EQ(L.MallocCalls, R.MallocCalls);
+  EXPECT_EQ(L.FreeCalls, R.FreeCalls);
+  EXPECT_EQ(L.FreeAllCalls, R.FreeAllCalls);
+  EXPECT_EQ(L.UsableBytesLive, R.UsableBytesLive);
+}
+
+} // namespace
+
+TEST(TraceRoundTripTest, ReplayReproducesLiveRunForEveryAllocator) {
+  const WorkloadSpec W = phpBb();
+  for (AllocatorKind Kind : allAllocatorKinds()) {
+    SCOPED_TRACE(allocatorKindName(Kind));
+    RuntimeConfig Config = testConfig(Kind, /*BulkFree=*/true);
+
+    // Live run, recorded.
+    TransactionRuntime Live(W, Config);
+    TraceRecorder Recorder;
+    std::string Path =
+        tempTracePath(std::string("rt_") + allocatorKindName(Kind));
+    TraceMeta Meta{W.Name, Config.Scale, Config.Seed};
+    ASSERT_TRUE(Recorder.open(Path, Meta).ok());
+    Live.attachTraceSink(&Recorder);
+    for (int I = 0; I < 3; ++I)
+      Live.executeTransaction();
+    ASSERT_TRUE(Recorder.finish().ok());
+
+    // Replay into a fresh runtime of the same configuration.
+    TraceReplayer Replayer;
+    ASSERT_TRUE(Replayer.open(Path).ok());
+    TransactionRuntime Replayed(W, Config);
+    for (int I = 0; I < 3; ++I)
+      ASSERT_EQ(Replayer.replayTransaction(Replayed),
+                TraceReplayer::Step::Tx)
+          << Replayer.status().describe();
+    EXPECT_EQ(Replayer.replayTransaction(Replayed), TraceReplayer::Step::End);
+
+    expectSameRun(Live, Replayed);
+    expectSameAllocator(Live, Replayed);
+    std::remove(Path.c_str());
+  }
+}
+
+TEST(TraceRoundTripTest, OneTraceDrivesEveryAllocatorIdentically) {
+  // Record once (under DDmalloc); replaying under allocator B must equal
+  // B's own live run — the generator stream is allocator-independent.
+  const WorkloadSpec W = mediaWikiReadOnly();
+  RuntimeConfig RecordConfig = testConfig(AllocatorKind::DDmalloc, true);
+  std::string Path = recordRun(W, RecordConfig, 2, "cross");
+
+  for (AllocatorKind Kind : phpStudyAllocatorKinds()) {
+    SCOPED_TRACE(allocatorKindName(Kind));
+    RuntimeConfig Config = testConfig(Kind, /*BulkFree=*/true);
+
+    TransactionRuntime Live(W, Config);
+    Live.executeTransaction();
+    Live.executeTransaction();
+
+    TraceReplayer Replayer;
+    ASSERT_TRUE(Replayer.open(Path).ok());
+    TransactionRuntime Replayed(W, Config);
+    ASSERT_EQ(Replayer.replayTransaction(Replayed), TraceReplayer::Step::Tx);
+    ASSERT_EQ(Replayer.replayTransaction(Replayed), TraceReplayer::Step::Tx);
+
+    expectSameRun(Live, Replayed);
+    expectSameAllocator(Live, Replayed);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(TraceRoundTripTest, RubyModeReplayMatchesLiveLeakDecisions) {
+  // Ruby mode's leak decisions draw from CleanupRng (keyed off the seed),
+  // so replay — which never advances the generator's Rng — still leaks
+  // exactly the same objects.
+  const WorkloadSpec W = phpBb();
+  RuntimeConfig Config = testConfig(AllocatorKind::Glibc, /*BulkFree=*/false);
+  Config.LeakFraction = 0.3;
+  Config.RestartPeriodTx = 2;
+
+  TransactionRuntime Live(W, Config);
+  TraceRecorder Recorder;
+  std::string Path = tempTracePath("ruby");
+  TraceMeta Meta{W.Name, Config.Scale, Config.Seed};
+  ASSERT_TRUE(Recorder.open(Path, Meta).ok());
+  Live.attachTraceSink(&Recorder);
+  for (int I = 0; I < 4; ++I)
+    Live.executeTransaction();
+  ASSERT_TRUE(Recorder.finish().ok());
+
+  TraceReplayer Replayer;
+  ASSERT_TRUE(Replayer.open(Path).ok());
+  TransactionRuntime Replayed(W, Config);
+  for (int I = 0; I < 4; ++I)
+    ASSERT_EQ(Replayer.replayTransaction(Replayed), TraceReplayer::Step::Tx)
+        << Replayer.status().describe();
+
+  EXPECT_EQ(Live.metrics().Restarts, 2u);
+  expectSameRun(Live, Replayed);
+  expectSameAllocator(Live, Replayed);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceRoundTripTest, EveryWorkloadRoundTrips) {
+  for (const WorkloadSpec &W : phpWorkloads()) {
+    SCOPED_TRACE(W.Name);
+    RuntimeConfig Config = testConfig(AllocatorKind::Region, true);
+    Config.Scale = 0.02;
+    std::string Path = recordRun(W, Config, 2, "wl_" + W.Name);
+
+    TraceSummary Summary;
+    ASSERT_TRUE(summarizeTrace(Path, Summary).ok());
+    EXPECT_EQ(Summary.Meta.Workload, W.Name);
+    EXPECT_EQ(Summary.Transactions, 2u);
+    EXPECT_GT(Summary.Total.Mallocs, 0u);
+
+    TraceReplayer Replayer;
+    ASSERT_TRUE(Replayer.open(Path).ok());
+    TransactionRuntime Replayed(W, Config);
+    ASSERT_EQ(Replayer.replayTransaction(Replayed), TraceReplayer::Step::Tx);
+    ASSERT_EQ(Replayer.replayTransaction(Replayed), TraceReplayer::Step::Tx);
+    expectSameTrace(Summary.Total, Replayed.metrics().TotalTrace);
+    std::remove(Path.c_str());
+  }
+}
+
+TEST(TraceRoundTripTest, RerecordingAReplayIsByteIdentical) {
+  // Attach a recorder while replaying: the copy must equal the original
+  // file byte for byte (same events, same encoder state, same block cuts).
+  const WorkloadSpec W = phpBb();
+  RuntimeConfig Config = testConfig(AllocatorKind::DDmalloc, true);
+  std::string Original = recordRun(W, Config, 3, "orig");
+
+  std::string Copy = tempTracePath("copy");
+  TraceReplayer Replayer;
+  ASSERT_TRUE(Replayer.open(Original).ok());
+  TraceRecorder Recorder;
+  ASSERT_TRUE(Recorder.open(Copy, Replayer.meta()).ok());
+  TransactionRuntime Replayed(W, Config);
+  Replayed.attachTraceSink(&Recorder);
+  while (Replayer.replayTransaction(Replayed) == TraceReplayer::Step::Tx)
+    ;
+  ASSERT_TRUE(Replayer.status().ok()) << Replayer.status().describe();
+  ASSERT_TRUE(Recorder.finish().ok());
+
+  auto Slurp = [](const std::string &Path) {
+    std::string Data;
+    FILE *F = fopen(Path.c_str(), "rb");
+    EXPECT_NE(F, nullptr);
+    char Buffer[4096];
+    size_t N;
+    while ((N = fread(Buffer, 1, sizeof(Buffer), F)) > 0)
+      Data.append(Buffer, N);
+    fclose(F);
+    return Data;
+  };
+  std::string A = Slurp(Original), B = Slurp(Copy);
+  EXPECT_FALSE(A.empty());
+  EXPECT_EQ(A, B);
+  std::remove(Original.c_str());
+  std::remove(Copy.c_str());
+}
+
+TEST(TraceRoundTripTest, WriterReaderPreserveLongEventStreams) {
+  // Enough synthetic events to span several 64 KB blocks; the reader must
+  // hand back exactly the written sequence across block boundaries.
+  std::string Path = tempTracePath("blocks");
+  TraceMeta Meta{"synthetic", 1.0, 7};
+  TraceWriter Writer;
+  ASSERT_TRUE(Writer.open(Path, Meta).ok());
+  Rng R(99);
+  std::vector<TraceEvent> Written;
+  for (int Tx = 0; Tx < 40; ++Tx) {
+    for (uint32_t Id = 0; Id < 2000; ++Id) {
+      TraceEvent E;
+      E.Op = TraceOp::Alloc;
+      E.Id = Id;
+      E.Size = 8 + R.nextBelow(512);
+      Writer.append(E);
+      Written.push_back(E);
+    }
+    TraceEvent End;
+    End.Op = TraceOp::EndTx;
+    Writer.append(End);
+    Written.push_back(End);
+  }
+  ASSERT_TRUE(Writer.finish().ok());
+  ASSERT_GT(Writer.bytesWritten(), 2 * TraceBlockTarget);
+
+  TraceReader Reader;
+  ASSERT_TRUE(Reader.open(Path).ok());
+  EXPECT_EQ(Reader.meta().Workload, "synthetic");
+  for (size_t I = 0; I < Written.size(); ++I) {
+    TraceEvent E;
+    ASSERT_EQ(Reader.next(E), TraceReader::Next::Event)
+        << "event " << I << ": " << Reader.status().describe();
+    EXPECT_EQ(E.Op, Written[I].Op);
+    EXPECT_EQ(E.Id, Written[I].Id);
+    EXPECT_EQ(E.Size, Written[I].Size);
+  }
+  TraceEvent E;
+  EXPECT_EQ(Reader.next(E), TraceReader::Next::End);
+  std::remove(Path.c_str());
+}

@@ -1,0 +1,235 @@
+//===- tests/trace/TraceTransformTest.cpp - Trace transformation tests ----===//
+
+#include "runtime/TransactionRuntime.h"
+#include "trace/TraceRecorder.h"
+#include "trace/TraceReplayer.h"
+#include "trace/TraceTransform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ddm;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return testing::TempDir() + "ddm_xform_" + Name + TraceFileSuffix;
+}
+
+std::string slurp(const std::string &Path) {
+  std::string Data;
+  FILE *F = fopen(Path.c_str(), "rb");
+  EXPECT_NE(F, nullptr) << Path;
+  if (!F)
+    return Data;
+  char Buffer[4096];
+  size_t N;
+  while ((N = fread(Buffer, 1, sizeof(Buffer), F)) > 0)
+    Data.append(Buffer, N);
+  fclose(F);
+  return Data;
+}
+
+/// Records \p Transactions of phpBB under DDmalloc; returns the path.
+std::string recordTrace(unsigned Transactions, const std::string &Name) {
+  const WorkloadSpec W = phpBb();
+  RuntimeConfig Config;
+  Config.Kind = AllocatorKind::DDmalloc;
+  Config.Scale = 0.05;
+  Config.Seed = 77;
+  std::string Path = tempPath(Name);
+  TraceRecorder Recorder;
+  TraceMeta Meta{W.Name, Config.Scale, Config.Seed};
+  EXPECT_TRUE(Recorder.open(Path, Meta).ok());
+  TransactionRuntime Runtime(W, Config);
+  Runtime.attachTraceSink(&Recorder);
+  for (unsigned I = 0; I < Transactions; ++I)
+    Runtime.executeTransaction();
+  EXPECT_TRUE(Recorder.finish().ok());
+  return Path;
+}
+
+TraceSummary summarize(const std::string &Path) {
+  TraceSummary Summary;
+  TraceStatus Status = summarizeTrace(Path, Summary);
+  EXPECT_TRUE(Status.ok()) << Status.describe();
+  return Summary;
+}
+
+} // namespace
+
+TEST(TraceTransformTest, TruncateKeepsExactlyNTransactions) {
+  std::string In = recordTrace(5, "trunc_in");
+  std::string Out = tempPath("trunc_out");
+  ASSERT_TRUE(truncateTrace(In, Out, 2).ok());
+
+  TraceSummary Full = summarize(In);
+  TraceSummary Cut = summarize(Out);
+  EXPECT_EQ(Full.Transactions, 5u);
+  EXPECT_EQ(Cut.Transactions, 2u);
+  EXPECT_LT(Cut.Total.Mallocs, Full.Total.Mallocs);
+  EXPECT_EQ(Cut.Meta.Workload, Full.Meta.Workload);
+  EXPECT_EQ(Cut.Meta.Seed, Full.Meta.Seed);
+  std::remove(In.c_str());
+  std::remove(Out.c_str());
+}
+
+TEST(TraceTransformTest, TruncateBeyondLengthCopiesEverything) {
+  std::string In = recordTrace(2, "truncall_in");
+  std::string Out = tempPath("truncall_out");
+  ASSERT_TRUE(truncateTrace(In, Out, 100).ok());
+  EXPECT_EQ(summarize(Out).Transactions, 2u);
+  std::remove(In.c_str());
+  std::remove(Out.c_str());
+}
+
+TEST(TraceTransformTest, ScaleSizesScalesOnlySizes) {
+  std::string In = recordTrace(2, "scale_in");
+  std::string Out = tempPath("scale_out");
+  ASSERT_TRUE(scaleTraceSizes(In, Out, 2.0).ok());
+
+  TraceSummary Before = summarize(In);
+  TraceSummary After = summarize(Out);
+  // Call pattern unchanged; only bytes move.
+  EXPECT_EQ(After.Transactions, Before.Transactions);
+  EXPECT_EQ(After.Total.Mallocs, Before.Total.Mallocs);
+  EXPECT_EQ(After.Total.Frees, Before.Total.Frees);
+  EXPECT_EQ(After.Total.Reallocs, Before.Total.Reallocs);
+  EXPECT_EQ(After.Total.WorkInstructions, Before.Total.WorkInstructions);
+  // Doubling every size doubles the total to within rounding.
+  EXPECT_NEAR(double(After.Total.AllocatedBytes),
+              2.0 * double(Before.Total.AllocatedBytes),
+              double(Before.Total.Mallocs));
+  std::remove(In.c_str());
+  std::remove(Out.c_str());
+}
+
+TEST(TraceTransformTest, ScaledTraceStillReplays) {
+  // Scaling must keep realloc old-sizes consistent or replay validation
+  // would reject the transformed trace.
+  std::string In = recordTrace(2, "scalerep_in");
+  std::string Out = tempPath("scalerep_out");
+  ASSERT_TRUE(scaleTraceSizes(In, Out, 0.5).ok());
+
+  TraceReplayer Replayer;
+  ASSERT_TRUE(Replayer.open(Out).ok());
+  const WorkloadSpec *W = Replayer.workload();
+  ASSERT_NE(W, nullptr);
+  RuntimeConfig Config;
+  Config.Kind = AllocatorKind::DDmalloc;
+  Config.Scale = Replayer.meta().Scale;
+  Config.Seed = Replayer.meta().Seed;
+  TransactionRuntime Runtime(*W, Config);
+  ASSERT_EQ(Replayer.replayTransaction(Runtime), TraceReplayer::Step::Tx)
+      << Replayer.status().describe();
+  ASSERT_EQ(Replayer.replayTransaction(Runtime), TraceReplayer::Step::Tx);
+  EXPECT_EQ(Replayer.replayTransaction(Runtime), TraceReplayer::Step::End);
+  std::remove(In.c_str());
+  std::remove(Out.c_str());
+}
+
+TEST(TraceTransformTest, RejectsNonPositiveScaleFactor) {
+  std::string In = recordTrace(1, "badfactor_in");
+  std::string Out = tempPath("badfactor_out");
+  EXPECT_FALSE(scaleTraceSizes(In, Out, 0.0).ok());
+  EXPECT_FALSE(scaleTraceSizes(In, Out, -1.0).ok());
+  std::remove(In.c_str());
+  std::remove(Out.c_str());
+}
+
+TEST(TraceTransformTest, ShardDealsTransactionsRoundRobin) {
+  std::string In = recordTrace(5, "shard_in");
+  std::vector<std::string> Shards = {tempPath("shard_0"), tempPath("shard_1")};
+  ASSERT_TRUE(shardTrace(In, Shards).ok());
+
+  // 5 transactions over 2 shards: 3 + 2.
+  EXPECT_EQ(summarize(Shards[0]).Transactions, 3u);
+  EXPECT_EQ(summarize(Shards[1]).Transactions, 2u);
+  TraceSummary Full = summarize(In);
+  EXPECT_EQ(summarize(Shards[0]).Total.Mallocs +
+                summarize(Shards[1]).Total.Mallocs,
+            Full.Total.Mallocs);
+  std::remove(In.c_str());
+  for (const std::string &S : Shards)
+    std::remove(S.c_str());
+}
+
+TEST(TraceTransformTest, ShardThenInterleaveIsByteIdentical) {
+  // The inverse-pair property, at full strength: not just the same events
+  // but the same bytes (same encoder deltas, same block cuts).
+  std::string In = recordTrace(6, "inv_in");
+  std::vector<std::string> Shards = {tempPath("inv_0"), tempPath("inv_1"),
+                                     tempPath("inv_2")};
+  ASSERT_TRUE(shardTrace(In, Shards).ok());
+  std::string Merged = tempPath("inv_merged");
+  ASSERT_TRUE(interleaveTraces(Shards, Merged).ok());
+
+  std::string A = slurp(In), B = slurp(Merged);
+  EXPECT_FALSE(A.empty());
+  EXPECT_EQ(A, B);
+  std::remove(In.c_str());
+  std::remove(Merged.c_str());
+  for (const std::string &S : Shards)
+    std::remove(S.c_str());
+}
+
+TEST(TraceTransformTest, ShardedTracesReplayIndependently) {
+  std::string In = recordTrace(4, "shardrep_in");
+  std::vector<std::string> Shards = {tempPath("shardrep_0"),
+                                     tempPath("shardrep_1")};
+  ASSERT_TRUE(shardTrace(In, Shards).ok());
+  for (const std::string &Shard : Shards) {
+    TraceReplayer Replayer;
+    ASSERT_TRUE(Replayer.open(Shard).ok());
+    const WorkloadSpec *W = Replayer.workload();
+    ASSERT_NE(W, nullptr);
+    RuntimeConfig Config;
+    Config.Kind = AllocatorKind::Region;
+    Config.Scale = Replayer.meta().Scale;
+    Config.Seed = Replayer.meta().Seed;
+    TransactionRuntime Runtime(*W, Config);
+    while (Replayer.replayTransaction(Runtime) == TraceReplayer::Step::Tx)
+      ;
+    EXPECT_TRUE(Replayer.status().ok()) << Replayer.status().describe();
+    EXPECT_EQ(Replayer.transactionsReplayed(), 2u);
+  }
+  std::remove(In.c_str());
+  for (const std::string &S : Shards)
+    std::remove(S.c_str());
+}
+
+TEST(TraceTransformTest, InterleaveRejectsMetaMismatch) {
+  std::string A = recordTrace(1, "mismatch_a");
+  // A second trace with a different workload name.
+  const WorkloadSpec W = mediaWikiReadOnly();
+  RuntimeConfig Config;
+  Config.Kind = AllocatorKind::DDmalloc;
+  Config.Scale = 0.05;
+  Config.Seed = 77;
+  std::string B = tempPath("mismatch_b");
+  {
+    TraceRecorder Recorder;
+    TraceMeta Meta{W.Name, Config.Scale, Config.Seed};
+    ASSERT_TRUE(Recorder.open(B, Meta).ok());
+    TransactionRuntime Runtime(W, Config);
+    Runtime.attachTraceSink(&Recorder);
+    Runtime.executeTransaction();
+    ASSERT_TRUE(Recorder.finish().ok());
+  }
+  std::string Out = tempPath("mismatch_out");
+  EXPECT_FALSE(interleaveTraces({A, B}, Out).ok());
+  std::remove(A.c_str());
+  std::remove(B.c_str());
+}
+
+TEST(TraceTransformTest, TransformErrorsNameTheOffendingFile) {
+  std::string Missing = tempPath("no_such_input");
+  std::string Out = tempPath("never_written");
+  TraceStatus Status = truncateTrace(Missing, Out, 1);
+  ASSERT_FALSE(Status.ok());
+  EXPECT_NE(Status.Message.find(Missing), std::string::npos);
+}

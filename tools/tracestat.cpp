@@ -1,0 +1,186 @@
+//===- tools/tracestat.cpp - Inspect and transform allocation traces ------===//
+///
+/// \file
+/// The trace toolbox: validates `.ddmtrc` files and prints their
+/// per-transaction call statistics in Table 3's terms (malloc/free/realloc
+/// calls per transaction, mean allocation size), or rewrites them:
+///
+///   tracestat run.ddmtrc                      # validate + statistics
+///   tracestat --json run.ddmtrc               # machine-readable form
+///   tracestat --truncate 100 --out short.ddmtrc run.ddmtrc
+///   tracestat --scale-sizes 2.0 --out big.ddmtrc run.ddmtrc
+///   tracestat --shard 4 --out core run.ddmtrc # core.0.ddmtrc .. core.3.ddmtrc
+///   tracestat --interleave --out merged.ddmtrc core.*.ddmtrc
+///
+/// Sharding deals whole transactions round-robin across N outputs
+/// (splitting one recorded feed across N simulated cores); interleaving is
+/// the exact inverse — shard then interleave reproduces the input byte for
+/// byte.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParse.h"
+#include "support/Json.h"
+#include "support/Table.h"
+#include "trace/TraceReplayer.h"
+#include "trace/TraceTransform.h"
+#include "workload/WorkloadSpec.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ddm;
+
+namespace {
+
+std::string formatDouble(double V, const char *Fmt = "%.1f") {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), Fmt, V);
+  return Buf;
+}
+
+/// Validates and summarizes every input; prints the Table 3 view (or JSON).
+int statTraces(const std::vector<std::string> &Paths, bool Json, bool Csv) {
+  std::vector<TraceSummary> Summaries(Paths.size());
+  for (size_t I = 0; I < Paths.size(); ++I) {
+    if (TraceStatus S = summarizeTrace(Paths[I], Summaries[I]); !S) {
+      std::fprintf(stderr, "tracestat: '%s': %s\n", Paths[I].c_str(),
+                   S.describe().c_str());
+      return 1;
+    }
+  }
+
+  if (Json) {
+    JsonWriter J;
+    J.beginObject().field("tool", "tracestat").key("traces").beginArray();
+    for (size_t I = 0; I < Paths.size(); ++I) {
+      const TraceSummary &S = Summaries[I];
+      J.beginObject()
+          .field("file", Paths[I])
+          .field("workload", S.Meta.Workload)
+          .field("scale", S.Meta.Scale)
+          .field("seed", S.Meta.Seed)
+          .field("transactions", S.Transactions)
+          .field("events", S.Events)
+          .field("mallocs_per_tx", S.mallocsPerTx())
+          .field("frees_per_tx", S.freesPerTx())
+          .field("reallocs_per_tx", S.reallocsPerTx())
+          .field("mean_alloc_bytes", S.meanAllocBytes())
+          .field("allocated_bytes", S.Total.AllocatedBytes)
+          .field("object_touches", S.Total.ObjectTouches)
+          .field("state_touches", S.Total.StateTouches)
+          .field("work_instructions", S.Total.WorkInstructions)
+          .endObject();
+    }
+    J.endArray().endObject();
+    std::printf("%s\n", J.str().c_str());
+    return 0;
+  }
+
+  // The paper's Table 3 columns, computed from the trace instead of the
+  // live generator; paper reference values appear when the trace's
+  // workload is one this build knows (at scale 1.0 they should agree).
+  Table Out({"trace", "workload", "scale", "tx", "malloc/tx", "paper",
+             "free/tx", "paper", "realloc/tx", "paper", "alloc size (B)",
+             "paper"});
+  for (size_t I = 0; I < Paths.size(); ++I) {
+    const TraceSummary &S = Summaries[I];
+    const WorkloadSpec *W = findWorkload(S.Meta.Workload);
+    auto PaperCount = [&](uint64_t V) {
+      return W ? std::to_string(V) : std::string("-");
+    };
+    Out.row()
+        .cell(Paths[I])
+        .cell(S.Meta.Workload)
+        .cell(S.Meta.Scale, 2)
+        .cell(S.Transactions)
+        .cell(S.mallocsPerTx(), 0)
+        .cell(PaperCount(W ? W->MallocCalls : 0))
+        .cell(S.freesPerTx(), 0)
+        .cell(PaperCount(W ? W->FreeCalls : 0))
+        .cell(S.reallocsPerTx(), 0)
+        .cell(PaperCount(W ? W->ReallocCalls : 0))
+        .cell(S.meanAllocBytes(), 1)
+        .cell(W ? formatDouble(W->MeanAllocBytes) : std::string("-"));
+  }
+  std::fputs((Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t Truncate = 0;
+  double ScaleSizes = 0.0;
+  uint64_t Shard = 0;
+  bool Interleave = false;
+  std::string OutPath;
+  bool Json = false;
+  bool Csv = false;
+  ArgParser Parser(
+      "Validates allocation traces (.ddmtrc) and prints their Table 3 "
+      "statistics, or transforms them (truncate, size-scale, round-robin "
+      "shard/interleave). Positional arguments are input traces.");
+  Parser.addFlag("truncate", &Truncate,
+                 "write only the first N transactions to --out");
+  Parser.addFlag("scale-sizes", &ScaleSizes,
+                 "write a copy with allocation sizes scaled by this factor "
+                 "to --out");
+  Parser.addFlag("shard", &Shard,
+                 "deal transactions round-robin across N traces named "
+                 "<out>.<i>" +
+                     std::string(TraceFileSuffix));
+  Parser.addFlag("interleave", &Interleave,
+                 "merge the input traces round-robin into --out");
+  Parser.addFlag("out", &OutPath, "output path (prefix for --shard)");
+  Parser.addFlag("json", &Json, "emit machine-readable JSON");
+  Parser.addFlag("csv", &Csv, "emit CSV instead of ASCII");
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+
+  const std::vector<std::string> &Inputs = Parser.positional();
+  if (Inputs.empty()) {
+    std::fprintf(stderr, "tracestat: no input traces (try --help)\n");
+    return 1;
+  }
+  unsigned Transforms = (Truncate ? 1 : 0) + (ScaleSizes != 0.0 ? 1 : 0) +
+                        (Shard ? 1 : 0) + (Interleave ? 1 : 0);
+  if (Transforms > 1) {
+    std::fprintf(stderr, "tracestat: pick one transform at a time\n");
+    return 1;
+  }
+  if (Transforms == 0)
+    return statTraces(Inputs, Json, Csv);
+
+  if (OutPath.empty()) {
+    std::fprintf(stderr, "tracestat: transforms need --out\n");
+    return 1;
+  }
+  if (!Interleave && Inputs.size() != 1) {
+    std::fprintf(stderr, "tracestat: this transform takes one input trace\n");
+    return 1;
+  }
+
+  TraceStatus S;
+  std::vector<std::string> Outputs;
+  if (Truncate) {
+    S = truncateTrace(Inputs[0], OutPath, Truncate);
+    Outputs = {OutPath};
+  } else if (ScaleSizes != 0.0) {
+    S = scaleTraceSizes(Inputs[0], OutPath, ScaleSizes);
+    Outputs = {OutPath};
+  } else if (Shard) {
+    for (uint64_t I = 0; I < Shard; ++I)
+      Outputs.push_back(OutPath + "." + std::to_string(I) + TraceFileSuffix);
+    S = shardTrace(Inputs[0], Outputs);
+  } else {
+    S = interleaveTraces(Inputs, OutPath);
+    Outputs = {OutPath};
+  }
+  if (!S) {
+    std::fprintf(stderr, "tracestat: %s\n", S.describe().c_str());
+    return 1;
+  }
+  return statTraces(Outputs, Json, Csv);
+}
