@@ -133,7 +133,15 @@ int main(int Argc, char **Argv) {
     Seed = Summary.Meta.Seed;
     // Profile over the whole recorded run (1 warmup + the rest sampled)
     // so the replayed model reproduces the recorded one exactly.
-    Samples = Summary.Transactions > 1 ? Summary.Transactions - 1 : 1;
+    if (Summary.Transactions < 2) {
+      std::fprintf(stderr,
+                   "trace '%s' holds %llu transaction(s); profiling needs "
+                   "at least 2 (1 warmup + 1 sampled)\n",
+                   ReplayTrace.c_str(),
+                   static_cast<unsigned long long>(Summary.Transactions));
+      return 1;
+    }
+    Samples = Summary.Transactions - 1;
     std::fprintf(stderr,
                  "profiling from trace %s (%llu transactions, workload %s)\n",
                  ReplayTrace.c_str(),

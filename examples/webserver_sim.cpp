@@ -72,7 +72,15 @@ int main(int Argc, char **Argv) {
     // Relive the whole recorded run (1 warmup + the rest measured); a
     // partial replay would not reproduce the recorded numbers. Shorter
     // runs come from `tracestat --truncate`, not from --transactions.
-    MeasureTx = Summary.Transactions > 1 ? Summary.Transactions - 1 : 1;
+    if (Summary.Transactions < 2) {
+      std::fprintf(stderr,
+                   "trace '%s' holds %llu transaction(s); replay needs at "
+                   "least 2 (1 warmup + 1 measured)\n",
+                   ReplayTrace.c_str(),
+                   static_cast<unsigned long long>(Summary.Transactions));
+      return 1;
+    }
+    MeasureTx = Summary.Transactions - 1;
     std::fprintf(stderr,
                  "replaying %llu transactions from %s (workload %s)\n",
                  static_cast<unsigned long long>(Summary.Transactions),

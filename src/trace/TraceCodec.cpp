@@ -143,9 +143,14 @@ bool TraceEventDecoder::decode(const char *Data, size_t Size, size_t &Pos,
       Error = "truncated or over-long id varint";
       return false;
     }
-    int64_t Id = Subtract ? Base - Delta : Base + Delta;
-    if (Id < 0 || Id > std::numeric_limits<uint32_t>::max()) {
-      Error = "decoded object id " + std::to_string(Id) + " out of range";
+    // Unsigned arithmetic: a hostile Delta spans the full int64 range, so
+    // the sum may wrap — but Base is in [0, 2^32], so every wrapped (and
+    // every negative) result lands above UINT32_MAX and is rejected.
+    uint64_t Id = Subtract
+                      ? static_cast<uint64_t>(Base) - static_cast<uint64_t>(Delta)
+                      : static_cast<uint64_t>(Base) + static_cast<uint64_t>(Delta);
+    if (Id > std::numeric_limits<uint32_t>::max()) {
+      Error = "decoded object id out of range";
       return false;
     }
     E.Id = static_cast<uint32_t>(Id);
@@ -189,13 +194,16 @@ bool TraceEventDecoder::decode(const char *Data, size_t Size, size_t &Pos,
       Error = "truncated or over-long work varint";
       return false;
     }
-    int64_t Instr = PrevWork + Delta;
-    if (Instr < 0) {
-      Error = "negative work instruction count";
+    // Same hostile-delta hazard as DecodeId: add in uint64_t and reject
+    // anything outside [0, INT64_MAX] (wrapped, negative, or huge).
+    uint64_t Instr =
+        static_cast<uint64_t>(PrevWork) + static_cast<uint64_t>(Delta);
+    if (Instr > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+      Error = "work instruction count out of range";
       return false;
     }
-    E.Size = static_cast<uint64_t>(Instr);
-    PrevWork = Instr;
+    E.Size = Instr;
+    PrevWork = static_cast<int64_t>(Instr);
     break;
   }
   case TraceOp::StateTouch:
@@ -225,7 +233,9 @@ bool ddm::decodeTraceMeta(const char *Data, size_t Size, TraceMeta &Meta,
                           std::string &Error) {
   size_t Pos = 0;
   uint64_t NameLen;
-  if (!readVarint(Data, Size, Pos, NameLen) || Pos + NameLen > Size) {
+  // `NameLen > Size - Pos`, not `Pos + NameLen > Size`: NameLen is an
+  // unvalidated u64, so the sum can wrap; readVarint guarantees Pos <= Size.
+  if (!readVarint(Data, Size, Pos, NameLen) || NameLen > Size - Pos) {
     Error = "truncated workload name";
     return false;
   }

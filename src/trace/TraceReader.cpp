@@ -65,7 +65,11 @@ TraceReader::Next TraceReader::next(TraceEvent &E) {
   if (Done)
     return Status.ok() ? Next::End : Next::Error;
 
-  if (BlockLeft == 0) {
+  // A loop, not an if: a fresh frame may itself declare zero events, and
+  // falling through to decode its payload anyway would replay undeclared
+  // events with BlockLeft underflowed. Looping re-runs the trailing-bytes
+  // check on it (and skips genuinely empty frames).
+  while (BlockLeft == 0) {
     if (BlockPos != Block.size()) {
       fail("frame payload has " + std::to_string(Block.size() - BlockPos) +
            " trailing bytes beyond its declared events");

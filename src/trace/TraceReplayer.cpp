@@ -102,7 +102,11 @@ TraceReplayer::replayTransactionInto(TxExecutor &Executor, TraceStats &Stats,
       Executor.onWork(E.Size);
       break;
     case TraceOp::StateTouch:
-      if (StateBytesLimit && E.Size + 64 > StateBytesLimit) {
+      // The touch spans [offset, offset+64); compare without computing
+      // offset+64, which a corrupt offset near 2^64 would wrap past the
+      // limit and into the runtime's unchecked state access.
+      if (StateBytesLimit != StateLimitUnknown &&
+          (E.Size > StateBytesLimit || StateBytesLimit - E.Size < 64)) {
         fail("state touch at offset " + std::to_string(E.Size) +
              " is outside the workload's " + std::to_string(StateBytesLimit) +
              "-byte state area");
@@ -157,7 +161,8 @@ TraceStatus ddm::summarizeTrace(const std::string &Path,
   Summary.Meta = Replayer.meta();
 
   const WorkloadSpec *Spec = Replayer.workload();
-  uint64_t StateLimit = Spec ? Spec->AppStateBytes : 0;
+  uint64_t StateLimit =
+      Spec ? Spec->AppStateBytes : TraceReplayer::StateLimitUnknown;
 
   NullExecutor Sink;
   while (true) {

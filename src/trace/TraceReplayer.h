@@ -50,12 +50,19 @@ public:
   /// names a workload this build does not know.
   const WorkloadSpec *workload() const { return findWorkload(meta().Workload); }
 
+  /// StateBytesLimit value meaning "state-area size unknown": state-touch
+  /// range validation is skipped. Any other value — including 0, i.e. no
+  /// state area at all — is enforced.
+  static constexpr uint64_t StateLimitUnknown = ~uint64_t(0);
+
   /// Replays events up to and including the next transaction boundary
   /// into \p Executor, accumulating what was delivered into \p Stats.
   /// The EndTx marker itself is not forwarded — the caller owns the
-  /// end-of-transaction protocol.
+  /// end-of-transaction protocol. \p StateBytesLimit is the workload's
+  /// state-area size; state touches whose 64-byte span does not fit are
+  /// rejected (pass StateLimitUnknown only when the size is unknowable).
   Step replayTransactionInto(TxExecutor &Executor, TraceStats &Stats,
-                             uint64_t StateBytesLimit = 0);
+                             uint64_t StateBytesLimit = StateLimitUnknown);
 
   /// Replays one transaction into \p RT and completes it (cleanup,
   /// metrics, scheduled restart) exactly like executeTransaction().

@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Crc32.h"
+#include "trace/TraceCodec.h"
 #include "trace/TraceReader.h"
 #include "trace/TraceReplayer.h"
 #include "trace/TraceWriter.h"
@@ -17,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -108,6 +110,25 @@ TraceEvent event(TraceOp Op, uint32_t Id = 0, uint64_t Size = 0,
   E.Size = Size;
   E.OldSize = OldSize;
   return E;
+}
+
+/// Frames \p Payload with a *correct* CRC and an arbitrary declared event
+/// count — for crafting frames that pass integrity checks but lie.
+std::string frameBytes(const std::string &Payload, uint32_t EventCount) {
+  std::string Frame;
+  appendU32(Frame, uint32_t(Payload.size()));
+  appendU32(Frame, EventCount);
+  appendU32(Frame, crc32(Payload.data(), Payload.size()));
+  return Frame + Payload;
+}
+
+/// End offset of the meta frame in a trace file's bytes (the first data
+/// frame starts here).
+size_t metaEnd(const std::string &Data) {
+  uint32_t PayloadLen = 0;
+  for (int I = 0; I < 4; ++I)
+    PayloadLen |= uint32_t(uint8_t(Data[12 + I])) << (8 * I);
+  return 12 + 12 + PayloadLen;
 }
 
 /// A sink that performs no allocation — replay validation runs before the
@@ -343,6 +364,92 @@ TEST(TraceCorruptionTest, ReplayRejectsEofMidTransaction) {
   TraceStatus Status;
   EXPECT_EQ(replayAll(Path, Status), TraceReplayer::Step::Error);
   EXPECT_FALSE(Status.ok());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, ReplayRejectsStateTouchOffsetWrap) {
+  // An offset near 2^64 makes offset+64 wrap to a small value; the bounds
+  // check must not be fooled by the wrap.
+  std::string Path = writeEventTrace(
+      "statewrap", {event(TraceOp::StateTouch, 0, ~uint64_t(0) - 10),
+                    event(TraceOp::EndTx)});
+  TraceStatus Status;
+  EXPECT_EQ(replayAll(Path, Status, /*StateBytesLimit=*/4096),
+            TraceReplayer::Step::Error);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, ReplayRejectsStateTouchWithNoStateArea) {
+  // Limit 0 means the workload has no state area: every state touch is
+  // out of range, including offset 0.
+  std::string Path = writeEventTrace(
+      "statenone",
+      {event(TraceOp::StateTouch, 0, 0), event(TraceOp::EndTx)});
+  TraceStatus Status;
+  EXPECT_EQ(replayAll(Path, Status, /*StateBytesLimit=*/0),
+            TraceReplayer::Step::Error);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, HostileIdDeltaFailsDecode) {
+  // A CRC-valid frame whose free-id delta is INT64_MIN: the decoder's
+  // Base - Delta must reject it as out of range, not overflow.
+  std::string Path = tempPath("hostileid");
+  std::string Data = makeValidTrace(Path);
+  std::string Payload;
+  Payload.push_back(char(TraceOp::Alloc));
+  appendZigzag(Payload, 0);  // id 0 (delta from expected next id)
+  appendVarint(Payload, 16); // size
+  appendVarint(Payload, 0);  // alignment
+  Payload.push_back(char(TraceOp::Free));
+  appendZigzag(Payload, std::numeric_limits<int64_t>::min());
+  spit(Path, Data.substr(0, metaEnd(Data)) + frameBytes(Payload, 2));
+  expectBroken(Path);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, HostileWorkDeltaFailsDecode) {
+  // Two work events of delta INT64_MAX: the second sum leaves the valid
+  // instruction-count range and must be a decode error, not a wrap.
+  std::string Path = tempPath("hostilework");
+  std::string Data = makeValidTrace(Path);
+  std::string Payload;
+  for (int I = 0; I < 2; ++I) {
+    Payload.push_back(char(TraceOp::Work));
+    appendZigzag(Payload, std::numeric_limits<int64_t>::max());
+  }
+  spit(Path, Data.substr(0, metaEnd(Data)) + frameBytes(Payload, 2));
+  expectBroken(Path);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, MetaNameLengthWrapFails) {
+  // A metadata frame whose name length is near 2^64: Pos + NameLen wraps,
+  // so the bounds check must be phrased to survive it.
+  std::string Path = tempPath("metalen");
+  std::string Data = makeValidTrace(Path);
+  std::string Payload;
+  appendVarint(Payload, ~uint64_t(0)); // workload-name length
+  Payload += "x";
+  spit(Path, Data.substr(0, 12) + frameBytes(Payload, 0));
+  expectBroken(Path);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, ZeroEventCountFrameWithPayloadFails) {
+  // A mid-file frame declaring zero events over a non-empty payload: its
+  // bytes are undeclared events and must be rejected, not replayed.
+  std::string Path = tempPath("zerocount");
+  std::string Data = makeValidTrace(Path);
+  std::string Payload(1, char(TraceOp::EndTx));
+  size_t MetaEnd = metaEnd(Data);
+  spit(Path, Data.substr(0, MetaEnd) + frameBytes(Payload, 0) +
+                 Data.substr(MetaEnd));
+  TraceSummary Summary;
+  TraceStatus Status = summarizeTrace(Path, Summary);
+  ASSERT_FALSE(Status.ok());
+  EXPECT_NE(Status.Message.find("trailing bytes"), std::string::npos)
+      << Status.describe();
   std::remove(Path.c_str());
 }
 
