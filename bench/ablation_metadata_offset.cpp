@@ -101,6 +101,7 @@ std::vector<RecordingSink::Access> recordThread(const WorkloadSpec &W,
   runTransaction(W, Scale, R, Executor);
 
   void *Probe = Allocator.allocate(8);
+  Sink.flush(); // drain buffered accesses before reading the recording
   uintptr_t ArenaBase =
       reinterpret_cast<uintptr_t>(Probe) & ~(uintptr_t(HeapReserve) - 1);
   std::vector<RecordingSink::Access> Rebased = std::move(Sink.Accesses);

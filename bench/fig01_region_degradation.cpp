@@ -12,30 +12,27 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "experiments/Measure.h"
-#include "support/ArgParse.h"
+#include "experiments/BenchCli.h"
+#include "support/Json.h"
 #include "support/Table.h"
 
 #include <cstdio>
+#include <functional>
 
 using namespace ddm;
 
 int main(int Argc, char **Argv) {
-  double Scale = 1.0;
-  uint64_t WarmupTx = 1;
-  uint64_t MeasureTx = 3;
-  uint64_t Seed = 1;
+  BenchCli Cli;
+  Cli.WarmupTx = 1;
+  Cli.MeasureTx = 3;
   std::string WorkloadName = "mediawiki-read";
-  bool Csv = false;
   ArgParser Parser("Reproduces Figure 1: normalized CPU time per transaction "
                    "of the region allocator vs the PHP default allocator on 8 "
                    "Xeon-like cores (MediaWiki).");
-  Parser.addFlag("scale", &Scale, "workload scale");
-  Parser.addFlag("warmup", &WarmupTx, "warm-up transactions");
-  Parser.addFlag("transactions", &MeasureTx, "measured transactions");
-  Parser.addFlag("seed", &Seed, "random seed");
+  Cli.addSimFlags(Parser);
   Parser.addFlag("workload", &WorkloadName, "workload name");
-  Parser.addFlag("csv", &Csv, "emit CSV instead of ASCII");
+  Cli.addOutputFlags(Parser, /*WithCsv=*/true);
+  Cli.addJobsFlag(Parser);
   if (!Parser.parse(Argc, Argv))
     return 1;
 
@@ -45,43 +42,75 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  SimulationOptions Options;
-  Options.Scale = Scale;
-  Options.WarmupTx = static_cast<unsigned>(WarmupTx);
-  Options.MeasureTx = static_cast<unsigned>(MeasureTx);
-  Options.Seed = Seed;
+  SimulationOptions Options = Cli.simOptions();
 
   Platform P = xeonLike();
-  SimPoint Default = simulate(*W, AllocatorKind::Default, P, P.Cores, Options);
-  SimPoint Region = simulate(*W, AllocatorKind::Region, P, P.Cores, Options);
+  const AllocatorKind Kinds[] = {AllocatorKind::Default, AllocatorKind::Region};
+  std::vector<std::function<SimPoint()>> Tasks;
+  for (AllocatorKind Kind : Kinds)
+    Tasks.push_back(
+        [W, Kind, P, Options] { return simulate(*W, Kind, P, P.Cores, Options); });
+
+  SweepRunner Runner = Cli.makeRunner();
+  std::vector<SimPoint> Points = Runner.run(Tasks);
+  const SimPoint &Default = Points[0];
+  const SimPoint &Region = Points[1];
 
   double Base = Default.Perf.CyclesPerTx;
-  Table Out({"allocator", "total (norm.)", "memory mgmt", "others"});
-  Out.row()
-      .cell("default")
-      .cell(1.0, 3)
-      .cell(Default.Perf.MmCyclesPerTx / Base, 3)
-      .cell(Default.Perf.AppCyclesPerTx / Base, 3);
-  Out.row()
-      .cell("region-based")
-      .cell(Region.Perf.CyclesPerTx / Base, 3)
-      .cell(Region.Perf.MmCyclesPerTx / Base, 3)
-      .cell(Region.Perf.AppCyclesPerTx / Base, 3);
 
-  std::printf("Figure 1: normalized CPU time per transaction, %s on 8 "
-              "Xeon-like cores\n\n",
-              W->Name.c_str());
-  std::fputs((Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
-  std::printf("\nPaper shape: region cuts memory management to almost "
-              "nothing but the rest of the program slows down enough that "
-              "its total exceeds 1.0 (throughput drops).\n");
+  if (Cli.Json) {
+    JsonWriter J;
+    J.beginObject()
+        .field("bench", "fig01_region_degradation")
+        .field("workload", W->Name)
+        .field("seed", Cli.Seed)
+        .field("scale", Cli.Scale)
+        .key("rows")
+        .beginArray()
+        .beginObject()
+        .field("allocator", "default")
+        .field("total_norm", 1.0)
+        .field("mm_norm", Default.Perf.MmCyclesPerTx / Base)
+        .field("others_norm", Default.Perf.AppCyclesPerTx / Base)
+        .endObject()
+        .beginObject()
+        .field("allocator", "region")
+        .field("total_norm", Region.Perf.CyclesPerTx / Base)
+        .field("mm_norm", Region.Perf.MmCyclesPerTx / Base)
+        .field("others_norm", Region.Perf.AppCyclesPerTx / Base)
+        .endObject()
+        .endArray()
+        .endObject();
+    std::printf("%s\n", J.str().c_str());
+  } else {
+    Table Out({"allocator", "total (norm.)", "memory mgmt", "others"});
+    Out.row()
+        .cell("default")
+        .cell(1.0, 3)
+        .cell(Default.Perf.MmCyclesPerTx / Base, 3)
+        .cell(Default.Perf.AppCyclesPerTx / Base, 3);
+    Out.row()
+        .cell("region-based")
+        .cell(Region.Perf.CyclesPerTx / Base, 3)
+        .cell(Region.Perf.MmCyclesPerTx / Base, 3)
+        .cell(Region.Perf.AppCyclesPerTx / Base, 3);
+
+    std::printf("Figure 1: normalized CPU time per transaction, %s on 8 "
+                "Xeon-like cores\n\n",
+                W->Name.c_str());
+    std::fputs((Cli.Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
+    std::printf("\nPaper shape: region cuts memory management to almost "
+                "nothing but the rest of the program slows down enough that "
+                "its total exceeds 1.0 (throughput drops).\n");
+  }
 
   // Exit nonzero if the headline inversion is absent so CI-style runs
   // catch regressions of the reproduction.
   bool RegionSlower = Region.Perf.CyclesPerTx > Base;
   bool MmReduced = Region.Perf.MmCyclesPerTx < 0.4 * Default.Perf.MmCyclesPerTx;
   if (!RegionSlower || !MmReduced) {
-    std::printf("\nWARNING: expected shape not reproduced!\n");
+    if (!Cli.Json)
+      std::printf("\nWARNING: expected shape not reproduced!\n");
     return 2;
   }
   return 0;

@@ -12,67 +12,76 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "experiments/Measure.h"
-#include "support/ArgParse.h"
+#include "experiments/BenchCli.h"
 #include "support/Json.h"
 #include "support/Table.h"
 
 #include <cstdio>
+#include <functional>
 
 using namespace ddm;
 
 int main(int Argc, char **Argv) {
-  double Scale = 0.5;
-  uint64_t WarmupTx = 2;
-  uint64_t MeasureTx = 3;
-  uint64_t Seed = 1;
-  bool Csv = false;
-  bool Json = false;
+  BenchCli Cli;
+  Cli.Scale = 0.5;
+  Cli.WarmupTx = 2;
+  Cli.MeasureTx = 3;
   bool Verbose = false;
   ArgParser Parser(
       "Reproduces Figure 5: relative throughput over the default allocator "
       "on 8 cores of the Xeon-like and Niagara-like platforms.");
-  Parser.addFlag("scale", &Scale, "workload scale (1.0 = paper call counts)");
-  Parser.addFlag("warmup", &WarmupTx, "warm-up transactions");
-  Parser.addFlag("transactions", &MeasureTx, "measured transactions");
-  Parser.addFlag("seed", &Seed, "random seed");
-  Parser.addFlag("csv", &Csv, "emit CSV instead of ASCII");
-  Parser.addFlag("json", &Json,
-                 "emit machine-readable JSON (redirect to BENCH_*.json)");
+  Cli.addSimFlags(Parser);
+  Cli.addOutputFlags(Parser);
+  Cli.addJobsFlag(Parser);
   Parser.addFlag("verbose", &Verbose, "print model internals per point");
   if (!Parser.parse(Argc, Argv))
     return 1;
 
-  SimulationOptions Options;
-  Options.Scale = Scale;
-  Options.WarmupTx = static_cast<unsigned>(WarmupTx);
-  Options.MeasureTx = static_cast<unsigned>(MeasureTx);
-  Options.Seed = Seed;
+  SimulationOptions Options = Cli.simOptions();
 
-  if (!Json)
+  // Enumerate the grid once so the points can run on any number of workers,
+  // then read the results back in the same order: the report below is
+  // byte-identical for every --jobs value.
+  const std::vector<Platform> Platforms = {xeonLike(), niagaraLike()};
+  const std::vector<WorkloadSpec> Workloads = phpWorkloads();
+  const AllocatorKind Kinds[] = {AllocatorKind::Default, AllocatorKind::Region,
+                                 AllocatorKind::DDmalloc};
+
+  std::vector<std::function<SimPoint()>> Tasks;
+  for (const Platform &P : Platforms)
+    for (const WorkloadSpec &W : Workloads)
+      for (AllocatorKind Kind : Kinds)
+        Tasks.push_back(
+            [W, Kind, P, Options] { return simulate(W, Kind, P, P.Cores, Options); });
+
+  SweepRunner Runner = Cli.makeRunner();
+  std::vector<SimPoint> Points = Runner.run(Tasks);
+
+  if (!Cli.Json)
     std::printf("Figure 5: relative throughput over the default allocator of "
                 "the PHP runtime (8 cores)\n\n");
   JsonWriter J;
-  if (Json)
+  if (Cli.Json)
     J.beginObject()
         .field("bench", "fig05_relative_throughput")
-        .field("seed", Seed)
-        .field("scale", Scale)
+        .field("seed", Cli.Seed)
+        .field("scale", Cli.Scale)
         .key("platforms")
         .beginArray();
 
-  for (const Platform &P : {xeonLike(), niagaraLike()}) {
+  size_t Idx = 0;
+  for (const Platform &P : Platforms) {
     Table Out({"workload", "default (tx/s)", "region", "ddmalloc"});
-    if (Json)
+    if (Cli.Json)
       J.beginObject().field("platform", P.Name).key("rows").beginArray();
-    for (const WorkloadSpec &W : phpWorkloads()) {
-      SimPoint Default = simulate(W, AllocatorKind::Default, P, P.Cores, Options);
-      SimPoint Region = simulate(W, AllocatorKind::Region, P, P.Cores, Options);
-      SimPoint DDm = simulate(W, AllocatorKind::DDmalloc, P, P.Cores, Options);
-      if (Json)
+    for (const WorkloadSpec &W : Workloads) {
+      const SimPoint &Default = Points[Idx++];
+      const SimPoint &Region = Points[Idx++];
+      const SimPoint &DDm = Points[Idx++];
+      if (Cli.Json)
         J.beginObject()
             .field("workload", W.Name)
-            .field("default_tps", Default.Perf.TxPerSec * Scale)
+            .field("default_tps", Default.Perf.TxPerSec * Cli.Scale)
             .field("region_vs_default_pct",
                    percentOver(Region.Perf.TxPerSec, Default.Perf.TxPerSec))
             .field("ddmalloc_vs_default_pct",
@@ -81,12 +90,12 @@ int main(int Argc, char **Argv) {
       else
         Out.row()
             .cell(W.Name)
-            .cell(Default.Perf.TxPerSec * Scale, 1)
+            .cell(Default.Perf.TxPerSec * Cli.Scale, 1)
             .percentCell(
                 percentOver(Region.Perf.TxPerSec, Default.Perf.TxPerSec))
             .percentCell(
                 percentOver(DDm.Perf.TxPerSec, Default.Perf.TxPerSec));
-      if (Verbose && !Json) {
+      if (Verbose && !Cli.Json) {
         auto Dump = [&](const char *Name, const SimPoint &Point) {
           DomainEvents T = Point.Events.total();
           std::printf(
@@ -105,17 +114,18 @@ int main(int Argc, char **Argv) {
         Dump("ddmalloc", DDm);
       }
     }
-    if (Json) {
+    if (Cli.Json) {
       J.endArray().endObject();
     } else {
       std::printf("--- platform: %s-like, %u cores ---\n", P.Name.c_str(),
                   P.Cores);
-      std::fputs((Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
+      std::fputs((Cli.Csv ? Out.renderCsv() : Out.renderAscii()).c_str(),
+                 stdout);
       std::printf("\n");
     }
   }
 
-  if (Json) {
+  if (Cli.Json) {
     J.endArray().endObject();
     std::printf("%s\n", J.str().c_str());
   } else {

@@ -12,33 +12,26 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "experiments/Measure.h"
-#include "support/ArgParse.h"
+#include "experiments/BenchCli.h"
 #include "support/Json.h"
 #include "support/Table.h"
 
 #include <cstdio>
+#include <functional>
 
 using namespace ddm;
 
 int main(int Argc, char **Argv) {
-  double Scale = 1.0;
-  uint64_t WarmupTx = 1;
-  uint64_t MeasureTx = 2;
-  uint64_t Seed = 1;
+  BenchCli Cli;
+  Cli.WarmupTx = 1;
+  Cli.MeasureTx = 2;
   std::string WorkloadName = "mediawiki-read";
-  bool Csv = false;
-  bool Json = false;
   ArgParser Parser("Reproduces Figure 7: throughput with increasing core "
                    "counts on the Xeon-like and Niagara-like platforms.");
-  Parser.addFlag("scale", &Scale, "workload scale");
-  Parser.addFlag("warmup", &WarmupTx, "warm-up transactions");
-  Parser.addFlag("transactions", &MeasureTx, "measured transactions");
-  Parser.addFlag("seed", &Seed, "random seed");
+  Cli.addSimFlags(Parser);
   Parser.addFlag("workload", &WorkloadName, "workload name");
-  Parser.addFlag("csv", &Csv, "emit CSV instead of ASCII");
-  Parser.addFlag("json", &Json,
-                 "emit machine-readable JSON (redirect to BENCH_*.json)");
+  Cli.addOutputFlags(Parser);
+  Cli.addJobsFlag(Parser);
   if (!Parser.parse(Argc, Argv))
     return 1;
 
@@ -48,56 +41,69 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  SimulationOptions Options;
-  Options.Scale = Scale;
-  Options.WarmupTx = static_cast<unsigned>(WarmupTx);
-  Options.MeasureTx = static_cast<unsigned>(MeasureTx);
-  Options.Seed = Seed;
+  SimulationOptions Options = Cli.simOptions();
 
-  if (!Json)
+  const std::vector<Platform> Platforms = {xeonLike(), niagaraLike()};
+  const unsigned CoreCounts[] = {1, 2, 4, 6, 8};
+  const AllocatorKind Kinds[] = {AllocatorKind::Default, AllocatorKind::Region,
+                                 AllocatorKind::DDmalloc};
+
+  std::vector<std::function<SimPoint()>> Tasks;
+  for (const Platform &P : Platforms)
+    for (unsigned Cores : CoreCounts)
+      for (AllocatorKind Kind : Kinds)
+        Tasks.push_back([W, Kind, P, Cores, Options] {
+          return simulate(*W, Kind, P, Cores, Options);
+        });
+
+  SweepRunner Runner = Cli.makeRunner();
+  std::vector<SimPoint> Points = Runner.run(Tasks);
+
+  if (!Cli.Json)
     std::printf("Figure 7: %s throughput (tx/s) vs. core count\n\n",
                 W->Name.c_str());
   JsonWriter J;
-  if (Json)
+  if (Cli.Json)
     J.beginObject()
         .field("bench", "fig07_core_scaling")
         .field("workload", W->Name)
-        .field("seed", Seed)
-        .field("scale", Scale)
+        .field("seed", Cli.Seed)
+        .field("scale", Cli.Scale)
         .key("platforms")
         .beginArray();
-  const unsigned CoreCounts[] = {1, 2, 4, 6, 8};
-  for (const Platform &P : {xeonLike(), niagaraLike()}) {
+  size_t Idx = 0;
+  for (const Platform &P : Platforms) {
     Table Out({"cores", "default", "region-based", "our DDmalloc"});
-    if (Json)
+    if (Cli.Json)
       J.beginObject().field("platform", P.Name).key("points").beginArray();
     for (unsigned Cores : CoreCounts) {
-      SimPoint Default = simulate(*W, AllocatorKind::Default, P, Cores, Options);
-      SimPoint Region = simulate(*W, AllocatorKind::Region, P, Cores, Options);
-      SimPoint DDm = simulate(*W, AllocatorKind::DDmalloc, P, Cores, Options);
-      if (Json)
+      const SimPoint &Default = Points[Idx++];
+      const SimPoint &Region = Points[Idx++];
+      const SimPoint &DDm = Points[Idx++];
+      if (Cli.Json)
         J.beginObject()
             .field("cores", Cores)
-            .field("default_tps", Default.Perf.TxPerSec * Scale)
-            .field("region_tps", Region.Perf.TxPerSec * Scale)
-            .field("ddmalloc_tps", DDm.Perf.TxPerSec * Scale)
+            .field("default_tps", Default.Perf.TxPerSec * Cli.Scale)
+            .field("region_tps", Region.Perf.TxPerSec * Cli.Scale)
+            .field("ddmalloc_tps", DDm.Perf.TxPerSec * Cli.Scale)
             .endObject();
       else
         Out.row()
             .cell(Cores)
-            .cell(Default.Perf.TxPerSec * Scale, 1)
-            .cell(Region.Perf.TxPerSec * Scale, 1)
-            .cell(DDm.Perf.TxPerSec * Scale, 1);
+            .cell(Default.Perf.TxPerSec * Cli.Scale, 1)
+            .cell(Region.Perf.TxPerSec * Cli.Scale, 1)
+            .cell(DDm.Perf.TxPerSec * Cli.Scale, 1);
     }
-    if (Json) {
+    if (Cli.Json) {
       J.endArray().endObject();
     } else {
       std::printf("--- platform: %s-like ---\n", P.Name.c_str());
-      std::fputs((Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
+      std::fputs((Cli.Csv ? Out.renderCsv() : Out.renderAscii()).c_str(),
+                 stdout);
       std::printf("\n");
     }
   }
-  if (Json) {
+  if (Cli.Json) {
     J.endArray().endObject();
     std::printf("%s\n", J.str().c_str());
   } else {

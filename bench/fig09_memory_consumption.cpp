@@ -13,50 +13,66 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "experiments/Measure.h"
-#include "support/ArgParse.h"
+#include "experiments/BenchCli.h"
 #include "support/Format.h"
+#include "support/Json.h"
 #include "support/Stats.h"
 #include "support/Table.h"
 
 #include <cstdio>
+#include <functional>
 
 using namespace ddm;
 
 int main(int Argc, char **Argv) {
-  double Scale = 1.0;
-  uint64_t WarmupTx = 1;
-  uint64_t MeasureTx = 3;
-  uint64_t Seed = 1;
-  bool Csv = false;
+  BenchCli Cli;
+  Cli.WarmupTx = 1;
+  Cli.MeasureTx = 3;
   ArgParser Parser("Reproduces Figure 9: memory consumed per transaction by "
                    "each allocator.");
-  Parser.addFlag("scale", &Scale, "workload scale");
-  Parser.addFlag("warmup", &WarmupTx, "warm-up transactions");
-  Parser.addFlag("transactions", &MeasureTx, "measured transactions");
-  Parser.addFlag("seed", &Seed, "random seed");
-  Parser.addFlag("csv", &Csv, "emit CSV instead of ASCII");
+  Cli.addSimFlags(Parser);
+  Cli.addOutputFlags(Parser);
+  Cli.addJobsFlag(Parser);
   if (!Parser.parse(Argc, Argv))
     return 1;
 
-  SimulationOptions Options;
-  Options.Scale = Scale;
-  Options.WarmupTx = static_cast<unsigned>(WarmupTx);
-  Options.MeasureTx = static_cast<unsigned>(MeasureTx);
-  Options.Seed = Seed;
+  SimulationOptions Options = Cli.simOptions();
 
   // Memory consumption does not depend on the machine model; use 1 core to
   // keep the run fast.
   Platform P = xeonLike();
+  const std::vector<WorkloadSpec> Workloads = phpWorkloads();
+  const AllocatorKind Kinds[] = {AllocatorKind::Default, AllocatorKind::Region,
+                                 AllocatorKind::DDmalloc};
+
+  std::vector<std::function<SimPoint()>> Tasks;
+  for (const WorkloadSpec &W : Workloads)
+    for (AllocatorKind Kind : Kinds)
+      Tasks.push_back(
+          [W, Kind, P, Options] { return simulate(W, Kind, P, 1, Options); });
+
+  SweepRunner Runner = Cli.makeRunner();
+  std::vector<SimPoint> Points = Runner.run(Tasks);
+
   Table Out({"workload", "default", "region", "x default", "ddmalloc",
              "x default"});
   RunningStat RegionRatio, DDmallocRatio;
   double WorstRegionRatio = 0;
 
-  for (const WorkloadSpec &W : phpWorkloads()) {
-    SimPoint Default = simulate(W, AllocatorKind::Default, P, 1, Options);
-    SimPoint Region = simulate(W, AllocatorKind::Region, P, 1, Options);
-    SimPoint DDm = simulate(W, AllocatorKind::DDmalloc, P, 1, Options);
+  JsonWriter J;
+  if (Cli.Json)
+    J.beginObject()
+        .field("bench", "fig09_memory_consumption")
+        .field("seed", Cli.Seed)
+        .field("scale", Cli.Scale)
+        .key("rows")
+        .beginArray();
+
+  size_t Idx = 0;
+  for (const WorkloadSpec &W : Workloads) {
+    const SimPoint &Default = Points[Idx++];
+    const SimPoint &Region = Points[Idx++];
+    const SimPoint &DDm = Points[Idx++];
     double Base = Default.MeanConsumptionBytes;
     double RRatio = Region.MeanConsumptionBytes / Base;
     double DRatio = DDm.MeanConsumptionBytes / Base;
@@ -64,19 +80,38 @@ int main(int Argc, char **Argv) {
     DDmallocRatio.add(DRatio);
     if (RRatio > WorstRegionRatio)
       WorstRegionRatio = RRatio;
-    Out.row()
-        .cell(W.Name)
-        .cell(formatBytes(static_cast<uint64_t>(Base)))
-        .cell(formatBytes(static_cast<uint64_t>(Region.MeanConsumptionBytes)))
-        .cell(RRatio, 2)
-        .cell(formatBytes(static_cast<uint64_t>(DDm.MeanConsumptionBytes)))
-        .cell(DRatio, 2);
+    if (Cli.Json)
+      J.beginObject()
+          .field("workload", W.Name)
+          .field("default_bytes", Base)
+          .field("region_bytes", Region.MeanConsumptionBytes)
+          .field("region_x_default", RRatio)
+          .field("ddmalloc_bytes", DDm.MeanConsumptionBytes)
+          .field("ddmalloc_x_default", DRatio)
+          .endObject();
+    else
+      Out.row()
+          .cell(W.Name)
+          .cell(formatBytes(static_cast<uint64_t>(Base)))
+          .cell(formatBytes(static_cast<uint64_t>(Region.MeanConsumptionBytes)))
+          .cell(RRatio, 2)
+          .cell(formatBytes(static_cast<uint64_t>(DDm.MeanConsumptionBytes)))
+          .cell(DRatio, 2);
   }
 
-  std::printf("Figure 9: memory consumption during transactions\n\n");
-  std::fputs((Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
-  std::printf("\naverages vs default: region %.2fx (paper: ~3x, worst >7x; "
-              "our worst %.2fx), ddmalloc %.2fx (paper: 1.24x)\n",
-              RegionRatio.mean(), WorstRegionRatio, DDmallocRatio.mean());
+  if (Cli.Json) {
+    J.endArray()
+        .field("region_mean_x_default", RegionRatio.mean())
+        .field("region_worst_x_default", WorstRegionRatio)
+        .field("ddmalloc_mean_x_default", DDmallocRatio.mean())
+        .endObject();
+    std::printf("%s\n", J.str().c_str());
+  } else {
+    std::printf("Figure 9: memory consumption during transactions\n\n");
+    std::fputs((Cli.Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
+    std::printf("\naverages vs default: region %.2fx (paper: ~3x, worst >7x; "
+                "our worst %.2fx), ddmalloc %.2fx (paper: 1.24x)\n",
+                RegionRatio.mean(), WorstRegionRatio, DDmallocRatio.mean());
+  }
   return 0;
 }

@@ -13,47 +13,42 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "experiments/Measure.h"
-#include "support/ArgParse.h"
+#include "experiments/BenchCli.h"
+#include "support/Json.h"
 #include "support/Table.h"
 
 #include <cstdio>
+#include <functional>
 
 using namespace ddm;
 
 int main(int Argc, char **Argv) {
-  double Scale = 0.12;
-  uint64_t WarmupTx = 30;
-  uint64_t MeasureTx = 80;
+  BenchCli Cli;
+  Cli.Scale = 0.12;
+  Cli.WarmupTx = 30;
+  Cli.MeasureTx = 80;
   uint64_t RestartPeriod = 60; // 500 x (Scale / 1.0) in allocation volume
-  uint64_t Seed = 1;
-  bool Csv = false;
   ArgParser Parser(
       "Reproduces Figure 10: Ruby on Rails throughput with glibc, Hoard, "
       "TCmalloc, and DDmalloc on 8 Xeon-like cores (restarting processes "
       "periodically instead of calling freeAll).");
-  Parser.addFlag("scale", &Scale, "workload scale");
-  Parser.addFlag("warmup", &WarmupTx, "warm-up transactions");
-  Parser.addFlag("transactions", &MeasureTx, "measured transactions");
+  Cli.addSimFlags(Parser);
   Parser.addFlag("restart-period", &RestartPeriod,
                  "transactions between process restarts");
-  Parser.addFlag("seed", &Seed, "random seed");
-  Parser.addFlag("csv", &Csv, "emit CSV instead of ASCII");
+  Cli.addOutputFlags(Parser);
+  Cli.addJobsFlag(Parser);
   if (!Parser.parse(Argc, Argv))
     return 1;
 
   const WorkloadSpec *W = findWorkload("rails");
 
-  SimulationOptions Options;
-  Options.Scale = Scale;
-  Options.WarmupTx = static_cast<unsigned>(WarmupTx);
-  Options.MeasureTx = static_cast<unsigned>(MeasureTx);
-  Options.Seed = Seed;
+  SimulationOptions Options = Cli.simOptions();
 
   Platform P = xeonLike();
-  Table Out({"allocator", "throughput (tx/s)", "vs glibc"});
-  double Baseline = 0;
-  for (AllocatorKind Kind : rubyStudyAllocatorKinds()) {
+  const std::vector<AllocatorKind> Kinds = rubyStudyAllocatorKinds();
+
+  std::vector<std::function<SimPoint()>> Tasks;
+  for (AllocatorKind Kind : Kinds) {
     RuntimeConfig Config;
     Config.Kind = Kind;
     Config.UseBulkFree = false;
@@ -61,22 +56,54 @@ int main(int Argc, char **Argv) {
     // A restart costs a fixed interpreter boot; scale it like the
     // transactions so the amortized share matches the full-size workload.
     Config.RestartCostInstructions =
-        static_cast<uint64_t>(Config.RestartCostInstructions * Scale);
-    SimPoint Point = simulateRuntime(*W, Config, P, P.Cores, Options);
-    double Tps = Point.Perf.TxPerSec * Scale;
-    if (Kind == AllocatorKind::Glibc)
-      Baseline = Tps;
-    Out.row()
-        .cell(allocatorKindName(Kind))
-        .cell(Tps, 1)
-        .percentCell(percentOver(Tps, Baseline));
+        static_cast<uint64_t>(Config.RestartCostInstructions * Cli.Scale);
+    Tasks.push_back([W, Config, P, Options] {
+      return simulateRuntime(*W, Config, P, P.Cores, Options);
+    });
   }
 
-  std::printf("Figure 10: Ruby on Rails throughput on 8 Xeon-like cores "
-              "(restart every %llu transactions)\n\n",
-              static_cast<unsigned long long>(RestartPeriod));
-  std::fputs((Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
-  std::printf("\nPaper: glibc 100%%, Hoard and TCmalloc in between, DDmalloc "
-              "best at +13.6%% over glibc (+5.3%% over TCmalloc).\n");
+  SweepRunner Runner = Cli.makeRunner();
+  std::vector<SimPoint> Points = Runner.run(Tasks);
+
+  Table Out({"allocator", "throughput (tx/s)", "vs glibc"});
+  JsonWriter J;
+  if (Cli.Json)
+    J.beginObject()
+        .field("bench", "fig10_ruby_throughput")
+        .field("seed", Cli.Seed)
+        .field("scale", Cli.Scale)
+        .field("restart_period_tx", RestartPeriod)
+        .key("rows")
+        .beginArray();
+  double Baseline = 0;
+  for (size_t I = 0; I < Kinds.size(); ++I) {
+    AllocatorKind Kind = Kinds[I];
+    double Tps = Points[I].Perf.TxPerSec * Cli.Scale;
+    if (Kind == AllocatorKind::Glibc)
+      Baseline = Tps;
+    if (Cli.Json)
+      J.beginObject()
+          .field("allocator", allocatorKindName(Kind))
+          .field("tps", Tps)
+          .field("vs_glibc_pct", percentOver(Tps, Baseline))
+          .endObject();
+    else
+      Out.row()
+          .cell(allocatorKindName(Kind))
+          .cell(Tps, 1)
+          .percentCell(percentOver(Tps, Baseline));
+  }
+
+  if (Cli.Json) {
+    J.endArray().endObject();
+    std::printf("%s\n", J.str().c_str());
+  } else {
+    std::printf("Figure 10: Ruby on Rails throughput on 8 Xeon-like cores "
+                "(restart every %llu transactions)\n\n",
+                static_cast<unsigned long long>(RestartPeriod));
+    std::fputs((Cli.Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
+    std::printf("\nPaper: glibc 100%%, Hoard and TCmalloc in between, DDmalloc "
+                "best at +13.6%% over glibc (+5.3%% over TCmalloc).\n");
+  }
   return 0;
 }

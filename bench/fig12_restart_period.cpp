@@ -23,31 +23,33 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "experiments/Measure.h"
-#include "support/ArgParse.h"
+#include "experiments/BenchCli.h"
+#include "support/Json.h"
 #include "support/Table.h"
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 using namespace ddm;
 
 int main(int Argc, char **Argv) {
-  double Scale = 0.5;
-  uint64_t Seed = 1;
+  BenchCli Cli;
+  Cli.Scale = 0.5;
   uint64_t MaxMeasureTx = 375;
-  bool Csv = false;
   ArgParser Parser("Reproduces Figure 12: throughput improvement vs restart "
                    "period for glibc and DDmalloc (Ruby on Rails).");
-  Parser.addFlag("scale", &Scale, "workload scale");
-  Parser.addFlag("seed", &Seed, "random seed");
+  Parser.addFlag("scale", &Cli.Scale, "workload scale");
+  Parser.addFlag("seed", &Cli.Seed, "random seed");
   Parser.addFlag("max-transactions", &MaxMeasureTx,
                  "cap on measured transactions per point");
-  Parser.addFlag("csv", &Csv, "emit CSV instead of ASCII");
+  Cli.addOutputFlags(Parser);
+  Cli.addJobsFlag(Parser);
   if (!Parser.parse(Argc, Argv))
     return 1;
 
+  const double Scale = Cli.Scale;
   const WorkloadSpec *W = findWorkload("rails");
   Platform P = xeonLike();
 
@@ -62,15 +64,10 @@ int main(int Argc, char **Argv) {
       {"20", Scaled(20)},   {"100", Scaled(100)},   {"500", Scaled(500)},
       {"2500", Scaled(2500)}, {"no restart", 0},
   };
+  const AllocatorKind Kinds[] = {AllocatorKind::Glibc, AllocatorKind::DDmalloc};
 
-  Table Out({"allocator", "restart period", "throughput (tx/s)",
-             "vs no restart"});
-  std::printf("Figure 12: improvement from periodic process restarts (Ruby "
-              "on Rails, 8 Xeon-like cores)\n\n");
-
-  for (AllocatorKind Kind : {AllocatorKind::Glibc, AllocatorKind::DDmalloc}) {
-    double Baseline = 0;
-    std::vector<std::pair<const Period *, double>> Results;
+  std::vector<std::function<SimPoint()>> Tasks;
+  for (AllocatorKind Kind : Kinds) {
     for (const Period &Pd : Periods) {
       RuntimeConfig Config;
       Config.Kind = Kind;
@@ -82,7 +79,7 @@ int main(int Argc, char **Argv) {
 
       SimulationOptions Options;
       Options.Scale = Scale;
-      Options.Seed = Seed;
+      Options.Seed = Cli.Seed;
       // Measure to steady state: several restart windows, or a long aged
       // run for the no-restart / very-long-period cases.
       uint64_t Measure =
@@ -90,22 +87,64 @@ int main(int Argc, char **Argv) {
                      : std::clamp<uint64_t>(3 * Pd.Tx, 100, MaxMeasureTx);
       Options.WarmupTx = 10;
       Options.MeasureTx = static_cast<unsigned>(Measure);
-      SimPoint Point = simulateRuntime(*W, Config, P, P.Cores, Options);
-      double Tps = Point.Perf.TxPerSec * Scale;
-      if (Pd.Tx == 0)
-        Baseline = Tps;
-      Results.push_back({&Pd, Tps});
+      Tasks.push_back([W, Config, P, Options] {
+        return simulateRuntime(*W, Config, P, P.Cores, Options);
+      });
     }
-    for (const auto &[Pd, Tps] : Results)
-      Out.row()
-          .cell(allocatorKindName(Kind))
-          .cell(Pd->Label)
-          .cell(Tps, 1)
-          .percentCell(percentOver(Tps, Baseline));
   }
 
-  std::fputs((Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
-  std::printf("\nPaper: at period 500, +4.0%% for DDmalloc vs +1.1%% for "
-              "glibc; very short periods lose to the restart cost.\n");
+  SweepRunner Runner = Cli.makeRunner();
+  std::vector<SimPoint> Points = Runner.run(Tasks);
+
+  Table Out({"allocator", "restart period", "throughput (tx/s)",
+             "vs no restart"});
+  JsonWriter J;
+  if (Cli.Json)
+    J.beginObject()
+        .field("bench", "fig12_restart_period")
+        .field("seed", Cli.Seed)
+        .field("scale", Scale)
+        .key("series")
+        .beginArray();
+  else
+    std::printf("Figure 12: improvement from periodic process restarts (Ruby "
+                "on Rails, 8 Xeon-like cores)\n\n");
+
+  size_t Idx = 0;
+  for (AllocatorKind Kind : Kinds) {
+    // The "no restart" baseline is the last period in the grid.
+    double Baseline = Points[Idx + Periods.size() - 1].Perf.TxPerSec * Scale;
+    if (Cli.Json)
+      J.beginObject()
+          .field("allocator", allocatorKindName(Kind))
+          .key("points")
+          .beginArray();
+    for (const Period &Pd : Periods) {
+      double Tps = Points[Idx++].Perf.TxPerSec * Scale;
+      if (Cli.Json)
+        J.beginObject()
+            .field("period", Pd.Label)
+            .field("tps", Tps)
+            .field("vs_no_restart_pct", percentOver(Tps, Baseline))
+            .endObject();
+      else
+        Out.row()
+            .cell(allocatorKindName(Kind))
+            .cell(Pd.Label)
+            .cell(Tps, 1)
+            .percentCell(percentOver(Tps, Baseline));
+    }
+    if (Cli.Json)
+      J.endArray().endObject();
+  }
+
+  if (Cli.Json) {
+    J.endArray().endObject();
+    std::printf("%s\n", J.str().c_str());
+  } else {
+    std::fputs((Cli.Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
+    std::printf("\nPaper: at period 500, +4.0%% for DDmalloc vs +1.1%% for "
+                "glibc; very short periods lose to the restart cost.\n");
+  }
   return 0;
 }

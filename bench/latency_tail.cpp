@@ -13,18 +13,23 @@
 /// offered loads DDmalloc still absorbs (the paper's Figure 7 crossover,
 /// expressed as tail latency instead of throughput).
 ///
+/// Both stages parallelize across --jobs workers: the service-time model
+/// builds (one simulation per platform x allocator) and the serving
+/// points (one queueing run per platform x allocator x load).
+///
 ///   ./build/bench/bench_latency_tail
 ///   ./build/bench/bench_latency_tail --json > BENCH_latency_tail.json
 ///
 //===----------------------------------------------------------------------===//
 
+#include "experiments/BenchCli.h"
 #include "server/ServingSimulator.h"
-#include "support/ArgParse.h"
 #include "support/Json.h"
 #include "support/Table.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 
 using namespace ddm;
 
@@ -80,6 +85,8 @@ void emitPointJson(JsonWriter &J, const PointResult &P) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  BenchCli Cli;
+  Cli.Scale = 0.2;
   std::string WorkloadName = "mediawiki-read";
   std::string PlatformName; // empty = both
   std::string PolicyName = "fifo";
@@ -90,9 +97,6 @@ int main(int Argc, char **Argv) {
   uint64_t QueueCap = 512;
   uint64_t Samples = 12;
   uint64_t Warmup = 1;
-  uint64_t Seed = 1;
-  double Scale = 0.2;
-  bool Json = false;
   ArgParser Parser(
       "Sweeps offered load toward saturation and reports tail latency, "
       "drops, and goodput per allocator (the serving-layer view of the "
@@ -108,10 +112,10 @@ int main(int Argc, char **Argv) {
   Parser.addFlag("queue-cap", &QueueCap, "admission queue bound");
   Parser.addFlag("samples", &Samples, "profiled transactions per workload");
   Parser.addFlag("warmup", &Warmup, "warm-up transactions");
-  Parser.addFlag("scale", &Scale, "workload scale");
-  Parser.addFlag("seed", &Seed, "random seed");
-  Parser.addFlag("json", &Json,
-                 "emit machine-readable JSON (redirect to BENCH_*.json)");
+  Parser.addFlag("scale", &Cli.Scale, "workload scale");
+  Parser.addFlag("seed", &Cli.Seed, "random seed");
+  Cli.addOutputFlags(Parser, /*WithCsv=*/false);
+  Cli.addJobsFlag(Parser);
   if (!Parser.parse(Argc, Argv))
     return 1;
 
@@ -148,20 +152,68 @@ int main(int Argc, char **Argv) {
 
   const AllocatorKind Kinds[] = {AllocatorKind::Default, AllocatorKind::Region,
                                  AllocatorKind::DDmalloc};
+  constexpr size_t NumKinds = sizeof(Kinds) / sizeof(Kinds[0]);
 
   SimulationOptions Options;
-  Options.Scale = Scale;
+  Options.Scale = Cli.Scale;
   Options.WarmupTx = static_cast<unsigned>(Warmup);
   Options.MeasureTx = static_cast<unsigned>(Samples);
-  Options.Seed = Seed;
+  Options.Seed = Cli.Seed;
+
+  std::vector<unsigned> ActiveCoresPerPlatform;
+  for (const Platform &P : Platforms) {
+    unsigned ActiveCores = Cores ? static_cast<unsigned>(Cores) : P.Cores;
+    std::string Error;
+    if (!validateActiveCores(P, ActiveCores, Error)) {
+      std::fprintf(stderr, "%s\n", Error.c_str());
+      return 1;
+    }
+    ActiveCoresPerPlatform.push_back(ActiveCores);
+  }
+
+  SweepRunner Runner = Cli.makeRunner();
+
+  // Stage 1: one service-time model per platform x allocator.
+  std::vector<std::function<ServiceTimeModel()>> ModelTasks;
+  for (size_t PIdx = 0; PIdx < Platforms.size(); ++PIdx) {
+    const Platform &P = Platforms[PIdx];
+    unsigned ActiveCores = ActiveCoresPerPlatform[PIdx];
+    for (AllocatorKind Kind : Kinds)
+      ModelTasks.push_back([W, Kind, P, ActiveCores, Options] {
+        return buildServiceTimeModel({*W}, Kind, P, ActiveCores, Options);
+      });
+  }
+  std::vector<ServiceTimeModel> Models = Runner.run(ModelTasks);
+
+  // Stage 2: one queueing run per platform x allocator x load. The
+  // DDmalloc model's saturation capacity anchors the shared grid.
+  std::vector<std::function<ServingMetrics()>> PointTasks;
+  for (size_t PIdx = 0; PIdx < Platforms.size(); ++PIdx) {
+    double RefCapacity = Models[PIdx * NumKinds + NumKinds - 1].capacityRps();
+    for (size_t KindIdx = 0; KindIdx < NumKinds; ++KindIdx) {
+      const ServiceTimeModel &Model = Models[PIdx * NumKinds + KindIdx];
+      for (double F : Loads) {
+        ServingConfig Config;
+        Config.Load.Process = *Arrival;
+        Config.Load.RatePerSec = F * RefCapacity;
+        Config.Load.Seed = Cli.Seed + static_cast<uint64_t>(F * 1000);
+        Config.Policy = *Policy;
+        Config.QueueCapacity = QueueCap;
+        Config.DurationTx = DurationTx;
+        PointTasks.push_back(
+            [Model, Config] { return runServing(Model, Config); });
+      }
+    }
+  }
+  std::vector<ServingMetrics> AllMetrics = Runner.run(PointTasks);
 
   JsonWriter J;
-  if (Json)
+  if (Cli.Json)
     J.beginObject()
         .field("bench", "latency_tail")
         .field("workload", W->Name)
-        .field("seed", Seed)
-        .field("scale", Scale)
+        .field("seed", Cli.Seed)
+        .field("scale", Cli.Scale)
         .field("duration_tx", DurationTx)
         .field("queue_capacity", QueueCap)
         .field("policy", queuePolicyName(*Policy))
@@ -173,27 +225,17 @@ int main(int Argc, char **Argv) {
                 W->Name.c_str(), arrivalProcessName(*Arrival),
                 queuePolicyName(*Policy));
 
-  for (const Platform &P : Platforms) {
-    unsigned ActiveCores = Cores ? static_cast<unsigned>(Cores) : P.Cores;
-    std::string Error;
-    if (!validateActiveCores(P, ActiveCores, Error)) {
-      std::fprintf(stderr, "%s\n", Error.c_str());
-      return 1;
-    }
+  size_t MetricIdx = 0;
+  for (size_t PIdx = 0; PIdx < Platforms.size(); ++PIdx) {
+    const Platform &P = Platforms[PIdx];
+    unsigned ActiveCores = ActiveCoresPerPlatform[PIdx];
+    double RefCapacity = Models[PIdx * NumKinds + NumKinds - 1].capacityRps();
 
-    // One service-time model per allocator; the DDmalloc model's
-    // saturation capacity anchors the shared offered-load grid.
-    std::vector<ServiceTimeModel> Models;
-    for (AllocatorKind Kind : Kinds)
-      Models.push_back(
-          buildServiceTimeModel({*W}, Kind, P, ActiveCores, Options));
-    double RefCapacity = Models.back().capacityRps();
-
-    if (Json)
+    if (Cli.Json)
       J.beginObject()
           .field("platform", P.Name)
           .field("cores", ActiveCores)
-          .field("workers", Models.back().Workers)
+          .field("workers", Models[PIdx * NumKinds + NumKinds - 1].Workers)
           .field("reference_capacity_rps", RefCapacity)
           .key("series")
           .beginArray();
@@ -202,21 +244,13 @@ int main(int Argc, char **Argv) {
                   "%.1f rq/s) ---\n",
                   P.Name.c_str(), ActiveCores, RefCapacity);
 
-    for (size_t KindIdx = 0; KindIdx < Models.size(); ++KindIdx) {
-      const ServiceTimeModel &Model = Models[KindIdx];
+    for (size_t KindIdx = 0; KindIdx < NumKinds; ++KindIdx) {
+      const ServiceTimeModel &Model = Models[PIdx * NumKinds + KindIdx];
       std::vector<PointResult> Points;
-      for (double F : Loads) {
-        ServingConfig Config;
-        Config.Load.Process = *Arrival;
-        Config.Load.RatePerSec = F * RefCapacity;
-        Config.Load.Seed = Seed + static_cast<uint64_t>(F * 1000);
-        Config.Policy = *Policy;
-        Config.QueueCapacity = QueueCap;
-        Config.DurationTx = DurationTx;
-        Points.push_back({F, runServing(Model, Config)});
-      }
+      for (double F : Loads)
+        Points.push_back({F, AllMetrics[MetricIdx++]});
 
-      if (Json) {
+      if (Cli.Json) {
         J.beginObject()
             .field("allocator", allocatorKindName(Model.Kind))
             .field("capacity_rps", Model.capacityRps())
@@ -247,11 +281,11 @@ int main(int Argc, char **Argv) {
       }
     }
 
-    if (Json)
+    if (Cli.Json)
       J.endArray().endObject();
   }
 
-  if (Json) {
+  if (Cli.Json) {
     J.endArray().endObject();
     std::printf("%s\n", J.str().c_str());
   } else {

@@ -11,12 +11,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/AllocatorFactory.h"
+#include "experiments/BenchCli.h"
 #include "support/Random.h"
 
 #include <benchmark/benchmark.h>
 
-#include <cstdlib>
-#include <cstring>
 #include <vector>
 
 using namespace ddm;
@@ -24,20 +23,8 @@ using namespace ddm;
 namespace {
 
 /// Seed of the churn RNGs; Google Benchmark owns argv, so --seed=N is
-/// peeled off before benchmark::Initialize sees it.
+/// peeled off (via peelUintFlag) before benchmark::Initialize sees it.
 uint64_t BenchSeed = 42;
-
-void extractSeedFlag(int &Argc, char **Argv) {
-  for (int I = 1; I < Argc; ++I) {
-    if (std::strncmp(Argv[I], "--seed=", 7) != 0)
-      continue;
-    BenchSeed = std::strtoull(Argv[I] + 7, nullptr, 10);
-    for (int J = I; J + 1 < Argc; ++J)
-      Argv[J] = Argv[J + 1];
-    --Argc;
-    return;
-  }
-}
 
 AllocatorOptions benchOptions() {
   AllocatorOptions Options;
@@ -125,7 +112,7 @@ void registerAll() {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  extractSeedFlag(Argc, Argv);
+  peelUintFlag(Argc, Argv, "seed", BenchSeed);
   registerAll();
   benchmark::Initialize(&Argc, Argv);
   benchmark::RunSpecifiedBenchmarks();

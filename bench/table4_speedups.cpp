@@ -13,67 +13,76 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "experiments/Measure.h"
-#include "support/ArgParse.h"
+#include "experiments/BenchCli.h"
 #include "support/Json.h"
 #include "support/Table.h"
 
 #include <cstdio>
+#include <functional>
 
 using namespace ddm;
 
 int main(int Argc, char **Argv) {
-  double Scale = 1.0;
-  uint64_t WarmupTx = 1;
-  uint64_t MeasureTx = 2;
-  uint64_t Seed = 1;
-  bool Csv = false;
-  bool Json = false;
+  BenchCli Cli;
+  Cli.WarmupTx = 1;
+  Cli.MeasureTx = 2;
   ArgParser Parser("Reproduces Table 4: 1-core and 8-core throughput and the "
                    "speedup for every workload, allocator, and platform.");
-  Parser.addFlag("scale", &Scale, "workload scale");
-  Parser.addFlag("warmup", &WarmupTx, "warm-up transactions");
-  Parser.addFlag("transactions", &MeasureTx, "measured transactions");
-  Parser.addFlag("seed", &Seed, "random seed");
-  Parser.addFlag("csv", &Csv, "emit CSV instead of ASCII");
-  Parser.addFlag("json", &Json,
-                 "emit machine-readable JSON (redirect to BENCH_*.json)");
+  Cli.addSimFlags(Parser);
+  Cli.addOutputFlags(Parser);
+  Cli.addJobsFlag(Parser);
   if (!Parser.parse(Argc, Argv))
     return 1;
 
-  SimulationOptions Options;
-  Options.Scale = Scale;
-  Options.WarmupTx = static_cast<unsigned>(WarmupTx);
-  Options.MeasureTx = static_cast<unsigned>(MeasureTx);
-  Options.Seed = Seed;
+  SimulationOptions Options = Cli.simOptions();
 
-  if (!Json)
+  const std::vector<Platform> Platforms = {xeonLike(), niagaraLike()};
+  const std::vector<WorkloadSpec> Workloads = phpWorkloads();
+  const std::vector<AllocatorKind> Kinds = phpStudyAllocatorKinds();
+
+  // Grid order: platform x workload x allocator x {1 core, 8 cores}.
+  std::vector<std::function<SimPoint()>> Tasks;
+  for (const Platform &P : Platforms)
+    for (const WorkloadSpec &W : Workloads)
+      for (AllocatorKind Kind : Kinds) {
+        Tasks.push_back(
+            [W, Kind, P, Options] { return simulate(W, Kind, P, 1, Options); });
+        Tasks.push_back([W, Kind, P, Options] {
+          return simulate(W, Kind, P, P.Cores, Options);
+        });
+      }
+
+  SweepRunner Runner = Cli.makeRunner();
+  std::vector<SimPoint> Points = Runner.run(Tasks);
+
+  if (!Cli.Json)
     std::printf("Table 4: speedups with 8 cores for each workload\n\n");
   JsonWriter J;
-  if (Json)
+  if (Cli.Json)
     J.beginObject()
         .field("bench", "table4_speedups")
-        .field("seed", Seed)
-        .field("scale", Scale)
+        .field("seed", Cli.Seed)
+        .field("scale", Cli.Scale)
         .key("platforms")
         .beginArray();
-  for (const Platform &P : {xeonLike(), niagaraLike()}) {
+  size_t Idx = 0;
+  for (const Platform &P : Platforms) {
     Table Out({"workload", "allocator", "1 core (tx/s)", "vs default",
                "8 cores (tx/s)", "vs default", "speedup"});
-    if (Json)
+    if (Cli.Json)
       J.beginObject().field("platform", P.Name).key("rows").beginArray();
-    for (const WorkloadSpec &W : phpWorkloads()) {
+    for (const WorkloadSpec &W : Workloads) {
       double BaseOne = 0, BaseEight = 0;
-      for (AllocatorKind Kind : phpStudyAllocatorKinds()) {
-        SimPoint One = simulate(W, Kind, P, 1, Options);
-        SimPoint Eight = simulate(W, Kind, P, P.Cores, Options);
-        double TpsOne = One.Perf.TxPerSec * Scale;
-        double TpsEight = Eight.Perf.TxPerSec * Scale;
+      for (AllocatorKind Kind : Kinds) {
+        const SimPoint &One = Points[Idx++];
+        const SimPoint &Eight = Points[Idx++];
+        double TpsOne = One.Perf.TxPerSec * Cli.Scale;
+        double TpsEight = Eight.Perf.TxPerSec * Cli.Scale;
         if (Kind == AllocatorKind::Default) {
           BaseOne = TpsOne;
           BaseEight = TpsEight;
         }
-        if (Json) {
+        if (Cli.Json) {
           J.beginObject()
               .field("workload", W.Name)
               .field("allocator", allocatorKindName(Kind))
@@ -98,15 +107,16 @@ int main(int Argc, char **Argv) {
             .cell(Speedup);
       }
     }
-    if (Json) {
+    if (Cli.Json) {
       J.endArray().endObject();
     } else {
       std::printf("--- platform: %s-like ---\n", P.Name.c_str());
-      std::fputs((Csv ? Out.renderCsv() : Out.renderAscii()).c_str(), stdout);
+      std::fputs((Cli.Csv ? Out.renderCsv() : Out.renderAscii()).c_str(),
+                 stdout);
       std::printf("\n");
     }
   }
-  if (Json) {
+  if (Cli.Json) {
     J.endArray().endObject();
     std::printf("%s\n", J.str().c_str());
   } else {

@@ -9,11 +9,29 @@
 /// well-predicted branch, so the identical allocator code runs natively in
 /// the microbenchmarks and under simulation in the experiment harness.
 ///
+/// Two mechanisms keep the instrumented hot path cheap and the simulation
+/// reproducible:
+///
+///  - Batching: SinkHandle producers append events to a small POD buffer
+///    owned by the sink (one buffer per sink, so the global event order is
+///    preserved no matter how many handles feed it) and the sink drains it
+///    with a single virtual accesses() call per ~64 events instead of one
+///    virtual call per event.
+///
+///  - Region registration: producers announce the memory blocks whose
+///    addresses they will mirror (heap arenas, metadata tables, interpreter
+///    state) via mapRegion/unmapRegion. A simulating sink can then
+///    translate real pointers into a canonical simulated address space in
+///    registration order, making every counter independent of where the OS
+///    happened to place an mmap — the property that lets sweep points run
+///    concurrently yet produce byte-identical output.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DDM_CORE_ACCESSSINK_H
 #define DDM_CORE_ACCESSSINK_H
 
+#include <cstddef>
 #include <cstdint>
 
 namespace ddm {
@@ -24,6 +42,29 @@ namespace ddm {
 enum class CostDomain : uint8_t {
   Application,
   MemoryManagement,
+};
+
+/// One buffered instrumentation event.
+enum class AccessKind : uint8_t {
+  Load,         ///< Payload = address, Bytes = access width.
+  Store,        ///< Payload = address, Bytes = access width.
+  Instructions, ///< Payload = dynamic instruction count.
+  Domain,       ///< Payload = CostDomain to switch to.
+};
+
+/// A fixed-capacity POD buffer of instrumentation events, drained by one
+/// virtual AccessSink::accesses() call.
+struct AccessBatch {
+  struct Event {
+    uint64_t Payload;
+    uint32_t Bytes;
+    AccessKind Kind;
+  };
+
+  static constexpr unsigned Capacity = 64;
+
+  Event Events[Capacity];
+  unsigned Count = 0;
 };
 
 /// Receives memory accesses and instruction counts from instrumented code.
@@ -42,10 +83,85 @@ public:
 
   /// Switches cycle attribution to \p Domain. Implementations may ignore it.
   virtual void setDomain(CostDomain Domain) { (void)Domain; }
+
+  /// Drains a batch of buffered events in order. The default implementation
+  /// dispatches each event to the single-event virtuals; simulating sinks
+  /// override it with a tight loop.
+  virtual void accesses(const AccessBatch &Batch) {
+    for (unsigned I = 0; I < Batch.Count; ++I) {
+      const AccessBatch::Event &E = Batch.Events[I];
+      switch (E.Kind) {
+      case AccessKind::Load:
+        load(static_cast<uintptr_t>(E.Payload), E.Bytes);
+        break;
+      case AccessKind::Store:
+        store(static_cast<uintptr_t>(E.Payload), E.Bytes);
+        break;
+      case AccessKind::Instructions:
+        instructions(E.Payload);
+        break;
+      case AccessKind::Domain:
+        setDomain(static_cast<CostDomain>(E.Payload));
+        break;
+      }
+    }
+  }
+
+  /// Announces a memory block whose addresses will be mirrored into this
+  /// sink (a heap arena, a metadata table, the interpreter state area).
+  /// Sinks that canonicalize addresses key their mapping off these calls;
+  /// the default ignores them.
+  virtual void mapRegion(const void *Base, size_t Size) {
+    (void)Base;
+    (void)Size;
+  }
+
+  /// Withdraws a block previously announced with mapRegion (the owner is
+  /// going away). Pending buffered events are flushed by SinkHandle before
+  /// this is forwarded, so no event can refer to a withdrawn block.
+  virtual void unmapRegion(const void *Base) { (void)Base; }
+
+  /// Drains any buffered events into accesses(). Call before reading
+  /// counters out of a sink fed through SinkHandle producers.
+  void flush() {
+    if (Pending.Count == 0)
+      return;
+    accesses(Pending);
+    Pending.Count = 0;
+  }
+
+  /// Appends one event to the shared buffer (SinkHandle's fast path).
+  void pushEvent(AccessKind Kind, uint64_t Payload, uint32_t Bytes) {
+    if (Pending.Count > 0) {
+      // Coalesce runs of instruction counts and redundant domain switches:
+      // they are the most frequent events and fold without changing what
+      // any drain observes.
+      AccessBatch::Event &Last = Pending.Events[Pending.Count - 1];
+      if (Kind == AccessKind::Instructions &&
+          Last.Kind == AccessKind::Instructions) {
+        Last.Payload += Payload;
+        return;
+      }
+      if (Kind == AccessKind::Domain && Last.Kind == AccessKind::Domain) {
+        Last.Payload = Payload;
+        return;
+      }
+    }
+    AccessBatch::Event &E = Pending.Events[Pending.Count++];
+    E.Payload = Payload;
+    E.Bytes = Bytes;
+    E.Kind = Kind;
+    if (Pending.Count == AccessBatch::Capacity)
+      flush();
+  }
+
+private:
+  AccessBatch Pending;
 };
 
 /// Nullable wrapper that allocators and the runtime embed. All methods are
-/// no-ops when no sink is attached.
+/// no-ops when no sink is attached. Events are buffered into the attached
+/// sink's batch; region announcements flush first and forward immediately.
 class SinkHandle {
 public:
   SinkHandle() = default;
@@ -57,19 +173,39 @@ public:
 
   void load(const void *Ptr, uint32_t Bytes) const {
     if (Sink)
-      Sink->load(reinterpret_cast<uintptr_t>(Ptr), Bytes);
+      Sink->pushEvent(AccessKind::Load, reinterpret_cast<uintptr_t>(Ptr),
+                      Bytes);
   }
   void store(const void *Ptr, uint32_t Bytes) const {
     if (Sink)
-      Sink->store(reinterpret_cast<uintptr_t>(Ptr), Bytes);
+      Sink->pushEvent(AccessKind::Store, reinterpret_cast<uintptr_t>(Ptr),
+                      Bytes);
   }
   void instructions(uint64_t Count) const {
     if (Sink)
-      Sink->instructions(Count);
+      Sink->pushEvent(AccessKind::Instructions, Count, 0);
   }
   void setDomain(CostDomain Domain) const {
     if (Sink)
-      Sink->setDomain(Domain);
+      Sink->pushEvent(AccessKind::Domain, static_cast<uint64_t>(Domain), 0);
+  }
+
+  void mapRegion(const void *Base, size_t Size) const {
+    if (!Sink)
+      return;
+    Sink->flush();
+    Sink->mapRegion(Base, Size);
+  }
+  void unmapRegion(const void *Base) const {
+    if (!Sink)
+      return;
+    Sink->flush();
+    Sink->unmapRegion(Base);
+  }
+
+  void flush() const {
+    if (Sink)
+      Sink->flush();
   }
 
   /// Mirrors a byte-range copy (used by realloc): one load and one store
@@ -81,8 +217,8 @@ public:
     auto Dst = reinterpret_cast<uintptr_t>(To);
     while (Bytes > 0) {
       uint32_t Piece = Bytes > 64 ? 64 : static_cast<uint32_t>(Bytes);
-      Sink->load(Src, Piece);
-      Sink->store(Dst, Piece);
+      Sink->pushEvent(AccessKind::Load, Src, Piece);
+      Sink->pushEvent(AccessKind::Store, Dst, Piece);
       Src += Piece;
       Dst += Piece;
       Bytes -= Piece;

@@ -50,6 +50,11 @@ public:
   BoundaryTagHeap(const BoundaryTagHeap &) = delete;
   BoundaryTagHeap &operator=(const BoundaryTagHeap &) = delete;
 
+  ~BoundaryTagHeap() {
+    Sink.unmapRegion(Bins.data());
+    Sink.unmapRegion(Heap.base());
+  }
+
   /// Allocates \p Size payload bytes; returns nullptr when the arena is
   /// exhausted.
   void *malloc(size_t Size);
@@ -73,7 +78,14 @@ public:
 
   const DefragActivity &defragActivity() const { return Activity; }
 
-  void attachSink(AccessSink *S) { Sink.attach(S); }
+  /// Attaches the sink and registers the arena plus the bin-head table
+  /// (metadata mirrored by chunk bookkeeping) with its canonical address
+  /// map.
+  void attachSink(AccessSink *S) {
+    Sink.attach(S);
+    Sink.mapRegion(Heap.base(), Heap.size());
+    Sink.mapRegion(Bins.data(), Bins.size() * sizeof(std::byte *));
+  }
 
   /// True if \p Ptr points into the heap's arena.
   bool owns(const void *Ptr) const { return Heap.contains(Ptr); }

@@ -70,7 +70,7 @@ DDmallocAllocator::DDmallocAllocator(const DDmallocConfig &C)
   *SegCursor = FirstUsableSegment;
 }
 
-DDmallocAllocator::~DDmallocAllocator() = default;
+DDmallocAllocator::~DDmallocAllocator() { Sink.unmapRegion(Heap.base()); }
 
 std::byte *DDmallocAllocator::takeSegment() {
   // Prefer a previously freed segment (from a freed large object).

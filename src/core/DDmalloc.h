@@ -65,6 +65,13 @@ public:
   explicit DDmallocAllocator(const DDmallocConfig &Config = DDmallocConfig());
   ~DDmallocAllocator() override;
 
+  /// Registers the heap (objects and the in-heap metadata block) with the
+  /// sink's canonical address map.
+  void attachSink(AccessSink *S) override {
+    TxAllocator::attachSink(S);
+    Sink.mapRegion(Heap.base(), Heap.size());
+  }
+
   void *allocate(size_t Size) override;
   void deallocate(void *Ptr) override;
   void *reallocate(void *Ptr, size_t OldSize, size_t NewSize) override;

@@ -34,6 +34,23 @@ class HoardModelAllocator : public TxAllocator {
 public:
   explicit HoardModelAllocator(const HoardConfig &Config = HoardConfig());
 
+  ~HoardModelAllocator() override {
+    Sink.unmapRegion(SbMap.data());
+    Sink.unmapRegion(Available.data());
+    Sink.unmapRegion(Heap.base());
+  }
+
+  /// Registers the heap, the per-class availability heads, and the
+  /// superblock map (the metadata mirrored into the sink) with its
+  /// canonical address map.
+  void attachSink(AccessSink *S) override {
+    TxAllocator::attachSink(S);
+    Sink.mapRegion(Heap.base(), Heap.size());
+    Sink.mapRegion(Available.data(),
+                   Available.size() * sizeof(SuperblockHeader *));
+    Sink.mapRegion(SbMap.data(), SbMap.size());
+  }
+
   void *allocate(size_t Size) override;
   void deallocate(void *Ptr) override;
   void *reallocate(void *Ptr, size_t OldSize, size_t NewSize) override;

@@ -30,7 +30,10 @@ ObstackAllocator::ObstackAllocator(const ObstackConfig &C)
   ChunkIndex = 0;
 }
 
-ObstackAllocator::~ObstackAllocator() = default;
+ObstackAllocator::~ObstackAllocator() {
+  Sink.unmapRegion(Heap.base());
+  Sink.unmapRegion(this);
+}
 
 bool ObstackAllocator::startNewChunk(size_t Rounded) {
   size_t Payload = Config.ChunkBytes - sizeof(ChunkHeader);

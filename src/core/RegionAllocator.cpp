@@ -26,7 +26,11 @@ RegionAllocator::RegionAllocator(const RegionConfig &C) : Config(C) {
   Limit = Next + Chunks[0].size();
 }
 
-RegionAllocator::~RegionAllocator() = default;
+RegionAllocator::~RegionAllocator() {
+  for (const AlignedArena &Chunk : Chunks)
+    Sink.unmapRegion(Chunk.base());
+  Sink.unmapRegion(this);
+}
 
 void *RegionAllocator::allocate(size_t Size) {
   size_t Rounded = alignUp8(Size ? Size : 1);
@@ -40,6 +44,7 @@ void *RegionAllocator::allocate(size_t Size) {
       if (Chunks.size() >= Config.MaxChunks)
         return nullptr;
       Chunks.emplace_back(Config.ChunkBytes, 4096);
+      Sink.mapRegion(Chunks.back().base(), Chunks.back().size());
     }
     ++CurrentChunk;
     Next = Chunks[CurrentChunk].base();

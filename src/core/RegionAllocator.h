@@ -41,6 +41,16 @@ public:
   void deallocate(void *Ptr) override;
   void *reallocate(void *Ptr, size_t OldSize, size_t NewSize) override;
   void freeAll() override;
+
+  /// Registers the chunks and the bump-pointer metadata (a member of this
+  /// object) with the sink's canonical address map.
+  void attachSink(AccessSink *S) override {
+    TxAllocator::attachSink(S);
+    Sink.mapRegion(this, sizeof(*this));
+    for (const AlignedArena &Chunk : Chunks)
+      Sink.mapRegion(Chunk.base(), Chunk.size());
+  }
+
   bool supportsPerObjectFree() const override { return false; }
   bool supportsBulkFree() const override { return true; }
   size_t usableSize(const void *Ptr) const override;

@@ -51,6 +51,22 @@ public:
   explicit TCMallocModelAllocator(
       const TCMallocConfig &Config = TCMallocConfig());
 
+  ~TCMallocModelAllocator() override {
+    Sink.unmapRegion(PageMap.data());
+    Sink.unmapRegion(CacheHead.data());
+    Sink.unmapRegion(Heap.base());
+  }
+
+  /// Registers the heap, the thread-cache heads, and the page map (the
+  /// metadata tables mirrored into the sink) with its canonical address
+  /// map.
+  void attachSink(AccessSink *S) override {
+    TxAllocator::attachSink(S);
+    Sink.mapRegion(Heap.base(), Heap.size());
+    Sink.mapRegion(CacheHead.data(), CacheHead.size() * sizeof(uintptr_t));
+    Sink.mapRegion(PageMap.data(), PageMap.size());
+  }
+
   void *allocate(size_t Size) override;
   void deallocate(void *Ptr) override;
   void *reallocate(void *Ptr, size_t OldSize, size_t NewSize) override;

@@ -1,0 +1,54 @@
+//===- experiments/BenchCli.cpp - Shared bench command line ---------------===//
+
+#include "experiments/BenchCli.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace ddm;
+
+void BenchCli::addSimFlags(ArgParser &Parser) {
+  Parser.addFlag("scale", &Scale, "workload scale (1.0 = paper call counts)");
+  Parser.addFlag("warmup", &WarmupTx, "warm-up transactions");
+  Parser.addFlag("transactions", &MeasureTx, "measured transactions");
+  Parser.addFlag("seed", &Seed, "random seed");
+}
+
+void BenchCli::addOutputFlags(ArgParser &Parser, bool WithCsv) {
+  if (WithCsv)
+    Parser.addFlag("csv", &Csv, "emit CSV instead of ASCII");
+  Parser.addFlag("json", &Json,
+                 "emit machine-readable JSON (redirect to BENCH_*.json)");
+}
+
+void BenchCli::addJobsFlag(ArgParser &Parser) {
+  Parser.addFlag("jobs", &Jobs,
+                 "sweep worker threads (0 = all hardware threads); any "
+                 "value produces identical output");
+}
+
+SimulationOptions BenchCli::simOptions() const {
+  SimulationOptions Options;
+  Options.Scale = Scale;
+  Options.WarmupTx = static_cast<unsigned>(WarmupTx);
+  Options.MeasureTx = static_cast<unsigned>(MeasureTx);
+  Options.Seed = Seed;
+  return Options;
+}
+
+bool ddm::peelUintFlag(int &Argc, char **Argv, const char *Name,
+                       uint64_t &Value) {
+  size_t NameLen = std::strlen(Name);
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--", 2) != 0 ||
+        std::strncmp(Argv[I] + 2, Name, NameLen) != 0 ||
+        Argv[I][2 + NameLen] != '=')
+      continue;
+    Value = std::strtoull(Argv[I] + 2 + NameLen + 1, nullptr, 10);
+    for (int J = I; J + 1 < Argc; ++J)
+      Argv[J] = Argv[J + 1];
+    --Argc;
+    return true;
+  }
+  return false;
+}

@@ -76,6 +76,7 @@ SimPoint ddm::simulateRuntime(const WorkloadSpec &Workload,
   Sink.resetCounters();
   for (unsigned I = 0; I < Options.MeasureTx; ++I)
     runOneTransaction(Runtime, Options);
+  Sink.flush(); // drain buffered events before reading counters
 
   SimPoint Point;
   Point.Events =
@@ -126,6 +127,7 @@ ServiceProfile ddm::profileService(const WorkloadSpec &Workload,
   for (unsigned I = 0; I < SampleTx; ++I) {
     Sink.resetCounters();
     runOneTransaction(Runtime, Options);
+    Sink.flush(); // close this transaction's counter window
     PerTx.push_back(averageEvents(Sink, 1, Workload.AppCodeFootprintBytes,
                                   Runtime.allocatorCodeFootprintBytes()));
   }

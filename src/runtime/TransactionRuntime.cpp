@@ -43,12 +43,17 @@ TransactionRuntime::TransactionRuntime(const WorkloadSpec &W,
       TouchRng(C.Seed ^ 0x70c4e5), CleanupRng(C.Seed ^ 0x51eeb) {
   Allocator = createAllocator(Config.Kind, Config.AllocOptions);
   Allocator->attachSink(Sink);
+  // The interpreter state is mirrored into the sink; register it with the
+  // canonical address map (after the allocator's regions, a fixed order).
+  SinkHandleView.mapRegion(StateArea.base(), StateArea.size());
   // Fault the state area in once so it behaves like a resident interpreter
   // working set.
   std::memset(StateArea.base(), 0x11, StateArea.size());
 }
 
-TransactionRuntime::~TransactionRuntime() = default;
+TransactionRuntime::~TransactionRuntime() {
+  SinkHandleView.unmapRegion(StateArea.base());
+}
 
 double TransactionRuntime::allocatorCodeFootprintBytes() const {
   return codeFootprintFor(Config.Kind);

@@ -32,9 +32,7 @@ Cache::Cache(const CacheGeometry &Geometry) {
   Ways.assign(Sets * Assoc, Way());
 }
 
-Cache::Way *Cache::findWay(uint64_t Line) {
-  uint64_t Set = Line & (Sets - 1);
-  uint64_t Tag = Line / Sets;
+Cache::Way *Cache::findWay(uint64_t Set, uint64_t Tag) {
   Way *Base = &Ways[Set * Assoc];
   for (unsigned I = 0; I < Assoc; ++I)
     if (Base[I].Valid && Base[I].Tag == Tag)
@@ -42,12 +40,11 @@ Cache::Way *Cache::findWay(uint64_t Line) {
   return nullptr;
 }
 
-const Cache::Way *Cache::findWay(uint64_t Line) const {
-  return const_cast<Cache *>(this)->findWay(Line);
+const Cache::Way *Cache::findWay(uint64_t Set, uint64_t Tag) const {
+  return const_cast<Cache *>(this)->findWay(Set, Tag);
 }
 
-Cache::Way *Cache::victimWay(uint64_t Line) {
-  uint64_t Set = Line & (Sets - 1);
+Cache::Way *Cache::victimWay(uint64_t Set) {
   Way *Base = &Ways[Set * Assoc];
   Way *Victim = &Base[0];
   for (unsigned I = 0; I < Assoc; ++I) {
@@ -59,11 +56,12 @@ Cache::Way *Cache::victimWay(uint64_t Line) {
   return Victim;
 }
 
-Cache::Outcome Cache::access(uintptr_t Addr, bool IsWrite) {
-  uint64_t Line = lineOf(Addr);
+Cache::Outcome Cache::accessLine(uint64_t Line, bool IsWrite) {
+  uint64_t Set = Line & (Sets - 1);
+  uint64_t Tag = Line / Sets;
   ++Clock;
   Outcome Result;
-  if (Way *W = findWay(Line)) {
+  if (Way *W = findWay(Set, Tag)) {
     ++Hits;
     Result.Hit = true;
     if (W->Prefetched) {
@@ -75,36 +73,37 @@ Cache::Outcome Cache::access(uintptr_t Addr, bool IsWrite) {
     return Result;
   }
   ++Misses;
-  Way *Victim = victimWay(Line);
+  Way *Victim = victimWay(Set);
   if (Victim->Valid) {
     Result.Evicted = true;
-    Result.EvictedLine = Victim->Tag * Sets + (Line & (Sets - 1));
+    Result.EvictedLine = Victim->Tag * Sets + Set;
     Result.EvictedDirty = Victim->Dirty;
   }
   Victim->Valid = true;
-  Victim->Tag = Line / Sets;
+  Victim->Tag = Tag;
   Victim->LastUse = Clock;
   Victim->Dirty = IsWrite;
   Victim->Prefetched = false;
   return Result;
 }
 
-Cache::Outcome Cache::install(uintptr_t Addr, bool MarkPrefetched) {
-  uint64_t Line = lineOf(Addr);
+Cache::Outcome Cache::installLine(uint64_t Line, bool MarkPrefetched) {
+  uint64_t Set = Line & (Sets - 1);
+  uint64_t Tag = Line / Sets;
   ++Clock;
   Outcome Result;
-  if (findWay(Line)) {
+  if (findWay(Set, Tag)) {
     Result.Hit = true;
     return Result; // already resident; do not disturb LRU on a prefetch
   }
-  Way *Victim = victimWay(Line);
+  Way *Victim = victimWay(Set);
   if (Victim->Valid) {
     Result.Evicted = true;
-    Result.EvictedLine = Victim->Tag * Sets + (Line & (Sets - 1));
+    Result.EvictedLine = Victim->Tag * Sets + Set;
     Result.EvictedDirty = Victim->Dirty;
   }
   Victim->Valid = true;
-  Victim->Tag = Line / Sets;
+  Victim->Tag = Tag;
   // Install near the LRU end so useless prefetches die quickly.
   Victim->LastUse = Clock > 0 ? Clock - 1 : 0;
   Victim->Dirty = false;
@@ -112,10 +111,12 @@ Cache::Outcome Cache::install(uintptr_t Addr, bool MarkPrefetched) {
   return Result;
 }
 
-bool Cache::probe(uintptr_t Addr) const { return findWay(lineOf(Addr)); }
+bool Cache::probeLine(uint64_t Line) const {
+  return findWay(Line & (Sets - 1), Line / Sets);
+}
 
-bool Cache::markDirtyIfPresent(uintptr_t Addr) {
-  if (Way *W = findWay(lineOf(Addr))) {
+bool Cache::markDirtyLineIfPresent(uint64_t Line) {
+  if (Way *W = findWay(Line & (Sets - 1), Line / Sets)) {
     W->Dirty = true;
     return true;
   }

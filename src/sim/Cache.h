@@ -41,19 +41,35 @@ public:
     bool EvictedDirty = false;
   };
 
+  /// \name Line-number entry points (the simulation hot path).
+  /// The caller splits an access into line numbers once; set index and tag
+  /// are computed a single time per call here instead of once per probe.
+  /// @{
+  Outcome accessLine(uint64_t Line, bool IsWrite);
+  Outcome installLine(uint64_t Line, bool MarkPrefetched);
+  bool probeLine(uint64_t Line) const;
+  bool markDirtyLineIfPresent(uint64_t Line);
+  /// @}
+
   /// A demand access to byte address \p Addr. Allocates on miss.
-  Outcome access(uintptr_t Addr, bool IsWrite);
+  Outcome access(uintptr_t Addr, bool IsWrite) {
+    return accessLine(lineOf(Addr), IsWrite);
+  }
 
   /// Installs the line containing \p Addr without counting a demand access
   /// (prefetch fill). No-op if already present.
-  Outcome install(uintptr_t Addr, bool MarkPrefetched);
+  Outcome install(uintptr_t Addr, bool MarkPrefetched) {
+    return installLine(lineOf(Addr), MarkPrefetched);
+  }
 
   /// True if the line containing \p Addr is resident.
-  bool probe(uintptr_t Addr) const;
+  bool probe(uintptr_t Addr) const { return probeLine(lineOf(Addr)); }
 
   /// Marks the line dirty if resident (a writeback arriving from an upper
   /// level). Returns false if the line was absent.
-  bool markDirtyIfPresent(uintptr_t Addr);
+  bool markDirtyIfPresent(uintptr_t Addr) {
+    return markDirtyLineIfPresent(lineOf(Addr));
+  }
 
   /// Byte address -> line address.
   uint64_t lineOf(uintptr_t Addr) const { return Addr >> LineShift; }
@@ -76,9 +92,9 @@ private:
     bool Prefetched = false;
   };
 
-  Way *findWay(uint64_t Line);
-  const Way *findWay(uint64_t Line) const;
-  Way *victimWay(uint64_t Line);
+  Way *findWay(uint64_t Set, uint64_t Tag);
+  const Way *findWay(uint64_t Set, uint64_t Tag) const;
+  Way *victimWay(uint64_t Set);
 
   unsigned LineShift;
   uint64_t Sets;

@@ -15,31 +15,30 @@ StreamPrefetcher::StreamPrefetcher(unsigned NumStreams, unsigned PrefetchDegree,
                                    unsigned LineBytes)
     : Degree(PrefetchDegree) {
   assert(NumStreams >= 1 && PrefetchDegree >= 1);
+  assert(PrefetchDegree <= PrefetchList::MaxDegree && "degree too large");
   assert((LineBytes & (LineBytes - 1)) == 0 && "line size power of two");
   LineShift = static_cast<unsigned>(__builtin_ctz(LineBytes));
   Streams.assign(NumStreams, Stream());
 }
 
-std::vector<uintptr_t> StreamPrefetcher::onPrefetchedHit(uintptr_t Addr) {
-  uint64_t Line = Addr >> LineShift;
+void StreamPrefetcher::onPrefetchedHitLine(uint64_t Line, PrefetchList &Out) {
+  Out.Count = 0;
   ++Clock;
   for (Stream &S : Streams) {
     if (!S.Valid || S.Confidence < 3)
       continue;
     if (Line < S.NextLine && S.NextLine - Line <= Degree + 2) {
       S.LastUse = Clock;
-      std::vector<uintptr_t> Out;
       for (unsigned I = 0; I < Degree; ++I)
-        Out.push_back((S.NextLine + I) << LineShift);
+        Out.Lines[Out.Count++] = S.NextLine + I;
       S.NextLine += Degree;
-      return Out;
+      return;
     }
   }
-  return {};
 }
 
-std::vector<uintptr_t> StreamPrefetcher::onDemandMiss(uintptr_t Addr) {
-  uint64_t Line = Addr >> LineShift;
+void StreamPrefetcher::onDemandMissLine(uint64_t Line, PrefetchList &Out) {
+  Out.Count = 0;
   ++Clock;
 
   for (Stream &S : Streams) {
@@ -50,12 +49,11 @@ std::vector<uintptr_t> StreamPrefetcher::onDemandMiss(uintptr_t Addr) {
       // (e.g. a prefetched line was evicted before use).
       if (Line + Degree + 2 >= S.NextLine && Line <= S.NextLine + 1) {
         S.LastUse = Clock;
-        std::vector<uintptr_t> Out;
         uint64_t From = Line + 1 > S.NextLine ? Line + 1 : S.NextLine;
         for (unsigned I = 0; I < Degree; ++I)
-          Out.push_back((From + I) << LineShift);
+          Out.Lines[Out.Count++] = From + I;
         S.NextLine = From + Degree;
-        return Out;
+        return;
       }
       continue;
     }
@@ -65,13 +63,12 @@ std::vector<uintptr_t> StreamPrefetcher::onDemandMiss(uintptr_t Addr) {
       S.NextLine = Line + 1;
       // Two matches (three sequential misses) confirm a stream.
       if (S.Confidence < 3)
-        return {};
+        return;
       ++StreamsDetected;
-      std::vector<uintptr_t> Out;
       for (unsigned I = 1; I <= Degree; ++I)
-        Out.push_back((Line + I) << LineShift);
+        Out.Lines[Out.Count++] = Line + I;
       S.NextLine = Line + Degree + 1;
-      return Out;
+      return;
     }
   }
 
@@ -89,7 +86,27 @@ std::vector<uintptr_t> StreamPrefetcher::onDemandMiss(uintptr_t Addr) {
   Victim->NextLine = Line + 1;
   Victim->Confidence = 1;
   Victim->LastUse = Clock;
-  return {};
+}
+
+std::vector<uintptr_t>
+StreamPrefetcher::toByteAddresses(const PrefetchList &List) const {
+  std::vector<uintptr_t> Out;
+  Out.reserve(List.Count);
+  for (unsigned I = 0; I < List.Count; ++I)
+    Out.push_back(static_cast<uintptr_t>(List.Lines[I] << LineShift));
+  return Out;
+}
+
+std::vector<uintptr_t> StreamPrefetcher::onDemandMiss(uintptr_t Addr) {
+  PrefetchList List;
+  onDemandMissLine(Addr >> LineShift, List);
+  return toByteAddresses(List);
+}
+
+std::vector<uintptr_t> StreamPrefetcher::onPrefetchedHit(uintptr_t Addr) {
+  PrefetchList List;
+  onPrefetchedHitLine(Addr >> LineShift, List);
+  return toByteAddresses(List);
 }
 
 void StreamPrefetcher::reset() {

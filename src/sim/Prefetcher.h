@@ -12,6 +12,10 @@
 /// trains this unit, so its bus traffic is amplified. That mechanism is
 /// what this model reproduces.
 ///
+/// The unit sits on the per-access simulation hot path, so its interface
+/// avoids heap traffic: prefetch candidates are written into a small
+/// fixed-capacity list of line numbers instead of a returned vector.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DDM_SIM_PREFETCHER_H
@@ -22,23 +26,39 @@
 
 namespace ddm {
 
+/// Prefetch candidates produced by one miss/hit notification: line numbers
+/// (byte address >> line shift), at most MaxDegree of them.
+struct PrefetchList {
+  static constexpr unsigned MaxDegree = 8;
+  uint64_t Lines[MaxDegree];
+  unsigned Count = 0;
+};
+
 /// Stream prefetcher watching one core's L2 miss stream.
 class StreamPrefetcher {
 public:
   /// \p Streams concurrent stream trackers, prefetching \p Degree lines
-  /// ahead once a stream is confirmed.
+  /// ahead once a stream is confirmed. \p Degree is capped at
+  /// PrefetchList::MaxDegree.
   explicit StreamPrefetcher(unsigned Streams = 16, unsigned Degree = 2,
                             unsigned LineBytes = 64);
 
-  /// Reports a demand L2 miss at byte address \p Addr. Returns the line
-  /// addresses (byte address of line start) to prefetch (possibly empty).
-  /// Call installs on the L2 for each returned address.
-  std::vector<uintptr_t> onDemandMiss(uintptr_t Addr);
+  /// Reports a demand L2 miss on line number \p Line. Fills \p Out with the
+  /// line numbers to prefetch (possibly none). Call installs on the L2 for
+  /// each returned line.
+  void onDemandMissLine(uint64_t Line, PrefetchList &Out);
 
   /// Reports a demand hit on a line the prefetcher brought in: confirmed
   /// streams keep running ahead of the consumer (prefetch-on-prefetch-hit),
   /// which is how a stream's latency stays hidden once it is established.
+  void onPrefetchedHitLine(uint64_t Line, PrefetchList &Out);
+
+  /// \name Byte-address convenience wrappers (tests and standalone use).
+  /// Return prefetch targets as byte addresses of line starts.
+  /// @{
+  std::vector<uintptr_t> onDemandMiss(uintptr_t Addr);
   std::vector<uintptr_t> onPrefetchedHit(uintptr_t Addr);
+  /// @}
 
   uint64_t streamsDetected() const { return StreamsDetected; }
   void reset();
@@ -50,6 +70,8 @@ private:
     unsigned Confidence = 0;
     bool Valid = false;
   };
+
+  std::vector<uintptr_t> toByteAddresses(const PrefetchList &List) const;
 
   unsigned LineShift;
   unsigned Degree;

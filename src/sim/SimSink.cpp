@@ -2,6 +2,7 @@
 
 #include "sim/SimSink.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace ddm;
@@ -19,77 +20,159 @@ DomainEvents &DomainEvents::operator+=(const DomainEvents &Other) {
   return *this;
 }
 
-SimSink::SimSink(const Platform &P, unsigned ActiveCores, bool LargePages)
-    : Plat(P), Cores(ActiveCores), UseLargePages(LargePages) {
-  assert(ActiveCores >= 1 && ActiveCores <= P.Cores && "bad core count");
+namespace {
 
-  // The L1D and D-TLB of a core are shared by its hardware threads; the
-  // representative runtime sees 1/ThreadsPerCore of each.
-  EffL1DBytes = P.L1D.SizeBytes / P.ThreadsPerCore;
-  EffTlbEntries = P.TlbEntries / P.ThreadsPerCore;
-  if (EffTlbEntries < 4)
-    EffTlbEntries = 4;
+// The L1D and D-TLB of a core are shared by its hardware threads; the
+// representative runtime sees 1/ThreadsPerCore of each.
+uint64_t effL1DBytesFor(const Platform &P) {
+  return P.L1D.SizeBytes / P.ThreadsPerCore;
+}
 
-  // Runtimes are spread evenly over the L2 instances; each runtime sees
-  // an equal slice of its L2.
+unsigned effTlbEntriesFor(const Platform &P) {
+  unsigned Entries = P.TlbEntries / P.ThreadsPerCore;
+  return Entries < 4 ? 4 : Entries;
+}
+
+// Runtimes are spread evenly over the L2 instances; each runtime sees an
+// equal slice of its L2.
+uint64_t effL2BytesFor(const Platform &P, unsigned ActiveCores) {
   unsigned L2Instances = P.Cores / P.CoresPerL2;
   unsigned ActiveThreads = ActiveCores * P.ThreadsPerCore;
   unsigned ThreadsPerL2 = (ActiveThreads + L2Instances - 1) / L2Instances;
   if (ThreadsPerL2 < 1)
     ThreadsPerL2 = 1;
-  EffL2Bytes = P.L2Bytes / ThreadsPerL2;
-
-  CacheGeometry L1Geometry = P.L1D;
-  L1Geometry.SizeBytes = EffL1DBytes;
-  L1D = std::make_unique<Cache>(L1Geometry);
-
-  CacheGeometry L2Geometry;
-  L2Geometry.SizeBytes = EffL2Bytes;
-  L2Geometry.Associativity = P.L2Assoc;
-  L2Geometry.LineBytes = 64;
-  L2 = std::make_unique<Cache>(L2Geometry);
-
-  uint64_t PageBytes = LargePages ? P.LargePageBytes : P.PageBytes;
-  Dtlb = std::make_unique<Tlb>(EffTlbEntries, PageBytes);
-
-  if (P.HasPrefetcher)
-    Prefetcher = std::make_unique<StreamPrefetcher>();
+  return P.L2Bytes / ThreadsPerL2;
 }
 
-void SimSink::touchLine(uintptr_t Addr, bool IsWrite) {
+CacheGeometry l1GeometryFor(const Platform &P) {
+  CacheGeometry Geometry = P.L1D;
+  Geometry.SizeBytes = effL1DBytesFor(P);
+  return Geometry;
+}
+
+CacheGeometry l2GeometryFor(const Platform &P, unsigned ActiveCores) {
+  CacheGeometry Geometry;
+  Geometry.SizeBytes = effL2BytesFor(P, ActiveCores);
+  Geometry.Associativity = P.L2Assoc;
+  Geometry.LineBytes = 64;
+  return Geometry;
+}
+
+} // namespace
+
+SimSink::SimSink(const Platform &P, unsigned ActiveCores, bool LargePages)
+    : Plat(P), Cores(ActiveCores), UseLargePages(LargePages),
+      EffL1DBytes(effL1DBytesFor(P)), EffL2Bytes(effL2BytesFor(P, ActiveCores)),
+      EffTlbEntries(effTlbEntriesFor(P)), L1D(l1GeometryFor(P)),
+      L2(l2GeometryFor(P, ActiveCores)),
+      Dtlb(effTlbEntriesFor(P), LargePages ? P.LargePageBytes : P.PageBytes) {
+  assert(ActiveCores >= 1 && ActiveCores <= P.Cores && "bad core count");
+  if (P.HasPrefetcher)
+    Prefetcher.emplace();
+}
+
+uint64_t SimSink::translate(uintptr_t Addr) {
+  if (MruRegion < Regions.size()) {
+    const CanonicalRegion &R = Regions[MruRegion];
+    if (Addr >= R.RealBase && Addr < R.RealEnd)
+      return R.CanonBase + (Addr - R.RealBase);
+  }
+  return translateSlow(Addr);
+}
+
+uint64_t SimSink::translateSlow(uintptr_t Addr) {
+  // Find the last region whose base is <= Addr.
+  auto It = std::upper_bound(
+      Regions.begin(), Regions.end(), Addr,
+      [](uintptr_t A, const CanonicalRegion &R) { return A < R.RealBase; });
+  if (It != Regions.begin()) {
+    const CanonicalRegion &R = *(It - 1);
+    if (Addr >= R.RealBase && Addr < R.RealEnd) {
+      MruRegion = static_cast<size_t>((It - 1) - Regions.begin());
+      return R.CanonBase + (Addr - R.RealBase);
+    }
+  }
+  // Unregistered address: canonicalize its 4 KB page on first touch. The
+  // sub-page offset is preserved, so line and page locality survive.
+  uint64_t Page = Addr >> 12;
+  auto [Entry, Inserted] = FallbackPages.try_emplace(Page, NextFallbackPage);
+  if (Inserted)
+    ++NextFallbackPage;
+  return (Entry->second << 12) | (Addr & 4095);
+}
+
+void SimSink::mapRegion(const void *Base, size_t Size) {
+  if (!Base || Size == 0)
+    return;
+  auto RealBase = reinterpret_cast<uintptr_t>(Base);
+  // Re-registration of the same base replaces the old block; the fresh
+  // canonical base means the new incarnation starts cold, like a new
+  // process's heap would.
+  unmapRegion(Base);
+  CanonicalRegion R;
+  R.RealBase = RealBase;
+  R.RealEnd = RealBase + Size;
+  R.CanonBase = NextRegionCanonBase;
+  NextRegionCanonBase +=
+      ((Size + RegionAlign - 1) & ~(RegionAlign - 1)) + RegionAlign;
+  auto It = std::upper_bound(
+      Regions.begin(), Regions.end(), RealBase,
+      [](uintptr_t A, const CanonicalRegion &X) { return A < X.RealBase; });
+  Regions.insert(It, R);
+  MruRegion = 0;
+}
+
+void SimSink::unmapRegion(const void *Base) {
+  auto RealBase = reinterpret_cast<uintptr_t>(Base);
+  for (auto It = Regions.begin(); It != Regions.end(); ++It) {
+    if (It->RealBase == RealBase) {
+      Regions.erase(It);
+      MruRegion = 0;
+      return;
+    }
+  }
+}
+
+void SimSink::installPrefetches(const PrefetchList &List, DomainEvents &E) {
+  for (unsigned I = 0; I < List.Count; ++I) {
+    uint64_t Line = List.Lines[I];
+    if (L2.probeLine(Line))
+      continue;
+    ++E.PrefetchesIssued;
+    Cache::Outcome Fill = L2.installLine(Line, /*MarkPrefetched=*/true);
+    if (Fill.Evicted && Fill.EvictedDirty)
+      ++E.Writebacks;
+  }
+}
+
+void SimSink::touchLine(uint64_t Line, bool IsWrite) {
   DomainEvents &E = Events[DomainIndex];
   ++E.LineAccesses;
 
-  if (!Dtlb->access(Addr))
+  if (!Dtlb.access(static_cast<uintptr_t>(Line << 6)))
     ++E.TlbMisses;
 
-  Cache::Outcome L1Result = L1D->access(Addr, IsWrite);
+  Cache::Outcome L1Result = L1D.accessLine(Line, IsWrite);
   if (L1Result.Hit)
     return;
   ++E.L1DMisses;
   if (L1Result.Evicted && L1Result.EvictedDirty) {
     // Dirty L1 victim: lands in the L2 if resident there (the common,
     // inclusive case), otherwise it goes all the way to memory.
-    uintptr_t EvictedAddr = L1Result.EvictedLine << 6;
-    if (!L2->markDirtyIfPresent(EvictedAddr))
+    if (!L2.markDirtyLineIfPresent(L1Result.EvictedLine))
       ++E.Writebacks;
   }
 
-  Cache::Outcome L2Result = L2->access(Addr, IsWrite);
+  Cache::Outcome L2Result = L2.accessLine(Line, IsWrite);
   if (L2Result.Hit) {
     ++E.L2Hits;
     if (L2Result.HitWasPrefetched) {
       ++E.PrefetchesUseful;
       if (Prefetcher) {
         // Consuming a prefetched line keeps the stream running ahead.
-        for (uintptr_t Line : Prefetcher->onPrefetchedHit(Addr)) {
-          if (L2->probe(Line))
-            continue;
-          ++E.PrefetchesIssued;
-          Cache::Outcome Fill = L2->install(Line, /*MarkPrefetched=*/true);
-          if (Fill.Evicted && Fill.EvictedDirty)
-            ++E.Writebacks;
-        }
+        PrefetchList List;
+        Prefetcher->onPrefetchedHitLine(Line, List);
+        installPrefetches(List, E);
       }
     }
     return;
@@ -99,40 +182,67 @@ void SimSink::touchLine(uintptr_t Addr, bool IsWrite) {
     ++E.Writebacks;
 
   if (Prefetcher) {
-    for (uintptr_t Line : Prefetcher->onDemandMiss(Addr)) {
-      if (L2->probe(Line))
-        continue;
-      ++E.PrefetchesIssued;
-      Cache::Outcome Fill = L2->install(Line, /*MarkPrefetched=*/true);
-      if (Fill.Evicted && Fill.EvictedDirty)
-        ++E.Writebacks;
+    PrefetchList List;
+    Prefetcher->onDemandMissLine(Line, List);
+    installPrefetches(List, E);
+  }
+}
+
+void SimSink::touchRange(uint64_t CanonAddr, uint32_t Bytes, bool IsWrite) {
+  uint64_t First = CanonAddr >> 6;
+  uint64_t Last = (CanonAddr + (Bytes ? Bytes - 1 : 0)) >> 6;
+  for (uint64_t Line = First; Line <= Last; ++Line)
+    touchLine(Line, IsWrite);
+}
+
+void SimSink::accesses(const AccessBatch &Batch) {
+  for (unsigned I = 0; I < Batch.Count; ++I) {
+    const AccessBatch::Event &E = Batch.Events[I];
+    switch (E.Kind) {
+    case AccessKind::Load:
+      touchRange(translate(static_cast<uintptr_t>(E.Payload)), E.Bytes,
+                 /*IsWrite=*/false);
+      break;
+    case AccessKind::Store:
+      touchRange(translate(static_cast<uintptr_t>(E.Payload)), E.Bytes,
+                 /*IsWrite=*/true);
+      break;
+    case AccessKind::Instructions:
+      Events[DomainIndex].Instructions += E.Payload;
+      break;
+    case AccessKind::Domain:
+      DomainIndex = static_cast<unsigned>(E.Payload);
+      break;
     }
   }
 }
 
+// The single-event entry points flush the shared buffer first so direct
+// virtual calls (tests, ad-hoc drivers) interleave correctly with buffered
+// SinkHandle producers feeding the same sink.
+
 void SimSink::load(uintptr_t Addr, uint32_t Bytes) {
-  uintptr_t First = Addr & ~uintptr_t(63);
-  uintptr_t Last = (Addr + (Bytes ? Bytes - 1 : 0)) & ~uintptr_t(63);
-  for (uintptr_t Line = First; Line <= Last; Line += 64)
-    touchLine(Line, /*IsWrite=*/false);
+  flush();
+  touchRange(translate(Addr), Bytes, /*IsWrite=*/false);
 }
 
 void SimSink::store(uintptr_t Addr, uint32_t Bytes) {
-  uintptr_t First = Addr & ~uintptr_t(63);
-  uintptr_t Last = (Addr + (Bytes ? Bytes - 1 : 0)) & ~uintptr_t(63);
-  for (uintptr_t Line = First; Line <= Last; Line += 64)
-    touchLine(Line, /*IsWrite=*/true);
+  flush();
+  touchRange(translate(Addr), Bytes, /*IsWrite=*/true);
 }
 
 void SimSink::instructions(uint64_t Count) {
+  flush();
   Events[DomainIndex].Instructions += Count;
 }
 
 void SimSink::setDomain(CostDomain Domain) {
+  flush();
   DomainIndex = static_cast<unsigned>(Domain);
 }
 
 void SimSink::resetCounters() {
+  flush();
   Events[0] = DomainEvents();
   Events[1] = DomainEvents();
 }

@@ -18,6 +18,17 @@
 /// management), which is what the paper's Figure 6/11 CPU-time breakdowns
 /// need.
 ///
+/// Canonical simulated addresses: the cache/TLB model is address-based, so
+/// raw pointers would make every counter depend on where the OS placed
+/// each mmap — nondeterministic across processes (ASLR) and across
+/// concurrently executing sweep points. SimSink therefore translates real
+/// addresses into a canonical address space before they touch the model:
+/// blocks announced through mapRegion() are assigned canonical bases in
+/// registration order (monotonically, never reused, so a restarted
+/// process's fresh heap is cold), and unregistered addresses fall back to
+/// first-touch page-granular canonicalization. Registration order is
+/// program order, so counters depend only on the simulated work.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DDM_SIM_SIMSINK_H
@@ -29,7 +40,9 @@
 #include "sim/Prefetcher.h"
 #include "sim/Tlb.h"
 
-#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
 
 namespace ddm {
 
@@ -49,7 +62,10 @@ struct DomainEvents {
 };
 
 /// The AccessSink implementation backing all simulated experiments.
-class SimSink : public AccessSink {
+/// Final, with the Cache/Tlb/Prefetcher units held by value: the batched
+/// drain loop in accesses() runs without a virtual hop per event and with
+/// all unit calls direct.
+class SimSink final : public AccessSink {
 public:
   /// Builds the hierarchy for \p ActiveCores active cores on \p P (every
   /// active core runs ThreadsPerCore runtime processes). \p LargePages
@@ -61,9 +77,13 @@ public:
   void store(uintptr_t Addr, uint32_t Bytes) override;
   void instructions(uint64_t Count) override;
   void setDomain(CostDomain Domain) override;
+  void accesses(const AccessBatch &Batch) override;
+  void mapRegion(const void *Base, size_t Size) override;
+  void unmapRegion(const void *Base) override;
 
-  /// Clears the event counters but keeps the caches warm. Call after the
-  /// warm-up transactions.
+  /// Clears the event counters but keeps the caches warm (and the
+  /// canonical address mapping intact). Flushes buffered events first, so
+  /// everything produced before this call lands in the cleared window.
   void resetCounters();
 
   const DomainEvents &events(CostDomain Domain) const {
@@ -80,8 +100,29 @@ public:
   uint64_t effectiveL2Bytes() const { return EffL2Bytes; }
   unsigned effectiveTlbEntries() const { return EffTlbEntries; }
 
+  /// Number of live canonical regions (introspection for tests).
+  size_t mappedRegionCount() const { return Regions.size(); }
+
 private:
-  void touchLine(uintptr_t Addr, bool IsWrite);
+  /// A registered memory block and its canonical image.
+  struct CanonicalRegion {
+    uintptr_t RealBase;
+    uintptr_t RealEnd;
+    uint64_t CanonBase;
+  };
+
+  /// Canonical layout: registered regions are placed from RegionWindowBase
+  /// upward with 1 MB alignment and a 1 MB guard gap; unregistered
+  /// addresses map to first-touch pages from FallbackWindowBase upward.
+  static constexpr uint64_t RegionWindowBase = 0x400000000000ull;
+  static constexpr uint64_t FallbackWindowBase = 0x700000000000ull;
+  static constexpr uint64_t RegionAlign = 1ull << 20;
+
+  uint64_t translate(uintptr_t Addr);
+  uint64_t translateSlow(uintptr_t Addr);
+  void touchRange(uint64_t CanonAddr, uint32_t Bytes, bool IsWrite);
+  void touchLine(uint64_t Line, bool IsWrite);
+  void installPrefetches(const PrefetchList &List, DomainEvents &E);
 
   Platform Plat;
   unsigned Cores;
@@ -90,10 +131,16 @@ private:
   uint64_t EffL2Bytes;
   unsigned EffTlbEntries;
 
-  std::unique_ptr<Cache> L1D;
-  std::unique_ptr<Cache> L2;
-  std::unique_ptr<Tlb> Dtlb;
-  std::unique_ptr<StreamPrefetcher> Prefetcher;
+  Cache L1D;
+  Cache L2;
+  Tlb Dtlb;
+  std::optional<StreamPrefetcher> Prefetcher;
+
+  std::vector<CanonicalRegion> Regions; ///< Sorted by RealBase.
+  size_t MruRegion = 0;                 ///< Last region that translated.
+  uint64_t NextRegionCanonBase = RegionWindowBase;
+  std::unordered_map<uint64_t, uint64_t> FallbackPages;
+  uint64_t NextFallbackPage = FallbackWindowBase >> 12;
 
   DomainEvents Events[2];
   unsigned DomainIndex = 0; ///< Index into Events for the current domain.
