@@ -66,7 +66,17 @@ int main(int Argc, char **Argv) {
                    S.describe().c_str());
       return 1;
     }
-    WorkloadName = Summary.Meta.Workload;
+    // Traces captured from real processes (the LD_PRELOAD shim) carry a
+    // free-form workload name; fall back to --workload for the host-side
+    // parameters (state size, touch counts) the trace does not encode.
+    if (findWorkload(Summary.Meta.Workload)) {
+      WorkloadName = Summary.Meta.Workload;
+    } else {
+      std::fprintf(stderr,
+                   "trace workload '%s' is not built in; hosting the replay "
+                   "on --workload %s\n",
+                   Summary.Meta.Workload.c_str(), WorkloadName.c_str());
+    }
     Scale = Summary.Meta.Scale;
     Seed = Summary.Meta.Seed;
     // Relive the whole recorded run (1 warmup + the rest measured); a

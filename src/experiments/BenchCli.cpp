@@ -2,6 +2,7 @@
 
 #include "experiments/BenchCli.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -44,7 +45,15 @@ bool ddm::peelUintFlag(int &Argc, char **Argv, const char *Name,
         std::strncmp(Argv[I] + 2, Name, NameLen) != 0 ||
         Argv[I][2 + NameLen] != '=')
       continue;
-    Value = std::strtoull(Argv[I] + 2 + NameLen + 1, nullptr, 10);
+    const char *Text = Argv[I] + 2 + NameLen + 1;
+    // A bench is non-interactive: a malformed value silently becoming 0
+    // (strtoull's behaviour) would quietly change what gets measured, so
+    // bail out loudly instead.
+    if (!parseUint64(Text, Value)) {
+      std::fprintf(stderr, "error: invalid value '%s' for flag '--%s'\n",
+                   Text, Name);
+      std::exit(1);
+    }
     for (int J = I; J + 1 < Argc; ++J)
       Argv[J] = Argv[J + 1];
     --Argc;

@@ -1,0 +1,515 @@
+//===- preload/Preload.cpp - LD_PRELOAD malloc capture shim ---------------===//
+///
+/// \file
+/// Interposes the malloc family and streams every successful call into a
+/// `.ddmtrc` trace, so real processes — not just the synthetic generator —
+/// can feed the replay experiments:
+///
+///   LD_PRELOAD=$BUILD/src/preload/libddmtrace_preload.so
+///   DDMTRACE_OUT=/tmp/app.ddmtrc  ./app ...
+///
+/// Environment:
+///   DDMTRACE_OUT        output trace path; unset => shim is inert
+///   DDMTRACE_WORKLOAD   workload name stored in the meta frame
+///                       (default "captured")
+///   DDMTRACE_TX_EVENTS  auto transaction boundary every N recorded events
+///                       (default 65536; 0 => only hooks / process exit)
+///   DDMTRACE_VERBOSE    print a capture summary to stderr at exit
+///
+/// The replayer validates traces per transaction: ids restart at zero,
+/// frees must name live ids, and end-of-transaction cleanup reclaims
+/// whatever is still live. A real heap does not respect transaction
+/// scoping, so at every boundary the shim forgets all live pointers;
+/// later frees of them are dropped (replay-side cleanup already covered
+/// them) and later reallocs are re-recorded as fresh allocations. The
+/// captured stream is therefore always strictly replayable, at the cost
+/// of under-reporting frees of long-lived objects (the dropped count is
+/// reported under DDMTRACE_VERBOSE).
+///
+/// Reentrancy rules that keep the shim out of its own way:
+///  - the pointer table lives in raw mmap memory (PtrSizeTable) and the
+///    TraceWriter's own allocations pass through untracked via a
+///    thread-local Busy flag (initial-exec TLS: accessing it never
+///    triggers lazy TLS allocation);
+///  - dlsym(RTLD_NEXT, ...) may itself call calloc before the real
+///    functions are known; those requests are served from a static bump
+///    arena whose blocks free/realloc recognize forever after;
+///  - shim state is placement-new'd into static storage and never
+///    destroyed, so interposers stay safe during C++ static destruction;
+///    the trace is finalized by a destructor-attribute function instead.
+///
+/// Forking: a child inherits the parent's stream mid-file, so recording
+/// is disarmed in the child (pthread_atfork) — the parent's trace stays
+/// the authoritative one. exec() is safe: the trace fd is O_CLOEXEC and
+/// frames are flushed as they are cut, so the file ends on a valid frame.
+/// A failed final flush cannot change the host program's exit code; it is
+/// reported on stderr and leaves a truncated-but-CRC-valid trace.
+///
+//===----------------------------------------------------------------------===//
+
+#include "preload/PtrSizeTable.h"
+#include "trace/TraceEvent.h"
+#include "trace/TraceWriter.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <new>
+
+#include <dlfcn.h>
+#include <pthread.h>
+
+#define DDM_EXPORT __attribute__((visibility("default")))
+#define DDM_TLS __attribute__((tls_model("initial-exec")))
+
+using namespace ddm;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Real allocator entry points + dlsym bootstrap arena
+//===----------------------------------------------------------------------===//
+
+using MallocFn = void *(*)(size_t);
+using FreeFn = void (*)(void *);
+using CallocFn = void *(*)(size_t, size_t);
+using ReallocFn = void *(*)(void *, size_t);
+using AlignedAllocFn = void *(*)(size_t, size_t);
+using PosixMemalignFn = int (*)(void **, size_t, size_t);
+using MemalignFn = void *(*)(size_t, size_t);
+
+MallocFn RealMalloc = nullptr;
+FreeFn RealFree = nullptr;
+CallocFn RealCalloc = nullptr;
+ReallocFn RealRealloc = nullptr;
+AlignedAllocFn RealAlignedAlloc = nullptr;
+PosixMemalignFn RealPosixMemalign = nullptr;
+MemalignFn RealMemalign = nullptr;
+
+/// Serves allocations made *by dlsym itself* while the real functions are
+/// being resolved. Blocks carry a 16-byte size header so realloc can copy
+/// them out; they are never reclaimed (a handful of tiny blocks per
+/// process).
+alignas(16) char BootstrapArena[64 * 1024];
+std::atomic<size_t> BootstrapUsed{0};
+
+bool inBootstrapArena(const void *Ptr) {
+  auto P = reinterpret_cast<uintptr_t>(Ptr);
+  auto Base = reinterpret_cast<uintptr_t>(BootstrapArena);
+  return P >= Base && P < Base + sizeof(BootstrapArena);
+}
+
+void *bootstrapAlloc(size_t Size) {
+  size_t Need = (Size + 15 + 16) & ~size_t(15); // header + 16-align
+  size_t Offset = BootstrapUsed.fetch_add(Need, std::memory_order_relaxed);
+  if (Offset + Need > sizeof(BootstrapArena))
+    return nullptr; // dlsym would only see this on a pathological libc
+  char *Block = BootstrapArena + Offset;
+  std::memcpy(Block, &Size, sizeof(Size));
+  return Block + 16;
+}
+
+size_t bootstrapSize(const void *Ptr) {
+  size_t Size;
+  std::memcpy(&Size, static_cast<const char *>(Ptr) - 16, sizeof(Size));
+  return Size;
+}
+
+void resolveReal() {
+  // dlsym may calloc; the interposers below detect the unresolved state
+  // and fall back to the bootstrap arena, so this cannot recurse.
+  RealCalloc = reinterpret_cast<CallocFn>(dlsym(RTLD_NEXT, "calloc"));
+  RealFree = reinterpret_cast<FreeFn>(dlsym(RTLD_NEXT, "free"));
+  RealRealloc = reinterpret_cast<ReallocFn>(dlsym(RTLD_NEXT, "realloc"));
+  RealAlignedAlloc =
+      reinterpret_cast<AlignedAllocFn>(dlsym(RTLD_NEXT, "aligned_alloc"));
+  RealPosixMemalign =
+      reinterpret_cast<PosixMemalignFn>(dlsym(RTLD_NEXT, "posix_memalign"));
+  RealMemalign = reinterpret_cast<MemalignFn>(dlsym(RTLD_NEXT, "memalign"));
+  // malloc last: its non-null-ness publishes "resolved" to other threads,
+  // and every other pointer is written before it.
+  RealMalloc = reinterpret_cast<MallocFn>(dlsym(RTLD_NEXT, "malloc"));
+}
+
+inline void ensureResolved() {
+  if (__builtin_expect(RealMalloc == nullptr, 0))
+    resolveReal(); // idempotent; a racing duplicate resolve is harmless
+}
+
+//===----------------------------------------------------------------------===//
+// Shim state
+//===----------------------------------------------------------------------===//
+
+/// Set while the shim is recording an event: allocations made by the
+/// recording machinery itself (TraceWriter buffers) pass straight through
+/// to the real allocator, untracked.
+thread_local bool Busy DDM_TLS = false;
+
+struct ReentryGuard {
+  ReentryGuard() { Busy = true; }
+  ~ReentryGuard() { Busy = false; }
+};
+
+struct ShimState {
+  std::mutex StreamLock; ///< Serializes ids, table updates and the encoder.
+  TraceWriter Writer;
+  preload::PtrSizeTable Table;
+  uint32_t NextId = 0;
+  uint64_t EventsInTx = 0;    ///< Events since the last EndTx written.
+  uint64_t FallbackCount = 0; ///< Events since the last boundary/tx_begin.
+  uint64_t TxEventLimit = 65536;
+  bool Verbose = false;
+  uint64_t DroppedFrees = 0; ///< Frees of pointers from before a boundary.
+  uint64_t Untracked = 0;    ///< Allocations the table could not admit.
+};
+
+alignas(ShimState) char StateStorage[sizeof(ShimState)];
+ShimState *State = nullptr;          // set once by initShim
+std::atomic<bool> Recording{false};  // armed only with DDMTRACE_OUT set
+
+inline bool canRecord() { return Recording.load(std::memory_order_acquire) && !Busy; }
+
+/// Emits EndTx and resets per-transaction state. Caller holds StreamLock.
+void boundaryLocked(ShimState &St) {
+  TraceEvent E;
+  E.Op = TraceOp::EndTx;
+  St.Writer.append(E);
+  St.EventsInTx = 0;
+  St.FallbackCount = 0;
+  St.NextId = 0;
+  St.Table.clear();
+}
+
+/// Appends one in-transaction event and applies the event-count fallback.
+/// Caller holds StreamLock.
+void appendLocked(ShimState &St, const TraceEvent &E) {
+  St.Writer.append(E);
+  ++St.EventsInTx;
+  ++St.FallbackCount;
+  if (St.TxEventLimit && St.FallbackCount >= St.TxEventLimit)
+    boundaryLocked(St);
+}
+
+void recordAlloc(void *Ptr, size_t Size, TraceOp Op, uint32_t Alignment) {
+  ReentryGuard Guard;
+  ShimState &St = *State;
+  std::lock_guard<std::mutex> Lock(St.StreamLock);
+  uint64_t RecSize = Size ? Size : 1; // zero-size requests replay as 1 byte
+  uint32_t Id = St.NextId++;
+  if (!St.Table.insert(Ptr, Id, RecSize))
+    ++St.Untracked;
+  TraceEvent E;
+  E.Op = Op;
+  E.Id = Id;
+  E.Size = RecSize;
+  E.Alignment = Alignment;
+  appendLocked(St, E);
+}
+
+void recordFree(void *Ptr) {
+  ReentryGuard Guard;
+  ShimState &St = *State;
+  std::lock_guard<std::mutex> Lock(St.StreamLock);
+  uint32_t Id;
+  uint64_t Size;
+  // Erase before the real free runs (the caller frees after we return):
+  // once the allocator may reuse the address, our entry must be gone.
+  if (!St.Table.erase(Ptr, Id, Size)) {
+    ++St.DroppedFrees;
+    return;
+  }
+  TraceEvent E;
+  E.Op = TraceOp::Free;
+  E.Id = Id;
+  appendLocked(St, E);
+}
+
+/// Alignment is recorded only when it is representable and meaningful;
+/// anything else degrades to a plain allocation of the same size.
+uint32_t recordableAlignment(size_t Alignment) {
+  if (Alignment == 0 || (Alignment & (Alignment - 1)) != 0 ||
+      Alignment > UINT32_MAX)
+    return 0;
+  return static_cast<uint32_t>(Alignment);
+}
+
+void captureSummary(ShimState &St, const TraceStatus &Status) {
+  std::fprintf(stderr,
+               "ddmtrace: captured %llu events, %llu transactions, %llu "
+               "bytes (%llu frees dropped at boundaries, %llu allocations "
+               "untracked)%s%s\n",
+               static_cast<unsigned long long>(St.Writer.eventsWritten()),
+               static_cast<unsigned long long>(St.Writer.transactionsWritten()),
+               static_cast<unsigned long long>(St.Writer.bytesWritten()),
+               static_cast<unsigned long long>(St.DroppedFrees),
+               static_cast<unsigned long long>(St.Untracked),
+               Status.ok() ? "" : " -- ", Status.ok() ? "" : "FAILED");
+}
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+void forkPrepare() {
+  if (State)
+    State->StreamLock.lock();
+}
+void forkParent() {
+  if (State)
+    State->StreamLock.unlock();
+}
+void forkChild() {
+  // The child shares the parent's file offset; writing from both would
+  // interleave garbage. Frames are flushed as they are cut, so simply
+  // going silent leaves the parent's stream intact.
+  if (State)
+    State->StreamLock.unlock();
+  Recording.store(false, std::memory_order_release);
+}
+
+__attribute__((constructor)) void initShim() {
+  ensureResolved();
+  const char *OutPath = std::getenv("DDMTRACE_OUT");
+  if (!OutPath || !*OutPath)
+    return; // inert: pure pass-through
+
+  ReentryGuard Guard; // state construction allocates
+  State = new (StateStorage) ShimState();
+  ShimState &St = *State;
+
+  if (const char *Limit = std::getenv("DDMTRACE_TX_EVENTS")) {
+    errno = 0;
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(Limit, &End, 10);
+    if (End != Limit && *End == '\0' && errno != ERANGE && *Limit != '-')
+      St.TxEventLimit = V;
+    else
+      std::fprintf(stderr,
+                   "ddmtrace: ignoring invalid DDMTRACE_TX_EVENTS='%s'\n",
+                   Limit);
+  }
+  St.Verbose = std::getenv("DDMTRACE_VERBOSE") != nullptr;
+
+  TraceMeta Meta;
+  const char *Workload = std::getenv("DDMTRACE_WORKLOAD");
+  Meta.Workload = Workload && *Workload ? Workload : "captured";
+  Meta.Scale = 1.0;
+  Meta.Seed = 0;
+  if (TraceStatus S = St.Writer.open(OutPath, Meta); !S) {
+    std::fprintf(stderr, "ddmtrace: cannot record to '%s': %s\n", OutPath,
+                 S.describe().c_str());
+    return; // State stays allocated but Recording stays false
+  }
+
+  pthread_atfork(forkPrepare, forkParent, forkChild);
+  Recording.store(true, std::memory_order_release);
+}
+
+__attribute__((destructor)) void finishShim() {
+  if (!Recording.exchange(false, std::memory_order_acq_rel))
+    return;
+  ReentryGuard Guard;
+  ShimState &St = *State;
+  std::lock_guard<std::mutex> Lock(St.StreamLock);
+  if (St.EventsInTx)
+    boundaryLocked(St);
+  TraceStatus Status = St.Writer.finish();
+  if (!Status)
+    std::fprintf(stderr, "ddmtrace: trace finalization failed: %s\n",
+                 Status.describe().c_str());
+  if (St.Verbose || !Status)
+    captureSummary(St, Status);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Transaction hooks (see preload/ddmtrace.h)
+//===----------------------------------------------------------------------===//
+
+extern "C" DDM_EXPORT void ddmtrace_tx_begin(void) {
+  if (!canRecord())
+    return;
+  ReentryGuard Guard;
+  ShimState &St = *State;
+  std::lock_guard<std::mutex> Lock(St.StreamLock);
+  // Anything recorded since the last end belongs to inter-request
+  // housekeeping: close it off as its own transaction so the hooked one
+  // starts clean, and re-arm the event-count fallback either way.
+  if (St.EventsInTx)
+    boundaryLocked(St);
+  St.FallbackCount = 0;
+}
+
+extern "C" DDM_EXPORT void ddmtrace_tx_end(void) {
+  if (!canRecord())
+    return;
+  ReentryGuard Guard;
+  ShimState &St = *State;
+  std::lock_guard<std::mutex> Lock(St.StreamLock);
+  if (St.EventsInTx) // an empty transaction is not worth a frame
+    boundaryLocked(St);
+}
+
+//===----------------------------------------------------------------------===//
+// Interposers
+//===----------------------------------------------------------------------===//
+
+extern "C" DDM_EXPORT void *malloc(size_t Size) {
+  ensureResolved();
+  if (__builtin_expect(!RealMalloc, 0))
+    return bootstrapAlloc(Size);
+  void *Ptr = RealMalloc(Size);
+  if (Ptr && canRecord())
+    recordAlloc(Ptr, Size, TraceOp::Alloc, 0);
+  return Ptr;
+}
+
+extern "C" DDM_EXPORT void *calloc(size_t Count, size_t Size) {
+  // dlsym's own calloc lands here before resolveReal has finished.
+  if (__builtin_expect(!RealCalloc, 0)) {
+    if (Size && Count > SIZE_MAX / Size)
+      return nullptr;
+    return bootstrapAlloc(Count * Size); // static storage: already zero
+  }
+  void *Ptr = RealCalloc(Count, Size);
+  if (Ptr && canRecord())
+    recordAlloc(Ptr, Count * Size, TraceOp::Calloc, 0);
+  return Ptr;
+}
+
+extern "C" DDM_EXPORT void free(void *Ptr) {
+  if (!Ptr || inBootstrapArena(Ptr))
+    return; // arena blocks are immortal
+  ensureResolved();
+  if (canRecord())
+    recordFree(Ptr);
+  RealFree(Ptr);
+}
+
+extern "C" DDM_EXPORT void *realloc(void *Ptr, size_t Size) {
+  ensureResolved();
+  if (__builtin_expect(Ptr && inBootstrapArena(Ptr), 0)) {
+    // Migrate a dlsym-era block onto the real heap.
+    void *Fresh = malloc(Size);
+    if (Fresh) {
+      size_t Old = bootstrapSize(Ptr);
+      std::memcpy(Fresh, Ptr, Old < Size ? Old : Size);
+    }
+    return Fresh;
+  }
+  if (!canRecord())
+    return RealRealloc(Ptr, Size);
+  if (!Ptr) {
+    void *Fresh = RealRealloc(nullptr, Size);
+    if (Fresh)
+      recordAlloc(Fresh, Size, TraceOp::Alloc, 0);
+    return Fresh;
+  }
+
+  ReentryGuard Guard;
+  ShimState &St = *State;
+  std::lock_guard<std::mutex> Lock(St.StreamLock);
+  uint32_t Id;
+  uint64_t OldSize;
+  // Erase first: the moment the real realloc returns, the old address may
+  // be handed to a concurrent malloc.
+  bool Known = St.Table.erase(Ptr, Id, OldSize);
+  void *Fresh = RealRealloc(Ptr, Size);
+  if (!Fresh) {
+    if (Size == 0) {
+      // C23/glibc realloc(p, 0) frees and returns null.
+      if (Known) {
+        TraceEvent E;
+        E.Op = TraceOp::Free;
+        E.Id = Id;
+        appendLocked(St, E);
+      } else {
+        ++St.DroppedFrees;
+      }
+      return nullptr;
+    }
+    if (Known)
+      St.Table.insert(Ptr, Id, OldSize); // failure: the old block lives on
+    return nullptr;
+  }
+
+  uint64_t RecSize = Size ? Size : 1;
+  if (Known) {
+    TraceEvent E;
+    E.Op = TraceOp::Realloc;
+    E.Id = Id;
+    E.Size = RecSize;
+    E.OldSize = OldSize;
+    if (!St.Table.insert(Fresh, Id, RecSize))
+      ++St.Untracked;
+    appendLocked(St, E);
+  } else {
+    // The old block predates the last transaction boundary; replay-side
+    // cleanup already reclaimed its id, so the survivor re-enters the
+    // trace as a fresh allocation.
+    uint32_t FreshId = St.NextId++;
+    TraceEvent E;
+    E.Op = TraceOp::Alloc;
+    E.Id = FreshId;
+    E.Size = RecSize;
+    if (!St.Table.insert(Fresh, FreshId, RecSize))
+      ++St.Untracked;
+    appendLocked(St, E);
+  }
+  return Fresh;
+}
+
+extern "C" DDM_EXPORT void *aligned_alloc(size_t Alignment, size_t Size) {
+  ensureResolved();
+  if (__builtin_expect(!RealAlignedAlloc, 0)) {
+    errno = ENOMEM;
+    return nullptr;
+  }
+  void *Ptr = RealAlignedAlloc(Alignment, Size);
+  if (Ptr && canRecord()) {
+    uint32_t A = recordableAlignment(Alignment);
+    recordAlloc(Ptr, Size, A ? TraceOp::AllocAligned : TraceOp::Alloc, A);
+  }
+  return Ptr;
+}
+
+extern "C" DDM_EXPORT int posix_memalign(void **Out, size_t Alignment,
+                                         size_t Size) {
+  ensureResolved();
+  if (__builtin_expect(!RealPosixMemalign, 0))
+    return ENOMEM;
+  int Err = RealPosixMemalign(Out, Alignment, Size);
+  if (Err == 0 && *Out && canRecord()) {
+    uint32_t A = recordableAlignment(Alignment);
+    recordAlloc(*Out, Size, A ? TraceOp::AllocAligned : TraceOp::Alloc, A);
+  }
+  return Err;
+}
+
+extern "C" DDM_EXPORT void *memalign(size_t Alignment, size_t Size) {
+  ensureResolved();
+  if (__builtin_expect(!RealMemalign, 0)) {
+    errno = ENOMEM;
+    return nullptr;
+  }
+  void *Ptr = RealMemalign(Alignment, Size);
+  if (Ptr && canRecord()) {
+    uint32_t A = recordableAlignment(Alignment);
+    recordAlloc(Ptr, Size, A ? TraceOp::AllocAligned : TraceOp::Alloc, A);
+  }
+  return Ptr;
+}
+
+extern "C" DDM_EXPORT void *reallocarray(void *Ptr, size_t Count,
+                                         size_t Size) {
+  if (Size && Count > SIZE_MAX / Size) {
+    errno = ENOMEM;
+    return nullptr;
+  }
+  return realloc(Ptr, Count * Size);
+}

@@ -1,0 +1,222 @@
+//===- preload/PtrSizeTable.h - mmap-backed pointer->size map --*- C++ -*-===//
+///
+/// \file
+/// The bookkeeping heart of the LD_PRELOAD capture shim: a lock-sharded
+/// open-addressing hash table mapping live heap pointers to the (object
+/// id, request size) pair the trace format needs. The real malloc API has
+/// no OldSize parameter, so realloc events can only be emitted with
+/// `reallocate(Ptr, OldSize, NewSize)` semantics if the shim remembers
+/// every live allocation's size itself.
+///
+/// Every byte of table storage comes straight from mmap(2) — the table is
+/// consulted from inside interposed malloc/free and must never recurse
+/// into the heap it instruments. Shard locks keep concurrent interposed
+/// threads off each other's cache lines; the table itself has no global
+/// lock (clear() takes the shard locks one at a time).
+///
+/// Header-only and dependency-free so the unit tests exercise exactly the
+/// code the shim runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_PRELOAD_PTRSIZETABLE_H
+#define DDM_PRELOAD_PTRSIZETABLE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+
+#include <sys/mman.h>
+
+namespace ddm::preload {
+
+class PtrSizeTable {
+public:
+  static constexpr size_t ShardCount = 64;
+  static constexpr size_t InitialSlots = 1024; ///< Per shard, power of two.
+
+  PtrSizeTable() = default;
+  ~PtrSizeTable() {
+    for (Shard &S : Shards)
+      if (S.Slots)
+        munmap(S.Slots, S.Capacity * sizeof(Slot));
+  }
+
+  PtrSizeTable(const PtrSizeTable &) = delete;
+  PtrSizeTable &operator=(const PtrSizeTable &) = delete;
+
+  /// Records \p Ptr -> (\p Id, \p Size). A re-insert of a live pointer
+  /// overwrites (the previous object was lost track of — e.g. its free
+  /// fell outside the capture). Returns false only if table memory could
+  /// not be mapped, in which case the pointer is simply not tracked.
+  bool insert(const void *Ptr, uint32_t Id, uint64_t Size) {
+    auto Key = reinterpret_cast<uintptr_t>(Ptr);
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Guard(S.Lock);
+    // Grow at 3/4 occupancy (live + tombstones) so probes stay short.
+    if (!S.Slots || (S.Used + 1) * 4 > S.Capacity * 3)
+      if (!grow(S))
+        return false;
+    return insertLocked(S, Key, Id, Size);
+  }
+
+  /// Looks up a live pointer without removing it.
+  bool find(const void *Ptr, uint32_t &Id, uint64_t &Size) const {
+    auto Key = reinterpret_cast<uintptr_t>(Ptr);
+    const Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Guard(S.Lock);
+    if (!S.Slots)
+      return false;
+    size_t Mask = S.Capacity - 1;
+    for (size_t I = hashPtr(Key) & Mask;; I = (I + 1) & Mask) {
+      const Slot &Sl = S.Slots[I];
+      if (Sl.State == SlotEmpty)
+        return false;
+      if (Sl.State == SlotLive && Sl.Key == Key) {
+        Id = Sl.Id;
+        Size = Sl.Size;
+        return true;
+      }
+    }
+  }
+
+  /// Removes a live pointer, returning what it mapped to. False if the
+  /// pointer is unknown (allocated before capture started or before the
+  /// last transaction boundary).
+  bool erase(const void *Ptr, uint32_t &Id, uint64_t &Size) {
+    auto Key = reinterpret_cast<uintptr_t>(Ptr);
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Guard(S.Lock);
+    if (!S.Slots)
+      return false;
+    size_t Mask = S.Capacity - 1;
+    for (size_t I = hashPtr(Key) & Mask;; I = (I + 1) & Mask) {
+      Slot &Sl = S.Slots[I];
+      if (Sl.State == SlotEmpty)
+        return false;
+      if (Sl.State == SlotLive && Sl.Key == Key) {
+        Id = Sl.Id;
+        Size = Sl.Size;
+        Sl.State = SlotTombstone;
+        --S.Live;
+        return true;
+      }
+    }
+  }
+
+  /// Forgets every tracked pointer (transaction boundary: whatever is
+  /// still live belongs to the replay side's end-of-transaction cleanup).
+  /// Capacity is kept — the next transaction will be about as big.
+  void clear() {
+    for (Shard &S : Shards) {
+      std::lock_guard<std::mutex> Guard(S.Lock);
+      if (S.Slots)
+        std::memset(S.Slots, 0, S.Capacity * sizeof(Slot));
+      S.Live = 0;
+      S.Used = 0;
+    }
+  }
+
+  /// Number of live pointers currently tracked.
+  uint64_t liveCount() const {
+    uint64_t Total = 0;
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> Guard(S.Lock);
+      Total += S.Live;
+    }
+    return Total;
+  }
+
+private:
+  enum : uint32_t { SlotEmpty = 0, SlotLive = 1, SlotTombstone = 2 };
+
+  struct Slot {
+    uintptr_t Key;
+    uint64_t Size;
+    uint32_t Id;
+    uint32_t State;
+  };
+
+  struct Shard {
+    mutable std::mutex Lock;
+    Slot *Slots = nullptr;
+    size_t Capacity = 0; ///< Power of two.
+    size_t Live = 0;
+    size_t Used = 0; ///< Live + tombstones (drives growth).
+  };
+
+  static uint64_t hashPtr(uintptr_t Key) {
+    // Fibonacci mix; heap pointers share low (alignment) and high (mmap
+    // region) bits, the multiply spreads the middle ones.
+    uint64_t H = static_cast<uint64_t>(Key) * 0x9E3779B97F4A7C15ull;
+    return H ^ (H >> 32);
+  }
+
+  Shard &shardFor(uintptr_t Key) {
+    return Shards[(hashPtr(Key) >> 6) & (ShardCount - 1)];
+  }
+  const Shard &shardFor(uintptr_t Key) const {
+    return Shards[(hashPtr(Key) >> 6) & (ShardCount - 1)];
+  }
+
+  bool insertLocked(Shard &S, uintptr_t Key, uint32_t Id, uint64_t Size) {
+    size_t Mask = S.Capacity - 1;
+    size_t Insert = S.Capacity; // first tombstone on the probe path
+    for (size_t I = hashPtr(Key) & Mask;; I = (I + 1) & Mask) {
+      Slot &Sl = S.Slots[I];
+      if (Sl.State == SlotLive && Sl.Key == Key) {
+        Sl.Id = Id;
+        Sl.Size = Size;
+        return true;
+      }
+      if (Sl.State == SlotTombstone && Insert == S.Capacity)
+        Insert = I;
+      if (Sl.State == SlotEmpty) {
+        if (Insert == S.Capacity) {
+          Insert = I;
+          ++S.Used; // consumed a genuinely empty slot
+        }
+        Slot &Dst = S.Slots[Insert];
+        Dst.Key = Key;
+        Dst.Size = Size;
+        Dst.Id = Id;
+        Dst.State = SlotLive;
+        ++S.Live;
+        return true;
+      }
+    }
+  }
+
+  bool grow(Shard &S) {
+    // Double on genuine occupancy; a tombstone-heavy shard rehashes at the
+    // same capacity (the rehash drops every tombstone).
+    size_t NewCapacity = S.Slots ? S.Capacity : InitialSlots;
+    while ((S.Live + 1) * 2 > NewCapacity)
+      NewCapacity *= 2;
+    void *Mapped = mmap(nullptr, NewCapacity * sizeof(Slot),
+                        PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS,
+                        -1, 0);
+    if (Mapped == MAP_FAILED)
+      return false;
+    Slot *OldSlots = S.Slots;
+    size_t OldCapacity = S.Capacity;
+    S.Slots = static_cast<Slot *>(Mapped); // MAP_ANONYMOUS is zero-filled
+    S.Capacity = NewCapacity;
+    S.Live = 0;
+    S.Used = 0;
+    if (OldSlots) {
+      for (size_t I = 0; I < OldCapacity; ++I)
+        if (OldSlots[I].State == SlotLive)
+          insertLocked(S, OldSlots[I].Key, OldSlots[I].Id, OldSlots[I].Size);
+      munmap(OldSlots, OldCapacity * sizeof(Slot));
+    }
+    return true;
+  }
+
+  Shard Shards[ShardCount];
+};
+
+} // namespace ddm::preload
+
+#endif // DDM_PRELOAD_PTRSIZETABLE_H

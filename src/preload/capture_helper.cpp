@@ -1,0 +1,144 @@
+//===- preload/capture_helper.cpp - Deterministic capture target ----------===//
+///
+/// \file
+/// A small allocation-heavy program for the preload shim's end-to-end
+/// test: it exercises every interposed entry point (malloc, calloc,
+/// aligned_alloc, posix_memalign, memalign, realloc chains, free) across
+/// several hook-delimited transactions, with a fixed seed so two runs
+/// under the shim produce byte-identical traces.
+///
+/// The transaction hooks are declared weak (the pattern documented in
+/// preload/ddmtrace.h), so the helper also runs standalone — without the
+/// shim it just churns the heap and exits 0.
+///
+/// Deliberate misbehaviours the shim must absorb:
+///  - objects held across transaction boundaries and freed later (the
+///    shim drops those frees);
+///  - a buffer realloc'd across a boundary (re-recorded as fresh);
+///  - zero-size mallocs and realloc(p, 0);
+///  - a leak (never freed at all; replay cleanup handles it).
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include <malloc.h> // memalign (not in <cstdlib>)
+
+extern "C" void ddmtrace_tx_begin(void) __attribute__((weak));
+extern "C" void ddmtrace_tx_end(void) __attribute__((weak));
+
+namespace {
+
+/// xorshift64*: deterministic sizes without pulling in <random>.
+struct Rng {
+  uint64_t S = 0x9e3779b97f4a7c15ull;
+  uint64_t next() {
+    S ^= S >> 12;
+    S ^= S << 25;
+    S ^= S >> 27;
+    return S * 0x2545f4914f6cdd1dull;
+  }
+  size_t sizeBelow(size_t Limit) { return next() % Limit + 1; }
+};
+
+void txBegin() {
+  if (ddmtrace_tx_begin)
+    ddmtrace_tx_begin();
+}
+void txEnd() {
+  if (ddmtrace_tx_end)
+    ddmtrace_tx_end();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Transactions = 6;
+  if (Argc > 1)
+    Transactions = static_cast<unsigned>(std::strtoul(Argv[1], nullptr, 10));
+
+  Rng R;
+  uint64_t Checksum = 0;
+  std::vector<void *> CrossTx; // survives boundaries; freed a tx later
+  char *Grower = nullptr;      // realloc'd in every transaction
+  size_t GrowerSize = 0;
+
+  for (unsigned Tx = 0; Tx < Transactions; ++Tx) {
+    txBegin();
+
+    // Mixed small-object churn: the bread and butter of a web runtime.
+    std::vector<void *> Local;
+    for (int I = 0; I < 200; ++I) {
+      void *P;
+      switch (R.next() % 4) {
+      case 0:
+        P = std::malloc(R.sizeBelow(256));
+        break;
+      case 1:
+        P = std::calloc(R.sizeBelow(8), R.sizeBelow(64));
+        break;
+      case 2:
+        P = std::aligned_alloc(64, 64 * R.sizeBelow(4));
+        break;
+      default:
+        P = nullptr;
+        if (posix_memalign(&P, 128, R.sizeBelow(512)) != 0)
+          P = nullptr;
+        break;
+      }
+      if (!P)
+        return 2;
+      std::memset(P, 0x5a, 1);
+      Checksum += reinterpret_cast<uintptr_t>(P) & 0xff;
+      Local.push_back(P);
+    }
+
+    // A realloc chain inside the transaction.
+    char *Chain = static_cast<char *>(std::malloc(16));
+    for (size_t Size = 32; Size <= 4096; Size *= 2)
+      Chain = static_cast<char *>(std::realloc(Chain, Size));
+    std::free(Chain);
+
+    // memalign and zero-size corners.
+    void *Aligned = memalign(256, R.sizeBelow(300));
+    void *Zero = std::malloc(0);
+    std::free(Zero);
+    std::free(Aligned);
+
+    // realloc(p, 0) is a free on glibc.
+    void *Shrunk = std::malloc(64);
+    Shrunk = std::realloc(Shrunk, 0);
+    if (Shrunk)
+      std::free(Shrunk);
+
+    // The grower crosses every boundary: its realloc next transaction must
+    // be re-recorded as a fresh allocation by the shim.
+    GrowerSize = GrowerSize ? GrowerSize + 64 : 128;
+    Grower = static_cast<char *>(std::realloc(Grower, GrowerSize));
+    std::memset(Grower, 0x11, GrowerSize);
+
+    // Free most local objects in-transaction, keep a few across the
+    // boundary, and free last transaction's survivors (dropped frees).
+    for (void *P : CrossTx)
+      std::free(P);
+    CrossTx.clear();
+    for (size_t I = 0; I < Local.size(); ++I) {
+      if (I % 17 == 0)
+        CrossTx.push_back(Local[I]); // survives this transaction
+      else
+        std::free(Local[I]);
+    }
+
+    txEnd();
+  }
+
+  // Grower and the last survivors leak on purpose: process exit reclaims
+  // them, and the replay side's cleanup models exactly that.
+  std::printf("capture-helper: %u transactions, checksum %llu\n", Transactions,
+              static_cast<unsigned long long>(Checksum));
+  return 0;
+}

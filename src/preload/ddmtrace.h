@@ -1,0 +1,45 @@
+/*===- preload/ddmtrace.h - Capture-shim application hooks ------*- C -*-===//
+ *
+ * Opt-in transaction hooks for applications running under the
+ * libddmtrace_preload.so capture shim. Call ddmtrace_tx_end() at each
+ * natural request boundary (end of an HTTP request, say) so the captured
+ * .ddmtrc carries real transaction structure instead of the shim's
+ * event-count fallback (DDMTRACE_TX_EVENTS).
+ *
+ * Link-free usage: declare the hooks weak and call through the symbol only
+ * if the dynamic linker bound it, so the binary runs unchanged without the
+ * shim:
+ *
+ *   extern void ddmtrace_tx_end(void) __attribute__((weak));
+ *   ...
+ *   if (ddmtrace_tx_end) ddmtrace_tx_end();
+ *
+ * Without the shim loaded both functions are absent (weak => null); with
+ * it, they are interposed from the preload object.
+ *
+ *===----------------------------------------------------------------------===*/
+
+#ifndef DDM_PRELOAD_DDMTRACE_H
+#define DDM_PRELOAD_DDMTRACE_H
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Marks the start of a transaction. Optional: the shim opens a
+ * transaction implicitly at the first event after a boundary. begin()
+ * closes off any events recorded since the last end as their own
+ * (housekeeping) transaction and re-arms the event-count fallback, so a
+ * hook-delimited transaction is never split by it. */
+void ddmtrace_tx_begin(void);
+
+/* Marks the end of a transaction: the shim emits an end-of-transaction
+ * event and forgets all live pointers (replay-side cleanup reclaims them,
+ * mirroring a web runtime's end-of-request bulk free). */
+void ddmtrace_tx_end(void);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* DDM_PRELOAD_DDMTRACE_H */

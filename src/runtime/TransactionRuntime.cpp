@@ -73,6 +73,34 @@ void TransactionRuntime::onAlloc(uint32_t Id, size_t Size) {
     E.Size = Size;
     Trace->event(E);
   }
+  performAlloc(Id, Size);
+}
+
+void TransactionRuntime::onCalloc(uint32_t Id, size_t Size) {
+  if (Trace) {
+    TraceEvent E;
+    E.Op = TraceOp::Calloc;
+    E.Id = Id;
+    E.Size = Size;
+    Trace->event(E);
+  }
+  performAlloc(Id, Size);
+}
+
+void TransactionRuntime::onAllocAligned(uint32_t Id, size_t Size,
+                                        uint32_t Alignment) {
+  if (Trace) {
+    TraceEvent E;
+    E.Op = TraceOp::AllocAligned;
+    E.Id = Id;
+    E.Size = Size;
+    E.Alignment = Alignment;
+    Trace->event(E);
+  }
+  performAlloc(Id, Size);
+}
+
+void TransactionRuntime::performAlloc(uint32_t Id, size_t Size) {
   SinkHandleView.setDomain(CostDomain::MemoryManagement);
   void *Ptr = Allocator->allocate(Size);
   if (!Ptr)
@@ -243,13 +271,7 @@ void TransactionRuntime::completeTransaction(const TraceStats &Stats) {
   }
   cleanupTransaction();
 
-  Metrics.TotalTrace.Mallocs += Stats.Mallocs;
-  Metrics.TotalTrace.Frees += Stats.Frees;
-  Metrics.TotalTrace.Reallocs += Stats.Reallocs;
-  Metrics.TotalTrace.AllocatedBytes += Stats.AllocatedBytes;
-  Metrics.TotalTrace.ObjectTouches += Stats.ObjectTouches;
-  Metrics.TotalTrace.StateTouches += Stats.StateTouches;
-  Metrics.TotalTrace.WorkInstructions += Stats.WorkInstructions;
+  Metrics.TotalTrace.add(Stats);
   ++Metrics.Transactions;
 
   if (!Config.UseBulkFree && Config.RestartPeriodTx != 0 &&

@@ -117,9 +117,12 @@ public:
   /// model).
   double allocatorCodeFootprintBytes() const;
 
-  /// \name TxExecutor interface (driven by the trace generator).
+  /// \name TxExecutor interface (driven by the trace generator or a
+  /// captured-trace replay).
   /// @{
   void onAlloc(uint32_t Id, size_t Size) override;
+  void onCalloc(uint32_t Id, size_t Size) override;
+  void onAllocAligned(uint32_t Id, size_t Size, uint32_t Alignment) override;
   void onFree(uint32_t Id) override;
   void onRealloc(uint32_t Id, size_t OldSize, size_t NewSize) override;
   void onTouch(uint32_t Id, bool IsWrite) override;
@@ -137,6 +140,11 @@ private:
   void cleanupTransaction();
   void restartProcess();
   ObjectRecord &recordFor(uint32_t Id);
+  /// Shared allocation body of onAlloc/onCalloc/onAllocAligned (the tee
+  /// differs per kind; the runtime-side behaviour does not — model
+  /// allocators have a single >= 8-byte-aligned allocate entry point and
+  /// the initializing store already covers calloc's zeroing).
+  void performAlloc(uint32_t Id, size_t Size);
 
   WorkloadSpec Workload;
   RuntimeConfig Config;

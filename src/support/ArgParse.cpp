@@ -3,11 +3,40 @@
 #include "support/ArgParse.h"
 
 #include <cassert>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 using namespace ddm;
+
+bool ddm::parseUint64(const char *Text, uint64_t &Value) {
+  // strtoull skips leading whitespace and then happily consumes a '-'
+  // (wrapping the result), so both must be rejected up front.
+  if (!Text || *Text == '\0' || std::isspace(static_cast<unsigned char>(*Text)) ||
+      *Text == '-' || *Text == '+')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long Parsed = std::strtoull(Text, &End, 0);
+  if (End == Text || *End != '\0' || errno == ERANGE)
+    return false;
+  Value = Parsed;
+  return true;
+}
+
+bool ddm::parseInt64(const char *Text, int64_t &Value) {
+  if (!Text || *Text == '\0' || std::isspace(static_cast<unsigned char>(*Text)))
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  long long Parsed = std::strtoll(Text, &End, 0);
+  if (End == Text || *End != '\0' || errno == ERANGE)
+    return false;
+  Value = Parsed;
+  return true;
+}
 
 ArgParser::ArgParser(std::string ProgramDescription)
     : Description(std::move(ProgramDescription)) {}
@@ -59,25 +88,14 @@ bool ArgParser::assign(Flag &F, const std::string &Value) {
   case FlagKind::String:
     *static_cast<std::string *>(F.Storage) = Value;
     return true;
-  case FlagKind::Int: {
-    long long Parsed = std::strtoll(Value.c_str(), &End, 0);
-    if (End == Value.c_str() || *End != '\0')
-      return false;
-    *static_cast<int64_t *>(F.Storage) = Parsed;
-    return true;
-  }
-  case FlagKind::Uint: {
-    if (!Value.empty() && Value[0] == '-')
-      return false;
-    unsigned long long Parsed = std::strtoull(Value.c_str(), &End, 0);
-    if (End == Value.c_str() || *End != '\0')
-      return false;
-    *static_cast<uint64_t *>(F.Storage) = Parsed;
-    return true;
-  }
+  case FlagKind::Int:
+    return parseInt64(Value.c_str(), *static_cast<int64_t *>(F.Storage));
+  case FlagKind::Uint:
+    return parseUint64(Value.c_str(), *static_cast<uint64_t *>(F.Storage));
   case FlagKind::Double: {
+    errno = 0;
     double Parsed = std::strtod(Value.c_str(), &End);
-    if (End == Value.c_str() || *End != '\0')
+    if (End == Value.c_str() || *End != '\0' || errno == ERANGE)
       return false;
     *static_cast<double *>(F.Storage) = Parsed;
     return true;

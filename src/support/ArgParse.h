@@ -17,6 +17,17 @@
 
 namespace ddm {
 
+/// Strict whole-string unsigned parse: accepts exactly one non-negative
+/// integer (base 10, or 0x/0 prefixed) with no surrounding whitespace, no
+/// sign, no trailing garbage, and no out-of-range wrap-around — the cases
+/// strtoull silently accepts (`-1` wraps to 2^64-1, `9e99` parses as 9).
+/// Returns false without touching \p Value on any violation.
+bool parseUint64(const char *Text, uint64_t &Value);
+
+/// The signed counterpart: optional leading '-', otherwise the same
+/// strictness (whole string, no whitespace, ERANGE rejected).
+bool parseInt64(const char *Text, int64_t &Value);
+
 /// Declarative command-line parser.
 class ArgParser {
 public:

@@ -82,18 +82,32 @@ namespace {
 
 constexpr uint8_t OpMask = 0x07;
 constexpr uint8_t WriteFlag = 0x08;
+/// v2 event kinds encode their raw enum value as the whole tag byte; the
+/// values sit above every tag the v1 layout can produce (max 0x0E).
+constexpr uint8_t V2TagBase = 16;
 
 } // namespace
 
 void TraceEventEncoder::encode(const TraceEvent &E, std::string &Out) {
   uint8_t Tag = static_cast<uint8_t>(E.Op);
-  if (E.IsWrite)
+  if (E.IsWrite && Tag < V2TagBase)
     Tag |= WriteFlag;
   Out.push_back(static_cast<char>(Tag));
 
   int64_t Id = static_cast<int64_t>(E.Id);
   switch (E.Op) {
   case TraceOp::Alloc:
+    appendZigzag(Out, Id - (PrevAllocId + 1));
+    appendVarint(Out, E.Size);
+    appendVarint(Out, E.Alignment);
+    PrevAllocId = Id;
+    break;
+  case TraceOp::Calloc:
+    appendZigzag(Out, Id - (PrevAllocId + 1));
+    appendVarint(Out, E.Size);
+    PrevAllocId = Id;
+    break;
+  case TraceOp::AllocAligned:
     appendZigzag(Out, Id - (PrevAllocId + 1));
     appendVarint(Out, E.Size);
     appendVarint(Out, E.Alignment);
@@ -128,14 +142,22 @@ bool TraceEventDecoder::decode(const char *Data, size_t Size, size_t &Pos,
     return false;
   }
   auto Tag = static_cast<uint8_t>(Data[Pos++]);
-  if ((Tag & ~(OpMask | WriteFlag)) != 0 || (Tag & OpMask) > 6) {
+  E = TraceEvent();
+  if (Tag == static_cast<uint8_t>(TraceOp::Calloc) ||
+      Tag == static_cast<uint8_t>(TraceOp::AllocAligned)) {
+    if (Version < 2) {
+      Error = "version-2 event tag " + std::to_string(Tag) +
+              " in a version-" + std::to_string(Version) + " trace";
+      return false;
+    }
+    E.Op = static_cast<TraceOp>(Tag);
+  } else if ((Tag & ~(OpMask | WriteFlag)) != 0 || (Tag & OpMask) > 6) {
     Error = "unknown event tag " + std::to_string(Tag);
     return false;
+  } else {
+    E.Op = static_cast<TraceOp>(Tag & OpMask);
+    E.IsWrite = (Tag & WriteFlag) != 0;
   }
-
-  E = TraceEvent();
-  E.Op = static_cast<TraceOp>(Tag & OpMask);
-  E.IsWrite = (Tag & WriteFlag) != 0;
 
   auto DecodeId = [&](int64_t Base, bool Subtract) {
     int64_t Delta;
@@ -164,7 +186,8 @@ bool TraceEventDecoder::decode(const char *Data, size_t Size, size_t &Pos,
   };
 
   switch (E.Op) {
-  case TraceOp::Alloc: {
+  case TraceOp::Alloc:
+  case TraceOp::AllocAligned: {
     if (!DecodeId(PrevAllocId + 1, /*Subtract=*/false))
       return false;
     uint64_t Alignment;
@@ -178,6 +201,12 @@ bool TraceEventDecoder::decode(const char *Data, size_t Size, size_t &Pos,
     PrevAllocId = static_cast<int64_t>(E.Id);
     break;
   }
+  case TraceOp::Calloc:
+    if (!DecodeId(PrevAllocId + 1, /*Subtract=*/false) ||
+        !Varint(E.Size, "size"))
+      return false;
+    PrevAllocId = static_cast<int64_t>(E.Id);
+    break;
   case TraceOp::Free:
   case TraceOp::Touch:
     if (!DecodeId(PrevAllocId, /*Subtract=*/true))

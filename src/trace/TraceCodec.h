@@ -59,9 +59,14 @@ private:
   int64_t PrevWork = 0;
 };
 
-/// Stateful event decoder; mirrors TraceEventEncoder exactly.
+/// Stateful event decoder; mirrors TraceEventEncoder exactly. \p Version
+/// is the container version being decoded: v2-only event kinds (Calloc,
+/// AllocAligned) appearing in a v1 trace are rejected as malformed.
 class TraceEventDecoder {
 public:
+  explicit TraceEventDecoder(uint32_t Version = TraceVersion)
+      : Version(Version) {}
+
   /// Decodes one event at \p Pos. Returns false on malformed input (bad
   /// tag, truncated varint, id delta out of the uint32 range).
   bool decode(const char *Data, size_t Size, size_t &Pos, TraceEvent &E);
@@ -70,6 +75,7 @@ public:
   const std::string &errorMessage() const { return Error; }
 
 private:
+  uint32_t Version;
   int64_t PrevAllocId = -1;
   int64_t PrevWork = 0;
   std::string Error;

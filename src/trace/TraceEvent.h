@@ -20,7 +20,12 @@
 
 namespace ddm {
 
-/// Event kinds, in wire-format order (the values are part of the format).
+/// Event kinds (the values are part of the wire format). Ops 0-6 are the
+/// version-1 vocabulary and encode as `op | (IsWrite ? 8 : 0)` in the tag
+/// byte. Ops >= 16 were added in format version 2 (LD_PRELOAD capture of
+/// real malloc-API streams) and encode their raw value as the tag — the
+/// values 16/17 are unrepresentable under the v1 tag layout, so a v1
+/// decoder can never misread them and a v2 decoder needs no mode switch.
 enum class TraceOp : uint8_t {
   Alloc = 0,      ///< New object: Id, Size, Alignment.
   Free = 1,       ///< Per-object free: Id.
@@ -29,6 +34,10 @@ enum class TraceOp : uint8_t {
   Work = 4,       ///< Application compute: Size = instructions.
   StateTouch = 5, ///< Background working-set touch: Size = offset, IsWrite.
   EndTx = 6,      ///< Transaction boundary (runtime cleanup runs here).
+  Calloc = 16,    ///< v2: zero-initialized allocation: Id, Size (total
+                  ///< nmemb*size bytes as the real calloc saw them).
+  AllocAligned = 17, ///< v2: aligned allocation (aligned_alloc,
+                     ///< posix_memalign, memalign): Id, Size, Alignment.
 };
 
 /// One trace event. Field use per op is documented on TraceOp; unused

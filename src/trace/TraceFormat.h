@@ -33,8 +33,13 @@ namespace ddm {
 /// First eight bytes of every trace file.
 inline constexpr char TraceMagic[8] = {'d', 'd', 'm', 't',
                                        'r', 'a', 'c', 'e'};
-/// Current format version; readers reject anything newer.
-inline constexpr uint32_t TraceVersion = 1;
+/// Current format version; writers always emit this. Version 2 added the
+/// Calloc and AllocAligned event kinds (LD_PRELOAD capture of real
+/// malloc-API streams); the container layout is unchanged.
+inline constexpr uint32_t TraceVersion = 2;
+/// Oldest version readers still decode. Version-1 traces use the same
+/// framing and the same encoding for every event kind they contain.
+inline constexpr uint32_t TraceVersionMin = 1;
 /// Writers cut a block once its payload reaches this size.
 inline constexpr size_t TraceBlockTarget = 64 * 1024;
 /// Readers reject frames claiming payloads beyond this bound (corrupt

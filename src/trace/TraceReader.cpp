@@ -33,7 +33,7 @@ TraceStatus TraceReader::open(const std::string &Path) {
   FileOffset = 0;
   BlockPos = 0;
   BlockLeft = 0;
-  Decoder = TraceEventDecoder();
+  Version = TraceVersion;
 
   char Header[sizeof(TraceMagic) + 4];
   if (std::fread(Header, 1, sizeof(Header), File) != sizeof(Header))
@@ -41,11 +41,12 @@ TraceStatus TraceReader::open(const std::string &Path) {
   if (std::memcmp(Header, TraceMagic, sizeof(TraceMagic)) != 0)
     return fail("bad magic: not a ddm trace file");
   size_t Pos = sizeof(TraceMagic);
-  uint32_t Version;
   readU32(Header, sizeof(Header), Pos, Version);
-  if (Version != TraceVersion)
+  if (Version < TraceVersionMin || Version > TraceVersion)
     return fail("unsupported trace version " + std::to_string(Version) +
-                " (reader supports " + std::to_string(TraceVersion) + ")");
+                " (reader supports " + std::to_string(TraceVersionMin) +
+                ".." + std::to_string(TraceVersion) + ")");
+  Decoder = TraceEventDecoder(Version);
   FileOffset = sizeof(Header);
 
   // The first frame is always metadata (event-count 0).

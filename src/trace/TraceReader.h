@@ -44,6 +44,9 @@ public:
   /// Provenance decoded from the meta frame (valid after open()).
   const TraceMeta &meta() const { return Meta; }
 
+  /// Container format version of the open file (valid after open()).
+  uint32_t version() const { return Version; }
+
   /// Decodes the next event into \p E.
   Next next(TraceEvent &E);
 
@@ -63,6 +66,7 @@ private:
 
   FILE *File = nullptr;
   TraceMeta Meta;
+  uint32_t Version = TraceVersion;
   TraceEventDecoder Decoder;
   std::string Block;      ///< Current block payload.
   size_t BlockPos = 0;    ///< Decode cursor within Block.

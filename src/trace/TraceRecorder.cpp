@@ -11,6 +11,16 @@ void TraceRecorder::event(const TraceEvent &E) {
     ++Stats.Mallocs;
     Stats.AllocatedBytes += E.Size;
     break;
+  case TraceOp::Calloc:
+    ++Stats.Mallocs;
+    ++Stats.Callocs;
+    Stats.AllocatedBytes += E.Size;
+    break;
+  case TraceOp::AllocAligned:
+    ++Stats.Mallocs;
+    ++Stats.AlignedAllocs;
+    Stats.AllocatedBytes += E.Size;
+    break;
   case TraceOp::Free:
     ++Stats.Frees;
     break;

@@ -47,15 +47,32 @@ TraceReplayer::replayTransactionInto(TxExecutor &Executor, TraceStats &Stats,
 
     auto Id = std::to_string(E.Id);
     switch (E.Op) {
-    case TraceOp::Alloc: {
+    case TraceOp::Alloc:
+    case TraceOp::Calloc:
+    case TraceOp::AllocAligned: {
       if (!LiveSize.emplace(E.Id, E.Size).second) {
         fail("allocation reuses live object id " + Id);
+        return Step::Error;
+      }
+      if (E.Op == TraceOp::AllocAligned &&
+          (E.Alignment == 0 || (E.Alignment & (E.Alignment - 1)) != 0)) {
+        fail("aligned allocation of object id " + Id +
+             " requests non-power-of-two alignment " +
+             std::to_string(E.Alignment));
         return Step::Error;
       }
       ++EventsInTx;
       ++Stats.Mallocs;
       Stats.AllocatedBytes += E.Size;
-      Executor.onAlloc(E.Id, E.Size);
+      if (E.Op == TraceOp::Calloc) {
+        ++Stats.Callocs;
+        Executor.onCalloc(E.Id, E.Size);
+      } else if (E.Op == TraceOp::AllocAligned) {
+        ++Stats.AlignedAllocs;
+        Executor.onAllocAligned(E.Id, E.Size, E.Alignment);
+      } else {
+        Executor.onAlloc(E.Id, E.Size);
+      }
       break;
     }
     case TraceOp::Free:
@@ -132,13 +149,7 @@ TraceReplayer::Step TraceReplayer::replayTransaction(TransactionRuntime &RT) {
   Step S = replayTransactionInto(RT, Stats, RT.workload().AppStateBytes);
   if (S == Step::Tx) {
     RT.completeTransaction(Stats);
-    Total.Mallocs += Stats.Mallocs;
-    Total.Frees += Stats.Frees;
-    Total.Reallocs += Stats.Reallocs;
-    Total.AllocatedBytes += Stats.AllocatedBytes;
-    Total.ObjectTouches += Stats.ObjectTouches;
-    Total.StateTouches += Stats.StateTouches;
-    Total.WorkInstructions += Stats.WorkInstructions;
+    Total.add(Stats);
   }
   return S;
 }
@@ -175,13 +186,7 @@ TraceStatus ddm::summarizeTrace(const std::string &Path,
       Summary.Events = Replayer.eventsReplayed();
       return TraceStatus::success();
     case TraceReplayer::Step::Tx:
-      Summary.Total.Mallocs += Stats.Mallocs;
-      Summary.Total.Frees += Stats.Frees;
-      Summary.Total.Reallocs += Stats.Reallocs;
-      Summary.Total.AllocatedBytes += Stats.AllocatedBytes;
-      Summary.Total.ObjectTouches += Stats.ObjectTouches;
-      Summary.Total.StateTouches += Stats.StateTouches;
-      Summary.Total.WorkInstructions += Stats.WorkInstructions;
+      Summary.Total.add(Stats);
       break;
     }
   }

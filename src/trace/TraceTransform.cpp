@@ -72,7 +72,8 @@ TraceStatus ddm::scaleTraceSizes(const std::string &InPath,
     case TraceReader::Next::Error:
       return inputError(Reader, InPath);
     case TraceReader::Next::Event:
-      if (E.Op == TraceOp::Alloc) {
+      if (E.Op == TraceOp::Alloc || E.Op == TraceOp::Calloc ||
+          E.Op == TraceOp::AllocAligned) {
         E.Size = scaleSize(E.Size, Factor);
       } else if (E.Op == TraceOp::Realloc) {
         E.Size = scaleSize(E.Size, Factor);

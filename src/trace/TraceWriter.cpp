@@ -7,6 +7,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include <stdio_ext.h> // __fpurge
+#include <unistd.h>
+
 using namespace ddm;
 
 TraceWriter::~TraceWriter() { finish(); }
@@ -14,12 +17,15 @@ TraceWriter::~TraceWriter() { finish(); }
 TraceStatus TraceWriter::open(const std::string &Path, const TraceMeta &Meta) {
   if (File)
     return TraceStatus::error("trace writer is already open");
-  File = std::fopen(Path.c_str(), "wb");
+  // "e" (O_CLOEXEC): a capture shim's trace stream must not leak into
+  // processes the traced application execs.
+  File = std::fopen(Path.c_str(), "wbe");
   if (!File)
     return TraceStatus::error("cannot create '" + Path +
                               "': " + std::strerror(errno));
   Status = TraceStatus::success();
   Events = Transactions = Bytes = 0;
+  LastGoodOffset = 0;
   Encoder = TraceEventEncoder();
   Block.clear();
   BlockEvents = 0;
@@ -54,6 +60,18 @@ TraceStatus TraceWriter::finish() {
     return Status;
   if (!Block.empty())
     flushBlock();
+  if (!Status.ok()) {
+    // Drop any torn frame so the file stays readable up to the failure:
+    // everything at or before LastGoodOffset was flushed and CRC-framed.
+    // The stdio buffer must be purged first — fclose would otherwise
+    // flush a torn frame's leading bytes back in *after* the truncation.
+    // Best-effort — the original write diagnostic is what we report.
+    __fpurge(File);
+    if (ftruncate(fileno(File), static_cast<off_t>(LastGoodOffset)) != 0) {
+      // Nothing more to do; the sticky Status already records the root
+      // cause and the reader will diagnose the torn tail.
+    }
+  }
   if (std::fclose(File) != 0 && Status.ok())
     Status = TraceStatus::error(std::string("close failed: ") +
                                     std::strerror(errno),
@@ -72,6 +90,15 @@ void TraceWriter::flushBlock() {
   appendU32(Frame, crc32(Block.data(), Block.size()));
   writeRaw(Frame.data(), Frame.size());
   writeRaw(Block.data(), Block.size());
+  // Push the frame to the kernel now: stdio would otherwise surface a
+  // buffered-write failure only at fclose, past the last frame boundary
+  // we could truncate back to.
+  if (File && Status.ok() && std::fflush(File) != 0)
+    Status = TraceStatus::error(std::string("flush failed: ") +
+                                    std::strerror(errno),
+                                Bytes, Events);
+  if (Status.ok())
+    LastGoodOffset = Bytes;
   Block.clear();
   BlockEvents = 0;
 }
@@ -79,6 +106,13 @@ void TraceWriter::flushBlock() {
 void TraceWriter::writeRaw(const void *Data, size_t Size) {
   if (!File || !Status.ok())
     return;
+  if (TestByteLimit && Bytes + Size > TestByteLimit) {
+    Status = TraceStatus::error(
+        std::string("write failed: ") + std::strerror(ENOSPC) +
+            " (simulated, test byte limit)",
+        Bytes, Events);
+    return;
+  }
   if (std::fwrite(Data, 1, Size, File) != Size) {
     Status = TraceStatus::error(std::string("write failed: ") +
                                     std::strerror(errno),

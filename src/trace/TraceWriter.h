@@ -7,6 +7,13 @@
 /// Errors are sticky: after the first I/O failure every call is a no-op
 /// and finish() returns the original diagnostic.
 ///
+/// Every frame is flushed to the kernel as it is cut, so a write failure
+/// (ENOSPC mid-capture, say) is detected on the frame that hit it, and
+/// finish() truncates the file back to the last fully-flushed frame: a
+/// failed recording leaves a truncated-but-CRC-valid trace (readable to
+/// its last complete block) plus a nonzero TraceStatus — never a file
+/// ending in a torn frame.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DDM_TRACE_TRACEWRITER_H
@@ -49,6 +56,10 @@ public:
   uint64_t bytesWritten() const { return Bytes; }
   /// @}
 
+  /// Fault injection for tests: writes that would push the file beyond
+  /// \p MaxBytes fail as if the disk were full. 0 disables the limit.
+  void limitBytesForTest(uint64_t MaxBytes) { TestByteLimit = MaxBytes; }
+
 private:
   void flushBlock();
   void writeRaw(const void *Data, size_t Size);
@@ -60,6 +71,8 @@ private:
   uint64_t Events = 0;
   uint64_t Transactions = 0;
   uint64_t Bytes = 0;
+  uint64_t LastGoodOffset = 0; ///< End of the last fully-flushed frame.
+  uint64_t TestByteLimit = 0;
   TraceStatus Status;
 };
 

@@ -50,13 +50,32 @@ public:
   /// One cache line of the application's background state at \p Offset
   /// (relative to the state area) is read or written.
   virtual void onStateTouch(uint64_t Offset, bool IsWrite) = 0;
+
+  /// \name Captured-trace allocation variants (format v2).
+  /// The synthetic generator never produces these; they appear when
+  /// replaying LD_PRELOAD-captured malloc streams. Executors that do not
+  /// care about the zeroing / alignment distinction inherit the
+  /// plain-allocation behaviour. Model allocators return >= 8-byte-aligned
+  /// memory and the replay mirrors a full-size initializing store, so the
+  /// defaults are faithful for every allocator in the zoo.
+  /// @{
+  virtual void onCalloc(uint32_t Id, size_t Size) { onAlloc(Id, Size); }
+  virtual void onAllocAligned(uint32_t Id, size_t Size, uint32_t Alignment) {
+    (void)Alignment;
+    onAlloc(Id, Size);
+  }
+  /// @}
 };
 
 /// Actual counts produced for one transaction (for Table 3 validation).
+/// Mallocs counts every allocation-family call (malloc, calloc, aligned);
+/// Callocs and AlignedAllocs are the captured-trace subsets of it.
 struct TraceStats {
   uint64_t Mallocs = 0;
   uint64_t Frees = 0;
   uint64_t Reallocs = 0;
+  uint64_t Callocs = 0;
+  uint64_t AlignedAllocs = 0;
   uint64_t AllocatedBytes = 0;
   uint64_t ObjectTouches = 0;
   uint64_t StateTouches = 0;
@@ -66,6 +85,19 @@ struct TraceStats {
     return Mallocs ? static_cast<double>(AllocatedBytes) /
                          static_cast<double>(Mallocs)
                    : 0.0;
+  }
+
+  /// Accumulates another transaction's counts into this aggregate.
+  void add(const TraceStats &O) {
+    Mallocs += O.Mallocs;
+    Frees += O.Frees;
+    Reallocs += O.Reallocs;
+    Callocs += O.Callocs;
+    AlignedAllocs += O.AlignedAllocs;
+    AllocatedBytes += O.AllocatedBytes;
+    ObjectTouches += O.ObjectTouches;
+    StateTouches += O.StateTouches;
+    WorkInstructions += O.WorkInstructions;
   }
 };
 

@@ -1,0 +1,76 @@
+# End-to-end check of the LD_PRELOAD capture pipeline, run under ctest:
+#
+#   1. capture: deterministic helper under the shim -> capture.ddmtrc
+#   2. validate + summarize it with tracestat (twice; JSON must be
+#      byte-identical, proving decode determinism)
+#   3. re-capture and byte-compare the trace files (capture determinism)
+#   4. replay it through webserver_sim's three PHP-study allocators with
+#      the replayer's strict validation enabled
+#   5. capture with the event-count fallback instead of the tx hooks
+#      (DDMTRACE_TX_EVENTS) and validate that too
+#
+# Invoked as:
+#   cmake -DSHIM=... -DHELPER=... -DTRACESTAT=... -DWEBSERVER_SIM=...
+#         -DWORK_DIR=... -P PreloadE2E.cmake
+
+foreach(Var SHIM HELPER TRACESTAT WEBSERVER_SIM WORK_DIR)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "missing -D${Var}=")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_checked Label)
+  execute_process(COMMAND ${ARGN}
+    RESULT_VARIABLE Result
+    OUTPUT_VARIABLE Output
+    ERROR_VARIABLE Error)
+  if(NOT Result EQUAL 0)
+    message(FATAL_ERROR "${Label} failed (exit ${Result}):\n${Output}\n${Error}")
+  endif()
+endfunction()
+
+# -- 1. capture under the shim (hook-delimited transactions) --------------
+set(Trace "${WORK_DIR}/capture.ddmtrc")
+run_checked("capture" ${CMAKE_COMMAND} -E env
+  "LD_PRELOAD=${SHIM}" "DDMTRACE_OUT=${Trace}" "DDMTRACE_VERBOSE=1"
+  ${HELPER})
+if(NOT EXISTS "${Trace}")
+  message(FATAL_ERROR "shim produced no trace at ${Trace}")
+endif()
+
+# -- 2. validate + decode determinism -------------------------------------
+run_checked("tracestat" ${TRACESTAT} "${Trace}")
+execute_process(COMMAND ${TRACESTAT} --json "${Trace}"
+  RESULT_VARIABLE R1 OUTPUT_VARIABLE Json1 ERROR_VARIABLE E1)
+execute_process(COMMAND ${TRACESTAT} --json "${Trace}"
+  RESULT_VARIABLE R2 OUTPUT_VARIABLE Json2 ERROR_VARIABLE E2)
+if(NOT R1 EQUAL 0 OR NOT R2 EQUAL 0)
+  message(FATAL_ERROR "tracestat --json failed:\n${E1}\n${E2}")
+endif()
+if(NOT Json1 STREQUAL Json2)
+  message(FATAL_ERROR "two decodes of the same trace disagree:\n${Json1}\n--\n${Json2}")
+endif()
+
+# -- 3. capture determinism -----------------------------------------------
+set(Trace2 "${WORK_DIR}/capture2.ddmtrc")
+run_checked("re-capture" ${CMAKE_COMMAND} -E env
+  "LD_PRELOAD=${SHIM}" "DDMTRACE_OUT=${Trace2}"
+  ${HELPER})
+run_checked("capture determinism" ${CMAKE_COMMAND} -E compare_files
+  "${Trace}" "${Trace2}")
+
+# -- 4. strict replay through the study's allocators ----------------------
+run_checked("replay" ${WEBSERVER_SIM} --replay-trace "${Trace}")
+
+# -- 5. event-count fallback boundaries -----------------------------------
+set(Trace3 "${WORK_DIR}/fallback.ddmtrc")
+run_checked("fallback capture" ${CMAKE_COMMAND} -E env
+  "LD_PRELOAD=${SHIM}" "DDMTRACE_OUT=${Trace3}" "DDMTRACE_TX_EVENTS=500"
+  ${HELPER})
+run_checked("fallback validate" ${TRACESTAT} "${Trace3}")
+run_checked("fallback replay" ${WEBSERVER_SIM} --replay-trace "${Trace3}")
+
+message(STATUS "preload_e2e passed")

@@ -1,0 +1,168 @@
+//===- tests/preload/PtrSizeTableTest.cpp - Shim pointer table tests ------===//
+///
+/// The capture shim's pointer->size table must survive exactly the access
+/// patterns a real heap throws at it: long realloc chains reusing and
+/// abandoning addresses, frees of never-seen pointers, boundary clears,
+/// growth well past the initial capacity, and concurrent mutation from
+/// many threads.
+///
+//===----------------------------------------------------------------------===//
+
+#include "preload/PtrSizeTable.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+using ddm::preload::PtrSizeTable;
+
+namespace {
+
+/// Fake heap addresses: realistically aligned, never dereferenced.
+void *addr(uintptr_t N) { return reinterpret_cast<void *>(N * 16 + 0x10000); }
+
+} // namespace
+
+TEST(PtrSizeTableTest, InsertFindErase) {
+  PtrSizeTable Table;
+  EXPECT_TRUE(Table.insert(addr(1), 7, 128));
+  uint32_t Id = 0;
+  uint64_t Size = 0;
+  ASSERT_TRUE(Table.find(addr(1), Id, Size));
+  EXPECT_EQ(Id, 7u);
+  EXPECT_EQ(Size, 128u);
+  ASSERT_TRUE(Table.erase(addr(1), Id, Size));
+  EXPECT_EQ(Id, 7u);
+  EXPECT_EQ(Size, 128u);
+  EXPECT_FALSE(Table.find(addr(1), Id, Size));
+  EXPECT_EQ(Table.liveCount(), 0u);
+}
+
+TEST(PtrSizeTableTest, EraseOfUnknownPointerFails) {
+  PtrSizeTable Table;
+  uint32_t Id;
+  uint64_t Size;
+  EXPECT_FALSE(Table.erase(addr(42), Id, Size));
+  Table.insert(addr(1), 0, 8);
+  EXPECT_FALSE(Table.erase(addr(2), Id, Size));
+  EXPECT_EQ(Table.liveCount(), 1u);
+}
+
+TEST(PtrSizeTableTest, ReallocChainKeepsIdAndTracksSize) {
+  // The shim's realloc path: erase the old address, insert the new one
+  // under the same id with the new size. A chain that bounces between two
+  // addresses exercises tombstone reuse on every hop.
+  PtrSizeTable Table;
+  ASSERT_TRUE(Table.insert(addr(1), 3, 16));
+  uint64_t Size = 16;
+  for (int Hop = 0; Hop < 100; ++Hop) {
+    void *From = addr(1 + (Hop & 1));
+    void *To = addr(1 + ((Hop + 1) & 1));
+    uint32_t Id;
+    uint64_t OldSize;
+    ASSERT_TRUE(Table.erase(From, Id, OldSize)) << Hop;
+    EXPECT_EQ(Id, 3u);
+    EXPECT_EQ(OldSize, Size);
+    Size += 16;
+    ASSERT_TRUE(Table.insert(To, Id, Size));
+    EXPECT_EQ(Table.liveCount(), 1u);
+  }
+}
+
+TEST(PtrSizeTableTest, ReinsertOverwrites) {
+  // Same address inserted twice (a free the shim never saw): the newer
+  // mapping wins and the live count does not double.
+  PtrSizeTable Table;
+  Table.insert(addr(5), 1, 10);
+  Table.insert(addr(5), 2, 20);
+  uint32_t Id;
+  uint64_t Size;
+  ASSERT_TRUE(Table.find(addr(5), Id, Size));
+  EXPECT_EQ(Id, 2u);
+  EXPECT_EQ(Size, 20u);
+  EXPECT_EQ(Table.liveCount(), 1u);
+}
+
+TEST(PtrSizeTableTest, ClearForgetsEverything) {
+  PtrSizeTable Table;
+  for (uintptr_t I = 0; I < 1000; ++I)
+    Table.insert(addr(I), static_cast<uint32_t>(I), I + 1);
+  EXPECT_EQ(Table.liveCount(), 1000u);
+  Table.clear();
+  EXPECT_EQ(Table.liveCount(), 0u);
+  uint32_t Id;
+  uint64_t Size;
+  for (uintptr_t I = 0; I < 1000; ++I)
+    EXPECT_FALSE(Table.find(addr(I), Id, Size)) << I;
+  // The table must remain fully usable after a boundary.
+  EXPECT_TRUE(Table.insert(addr(3), 0, 64));
+  EXPECT_EQ(Table.liveCount(), 1u);
+}
+
+TEST(PtrSizeTableTest, GrowsFarPastInitialCapacity) {
+  // 64 shards x 1024 initial slots; half a million live entries forces
+  // multiple growth steps in every shard.
+  PtrSizeTable Table;
+  constexpr uintptr_t N = 500'000;
+  for (uintptr_t I = 0; I < N; ++I)
+    ASSERT_TRUE(Table.insert(addr(I), static_cast<uint32_t>(I), I * 3 + 1));
+  EXPECT_EQ(Table.liveCount(), N);
+  for (uintptr_t I = 0; I < N; I += 997) {
+    uint32_t Id;
+    uint64_t Size;
+    ASSERT_TRUE(Table.find(addr(I), Id, Size)) << I;
+    EXPECT_EQ(Id, static_cast<uint32_t>(I));
+    EXPECT_EQ(Size, I * 3 + 1);
+  }
+}
+
+TEST(PtrSizeTableTest, TombstoneChurnDoesNotGrowUnbounded) {
+  // Insert/erase cycling at a constant live size must stay correct while
+  // tombstones accumulate and get rehashed away.
+  PtrSizeTable Table;
+  for (uintptr_t Round = 0; Round < 50; ++Round) {
+    for (uintptr_t I = 0; I < 2000; ++I)
+      ASSERT_TRUE(Table.insert(addr(Round * 2000 + I),
+                               static_cast<uint32_t>(I), 8));
+    uint32_t Id;
+    uint64_t Size;
+    for (uintptr_t I = 0; I < 2000; ++I)
+      ASSERT_TRUE(Table.erase(addr(Round * 2000 + I), Id, Size));
+    EXPECT_EQ(Table.liveCount(), 0u);
+  }
+}
+
+TEST(PtrSizeTableTest, ConcurrentMixedMutation) {
+  // Eight threads hammer disjoint address ranges; the table's only shared
+  // state is the shard array, so the final live count must be exact.
+  PtrSizeTable Table;
+  constexpr int Threads = 8;
+  constexpr uintptr_t PerThread = 20'000;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&Table, T] {
+      uintptr_t Base = static_cast<uintptr_t>(T) * PerThread;
+      for (uintptr_t I = 0; I < PerThread; ++I)
+        ASSERT_TRUE(Table.insert(addr(Base + I),
+                                 static_cast<uint32_t>(I), I + 1));
+      uint32_t Id;
+      uint64_t Size;
+      // Erase the odd half.
+      for (uintptr_t I = 1; I < PerThread; I += 2)
+        ASSERT_TRUE(Table.erase(addr(Base + I), Id, Size));
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(Table.liveCount(), Threads * PerThread / 2);
+  uint32_t Id;
+  uint64_t Size;
+  for (int T = 0; T < Threads; ++T) {
+    uintptr_t Base = static_cast<uintptr_t>(T) * PerThread;
+    ASSERT_TRUE(Table.find(addr(Base + 2), Id, Size));
+    EXPECT_EQ(Size, 3u);
+    EXPECT_FALSE(Table.find(addr(Base + 1), Id, Size));
+  }
+}

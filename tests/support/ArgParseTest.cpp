@@ -99,3 +99,65 @@ TEST(ArgParseTest, HelpTextListsFlagsAndDefaults) {
   EXPECT_NE(Help.find("--iterations"), std::string::npos);
   EXPECT_NE(Help.find("42"), std::string::npos);
 }
+
+TEST(ArgParseTest, ParseUint64RejectsEveryStrtoullTrap) {
+  // The exact values strtoull accepts silently: negatives (wrap to huge),
+  // whitespace-prefixed negatives (skip the Value[0] check), out-of-range
+  // (ERANGE, clamped to ULLONG_MAX), and trailing garbage.
+  uint64_t V = 123;
+  EXPECT_FALSE(parseUint64("-1", V));
+  EXPECT_FALSE(parseUint64(" -1", V));
+  EXPECT_FALSE(parseUint64("\t-5", V));
+  EXPECT_FALSE(parseUint64("+3", V));
+  EXPECT_FALSE(parseUint64("", V));
+  EXPECT_FALSE(parseUint64(" ", V));
+  EXPECT_FALSE(parseUint64("abc", V));
+  EXPECT_FALSE(parseUint64("12abc", V));
+  EXPECT_FALSE(parseUint64("1 ", V));
+  EXPECT_FALSE(parseUint64("99999999999999999999", V)); // > 2^64-1
+  EXPECT_FALSE(parseUint64(nullptr, V));
+  EXPECT_EQ(V, 123u) << "failed parses must not clobber the output";
+}
+
+TEST(ArgParseTest, ParseUint64AcceptsWholeRange) {
+  uint64_t V = 0;
+  ASSERT_TRUE(parseUint64("0", V));
+  EXPECT_EQ(V, 0u);
+  ASSERT_TRUE(parseUint64("18446744073709551615", V)); // 2^64-1
+  EXPECT_EQ(V, ~uint64_t(0));
+  ASSERT_TRUE(parseUint64("0x10", V)); // base prefixes still work
+  EXPECT_EQ(V, 16u);
+}
+
+TEST(ArgParseTest, ParseInt64RejectsRangeAndGarbage) {
+  int64_t V = 5;
+  EXPECT_FALSE(parseInt64("9223372036854775808", V));  // INT64_MAX + 1
+  EXPECT_FALSE(parseInt64("-9223372036854775809", V)); // INT64_MIN - 1
+  EXPECT_FALSE(parseInt64(" 1", V));
+  EXPECT_FALSE(parseInt64("1x", V));
+  EXPECT_FALSE(parseInt64("", V));
+  EXPECT_EQ(V, 5);
+  ASSERT_TRUE(parseInt64("-9223372036854775808", V));
+  EXPECT_EQ(V, INT64_MIN);
+}
+
+TEST(ArgParseTest, UintFlagRejectsWhitespaceNegativeAndOverflow) {
+  // Regression: "--seed=-1" used to wrap to 2^64-1 through strtoull when
+  // hidden behind whitespace, and overflow was accepted as ULLONG_MAX.
+  uint64_t U = 7;
+  ArgParser P("test");
+  P.addFlag("u", &U, "uint");
+  EXPECT_FALSE(parseArgs(P, {"--u", " -1"}));
+  ArgParser P2("test");
+  P2.addFlag("u", &U, "uint");
+  EXPECT_FALSE(parseArgs(P2, {"--u", "99999999999999999999"}));
+  EXPECT_EQ(U, 7u);
+}
+
+TEST(ArgParseTest, IntFlagRejectsOverflow) {
+  int64_t I = 3;
+  ArgParser P("test");
+  P.addFlag("i", &I, "int");
+  EXPECT_FALSE(parseArgs(P, {"--i", "99999999999999999999"}));
+  EXPECT_EQ(I, 3);
+}

@@ -1,0 +1,293 @@
+//===- tests/trace/TraceV2FormatTest.cpp - Version-2 event kinds ----------===//
+///
+/// Version 2 of the trace format added Calloc and AllocAligned (for the
+/// LD_PRELOAD capture shim). These tests pin down the compatibility
+/// contract: v2 events round-trip bit-exactly, hand-built version-1 files
+/// still decode, and a v2 tag smuggled into a version-1 file is a decode
+/// error rather than a misread.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Crc32.h"
+#include "trace/TraceCodec.h"
+#include "trace/TraceReader.h"
+#include "trace/TraceReplayer.h"
+#include "trace/TraceWriter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ddm;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return testing::TempDir() + "ddm_v2_" + Name + TraceFileSuffix;
+}
+
+void spit(const std::string &Path, const std::string &Data) {
+  FILE *F = fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr) << Path;
+  ASSERT_EQ(fwrite(Data.data(), 1, Data.size(), F), Data.size());
+  fclose(F);
+}
+
+std::string frameBytes(const std::string &Payload, uint32_t EventCount) {
+  std::string Frame;
+  appendU32(Frame, uint32_t(Payload.size()));
+  appendU32(Frame, EventCount);
+  appendU32(Frame, crc32(Payload.data(), Payload.size()));
+  return Frame + Payload;
+}
+
+/// Builds a complete trace file with an explicit \p Version header around
+/// the given pre-encoded event payload.
+std::string buildFile(uint32_t Version, const std::string &Payload,
+                      uint32_t EventCount) {
+  std::string Data(TraceMagic, sizeof(TraceMagic));
+  appendU32(Data, Version);
+  Data += frameBytes(encodeTraceMeta(TraceMeta{"synthetic", 1.0, 3}), 0);
+  Data += frameBytes(Payload, EventCount);
+  return Data;
+}
+
+TraceEvent event(TraceOp Op, uint32_t Id = 0, uint64_t Size = 0,
+                 uint32_t Alignment = 0) {
+  TraceEvent E;
+  E.Op = Op;
+  E.Id = Id;
+  E.Size = Size;
+  E.Alignment = Alignment;
+  return E;
+}
+
+std::vector<TraceEvent> readAll(const std::string &Path, TraceStatus &Status,
+                                uint32_t *Version = nullptr) {
+  std::vector<TraceEvent> Out;
+  TraceReader Reader;
+  Status = Reader.open(Path);
+  if (!Status.ok())
+    return Out;
+  if (Version)
+    *Version = Reader.version();
+  TraceEvent E;
+  TraceReader::Next N;
+  while ((N = Reader.next(E)) == TraceReader::Next::Event)
+    Out.push_back(E);
+  Status = Reader.status();
+  return Out;
+}
+
+} // namespace
+
+TEST(TraceV2FormatTest, WriterStampsCurrentVersion) {
+  std::string Path = tempPath("stamp");
+  TraceWriter Writer;
+  ASSERT_TRUE(Writer.open(Path, TraceMeta{"synthetic", 1.0, 3}).ok());
+  Writer.append(event(TraceOp::EndTx));
+  ASSERT_TRUE(Writer.finish().ok());
+  TraceStatus Status;
+  uint32_t Version = 0;
+  readAll(Path, Status, &Version);
+  EXPECT_TRUE(Status.ok()) << Status.describe();
+  EXPECT_EQ(Version, TraceVersion);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceV2FormatTest, NewEventKindsRoundTrip) {
+  std::string Path = tempPath("roundtrip");
+  std::vector<TraceEvent> Events = {
+      event(TraceOp::Alloc, 0, 48),
+      event(TraceOp::Calloc, 1, 4096),
+      event(TraceOp::AllocAligned, 2, 256, 64),
+      event(TraceOp::Calloc, 3, 1),
+      event(TraceOp::AllocAligned, 4, 512, 4096),
+      event(TraceOp::Free, 1),
+      event(TraceOp::EndTx),
+      // Ids restart after EndTx; mix the new kinds in from the start.
+      event(TraceOp::Calloc, 0, 77),
+      event(TraceOp::EndTx),
+  };
+  TraceWriter Writer;
+  ASSERT_TRUE(Writer.open(Path, TraceMeta{"synthetic", 1.0, 3}).ok());
+  for (const TraceEvent &E : Events)
+    Writer.append(E);
+  ASSERT_TRUE(Writer.finish().ok());
+
+  TraceStatus Status;
+  std::vector<TraceEvent> Read = readAll(Path, Status);
+  ASSERT_TRUE(Status.ok()) << Status.describe();
+  ASSERT_EQ(Read.size(), Events.size());
+  for (size_t I = 0; I < Events.size(); ++I) {
+    EXPECT_EQ(Read[I].Op, Events[I].Op) << I;
+    EXPECT_EQ(Read[I].Id, Events[I].Id) << I;
+    EXPECT_EQ(Read[I].Size, Events[I].Size) << I;
+    EXPECT_EQ(Read[I].Alignment, Events[I].Alignment) << I;
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(TraceV2FormatTest, NewKindsAdvanceAllocIdBaseline) {
+  // Calloc/AllocAligned participate in the id delta chain exactly like
+  // Alloc: a following Free of the just-allocated id must encode as a
+  // small delta and decode back to the right id.
+  std::string Path = tempPath("deltas");
+  std::vector<TraceEvent> Events = {
+      event(TraceOp::Calloc, 0, 8),       event(TraceOp::AllocAligned, 1, 8, 16),
+      event(TraceOp::Alloc, 2, 8),        event(TraceOp::Free, 2),
+      event(TraceOp::Free, 1),            event(TraceOp::Free, 0),
+      event(TraceOp::EndTx),
+  };
+  TraceWriter Writer;
+  ASSERT_TRUE(Writer.open(Path, TraceMeta{"synthetic", 1.0, 3}).ok());
+  for (const TraceEvent &E : Events)
+    Writer.append(E);
+  ASSERT_TRUE(Writer.finish().ok());
+  TraceStatus Status;
+  std::vector<TraceEvent> Read = readAll(Path, Status);
+  ASSERT_TRUE(Status.ok()) << Status.describe();
+  ASSERT_EQ(Read.size(), Events.size());
+  EXPECT_EQ(Read[3].Id, 2u);
+  EXPECT_EQ(Read[4].Id, 1u);
+  EXPECT_EQ(Read[5].Id, 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceV2FormatTest, HandBuiltVersion1FileStillDecodes) {
+  // The bytes an old writer produced: version 1 header, v1 tag layout
+  // (op | write-flag). TraceEventEncoder produces exactly that layout for
+  // the v1 event kinds, so encode with it and stamp version 1.
+  TraceEventEncoder Encoder;
+  std::string Payload;
+  std::vector<TraceEvent> Events = {
+      event(TraceOp::Alloc, 0, 64), event(TraceOp::Alloc, 1, 32),
+      event(TraceOp::Free, 0), event(TraceOp::EndTx)};
+  for (const TraceEvent &E : Events)
+    Encoder.encode(E, Payload);
+
+  std::string Path = tempPath("v1file");
+  spit(Path, buildFile(1, Payload, uint32_t(Events.size())));
+
+  TraceStatus Status;
+  uint32_t Version = 0;
+  std::vector<TraceEvent> Read = readAll(Path, Status, &Version);
+  EXPECT_TRUE(Status.ok()) << Status.describe();
+  EXPECT_EQ(Version, 1u);
+  ASSERT_EQ(Read.size(), Events.size());
+  for (size_t I = 0; I < Events.size(); ++I) {
+    EXPECT_EQ(Read[I].Op, Events[I].Op) << I;
+    EXPECT_EQ(Read[I].Id, Events[I].Id) << I;
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(TraceV2FormatTest, V2TagInVersion1FileIsADecodeError) {
+  // A version-1 trace cannot contain tag 16 (Calloc) or 17 (AllocAligned);
+  // a file claiming so is corrupt, not forward-compatible.
+  for (TraceOp Op : {TraceOp::Calloc, TraceOp::AllocAligned}) {
+    TraceEventEncoder Encoder;
+    std::string Payload;
+    Encoder.encode(event(Op, 0, 16, 16), Payload);
+    std::string Path = tempPath("v2tag");
+    spit(Path, buildFile(1, Payload, 1));
+    TraceStatus Status;
+    readAll(Path, Status);
+    ASSERT_FALSE(Status.ok());
+    EXPECT_NE(Status.Message.find("version"), std::string::npos)
+        << Status.describe();
+    std::remove(Path.c_str());
+  }
+}
+
+TEST(TraceV2FormatTest, ReplayerCountsAndDispatchesNewKinds) {
+  // The replayer must fold the new kinds into Mallocs (they are
+  // allocation-family calls) and additionally into their own counters,
+  // and must dispatch them to the dedicated executor entry points.
+  std::string Path = tempPath("replaystats");
+  TraceWriter Writer;
+  ASSERT_TRUE(Writer.open(Path, TraceMeta{"synthetic", 1.0, 3}).ok());
+  Writer.append(event(TraceOp::Alloc, 0, 100));
+  Writer.append(event(TraceOp::Calloc, 1, 200));
+  Writer.append(event(TraceOp::AllocAligned, 2, 300, 32));
+  Writer.append(event(TraceOp::EndTx));
+  ASSERT_TRUE(Writer.finish().ok());
+
+  struct CountingExecutor : TxExecutor {
+    int PlainAllocs = 0, Callocs = 0, Aligned = 0;
+    uint32_t LastAlignment = 0;
+    void onAlloc(uint32_t, size_t) override { ++PlainAllocs; }
+    void onCalloc(uint32_t, size_t) override { ++Callocs; }
+    void onAllocAligned(uint32_t, size_t, uint32_t A) override {
+      ++Aligned;
+      LastAlignment = A;
+    }
+    void onFree(uint32_t) override {}
+    void onRealloc(uint32_t, size_t, size_t) override {}
+    void onTouch(uint32_t, bool) override {}
+    void onWork(uint64_t) override {}
+    void onStateTouch(uint64_t, bool) override {}
+  };
+
+  TraceReplayer Replayer;
+  ASSERT_TRUE(Replayer.open(Path).ok());
+  CountingExecutor Executor;
+  TraceStats Stats;
+  ASSERT_EQ(Replayer.replayTransactionInto(Executor, Stats, 0),
+            TraceReplayer::Step::Tx);
+  EXPECT_EQ(Executor.PlainAllocs, 1);
+  EXPECT_EQ(Executor.Callocs, 1);
+  EXPECT_EQ(Executor.Aligned, 1);
+  EXPECT_EQ(Executor.LastAlignment, 32u);
+  EXPECT_EQ(Stats.Mallocs, 3u);
+  EXPECT_EQ(Stats.Callocs, 1u);
+  EXPECT_EQ(Stats.AlignedAllocs, 1u);
+  EXPECT_EQ(Stats.AllocatedBytes, 600u);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceV2FormatTest, ReplayerRejectsNonPowerOfTwoAlignment) {
+  std::string Path = tempPath("badalign");
+  TraceWriter Writer;
+  ASSERT_TRUE(Writer.open(Path, TraceMeta{"synthetic", 1.0, 3}).ok());
+  Writer.append(event(TraceOp::AllocAligned, 0, 64, 48));
+  Writer.append(event(TraceOp::EndTx));
+  ASSERT_TRUE(Writer.finish().ok());
+
+  struct NullExecutor : TxExecutor {
+    void onAlloc(uint32_t, size_t) override {}
+    void onFree(uint32_t) override {}
+    void onRealloc(uint32_t, size_t, size_t) override {}
+    void onTouch(uint32_t, bool) override {}
+    void onWork(uint64_t) override {}
+    void onStateTouch(uint64_t, bool) override {}
+  };
+  TraceReplayer Replayer;
+  ASSERT_TRUE(Replayer.open(Path).ok());
+  NullExecutor Executor;
+  TraceStats Stats;
+  EXPECT_EQ(Replayer.replayTransactionInto(Executor, Stats, 0),
+            TraceReplayer::Step::Error);
+  EXPECT_FALSE(Replayer.status().ok());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceV2FormatTest, DefaultExecutorHooksDegradeToPlainAlloc) {
+  // TxExecutor implementations that predate v2 (onCalloc/onAllocAligned
+  // not overridden) must still see every allocation via onAlloc.
+  struct LegacyExecutor : TxExecutor {
+    int Allocs = 0;
+    void onAlloc(uint32_t, size_t) override { ++Allocs; }
+    void onFree(uint32_t) override {}
+    void onRealloc(uint32_t, size_t, size_t) override {}
+    void onTouch(uint32_t, bool) override {}
+    void onWork(uint64_t) override {}
+    void onStateTouch(uint64_t, bool) override {}
+  };
+  LegacyExecutor Executor;
+  static_cast<TxExecutor &>(Executor).onCalloc(0, 16);
+  static_cast<TxExecutor &>(Executor).onAllocAligned(1, 16, 64);
+  EXPECT_EQ(Executor.Allocs, 2);
+}

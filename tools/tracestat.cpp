@@ -66,6 +66,8 @@ int statTraces(const std::vector<std::string> &Paths, bool Json, bool Csv) {
           .field("mallocs_per_tx", S.mallocsPerTx())
           .field("frees_per_tx", S.freesPerTx())
           .field("reallocs_per_tx", S.reallocsPerTx())
+          .field("callocs", S.Total.Callocs)
+          .field("aligned_allocs", S.Total.AlignedAllocs)
           .field("mean_alloc_bytes", S.meanAllocBytes())
           .field("allocated_bytes", S.Total.AllocatedBytes)
           .field("object_touches", S.Total.ObjectTouches)

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Regenerates the checked-in trace corpus: one small .ddmtrc per paper
+# workload, recorded by webserver_sim at a tiny scale so each file stays
+# in the tens-of-kilobytes range while still carrying real per-workload
+# structure (call mix, size distribution, realloc rate).
+#
+# The generator is deterministic, so re-running this script on an
+# unchanged tree must reproduce the corpus byte for byte — CI relies on
+# that to catch accidental format or generator drift.
+#
+# Usage: traces/regenerate.sh [build-dir]   (default: ./build)
+
+set -eu
+
+BUILD="${1:-build}"
+SIM="$BUILD/examples/webserver_sim"
+STAT="$BUILD/tools/tracestat"
+DIR="$(dirname "$0")"
+
+[ -x "$SIM" ] || { echo "error: $SIM not built (cmake --build $BUILD)" >&2; exit 1; }
+
+SCALE=0.002
+TX=2
+SEED=7
+
+for W in mediawiki-read mediawiki-write sugarcrm ezpublish phpbb cakephp \
+         specweb rails; do
+  OUT="$DIR/$W.ddmtrc"
+  "$SIM" --workload "$W" --scale "$SCALE" --transactions "$TX" --seed "$SEED" \
+    --record-trace "$OUT" >/dev/null
+  echo "recorded $OUT"
+done
+
+"$STAT" "$DIR"/*.ddmtrc
