@@ -16,6 +16,8 @@
 
 #include "server/ServingSimulator.h"
 #include "support/ArgParse.h"
+#include "support/FaultInjection.h"
+#include "support/Json.h"
 #include "support/Table.h"
 #include "trace/TraceRecorder.h"
 #include "trace/TraceReplayer.h"
@@ -104,6 +106,35 @@ int main(int Argc, char **Argv) {
   Parser.addFlag("samples", &Samples, "profiled transactions per workload");
   Parser.addFlag("scale", &Scale, "workload scale");
   Parser.addFlag("seed", &Seed, "random seed");
+  std::string FaultsSpec;
+  uint64_t RestartEvery = 0;
+  double RestartCostMs = 0.0;
+  bool RestartOnOom = false;
+  uint64_t HeapPerTx = 0;
+  uint64_t MaxAttempts = 4;
+  double RetryBackoffMs = 50.0;
+  bool JsonOut = false;
+  Parser.addFlag("faults", &FaultsSpec,
+                 "deterministic fault plan for the serving phase, e.g. "
+                 "'seed=7,worker_heap:p=0.01' (sites: arena_map, "
+                 "segment_acquire, chunk_acquire, trace_write, worker_heap; "
+                 "triggers: p=, every=, after=)");
+  Parser.addFlag("restart-every", &RestartEvery,
+                 "restart a worker after serving this many requests "
+                 "(0 = never)");
+  Parser.addFlag("restart-cost-ms", &RestartCostMs,
+                 "downtime of one worker restart (ms)");
+  Parser.addFlag("restart-on-oom", &RestartOnOom,
+                 "restart the worker that served a failed (OOM) request");
+  Parser.addFlag("heap-per-tx", &HeapPerTx,
+                 "modelled worker-heap growth per request, bytes (restart "
+                 "resets it)");
+  Parser.addFlag("max-attempts", &MaxAttempts,
+                 "closed loop: attempts per request before the client gives "
+                 "up (1 = no retries)");
+  Parser.addFlag("retry-backoff-ms", &RetryBackoffMs,
+                 "closed loop: base retry backoff, doubling per attempt (ms)");
+  Parser.addFlag("json", &JsonOut, "emit the serving metrics as JSON");
   std::string RecordTrace;
   std::string ReplayTrace;
   Parser.addFlag("record-trace", &RecordTrace,
@@ -188,6 +219,28 @@ int main(int Argc, char **Argv) {
                  PolicyName.c_str());
     return 1;
   }
+  if (MaxAttempts < 1) {
+    std::fprintf(stderr, "--max-attempts must be at least 1\n");
+    return 1;
+  }
+  FaultPlan Faults;
+  if (!FaultsSpec.empty()) {
+    std::string FaultError;
+    if (!FaultPlan::parse(FaultsSpec, Faults, FaultError)) {
+      std::fprintf(stderr, "bad --faults spec: %s\n", FaultError.c_str());
+      return 1;
+    }
+  }
+  {
+    // Fail with a clean diagnostic (not an abort) if the allocator's heap
+    // reservation cannot be satisfied on this system.
+    std::string AllocError;
+    if (!createAllocatorChecked(*Kind, AllocatorOptions(), AllocError)) {
+      std::fprintf(stderr, "cannot set up allocator '%s': %s\n",
+                   AllocatorName.c_str(), AllocError.c_str());
+      return 1;
+    }
+  }
 
   SimulationOptions Options;
   Options.Scale = Scale;
@@ -241,27 +294,34 @@ int main(int Argc, char **Argv) {
   if (Rps <= 0)
     Rps = 0.85 * Capacity;
 
-  std::printf("allocator %s on %llu %s-like core(s) (%u workers), scale "
-              "%.2f\n",
-              allocatorKindName(*Kind),
-              static_cast<unsigned long long>(Cores), P->Name.c_str(),
-              Model.Workers, Scale);
-  Table ModelOut({"workload", "base service ms", "slowdown @full pool",
-                  "capacity rq/s"});
-  for (size_t I = 0; I < Model.Workloads.size(); ++I) {
-    const auto &W = Model.Workloads[I];
-    ModelOut.row()
-        .cell(W.Name)
-        .cell(W.BaseServiceSec * 1e3, 3)
-        .cell(W.Slowdown[Model.Workers - 1], 2)
-        .cell(static_cast<double>(Model.Workers) /
-                  (W.BaseServiceSec * W.Slowdown[Model.Workers - 1]),
-              1);
+  // Arm the fault plan only now: the profiling runs above must stay
+  // fault-free so the service-time model matches the fault-free baseline.
+  if (!FaultsSpec.empty())
+    FaultInjector::instance().arm(Faults);
+
+  if (!JsonOut) {
+    std::printf("allocator %s on %llu %s-like core(s) (%u workers), scale "
+                "%.2f\n",
+                allocatorKindName(*Kind),
+                static_cast<unsigned long long>(Cores), P->Name.c_str(),
+                Model.Workers, Scale);
+    Table ModelOut({"workload", "base service ms", "slowdown @full pool",
+                    "capacity rq/s"});
+    for (size_t I = 0; I < Model.Workloads.size(); ++I) {
+      const auto &W = Model.Workloads[I];
+      ModelOut.row()
+          .cell(W.Name)
+          .cell(W.BaseServiceSec * 1e3, 3)
+          .cell(W.Slowdown[Model.Workers - 1], 2)
+          .cell(static_cast<double>(Model.Workers) /
+                    (W.BaseServiceSec * W.Slowdown[Model.Workers - 1]),
+                1);
+    }
+    std::fputs(ModelOut.renderAscii().c_str(), stdout);
+    std::printf("mixed capacity %.1f rq/s; offering %.1f rq/s (%s, %s)\n\n",
+                Capacity, Rps, arrivalProcessName(*Arrival),
+                queuePolicyName(*Policy));
   }
-  std::fputs(ModelOut.renderAscii().c_str(), stdout);
-  std::printf("mixed capacity %.1f rq/s; offering %.1f rq/s (%s, %s)\n\n",
-              Capacity, Rps, arrivalProcessName(*Arrival),
-              queuePolicyName(*Policy));
 
   ServingConfig Config;
   Config.Load.Process = *Arrival;
@@ -275,8 +335,55 @@ int main(int Argc, char **Argv) {
   Config.Policy = *Policy;
   Config.QueueCapacity = QueueCap;
   Config.DurationTx = DurationTx;
+  Config.Restart.EveryNTx = RestartEvery;
+  Config.Restart.OnOom = RestartOnOom;
+  Config.Restart.RestartCostSec = RestartCostMs / 1e3;
+  Config.Restart.HeapBytesPerTx = HeapPerTx;
+  Config.MaxAttempts = MaxAttempts;
+  Config.RetryBackoffSec = RetryBackoffMs / 1e3;
 
   ServingMetrics M = runServing(Model, Config);
+
+  if (JsonOut) {
+    JsonWriter J;
+    J.beginObject()
+        .field("allocator", allocatorKindName(*Kind))
+        .field("platform", P->Name)
+        .field("cores", Cores)
+        .field("workers", Model.Workers)
+        .field("arrival", arrivalProcessName(*Arrival))
+        .field("policy", queuePolicyName(*Policy))
+        .field("capacity_rps", Capacity)
+        .field("faults", FaultsSpec.empty() ? std::string("none")
+                                            : Faults.describe())
+        .field("restart_every_tx", RestartEvery)
+        .field("restart_on_oom", RestartOnOom)
+        .field("restart_cost_ms", RestartCostMs)
+        .field("max_attempts", MaxAttempts)
+        .field("offered_rps", M.OfferedRps)
+        .field("goodput_rps", M.GoodputRps)
+        .field("makespan_sec", M.MakespanSec)
+        .field("offered", M.Offered)
+        .field("completed", M.Completed)
+        .field("dropped", M.Dropped)
+        .field("failed", M.Failed)
+        .field("retried", M.Retried)
+        .field("unfinished", M.Unfinished)
+        .field("restarts", M.Restarts)
+        .field("restart_downtime_sec", M.RestartDowntimeSec)
+        .field("peak_worker_heap_bytes", M.PeakWorkerHeapBytes)
+        .field("p50_ms", M.p50Ms())
+        .field("p90_ms", M.p90Ms())
+        .field("p99_ms", M.p99Ms())
+        .field("p999_ms", M.p999Ms())
+        .field("mean_latency_ms", M.meanLatencyMs())
+        .field("mean_wait_ms", M.meanWaitMs())
+        .field("mean_queue_depth", M.QueueDepthAtArrival.mean())
+        .field("utilization", M.Utilization)
+        .endObject();
+    std::printf("%s\n", J.str().c_str());
+    return 0;
+  }
 
   Table Out({"metric", "value"});
   Out.row().cell("offered rq/s").cell(M.OfferedRps, 1);
@@ -284,6 +391,10 @@ int main(int Argc, char **Argv) {
   Out.row().cell("completed").cell(M.Completed);
   Out.row().cell("dropped").cell(M.Dropped);
   Out.row().cell("drop rate %").cell(100.0 * M.dropRate(), 2);
+  Out.row().cell("failed").cell(M.Failed);
+  Out.row().cell("retried").cell(M.Retried);
+  Out.row().cell("restarts").cell(M.Restarts);
+  Out.row().cell("restart downtime s").cell(M.RestartDowntimeSec, 3);
   Out.row().cell("p50 latency ms").cell(M.p50Ms(), 2);
   Out.row().cell("p90 latency ms").cell(M.p90Ms(), 2);
   Out.row().cell("p99 latency ms").cell(M.p99Ms(), 2);

@@ -8,6 +8,7 @@
 #include "core/RegionAllocator.h"
 #include "core/TCMallocModel.h"
 #include "core/ZendDefaultAllocator.h"
+#include "support/Arena.h"
 #include "support/Error.h"
 
 using namespace ddm;
@@ -54,6 +55,57 @@ ddm::createAllocator(AllocatorKind Kind, const AllocatorOptions &Options) {
     Config.HeapReserveBytes = Options.HeapReserveBytes;
     return std::make_unique<HoardModelAllocator>(Config);
   }
+  }
+  unreachable("unknown allocator kind");
+}
+
+std::unique_ptr<TxAllocator>
+ddm::createAllocatorChecked(AllocatorKind Kind, const AllocatorOptions &Options,
+                            std::string &Error) {
+  // Validate what the constructors would otherwise abort on.
+  if (Kind == AllocatorKind::DDmalloc) {
+    if (Options.SegmentSize < 4096 ||
+        (Options.SegmentSize & (Options.SegmentSize - 1)) != 0) {
+      Error = "ddmalloc segment size must be a power of two >= 4096";
+      return nullptr;
+    }
+    if (Options.HeapReserveBytes < 4 * Options.SegmentSize) {
+      Error = "ddmalloc heap reservation too small: need at least 4 segments";
+      return nullptr;
+    }
+  }
+
+  // Probe the reservation non-fatally: the probe arena is released before
+  // the real construction, so the allocator's own (fatal) reservation of
+  // the same size succeeds whenever the probe did.
+  size_t ProbeBytes = Kind == AllocatorKind::Region ? Options.RegionChunkBytes
+                                                    : Options.HeapReserveBytes;
+  size_t ProbeAlign =
+      Kind == AllocatorKind::DDmalloc ? Options.SegmentSize : 4096;
+  {
+    std::string MapError;
+    std::optional<AlignedArena> Probe =
+        AlignedArena::tryReserve(ProbeBytes, ProbeAlign, &MapError);
+    if (!Probe) {
+      Error = "heap reservation of " + std::to_string(ProbeBytes) +
+              " bytes is too large for this system (" + MapError + ")";
+      return nullptr;
+    }
+  }
+  return createAllocator(Kind, Options);
+}
+
+bool ddm::allocatorSupportsBulkFree(AllocatorKind Kind) {
+  switch (Kind) {
+  case AllocatorKind::DDmalloc:
+  case AllocatorKind::Region:
+  case AllocatorKind::Obstack:
+  case AllocatorKind::Default:
+    return true;
+  case AllocatorKind::Glibc:
+  case AllocatorKind::TCMalloc:
+  case AllocatorKind::Hoard:
+    return false;
   }
   unreachable("unknown allocator kind");
 }

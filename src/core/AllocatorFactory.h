@@ -47,10 +47,25 @@ struct AllocatorOptions {
   size_t RegionChunkBytes = 256ull * 1024 * 1024;
 };
 
-/// Constructs the allocator \p Kind.
+/// Constructs the allocator \p Kind. Aborts via fatal() if the
+/// configuration is invalid or the OS refuses the heap reservation;
+/// command-line front ends that want a clean diagnostic instead use
+/// createAllocatorChecked().
 std::unique_ptr<TxAllocator>
 createAllocator(AllocatorKind Kind,
                 const AllocatorOptions &Options = AllocatorOptions());
+
+/// Like createAllocator, but validates the configuration and probes the
+/// heap reservation first: returns nullptr with \p Error describing the
+/// problem ("reservation too large", mmap errno, ...) instead of aborting.
+std::unique_ptr<TxAllocator>
+createAllocatorChecked(AllocatorKind Kind, const AllocatorOptions &Options,
+                       std::string &Error);
+
+/// True if \p Kind implements freeAll() (region-style bulk reclamation).
+/// The glibc/tcmalloc/hoard models free per object only; calling freeAll
+/// on them is a programming error.
+bool allocatorSupportsBulkFree(AllocatorKind Kind);
 
 /// Stable name ("ddmalloc", "region", "obstack", "default", "glibc",
 /// "tcmalloc", "hoard").

@@ -2,6 +2,7 @@
 
 #include "core/DDmalloc.h"
 #include "support/Error.h"
+#include "support/FaultInjection.h"
 
 #include <cassert>
 #include <cstring>
@@ -33,7 +34,8 @@ DDmallocAllocator::DDmallocAllocator(const DDmallocConfig &C)
   assert((C.SegmentSize & (C.SegmentSize - 1)) == 0 &&
          "segment size must be a power of two");
   assert(C.SegmentSize >= 4096 && "segment size too small");
-  assert(C.HeapReserveBytes >= 4 * C.SegmentSize && "heap reservation too small");
+  if (C.HeapReserveBytes < 4 * C.SegmentSize)
+    fatal("ddmalloc heap reservation too small: need at least 4 segments");
 
   SegmentShift = static_cast<unsigned>(__builtin_ctzll(C.SegmentSize));
   NumSegments = Heap.size() >> SegmentShift;
@@ -73,6 +75,8 @@ DDmallocAllocator::DDmallocAllocator(const DDmallocConfig &C)
 DDmallocAllocator::~DDmallocAllocator() { Sink.unmapRegion(Heap.base()); }
 
 std::byte *DDmallocAllocator::takeSegment() {
+  if (faultShouldFail(FaultSite::SegmentAcquire))
+    return nullptr;
   // Prefer a previously freed segment (from a freed large object).
   uintptr_t Head = *FreeSegHead;
   Sink.load(FreeSegHead, sizeof(uintptr_t));
@@ -166,6 +170,8 @@ void *DDmallocAllocator::allocateLarge(size_t Size) {
     // the cursor only. They are very rare in transaction-scoped workloads
     // and everything is reclaimed by freeAll, so skipping the freed-segment
     // list here keeps allocation O(1) without a contiguity search.
+    if (faultShouldFail(FaultSite::SegmentAcquire))
+      return nullptr;
     uint64_t Cursor = *SegCursor;
     Sink.load(SegCursor, sizeof(uint64_t));
     if (Cursor + Segments > NumSegments)

@@ -1,6 +1,7 @@
 //===- core/ObstackAllocator.cpp - GNU-obstack-style regions -------------===//
 
 #include "core/ObstackAllocator.h"
+#include "support/FaultInjection.h"
 
 #include <cassert>
 #include <cstring>
@@ -58,7 +59,9 @@ void *ObstackAllocator::allocate(size_t Size) {
   size_t Rounded = alignUp8(Size ? Size : 1);
   Sink.load(&Next, sizeof(Next));
   if (Next + Rounded > Limit) {
-    if (!startNewChunk(Rounded))
+    // The fault check lives here, not in startNewChunk: the constructor and
+    // the freeAll rewind also call startNewChunk and must never fail.
+    if (faultShouldFail(FaultSite::ChunkAcquire) || !startNewChunk(Rounded))
       return nullptr;
     Sink.instructions(InstrNewChunk);
   }

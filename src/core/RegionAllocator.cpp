@@ -1,9 +1,11 @@
 //===- core/RegionAllocator.cpp - Bump-pointer region allocator ----------===//
 
 #include "core/RegionAllocator.h"
+#include "support/FaultInjection.h"
 
 #include <cassert>
 #include <cstring>
+#include <optional>
 
 using namespace ddm;
 
@@ -39,13 +41,20 @@ void *RegionAllocator::allocate(size_t Size) {
   if (Next + Rounded > Limit) {
     if (Rounded > Config.ChunkBytes)
       return nullptr;
-    BytesInFullChunks += static_cast<uint64_t>(Next - Chunks[CurrentChunk].base());
     if (CurrentChunk + 1 == Chunks.size()) {
-      if (Chunks.size() >= Config.MaxChunks)
+      if (Chunks.size() >= Config.MaxChunks ||
+          faultShouldFail(FaultSite::ChunkAcquire))
         return nullptr;
-      Chunks.emplace_back(Config.ChunkBytes, 4096);
+      std::optional<AlignedArena> Chunk =
+          AlignedArena::tryReserve(Config.ChunkBytes, 4096);
+      if (!Chunk)
+        return nullptr;
+      Chunks.push_back(std::move(*Chunk));
       Sink.mapRegion(Chunks.back().base(), Chunks.back().size());
     }
+    // Commit the accounting only after the next chunk is secured: a failed
+    // growth must leave memoryConsumption() unchanged.
+    BytesInFullChunks += static_cast<uint64_t>(Next - Chunks[CurrentChunk].base());
     ++CurrentChunk;
     Next = Chunks[CurrentChunk].base();
     Limit = Next + Chunks[CurrentChunk].size();

@@ -2,6 +2,7 @@
 
 #include "runtime/TransactionRuntime.h"
 #include "support/Error.h"
+#include "support/FaultInjection.h"
 
 #include <cassert>
 #include <cstring>
@@ -100,12 +101,28 @@ void TransactionRuntime::onAllocAligned(uint32_t Id, size_t Size,
   performAlloc(Id, Size);
 }
 
+void TransactionRuntime::noteOom(size_t FailedBytes) {
+  OomPending = true;
+  Outcome.Status = TxStatus::OutOfMemory;
+  Outcome.AllocatorName = Allocator->name();
+  Outcome.PeakLiveBytes = Allocator->stats().PeakUsableBytesLive;
+  Outcome.FailedAllocBytes = FailedBytes;
+  SinkHandleView.setDomain(CostDomain::Application);
+}
+
 void TransactionRuntime::performAlloc(uint32_t Id, size_t Size) {
+  if (OomPending)
+    return;
   SinkHandleView.setDomain(CostDomain::MemoryManagement);
-  void *Ptr = Allocator->allocate(Size);
-  if (!Ptr)
-    fatal("allocator '" + std::string(Allocator->name()) +
-          "' exhausted its heap during a transaction");
+  void *Ptr = faultShouldFail(FaultSite::WorkerHeap)
+                  ? nullptr
+                  : Allocator->allocate(Size);
+  if (!Ptr) {
+    // Heap exhausted (or the worker_heap fault site fired): abandon the
+    // transaction, not the process. completeTransaction rolls back.
+    noteOom(Size);
+    return;
+  }
   SinkHandleView.setDomain(CostDomain::Application);
 
   ObjectRecord &Record = recordFor(Id);
@@ -128,6 +145,8 @@ void TransactionRuntime::onFree(uint32_t Id) {
     E.Id = Id;
     Trace->event(E);
   }
+  if (OomPending)
+    return;
   ObjectRecord &Record = recordFor(Id);
   assert(Record.Live && "freeing a dead object");
   // Canary: the object's identity must have survived.
@@ -151,14 +170,21 @@ void TransactionRuntime::onRealloc(uint32_t Id, size_t OldSize,
     E.OldSize = OldSize;
     Trace->event(E);
   }
+  if (OomPending)
+    return;
   ObjectRecord &Record = recordFor(Id);
   assert(Record.Live && "realloc of a dead object");
   assert(Record.Size == OldSize && "size bookkeeping out of sync");
   SinkHandleView.setDomain(CostDomain::MemoryManagement);
-  void *Ptr = Allocator->reallocate(Record.Ptr, OldSize, NewSize);
-  if (!Ptr)
-    fatal("allocator '" + std::string(Allocator->name()) +
-          "' exhausted its heap during realloc");
+  void *Ptr = faultShouldFail(FaultSite::WorkerHeap)
+                  ? nullptr
+                  : Allocator->reallocate(Record.Ptr, OldSize, NewSize);
+  if (!Ptr) {
+    // The old object stays live (realloc contract) and is reclaimed by
+    // the rollback with everything else.
+    noteOom(NewSize);
+    return;
+  }
   SinkHandleView.setDomain(CostDomain::Application);
   Record.Ptr = Ptr;
   Record.Size = static_cast<uint32_t>(NewSize);
@@ -175,6 +201,8 @@ void TransactionRuntime::onTouch(uint32_t Id, bool IsWrite) {
     E.IsWrite = IsWrite;
     Trace->event(E);
   }
+  if (OomPending)
+    return;
   ObjectRecord &Record = recordFor(Id);
   assert(Record.Live && "touching a dead object");
   if (Record.Size >= sizeof(uint32_t) &&
@@ -200,6 +228,8 @@ void TransactionRuntime::onWork(uint64_t Instructions) {
     E.Size = Instructions;
     Trace->event(E);
   }
+  if (OomPending)
+    return;
   SinkHandleView.instructions(Instructions);
 }
 
@@ -211,6 +241,8 @@ void TransactionRuntime::onStateTouch(uint64_t Offset, bool IsWrite) {
     E.IsWrite = IsWrite;
     Trace->event(E);
   }
+  if (OomPending)
+    return;
   assert(Offset + 64 <= StateArea.size() && "state touch out of range");
   std::byte *Addr = StateArea.base() + Offset;
   if (IsWrite)
@@ -251,6 +283,23 @@ void TransactionRuntime::cleanupTransaction() {
   Objects.clear();
 }
 
+void TransactionRuntime::rollbackTransaction() {
+  SinkHandleView.setDomain(CostDomain::MemoryManagement);
+  if (Allocator->supportsBulkFree()) {
+    Allocator->freeAll();
+  } else {
+    for (ObjectRecord &Record : Objects) {
+      if (!Record.Live)
+        continue;
+      Allocator->deallocate(Record.Ptr);
+      Record.Live = false;
+      Record.Ptr = nullptr;
+    }
+  }
+  SinkHandleView.setDomain(CostDomain::Application);
+  Objects.clear();
+}
+
 void TransactionRuntime::restartProcess() {
   // A fresh process: new heap, interpreter boot cost. The boot cost is
   // charged through the sink so it lands in the measured transactions and
@@ -263,12 +312,19 @@ void TransactionRuntime::restartProcess() {
   SinkHandleView.instructions(Config.RestartCostInstructions);
 }
 
-void TransactionRuntime::completeTransaction(const TraceStats &Stats) {
+TxStatus TransactionRuntime::completeTransaction(const TraceStats &Stats) {
   if (Trace) {
     TraceEvent E;
     E.Op = TraceOp::EndTx;
     Trace->event(E);
   }
+  if (OomPending) {
+    rollbackTransaction();
+    ++Metrics.OomAborts;
+    OomPending = false;
+    return TxStatus::OutOfMemory;
+  }
+  Outcome = TxOutcome();
   cleanupTransaction();
 
   Metrics.TotalTrace.add(Stats);
@@ -277,8 +333,9 @@ void TransactionRuntime::completeTransaction(const TraceStats &Stats) {
   if (!Config.UseBulkFree && Config.RestartPeriodTx != 0 &&
       Metrics.Transactions % Config.RestartPeriodTx == 0)
     restartProcess();
+  return TxStatus::Ok;
 }
 
-void TransactionRuntime::executeTransaction() {
-  completeTransaction(runTransaction(Workload, Config.Scale, R, *this));
+TxStatus TransactionRuntime::executeTransaction() {
+  return completeTransaction(runTransaction(Workload, Config.Scale, R, *this));
 }

@@ -84,6 +84,28 @@ struct RuntimeMetrics {
   /// cleanup), per the paper's Figure 9 definition.
   RunningStat ConsumptionBytes;
   uint64_t RestartInstructions = 0;
+  /// Transactions abandoned mid-flight because the allocator exhausted its
+  /// heap (or the `worker_heap` fault site fired). Aborted transactions do
+  /// not count toward Transactions and contribute nothing to the averages.
+  uint64_t OomAborts = 0;
+};
+
+/// How one transaction ended.
+enum class TxStatus {
+  Ok,          ///< Completed and cleaned up normally.
+  OutOfMemory, ///< Aborted mid-flight; its objects were rolled back.
+};
+
+/// Details of the most recent transaction failure (valid while
+/// executeTransaction()/completeTransaction() reports OutOfMemory).
+struct TxOutcome {
+  TxStatus Status = TxStatus::Ok;
+  /// Which allocator refused the allocation.
+  std::string AllocatorName;
+  /// The allocator's live-byte high-water mark when the failure hit.
+  uint64_t PeakLiveBytes = 0;
+  /// Size of the allocation that failed.
+  uint64_t FailedAllocBytes = 0;
 };
 
 /// One simulated runtime process.
@@ -94,14 +116,23 @@ public:
   ~TransactionRuntime() override;
 
   /// Runs one full transaction, including end-of-transaction cleanup and
-  /// (Ruby mode) any scheduled process restart.
-  void executeTransaction();
+  /// (Ruby mode) any scheduled process restart. Heap exhaustion aborts
+  /// only the transaction, never the process: the transaction's objects
+  /// are rolled back, the heap stays reusable, and OutOfMemory is
+  /// returned with the details in lastOutcome().
+  TxStatus executeTransaction();
 
   /// Finishes a transaction whose events were delivered externally (trace
   /// replay): emits the EndTx tee, runs cleanup, folds \p Stats into the
   /// metrics and performs any scheduled restart. executeTransaction() is
-  /// exactly runTransaction() followed by this.
-  void completeTransaction(const TraceStats &Stats);
+  /// exactly runTransaction() followed by this. An aborted transaction is
+  /// rolled back instead (its stats are discarded) and OutOfMemory is
+  /// returned.
+  TxStatus completeTransaction(const TraceStats &Stats);
+
+  /// Details of the most recent OutOfMemory abort. Reset to Ok by the
+  /// next successfully completed transaction.
+  const TxOutcome &lastOutcome() const { return Outcome; }
 
   /// Attaches (or detaches, with nullptr) a tee receiving every executed
   /// event — the capture half of trace record/replay. Costs one predicted
@@ -128,7 +159,14 @@ public:
   void onTouch(uint32_t Id, bool IsWrite) override;
   void onWork(uint64_t Instructions) override;
   void onStateTouch(uint64_t Offset, bool IsWrite) override;
+  bool txAborted() const override { return OomPending; }
   /// @}
+
+  /// Test hook: the heap address backing object \p Id, or nullptr if it is
+  /// not live. Lets corruption tests damage a canary in place.
+  void *objectAddress(uint32_t Id) const {
+    return Id < Objects.size() && Objects[Id].Live ? Objects[Id].Ptr : nullptr;
+  }
 
 private:
   struct ObjectRecord {
@@ -138,6 +176,12 @@ private:
   };
 
   void cleanupTransaction();
+  /// Frees everything the aborted transaction allocated (bulk-free where
+  /// supported, per-object sweep otherwise) so the heap is reusable.
+  void rollbackTransaction();
+  /// Records the OutOfMemory outcome and switches the runtime into
+  /// ignore-until-EndTx mode.
+  void noteOom(size_t FailedBytes);
   void restartProcess();
   ObjectRecord &recordFor(uint32_t Id);
   /// Shared allocation body of onAlloc/onCalloc/onAllocAligned (the tee
@@ -162,6 +206,12 @@ private:
   std::vector<ObjectRecord> Objects; ///< Indexed by per-transaction id.
   uint64_t LeakedObjects = 0;
   RuntimeMetrics Metrics;
+  /// True between a failed allocation and the end-of-transaction
+  /// boundary: every event handler tees to the trace sink and otherwise
+  /// no-ops, so the generator's stream stays allocator-independent while
+  /// the doomed transaction winds down.
+  bool OomPending = false;
+  TxOutcome Outcome;
 };
 
 } // namespace ddm

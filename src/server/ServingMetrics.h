@@ -32,6 +32,22 @@ struct ServingMetrics {
   uint64_t Offered = 0;
   uint64_t Completed = 0;
   uint64_t Dropped = 0;
+  /// Requests that failed permanently (transaction OOM with no retry
+  /// budget left, or open loop where clients never retry).
+  uint64_t Failed = 0;
+  /// Failed attempts that were re-submitted by their client; each
+  /// re-submission counts as a new offer.
+  uint64_t Retried = 0;
+  /// Attempts still in flight (or queued) when the run ended; the closed
+  /// loop stops at its completion target without draining.
+  uint64_t Unfinished = 0;
+
+  /// Worker restarts performed under the restart policy.
+  uint64_t Restarts = 0;
+  /// Total worker downtime spent restarting, seconds.
+  double RestartDowntimeSec = 0.0;
+  /// High-water mark of any single worker's modelled heap, bytes.
+  uint64_t PeakWorkerHeapBytes = 0;
 
   /// End-to-end sojourn time (arrival -> completion), microseconds.
   LatencyHistogram LatencyUs;
@@ -49,6 +65,18 @@ struct ServingMetrics {
     return Offered ? static_cast<double>(Dropped) /
                          static_cast<double>(Offered)
                    : 0.0;
+  }
+
+  double failRate() const {
+    return Offered ? static_cast<double>(Failed) /
+                         static_cast<double>(Offered)
+                   : 0.0;
+  }
+
+  /// Every offered attempt must end in exactly one of these states; the
+  /// chaos soak asserts this identity after every run.
+  bool countersConsistent() const {
+    return Offered == Completed + Retried + Failed + Dropped + Unfinished;
   }
 
   double percentileMs(double Fraction) const {

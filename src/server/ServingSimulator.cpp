@@ -2,11 +2,14 @@
 
 #include "server/ServingSimulator.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
 #include <queue>
+#include <tuple>
 
 using namespace ddm;
 
@@ -49,7 +52,9 @@ ServiceTimeModel ddm::buildServiceTimeModel(const std::vector<WorkloadSpec> &Mix
   for (const WorkloadSpec &W : Mix) {
     RuntimeConfig Config;
     Config.Kind = Kind;
-    Config.UseBulkFree = true;
+    // Bulk free only where the allocator implements it: freeAll() on the
+    // glibc/tcmalloc/hoard models is a programming error (abort).
+    Config.UseBulkFree = allocatorSupportsBulkFree(Kind);
 
     ServiceProfile Profile = profileService(
         W, Config, P, ActiveCores, std::max(1u, Options.MeasureTx), Options);
@@ -107,8 +112,10 @@ private:
 
 void recordCompletion(ServingMetrics &M, const Completion &C) {
   ++M.Completed;
-  M.LatencyUs.add(
-      static_cast<uint64_t>(std::llround(C.sojournSec() * 1e6)));
+  // Client-visible latency spans retries: first submission to the finish
+  // of the attempt that succeeded. Wait is per-attempt queueing delay.
+  M.LatencyUs.add(static_cast<uint64_t>(
+      std::llround((C.FinishSec - C.Req.FirstArrivalSec) * 1e6)));
   M.WaitUs.add(static_cast<uint64_t>(std::llround(C.waitSec() * 1e6)));
 }
 
@@ -126,7 +133,8 @@ ServingMetrics ddm::runServing(const ServiceTimeModel &Model,
                     const auto &W = Model.Workloads[WorkloadIdx];
                     return 1.0 / W.Slowdown[std::min<size_t>(
                                Busy, W.Slowdown.size()) - 1];
-                  });
+                  },
+                  Config.Restart);
 
   ServingMetrics M;
   double LastFinish = 0.0;
@@ -138,7 +146,11 @@ ServingMetrics ddm::runServing(const ServiceTimeModel &Model,
     Req.WorkloadIdx = Gen.pickWorkload();
     Req.Client = Client;
     Req.ArrivalSec = ArrivalSec;
+    Req.FirstArrivalSec = ArrivalSec;
     Req.WorkSec = Demand.workSec(Req.WorkloadIdx);
+    // Whether this attempt's transaction hits the (injected) OOM; with the
+    // injector disarmed this is always false at zero cost.
+    Req.WillFail = faultShouldFail(FaultSite::WorkerHeap);
     return Req;
   };
 
@@ -153,31 +165,68 @@ ServingMetrics ddm::runServing(const ServiceTimeModel &Model,
   };
 
   if (Config.Load.Process == ArrivalProcess::ClosedLoop) {
-    // Fixed client population: think -> submit -> wait -> think...
-    using ClientEvent = std::pair<double, unsigned>; // (submit time, client)
-    std::priority_queue<ClientEvent, std::vector<ClientEvent>,
-                        std::greater<ClientEvent>>
-        Pending;
+    // Fixed client population: think -> submit -> wait -> think... A
+    // failed request is retried by its client with exponential backoff
+    // (the same request, a fresh failure decision) until MaxAttempts.
+    struct Submit {
+      double Sec = 0.0;
+      uint64_t Seq = 0; ///< Insertion order: deterministic tie-break.
+      unsigned Client = 0;
+      bool IsRetry = false;
+      Request Retry; ///< The request being retried (when IsRetry).
+    };
+    struct SubmitLater {
+      bool operator()(const Submit &A, const Submit &B) const {
+        return std::tie(A.Sec, A.Seq) > std::tie(B.Sec, B.Seq);
+      }
+    };
+    std::priority_queue<Submit, std::vector<Submit>, SubmitLater> Pending;
+    uint64_t NextSeq = 0;
     for (unsigned C = 0; C < std::max(1u, Config.Load.Clients); ++C)
-      Pending.push({Gen.nextThinkSec(), C});
+      Pending.push({Gen.nextThinkSec(), NextSeq++, C, false, Request()});
 
-    while (M.Completed < Config.DurationTx &&
+    while (M.Completed + M.Failed < Config.DurationTx &&
            (!Pending.empty() || Pool.busy())) {
       double NextArrival = Pending.empty()
                                ? std::numeric_limits<double>::infinity()
-                               : Pending.top().first;
+                               : Pending.top().Sec;
       double NextCompletion = Pool.nextCompletionSec();
       if (NextArrival <= NextCompletion) {
-        auto [T, Client] = Pending.top();
+        Submit Ev = Pending.top();
         Pending.pop();
-        if (!offerTracked(makeRequest(T, Client)))
+        if (Ev.IsRetry) {
+          Request Req = Ev.Retry;
+          Req.ArrivalSec = Ev.Sec;
+          Req.WillFail = faultShouldFail(FaultSite::WorkerHeap);
+          if (!offerTracked(Req))
+            // Dropped retry: back off one think time, same attempt.
+            Pending.push(
+                {Ev.Sec + Gen.nextThinkSec(), NextSeq++, Ev.Client, true, Req});
+        } else if (!offerTracked(makeRequest(Ev.Sec, Ev.Client))) {
           // Dropped: the client backs off for another think time.
-          Pending.push({T + Gen.nextThinkSec(), Client});
+          Pending.push({Ev.Sec + Gen.nextThinkSec(), NextSeq++, Ev.Client, false, Request()});
+        }
       } else {
         Completion Done = Pool.completeNext();
-        recordCompletion(M, Done);
         LastFinish = Done.FinishSec;
-        Pending.push({Done.FinishSec + Gen.nextThinkSec(), Done.Req.Client});
+        if (Done.Failed && Done.Req.Attempt < Config.MaxAttempts) {
+          // The client retries after an exponentially growing backoff.
+          ++M.Retried;
+          Request Retry = Done.Req;
+          ++Retry.Attempt;
+          double Backoff =
+              Config.RetryBackoffSec *
+              std::ldexp(1.0, static_cast<int>(Done.Req.Attempt) - 1);
+          Pending.push({Done.FinishSec + Backoff, NextSeq++, Done.Req.Client,
+                        true, Retry});
+        } else {
+          if (Done.Failed)
+            ++M.Failed; // Out of attempts: the client gives up.
+          else
+            recordCompletion(M, Done);
+          Pending.push({Done.FinishSec + Gen.nextThinkSec(), NextSeq++,
+                        Done.Req.Client, false, Request()});
+        }
       }
     }
     // Realized rather than configured rate: a closed loop self-limits.
@@ -200,12 +249,25 @@ ServingMetrics ddm::runServing(const ServiceTimeModel &Model,
                           : std::numeric_limits<double>::infinity();
       } else {
         Completion Done = Pool.completeNext();
-        recordCompletion(M, Done);
+        // Open-loop clients never retry: a failed attempt is a failed
+        // request.
+        if (Done.Failed)
+          ++M.Failed;
+        else
+          recordCompletion(M, Done);
         LastFinish = Done.FinishSec;
       }
     }
     M.OfferedRps = Config.Load.RatePerSec;
   }
+
+  // Whatever was still queued or in service when the run ended (the closed
+  // loop stops at its completion target without draining).
+  M.Unfinished = M.Offered - M.Completed - M.Retried - M.Failed - M.Dropped;
+
+  M.Restarts = Pool.restarts();
+  M.RestartDowntimeSec = Pool.restartDowntimeSec();
+  M.PeakWorkerHeapBytes = Pool.peakWorkerHeapBytes();
 
   M.MakespanSec = LastFinish;
   if (LastFinish > 0) {

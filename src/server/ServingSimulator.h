@@ -81,8 +81,20 @@ struct ServingConfig {
   QueuePolicy Policy = QueuePolicy::Fifo;
   /// Bound on *waiting* requests; beyond it arrivals are dropped.
   size_t QueueCapacity = 1024;
-  /// Open loop: requests offered. Closed loop: completions to collect.
+  /// Open loop: requests offered. Closed loop: completions + permanent
+  /// failures to collect.
   uint64_t DurationTx = 2000;
+
+  /// Worker recycling (restart-every-N / restart-on-OOM), applied by the
+  /// pool.
+  WorkerRestartPolicy Restart;
+  /// Closed loop: total attempts a client makes per request before giving
+  /// up (1 = no retries). Failure is decided by the `worker_heap` fault
+  /// site; with the injector disarmed no request ever fails.
+  uint64_t MaxAttempts = 4;
+  /// Closed loop: delay before attempt k+1, doubling per attempt
+  /// (RetryBackoffSec * 2^(k-1)).
+  double RetryBackoffSec = 0.05;
 };
 
 /// Runs one serving simulation and aggregates its metrics.

@@ -2,11 +2,17 @@
 
 #include "server/WorkerPool.h"
 
+#include "support/Error.h"
+
 #include <algorithm>
 #include <cassert>
 #include <limits>
 
 using namespace ddm;
+
+namespace {
+constexpr double Inf = std::numeric_limits<double>::infinity();
+} // namespace
 
 const char *ddm::queuePolicyName(QueuePolicy Policy) {
   switch (Policy) {
@@ -27,9 +33,9 @@ std::optional<QueuePolicy> ddm::queuePolicyFromName(const std::string &Name) {
 }
 
 WorkerPool::WorkerPool(unsigned Workers, size_t Capacity, QueuePolicy P,
-                       RateFn R)
+                       RateFn R, WorkerRestartPolicy RP)
     : NumWorkers(Workers), QueueCapacity(Capacity), Policy(P),
-      Rate(std::move(R)) {
+      Rate(std::move(R)), Restart(RP), Slots(Workers) {
   assert(NumWorkers >= 1 && "need at least one worker");
   InService.reserve(NumWorkers);
 }
@@ -41,7 +47,7 @@ double WorkerPool::rateOf(const InFlight &F) const {
   return std::max(R, 1e-9);
 }
 
-void WorkerPool::advanceTo(double T) {
+void WorkerPool::integrateTo(double T) {
   assert(T >= NowSec - 1e-12 && "time must be monotone");
   double Dt = T - NowSec;
   if (Dt > 0.0) {
@@ -52,17 +58,63 @@ void WorkerPool::advanceTo(double T) {
   NowSec = T;
 }
 
+double WorkerPool::nextRestartDispatchSec() const {
+  if (Queue.empty())
+    return Inf;
+  double Best = Inf;
+  for (const Slot &S : Slots)
+    if (!S.Busy && S.RestartEndSec > NowSec)
+      Best = std::min(Best, S.RestartEndSec);
+  return Best;
+}
+
+void WorkerPool::dispatchAvailable() {
+  while (!Queue.empty()) {
+    bool Started = false;
+    for (unsigned I = 0; I < NumWorkers && !Started; ++I)
+      if (!Slots[I].Busy && Slots[I].RestartEndSec <= NowSec) {
+        startService(popQueued(), NowSec);
+        Started = true;
+      }
+    if (!Started)
+      return;
+  }
+}
+
+void WorkerPool::advanceTo(double T) {
+  // Rates change when a restart ends and queued work dispatches; segment
+  // the integration at each such instant.
+  for (double Tr = nextRestartDispatchSec(); Tr <= T;
+       Tr = nextRestartDispatchSec()) {
+    integrateTo(Tr);
+    dispatchAvailable();
+  }
+  integrateTo(T);
+}
+
 void WorkerPool::startService(const Request &Req, double Now) {
-  assert(InService.size() < NumWorkers && "no free worker");
-  InService.push_back({Req, Now, Req.WorkSec});
+  unsigned SlotIdx = NumWorkers;
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    if (!Slots[I].Busy && Slots[I].RestartEndSec <= Now) {
+      SlotIdx = I;
+      break;
+    }
+  assert(SlotIdx < NumWorkers && "no free worker");
+  Slots[SlotIdx].Busy = true;
+  InService.push_back({Req, Now, Req.WorkSec, SlotIdx});
 }
 
 bool WorkerPool::offer(const Request &Req) {
-  advanceTo(Req.ArrivalSec);
-  if (InService.size() < NumWorkers) {
-    startService(Req, NowSec);
-    return true;
-  }
+  if (Req.ArrivalSec < NowSec - 1e-9)
+    fatal("WorkerPool::offer: arrival times must be non-decreasing (got " +
+          std::to_string(Req.ArrivalSec) + "s after the clock reached " +
+          std::to_string(NowSec) + "s)");
+  advanceTo(std::max(Req.ArrivalSec, NowSec));
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    if (!Slots[I].Busy && Slots[I].RestartEndSec <= NowSec) {
+      startService(Req, NowSec);
+      return true;
+    }
   if (Queue.size() < QueueCapacity) {
     Queue.push_back(Req);
     return true;
@@ -72,10 +124,20 @@ bool WorkerPool::offer(const Request &Req) {
 }
 
 double WorkerPool::nextCompletionSec() const {
-  double Best = std::numeric_limits<double>::infinity();
-  for (const InFlight &F : InService)
-    Best = std::min(Best, NowSec + F.RemainingWork / rateOf(F));
-  return Best;
+  if (InService.empty() && Queue.empty())
+    return Inf;
+  // Fast path: no restart ends ahead of the next completion means rates
+  // are constant until then, so the direct formula is exact.
+  if (nextRestartDispatchSec() == Inf) {
+    double Best = Inf;
+    for (const InFlight &F : InService)
+      Best = std::min(Best, NowSec + F.RemainingWork / rateOf(F));
+    return Best;
+  }
+  // A restart end will change the contention level (and hence rates)
+  // before the next retirement: simulate forward on a throwaway copy.
+  WorkerPool Probe(*this);
+  return Probe.completeNext().FinishSec;
 }
 
 Request WorkerPool::popQueued() {
@@ -93,26 +155,55 @@ Request WorkerPool::popQueued() {
 
 Completion WorkerPool::completeNext() {
   assert(busy() && "nothing in service");
-  // Find the earliest finisher under the current (piecewise-constant)
-  // rates, advance exactly to that instant, and retire it.
-  size_t BestIdx = 0;
-  double BestT = std::numeric_limits<double>::infinity();
-  for (size_t I = 0; I < InService.size(); ++I) {
-    double T = NowSec + InService[I].RemainingWork / rateOf(InService[I]);
-    if (T < BestT) {
-      BestT = T;
-      BestIdx = I;
+  // Process any restart-end dispatches that precede the earliest finisher;
+  // each changes the contention level, so re-derive finish times after.
+  size_t BestIdx;
+  while (true) {
+    BestIdx = InService.size();
+    double BestT = Inf;
+    for (size_t I = 0; I < InService.size(); ++I) {
+      double T = NowSec + InService[I].RemainingWork / rateOf(InService[I]);
+      if (T < BestT) {
+        BestT = T;
+        BestIdx = I;
+      }
     }
+    double Tr = nextRestartDispatchSec();
+    if (Tr < BestT) {
+      integrateTo(Tr);
+      dispatchAvailable();
+      continue;
+    }
+    assert(BestIdx < InService.size() && "nothing in service");
+    integrateTo(BestT);
+    break;
   }
-  advanceTo(BestT);
 
   Completion Done;
   Done.Req = InService[BestIdx].Req;
   Done.StartSec = InService[BestIdx].StartSec;
   Done.FinishSec = NowSec;
+  Done.Failed = Done.Req.WillFail;
+  unsigned SlotIdx = InService[BestIdx].Slot;
   InService.erase(InService.begin() + static_cast<long>(BestIdx));
 
-  if (!Queue.empty())
-    startService(popQueued(), NowSec);
+  // Retire the worker's transaction and apply the restart policy.
+  Slot &S = Slots[SlotIdx];
+  S.Busy = false;
+  ++S.TxSinceRestart;
+  S.HeapBytes += Restart.HeapBytesPerTx;
+  PeakHeapBytes = std::max(PeakHeapBytes, S.HeapBytes);
+  bool DoRestart =
+      (Restart.EveryNTx != 0 && S.TxSinceRestart >= Restart.EveryNTx) ||
+      (Restart.OnOom && Done.Failed);
+  if (DoRestart) {
+    ++Restarts;
+    DowntimeSec += Restart.RestartCostSec;
+    S.RestartEndSec = NowSec + Restart.RestartCostSec;
+    S.TxSinceRestart = 0;
+    S.HeapBytes = 0;
+  }
+
+  dispatchAvailable();
   return Done;
 }

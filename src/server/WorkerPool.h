@@ -14,8 +14,15 @@
 /// absorbs becomes queue growth and tail blowup here (the paper's Figure 7
 /// effect, expressed as latency).
 ///
+/// Workers can be recycled under a WorkerRestartPolicy — the paper's
+/// Section 4.4 restart methodology moved into the serving layer: a worker
+/// restarts after serving N requests and/or after a failed (out-of-memory)
+/// request, paying a fixed downtime during which it accepts no work.
+/// Restarting workers do not count toward the contention level.
+///
 /// The pool is a pure discrete-event engine: rates are piecewise-constant
-/// between events (arrivals, completions), so work integrals are exact.
+/// between events (arrivals, completions, restart ends), so work integrals
+/// are exact.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +47,22 @@ enum class QueuePolicy {
 const char *queuePolicyName(QueuePolicy Policy);
 std::optional<QueuePolicy> queuePolicyFromName(const std::string &Name);
 
+/// When and how workers are recycled (the paper evaluates restart periods
+/// of 20/100/500/2500 transactions for the Ruby study).
+struct WorkerRestartPolicy {
+  /// Restart a worker after it has served this many requests (0 = never).
+  uint64_t EveryNTx = 0;
+  /// Also restart the worker that just served a failed (OOM) request.
+  bool OnOom = false;
+  /// Downtime of one restart, in seconds (0 = instantaneous reset).
+  double RestartCostSec = 0.0;
+  /// Modelled worker-heap growth per served request (interpreter litter);
+  /// a restart resets the worker's heap to zero.
+  uint64_t HeapBytesPerTx = 0;
+
+  bool enabled() const { return EveryNTx != 0 || OnOom; }
+};
+
 /// One request flowing through the serving simulation.
 struct Request {
   uint64_t Id = 0;
@@ -49,6 +72,14 @@ struct Request {
   double ArrivalSec = 0.0;
   /// Service demand in contention-free seconds (one busy worker).
   double WorkSec = 0.0;
+  /// This attempt will end in failure (the worker's transaction hits the
+  /// injected/real OOM); decided by the caller before admission.
+  bool WillFail = false;
+  /// 1 for the first submission; retries increment it.
+  unsigned Attempt = 1;
+  /// Arrival of the first attempt — client-visible latency is measured
+  /// from here, across retries.
+  double FirstArrivalSec = 0.0;
 };
 
 /// A finished request with its scheduling timestamps.
@@ -56,6 +87,7 @@ struct Completion {
   Request Req;
   double StartSec = 0.0;  ///< When a worker picked it up.
   double FinishSec = 0.0; ///< When service completed.
+  bool Failed = false;    ///< The serving transaction aborted (OOM).
 
   double waitSec() const { return StartSec - Req.ArrivalSec; }
   double sojournSec() const { return FinishSec - Req.ArrivalSec; }
@@ -72,22 +104,26 @@ public:
   /// \p QueueCapacity bounds the number of *waiting* requests; arrivals
   /// beyond it are dropped at admission.
   WorkerPool(unsigned Workers, size_t QueueCapacity, QueuePolicy Policy,
-             RateFn Rate);
+             RateFn Rate,
+             WorkerRestartPolicy Restart = WorkerRestartPolicy());
 
-  /// Offers a request at Req.ArrivalSec (times must be non-decreasing
-  /// across offer() calls). Returns false if the queue was full and the
-  /// request was dropped.
+  /// Offers a request at Req.ArrivalSec. Arrival times must be
+  /// non-decreasing across offer() calls — a regression is a checked,
+  /// fatal error, not silent corruption. Returns false if the queue was
+  /// full and the request was dropped.
   bool offer(const Request &Req);
 
-  /// True while any request is in service.
-  bool busy() const { return !InService.empty(); }
+  /// True while the pool still has progress to make: a request in service,
+  /// or queued work waiting out a restart.
+  bool busy() const { return !InService.empty() || !Queue.empty(); }
 
   /// Absolute time the earliest in-service request finishes (+inf when
-  /// idle).
+  /// idle), accounting for rate changes at intervening restart ends.
   double nextCompletionSec() const;
 
   /// Advances the clock to the earliest completion and returns it. The
-  /// freed worker immediately picks up the next queued request.
+  /// freed worker immediately picks up the next queued request (or enters
+  /// a restart, per the restart policy).
   Completion completeNext();
 
   size_t queueDepth() const { return Queue.size(); }
@@ -96,6 +132,13 @@ public:
   }
   unsigned workers() const { return NumWorkers; }
   uint64_t dropped() const { return Dropped; }
+
+  /// Worker restarts performed so far.
+  uint64_t restarts() const { return Restarts; }
+  /// Total restart downtime scheduled so far, seconds.
+  double restartDowntimeSec() const { return DowntimeSec; }
+  /// High-water mark of any single worker's modelled heap, bytes.
+  uint64_t peakWorkerHeapBytes() const { return PeakHeapBytes; }
 
   /// Integral of busyWorkers() over time — utilization accounting.
   double busyWorkerSeconds() const { return BusyIntegral; }
@@ -106,9 +149,27 @@ private:
     Request Req;
     double StartSec;
     double RemainingWork; ///< Contention-free seconds still owed.
+    unsigned Slot;        ///< Worker serving this request.
+  };
+
+  /// One worker's recycle state. A slot is available when it is not
+  /// serving and its restart (if any) has ended.
+  struct Slot {
+    bool Busy = false;
+    double RestartEndSec = 0.0;
+    uint64_t TxSinceRestart = 0;
+    uint64_t HeapBytes = 0;
   };
 
   void advanceTo(double T);
+  /// Pure integration step: no dispatching, T must not skip a pending
+  /// restart-dispatch event.
+  void integrateTo(double T);
+  /// Earliest time > NowSec a restarting slot frees up while work is
+  /// queued (+inf if none) — the only restart instants that are events.
+  double nextRestartDispatchSec() const;
+  /// Starts queued requests on every currently available slot.
+  void dispatchAvailable();
   void startService(const Request &Req, double Now);
   double rateOf(const InFlight &F) const;
   Request popQueued();
@@ -117,12 +178,17 @@ private:
   size_t QueueCapacity;
   QueuePolicy Policy;
   RateFn Rate;
+  WorkerRestartPolicy Restart;
 
   std::vector<InFlight> InService;
+  std::vector<Slot> Slots;
   std::deque<Request> Queue; ///< FIFO order; SJF scans for the minimum.
   double NowSec = 0.0;
   double BusyIntegral = 0.0;
   uint64_t Dropped = 0;
+  uint64_t Restarts = 0;
+  double DowntimeSec = 0.0;
+  uint64_t PeakHeapBytes = 0;
 };
 
 } // namespace ddm

@@ -2,8 +2,10 @@
 
 #include "support/Arena.h"
 #include "support/Error.h"
+#include "support/FaultInjection.h"
 
 #include <cassert>
+#include <cerrno>
 #include <cstring>
 #include <string>
 #include <sys/mman.h>
@@ -18,6 +20,32 @@ static size_t pageSize() {
 }
 
 AlignedArena::AlignedArena(size_t RequestedSize, size_t Alignment) {
+  std::string Error;
+  if (!reserve(RequestedSize, Alignment, Error))
+    fatal(Error);
+}
+
+std::optional<AlignedArena> AlignedArena::tryReserve(size_t Size,
+                                                     size_t Alignment,
+                                                     std::string *ErrorOut) {
+  std::string Error;
+  if (faultShouldFail(FaultSite::ArenaMap)) {
+    if (ErrorOut)
+      *ErrorOut = "mmap of " + std::to_string(Size) +
+                  " bytes failed: injected arena_map fault";
+    return std::nullopt;
+  }
+  AlignedArena Arena;
+  if (!Arena.reserve(Size, Alignment, Error)) {
+    if (ErrorOut)
+      *ErrorOut = std::move(Error);
+    return std::nullopt;
+  }
+  return std::optional<AlignedArena>(std::move(Arena));
+}
+
+bool AlignedArena::reserve(size_t RequestedSize, size_t Alignment,
+                           std::string &Error) {
   assert(RequestedSize > 0 && "arena must be nonempty");
   assert((Alignment & (Alignment - 1)) == 0 && "alignment must be power of 2");
   size_t Page = pageSize();
@@ -30,8 +58,12 @@ AlignedArena::AlignedArena(size_t RequestedSize, size_t Alignment) {
   MapSize = Size + Alignment;
   void *Raw = mmap(nullptr, MapSize, PROT_READ | PROT_WRITE,
                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
-  if (Raw == MAP_FAILED)
-    fatal("mmap of " + std::to_string(MapSize) + " bytes failed");
+  if (Raw == MAP_FAILED) {
+    Error = "mmap of " + std::to_string(MapSize) +
+            " bytes failed: " + std::strerror(errno);
+    Size = MapSize = 0;
+    return false;
+  }
   MapBase = static_cast<std::byte *>(Raw);
 
   uintptr_t RawAddr = reinterpret_cast<uintptr_t>(Raw);
@@ -51,6 +83,7 @@ AlignedArena::AlignedArena(size_t RequestedSize, size_t Alignment) {
     munmap(Base + Size, Tail);
     MapSize -= Tail;
   }
+  return true;
 }
 
 AlignedArena::~AlignedArena() {
@@ -81,7 +114,8 @@ AlignedArena &AlignedArena::operator=(AlignedArena &&Other) noexcept {
 
 void AlignedArena::decommit() {
   if (Base && madvise(Base, Size, MADV_DONTNEED) != 0)
-    fatal("madvise(MADV_DONTNEED) failed");
+    fatal(std::string("madvise(MADV_DONTNEED) failed: ") +
+          std::strerror(errno));
 }
 
 size_t AlignedArena::residentBytes() const {

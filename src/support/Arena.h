@@ -15,6 +15,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string>
 
 namespace ddm {
 
@@ -22,9 +24,17 @@ namespace ddm {
 class AlignedArena {
 public:
   /// Reserves \p Size bytes aligned to \p Alignment (a power of two >= the
-  /// page size). Aborts via fatal() if the OS refuses the mapping.
+  /// page size). Aborts via fatal() if the OS refuses the mapping; callers
+  /// that can degrade gracefully use tryReserve() instead.
   AlignedArena(size_t Size, size_t Alignment);
   ~AlignedArena();
+
+  /// Non-fatal reservation: returns the arena, or std::nullopt with
+  /// \p ErrorOut (if non-null) describing the mmap failure including
+  /// errno. Also honors the `arena_map` fault-injection site, so chaos
+  /// runs can exercise reservation-failure paths deterministically.
+  static std::optional<AlignedArena>
+  tryReserve(size_t Size, size_t Alignment, std::string *ErrorOut = nullptr);
 
   AlignedArena(const AlignedArena &) = delete;
   AlignedArena &operator=(const AlignedArena &) = delete;
@@ -50,6 +60,9 @@ public:
   size_t residentBytes() const;
 
 private:
+  AlignedArena() = default; ///< Empty shell for tryReserve to fill.
+  bool reserve(size_t RequestedSize, size_t Alignment, std::string &Error);
+
   std::byte *Base = nullptr;
   size_t Size = 0;
   std::byte *MapBase = nullptr;

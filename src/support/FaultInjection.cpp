@@ -1,0 +1,223 @@
+//===- support/FaultInjection.cpp - Deterministic fault injection ---------===//
+
+#include "support/FaultInjection.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ddm;
+
+std::atomic<bool> FaultInjector::Armed{false};
+
+const char *ddm::faultSiteName(FaultSite Site) {
+  switch (Site) {
+  case FaultSite::ArenaMap:
+    return "arena_map";
+  case FaultSite::SegmentAcquire:
+    return "segment_acquire";
+  case FaultSite::ChunkAcquire:
+    return "chunk_acquire";
+  case FaultSite::TraceWrite:
+    return "trace_write";
+  case FaultSite::WorkerHeap:
+    return "worker_heap";
+  }
+  return "?";
+}
+
+std::optional<FaultSite> ddm::faultSiteFromName(const std::string &Name) {
+  for (unsigned I = 0; I < NumFaultSites; ++I) {
+    auto Site = static_cast<FaultSite>(I);
+    if (Name == faultSiteName(Site))
+      return Site;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Strict whole-string parses; strtod/strtoull's silent-garbage acceptance
+/// would turn a typo in a --faults spec into a plan that never fires.
+bool parseProbability(const std::string &Text, double &Out) {
+  if (Text.empty())
+    return false;
+  char *End = nullptr;
+  double V = std::strtod(Text.c_str(), &End);
+  if (!End || *End != '\0' || !(V >= 0.0) || V > 1.0)
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseCount(const std::string &Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  for (char C : Text)
+    if (C < '0' || C > '9')
+      return false;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text.c_str(), &End, 10);
+  if (!End || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+std::string formatProbability(double P) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%g", P);
+  return Buf;
+}
+
+} // namespace
+
+bool FaultPlan::parse(const std::string &Spec, FaultPlan &Plan,
+                      std::string &Error) {
+  FaultPlan Out;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    std::string Item = Spec.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    if (Item.empty()) {
+      Error = "empty item in fault spec";
+      return false;
+    }
+
+    if (Item.compare(0, 5, "seed=") == 0) {
+      if (!parseCount(Item.substr(5), Out.Seed)) {
+        Error = "bad fault seed in '" + Item + "'";
+        return false;
+      }
+      continue;
+    }
+
+    size_t Colon = Item.find(':');
+    if (Colon == std::string::npos) {
+      Error = "fault item '" + Item +
+              "' is not 'seed=N' or 'site:trigger' (triggers: p=, every=, "
+              "after=)";
+      return false;
+    }
+    std::optional<FaultSite> Site = faultSiteFromName(Item.substr(0, Colon));
+    if (!Site) {
+      Error = "unknown fault site '" + Item.substr(0, Colon) + "'";
+      return false;
+    }
+    std::string Trigger = Item.substr(Colon + 1);
+    FaultTrigger T;
+    if (Trigger.compare(0, 2, "p=") == 0) {
+      T.Mode = FaultTrigger::Kind::Probability;
+      if (!parseProbability(Trigger.substr(2), T.P)) {
+        Error = "bad probability in '" + Item + "' (need p in [0,1])";
+        return false;
+      }
+    } else if (Trigger.compare(0, 6, "every=") == 0) {
+      T.Mode = FaultTrigger::Kind::EveryNth;
+      if (!parseCount(Trigger.substr(6), T.N) || T.N == 0) {
+        Error = "bad count in '" + Item + "' (need every=N with N >= 1)";
+        return false;
+      }
+    } else if (Trigger.compare(0, 6, "after=") == 0) {
+      T.Mode = FaultTrigger::Kind::AfterN;
+      if (!parseCount(Trigger.substr(6), T.N)) {
+        Error = "bad count in '" + Item + "' (need after=N)";
+        return false;
+      }
+    } else {
+      Error = "unknown trigger in '" + Item +
+              "' (triggers: p=0.01, every=50, after=100)";
+      return false;
+    }
+    Out.Sites[static_cast<unsigned>(*Site)] = T;
+  }
+  Plan = Out;
+  return true;
+}
+
+std::string FaultPlan::describe() const {
+  std::string Out = "seed=" + std::to_string(Seed);
+  for (unsigned I = 0; I < NumFaultSites; ++I) {
+    const FaultTrigger &T = Sites[I];
+    if (T.Mode == FaultTrigger::Kind::Never)
+      continue;
+    Out += ',';
+    Out += faultSiteName(static_cast<FaultSite>(I));
+    Out += ':';
+    switch (T.Mode) {
+    case FaultTrigger::Kind::Probability:
+      Out += "p=" + formatProbability(T.P);
+      break;
+    case FaultTrigger::Kind::EveryNth:
+      Out += "every=" + std::to_string(T.N);
+      break;
+    case FaultTrigger::Kind::AfterN:
+      Out += "after=" + std::to_string(T.N);
+      break;
+    case FaultTrigger::Kind::Never:
+      break;
+    }
+  }
+  return Out;
+}
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector Singleton;
+  return Singleton;
+}
+
+void FaultInjector::arm(const FaultPlan &NewPlan) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Plan = NewPlan;
+  for (unsigned I = 0; I < NumFaultSites; ++I) {
+    // One independent stream per site, derived from the plan seed, so
+    // adding a trigger at one site never shifts another site's sequence.
+    Streams[I].reseed(Plan.Seed ^ (0x9e3779b97f4a7c15ull * (I + 1)));
+    Counters[I] = FaultSiteCounters();
+  }
+  Armed.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Armed.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::shouldFail(FaultSite Site) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Armed.load(std::memory_order_relaxed))
+    return false;
+  unsigned I = static_cast<unsigned>(Site);
+  FaultSiteCounters &C = Counters[I];
+  ++C.Hits;
+  const FaultTrigger &T = Plan.Sites[I];
+  bool Fail = false;
+  switch (T.Mode) {
+  case FaultTrigger::Kind::Never:
+    break;
+  case FaultTrigger::Kind::Probability:
+    Fail = Streams[I].nextBool(T.P);
+    break;
+  case FaultTrigger::Kind::EveryNth:
+    Fail = C.Hits % T.N == 0;
+    break;
+  case FaultTrigger::Kind::AfterN:
+    Fail = C.Hits > T.N;
+    break;
+  }
+  if (Fail)
+    ++C.Fired;
+  return Fail;
+}
+
+FaultSiteCounters FaultInjector::counters(FaultSite Site) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters[static_cast<unsigned>(Site)];
+}
+
+FaultPlan FaultInjector::plan() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Plan;
+}

@@ -1,0 +1,148 @@
+//===- support/FaultInjection.h - Deterministic fault injection *- C++ -*-===//
+///
+/// \file
+/// A process-wide, seed-deterministic fault plan for chaos testing. Code
+/// at a resource boundary asks faultShouldFail(Site) before committing the
+/// resource; an armed plan answers from a per-site trigger (probability,
+/// every-Nth hit, or every hit after the first N) driven by a per-site
+/// deterministic random stream, so a failing run replays exactly from its
+/// seed.
+///
+/// The named sites are the repo's recoverable resource boundaries:
+///
+///   arena_map        AlignedArena::tryReserve (address-space reservation)
+///   segment_acquire  DDmalloc taking a fresh segment
+///   chunk_acquire    region/obstack allocators growing by a chunk
+///   trace_write      TraceWriter flushing bytes to disk
+///   worker_heap      TransactionRuntime satisfying an allocation
+///
+/// When no plan is armed (the default) the fast path is one relaxed
+/// atomic load, so instrumented hot paths cost nothing in normal runs.
+/// Arming resets every per-site stream and counter; the injector is a
+/// process singleton guarded by a mutex, safe under the parallel sweep
+/// runner's worker threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_SUPPORT_FAULTINJECTION_H
+#define DDM_SUPPORT_FAULTINJECTION_H
+
+#include "support/Random.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace ddm {
+
+/// Every instrumented resource boundary.
+enum class FaultSite : unsigned {
+  ArenaMap = 0,
+  SegmentAcquire,
+  ChunkAcquire,
+  TraceWrite,
+  WorkerHeap,
+};
+
+constexpr unsigned NumFaultSites = 5;
+
+/// Stable name ("arena_map", "segment_acquire", "chunk_acquire",
+/// "trace_write", "worker_heap").
+const char *faultSiteName(FaultSite Site);
+
+/// Parses a stable name back to the enum; std::nullopt if unknown.
+std::optional<FaultSite> faultSiteFromName(const std::string &Name);
+
+/// When one site's hits fail.
+struct FaultTrigger {
+  enum class Kind {
+    Never,       ///< Site never fails (the default).
+    Probability, ///< Each hit fails independently with probability P.
+    EveryNth,    ///< Hits N, 2N, 3N, ... fail (1-indexed).
+    AfterN,      ///< Every hit after the first N fails.
+  };
+
+  Kind Mode = Kind::Never;
+  double P = 0.0;   ///< Probability mode only.
+  uint64_t N = 0;   ///< EveryNth / AfterN modes only.
+};
+
+/// A full plan: one trigger per site plus the seed of the per-site random
+/// streams. Fully reproducible: arming the same plan twice yields the same
+/// fail/pass sequence at every site.
+struct FaultPlan {
+  uint64_t Seed = 0;
+  std::array<FaultTrigger, NumFaultSites> Sites;
+
+  /// Parses a `--faults` spec: comma-separated `seed=N` and
+  /// `site:trigger` items, where trigger is `p=0.01`, `every=50`, or
+  /// `after=100`. Example:
+  ///
+  ///   seed=42,worker_heap:p=0.01,segment_acquire:every=50
+  ///
+  /// Returns false with \p Error set on any malformed item.
+  static bool parse(const std::string &Spec, FaultPlan &Plan,
+                    std::string &Error);
+
+  /// Canonical spec string (parseable by parse(); sites in enum order).
+  std::string describe() const;
+};
+
+/// Per-site accounting since the last arm().
+struct FaultSiteCounters {
+  uint64_t Hits = 0;  ///< faultShouldFail() calls while armed.
+  uint64_t Fired = 0; ///< Calls that returned "fail".
+};
+
+/// The process-wide injector. Use the faultShouldFail() free function at
+/// instrumented sites; use arm()/disarm() from drivers and tests.
+class FaultInjector {
+public:
+  static FaultInjector &instance();
+
+  /// Installs \p Plan, resetting every per-site stream and counter.
+  void arm(const FaultPlan &Plan);
+
+  /// Removes the plan; faultShouldFail() returns false everywhere again.
+  /// Counters remain readable until the next arm().
+  void disarm();
+
+  bool armed() const { return Armed.load(std::memory_order_relaxed); }
+
+  /// One hit at \p Site: advances the site's counters/stream and returns
+  /// true if the plan says this hit fails. False when disarmed.
+  bool shouldFail(FaultSite Site);
+
+  FaultSiteCounters counters(FaultSite Site) const;
+  FaultPlan plan() const;
+
+  /// Fast armed check for the inline fast path.
+  static bool armedFast() {
+    return Armed.load(std::memory_order_relaxed);
+  }
+
+private:
+  FaultInjector() = default;
+
+  static std::atomic<bool> Armed;
+
+  mutable std::mutex Mutex;
+  FaultPlan Plan;
+  std::array<Rng, NumFaultSites> Streams;
+  std::array<FaultSiteCounters, NumFaultSites> Counters;
+};
+
+/// The instrumented-site entry point: one relaxed atomic load when no plan
+/// is armed.
+inline bool faultShouldFail(FaultSite Site) {
+  if (!FaultInjector::armedFast())
+    return false;
+  return FaultInjector::instance().shouldFail(Site);
+}
+
+} // namespace ddm
+
+#endif // DDM_SUPPORT_FAULTINJECTION_H

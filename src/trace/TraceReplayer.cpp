@@ -73,6 +73,11 @@ TraceReplayer::replayTransactionInto(TxExecutor &Executor, TraceStats &Stats,
       } else {
         Executor.onAlloc(E.Id, E.Size);
       }
+      if (Executor.txAborted()) {
+        fail("allocation of " + std::to_string(E.Size) + " bytes for object " +
+             Id + " failed: the executor's allocator exhausted its heap");
+        return Step::Error;
+      }
       break;
     }
     case TraceOp::Free:
@@ -102,6 +107,11 @@ TraceReplayer::replayTransactionInto(TxExecutor &Executor, TraceStats &Stats,
       // allocation size definition), as in the generator's TraceStats.
       ++Stats.Reallocs;
       Executor.onRealloc(E.Id, E.OldSize, E.Size);
+      if (Executor.txAborted()) {
+        fail("realloc of object " + Id + " to " + std::to_string(E.Size) +
+             " bytes failed: the executor's allocator exhausted its heap");
+        return Step::Error;
+      }
       break;
     }
     case TraceOp::Touch:

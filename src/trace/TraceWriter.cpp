@@ -3,6 +3,7 @@
 #include "trace/TraceWriter.h"
 
 #include "support/Crc32.h"
+#include "support/FaultInjection.h"
 
 #include <cerrno>
 #include <cstring>
@@ -111,6 +112,13 @@ void TraceWriter::writeRaw(const void *Data, size_t Size) {
         std::string("write failed: ") + std::strerror(ENOSPC) +
             " (simulated, test byte limit)",
         Bytes, Events);
+    return;
+  }
+  if (faultShouldFail(FaultSite::TraceWrite)) {
+    // Sticky, like a real I/O error: the writer stays truncatable to the
+    // last good frame boundary.
+    Status = TraceStatus::error("write failed: injected trace_write fault",
+                                Bytes, Events);
     return;
   }
   if (std::fwrite(Data, 1, Size, File) != Size) {

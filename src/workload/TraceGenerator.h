@@ -65,6 +65,13 @@ public:
     onAlloc(Id, Size);
   }
   /// @}
+
+  /// True once the executor has abandoned the current transaction (heap
+  /// exhaustion, say) and is ignoring further events until the
+  /// end-of-transaction boundary. The generator keeps feeding events
+  /// regardless — its stream must never depend on the executor — but
+  /// replay drivers use this to surface a positioned diagnostic.
+  virtual bool txAborted() const { return false; }
 };
 
 /// Actual counts produced for one transaction (for Table 3 validation).

@@ -73,6 +73,47 @@ TEST(AllocatorFactoryTest, StudyGroupsAreConsistent) {
   EXPECT_FALSE(createAllocator(AllocatorKind::Hoard)->supportsBulkFree());
 }
 
+TEST(AllocatorFactoryTest, CheckedConstructionSucceedsForEveryKind) {
+  for (AllocatorKind Kind : allAllocatorKinds()) {
+    AllocatorOptions Options;
+    Options.HeapReserveBytes = 32ull * 1024 * 1024;
+    Options.RegionChunkBytes = 32ull * 1024 * 1024;
+    std::string Error;
+    auto A = createAllocatorChecked(Kind, Options, Error);
+    ASSERT_NE(A, nullptr) << allocatorKindName(Kind) << ": " << Error;
+    EXPECT_TRUE(Error.empty());
+    EXPECT_NE(A->allocate(64), nullptr);
+  }
+}
+
+TEST(AllocatorFactoryTest, CheckedRejectsBadDDmallocConfiguration) {
+  // The same configurations the constructor would abort on come back as
+  // clean diagnostics instead.
+  std::string Error;
+  AllocatorOptions Options;
+  Options.SegmentSize = 3000; // not a power of two
+  EXPECT_EQ(createAllocatorChecked(AllocatorKind::DDmalloc, Options, Error),
+            nullptr);
+  EXPECT_NE(Error.find("power of two"), std::string::npos) << Error;
+
+  Options = AllocatorOptions();
+  Options.HeapReserveBytes = 2 * Options.SegmentSize;
+  EXPECT_EQ(createAllocatorChecked(AllocatorKind::DDmalloc, Options, Error),
+            nullptr);
+  EXPECT_NE(Error.find("too small"), std::string::npos) << Error;
+}
+
+TEST(AllocatorFactoryTest, CheckedRejectsImpossibleReservation) {
+  std::string Error;
+  AllocatorOptions Options;
+  Options.HeapReserveBytes = ~uint64_t(0) >> 2; // beyond any address space
+  EXPECT_EQ(createAllocatorChecked(AllocatorKind::Glibc, Options, Error),
+            nullptr);
+  EXPECT_NE(Error.find("too large for this system"), std::string::npos)
+      << Error;
+  EXPECT_NE(Error.find("mmap"), std::string::npos) << Error;
+}
+
 TEST(AllocatorFactoryTest, SeparateInstancesAreIndependentHeaps) {
   AllocatorOptions Options;
   Options.HeapReserveBytes = 16ull * 1024 * 1024;

@@ -1,0 +1,152 @@
+//===- tests/runtime/OomRecoveryTest.cpp - Recoverable heap exhaustion ----===//
+///
+/// The error-handling contract's central promise: a mid-transaction
+/// allocation failure aborts only that transaction. These tests drive the
+/// runtime with the worker_heap fault site armed and check, for every
+/// allocator in the zoo, that executeTransaction() reports OutOfMemory,
+/// the rollback returns the heap to zero live bytes, the outcome carries a
+/// usable diagnostic, and the same runtime keeps serving clean
+/// transactions afterwards. Corruption, by contrast, stays fatal — the
+/// canary death tests pin that boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TransactionRuntime.h"
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+using namespace ddm;
+
+namespace {
+
+class OomRecoveryTest : public testing::Test {
+protected:
+  void TearDown() override { FaultInjector::instance().disarm(); }
+
+  static void arm(const std::string &Spec) {
+    FaultPlan Plan;
+    std::string Error;
+    ASSERT_TRUE(FaultPlan::parse(Spec, Plan, Error)) << Error;
+    FaultInjector::instance().arm(Plan);
+  }
+
+  static RuntimeConfig configFor(AllocatorKind Kind) {
+    RuntimeConfig Config;
+    Config.Kind = Kind;
+    Config.UseBulkFree = allocatorSupportsBulkFree(Kind);
+    Config.LeakFraction = 0.0;
+    Config.Scale = 0.05;
+    return Config;
+  }
+};
+
+TEST_F(OomRecoveryTest, EveryAllocatorSurvivesAnInjectedOomAndStaysUsable) {
+  for (AllocatorKind Kind : allAllocatorKinds()) {
+    const char *Name = allocatorKindName(Kind);
+    SCOPED_TRACE(Name);
+    // The 40th runtime allocation of the first transaction fails.
+    arm("seed=1,worker_heap:every=40");
+    TransactionRuntime Runtime(phpBb(), configFor(Kind));
+    EXPECT_EQ(Runtime.executeTransaction(), TxStatus::OutOfMemory);
+
+    const TxOutcome &Outcome = Runtime.lastOutcome();
+    EXPECT_EQ(Outcome.Status, TxStatus::OutOfMemory);
+    EXPECT_EQ(Outcome.AllocatorName, Name);
+    EXPECT_GT(Outcome.FailedAllocBytes, 0u);
+    EXPECT_GT(Outcome.PeakLiveBytes, 0u);
+
+    // The rollback reclaimed everything the doomed transaction allocated.
+    EXPECT_EQ(Runtime.allocator().stats().UsableBytesLive, 0u);
+    EXPECT_EQ(Runtime.metrics().OomAborts, 1u);
+    EXPECT_EQ(Runtime.metrics().Transactions, 0u);
+
+    // The same runtime (same heap) serves a clean transaction afterwards,
+    // and the success resets the sticky outcome.
+    FaultInjector::instance().disarm();
+    EXPECT_EQ(Runtime.executeTransaction(), TxStatus::Ok);
+    EXPECT_EQ(Runtime.lastOutcome().Status, TxStatus::Ok);
+    EXPECT_EQ(Runtime.metrics().Transactions, 1u);
+    EXPECT_EQ(Runtime.allocator().stats().UsableBytesLive, 0u);
+  }
+}
+
+TEST_F(OomRecoveryTest, AbortedTransactionContributesNothingToAverages) {
+  arm("seed=1,worker_heap:every=25");
+  RuntimeConfig Config = configFor(AllocatorKind::DDmalloc);
+  TransactionRuntime Runtime(phpBb(), Config);
+  EXPECT_EQ(Runtime.executeTransaction(), TxStatus::OutOfMemory);
+  EXPECT_EQ(Runtime.metrics().TotalTrace.Mallocs, 0u);
+  EXPECT_EQ(Runtime.metrics().ConsumptionBytes.count(), 0u);
+
+  FaultInjector::instance().disarm();
+  EXPECT_EQ(Runtime.executeTransaction(), TxStatus::Ok);
+  EXPECT_GT(Runtime.metrics().TotalTrace.Mallocs, 0u);
+  EXPECT_EQ(Runtime.metrics().ConsumptionBytes.count(), 1u);
+}
+
+TEST_F(OomRecoveryTest, DirectDriveAbortIgnoresEventsUntilTransactionEnd) {
+  // Drive the TxExecutor interface by hand: after the failed allocation
+  // the runtime must no-op every later event (the generator's stream winds
+  // down without touching dead state), then roll back at the boundary.
+  arm("seed=1,worker_heap:p=1");
+  TransactionRuntime Runtime(phpBb(), configFor(AllocatorKind::Glibc));
+  ASSERT_FALSE(Runtime.txAborted());
+  Runtime.onAlloc(0, 64); // fails immediately
+  EXPECT_TRUE(Runtime.txAborted());
+  // None of these may touch the (never-created) object or crash.
+  Runtime.onTouch(0, true);
+  Runtime.onRealloc(0, 64, 128);
+  Runtime.onFree(0);
+  Runtime.onWork(100);
+  EXPECT_EQ(Runtime.completeTransaction(TraceStats()), TxStatus::OutOfMemory);
+  EXPECT_EQ(Runtime.lastOutcome().FailedAllocBytes, 64u);
+  EXPECT_FALSE(Runtime.txAborted());
+}
+
+TEST_F(OomRecoveryTest, FailedReallocKeepsTheOldObjectAndRollsItBack) {
+  TransactionRuntime Runtime(phpBb(), configFor(AllocatorKind::Glibc));
+  Runtime.onAlloc(0, 64);
+  ASSERT_NE(Runtime.objectAddress(0), nullptr);
+  arm("seed=1,worker_heap:p=1");
+  Runtime.onRealloc(0, 64, 4096); // grow fails
+  EXPECT_TRUE(Runtime.txAborted());
+  // realloc contract: the old allocation is still live until rollback.
+  EXPECT_GT(Runtime.allocator().stats().UsableBytesLive, 0u);
+  FaultInjector::instance().disarm();
+  EXPECT_EQ(Runtime.completeTransaction(TraceStats()), TxStatus::OutOfMemory);
+  EXPECT_EQ(Runtime.allocator().stats().UsableBytesLive, 0u);
+  EXPECT_EQ(Runtime.lastOutcome().FailedAllocBytes, 4096u);
+}
+
+using OomRecoveryDeathTest = OomRecoveryTest;
+
+TEST_F(OomRecoveryDeathTest, CorruptedCanaryIsFatalOnFree) {
+  TransactionRuntime Runtime(phpBb(), configFor(AllocatorKind::DDmalloc));
+  Runtime.onAlloc(7, 64);
+  auto *Canary = static_cast<uint32_t *>(Runtime.objectAddress(7));
+  ASSERT_NE(Canary, nullptr);
+  *Canary ^= 0xdeadbeef; // smash the object's identity word
+  EXPECT_DEATH(Runtime.onFree(7), "canary mismatch before free");
+}
+
+TEST_F(OomRecoveryDeathTest, CorruptedCanaryIsFatalOnTouch) {
+  TransactionRuntime Runtime(phpBb(), configFor(AllocatorKind::Glibc));
+  Runtime.onAlloc(3, 128);
+  auto *Canary = static_cast<uint32_t *>(Runtime.objectAddress(3));
+  ASSERT_NE(Canary, nullptr);
+  *Canary = ~*Canary;
+  EXPECT_DEATH(Runtime.onTouch(3, false), "canary mismatch on touch");
+}
+
+TEST_F(OomRecoveryDeathTest, UndersizedHeapReservationIsFatal) {
+  // Misconfiguration (unlike exhaustion) aborts: a ddmalloc heap smaller
+  // than four segments cannot hold its own metadata.
+  AllocatorOptions Options;
+  Options.SegmentSize = 32 * 1024;
+  Options.HeapReserveBytes = 2 * Options.SegmentSize;
+  EXPECT_DEATH(createAllocator(AllocatorKind::DDmalloc, Options),
+               "heap reservation too small");
+}
+
+} // namespace

@@ -2,6 +2,8 @@
 
 #include "server/ServingSimulator.h"
 
+#include "support/FaultInjection.h"
+
 #include <gtest/gtest.h>
 
 using namespace ddm;
@@ -138,6 +140,96 @@ TEST(ServingSimulatorTest, ClosedLoopSelfLimits) {
   // At most Clients requests are ever in flight.
   EXPECT_LE(M.QueueDepthAtArrival.max(), 4.0);
   EXPECT_LE(M.MeanBusyWorkers, 4.0 + 1e-9);
+}
+
+namespace {
+
+/// Arms the worker_heap fault site with \p Spec for the duration of one
+/// serving run; models must be built before construction (profiling stays
+/// fault-free).
+class ArmedFaults {
+public:
+  explicit ArmedFaults(const std::string &Spec) {
+    FaultPlan Plan;
+    std::string Error;
+    EXPECT_TRUE(FaultPlan::parse(Spec, Plan, Error)) << Error;
+    FaultInjector::instance().arm(Plan);
+  }
+  ~ArmedFaults() { FaultInjector::instance().disarm(); }
+};
+
+} // namespace
+
+TEST(ServingSimulatorTest, ClosedLoopRetriesFailuresAndCountersPartition) {
+  const ServiceTimeModel &Model = modelFor(AllocatorKind::DDmalloc);
+  ServingConfig Config;
+  Config.Load.Process = ArrivalProcess::ClosedLoop;
+  Config.Load.Clients = 8;
+  Config.Load.MeanThinkSec = Model.Workloads[0].BaseServiceSec;
+  Config.Load.Seed = 0xfa11;
+  Config.QueueCapacity = 64;
+  Config.DurationTx = 300;
+  Config.MaxAttempts = 3;
+  Config.RetryBackoffSec = 0.01;
+
+  auto Run = [&] {
+    ArmedFaults Faults("seed=3,worker_heap:p=0.05");
+    return runServing(Model, Config);
+  };
+  ServingMetrics M = Run();
+  EXPECT_TRUE(M.countersConsistent())
+      << M.Offered << " != " << M.Completed << "+" << M.Retried << "+"
+      << M.Failed << "+" << M.Dropped << "+" << M.Unfinished;
+  EXPECT_GT(M.Retried, 0u);
+  // The loop runs to its target: every counted request either completed
+  // or exhausted its attempts.
+  EXPECT_EQ(M.Completed + M.Failed, Config.DurationTx);
+  // p = 0.05 with 3 attempts: permanent failures (p^3) are rare but
+  // retries are not; completions dominate.
+  EXPECT_GT(M.Completed, M.Failed * 10);
+
+  // The fault plan's seed makes the whole run reproducible.
+  ServingMetrics N = Run();
+  EXPECT_EQ(M.Completed, N.Completed);
+  EXPECT_EQ(M.Retried, N.Retried);
+  EXPECT_EQ(M.Failed, N.Failed);
+  EXPECT_EQ(M.LatencyUs.percentile(0.99), N.LatencyUs.percentile(0.99));
+}
+
+TEST(ServingSimulatorTest, OpenLoopFailuresAreTerminal) {
+  const ServiceTimeModel &Model = modelFor(AllocatorKind::DDmalloc);
+  ServingConfig Config = baseConfig(0.6 * Model.capacityRps());
+  Config.DurationTx = 600;
+  ArmedFaults Faults("seed=5,worker_heap:p=0.04");
+  ServingMetrics M = runServing(Model, Config);
+  EXPECT_TRUE(M.countersConsistent());
+  EXPECT_GT(M.Failed, 0u);
+  EXPECT_EQ(M.Retried, 0u);   // open-loop clients never retry
+  EXPECT_EQ(M.Unfinished, 0u); // the pool drains fully
+  EXPECT_EQ(M.Completed + M.Failed, Config.DurationTx);
+}
+
+TEST(ServingSimulatorTest, RestartPolicySurfacesInMetricsAndSlowsTheRun) {
+  const ServiceTimeModel &Model = modelFor(AllocatorKind::DDmalloc);
+  ServingConfig Base = baseConfig(0.7 * Model.capacityRps());
+  Base.DurationTx = 600;
+  ServingMetrics NoRestart = runServing(Model, Base);
+  EXPECT_EQ(NoRestart.Restarts, 0u);
+  EXPECT_EQ(NoRestart.PeakWorkerHeapBytes, 0u);
+
+  ServingConfig WithRestart = Base;
+  WithRestart.Restart.EveryNTx = 25;
+  WithRestart.Restart.RestartCostSec = 0.02;
+  WithRestart.Restart.HeapBytesPerTx = 1 << 20;
+  ServingMetrics M = runServing(Model, WithRestart);
+  EXPECT_GT(M.Restarts, 0u);
+  EXPECT_NEAR(M.RestartDowntimeSec,
+              static_cast<double>(M.Restarts) * 0.02, 1e-9);
+  // Heap peaks at one restart period's worth of litter.
+  EXPECT_EQ(M.PeakWorkerHeapBytes, 25u << 20);
+  // Paying downtime can only stretch the run.
+  EXPECT_GE(M.MakespanSec, NoRestart.MakespanSec);
+  EXPECT_TRUE(M.countersConsistent());
 }
 
 TEST(ServingSimulatorTest, SjfReordersButConservesRequests) {

@@ -170,3 +170,105 @@ TEST(WorkerPoolTest, PolicyNamesRoundTrip) {
   EXPECT_EQ(queuePolicyFromName("sjf"), QueuePolicy::Sjf);
   EXPECT_FALSE(queuePolicyFromName("lifo").has_value());
 }
+
+namespace {
+
+Request unitRequest(uint64_t Id, double ArrivalSec, double WorkSec = 1.0) {
+  Request Req;
+  Req.Id = Id;
+  Req.ArrivalSec = ArrivalSec;
+  Req.FirstArrivalSec = ArrivalSec;
+  Req.WorkSec = WorkSec;
+  return Req;
+}
+
+WorkerPool::RateFn unitRate() {
+  return [](unsigned, unsigned) { return 1.0; };
+}
+
+} // namespace
+
+TEST(WorkerPoolTest, RestartEveryNPausesTheWorkerForTheDowntime) {
+  WorkerRestartPolicy Restart;
+  Restart.EveryNTx = 1;
+  Restart.RestartCostSec = 0.5;
+  WorkerPool Pool(1, 8, QueuePolicy::Fifo, unitRate(), Restart);
+  ASSERT_TRUE(Pool.offer(unitRequest(0, 0.0)));
+  ASSERT_TRUE(Pool.offer(unitRequest(1, 0.1))); // queued behind A
+
+  Completion A = Pool.completeNext();
+  EXPECT_NEAR(A.FinishSec, 1.0, 1e-9);
+  EXPECT_EQ(Pool.restarts(), 1u);
+  // B cannot start until the restart ends at 1.5; it finishes at 2.5 —
+  // and nextCompletionSec() must already account for the pending
+  // restart-dispatch event.
+  EXPECT_NEAR(Pool.nextCompletionSec(), 2.5, 1e-9);
+  Completion B = Pool.completeNext();
+  EXPECT_NEAR(B.StartSec, 1.5, 1e-9);
+  EXPECT_NEAR(B.FinishSec, 2.5, 1e-9);
+  EXPECT_EQ(Pool.restarts(), 2u);
+  EXPECT_NEAR(Pool.restartDowntimeSec(), 1.0, 1e-9);
+}
+
+TEST(WorkerPoolTest, RestartOnOomFiresOnlyAfterFailedRequests) {
+  WorkerRestartPolicy Restart;
+  Restart.OnOom = true;
+  Restart.RestartCostSec = 0.25;
+  WorkerPool Pool(1, 8, QueuePolicy::Fifo, unitRate(), Restart);
+
+  ASSERT_TRUE(Pool.offer(unitRequest(0, 0.0)));
+  Completion Ok = Pool.completeNext();
+  EXPECT_FALSE(Ok.Failed);
+  EXPECT_EQ(Pool.restarts(), 0u);
+
+  Request Doomed = unitRequest(1, Ok.FinishSec);
+  Doomed.WillFail = true;
+  ASSERT_TRUE(Pool.offer(Doomed));
+  Completion Failed = Pool.completeNext();
+  EXPECT_TRUE(Failed.Failed);
+  EXPECT_EQ(Pool.restarts(), 1u);
+  EXPECT_NEAR(Pool.restartDowntimeSec(), 0.25, 1e-9);
+}
+
+TEST(WorkerPoolTest, WorkerHeapGrowsPerTxAndResetsOnRestart) {
+  WorkerRestartPolicy Restart;
+  Restart.EveryNTx = 3;
+  Restart.HeapBytesPerTx = 100;
+  WorkerPool Pool(1, 8, QueuePolicy::Fifo, unitRate(), Restart);
+  double Now = 0.0;
+  for (uint64_t I = 0; I < 5; ++I) {
+    ASSERT_TRUE(Pool.offer(unitRequest(I, Now)));
+    Now = Pool.completeNext().FinishSec;
+  }
+  // Heap peaks at 3 served requests, the restart wipes it, and two more
+  // requests cannot beat the old high-water mark.
+  EXPECT_EQ(Pool.restarts(), 1u);
+  EXPECT_EQ(Pool.peakWorkerHeapBytes(), 300u);
+}
+
+TEST(WorkerPoolTest, RestartingWorkerDoesNotCountTowardContention) {
+  // Two workers, rate halves when both are busy. With worker 1 restarting
+  // (after its first job), a single in-service request must run at full
+  // rate — a restarting worker is out of service, not contending.
+  WorkerRestartPolicy Restart;
+  Restart.EveryNTx = 1;
+  Restart.RestartCostSec = 10.0;
+  WorkerPool Pool(2, 8, QueuePolicy::Fifo,
+                  [](unsigned, unsigned Busy) { return Busy <= 1 ? 1.0 : 0.5; },
+                  Restart);
+  ASSERT_TRUE(Pool.offer(unitRequest(0, 0.0, 0.5)));
+  Completion First = Pool.completeNext();
+  EXPECT_NEAR(First.FinishSec, 0.5, 1e-9);
+  // The second request runs alone while the first worker restarts.
+  ASSERT_TRUE(Pool.offer(unitRequest(1, 0.5, 1.0)));
+  EXPECT_EQ(Pool.busyWorkers(), 1u);
+  Completion Second = Pool.completeNext();
+  EXPECT_NEAR(Second.FinishSec, 1.5, 1e-9);
+}
+
+TEST(WorkerPoolDeathTest, ArrivalTimeRegressionIsFatal) {
+  WorkerPool Pool(1, 8, QueuePolicy::Fifo, unitRate());
+  ASSERT_TRUE(Pool.offer(unitRequest(0, 1.0)));
+  EXPECT_DEATH(Pool.offer(unitRequest(1, 0.5)),
+               "arrival times must be non-decreasing");
+}

@@ -1,6 +1,7 @@
 //===- tests/support/ArenaTest.cpp - AlignedArena unit tests --------------===//
 
 #include "support/Arena.h"
+#include "support/FaultInjection.h"
 
 #include <gtest/gtest.h>
 
@@ -66,4 +67,40 @@ TEST(ArenaTest, LazyCommitKeepsLargeReservationsCheap) {
   AlignedArena Arena(1ull << 30, 4096);
   Arena.base()[0] = std::byte{1};
   EXPECT_LT(Arena.residentBytes(), 64u * 1024 * 1024);
+}
+
+TEST(ArenaTest, TryReserveSucceedsWhereTheCtorWould) {
+  std::string Error;
+  std::optional<AlignedArena> Arena = AlignedArena::tryReserve(1 << 20, 32768, &Error);
+  ASSERT_TRUE(Arena.has_value()) << Error;
+  EXPECT_TRUE(Error.empty());
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(Arena->base()) % 32768, 0u);
+  Arena->base()[0] = std::byte{1}; // writable
+}
+
+TEST(ArenaTest, TryReserveReportsImpossibleReservationWithErrno) {
+  // An address-space-sized request must fail gracefully with the mmap
+  // errno in the message, not abort the process like the constructor.
+  std::string Error;
+  std::optional<AlignedArena> Arena =
+      AlignedArena::tryReserve(~uint64_t(0) >> 2, 4096, &Error);
+  ASSERT_FALSE(Arena.has_value());
+  EXPECT_NE(Error.find("mmap"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("failed"), std::string::npos) << Error;
+}
+
+TEST(ArenaTest, TryReserveHonorsTheArenaMapFaultSite) {
+  FaultPlan Plan;
+  std::string ParseError;
+  ASSERT_TRUE(FaultPlan::parse("seed=1,arena_map:p=1", Plan, ParseError));
+  FaultInjector::instance().arm(Plan);
+  std::string Error;
+  std::optional<AlignedArena> Arena =
+      AlignedArena::tryReserve(1 << 20, 4096, &Error);
+  FaultInjector::instance().disarm();
+  ASSERT_FALSE(Arena.has_value());
+  EXPECT_NE(Error.find("injected arena_map fault"), std::string::npos)
+      << Error;
+  // With the injector disarmed the identical request succeeds.
+  EXPECT_TRUE(AlignedArena::tryReserve(1 << 20, 4096).has_value());
 }

@@ -1,0 +1,154 @@
+//===- tests/support/FaultInjectionTest.cpp - Fault-plan semantics --------===//
+///
+/// The injector underpins every chaos experiment, so its contract is
+/// pinned here: spec parsing round-trips through describe(), each trigger
+/// mode fires exactly as documented, the same seed replays the same
+/// fail/pass sequence, and a disarmed injector never fires and costs only
+/// the fast-path check.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+using namespace ddm;
+
+namespace {
+
+/// Every test arms the process-wide singleton; always disarm on the way
+/// out so sanitizer runs (whole binaries in one process) stay clean.
+class FaultInjectionTest : public testing::Test {
+protected:
+  void TearDown() override { FaultInjector::instance().disarm(); }
+
+  static FaultPlan parseOk(const std::string &Spec) {
+    FaultPlan Plan;
+    std::string Error;
+    EXPECT_TRUE(FaultPlan::parse(Spec, Plan, Error)) << Error;
+    return Plan;
+  }
+};
+
+TEST_F(FaultInjectionTest, SiteNamesRoundTrip) {
+  for (unsigned I = 0; I < NumFaultSites; ++I) {
+    auto Site = static_cast<FaultSite>(I);
+    std::optional<FaultSite> Back = faultSiteFromName(faultSiteName(Site));
+    ASSERT_TRUE(Back.has_value()) << faultSiteName(Site);
+    EXPECT_EQ(*Back, Site);
+  }
+  EXPECT_FALSE(faultSiteFromName("worker_heaps").has_value());
+}
+
+TEST_F(FaultInjectionTest, ParseDescribeRoundTrip) {
+  std::string Spec =
+      "seed=42,worker_heap:p=0.01,segment_acquire:every=50,arena_map:after=3";
+  FaultPlan Plan = parseOk(Spec);
+  EXPECT_EQ(Plan.Seed, 42u);
+  // describe() is canonical (sites in enum order) and itself parseable.
+  std::string Canonical = Plan.describe();
+  FaultPlan Again = parseOk(Canonical);
+  EXPECT_EQ(Again.describe(), Canonical);
+  EXPECT_EQ(Canonical,
+            "seed=42,arena_map:after=3,segment_acquire:every=50,"
+            "worker_heap:p=0.01");
+}
+
+TEST_F(FaultInjectionTest, ParseRejectsMalformedSpecs) {
+  FaultPlan Plan;
+  std::string Error;
+  EXPECT_FALSE(FaultPlan::parse("seed=abc", Plan, Error));
+  EXPECT_NE(Error.find("seed"), std::string::npos);
+  EXPECT_FALSE(FaultPlan::parse("nosuch_site:p=0.5", Plan, Error));
+  EXPECT_NE(Error.find("unknown fault site"), std::string::npos);
+  EXPECT_FALSE(FaultPlan::parse("worker_heap:p=1.5", Plan, Error));
+  EXPECT_FALSE(FaultPlan::parse("worker_heap:every=0", Plan, Error));
+  EXPECT_FALSE(FaultPlan::parse("worker_heap:sometimes", Plan, Error));
+  EXPECT_FALSE(FaultPlan::parse("worker_heap:p=0.1,,", Plan, Error));
+  EXPECT_NE(Error.find("empty item"), std::string::npos);
+  // A trailing-garbage probability must not silently truncate.
+  EXPECT_FALSE(FaultPlan::parse("worker_heap:p=0.1x", Plan, Error));
+}
+
+TEST_F(FaultInjectionTest, DisarmedNeverFails) {
+  FaultInjector::instance().disarm();
+  for (int I = 0; I < 100; ++I)
+    EXPECT_FALSE(faultShouldFail(FaultSite::WorkerHeap));
+}
+
+TEST_F(FaultInjectionTest, EveryNthFiresOnExactMultiples) {
+  FaultInjector::instance().arm(parseOk("seed=1,chunk_acquire:every=3"));
+  for (uint64_t Hit = 1; Hit <= 12; ++Hit)
+    EXPECT_EQ(faultShouldFail(FaultSite::ChunkAcquire), Hit % 3 == 0) << Hit;
+  FaultSiteCounters C =
+      FaultInjector::instance().counters(FaultSite::ChunkAcquire);
+  EXPECT_EQ(C.Hits, 12u);
+  EXPECT_EQ(C.Fired, 4u);
+}
+
+TEST_F(FaultInjectionTest, AfterNFailsEverythingPastTheThreshold) {
+  FaultInjector::instance().arm(parseOk("seed=1,trace_write:after=5"));
+  for (uint64_t Hit = 1; Hit <= 10; ++Hit)
+    EXPECT_EQ(faultShouldFail(FaultSite::TraceWrite), Hit > 5) << Hit;
+}
+
+TEST_F(FaultInjectionTest, ProbabilityExtremesAreExact) {
+  FaultInjector::instance().arm(parseOk("seed=9,worker_heap:p=0"));
+  for (int I = 0; I < 200; ++I)
+    EXPECT_FALSE(faultShouldFail(FaultSite::WorkerHeap));
+  FaultInjector::instance().arm(parseOk("seed=9,worker_heap:p=1"));
+  for (int I = 0; I < 200; ++I)
+    EXPECT_TRUE(faultShouldFail(FaultSite::WorkerHeap));
+}
+
+TEST_F(FaultInjectionTest, ProbabilityRoughlyMatchesOverManyHits) {
+  FaultInjector::instance().arm(parseOk("seed=7,worker_heap:p=0.25"));
+  int Fired = 0;
+  for (int I = 0; I < 20000; ++I)
+    Fired += faultShouldFail(FaultSite::WorkerHeap) ? 1 : 0;
+  EXPECT_NEAR(Fired / 20000.0, 0.25, 0.02);
+}
+
+TEST_F(FaultInjectionTest, SameSeedReplaysTheSameSequence) {
+  FaultPlan Plan = parseOk("seed=123,worker_heap:p=0.3");
+  std::vector<bool> First, Second;
+  FaultInjector::instance().arm(Plan);
+  for (int I = 0; I < 500; ++I)
+    First.push_back(faultShouldFail(FaultSite::WorkerHeap));
+  FaultInjector::instance().arm(Plan); // re-arm resets streams + counters
+  for (int I = 0; I < 500; ++I)
+    Second.push_back(faultShouldFail(FaultSite::WorkerHeap));
+  EXPECT_EQ(First, Second);
+  EXPECT_EQ(FaultInjector::instance().counters(FaultSite::WorkerHeap).Hits,
+            500u);
+}
+
+TEST_F(FaultInjectionTest, SitesDrawFromIndependentStreams) {
+  // Adding a trigger at one site must not shift another site's sequence.
+  std::vector<bool> Alone;
+  FaultInjector::instance().arm(parseOk("seed=55,worker_heap:p=0.5"));
+  for (int I = 0; I < 300; ++I)
+    Alone.push_back(faultShouldFail(FaultSite::WorkerHeap));
+
+  std::vector<bool> WithNeighbor;
+  FaultInjector::instance().arm(
+      parseOk("seed=55,worker_heap:p=0.5,segment_acquire:p=0.5"));
+  for (int I = 0; I < 300; ++I) {
+    (void)faultShouldFail(FaultSite::SegmentAcquire); // interleave heavily
+    WithNeighbor.push_back(faultShouldFail(FaultSite::WorkerHeap));
+  }
+  EXPECT_EQ(Alone, WithNeighbor);
+}
+
+TEST_F(FaultInjectionTest, DisarmStopsFiringButKeepsCounters) {
+  FaultInjector::instance().arm(parseOk("seed=2,worker_heap:p=1"));
+  EXPECT_TRUE(faultShouldFail(FaultSite::WorkerHeap));
+  FaultInjector::instance().disarm();
+  EXPECT_FALSE(faultShouldFail(FaultSite::WorkerHeap));
+  FaultSiteCounters C =
+      FaultInjector::instance().counters(FaultSite::WorkerHeap);
+  EXPECT_EQ(C.Hits, 1u);
+  EXPECT_EQ(C.Fired, 1u);
+}
+
+} // namespace

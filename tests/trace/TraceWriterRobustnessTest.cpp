@@ -12,6 +12,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "support/FaultInjection.h"
 #include "trace/TraceReader.h"
 #include "trace/TraceWriter.h"
 
@@ -128,6 +129,34 @@ TEST(TraceWriterRobustnessTest, FailureBeforeFirstDataFrameTruncatesToNothingRea
   ASSERT_FALSE(Writer.open(Path, TraceMeta{"synthetic", 1.0, 3}).ok());
   TraceReader Reader;
   EXPECT_FALSE(Reader.open(Path).ok());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceWriterRobustnessTest, InjectedTraceWriteFaultSurfacesAndSticks) {
+  // The trace_write fault site fails a flush exactly like ENOSPC: the
+  // diagnostic surfaces through finish(), later appends are no-ops, and
+  // the on-disk prefix stays a valid CRC-checked trace.
+  std::string Path = tempPath("faultsite");
+  TraceWriter Writer;
+  ASSERT_TRUE(Writer.open(Path, TraceMeta{"synthetic", 1.0, 3}).ok());
+
+  FaultPlan Plan;
+  std::string ParseError;
+  ASSERT_TRUE(FaultPlan::parse("seed=1,trace_write:p=1", Plan, ParseError));
+  FaultInjector::instance().arm(Plan);
+  appendBulk(Writer, 40); // the first mid-stream flush dies
+  TraceStatus First = Writer.finish();
+  FaultInjector::instance().disarm();
+
+  ASSERT_FALSE(First.ok());
+  EXPECT_NE(First.Message.find("injected trace_write fault"),
+            std::string::npos)
+      << First.describe();
+  // Sticky: the diagnostic survives further use, even disarmed.
+  Writer.append(event(TraceOp::EndTx));
+  EXPECT_EQ(Writer.finish().Message, First.Message);
+  // Whatever flushed before the fault reads back cleanly.
+  countEventsExpectClean(Path);
   std::remove(Path.c_str());
 }
 
