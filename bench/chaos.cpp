@@ -59,9 +59,10 @@ FaultPlan parsePlan(const std::string &Spec) {
 /// Phase 1: every allocator survives mid-transaction OOM and stays
 /// reusable.
 void runtimeSoak(JsonWriter &J, uint64_t Seed, uint64_t TxPerAllocator,
-                 const WorkloadSpec &Workload) {
+                 const WorkloadSpec &Workload,
+                 const std::vector<AllocatorKind> &Kinds) {
   J.key("runtime").beginArray();
-  for (AllocatorKind Kind : allAllocatorKinds()) {
+  for (AllocatorKind Kind : Kinds) {
     const char *Name = allocatorKindName(Kind);
     // worker_heap fires inside the runtime's allocation path; the
     // every-N sites fail the allocators' own segment/chunk growth.
@@ -214,6 +215,10 @@ int main(int Argc, char **Argv) {
   Parser.addFlag("seed", &Seed, "fault-plan and workload seed");
   Parser.addFlag("tx", &TxPerAllocator, "transactions per allocator");
   Parser.addFlag("workload", &WorkloadName, "workload name");
+  std::string AllocatorName;
+  Parser.addFlag("allocator", &AllocatorName,
+                 "soak only this allocator (default: all of " +
+                     allocatorNamesJoined() + ")");
   if (!Parser.parse(Argc, Argv))
     return 1;
 
@@ -222,11 +227,21 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "unknown workload '%s'\n", WorkloadName.c_str());
     return 1;
   }
+  std::vector<AllocatorKind> Kinds = allAllocatorKinds();
+  if (!AllocatorName.empty()) {
+    auto Kind = allocatorKindFromName(AllocatorName);
+    if (!Kind) {
+      std::fprintf(stderr, "unknown allocator '%s' (names: %s)\n",
+                   AllocatorName.c_str(), allocatorNamesJoined().c_str());
+      return 1;
+    }
+    Kinds = {*Kind};
+  }
 
   JsonWriter J;
   J.beginObject().field("bench", "chaos").field("seed", Seed);
 
-  runtimeSoak(J, Seed, TxPerAllocator, *Workload);
+  runtimeSoak(J, Seed, TxPerAllocator, *Workload, Kinds);
 
   // Build the service-time model before arming anything: profiling must
   // stay fault-free.

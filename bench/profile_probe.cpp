@@ -26,7 +26,7 @@ int main(int Argc, char **Argv) {
   uint64_t Seed = 0x5eed;
   ArgParser Parser("Calibration probe: one simulated point with timing.");
   Parser.addFlag("workload", &WorkloadName, "workload name");
-  Parser.addFlag("allocator", &AllocName, "allocator name");
+  Parser.addFlag("allocator", &AllocName, allocatorNamesJoined());
   Parser.addFlag("platform", &PlatformName, "xeon or niagara");
   Parser.addFlag("cores", &Cores, "active cores");
   Parser.addFlag("scale", &Scale, "workload scale");

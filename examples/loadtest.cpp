@@ -14,6 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "exec/NativeExecutor.h"
 #include "server/ServingSimulator.h"
 #include "support/ArgParse.h"
 #include "support/FaultInjection.h"
@@ -88,10 +89,20 @@ int main(int Argc, char **Argv) {
   Parser.addFlag("workload", &WorkloadMix,
                  "workload mix, e.g. 'mediawiki-read' or "
                  "'mediawiki-read:3,sugarcrm:1'");
-  Parser.addFlag("platform", &PlatformName, "xeon or niagara");
-  Parser.addFlag("allocator", &AllocatorName,
-                 "ddmalloc, region, obstack, default, glibc, tcmalloc, hoard");
+  Parser.addFlag("platform", &PlatformName, "xeon or niagara (sim mode)");
+  Parser.addFlag("allocator", &AllocatorName, allocatorNamesJoined());
   Parser.addFlag("arrival", &ArrivalName, "poisson, bursty, or closed");
+  std::string Mode = "sim";
+  uint64_t Threads = 4;
+  double DurationSec = 0.0;
+  Parser.addFlag("mode", &Mode,
+                 "sim = serving simulation on the machine model (default); "
+                 "native = real std::thread workers executing genuine "
+                 "transactions, wall-clock latency");
+  Parser.addFlag("threads", &Threads, "native mode: worker thread count");
+  Parser.addFlag("duration-sec", &DurationSec,
+                 "native mode: stop after this much wall time instead of "
+                 "--duration-tx requests (0 = use --duration-tx)");
   Parser.addFlag("policy", &PolicyName, "queue policy: fifo or sjf");
   Parser.addFlag("cores", &Cores, "active cores");
   Parser.addFlag("rps", &Rps,
@@ -230,6 +241,99 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "bad --faults spec: %s\n", FaultError.c_str());
       return 1;
     }
+  }
+
+  if (Mode == "native") {
+    if (!RecordTrace.empty() || !ReplayTrace.empty()) {
+      std::fprintf(stderr, "trace record/replay is sim-mode only\n");
+      return 1;
+    }
+    if (!FaultsSpec.empty())
+      FaultInjector::instance().arm(Faults);
+
+    NativeExecutorConfig NC;
+    NC.Kind = *Kind;
+    NC.Mix = Mix;
+    // rps <= 0 means saturation: no real-time pacing, the bounded queue is
+    // the back-pressure (there is no capacity model to derive a rate from
+    // in native mode).
+    NC.Load.Process = Rps > 0 ? *Arrival : ArrivalProcess::ClosedLoop;
+    NC.Load.RatePerSec = Rps;
+    NC.Load.BurstBoost = BurstBoost;
+    NC.Load.BurstOnFraction = BurstOn;
+    NC.Load.MixWeights = Weights;
+    NC.Load.Seed = Seed;
+    NC.Threads = static_cast<unsigned>(Threads);
+    NC.TotalTransactions = DurationSec > 0.0 ? 0 : DurationTx;
+    NC.DurationSec = DurationSec;
+    NC.QueueCapacity = QueueCap;
+    NC.Scale = Scale;
+    NC.Seed = Seed;
+    NC.RestartPeriodTx = RestartEvery;
+
+    std::string NativeError;
+    std::optional<NativeRunMetrics> M = runNativeChecked(NC, NativeError);
+    if (!M) {
+      std::fprintf(stderr, "native run failed: %s\n", NativeError.c_str());
+      return 1;
+    }
+
+    if (JsonOut) {
+      JsonWriter J;
+      J.beginObject()
+          .field("mode", std::string("native"))
+          .field("allocator", allocatorKindName(*Kind))
+          .field("threads", Threads)
+          .field("sharing", M->SharingModel)
+          .field("faults", FaultsSpec.empty() ? std::string("none")
+                                              : Faults.describe())
+          .field("offered", M->Offered)
+          .field("completed", M->Completed)
+          .field("oom_aborts", M->OomAborts)
+          .field("wall_sec", M->WallSec)
+          .field("throughput_rps", M->Throughput)
+          .field("p50_us", M->LatencyUs.percentile(0.50))
+          .field("p90_us", M->LatencyUs.percentile(0.90))
+          .field("p99_us", M->LatencyUs.percentile(0.99))
+          .field("p999_us", M->LatencyUs.percentile(0.999))
+          .field("mean_latency_us", M->LatencyUs.mean())
+          .field("queue_max_depth", M->QueueMaxDepth)
+          .field("malloc_calls", M->Allocator.MallocCalls)
+          .field("free_calls", M->Allocator.FreeCalls)
+          .field("peak_live_bytes", M->Allocator.PeakUsableBytesLive)
+          .endObject();
+      std::printf("%s\n", J.str().c_str());
+      return 0;
+    }
+
+    std::printf("native run: allocator %s, %llu thread(s), sharing %s, "
+                "scale %.2f\n\n",
+                allocatorKindName(*Kind),
+                static_cast<unsigned long long>(Threads),
+                M->SharingModel.c_str(), Scale);
+    Table Out({"metric", "value"});
+    Out.row().cell("offered").cell(M->Offered);
+    Out.row().cell("completed").cell(M->Completed);
+    Out.row().cell("oom aborts").cell(M->OomAborts);
+    Out.row().cell("wall time s").cell(M->WallSec, 3);
+    Out.row().cell("throughput rq/s").cell(M->Throughput, 1);
+    Out.row().cell("p50 latency us").cell(M->LatencyUs.percentile(0.50));
+    Out.row().cell("p90 latency us").cell(M->LatencyUs.percentile(0.90));
+    Out.row().cell("p99 latency us").cell(M->LatencyUs.percentile(0.99));
+    Out.row().cell("mean latency us").cell(M->LatencyUs.mean(), 1);
+    Out.row().cell("max queue depth").cell(M->QueueMaxDepth);
+    Out.row().cell("malloc calls").cell(M->Allocator.MallocCalls);
+    std::fputs(Out.renderAscii().c_str(), stdout);
+    std::printf("\nper-thread completions:");
+    for (const NativeThreadMetrics &T : M->PerThread)
+      std::printf(" %llu", static_cast<unsigned long long>(T.Completed));
+    std::printf("\n");
+    return 0;
+  }
+  if (Mode != "sim") {
+    std::fprintf(stderr, "unknown --mode '%s' (sim or native)\n",
+                 Mode.c_str());
+    return 1;
   }
   {
     // Fail with a clean diagnostic (not an abort) if the allocator's heap

@@ -38,6 +38,11 @@ int main(int Argc, char **Argv) {
   Parser.addFlag("workload", &WorkloadName,
                  "mediawiki-read, mediawiki-write, sugarcrm, ezpublish, "
                  "phpbb, cakephp, specweb, or rails");
+  std::string AllocatorsSpec;
+  Parser.addFlag("allocators", &AllocatorsSpec,
+                 "comma-separated allocators to compare (default: the PHP "
+                 "study trio); names: " +
+                     allocatorNamesJoined());
   Parser.addFlag("platform", &PlatformName, "xeon or niagara");
   Parser.addFlag("cores", &Cores, "active cores (1-8)");
   Parser.addFlag("scale", &Scale, "workload scale (1.0 = paper call counts)");
@@ -116,6 +121,26 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  std::vector<AllocatorKind> Kinds = phpStudyAllocatorKinds();
+  if (!AllocatorsSpec.empty()) {
+    Kinds.clear();
+    size_t Pos = 0;
+    while (Pos <= AllocatorsSpec.size()) {
+      size_t Comma = AllocatorsSpec.find(',', Pos);
+      if (Comma == std::string::npos)
+        Comma = AllocatorsSpec.size();
+      std::string Item = AllocatorsSpec.substr(Pos, Comma - Pos);
+      auto Kind = allocatorKindFromName(Item);
+      if (!Kind) {
+        std::fprintf(stderr, "unknown allocator '%s' (names: %s)\n",
+                     Item.c_str(), allocatorNamesJoined().c_str());
+        return 1;
+      }
+      Kinds.push_back(*Kind);
+      Pos = Comma + 1;
+    }
+  }
+
   SimulationOptions Options;
   Options.Scale = Scale;
   Options.WarmupTx = 1;
@@ -131,7 +156,7 @@ int main(int Argc, char **Argv) {
   double Baseline = 0;
   TraceRecorder Recorder;
   bool FirstAllocator = true;
-  for (AllocatorKind Kind : phpStudyAllocatorKinds()) {
+  for (AllocatorKind Kind : Kinds) {
     // The generator's event stream is allocator-independent, so recording
     // the first allocator's run captures the inputs of every allocator;
     // replay re-reads the trace from the start for each one.

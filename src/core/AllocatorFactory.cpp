@@ -6,12 +6,29 @@
 #include "core/HoardModel.h"
 #include "core/ObstackAllocator.h"
 #include "core/RegionAllocator.h"
+#include "core/SegmentPool.h"
 #include "core/TCMallocModel.h"
 #include "core/ZendDefaultAllocator.h"
 #include "support/Arena.h"
 #include "support/Error.h"
 
 using namespace ddm;
+
+/// True if \p Options attaches a pre-reserved shared backend to \p Kind,
+/// in which case the allocator makes no private heap reservation.
+static bool usesSharedBackend(AllocatorKind Kind,
+                              const AllocatorOptions &Options) {
+  switch (Kind) {
+  case AllocatorKind::DDmalloc:
+    return Options.SegmentPool != nullptr;
+  case AllocatorKind::TCMalloc:
+    return Options.TCCentral != nullptr;
+  case AllocatorKind::Hoard:
+    return Options.HoardBackend != nullptr;
+  default:
+    return false;
+  }
+}
 
 std::unique_ptr<TxAllocator>
 ddm::createAllocator(AllocatorKind Kind, const AllocatorOptions &Options) {
@@ -23,6 +40,8 @@ ddm::createAllocator(AllocatorKind Kind, const AllocatorOptions &Options) {
     Config.ProcessId = Options.ProcessId;
     Config.MetadataColoring = Options.MetadataColoring;
     Config.LargePages = Options.LargePages;
+    Config.Pool = Options.SegmentPool;
+    Config.ShardId = Options.ShardId;
     return std::make_unique<DDmallocAllocator>(Config);
   }
   case AllocatorKind::Region: {
@@ -48,11 +67,13 @@ ddm::createAllocator(AllocatorKind Kind, const AllocatorOptions &Options) {
   case AllocatorKind::TCMalloc: {
     TCMallocConfig Config;
     Config.HeapReserveBytes = Options.HeapReserveBytes;
+    Config.Central = Options.TCCentral;
     return std::make_unique<TCMallocModelAllocator>(Config);
   }
   case AllocatorKind::Hoard: {
     HoardConfig Config;
     Config.HeapReserveBytes = Options.HeapReserveBytes;
+    Config.Central = Options.HoardBackend;
     return std::make_unique<HoardModelAllocator>(Config);
   }
   }
@@ -69,11 +90,21 @@ ddm::createAllocatorChecked(AllocatorKind Kind, const AllocatorOptions &Options,
       Error = "ddmalloc segment size must be a power of two >= 4096";
       return nullptr;
     }
-    if (Options.HeapReserveBytes < 4 * Options.SegmentSize) {
+    if (Options.SegmentPool &&
+        Options.SegmentPool->segmentSize() != Options.SegmentSize) {
+      Error = "ddmalloc segment size does not match the shared pool's";
+      return nullptr;
+    }
+    if (!Options.SegmentPool &&
+        Options.HeapReserveBytes < 4 * Options.SegmentSize) {
       Error = "ddmalloc heap reservation too small: need at least 4 segments";
       return nullptr;
     }
   }
+
+  // A shared backend already carries the reservation; nothing to probe.
+  if (usesSharedBackend(Kind, Options))
+    return createAllocator(Kind, Options);
 
   // Probe the reservation non-fatally: the probe arena is released before
   // the real construction, so the allocator's own (fatal) reservation of
@@ -136,6 +167,23 @@ ddm::allocatorKindFromName(const std::string &Name) {
     if (Name == allocatorKindName(Kind))
       return Kind;
   return std::nullopt;
+}
+
+std::vector<std::string> ddm::allocatorNames() {
+  std::vector<std::string> Names;
+  for (AllocatorKind Kind : allAllocatorKinds())
+    Names.push_back(allocatorKindName(Kind));
+  return Names;
+}
+
+std::string ddm::allocatorNamesJoined() {
+  std::string Joined;
+  for (const std::string &Name : allocatorNames()) {
+    if (!Joined.empty())
+      Joined += ", ";
+    Joined += Name;
+  }
+  return Joined;
 }
 
 std::vector<AllocatorKind> ddm::allAllocatorKinds() {

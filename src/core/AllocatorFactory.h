@@ -19,6 +19,10 @@
 
 namespace ddm {
 
+class SharedSegmentPool;
+struct TCMallocCentral;
+struct HoardCentral;
+
 /// Every allocator the study compares.
 enum class AllocatorKind {
   DDmalloc,   ///< The paper's defrag-dodging allocator.
@@ -45,6 +49,22 @@ struct AllocatorOptions {
   bool LargePages = false;
   /// Region allocator chunk size.
   size_t RegionChunkBytes = 256ull * 1024 * 1024;
+
+  /// \name Native multi-threaded backends (see src/exec).
+  /// When set, the matching allocator kind shares that backend with its
+  /// sibling threads instead of reserving a private heap; other kinds
+  /// ignore them. Null (the default) keeps every study single-owner.
+  /// @{
+  /// DDmalloc: sharded segment pool over one shared arena.
+  std::shared_ptr<SharedSegmentPool> SegmentPool;
+  /// TCmalloc model: shared page heap + central free lists.
+  std::shared_ptr<TCMallocCentral> TCCentral;
+  /// Hoard model: shared superblock arena + global empty pool.
+  std::shared_ptr<HoardCentral> HoardBackend;
+  /// DDmalloc pooled mode: which pool stripe this allocator refills from
+  /// (one per worker thread).
+  uint32_t ShardId = 0;
+  /// @}
 };
 
 /// Constructs the allocator \p Kind. Aborts via fatal() if the
@@ -73,6 +93,13 @@ const char *allocatorKindName(AllocatorKind Kind);
 
 /// Parses a stable name back to the enum; std::nullopt if unknown.
 std::optional<AllocatorKind> allocatorKindFromName(const std::string &Name);
+
+/// The stable names of every kind, in paper order — the single source for
+/// CLI name lists (loadtest, webserver_sim, bench_chaos, ...).
+std::vector<std::string> allocatorNames();
+
+/// allocatorNames() joined with ", ", for --help strings.
+std::string allocatorNamesJoined();
 
 /// All kinds, in the order the paper discusses them.
 std::vector<AllocatorKind> allAllocatorKinds();

@@ -1,6 +1,7 @@
 //===- core/DDmalloc.cpp - The defrag-dodging allocator ------------------===//
 
 #include "core/DDmalloc.h"
+#include "core/SegmentPool.h"
 #include "support/Error.h"
 #include "support/FaultInjection.h"
 
@@ -26,25 +27,57 @@ constexpr uint64_t InstrFreeAllBase = 32;
 /// per this many bytes.
 constexpr uint64_t FreeAllBytesPerInstr = 16;
 
+/// Pooled mode: segments acquired from the shared pool per stripe lock.
+/// Refilling in batches keeps the lock off the per-transaction path.
+constexpr size_t SegmentRefillBatch = 8;
+
 } // namespace
 
 DDmallocAllocator::DDmallocAllocator(const DDmallocConfig &C)
-    : Config(C), Classes(C.SegmentSize / 2),
-      Heap(C.HeapReserveBytes, C.SegmentSize) {
+    : Config(C), Classes(C.SegmentSize / 2) {
   assert((C.SegmentSize & (C.SegmentSize - 1)) == 0 &&
          "segment size must be a power of two");
   assert(C.SegmentSize >= 4096 && "segment size too small");
+  SegmentShift = static_cast<unsigned>(__builtin_ctzll(C.SegmentSize));
+  unsigned NumClasses = Classes.numClasses();
+
+  if (Config.Pool) {
+    // Pooled (native multi-threaded) mode: the heap is the pool's shared
+    // arena; this shard's metadata lives off-heap, private to the owning
+    // thread, and covers every pool segment (any of which this shard may
+    // acquire).
+    if (Config.Pool->segmentSize() != Config.SegmentSize)
+      fatal("ddmalloc segment size does not match its shared pool");
+    HeapBase = Config.Pool->base();
+    HeapSize = Config.Pool->size();
+    NumSegments = Config.Pool->numSegments();
+    FirstUsableSegment = 0;
+    MetadataColorOffset = 0; // Off-heap metadata: coloring does not apply.
+    uint64_t ArraysBytes = sizeof(uintptr_t) * (2 * NumClasses + 1) +
+                           sizeof(uint64_t) + NumSegments;
+    MetadataSize = ArraysBytes;
+    PooledMeta.assign(ArraysBytes, std::byte{0});
+    std::byte *Meta = PooledMeta.data();
+    FreeHead = reinterpret_cast<uintptr_t *>(Meta);
+    RunPtr = FreeHead + NumClasses;
+    FreeSegHead = RunPtr + NumClasses;
+    SegCursor = reinterpret_cast<uint64_t *>(FreeSegHead + 1);
+    SegClass = reinterpret_cast<uint8_t *>(SegCursor + 1);
+    AcquiredSegs.reserve(64);
+    return;
+  }
+
   if (C.HeapReserveBytes < 4 * C.SegmentSize)
     fatal("ddmalloc heap reservation too small: need at least 4 segments");
-
-  SegmentShift = static_cast<unsigned>(__builtin_ctzll(C.SegmentSize));
-  NumSegments = Heap.size() >> SegmentShift;
+  OwnHeap.emplace(C.HeapReserveBytes, C.SegmentSize);
+  HeapBase = OwnHeap->base();
+  HeapSize = OwnHeap->size();
+  NumSegments = HeapSize >> SegmentShift;
 
   // Metadata layout: color offset, then the per-class arrays, then the
   // per-segment class bytes. Everything lives inside the heap arena so the
   // cache simulator sees the real addresses (and the real conflicts the
   // coloring is meant to avoid).
-  unsigned NumClasses = Classes.numClasses();
   uint64_t ArraysBytes = sizeof(uintptr_t) * (2 * NumClasses + 1) +
                          sizeof(uint64_t) + NumSegments;
   // Stagger by a cache-line-odd stride so consecutive process ids land in
@@ -61,7 +94,7 @@ DDmallocAllocator::DDmallocAllocator(const DDmallocConfig &C)
   if (FirstUsableSegment >= NumSegments)
     fatal("ddmalloc heap reservation too small for its metadata");
 
-  std::byte *Meta = Heap.base() + MetadataColorOffset;
+  std::byte *Meta = HeapBase + MetadataColorOffset;
   FreeHead = reinterpret_cast<uintptr_t *>(Meta);
   RunPtr = FreeHead + NumClasses;
   FreeSegHead = RunPtr + NumClasses;
@@ -72,12 +105,32 @@ DDmallocAllocator::DDmallocAllocator(const DDmallocConfig &C)
   *SegCursor = FirstUsableSegment;
 }
 
-DDmallocAllocator::~DDmallocAllocator() { Sink.unmapRegion(Heap.base()); }
+DDmallocAllocator::~DDmallocAllocator() {
+  if (Config.Pool) {
+    // Return every acquired segment so a restarted or destroyed shard
+    // never strands pool capacity.
+    if (!AcquiredSegs.empty())
+      Config.Pool->releaseSegments(Config.ShardId, AcquiredSegs.data(),
+                                   AcquiredSegs.size());
+    for (auto [First, Length] : AcquiredRuns)
+      Config.Pool->releaseRun(First, Length);
+  }
+  Sink.unmapRegion(HeapBase);
+}
+
+void DDmallocAllocator::attachSink(AccessSink *S) {
+  if (Config.Pool && S)
+    fatal("pooled ddmalloc cannot attach a simulation sink: shards share "
+          "one arena");
+  TxAllocator::attachSink(S);
+  Sink.mapRegion(HeapBase, HeapSize);
+}
 
 std::byte *DDmallocAllocator::takeSegment() {
-  if (faultShouldFail(FaultSite::SegmentAcquire))
+  if (!Config.Pool && faultShouldFail(FaultSite::SegmentAcquire))
     return nullptr;
-  // Prefer a previously freed segment (from a freed large object).
+  // Prefer a previously freed segment (from a freed large object, or a
+  // pooled refill batch).
   uintptr_t Head = *FreeSegHead;
   Sink.load(FreeSegHead, sizeof(uintptr_t));
   if (Head != 0) {
@@ -88,6 +141,24 @@ std::byte *DDmallocAllocator::takeSegment() {
     *FreeSegHead = Next;
     Sink.store(FreeSegHead, sizeof(uintptr_t));
     return Seg;
+  }
+  if (Config.Pool) {
+    // Refill from this shard's stripe in a batch; the extras park on the
+    // local free-segment list so the stripe lock amortizes over many
+    // segment starts. The pool applies the segment_acquire fault site.
+    uint32_t Batch[SegmentRefillBatch];
+    size_t Got = Config.Pool->acquireSegments(Config.ShardId, Batch,
+                                              SegmentRefillBatch);
+    if (Got == 0)
+      return nullptr;
+    for (size_t I = 1; I < Got; ++I) {
+      std::byte *Seg = segmentBase(Batch[I]);
+      *reinterpret_cast<uintptr_t *>(Seg) = *FreeSegHead;
+      *FreeSegHead = reinterpret_cast<uintptr_t>(Seg);
+      AcquiredSegs.push_back(Batch[I]);
+    }
+    AcquiredSegs.push_back(Batch[0]);
+    return segmentBase(Batch[0]);
   }
   uint64_t Cursor = *SegCursor;
   Sink.load(SegCursor, sizeof(uint64_t));
@@ -165,6 +236,15 @@ void *DDmallocAllocator::allocateLarge(size_t Size) {
     if (!Start)
       return nullptr;
     StartIndex = segmentIndexFor(Start);
+  } else if (Config.Pool) {
+    // Pooled mode: contiguous runs come from the pool's frontier/run list
+    // (the pool applies the segment_acquire fault site).
+    uint32_t First = Config.Pool->acquireRun(Segments);
+    if (First == UINT32_MAX)
+      return nullptr;
+    AcquiredRuns.emplace_back(First, static_cast<uint32_t>(Segments));
+    StartIndex = First;
+    Start = segmentBase(StartIndex);
   } else {
     // Multi-segment objects need contiguous segments; they are taken from
     // the cursor only. They are very rare in transaction-scoped workloads
@@ -206,6 +286,21 @@ void DDmallocAllocator::deallocateLarge(void *Ptr, size_t SegIndex) {
     ++Segments;
 
   noteFree(Segments << SegmentShift);
+  if (Config.Pool && Segments > 1) {
+    // Pooled mode: return the whole run to the pool (contiguity is
+    // valuable there); singles below go to the local free-segment list.
+    for (size_t I = 0; I < Segments; ++I)
+      SegClass[SegIndex + I] = SegUnused;
+    for (auto It = AcquiredRuns.begin(); It != AcquiredRuns.end(); ++It)
+      if (It->first == SegIndex) {
+        AcquiredRuns.erase(It);
+        break;
+      }
+    Config.Pool->releaseRun(static_cast<uint32_t>(SegIndex), Segments);
+    Sink.instructions(InstrFreeLargePerSegment * Segments);
+    (void)Ptr;
+    return;
+  }
   for (size_t I = 0; I < Segments; ++I) {
     size_t Index = SegIndex + I;
     Sink.load(&SegClass[Index], 1);
@@ -290,6 +385,31 @@ void *DDmallocAllocator::reallocate(void *Ptr, size_t OldSize, size_t NewSize) {
 
 void DDmallocAllocator::freeAll() {
   unsigned NumClasses = Classes.numClasses();
+
+  if (Config.Pool) {
+    // Pooled mode: clear this shard's private metadata and hand every
+    // acquired segment back to the pool. The cost stays proportional to
+    // what the shard actually touched, exactly like the private-heap
+    // freeAll.
+    std::memset(FreeHead, 0, sizeof(uintptr_t) * NumClasses);
+    std::memset(RunPtr, 0, sizeof(uintptr_t) * NumClasses);
+    *FreeSegHead = 0;
+    for (uint32_t Index : AcquiredSegs)
+      SegClass[Index] = SegUnused;
+    for (auto [First, Length] : AcquiredRuns)
+      std::memset(&SegClass[First], 0, Length);
+    if (!AcquiredSegs.empty()) {
+      Config.Pool->releaseSegments(Config.ShardId, AcquiredSegs.data(),
+                                   AcquiredSegs.size());
+      AcquiredSegs.clear();
+    }
+    for (auto [First, Length] : AcquiredRuns)
+      Config.Pool->releaseRun(First, Length);
+    AcquiredRuns.clear();
+    noteFreeAll();
+    return;
+  }
+
   uint64_t UsedSegments = *SegCursor;
 
   std::memset(FreeHead, 0, sizeof(uintptr_t) * NumClasses);
@@ -314,6 +434,12 @@ void DDmallocAllocator::freeAll() {
 }
 
 uint64_t DDmallocAllocator::segmentsInUse() const {
+  if (Config.Pool) {
+    uint64_t RunSegments = 0;
+    for (auto [First, Length] : AcquiredRuns)
+      RunSegments += Length;
+    return AcquiredSegs.size() + RunSegments;
+  }
   return *SegCursor - FirstUsableSegment;
 }
 

@@ -34,8 +34,13 @@
 #include "support/Arena.h"
 
 #include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
 
 namespace ddm {
+
+class SharedSegmentPool;
 
 /// Construction-time tuning knobs for DDmallocAllocator.
 struct DDmallocConfig {
@@ -57,6 +62,17 @@ struct DDmallocConfig {
   /// This build cannot force hugepages portably, so the flag is recorded
   /// for the machine simulator (which models the TLB effect).
   bool LargePages = false;
+
+  /// Native multi-threaded mode: when set, the allocator has no private
+  /// arena — it acquires segments from this shared pool (its SegmentSize
+  /// must match) via the ShardId stripe and keeps its metadata off-heap.
+  /// The malloc/free fast paths are unchanged; only segment refill and
+  /// freeAll touch the pool. Incompatible with a simulation sink.
+  std::shared_ptr<SharedSegmentPool> Pool;
+
+  /// Stripe of the shared pool this allocator refills from (one per
+  /// worker thread).
+  uint32_t ShardId = 0;
 };
 
 /// The defrag-dodging allocator (the paper's DDmalloc).
@@ -66,11 +82,10 @@ public:
   ~DDmallocAllocator() override;
 
   /// Registers the heap (objects and the in-heap metadata block) with the
-  /// sink's canonical address map.
-  void attachSink(AccessSink *S) override {
-    TxAllocator::attachSink(S);
-    Sink.mapRegion(Heap.base(), Heap.size());
-  }
+  /// sink's canonical address map. Fatal in pooled mode with a non-null
+  /// sink: shards share one arena, so per-shard canonical maps would
+  /// collide (native execution runs unsimulated).
+  void attachSink(AccessSink *S) override;
 
   void *allocate(size_t Size) override;
   void deallocate(void *Ptr) override;
@@ -92,8 +107,15 @@ public:
   uint64_t metadataBytes() const { return MetadataSize; }
   /// Offset of the metadata block from the heap base (tests the coloring).
   uint64_t metadataOffset() const { return MetadataColorOffset; }
-  /// True if \p Ptr lies in this allocator's heap.
-  bool owns(const void *Ptr) const { return Heap.contains(Ptr); }
+  /// True if \p Ptr lies in this allocator's heap (in pooled mode: in the
+  /// shared pool's arena, i.e. possibly in a sibling shard's segment).
+  bool owns(const void *Ptr) const {
+    auto P = reinterpret_cast<uintptr_t>(Ptr);
+    auto B = reinterpret_cast<uintptr_t>(HeapBase);
+    return P >= B && P < B + HeapSize;
+  }
+  /// The shared pool backing this allocator, or nullptr in private mode.
+  SharedSegmentPool *pool() const { return Config.Pool.get(); }
   /// @}
 
 private:
@@ -115,28 +137,43 @@ private:
 
   size_t segmentIndexFor(const void *Ptr) const {
     auto P = reinterpret_cast<uintptr_t>(Ptr);
-    auto B = reinterpret_cast<uintptr_t>(Heap.base());
+    auto B = reinterpret_cast<uintptr_t>(HeapBase);
     return (P - B) >> SegmentShift;
   }
   std::byte *segmentBase(size_t Index) const {
-    return Heap.base() + (Index << SegmentShift);
+    return HeapBase + (Index << SegmentShift);
   }
 
   DDmallocConfig Config;
   SizeClassMap Classes;
-  AlignedArena Heap;
+  /// Private-heap mode only; pooled allocators live in the pool's arena.
+  std::optional<AlignedArena> OwnHeap;
+  std::byte *HeapBase = nullptr;
+  size_t HeapSize = 0;
   unsigned SegmentShift;
   size_t NumSegments;
   size_t FirstUsableSegment;
   uint64_t MetadataColorOffset;
   uint64_t MetadataSize;
 
-  // Metadata, living inside the heap arena (see MetadataColorOffset).
+  // Metadata. Private mode: inside the heap arena (see
+  // MetadataColorOffset) so the cache simulator sees the real addresses.
+  // Pooled mode: in PooledMeta, private to this shard.
   uintptr_t *FreeHead;   ///< Per class: head of the freed-object list.
   uintptr_t *RunPtr;     ///< Per class: first never-allocated object.
   uintptr_t *FreeSegHead;///< Head of the freed-single-segment list.
-  uint64_t *SegCursor;   ///< Next never-used segment index.
+  uint64_t *SegCursor;   ///< Next never-used segment index (private mode).
   uint8_t *SegClass;     ///< Per segment: SegUnused/class+1/large marks.
+
+  /// Pooled mode: off-heap metadata backing store (never resized, so the
+  /// pointers above stay stable).
+  std::vector<std::byte> PooledMeta;
+  /// Pooled mode: single segments currently acquired from the pool
+  /// (whether live, on the local free-segment list, or in a class run).
+  std::vector<uint32_t> AcquiredSegs;
+  /// Pooled mode: contiguous runs acquired for multi-segment objects,
+  /// as (first index, length).
+  std::vector<std::pair<uint32_t, uint32_t>> AcquiredRuns;
 };
 
 } // namespace ddm

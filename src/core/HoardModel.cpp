@@ -19,13 +19,57 @@ constexpr uint64_t InstrLargeFree = 70;
 
 } // namespace
 
+HoardCentral::HoardCentral(size_t HeapReserveBytes, bool IsShared)
+    : Heap(HeapReserveBytes, SuperblockBytes), Shared(IsShared) {
+  NumSuperblocks = Heap.size() / SuperblockBytes;
+  SbMap.assign(NumSuperblocks, 0);
+}
+
+std::shared_ptr<HoardCentral> ddm::createHoardCentral(size_t HeapReserveBytes) {
+  return std::make_shared<HoardCentral>(HeapReserveBytes, /*IsShared=*/true);
+}
+
 HoardModelAllocator::HoardModelAllocator(const HoardConfig &C)
-    : Config(C), Classes(16 * 1024), Heap(C.HeapReserveBytes, SuperblockBytes) {
+    : Config(C), Classes(16 * 1024) {
   static_assert(sizeof(SuperblockHeader) <= ObjectsOffset,
                 "superblock header must fit in its pad");
-  NumSuperblocks = Heap.size() / SuperblockBytes;
+  Central = C.Central ? C.Central
+                      : std::make_shared<HoardCentral>(C.HeapReserveBytes,
+                                                       /*IsShared=*/false);
   Available.assign(Classes.numClasses(), nullptr);
-  SbMap.assign(NumSuperblocks, SbUnused);
+}
+
+HoardModelAllocator::~HoardModelAllocator() {
+  if (Central->Shared) {
+    // A destroyed heap (e.g. a Ruby-style process restart) donates its
+    // fully empty superblocks to the global pool; partially used ones
+    // stay lost, like the pages of a really-restarted process.
+    auto Lock = centralLock();
+    for (SuperblockHeader *&Head : Available) {
+      SuperblockHeader *Sb = Head;
+      while (Sb) {
+        SuperblockHeader *Next = Sb->Next;
+        if (Sb->Used == 0) {
+          listRemove(Head, Sb);
+          listPush(Central->EmptyPool, Sb);
+        }
+        Sb = Next;
+      }
+    }
+  }
+  Sink.unmapRegion(Central->SbMap.data());
+  Sink.unmapRegion(Available.data());
+  Sink.unmapRegion(Central->Heap.base());
+}
+
+void HoardModelAllocator::attachSink(AccessSink *S) {
+  if (Central->Shared && S)
+    fatal("hoard heaps on a shared central cannot attach a simulation sink");
+  TxAllocator::attachSink(S);
+  Sink.mapRegion(Central->Heap.base(), Central->Heap.size());
+  Sink.mapRegion(Available.data(),
+                 Available.size() * sizeof(SuperblockHeader *));
+  Sink.mapRegion(Central->SbMap.data(), Central->SbMap.size());
 }
 
 void HoardModelAllocator::listPush(SuperblockHeader *&Head,
@@ -53,19 +97,23 @@ void HoardModelAllocator::listRemove(SuperblockHeader *&Head,
 
 HoardModelAllocator::SuperblockHeader *
 HoardModelAllocator::acquireSuperblock(unsigned Class) {
-  SuperblockHeader *Sb = EmptyPool;
-  if (Sb) {
-    listRemove(EmptyPool, Sb);
-  } else {
-    if (Frontier >= NumSuperblocks)
-      return nullptr;
-    Sb = reinterpret_cast<SuperblockHeader *>(Heap.base() +
-                                              Frontier * SuperblockBytes);
-    SbMap[Frontier] = SbSmall;
-    Sink.store(&SbMap[Frontier], 1);
-    ++Frontier;
-    if (Frontier > HighWaterSuperblocks)
-      HighWaterSuperblocks = Frontier;
+  SuperblockHeader *Sb;
+  {
+    auto Lock = centralLock();
+    Sb = Central->EmptyPool;
+    if (Sb) {
+      listRemove(Central->EmptyPool, Sb);
+    } else {
+      if (Central->Frontier >= Central->NumSuperblocks)
+        return nullptr;
+      Sb = reinterpret_cast<SuperblockHeader *>(
+          Central->Heap.base() + Central->Frontier * SuperblockBytes);
+      Central->SbMap[Central->Frontier] = SbSmall;
+      Sink.store(&Central->SbMap[Central->Frontier], 1);
+      ++Central->Frontier;
+      if (Central->Frontier > Central->HighWaterSuperblocks)
+        Central->HighWaterSuperblocks = Central->Frontier;
+    }
   }
   size_t ObjectSize = Classes.classSize(Class);
   Sb->ClassIndex = Class;
@@ -121,6 +169,9 @@ void *HoardModelAllocator::allocate(size_t Size) {
 
 void *HoardModelAllocator::allocateLarge(size_t Size) {
   size_t Blocks = (Size + SuperblockBytes - 1) / SuperblockBytes;
+  auto Lock = centralLock();
+  auto &FreeRuns = Central->FreeRuns;
+  auto &SbMap = Central->SbMap;
   size_t First = SIZE_MAX;
   for (auto It = FreeRuns.begin(), End = FreeRuns.end(); It != End; ++It) {
     Sink.instructions(4);
@@ -134,12 +185,12 @@ void *HoardModelAllocator::allocateLarge(size_t Size) {
     break;
   }
   if (First == SIZE_MAX) {
-    if (Frontier + Blocks > NumSuperblocks)
+    if (Central->Frontier + Blocks > Central->NumSuperblocks)
       return nullptr;
-    First = Frontier;
-    Frontier += Blocks;
-    if (Frontier > HighWaterSuperblocks)
-      HighWaterSuperblocks = Frontier;
+    First = Central->Frontier;
+    Central->Frontier += Blocks;
+    if (Central->Frontier > Central->HighWaterSuperblocks)
+      Central->HighWaterSuperblocks = Central->Frontier;
   }
   SbMap[First] = SbLargeStart;
   Sink.store(&SbMap[First], 1);
@@ -149,7 +200,7 @@ void *HoardModelAllocator::allocateLarge(size_t Size) {
   }
   Sink.instructions(InstrLargeAlloc);
   noteMalloc(Size, Blocks * SuperblockBytes);
-  return Heap.base() + First * SuperblockBytes;
+  return Central->Heap.base() + First * SuperblockBytes;
 }
 
 void HoardModelAllocator::deallocate(void *Ptr) {
@@ -157,13 +208,20 @@ void HoardModelAllocator::deallocate(void *Ptr) {
     return;
   assert(owns(Ptr) && "pointer not from this heap");
   size_t Index = sbIndexFor(Ptr);
-  uint8_t Mark = SbMap[Index];
-  Sink.load(&SbMap[Index], 1);
+  // A live object's map entry cannot change concurrently; see the
+  // TCmalloc model's deallocate for the ordering argument.
+  uint8_t Mark = Central->SbMap[Index];
+  Sink.load(&Central->SbMap[Index], 1);
   assert(Mark != SbUnused && Mark != SbLargeCont && "bad free");
 
   if (Mark == SbLargeStart) {
+    // The boundary scan reads one entry past the run, so the whole large
+    // path locks on a shared central.
+    auto Lock = centralLock();
+    auto &SbMap = Central->SbMap;
+    auto &FreeRuns = Central->FreeRuns;
     size_t Blocks = 1;
-    while (Index + Blocks < NumSuperblocks &&
+    while (Index + Blocks < Central->NumSuperblocks &&
            SbMap[Index + Blocks] == SbLargeCont)
       ++Blocks;
     noteFree(Blocks * SuperblockBytes);
@@ -209,21 +267,24 @@ void HoardModelAllocator::deallocate(void *Ptr) {
     listPush(Available[Class], Sb);
   } else if (Sb->Used == 0) {
     // Emptiness management: fully empty superblocks return to the global
-    // pool and can be re-purposed for any class.
+    // pool and can be re-purposed for any class (by any thread; the lock
+    // release publishes this thread's writes to the next owner).
     listRemove(Available[Class], Sb);
-    listPush(EmptyPool, Sb);
+    auto Lock = centralLock();
+    listPush(Central->EmptyPool, Sb);
   }
 }
 
 size_t HoardModelAllocator::usableSize(const void *Ptr) const {
   assert(Ptr && owns(Ptr) && "bad pointer");
   size_t Index = sbIndexFor(Ptr);
-  uint8_t Mark = SbMap[Index];
+  uint8_t Mark = Central->SbMap[Index];
   assert(Mark != SbUnused && Mark != SbLargeCont && "not an object");
   if (Mark == SbLargeStart) {
+    auto Lock = centralLock(); // Boundary scan; see deallocate().
     size_t Blocks = 1;
-    while (Index + Blocks < NumSuperblocks &&
-           SbMap[Index + Blocks] == SbLargeCont)
+    while (Index + Blocks < Central->NumSuperblocks &&
+           Central->SbMap[Index + Blocks] == SbLargeCont)
       ++Blocks;
     return Blocks * SuperblockBytes;
   }
@@ -259,12 +320,19 @@ void HoardModelAllocator::freeAll() {
 }
 
 uint64_t HoardModelAllocator::emptyPoolSize() const {
+  auto Lock = centralLock();
   uint64_t Count = 0;
-  for (SuperblockHeader *Sb = EmptyPool; Sb; Sb = Sb->Next)
+  for (SuperblockHeader *Sb = Central->EmptyPool; Sb; Sb = Sb->Next)
     ++Count;
   return Count;
 }
 
+uint64_t HoardModelAllocator::superblocksInUse() const {
+  auto Lock = centralLock();
+  return Central->Frontier;
+}
+
 uint64_t HoardModelAllocator::memoryConsumption() const {
-  return HighWaterSuperblocks * SuperblockBytes;
+  auto Lock = centralLock();
+  return Central->HighWaterSuperblocks * SuperblockBytes;
 }

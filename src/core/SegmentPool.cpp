@@ -1,0 +1,191 @@
+//===- core/SegmentPool.cpp - Sharded segment pool for DDmalloc ----------===//
+
+#include "core/SegmentPool.h"
+#include "support/Error.h"
+#include "support/FaultInjection.h"
+
+#include <cassert>
+
+using namespace ddm;
+
+static AlignedArena reserveOrDie(const SharedSegmentPool::Config &C) {
+  assert((C.SegmentSize & (C.SegmentSize - 1)) == 0 &&
+         "segment size must be a power of two");
+  assert(C.SegmentSize >= 4096 && "segment size too small");
+  if (C.ReserveBytes < 4 * C.SegmentSize)
+    fatal("segment pool reservation too small: need at least 4 segments");
+  return AlignedArena(C.ReserveBytes, C.SegmentSize);
+}
+
+SharedSegmentPool::SharedSegmentPool(const Config &C)
+    : Cfg(C), Arena(reserveOrDie(C)) {
+  NumSegments = Arena.size() / Cfg.SegmentSize;
+  unsigned Stripes = C.Stripes ? C.Stripes : 1;
+  Lists.reserve(Stripes);
+  for (unsigned I = 0; I < Stripes; ++I)
+    Lists.push_back(std::make_unique<Stripe>());
+}
+
+std::shared_ptr<SharedSegmentPool>
+SharedSegmentPool::tryCreate(const Config &C, std::string *ErrorOut) {
+  if (C.SegmentSize < 4096 || (C.SegmentSize & (C.SegmentSize - 1)) != 0) {
+    if (ErrorOut)
+      *ErrorOut = "segment size must be a power of two >= 4096";
+    return nullptr;
+  }
+  if (C.ReserveBytes < 4 * C.SegmentSize) {
+    if (ErrorOut)
+      *ErrorOut = "segment pool reservation too small: need at least 4 segments";
+    return nullptr;
+  }
+  // Probe the reservation non-fatally; the constructor's own (fatal)
+  // reservation of the same size succeeds whenever the probe did.
+  {
+    std::string MapError;
+    std::optional<AlignedArena> Probe =
+        AlignedArena::tryReserve(C.ReserveBytes, C.SegmentSize, &MapError);
+    if (!Probe) {
+      if (ErrorOut)
+        *ErrorOut = "segment pool reservation of " +
+                    std::to_string(C.ReserveBytes) + " bytes failed (" +
+                    MapError + ")";
+      return nullptr;
+    }
+  }
+  return std::make_shared<SharedSegmentPool>(C);
+}
+
+size_t SharedSegmentPool::acquireSegments(unsigned Shard, uint32_t *Out,
+                                          size_t MaxCount) {
+  assert(MaxCount > 0 && "must request at least one segment");
+  if (faultShouldFail(FaultSite::SegmentAcquire))
+    return 0;
+  unsigned NumStripes = static_cast<unsigned>(Lists.size());
+  Shard %= NumStripes;
+
+  size_t Got = 0;
+  // 1) The shard's own stripe: the common refill source once the workload
+  //    reaches steady state.
+  {
+    Stripe &Own = *Lists[Shard];
+    std::lock_guard<std::mutex> Lock(Own.M);
+    while (Got < MaxCount && !Own.Free.empty()) {
+      Out[Got++] = Own.Free.back();
+      Own.Free.pop_back();
+    }
+  }
+  if (Got == MaxCount) {
+    Outstanding.fetch_add(Got, std::memory_order_relaxed);
+    return Got;
+  }
+  Misses.fetch_add(1, std::memory_order_relaxed);
+
+  // 2) The bump frontier: fresh segments while the arena still has room.
+  {
+    std::lock_guard<std::mutex> Lock(FrontierMutex);
+    while (Got < MaxCount && Frontier < NumSegments)
+      Out[Got++] = static_cast<uint32_t>(Frontier++);
+  }
+  if (Got > 0) {
+    Outstanding.fetch_add(Got, std::memory_order_relaxed);
+    return Got;
+  }
+
+  // 3) Memory pressure: steal from the other stripes.
+  for (unsigned Probe = 1; Probe < NumStripes && Got < MaxCount; ++Probe) {
+    Stripe &Victim = *Lists[(Shard + Probe) % NumStripes];
+    std::lock_guard<std::mutex> Lock(Victim.M);
+    while (Got < MaxCount && !Victim.Free.empty()) {
+      Out[Got++] = Victim.Free.back();
+      Victim.Free.pop_back();
+    }
+  }
+  // 4) Last resort: free runs released by large objects, split into
+  //    singles one run at a time.
+  if (Got < MaxCount) {
+    std::lock_guard<std::mutex> Lock(FrontierMutex);
+    while (Got < MaxCount && !FreeRuns.empty()) {
+      auto It = FreeRuns.begin();
+      uint32_t First = It->first;
+      size_t Length = It->second;
+      FreeRuns.erase(It);
+      size_t Take = Length < MaxCount - Got ? Length : MaxCount - Got;
+      for (size_t I = 0; I < Take; ++I)
+        Out[Got++] = First + static_cast<uint32_t>(I);
+      if (Take < Length)
+        FreeRuns.emplace(First + static_cast<uint32_t>(Take), Length - Take);
+    }
+  }
+  Outstanding.fetch_add(Got, std::memory_order_relaxed);
+  return Got;
+}
+
+uint32_t SharedSegmentPool::acquireRun(size_t NumSegs) {
+  assert(NumSegs > 0 && "must request at least one segment");
+  if (faultShouldFail(FaultSite::SegmentAcquire))
+    return UINT32_MAX;
+  std::lock_guard<std::mutex> Lock(FrontierMutex);
+  // First fit over previously released runs.
+  for (auto It = FreeRuns.begin(), End = FreeRuns.end(); It != End; ++It) {
+    if (It->second < NumSegs)
+      continue;
+    uint32_t First = It->first;
+    size_t Length = It->second;
+    FreeRuns.erase(It);
+    if (Length > NumSegs)
+      FreeRuns.emplace(First + static_cast<uint32_t>(NumSegs),
+                       Length - NumSegs);
+    Outstanding.fetch_add(NumSegs, std::memory_order_relaxed);
+    return First;
+  }
+  if (Frontier + NumSegs > NumSegments)
+    return UINT32_MAX;
+  uint32_t First = static_cast<uint32_t>(Frontier);
+  Frontier += NumSegs;
+  Outstanding.fetch_add(NumSegs, std::memory_order_relaxed);
+  return First;
+}
+
+void SharedSegmentPool::releaseSegments(unsigned Shard,
+                                        const uint32_t *Indices,
+                                        size_t Count) {
+  if (Count == 0)
+    return;
+  Stripe &Own = *Lists[Shard % Lists.size()];
+  {
+    std::lock_guard<std::mutex> Lock(Own.M);
+    Own.Free.insert(Own.Free.end(), Indices, Indices + Count);
+  }
+  Outstanding.fetch_sub(Count, std::memory_order_relaxed);
+}
+
+void SharedSegmentPool::releaseRun(uint32_t First, size_t NumSegs) {
+  if (NumSegs == 0)
+    return;
+  size_t Released = NumSegs;
+  {
+    std::lock_guard<std::mutex> Lock(FrontierMutex);
+    // Coalesce with the adjacent runs so repeated large allocations of a
+    // growing size do not strand address space.
+    auto After = FreeRuns.lower_bound(First);
+    if (After != FreeRuns.end() && After->first == First + NumSegs) {
+      NumSegs += After->second;
+      After = FreeRuns.erase(After);
+    }
+    if (After != FreeRuns.begin()) {
+      auto Before = std::prev(After);
+      if (Before->first + Before->second == First) {
+        First = Before->first;
+        NumSegs += Before->second;
+        FreeRuns.erase(Before);
+      }
+    }
+    FreeRuns.emplace(First, NumSegs);
+  }
+  Outstanding.fetch_sub(Released, std::memory_order_relaxed);
+}
+
+uint64_t SharedSegmentPool::frontierSegments() const {
+  std::lock_guard<std::mutex> Lock(FrontierMutex);
+  return Frontier;
+}

@@ -23,19 +23,74 @@ constexpr uint64_t InstrLargeFree = 70;
 
 } // namespace
 
-TCMallocModelAllocator::TCMallocModelAllocator(const TCMallocConfig &C)
-    : Config(C), Classes(16 * 1024), Heap(C.HeapReserveBytes, PageSize) {
+TCMallocCentral::TCMallocCentral(size_t HeapReserveBytes, unsigned NumClasses,
+                                 bool IsShared)
+    : Heap(HeapReserveBytes, PageSize), Shared(IsShared) {
   NumPages = Heap.size() / PageSize;
-  unsigned NumClasses = Classes.numClasses();
-  CacheHead.assign(NumClasses, 0);
-  CacheCount.assign(NumClasses, 0);
   CentralHead.assign(NumClasses, 0);
   CentralCount.assign(NumClasses, 0);
   PageMap.assign(NumPages, PageUnused);
 }
 
+std::shared_ptr<TCMallocCentral>
+ddm::createTCMallocCentral(size_t HeapReserveBytes) {
+  SizeClassMap Classes(16 * 1024); // Must match the allocator's map.
+  return std::make_shared<TCMallocCentral>(HeapReserveBytes,
+                                           Classes.numClasses(), true);
+}
+
+TCMallocModelAllocator::TCMallocModelAllocator(const TCMallocConfig &C)
+    : Config(C), Classes(16 * 1024) {
+  unsigned NumClasses = Classes.numClasses();
+  if (C.Central) {
+    Central = C.Central;
+    if (Central->CentralHead.size() != NumClasses)
+      fatal("tcmalloc shared central was built for a different class map");
+  } else {
+    Central =
+        std::make_shared<TCMallocCentral>(C.HeapReserveBytes, NumClasses,
+                                          /*IsShared=*/false);
+  }
+  CacheHead.assign(NumClasses, 0);
+  CacheCount.assign(NumClasses, 0);
+}
+
+TCMallocModelAllocator::~TCMallocModelAllocator() {
+  if (Central->Shared) {
+    // A destroyed cache (e.g. a Ruby-style process restart) returns its
+    // free-list stock to the central lists so sibling caches can reuse
+    // it; objects still live at destruction stay lost, like the pages of
+    // a really-restarted process.
+    std::lock_guard<std::mutex> Lock(Central->M);
+    for (unsigned Class = 0, End = Classes.numClasses(); Class != End;
+         ++Class) {
+      while (CacheHead[Class] != 0) {
+        uintptr_t Node = CacheHead[Class];
+        CacheHead[Class] = *reinterpret_cast<uintptr_t *>(Node);
+        *reinterpret_cast<uintptr_t *>(Node) = Central->CentralHead[Class];
+        Central->CentralHead[Class] = Node;
+        ++Central->CentralCount[Class];
+      }
+    }
+  }
+  Sink.unmapRegion(Central->PageMap.data());
+  Sink.unmapRegion(CacheHead.data());
+  Sink.unmapRegion(Central->Heap.base());
+}
+
+void TCMallocModelAllocator::attachSink(AccessSink *S) {
+  if (Central->Shared && S)
+    fatal("tcmalloc caches on a shared central cannot attach a simulation "
+          "sink");
+  TxAllocator::attachSink(S);
+  Sink.mapRegion(Central->Heap.base(), Central->Heap.size());
+  Sink.mapRegion(CacheHead.data(), CacheHead.size() * sizeof(uintptr_t));
+  Sink.mapRegion(Central->PageMap.data(), Central->PageMap.size());
+}
+
 size_t TCMallocModelAllocator::takePages(size_t Pages) {
   // First fit over the free runs (the page-heap search).
+  auto &FreeRuns = Central->FreeRuns;
   for (auto It = FreeRuns.begin(), End = FreeRuns.end(); It != End; ++It) {
     Sink.instructions(4);
     if (It->second < Pages)
@@ -47,16 +102,18 @@ size_t TCMallocModelAllocator::takePages(size_t Pages) {
       FreeRuns.emplace(First + Pages, RunLength - Pages);
     return First;
   }
-  if (PageFrontier + Pages > NumPages)
+  if (Central->PageFrontier + Pages > Central->NumPages)
     return SIZE_MAX;
-  size_t First = PageFrontier;
-  PageFrontier += Pages;
-  if (PageFrontier > HighWaterPages)
-    HighWaterPages = PageFrontier;
+  size_t First = Central->PageFrontier;
+  Central->PageFrontier += Pages;
+  if (Central->PageFrontier > Central->HighWaterPages)
+    Central->HighWaterPages = Central->PageFrontier;
   return First;
 }
 
 void TCMallocModelAllocator::releasePages(size_t FirstPage, size_t Pages) {
+  auto &PageMap = Central->PageMap;
+  auto &FreeRuns = Central->FreeRuns;
   for (size_t I = 0; I < Pages; ++I) {
     PageMap[FirstPage + I] = PageUnused;
     Sink.store(&PageMap[FirstPage + I], 1);
@@ -83,14 +140,15 @@ void TCMallocModelAllocator::releasePages(size_t FirstPage, size_t Pages) {
 
 void TCMallocModelAllocator::refillCache(unsigned Class) {
   size_t ObjectSize = Classes.classSize(Class);
+  auto Lock = centralLock();
 
   // Move a batch from the central list if it has stock.
   unsigned Moved = 0;
-  while (CentralCount[Class] > 0 && Moved < Config.RefillBatch) {
-    uintptr_t Node = CentralHead[Class];
+  while (Central->CentralCount[Class] > 0 && Moved < Config.RefillBatch) {
+    uintptr_t Node = Central->CentralHead[Class];
     Sink.load(reinterpret_cast<void *>(Node), sizeof(uintptr_t));
-    CentralHead[Class] = *reinterpret_cast<uintptr_t *>(Node);
-    --CentralCount[Class];
+    Central->CentralHead[Class] = *reinterpret_cast<uintptr_t *>(Node);
+    --Central->CentralCount[Class];
     *reinterpret_cast<uintptr_t *>(Node) = CacheHead[Class];
     Sink.store(reinterpret_cast<void *>(Node), sizeof(uintptr_t));
     CacheHead[Class] = Node;
@@ -109,8 +167,8 @@ void TCMallocModelAllocator::refillCache(unsigned Class) {
     return; // Heap exhausted; allocate() will observe the empty cache.
   std::byte *Span = pageBase(First);
   for (size_t I = 0; I < SpanPages; ++I) {
-    PageMap[First + I] = static_cast<uint8_t>(Class);
-    Sink.store(&PageMap[First + I], 1);
+    Central->PageMap[First + I] = static_cast<uint8_t>(Class);
+    Sink.store(&Central->PageMap[First + I], 1);
   }
   size_t Objects = (SpanPages * PageSize) / ObjectSize;
   for (size_t I = 0; I < Objects; ++I) {
@@ -128,6 +186,7 @@ void TCMallocModelAllocator::scavenge() {
   // The delayed defragmentation: move half of every thread-cache list back
   // to the central lists.
   ++Scavenges;
+  auto Lock = centralLock();
   uint64_t MovedTotal = 0;
   for (unsigned Class = 0, End = Classes.numClasses(); Class != End; ++Class) {
     uint32_t ToMove = CacheCount[Class] / 2;
@@ -136,10 +195,10 @@ void TCMallocModelAllocator::scavenge() {
       uintptr_t Node = CacheHead[Class];
       Sink.load(reinterpret_cast<void *>(Node), sizeof(uintptr_t));
       CacheHead[Class] = *reinterpret_cast<uintptr_t *>(Node);
-      *reinterpret_cast<uintptr_t *>(Node) = CentralHead[Class];
+      *reinterpret_cast<uintptr_t *>(Node) = Central->CentralHead[Class];
       Sink.store(reinterpret_cast<void *>(Node), sizeof(uintptr_t));
-      CentralHead[Class] = Node;
-      ++CentralCount[Class];
+      Central->CentralHead[Class] = Node;
+      ++Central->CentralCount[Class];
     }
     CacheCount[Class] -= ToMove;
     CacheBytes -= static_cast<uint64_t>(ToMove) * ObjectSize;
@@ -170,9 +229,11 @@ void *TCMallocModelAllocator::allocateSmall(size_t Size) {
 
 void *TCMallocModelAllocator::allocateLarge(size_t Size) {
   size_t Pages = (Size + PageSize - 1) / PageSize;
+  auto Lock = centralLock();
   size_t First = takePages(Pages);
   if (First == SIZE_MAX)
     return nullptr;
+  auto &PageMap = Central->PageMap;
   PageMap[First] = PageLargeStart;
   Sink.store(&PageMap[First], 1);
   for (size_t I = 1; I < Pages; ++I) {
@@ -195,13 +256,21 @@ void TCMallocModelAllocator::deallocate(void *Ptr) {
     return;
   assert(owns(Ptr) && "pointer not from this heap");
   size_t Page = pageIndexFor(Ptr);
-  uint8_t Mark = PageMap[Page];
-  Sink.load(&PageMap[Page], 1);
+  // Reading the page map entry of a live object needs no lock even on a
+  // shared central: the entry cannot change while the object is live, and
+  // the object reached this thread through the central-lock
+  // happens-before chain.
+  uint8_t Mark = Central->PageMap[Page];
+  Sink.load(&Central->PageMap[Page], 1);
   assert(Mark != PageUnused && Mark != PageLargeCont && "bad free");
 
   if (Mark == PageLargeStart) {
+    // The boundary scan reads one entry past the run, which a sibling
+    // cache may be writing concurrently, so the whole large path locks.
+    auto Lock = centralLock();
     size_t Pages = 1;
-    while (Page + Pages < NumPages && PageMap[Page + Pages] == PageLargeCont)
+    while (Page + Pages < Central->NumPages &&
+           Central->PageMap[Page + Pages] == PageLargeCont)
       ++Pages;
     noteFree(Pages * PageSize);
     releasePages(Page, Pages);
@@ -227,11 +296,13 @@ void TCMallocModelAllocator::deallocate(void *Ptr) {
 size_t TCMallocModelAllocator::usableSize(const void *Ptr) const {
   assert(Ptr && owns(Ptr) && "bad pointer");
   size_t Page = pageIndexFor(Ptr);
-  uint8_t Mark = PageMap[Page];
+  uint8_t Mark = Central->PageMap[Page];
   assert(Mark != PageUnused && Mark != PageLargeCont && "not an object");
   if (Mark == PageLargeStart) {
+    auto Lock = centralLock(); // Boundary scan; see deallocate().
     size_t Pages = 1;
-    while (Page + Pages < NumPages && PageMap[Page + Pages] == PageLargeCont)
+    while (Page + Pages < Central->NumPages &&
+           Central->PageMap[Page + Pages] == PageLargeCont)
       ++Pages;
     return Pages * PageSize;
   }
@@ -267,5 +338,11 @@ void TCMallocModelAllocator::freeAll() {
 }
 
 uint64_t TCMallocModelAllocator::memoryConsumption() const {
-  return HighWaterPages * PageSize;
+  auto Lock = centralLock();
+  return Central->HighWaterPages * PageSize;
+}
+
+size_t TCMallocModelAllocator::freeRunCount() const {
+  auto Lock = centralLock();
+  return Central->FreeRuns.size();
 }

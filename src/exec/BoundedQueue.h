@@ -1,0 +1,113 @@
+//===- exec/BoundedQueue.h - Bounded MPMC work queue -----------*- C++ -*-===//
+///
+/// \file
+/// The request queue between the native executor's load-generating producer
+/// and its worker threads: a bounded multi-producer multi-consumer queue
+/// with blocking push/pop and a close() that drains cleanly. A bounded
+/// queue is what gives the open-loop load generator back-pressure — when
+/// the workers fall behind the offered rate, the producer blocks instead
+/// of buffering unbounded latency, exactly like a listen backlog.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_EXEC_BOUNDEDQUEUE_H
+#define DDM_EXEC_BOUNDEDQUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace ddm {
+
+/// Mutex + condvar bounded queue. All methods are thread-safe.
+template <typename T> class BoundedQueue {
+public:
+  explicit BoundedQueue(size_t Capacity) : Capacity(Capacity ? Capacity : 1) {}
+
+  /// Blocks until there is room, then enqueues. Returns false (dropping
+  /// \p Item) if the queue was closed.
+  bool push(T Item) {
+    std::unique_lock<std::mutex> Lock(M);
+    NotFull.wait(Lock, [&] { return Items.size() < Capacity || Closed; });
+    if (Closed)
+      return false;
+    Items.push_back(std::move(Item));
+    ++Pushed;
+    if (Items.size() > MaxDepth)
+      MaxDepth = Items.size();
+    Lock.unlock();
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available, then dequeues into \p Out. Returns
+  /// false only when the queue is closed AND drained.
+  bool pop(T &Out) {
+    std::unique_lock<std::mutex> Lock(M);
+    NotEmpty.wait(Lock, [&] { return !Items.empty() || Closed; });
+    if (Items.empty())
+      return false;
+    Out = std::move(Items.front());
+    Items.pop_front();
+    Lock.unlock();
+    NotFull.notify_one();
+    return true;
+  }
+
+  /// Blocks until at least one item is available, then dequeues up to
+  /// \p Max into \p Out (cleared first). Returns the number dequeued; 0
+  /// only when the queue is closed and drained. Batch popping amortizes
+  /// the lock over several requests when workers lag the producer.
+  size_t popBatch(std::vector<T> &Out, size_t Max) {
+    Out.clear();
+    std::unique_lock<std::mutex> Lock(M);
+    NotEmpty.wait(Lock, [&] { return !Items.empty() || Closed; });
+    while (!Items.empty() && Out.size() < Max) {
+      Out.push_back(std::move(Items.front()));
+      Items.pop_front();
+    }
+    Lock.unlock();
+    NotFull.notify_all();
+    return Out.size();
+  }
+
+  /// Closes the queue: pending and future push() calls fail, pop() drains
+  /// the remaining items then reports closed.
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Closed = true;
+    }
+    NotFull.notify_all();
+    NotEmpty.notify_all();
+  }
+
+  /// \name Statistics (racy reads are fine after the run has quiesced).
+  /// @{
+  size_t maxDepth() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return MaxDepth;
+  }
+  uint64_t totalPushed() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Pushed;
+  }
+  /// @}
+
+private:
+  const size_t Capacity;
+  mutable std::mutex M;
+  std::condition_variable NotFull;
+  std::condition_variable NotEmpty;
+  std::deque<T> Items;
+  bool Closed = false;
+  size_t MaxDepth = 0;
+  uint64_t Pushed = 0;
+};
+
+} // namespace ddm
+
+#endif // DDM_EXEC_BOUNDEDQUEUE_H

@@ -1,0 +1,191 @@
+//===- exec/NativeExecutor.cpp - Real-thread serving executor ------------===//
+
+#include "exec/NativeExecutor.h"
+#include "exec/BoundedQueue.h"
+#include "exec/ThreadHeapRegistry.h"
+#include "runtime/TransactionRuntime.h"
+#include "support/Error.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace ddm;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One queued request.
+struct Request {
+  Clock::time_point EnqueueTime;
+  uint32_t WorkloadIdx = 0;
+};
+
+/// What one worker thread reports back.
+struct WorkerResult {
+  LatencyHistogram LatencyUs;
+  uint64_t Completed = 0;
+  uint64_t OomAborts = 0;
+  AllocatorStats Allocator;
+};
+
+void accumulate(AllocatorStats &Into, const AllocatorStats &From) {
+  Into.MallocCalls += From.MallocCalls;
+  Into.FreeCalls += From.FreeCalls;
+  Into.ReallocCalls += From.ReallocCalls;
+  Into.FreeAllCalls += From.FreeAllCalls;
+  Into.BytesRequested += From.BytesRequested;
+  Into.UsableBytesLive += From.UsableBytesLive;
+  Into.PeakUsableBytesLive += From.PeakUsableBytesLive;
+}
+
+/// The body of worker thread \p Thread: builds its per-workload runtimes
+/// (on this thread, so every heap is constructed by its owning thread),
+/// then drains the queue until it closes.
+void workerMain(const NativeExecutorConfig &Cfg,
+                const ThreadHeapRegistry &Registry,
+                BoundedQueue<Request> &Queue, unsigned Thread,
+                WorkerResult &Result) {
+  std::vector<std::unique_ptr<TransactionRuntime>> Runtimes;
+  Runtimes.reserve(Cfg.Mix.size());
+  for (size_t W = 0; W < Cfg.Mix.size(); ++W) {
+    RuntimeConfig RC;
+    RC.Kind = Cfg.Kind;
+    RC.AllocOptions = Registry.optionsFor(Thread);
+    RC.UseBulkFree = allocatorSupportsBulkFree(Cfg.Kind);
+    RC.RestartPeriodTx = Cfg.RestartPeriodTx;
+    RC.LeakFraction = Cfg.LeakFraction;
+    RC.Scale = Cfg.Scale;
+    RC.Seed = Cfg.Seed;
+    RC.RngStream = static_cast<uint64_t>(Thread) * Cfg.Mix.size() + W;
+    Runtimes.push_back(
+        std::make_unique<TransactionRuntime>(Cfg.Mix[W], RC, nullptr));
+  }
+
+  std::vector<Request> Batch;
+  Batch.reserve(Cfg.PopBatch);
+  while (Queue.popBatch(Batch, Cfg.PopBatch) > 0) {
+    for (const Request &Req : Batch) {
+      TransactionRuntime &RT = *Runtimes[Req.WorkloadIdx % Runtimes.size()];
+      TxStatus Status = RT.executeTransaction();
+      auto Us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    Clock::now() - Req.EnqueueTime)
+                    .count();
+      if (Status == TxStatus::Ok) {
+        ++Result.Completed;
+        Result.LatencyUs.add(static_cast<uint64_t>(Us));
+      } else {
+        ++Result.OomAborts;
+      }
+    }
+  }
+
+  for (auto &RT : Runtimes)
+    accumulate(Result.Allocator, RT->allocator().stats());
+}
+
+/// The producer loop: paces arrivals per the load config and enqueues
+/// until the transaction budget, the duration, or a closed queue stops it.
+/// Returns the number of requests enqueued.
+uint64_t produce(const NativeExecutorConfig &Cfg, BoundedQueue<Request> &Queue,
+                 Clock::time_point Start) {
+  LoadGenerator Load(Cfg.Load);
+  bool Paced = Cfg.Load.Process != ArrivalProcess::ClosedLoop;
+  uint64_t Offered = 0;
+  while (Cfg.TotalTransactions == 0 || Offered < Cfg.TotalTransactions) {
+    if (Cfg.DurationSec > 0.0) {
+      double Elapsed =
+          std::chrono::duration<double>(Clock::now() - Start).count();
+      if (Elapsed >= Cfg.DurationSec)
+        break;
+    }
+    if (Paced) {
+      double ArrivalSec = Load.nextArrivalSec();
+      std::this_thread::sleep_until(
+          Start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(ArrivalSec)));
+    }
+    Request Req;
+    Req.WorkloadIdx = Load.pickWorkload();
+    Req.EnqueueTime = Clock::now();
+    if (!Queue.push(Req))
+      break;
+    ++Offered;
+  }
+  return Offered;
+}
+
+} // namespace
+
+std::optional<NativeRunMetrics>
+ddm::runNativeChecked(const NativeExecutorConfig &Config, std::string &Error) {
+  NativeExecutorConfig Cfg = Config;
+  if (Cfg.Mix.empty()) {
+    Error = "native executor: empty workload mix";
+    return std::nullopt;
+  }
+  if (Cfg.Threads == 0)
+    Cfg.Threads = 1;
+  if (Cfg.TotalTransactions == 0 && Cfg.DurationSec <= 0.0) {
+    Error = "native executor: need a transaction budget or a duration";
+    return std::nullopt;
+  }
+  // The load mix must address every workload in the mix (and no more).
+  Cfg.Load.MixWeights.resize(Cfg.Mix.size(), 1.0);
+  // Saturation runs never pace, but LoadGenerator (reasonably) insists on
+  // a positive rate for its internal state.
+  if (Cfg.Load.RatePerSec <= 0.0)
+    Cfg.Load.RatePerSec = 1.0;
+
+  ThreadHeapRegistry::Config RC;
+  RC.Kind = Cfg.Kind;
+  RC.Options = Cfg.Options;
+  RC.Threads = Cfg.Threads;
+  std::unique_ptr<ThreadHeapRegistry> Registry =
+      ThreadHeapRegistry::tryCreate(RC, &Error);
+  if (!Registry)
+    return std::nullopt;
+
+  BoundedQueue<Request> Queue(Cfg.QueueCapacity);
+  std::vector<WorkerResult> Results(Cfg.Threads);
+  std::vector<std::thread> Workers;
+  Workers.reserve(Cfg.Threads);
+
+  Clock::time_point Start = Clock::now();
+  for (unsigned T = 0; T < Cfg.Threads; ++T)
+    Workers.emplace_back(workerMain, std::cref(Cfg), std::cref(*Registry),
+                         std::ref(Queue), T, std::ref(Results[T]));
+
+  uint64_t Offered = produce(Cfg, Queue, Start);
+  Queue.close();
+  for (std::thread &W : Workers)
+    W.join();
+  double WallSec = std::chrono::duration<double>(Clock::now() - Start).count();
+
+  NativeRunMetrics M;
+  M.Offered = Offered;
+  M.WallSec = WallSec;
+  M.QueueMaxDepth = Queue.maxDepth();
+  M.SharingModel = Registry->sharingModel();
+  M.PerThread.resize(Cfg.Threads);
+  for (unsigned T = 0; T < Cfg.Threads; ++T) {
+    const WorkerResult &R = Results[T];
+    M.Completed += R.Completed;
+    M.OomAborts += R.OomAborts;
+    M.LatencyUs.merge(R.LatencyUs);
+    accumulate(M.Allocator, R.Allocator);
+    M.PerThread[T].Completed = R.Completed;
+    M.PerThread[T].OomAborts = R.OomAborts;
+  }
+  M.Throughput = WallSec > 0.0 ? static_cast<double>(M.Completed) / WallSec
+                               : 0.0;
+  return M;
+}
+
+NativeRunMetrics ddm::runNative(const NativeExecutorConfig &Config) {
+  std::string Error;
+  std::optional<NativeRunMetrics> M = runNativeChecked(Config, Error);
+  if (!M)
+    fatal("native executor: " + Error);
+  return std::move(*M);
+}

@@ -1,0 +1,119 @@
+//===- exec/NativeExecutor.h - Real-thread serving executor ----*- C++ -*-===//
+///
+/// \file
+/// The native half of the serving study: instead of *simulating* worker
+/// processes on a machine model, NativeExecutor runs genuine transactions
+/// on a std::thread pool against real per-thread heaps and measures
+/// wall-clock request latency. A producer paces request arrivals with the
+/// same deterministic LoadGenerator the simulator uses and feeds a bounded
+/// MPMC queue; each worker owns one TransactionRuntime per workload in the
+/// mix (its allocator wired to the run's shared backend by
+/// ThreadHeapRegistry) and records completion latencies into a per-thread
+/// LatencyHistogram, merged after the run.
+///
+/// Determinism: a single-threaded run is fully deterministic (arrivals,
+/// workload picks, and every runtime's RNG streams derive from the seed).
+/// Multi-threaded runs keep per-runtime determinism — each (thread,
+/// workload) runtime owns a splittable RNG stream — but the interleaving
+/// of transactions across threads is scheduler-dependent, as on real
+/// hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_EXEC_NATIVEEXECUTOR_H
+#define DDM_EXEC_NATIVEEXECUTOR_H
+
+#include "core/AllocatorFactory.h"
+#include "core/TxAllocator.h"
+#include "server/LatencyHistogram.h"
+#include "server/LoadGenerator.h"
+#include "workload/WorkloadSpec.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ddm {
+
+/// One native run's parameters.
+struct NativeExecutorConfig {
+  AllocatorKind Kind = AllocatorKind::DDmalloc;
+  /// Per-thread allocator options (HeapReserveBytes is per thread; shared
+  /// backends reserve Threads times that once).
+  AllocatorOptions Options;
+
+  /// The workload mix; requests pick an index via Load.MixWeights (padded
+  /// or truncated to the mix size).
+  std::vector<WorkloadSpec> Mix;
+
+  /// Arrival process. Poisson/Bursty pace the producer in real time;
+  /// ClosedLoop degenerates to saturation (the bounded queue is the
+  /// client population's back-pressure).
+  LoadConfig Load;
+
+  unsigned Threads = 1;
+
+  /// Stop after this many offered requests (0 = unbounded, needs
+  /// DurationSec).
+  uint64_t TotalTransactions = 1000;
+  /// Stop the producer after this much wall time (0 = no time limit).
+  double DurationSec = 0.0;
+
+  size_t QueueCapacity = 1024;
+  /// Requests a worker dequeues per lock acquisition.
+  size_t PopBatch = 16;
+
+  /// Workload scale forwarded to every runtime.
+  double Scale = 1.0;
+  uint64_t Seed = 0x5eed;
+
+  /// Ruby-mode knobs forwarded to every runtime.
+  uint64_t RestartPeriodTx = 0;
+  double LeakFraction = 0.01;
+};
+
+/// Per-worker results (index = thread id).
+struct NativeThreadMetrics {
+  uint64_t Completed = 0;
+  uint64_t OomAborts = 0;
+};
+
+/// Merged results of one native run.
+struct NativeRunMetrics {
+  /// Requests the producer enqueued.
+  uint64_t Offered = 0;
+  uint64_t Completed = 0;
+  /// Transactions aborted by heap exhaustion (or the worker_heap fault
+  /// site); the runtime rolls them back and the worker keeps serving.
+  uint64_t OomAborts = 0;
+
+  double WallSec = 0.0;
+  /// Completed transactions per wall-clock second.
+  double Throughput = 0.0;
+
+  /// End-to-end request latency (enqueue to completion), microseconds.
+  LatencyHistogram LatencyUs;
+
+  /// Allocator counters summed over every runtime in the run.
+  AllocatorStats Allocator;
+
+  size_t QueueMaxDepth = 0;
+  std::vector<NativeThreadMetrics> PerThread;
+  /// "sharded-pool", "shared-central", or "private-heap".
+  std::string SharingModel;
+};
+
+/// Runs one native execution. Aborts via fatal() if the shared backend
+/// reservation fails; runNativeChecked() is the non-fatal variant.
+NativeRunMetrics runNative(const NativeExecutorConfig &Config);
+
+/// Like runNative, but returns std::nullopt with \p Error set instead of
+/// aborting when the configuration is invalid or the backend reservation
+/// fails.
+std::optional<NativeRunMetrics>
+runNativeChecked(const NativeExecutorConfig &Config, std::string &Error);
+
+} // namespace ddm
+
+#endif // DDM_EXEC_NATIVEEXECUTOR_H

@@ -1,0 +1,89 @@
+//===- exec/ThreadHeapRegistry.h - Per-thread heap construction *- C++ -*-===//
+///
+/// \file
+/// Maps each worker thread of a native run to its own TxAllocator instance
+/// plus whatever shared backend the allocator kind needs:
+///
+///  - ddmalloc: per-thread heaps refilling from one SharedSegmentPool
+///    (sharded striped free lists over a single arena);
+///  - tcmalloc: per-thread caches over one shared TCMallocCentral (page
+///    heap + central free lists under a mutex);
+///  - hoard: per-thread available lists over one shared HoardCentral
+///    (superblock arena + global empty pool under a mutex);
+///  - region/obstack/default/glibc: fully private per-thread heaps — these
+///    allocators have no cross-thread sharing in the paper's deployments
+///    (one PHP process per core), so each worker simply owns one.
+///
+/// The registry only *builds* heaps; ownership passes to the caller (the
+/// executor's worker threads), which keeps the hot paths free of any
+/// registry indirection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_EXEC_THREADHEAPREGISTRY_H
+#define DDM_EXEC_THREADHEAPREGISTRY_H
+
+#include "core/AllocatorFactory.h"
+
+#include <memory>
+#include <string>
+
+namespace ddm {
+
+/// Builds the shared backend for one native run and hands out per-thread
+/// allocator instances.
+class ThreadHeapRegistry {
+public:
+  struct Config {
+    AllocatorKind Kind = AllocatorKind::DDmalloc;
+    /// Per-thread options. HeapReserveBytes is interpreted per thread:
+    /// shared backends reserve Threads * HeapReserveBytes once, private
+    /// kinds reserve HeapReserveBytes in each thread's own heap.
+    AllocatorOptions Options;
+    unsigned Threads = 1;
+  };
+
+  /// Builds the shared backend (if the kind has one). Aborts via fatal()
+  /// when the reservation fails; tryCreate() is the non-fatal variant.
+  explicit ThreadHeapRegistry(const Config &C);
+
+  /// Non-fatal creation: nullptr with \p ErrorOut set when the backend
+  /// reservation fails.
+  static std::unique_ptr<ThreadHeapRegistry> tryCreate(const Config &C,
+                                                       std::string *ErrorOut);
+
+  /// The options thread \p Thread must construct its allocator with:
+  /// backend handles attached, ShardId = Thread, ProcessId offset by
+  /// Thread (distinct DDmalloc metadata colors per worker).
+  AllocatorOptions optionsFor(unsigned Thread) const;
+
+  /// Builds thread \p Thread's allocator. Called from any thread; the
+  /// returned allocator must only be used by its owning thread (cross-
+  /// thread object transfer happens inside the shared backends).
+  std::unique_ptr<TxAllocator> createHeap(unsigned Thread) const;
+
+  AllocatorKind kind() const { return Cfg.Kind; }
+  unsigned threads() const { return Cfg.Threads; }
+
+  /// "sharded-pool" (ddmalloc), "shared-central" (tcmalloc/hoard), or
+  /// "private-heap" (everything else).
+  const char *sharingModel() const;
+
+  /// The DDmalloc pool, when kind == DDmalloc (for tests/benches).
+  SharedSegmentPool *segmentPool() const { return Pool.get(); }
+
+private:
+  ThreadHeapRegistry() = default;
+  /// Builds backends; returns false with \p Error set on failure (fatal
+  /// paths pass nullptr-tolerant Error and abort in the backend ctor).
+  bool init(const Config &C, std::string *Error);
+
+  Config Cfg;
+  std::shared_ptr<SharedSegmentPool> Pool;      // ddmalloc
+  std::shared_ptr<TCMallocCentral> TCCentral;   // tcmalloc
+  std::shared_ptr<HoardCentral> HoardBackend;   // hoard
+};
+
+} // namespace ddm
+
+#endif // DDM_EXEC_THREADHEAPREGISTRY_H

@@ -40,8 +40,9 @@ double codeFootprintFor(AllocatorKind Kind) {
 TransactionRuntime::TransactionRuntime(const WorkloadSpec &W,
                                        const RuntimeConfig &C, AccessSink *S)
     : Workload(W), Config(C), Sink(S), SinkHandleView(S),
-      StateArea(W.AppStateBytes, 4096), R(C.Seed),
-      TouchRng(C.Seed ^ 0x70c4e5), CleanupRng(C.Seed ^ 0x51eeb) {
+      StateArea(W.AppStateBytes, 4096), R(C.Seed, C.RngStream),
+      TouchRng(C.Seed ^ 0x70c4e5, C.RngStream),
+      CleanupRng(C.Seed ^ 0x51eeb, C.RngStream) {
   Allocator = createAllocator(Config.Kind, Config.AllocOptions);
   Allocator->attachSink(Sink);
   // The interpreter state is mirrored into the sink; register it with the

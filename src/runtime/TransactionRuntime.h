@@ -73,6 +73,12 @@ struct RuntimeConfig {
   double Scale = 1.0;
 
   uint64_t Seed = 0x5eed;
+
+  /// Splittable RNG stream (xoshiro long-jump count). Workers of a native
+  /// run give each (thread, workload) runtime its own stream so their
+  /// random sequences never overlap; stream 0 reproduces single-threaded
+  /// runs exactly.
+  uint64_t RngStream = 0;
 };
 
 /// Cumulative measurements across executed transactions.

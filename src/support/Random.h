@@ -21,12 +21,22 @@ namespace ddm {
 ///
 /// Uses splitmix64 to expand the seed into the xoshiro256** state, so any
 /// seed (including 0) yields a well-mixed stream.
+///
+/// A (Seed, StreamId) pair names one of 2^64 non-overlapping substreams of
+/// the same seeded sequence: stream k starts where k applications of the
+/// xoshiro256 long jump (2^192 steps each) land, so streams never collide
+/// for any realistic draw count. StreamId 0 is byte-identical to the
+/// plain single-stream generator, which keeps every existing seeded run
+/// reproducible while letting each native worker thread own stream
+/// (ThreadIndex) of the same run seed.
 class Rng {
 public:
-  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) { reseed(Seed); }
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull, uint64_t StreamId = 0) {
+    reseed(Seed, StreamId);
+  }
 
-  /// Re-initializes the stream from \p Seed.
-  void reseed(uint64_t Seed) {
+  /// Re-initializes the generator to substream \p StreamId of \p Seed.
+  void reseed(uint64_t Seed, uint64_t StreamId = 0) {
     uint64_t X = Seed;
     for (auto &Word : State) {
       // splitmix64 step.
@@ -36,6 +46,32 @@ public:
       Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
       Word = Z ^ (Z >> 31);
     }
+    for (uint64_t I = 0; I < StreamId; ++I)
+      longJump();
+  }
+
+  /// Advances the state by 2^192 steps (the xoshiro256 LONG_JUMP
+  /// polynomial); used to carve the seed's sequence into per-thread
+  /// substreams.
+  void longJump() {
+    static constexpr uint64_t Jump[4] = {
+        0x76e15d3efefdcbbfull, 0xc5004e441c522fb3ull, 0x77710069854ee241ull,
+        0x39109bb02acbe635ull};
+    uint64_t S0 = 0, S1 = 0, S2 = 0, S3 = 0;
+    for (uint64_t Word : Jump)
+      for (int Bit = 0; Bit < 64; ++Bit) {
+        if (Word & (1ull << Bit)) {
+          S0 ^= State[0];
+          S1 ^= State[1];
+          S2 ^= State[2];
+          S3 ^= State[3];
+        }
+        next();
+      }
+    State[0] = S0;
+    State[1] = S1;
+    State[2] = S2;
+    State[3] = S3;
   }
 
   /// Returns the next raw 64-bit value.

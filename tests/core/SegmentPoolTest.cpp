@@ -1,0 +1,181 @@
+//===- tests/core/SegmentPoolTest.cpp - Sharded segment pool tests -------===//
+
+#include "core/SegmentPool.h"
+#include "support/FaultInjection.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace ddm;
+
+namespace {
+
+SharedSegmentPool::Config smallConfig(unsigned Stripes = 4) {
+  SharedSegmentPool::Config C;
+  C.SegmentSize = 32 * 1024;
+  C.ReserveBytes = 256 * C.SegmentSize; // 256 segments.
+  C.Stripes = Stripes;
+  return C;
+}
+
+TEST(SegmentPoolTest, GeometryMatchesConfig) {
+  SharedSegmentPool Pool(smallConfig());
+  EXPECT_EQ(Pool.segmentSize(), 32u * 1024);
+  EXPECT_EQ(Pool.numSegments(), 256u);
+  EXPECT_EQ(Pool.stripes(), 4u);
+  EXPECT_NE(Pool.base(), nullptr);
+  EXPECT_EQ(Pool.segmentAt(3), Pool.base() + 3 * Pool.segmentSize());
+  EXPECT_EQ(Pool.segmentsOutstanding(), 0u);
+}
+
+TEST(SegmentPoolTest, AcquireReleaseReuse) {
+  SharedSegmentPool Pool(smallConfig());
+  uint32_t Batch[8];
+  ASSERT_EQ(Pool.acquireSegments(0, Batch, 8), 8u);
+  EXPECT_EQ(Pool.segmentsOutstanding(), 8u);
+
+  Pool.releaseSegments(0, Batch, 8);
+  EXPECT_EQ(Pool.segmentsOutstanding(), 0u);
+
+  // The stripe serves released segments back before touching the frontier.
+  uint64_t FrontierBefore = Pool.frontierSegments();
+  uint32_t Again[8];
+  ASSERT_EQ(Pool.acquireSegments(0, Again, 8), 8u);
+  EXPECT_EQ(Pool.frontierSegments(), FrontierBefore);
+  std::set<uint32_t> First(Batch, Batch + 8), Second(Again, Again + 8);
+  EXPECT_EQ(First, Second);
+}
+
+TEST(SegmentPoolTest, AcquiredSegmentsAreUnique) {
+  SharedSegmentPool Pool(smallConfig());
+  std::set<uint32_t> Seen;
+  uint32_t Batch[16];
+  for (unsigned Shard = 0; Shard < 4; ++Shard) {
+    size_t Got = Pool.acquireSegments(Shard, Batch, 16);
+    ASSERT_EQ(Got, 16u);
+    for (size_t I = 0; I < Got; ++I) {
+      EXPECT_LT(Batch[I], Pool.numSegments());
+      EXPECT_TRUE(Seen.insert(Batch[I]).second)
+          << "segment " << Batch[I] << " handed out twice";
+    }
+  }
+}
+
+TEST(SegmentPoolTest, ExhaustionReturnsShortCount) {
+  SharedSegmentPool::Config C = smallConfig(1);
+  C.ReserveBytes = 8 * C.SegmentSize;
+  SharedSegmentPool Pool(C);
+  std::vector<uint32_t> All(16);
+  size_t Got = Pool.acquireSegments(0, All.data(), 16);
+  EXPECT_EQ(Got, 8u);
+  EXPECT_EQ(Pool.acquireSegments(0, All.data(), 1), 0u);
+  Pool.releaseSegments(0, All.data(), Got);
+  EXPECT_EQ(Pool.acquireSegments(0, All.data(), 1), 1u);
+}
+
+TEST(SegmentPoolTest, StealsFromOtherStripesUnderPressure) {
+  SharedSegmentPool::Config C = smallConfig(2);
+  C.ReserveBytes = 8 * C.SegmentSize;
+  SharedSegmentPool Pool(C);
+  uint32_t Batch[8];
+  ASSERT_EQ(Pool.acquireSegments(0, Batch, 8), 8u);
+  // Park everything in stripe 1; stripe 0 must steal it back.
+  Pool.releaseSegments(1, Batch, 8);
+  EXPECT_EQ(Pool.acquireSegments(0, Batch, 8), 8u);
+  EXPECT_GT(Pool.stripeMisses(), 0u);
+}
+
+TEST(SegmentPoolTest, RunAcquireSplitAndCoalesce) {
+  SharedSegmentPool Pool(smallConfig());
+  uint32_t Run = Pool.acquireRun(6);
+  ASSERT_NE(Run, UINT32_MAX);
+  EXPECT_EQ(Pool.segmentsOutstanding(), 6u);
+
+  // Release, re-acquire a smaller run: first-fit splits the freed run.
+  Pool.releaseRun(Run, 6);
+  EXPECT_EQ(Pool.segmentsOutstanding(), 0u);
+  uint32_t Small = Pool.acquireRun(2);
+  ASSERT_NE(Small, UINT32_MAX);
+  EXPECT_EQ(Small, Run);
+
+  // Releasing the small run must coalesce with the remainder: a full-size
+  // re-acquire succeeds at the same base.
+  Pool.releaseRun(Small, 2);
+  uint32_t Whole = Pool.acquireRun(6);
+  EXPECT_EQ(Whole, Run);
+  Pool.releaseRun(Whole, 6);
+}
+
+TEST(SegmentPoolTest, SegmentAcquireFaultSiteFires) {
+  SharedSegmentPool Pool(smallConfig());
+  FaultPlan Plan;
+  std::string Error;
+  ASSERT_TRUE(FaultPlan::parse("seed=1,segment_acquire:every=1", Plan, Error))
+      << Error;
+  FaultInjector::instance().arm(Plan);
+  uint32_t Batch[4];
+  EXPECT_EQ(Pool.acquireSegments(0, Batch, 4), 0u);
+  EXPECT_EQ(Pool.acquireRun(2), UINT32_MAX);
+  FaultInjector::instance().disarm();
+  EXPECT_EQ(Pool.acquireSegments(0, Batch, 4), 4u);
+  Pool.releaseSegments(0, Batch, 4);
+}
+
+TEST(SegmentPoolTest, TryCreateReportsReservationFailure) {
+  FaultPlan Plan;
+  std::string Error;
+  ASSERT_TRUE(FaultPlan::parse("seed=1,arena_map:every=1", Plan, Error));
+  FaultInjector::instance().arm(Plan);
+  std::string CreateError;
+  EXPECT_EQ(SharedSegmentPool::tryCreate(smallConfig(), &CreateError),
+            nullptr);
+  EXPECT_FALSE(CreateError.empty());
+  FaultInjector::instance().disarm();
+}
+
+// Concurrent uniqueness: hammer acquire/release from one thread per
+// stripe and check no segment is ever handed to two owners at once.
+TEST(SegmentPoolTest, ConcurrentAcquireNeverDuplicates) {
+  constexpr unsigned Threads = 4;
+  constexpr unsigned Rounds = 400;
+  SharedSegmentPool Pool(smallConfig(Threads));
+
+  std::vector<std::vector<uint32_t>> Held(Threads);
+  std::atomic<bool> Duplicated{false};
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      uint32_t Batch[8];
+      for (unsigned R = 0; R < Rounds; ++R) {
+        size_t Got = Pool.acquireSegments(T, Batch, 1 + R % 8);
+        for (size_t I = 0; I < Got; ++I) {
+          // Claim each segment's first word; a concurrent duplicate owner
+          // would collide on the stamp.
+          auto *Stamp = reinterpret_cast<std::atomic<uint32_t> *>(
+              Pool.segmentAt(Batch[I]));
+          uint32_t Expected = 0;
+          if (!Stamp->compare_exchange_strong(Expected, T + 1))
+            Duplicated = true;
+          Held[T].push_back(Batch[I]);
+        }
+        if (Held[T].size() > 16 || R + 1 == Rounds) {
+          for (uint32_t Seg : Held[T])
+            reinterpret_cast<std::atomic<uint32_t> *>(Pool.segmentAt(Seg))
+                ->store(0);
+          Pool.releaseSegments(T, Held[T].data(), Held[T].size());
+          Held[T].clear();
+        }
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  EXPECT_FALSE(Duplicated.load());
+  EXPECT_EQ(Pool.segmentsOutstanding(), 0u);
+}
+
+} // namespace

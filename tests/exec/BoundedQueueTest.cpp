@@ -1,0 +1,111 @@
+//===- tests/exec/BoundedQueueTest.cpp - Bounded MPMC queue tests --------===//
+
+#include "exec/BoundedQueue.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+using namespace ddm;
+
+namespace {
+
+TEST(BoundedQueueTest, FifoSingleThread) {
+  BoundedQueue<int> Q(8);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_TRUE(Q.push(I));
+  for (int I = 0; I < 5; ++I) {
+    int V = -1;
+    EXPECT_TRUE(Q.pop(V));
+    EXPECT_EQ(V, I);
+  }
+  EXPECT_EQ(Q.totalPushed(), 5u);
+  EXPECT_EQ(Q.maxDepth(), 5u);
+}
+
+TEST(BoundedQueueTest, PopBatchDrainsUpToMax) {
+  BoundedQueue<int> Q(16);
+  for (int I = 0; I < 10; ++I)
+    ASSERT_TRUE(Q.push(I));
+  std::vector<int> Batch;
+  EXPECT_EQ(Q.popBatch(Batch, 4), 4u);
+  EXPECT_EQ(Batch, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(Q.popBatch(Batch, 100), 6u);
+  EXPECT_EQ(Batch.front(), 4);
+  EXPECT_EQ(Batch.back(), 9);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenReportsClosed) {
+  BoundedQueue<int> Q(8);
+  ASSERT_TRUE(Q.push(1));
+  ASSERT_TRUE(Q.push(2));
+  Q.close();
+  EXPECT_FALSE(Q.push(3));
+  int V = 0;
+  EXPECT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 1);
+  std::vector<int> Batch;
+  EXPECT_EQ(Q.popBatch(Batch, 8), 1u);
+  EXPECT_EQ(Batch, (std::vector<int>{2}));
+  EXPECT_FALSE(Q.pop(V));
+  EXPECT_EQ(Q.popBatch(Batch, 8), 0u);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducer) {
+  BoundedQueue<int> Q(1);
+  ASSERT_TRUE(Q.push(1));
+  std::atomic<bool> PushReturned{false};
+  std::thread Producer([&] {
+    // Queue is full: this blocks until close().
+    bool Ok = Q.push(2);
+    EXPECT_FALSE(Ok);
+    PushReturned = true;
+  });
+  Q.close();
+  Producer.join();
+  EXPECT_TRUE(PushReturned.load());
+}
+
+TEST(BoundedQueueTest, MpmcPreservesEverySentItem) {
+  constexpr int Producers = 3;
+  constexpr int Consumers = 3;
+  constexpr int PerProducer = 2000;
+  BoundedQueue<int> Q(64);
+
+  std::vector<std::thread> Threads;
+  for (int P = 0; P < Producers; ++P)
+    Threads.emplace_back([&, P] {
+      for (int I = 0; I < PerProducer; ++I)
+        ASSERT_TRUE(Q.push(P * PerProducer + I));
+    });
+
+  std::atomic<long long> Sum{0};
+  std::atomic<long long> Count{0};
+  for (int C = 0; C < Consumers; ++C)
+    Threads.emplace_back([&] {
+      std::vector<int> Batch;
+      while (Q.popBatch(Batch, 16) > 0)
+        for (int V : Batch) {
+          Sum += V;
+          ++Count;
+        }
+    });
+
+  // Join producers (the first Producers threads), then close.
+  for (int P = 0; P < Producers; ++P)
+    Threads[P].join();
+  Q.close();
+  for (size_t I = Producers; I < Threads.size(); ++I)
+    Threads[I].join();
+
+  long long N = Producers * PerProducer;
+  EXPECT_EQ(Count.load(), N);
+  EXPECT_EQ(Sum.load(), N * (N - 1) / 2);
+  EXPECT_EQ(Q.totalPushed(), static_cast<uint64_t>(N));
+  EXPECT_LE(Q.maxDepth(), 64u);
+}
+
+} // namespace

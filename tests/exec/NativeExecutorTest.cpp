@@ -1,0 +1,130 @@
+//===- tests/exec/NativeExecutorTest.cpp - Native executor tests ---------===//
+
+#include "exec/NativeExecutor.h"
+#include "runtime/TransactionRuntime.h"
+#include "support/FaultInjection.h"
+
+#include "gtest/gtest.h"
+
+using namespace ddm;
+
+namespace {
+
+NativeExecutorConfig smallConfig(AllocatorKind Kind, unsigned Threads,
+                                 uint64_t Tx) {
+  NativeExecutorConfig C;
+  C.Kind = Kind;
+  C.Mix = {mediaWikiReadOnly()};
+  C.Load.Process = ArrivalProcess::ClosedLoop; // No real-time pacing.
+  C.Threads = Threads;
+  C.TotalTransactions = Tx;
+  C.Scale = 0.05;
+  C.Seed = 42;
+  C.Options.HeapReserveBytes = 64ull * 1024 * 1024;
+  return C;
+}
+
+TEST(NativeExecutorTest, CompletesEveryOfferedTransaction) {
+  NativeRunMetrics M = runNative(smallConfig(AllocatorKind::DDmalloc, 2, 60));
+  EXPECT_EQ(M.Offered, 60u);
+  EXPECT_EQ(M.Completed + M.OomAborts, M.Offered);
+  EXPECT_EQ(M.OomAborts, 0u);
+  EXPECT_EQ(M.LatencyUs.count(), M.Completed);
+  EXPECT_GT(M.WallSec, 0.0);
+  EXPECT_GT(M.Throughput, 0.0);
+  EXPECT_EQ(M.SharingModel, "sharded-pool");
+
+  uint64_t PerThreadSum = 0;
+  ASSERT_EQ(M.PerThread.size(), 2u);
+  for (const NativeThreadMetrics &T : M.PerThread)
+    PerThreadSum += T.Completed + T.OomAborts;
+  EXPECT_EQ(PerThreadSum, M.Offered);
+  EXPECT_GT(M.Allocator.MallocCalls, 0u);
+}
+
+TEST(NativeExecutorTest, SingleThreadAllocatorWorkIsDeterministic) {
+  NativeExecutorConfig C = smallConfig(AllocatorKind::DDmalloc, 1, 40);
+  NativeRunMetrics A = runNative(C);
+  NativeRunMetrics B = runNative(C);
+  // Wall-clock numbers differ run to run; the executed allocation work
+  // must not.
+  EXPECT_EQ(A.Completed, B.Completed);
+  EXPECT_EQ(A.Allocator.MallocCalls, B.Allocator.MallocCalls);
+  EXPECT_EQ(A.Allocator.BytesRequested, B.Allocator.BytesRequested);
+  EXPECT_EQ(A.Allocator.PeakUsableBytesLive, B.Allocator.PeakUsableBytesLive);
+}
+
+TEST(NativeExecutorTest, RngStreamsSplitTheRunSeed) {
+  // Stream 0 must replay the classic single-stream runtime exactly, and
+  // each worker's stream must be a genuinely different substream of the
+  // same seed — the property the executor's per-(thread, workload)
+  // stream assignment rests on.
+  auto runWorkload = [](uint64_t Stream) {
+    RuntimeConfig C;
+    C.Kind = AllocatorKind::Region;
+    C.Seed = 42;
+    C.RngStream = Stream;
+    C.Scale = 0.05;
+    TransactionRuntime RT(mediaWikiReadOnly(), C);
+    for (int I = 0; I < 5; ++I)
+      EXPECT_EQ(RT.executeTransaction(), TxStatus::Ok);
+    return RT.allocator().stats().BytesRequested;
+  };
+  EXPECT_EQ(runWorkload(0), runWorkload(0));
+  EXPECT_NE(runWorkload(0), runWorkload(1));
+  EXPECT_NE(runWorkload(1), runWorkload(2));
+}
+
+TEST(NativeExecutorTest, EveryAllocatorKindRunsMultiThreaded) {
+  for (AllocatorKind Kind : allAllocatorKinds()) {
+    NativeRunMetrics M = runNative(smallConfig(Kind, 4, 24));
+    EXPECT_EQ(M.Completed + M.OomAborts, M.Offered)
+        << allocatorKindName(Kind);
+    EXPECT_GT(M.Completed, 0u) << allocatorKindName(Kind);
+  }
+}
+
+TEST(NativeExecutorTest, PacedArrivalsRespectTheConfiguredRate) {
+  NativeExecutorConfig C = smallConfig(AllocatorKind::DDmalloc, 2, 20);
+  C.Load.Process = ArrivalProcess::Poisson;
+  C.Load.RatePerSec = 400.0; // ~50 ms of offered arrivals.
+  NativeRunMetrics M = runNative(C);
+  EXPECT_EQ(M.Completed, 20u);
+  // Open-loop pacing stretches the run to at least the arrival span.
+  EXPECT_GT(M.WallSec, 0.01);
+}
+
+TEST(NativeExecutorTest, WorkerHeapFaultsAbortButNeverKillTheRun) {
+  FaultPlan Plan;
+  std::string Error;
+  ASSERT_TRUE(FaultPlan::parse("seed=9,worker_heap:p=0.0001", Plan, Error))
+      << Error;
+  FaultInjector::instance().arm(Plan);
+  NativeRunMetrics M = runNative(smallConfig(AllocatorKind::DDmalloc, 4, 80));
+  FaultInjector::instance().disarm();
+
+  EXPECT_EQ(M.Completed + M.OomAborts, M.Offered);
+  EXPECT_GT(M.OomAborts, 0u) << "fault plan never fired; weaken the odds";
+  EXPECT_GT(M.Completed, 0u);
+  EXPECT_EQ(M.LatencyUs.count(), M.Completed);
+}
+
+TEST(NativeExecutorTest, CheckedRunRejectsBadConfigs) {
+  std::string Error;
+  NativeExecutorConfig Empty = smallConfig(AllocatorKind::DDmalloc, 1, 10);
+  Empty.Mix.clear();
+  EXPECT_FALSE(runNativeChecked(Empty, Error).has_value());
+  EXPECT_FALSE(Error.empty());
+
+  NativeExecutorConfig NoStop = smallConfig(AllocatorKind::DDmalloc, 1, 0);
+  EXPECT_FALSE(runNativeChecked(NoStop, Error).has_value());
+
+  FaultPlan Plan;
+  ASSERT_TRUE(FaultPlan::parse("seed=1,arena_map:every=1", Plan, Error));
+  FaultInjector::instance().arm(Plan);
+  NativeExecutorConfig Unmappable = smallConfig(AllocatorKind::DDmalloc, 2, 10);
+  EXPECT_FALSE(runNativeChecked(Unmappable, Error).has_value());
+  FaultInjector::instance().disarm();
+}
+
+} // namespace

@@ -117,3 +117,47 @@ TEST(LatencyHistogramTest, EmptyHistogramIsInert) {
   EXPECT_DOUBLE_EQ(H.mean(), 0.0);
   EXPECT_TRUE(H.render().empty());
 }
+
+TEST(LatencyHistogramTest, ShardedMergeIsExactlyTheSingleHistogram) {
+  // The native executor records latencies into per-thread histograms and
+  // merges them after the run; the merged result must be *identical* to a
+  // single histogram fed every sample — counts, extremes, mean, every
+  // percentile, and even the rendered chart.
+  constexpr int Shards = 8;
+  std::vector<LatencyHistogram> PerThread(Shards);
+  LatencyHistogram Reference;
+  Rng R(77);
+  for (int I = 0; I < 20000; ++I) {
+    // Latency-shaped data: microseconds spanning exact and bucketed
+    // ranges, with heavy weight near the low end.
+    uint64_t V = R.nextBool(0.9) ? R.nextBelow(4096)
+                                 : R.nextBelow(50'000'000);
+    PerThread[I % Shards].add(V);
+    Reference.add(V);
+  }
+  LatencyHistogram Merged;
+  for (const LatencyHistogram &H : PerThread)
+    Merged.merge(H);
+  EXPECT_EQ(Merged.count(), Reference.count());
+  EXPECT_EQ(Merged.min(), Reference.min());
+  EXPECT_EQ(Merged.max(), Reference.max());
+  // Summation order differs (per-shard partial sums), so the mean is
+  // equal only up to floating-point associativity.
+  EXPECT_NEAR(Merged.mean(), Reference.mean(),
+              std::abs(Reference.mean()) * 1e-12);
+  for (double Q = 0.0; Q <= 1.0; Q += 0.01)
+    ASSERT_EQ(Merged.percentile(Q), Reference.percentile(Q)) << "q=" << Q;
+  EXPECT_EQ(Merged.render(), Reference.render());
+}
+
+TEST(LatencyHistogramTest, MergePreservesWeights) {
+  LatencyHistogram A, B;
+  A.add(100, 3);
+  B.add(100, 5);
+  B.add(7, 2);
+  A.merge(B);
+  EXPECT_EQ(A.count(), 10u);
+  EXPECT_EQ(A.min(), 7u);
+  EXPECT_EQ(A.max(), 100u);
+  EXPECT_DOUBLE_EQ(A.mean(), (100.0 * 8 + 7.0 * 2) / 10.0);
+}

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <thread>
+#include <vector>
 
 using namespace ddm;
 
@@ -103,4 +106,31 @@ TEST(ArenaTest, TryReserveHonorsTheArenaMapFaultSite) {
       << Error;
   // With the injector disarmed the identical request succeeds.
   EXPECT_TRUE(AlignedArena::tryReserve(1 << 20, 4096).has_value());
+}
+
+TEST(ArenaTest, ConcurrentReserveAndReleaseIsSafe) {
+  // Native runs reserve per-thread heaps from several threads at once;
+  // tryReserve/unmap must be safe to race (the kernel serializes mmap,
+  // and the arena itself shares no mutable state between instances).
+  constexpr int Threads = 4;
+  constexpr int Rounds = 25;
+  std::vector<std::thread> Workers;
+  std::atomic<int> Failures{0};
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&] {
+      for (int R = 0; R < Rounds; ++R) {
+        std::optional<AlignedArena> Arena =
+            AlignedArena::tryReserve(1 << 20, 32768);
+        if (!Arena) {
+          ++Failures;
+          continue;
+        }
+        // Touch both ends: the mapping must be private to this instance.
+        Arena->base()[0] = std::byte{1};
+        Arena->base()[Arena->size() - 1] = std::byte{2};
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(Failures.load(), 0);
 }

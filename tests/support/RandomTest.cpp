@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <set>
+#include <vector>
 
 using namespace ddm;
 
@@ -132,4 +133,52 @@ TEST(RandomTest, SplitProducesIndependentStream) {
     if (A.next() == Child.next())
       ++Equal;
   EXPECT_LT(Equal, 5);
+}
+
+TEST(RandomTest, StreamZeroMatchesThePlainGenerator) {
+  // StreamId 0 must be byte-identical to the pre-stream behaviour: every
+  // seeded sequence in the repo stays reproducible.
+  Rng Plain(42);
+  Rng Stream0(42, 0);
+  for (int I = 0; I < 2000; ++I)
+    ASSERT_EQ(Plain.next(), Stream0.next());
+}
+
+TEST(RandomTest, DistinctStreamsNeverOverlapLocally) {
+  Rng S0(42, 0), S1(42, 1), S2(42, 2);
+  int Equal01 = 0, Equal12 = 0;
+  for (int I = 0; I < 2000; ++I) {
+    uint64_t A = S0.next(), B = S1.next(), C = S2.next();
+    Equal01 += A == B;
+    Equal12 += B == C;
+  }
+  EXPECT_LT(Equal01, 5);
+  EXPECT_LT(Equal12, 5);
+}
+
+TEST(RandomTest, StreamsAreReproducible) {
+  Rng A(7, 3), B(7, 3);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, StreamKIsKLongJumps) {
+  // Stream construction is defined as k applications of longJump() on the
+  // seeded state.
+  Rng ByCtor(99, 2);
+  Rng ByJump(99);
+  ByJump.longJump();
+  ByJump.longJump();
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(ByCtor.next(), ByJump.next());
+}
+
+TEST(RandomTest, ReseedResetsTheStream) {
+  Rng R(5, 4);
+  std::vector<uint64_t> First;
+  for (int I = 0; I < 100; ++I)
+    First.push_back(R.next());
+  R.reseed(5, 4);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(R.next(), First[I]);
 }
