@@ -33,6 +33,7 @@ int main(int Argc, char **Argv) {
   Cli.addSimFlags(Parser);
   Cli.addOutputFlags(Parser);
   Cli.addJobsFlag(Parser);
+  Cli.addBackendFlag(Parser);
   if (!Parser.parse(Argc, Argv))
     return 1;
 
@@ -54,8 +55,12 @@ int main(int Argc, char **Argv) {
   SweepRunner Runner = Cli.makeRunner();
   std::vector<SimPoint> Points = Runner.run(Tasks);
 
+  // The last two columns report the page economy behind the heaps: external
+  // fragmentation of the backend's free pages and pages returned to it.
+  // Under the default --backend arena there is no page economy, so both
+  // read 0 (the allocators own private reservations outright).
   Table Out({"workload", "default", "region", "x default", "ddmalloc",
-             "x default"});
+             "x default", "ext frag", "pages reclaimed"});
   RunningStat RegionRatio, DDmallocRatio;
   double WorstRegionRatio = 0;
 
@@ -73,6 +78,17 @@ int main(int Argc, char **Argv) {
     const SimPoint &Default = Points[Idx++];
     const SimPoint &Region = Points[Idx++];
     const SimPoint &DDm = Points[Idx++];
+    // Page-economy columns, summed over the three allocators' runs (each
+    // run has its own backend; ddmalloc ignores backends, contributing 0).
+    double ExtFrag = 0;
+    uint64_t PagesReclaimed = 0;
+    for (const SimPoint *Pt : {&Default, &Region, &DDm}) {
+      if (!Pt->HasPageStats)
+        continue;
+      if (Pt->PageStats.externalFragmentation() > ExtFrag)
+        ExtFrag = Pt->PageStats.externalFragmentation();
+      PagesReclaimed += Pt->PageStats.PagesReclaimed;
+    }
     double Base = Default.MeanConsumptionBytes;
     double RRatio = Region.MeanConsumptionBytes / Base;
     double DRatio = DDm.MeanConsumptionBytes / Base;
@@ -88,6 +104,8 @@ int main(int Argc, char **Argv) {
           .field("region_x_default", RRatio)
           .field("ddmalloc_bytes", DDm.MeanConsumptionBytes)
           .field("ddmalloc_x_default", DRatio)
+          .field("external_fragmentation", ExtFrag)
+          .field("pages_reclaimed", PagesReclaimed)
           .endObject();
     else
       Out.row()
@@ -96,7 +114,9 @@ int main(int Argc, char **Argv) {
           .cell(formatBytes(static_cast<uint64_t>(Region.MeanConsumptionBytes)))
           .cell(RRatio, 2)
           .cell(formatBytes(static_cast<uint64_t>(DDm.MeanConsumptionBytes)))
-          .cell(DRatio, 2);
+          .cell(DRatio, 2)
+          .cell(ExtFrag, 3)
+          .cell(static_cast<uint64_t>(PagesReclaimed));
   }
 
   if (Cli.Json) {

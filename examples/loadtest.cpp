@@ -128,8 +128,13 @@ int main(int Argc, char **Argv) {
   Parser.addFlag("faults", &FaultsSpec,
                  "deterministic fault plan for the serving phase, e.g. "
                  "'seed=7,worker_heap:p=0.01' (sites: arena_map, "
-                 "segment_acquire, chunk_acquire, trace_write, worker_heap; "
-                 "triggers: p=, every=, after=)");
+                 "segment_acquire, chunk_acquire, trace_write, worker_heap, "
+                 "page_acquire, slab_grow; triggers: p=, every=, after=)");
+  std::string BackendName = "arena";
+  Parser.addFlag("backend", &BackendName,
+                 "page economy behind the allocator heaps: arena (private "
+                 "reservations) or buddy (shared buddy page backend; sim "
+                 "mode only)");
   Parser.addFlag("restart-every", &RestartEvery,
                  "restart a worker after serving this many requests "
                  "(0 = never)");
@@ -242,6 +247,18 @@ int main(int Argc, char **Argv) {
       return 1;
     }
   }
+  if (BackendName != "arena" && BackendName != "buddy") {
+    std::fprintf(stderr, "unknown --backend '%s' (arena or buddy)\n",
+                 BackendName.c_str());
+    return 1;
+  }
+  if (BackendName == "buddy" && Mode == "native") {
+    std::fprintf(stderr,
+                 "--backend buddy is sim-mode only: native workers build "
+                 "their heaps through the thread-heap registry, which keeps "
+                 "private per-thread reservations\n");
+    return 1;
+  }
 
   if (Mode == "native") {
     if (!RecordTrace.empty() || !ReplayTrace.empty()) {
@@ -351,6 +368,8 @@ int main(int Argc, char **Argv) {
   Options.WarmupTx = 1;
   Options.MeasureTx = static_cast<unsigned>(Samples);
   Options.Seed = Seed;
+  if (BackendName == "buddy")
+    Options.Backend = PageBackendKind::Buddy;
 
   TraceRecorder Recorder;
   if (!RecordTrace.empty()) {

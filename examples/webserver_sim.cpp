@@ -48,6 +48,10 @@ int main(int Argc, char **Argv) {
   Parser.addFlag("scale", &Scale, "workload scale (1.0 = paper call counts)");
   Parser.addFlag("transactions", &MeasureTx, "measured transactions");
   Parser.addFlag("seed", &Seed, "random seed");
+  std::string BackendName = "arena";
+  Parser.addFlag("backend", &BackendName,
+                 "page economy behind the allocator heaps: arena (private "
+                 "reservations) or buddy (shared buddy page backend)");
   Parser.addFlag("record-trace", &RecordTrace,
                  "record the executed allocation trace to this .ddmtrc file");
   Parser.addFlag("replay-trace", &ReplayTrace,
@@ -146,6 +150,13 @@ int main(int Argc, char **Argv) {
   Options.WarmupTx = 1;
   Options.MeasureTx = static_cast<unsigned>(MeasureTx);
   Options.Seed = Seed;
+  if (BackendName == "buddy") {
+    Options.Backend = PageBackendKind::Buddy;
+  } else if (BackendName != "arena") {
+    std::fprintf(stderr, "unknown --backend '%s' (arena or buddy)\n",
+                 BackendName.c_str());
+    return 1;
+  }
 
   std::printf("workload %s on %llu %s-like core(s), scale %.2f\n\n",
               W->Name.c_str(), static_cast<unsigned long long>(Cores),

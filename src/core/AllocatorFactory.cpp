@@ -9,6 +9,7 @@
 #include "core/SegmentPool.h"
 #include "core/TCMallocModel.h"
 #include "core/ZendDefaultAllocator.h"
+#include "page/SlabAllocator.h"
 #include "support/Arena.h"
 #include "support/Error.h"
 
@@ -25,6 +26,26 @@ static bool usesSharedBackend(AllocatorKind Kind,
     return Options.TCCentral != nullptr;
   case AllocatorKind::Hoard:
     return Options.HoardBackend != nullptr;
+  case AllocatorKind::Slab:
+    return Options.SlabBackend != nullptr;
+  default:
+    return false;
+  }
+}
+
+/// True if \p Kind draws its heap spans from Options.Backend when one is
+/// set (the backend's reservation already exists; nothing to probe).
+static bool usesPageBackend(AllocatorKind Kind,
+                            const AllocatorOptions &Options) {
+  if (!Options.Backend)
+    return false;
+  switch (Kind) {
+  case AllocatorKind::Region:
+  case AllocatorKind::Obstack:
+  case AllocatorKind::Default:
+  case AllocatorKind::Glibc:
+  case AllocatorKind::Slab:
+    return true;
   default:
     return false;
   }
@@ -47,21 +68,25 @@ ddm::createAllocator(AllocatorKind Kind, const AllocatorOptions &Options) {
   case AllocatorKind::Region: {
     RegionConfig Config;
     Config.ChunkBytes = Options.RegionChunkBytes;
+    Config.Backend = Options.Backend;
     return std::make_unique<RegionAllocator>(Config);
   }
   case AllocatorKind::Obstack: {
     ObstackConfig Config;
     Config.HeapReserveBytes = Options.HeapReserveBytes;
+    Config.Backend = Options.Backend;
     return std::make_unique<ObstackAllocator>(Config);
   }
   case AllocatorKind::Default: {
     ZendConfig Config;
     Config.HeapReserveBytes = Options.HeapReserveBytes;
+    Config.Backend = Options.Backend;
     return std::make_unique<ZendDefaultAllocator>(Config);
   }
   case AllocatorKind::Glibc: {
     GlibcConfig Config;
     Config.HeapReserveBytes = Options.HeapReserveBytes;
+    Config.Backend = Options.Backend;
     return std::make_unique<GlibcModelAllocator>(Config);
   }
   case AllocatorKind::TCMalloc: {
@@ -75,6 +100,13 @@ ddm::createAllocator(AllocatorKind Kind, const AllocatorOptions &Options) {
     Config.HeapReserveBytes = Options.HeapReserveBytes;
     Config.Central = Options.HoardBackend;
     return std::make_unique<HoardModelAllocator>(Config);
+  }
+  case AllocatorKind::Slab: {
+    SlabConfig Config;
+    Config.HeapReserveBytes = Options.HeapReserveBytes;
+    Config.Central = Options.SlabBackend;
+    Config.Backend = Options.Backend;
+    return std::make_unique<SlabAllocator>(Config);
   }
   }
   unreachable("unknown allocator kind");
@@ -103,8 +135,23 @@ ddm::createAllocatorChecked(AllocatorKind Kind, const AllocatorOptions &Options,
   }
 
   // A shared backend already carries the reservation; nothing to probe.
+  // A page backend does too, but its spans can still run out: probe with
+  // a trial acquire instead of an arena reservation.
   if (usesSharedBackend(Kind, Options))
     return createAllocator(Kind, Options);
+  if (usesPageBackend(Kind, Options)) {
+    size_t ProbeBytes = Kind == AllocatorKind::Region
+                            ? Options.RegionChunkBytes
+                            : Options.HeapReserveBytes;
+    std::byte *Probe = Options.Backend->acquire(ProbeBytes, 4096);
+    if (!Probe) {
+      Error = "page backend cannot supply a span of " +
+              std::to_string(ProbeBytes) + " bytes";
+      return nullptr;
+    }
+    Options.Backend->release(Probe, ProbeBytes);
+    return createAllocator(Kind, Options);
+  }
 
   // Probe the reservation non-fatally: the probe arena is released before
   // the real construction, so the allocator's own (fatal) reservation of
@@ -136,6 +183,7 @@ bool ddm::allocatorSupportsBulkFree(AllocatorKind Kind) {
   case AllocatorKind::Glibc:
   case AllocatorKind::TCMalloc:
   case AllocatorKind::Hoard:
+  case AllocatorKind::Slab:
     return false;
   }
   unreachable("unknown allocator kind");
@@ -157,6 +205,8 @@ const char *ddm::allocatorKindName(AllocatorKind Kind) {
     return "tcmalloc";
   case AllocatorKind::Hoard:
     return "hoard";
+  case AllocatorKind::Slab:
+    return "slab";
   }
   unreachable("unknown allocator kind");
 }
@@ -190,7 +240,7 @@ std::vector<AllocatorKind> ddm::allAllocatorKinds() {
   return {AllocatorKind::DDmalloc, AllocatorKind::Region,
           AllocatorKind::Obstack,  AllocatorKind::Default,
           AllocatorKind::Glibc,    AllocatorKind::TCMalloc,
-          AllocatorKind::Hoard};
+          AllocatorKind::Hoard,    AllocatorKind::Slab};
 }
 
 std::vector<AllocatorKind> ddm::phpStudyAllocatorKinds() {

@@ -22,6 +22,8 @@ namespace ddm {
 class SharedSegmentPool;
 struct TCMallocCentral;
 struct HoardCentral;
+struct SlabCentral;
+class PageBackend;
 
 /// Every allocator the study compares.
 enum class AllocatorKind {
@@ -32,6 +34,7 @@ enum class AllocatorKind {
   Glibc,      ///< Model of glibc malloc (no bulk free).
   TCMalloc,   ///< Model of TCmalloc (no bulk free).
   Hoard,      ///< Model of Hoard (no bulk free).
+  Slab,       ///< Buddy+slab page economy (no bulk free).
 };
 
 /// Cross-allocator construction knobs. Per-allocator details (segment
@@ -61,10 +64,17 @@ struct AllocatorOptions {
   std::shared_ptr<TCMallocCentral> TCCentral;
   /// Hoard model: shared superblock arena + global empty pool.
   std::shared_ptr<HoardCentral> HoardBackend;
+  /// Slab allocator: shared buddy heap + slab lists.
+  std::shared_ptr<SlabCentral> SlabBackend;
   /// DDmalloc pooled mode: which pool stripe this allocator refills from
   /// (one per worker thread).
   uint32_t ShardId = 0;
   /// @}
+
+  /// Page backend the region/obstack/default/glibc/slab heaps draw their
+  /// spans from (--backend buddy); null keeps the legacy private arenas.
+  /// Kinds without backend support (ddmalloc, tcmalloc, hoard) ignore it.
+  std::shared_ptr<PageBackend> Backend;
 };
 
 /// Constructs the allocator \p Kind. Aborts via fatal() if the
@@ -88,7 +98,7 @@ createAllocatorChecked(AllocatorKind Kind, const AllocatorOptions &Options,
 bool allocatorSupportsBulkFree(AllocatorKind Kind);
 
 /// Stable name ("ddmalloc", "region", "obstack", "default", "glibc",
-/// "tcmalloc", "hoard").
+/// "tcmalloc", "hoard", "slab").
 const char *allocatorKindName(AllocatorKind Kind);
 
 /// Parses a stable name back to the enum; std::nullopt if unknown.

@@ -35,8 +35,9 @@ constexpr uint64_t alignUp16(uint64_t Value) { return (Value + 15) & ~15ull; }
 
 } // namespace
 
-BoundaryTagHeap::BoundaryTagHeap(size_t ArenaBytes)
-    : Heap(ArenaBytes, 4096) {
+BoundaryTagHeap::BoundaryTagHeap(size_t ArenaBytes,
+                                 std::shared_ptr<PageBackend> Backend)
+    : Heap(BackedSpan::create(ArenaBytes, 4096, std::move(Backend))) {
   Top = Heap.base();
   TopLimit = Heap.base() + Heap.size();
   // Small bins: one per 16 bytes for chunk sizes 32..1024 (indices 0..62);

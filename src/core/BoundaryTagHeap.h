@@ -24,10 +24,12 @@
 #define DDM_CORE_BOUNDARYTAGHEAP_H
 
 #include "core/AccessSink.h"
+#include "page/PageBackend.h"
 #include "support/Arena.h"
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace ddm {
@@ -44,8 +46,11 @@ struct DefragActivity {
 /// The coalescing heap engine.
 class BoundaryTagHeap {
 public:
-  /// \p ArenaBytes is the backing reservation (committed lazily).
-  explicit BoundaryTagHeap(size_t ArenaBytes);
+  /// \p ArenaBytes is the backing reservation (committed lazily). When
+  /// \p Backend is non-null the reservation is a span drawn from it and
+  /// returned on destruction; otherwise a private arena.
+  explicit BoundaryTagHeap(size_t ArenaBytes,
+                           std::shared_ptr<PageBackend> Backend = nullptr);
 
   BoundaryTagHeap(const BoundaryTagHeap &) = delete;
   BoundaryTagHeap &operator=(const BoundaryTagHeap &) = delete;
@@ -139,7 +144,7 @@ private:
   /// free chunk. Finishes all header/footer/neighbour bookkeeping.
   void finishAllocation(std::byte *Chunk, uint64_t Total, uint64_t Need);
 
-  AlignedArena Heap;
+  BackedSpan Heap;
   std::byte *Top;      ///< First byte of the wilderness.
   std::byte *TopLimit; ///< End of the arena.
   uint64_t HighWaterOffset = 0;

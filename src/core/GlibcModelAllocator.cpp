@@ -8,7 +8,7 @@
 using namespace ddm;
 
 GlibcModelAllocator::GlibcModelAllocator(const GlibcConfig &Config)
-    : Engine(Config.HeapReserveBytes) {}
+    : Engine(Config.HeapReserveBytes, Config.Backend) {}
 
 void *GlibcModelAllocator::allocate(size_t Size) {
   void *Ptr = Engine.malloc(Size);

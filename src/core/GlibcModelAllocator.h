@@ -20,6 +20,8 @@ namespace ddm {
 /// Construction-time knobs for GlibcModelAllocator.
 struct GlibcConfig {
   size_t HeapReserveBytes = 512ull * 1024 * 1024;
+  /// Draw the heap span from this page backend; null = private arena.
+  std::shared_ptr<PageBackend> Backend;
 };
 
 /// glibc-malloc model: defragmenting, no bulk free.

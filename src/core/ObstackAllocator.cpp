@@ -21,7 +21,7 @@ constexpr size_t alignUp8(size_t Size) { return (Size + 7) & ~size_t(7); }
 } // namespace
 
 ObstackAllocator::ObstackAllocator(const ObstackConfig &C)
-    : Config(C), Heap(C.HeapReserveBytes, 4096) {
+    : Config(C), Heap(BackedSpan::create(C.HeapReserveBytes, 4096, C.Backend)) {
   assert(Config.ChunkBytes >= 256 && "chunk too small");
   ArenaNext = Heap.base();
   ChunkIndex = 0;

@@ -15,8 +15,10 @@
 #define DDM_CORE_OBSTACKALLOCATOR_H
 
 #include "core/TxAllocator.h"
+#include "page/PageBackend.h"
 #include "support/Arena.h"
 
+#include <memory>
 #include <vector>
 
 namespace ddm {
@@ -28,6 +30,10 @@ struct ObstackConfig {
 
   /// Total budget of address space (the backing arena).
   size_t HeapReserveBytes = 512ull * 1024 * 1024;
+
+  /// Draw the backing span from this page backend instead of a private
+  /// arena; null keeps the legacy private reservation.
+  std::shared_ptr<PageBackend> Backend;
 };
 
 /// Obstack-style region allocator: chunked bump allocation, no per-object
@@ -69,7 +75,7 @@ private:
   bool startNewChunk(size_t Rounded);
 
   ObstackConfig Config;
-  AlignedArena Heap;
+  BackedSpan Heap;
   std::byte *ArenaNext = nullptr; ///< Bump within the backing arena.
   ChunkHeader *Current = nullptr;
   std::byte *Next = nullptr;

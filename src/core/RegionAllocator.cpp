@@ -23,13 +23,14 @@ constexpr size_t alignUp8(size_t Size) { return (Size + 7) & ~size_t(7); }
 RegionAllocator::RegionAllocator(const RegionConfig &C) : Config(C) {
   assert(Config.ChunkBytes >= 4096 && "chunk too small");
   assert(Config.MaxChunks >= 1 && "need at least one chunk");
-  Chunks.emplace_back(Config.ChunkBytes, 4096);
+  Chunks.push_back(
+      BackedSpan::create(Config.ChunkBytes, 4096, Config.Backend));
   Next = Chunks[0].base();
   Limit = Next + Chunks[0].size();
 }
 
 RegionAllocator::~RegionAllocator() {
-  for (const AlignedArena &Chunk : Chunks)
+  for (const BackedSpan &Chunk : Chunks)
     Sink.unmapRegion(Chunk.base());
   Sink.unmapRegion(this);
 }
@@ -45,8 +46,8 @@ void *RegionAllocator::allocate(size_t Size) {
       if (Chunks.size() >= Config.MaxChunks ||
           faultShouldFail(FaultSite::ChunkAcquire))
         return nullptr;
-      std::optional<AlignedArena> Chunk =
-          AlignedArena::tryReserve(Config.ChunkBytes, 4096);
+      std::optional<BackedSpan> Chunk =
+          BackedSpan::tryCreate(Config.ChunkBytes, 4096, Config.Backend);
       if (!Chunk)
         return nullptr;
       Chunks.push_back(std::move(*Chunk));
@@ -96,6 +97,14 @@ void *RegionAllocator::reallocate(void *Ptr, size_t OldSize, size_t NewSize) {
 }
 
 void RegionAllocator::freeAll() {
+  // Under a page backend the growth chunks go back to the page economy so
+  // reclaim is measurable; the legacy private chunks stay reserved.
+  if (Config.Backend) {
+    while (Chunks.size() > 1) {
+      Sink.unmapRegion(Chunks.back().base());
+      Chunks.pop_back();
+    }
+  }
   CurrentChunk = 0;
   Next = Chunks[0].base();
   Limit = Next + Chunks[0].size();

@@ -16,8 +16,10 @@
 #define DDM_CORE_REGIONALLOCATOR_H
 
 #include "core/TxAllocator.h"
+#include "page/PageBackend.h"
 #include "support/Arena.h"
 
+#include <memory>
 #include <vector>
 
 namespace ddm {
@@ -29,6 +31,12 @@ struct RegionConfig {
 
   /// Upper bound on chunks; exceeding it makes allocate return nullptr.
   size_t MaxChunks = 8;
+
+  /// Draw chunks from this page backend instead of private arenas. With a
+  /// backend, freeAll also returns every chunk beyond the first to the
+  /// page economy (the legacy private chunks stay reserved), which is what
+  /// makes region reclaim measurable per restart period.
+  std::shared_ptr<PageBackend> Backend;
 };
 
 /// The non-freeing region-based allocator.
@@ -47,7 +55,7 @@ public:
   void attachSink(AccessSink *S) override {
     TxAllocator::attachSink(S);
     Sink.mapRegion(this, sizeof(*this));
-    for (const AlignedArena &Chunk : Chunks)
+    for (const BackedSpan &Chunk : Chunks)
       Sink.mapRegion(Chunk.base(), Chunk.size());
   }
 
@@ -62,7 +70,7 @@ public:
 
 private:
   RegionConfig Config;
-  std::vector<AlignedArena> Chunks;
+  std::vector<BackedSpan> Chunks;
   size_t CurrentChunk = 0;
   /// Next free byte within the current chunk.
   std::byte *Next = nullptr;

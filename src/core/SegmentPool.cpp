@@ -86,7 +86,11 @@ size_t SharedSegmentPool::acquireSegments(unsigned Shard, uint32_t *Out,
     while (Got < MaxCount && Frontier < NumSegments)
       Out[Got++] = static_cast<uint32_t>(Frontier++);
   }
-  if (Got > 0) {
+  if (Got == MaxCount) {
+    // Note: Got == MaxCount, not Got > 0 — a partial frontier fill (the
+    // arena's last few fresh segments) must still fall through to the
+    // steal and free-run paths below, or refills shrink spuriously while
+    // other stripes sit on free segments.
     Outstanding.fetch_add(Got, std::memory_order_relaxed);
     return Got;
   }
@@ -98,6 +102,7 @@ size_t SharedSegmentPool::acquireSegments(unsigned Shard, uint32_t *Out,
     while (Got < MaxCount && !Victim.Free.empty()) {
       Out[Got++] = Victim.Free.back();
       Victim.Free.pop_back();
+      Steals.fetch_add(1, std::memory_order_relaxed);
     }
   }
   // 4) Last resort: free runs released by large objects, split into
@@ -112,8 +117,10 @@ size_t SharedSegmentPool::acquireSegments(unsigned Shard, uint32_t *Out,
       size_t Take = Length < MaxCount - Got ? Length : MaxCount - Got;
       for (size_t I = 0; I < Take; ++I)
         Out[Got++] = First + static_cast<uint32_t>(I);
-      if (Take < Length)
+      if (Take < Length) {
         FreeRuns.emplace(First + static_cast<uint32_t>(Take), Length - Take);
+        RunsSplitCount.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
   Outstanding.fetch_add(Got, std::memory_order_relaxed);
@@ -132,9 +139,11 @@ uint32_t SharedSegmentPool::acquireRun(size_t NumSegs) {
     uint32_t First = It->first;
     size_t Length = It->second;
     FreeRuns.erase(It);
-    if (Length > NumSegs)
+    if (Length > NumSegs) {
       FreeRuns.emplace(First + static_cast<uint32_t>(NumSegs),
                        Length - NumSegs);
+      RunsSplitCount.fetch_add(1, std::memory_order_relaxed);
+    }
     Outstanding.fetch_add(NumSegs, std::memory_order_relaxed);
     return First;
   }
@@ -171,6 +180,7 @@ void SharedSegmentPool::releaseRun(uint32_t First, size_t NumSegs) {
     if (After != FreeRuns.end() && After->first == First + NumSegs) {
       NumSegs += After->second;
       After = FreeRuns.erase(After);
+      RunsCoalescedCount.fetch_add(1, std::memory_order_relaxed);
     }
     if (After != FreeRuns.begin()) {
       auto Before = std::prev(After);
@@ -178,6 +188,7 @@ void SharedSegmentPool::releaseRun(uint32_t First, size_t NumSegs) {
         First = Before->first;
         NumSegs += Before->second;
         FreeRuns.erase(Before);
+        RunsCoalescedCount.fetch_add(1, std::memory_order_relaxed);
       }
     }
     FreeRuns.emplace(First, NumSegs);
@@ -188,4 +199,15 @@ void SharedSegmentPool::releaseRun(uint32_t First, size_t NumSegs) {
 uint64_t SharedSegmentPool::frontierSegments() const {
   std::lock_guard<std::mutex> Lock(FrontierMutex);
   return Frontier;
+}
+
+SegmentPoolStats SharedSegmentPool::stats() const {
+  SegmentPoolStats S;
+  S.Outstanding = Outstanding.load(std::memory_order_relaxed);
+  S.FrontierSegments = frontierSegments();
+  S.StripeMisses = Misses.load(std::memory_order_relaxed);
+  S.StripeSteals = Steals.load(std::memory_order_relaxed);
+  S.RunsSplit = RunsSplitCount.load(std::memory_order_relaxed);
+  S.RunsCoalesced = RunsCoalescedCount.load(std::memory_order_relaxed);
+  return S;
 }

@@ -31,6 +31,18 @@
 
 namespace ddm {
 
+/// Counters of the pool's refill traffic, for tests and benches. A steal
+/// is a segment taken from another shard's stripe under memory pressure;
+/// run splits/coalesces happen on the multi-segment free-run list.
+struct SegmentPoolStats {
+  uint64_t Outstanding = 0;      ///< Acquired minus released.
+  uint64_t FrontierSegments = 0; ///< Ever taken from the bump frontier.
+  uint64_t StripeMisses = 0;     ///< Refills that fell past the own stripe.
+  uint64_t StripeSteals = 0;     ///< Segments taken from other stripes.
+  uint64_t RunsSplit = 0;        ///< Free runs split to satisfy a request.
+  uint64_t RunsCoalesced = 0;    ///< Adjacent-run merges on releaseRun.
+};
+
 /// A shared arena of fixed-size segments with striped (per-shard) free
 /// lists. All methods are thread-safe; the intended pattern is one stripe
 /// per worker thread, addressed by the worker's shard id.
@@ -93,6 +105,8 @@ public:
   uint64_t stripeMisses() const {
     return Misses.load(std::memory_order_relaxed);
   }
+  /// Every counter in one consistent-enough snapshot (relaxed loads).
+  SegmentPoolStats stats() const;
   /// @}
 
 private:
@@ -117,6 +131,9 @@ private:
 
   std::atomic<uint64_t> Outstanding{0};
   std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Steals{0};
+  std::atomic<uint64_t> RunsSplitCount{0};
+  std::atomic<uint64_t> RunsCoalescedCount{0};
 };
 
 } // namespace ddm

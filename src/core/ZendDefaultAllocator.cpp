@@ -7,7 +7,7 @@
 using namespace ddm;
 
 ZendDefaultAllocator::ZendDefaultAllocator(const ZendConfig &Config)
-    : Engine(Config.HeapReserveBytes) {}
+    : Engine(Config.HeapReserveBytes, Config.Backend) {}
 
 void *ZendDefaultAllocator::allocate(size_t Size) {
   void *Ptr = Engine.malloc(Size);

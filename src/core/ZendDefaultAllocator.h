@@ -23,6 +23,8 @@ namespace ddm {
 /// Construction-time knobs for ZendDefaultAllocator.
 struct ZendConfig {
   size_t HeapReserveBytes = 256ull * 1024 * 1024;
+  /// Draw the heap span from this page backend; null = private arena.
+  std::shared_ptr<PageBackend> Backend;
 };
 
 /// The defragmenting default allocator of the PHP runtime.

@@ -4,6 +4,7 @@
 #include "core/HoardModel.h"
 #include "core/SegmentPool.h"
 #include "core/TCMallocModel.h"
+#include "page/SlabAllocator.h"
 #include "support/Arena.h"
 #include "support/Error.h"
 
@@ -45,7 +46,8 @@ bool ThreadHeapRegistry::init(const Config &C, std::string *Error) {
     return true;
   }
   case AllocatorKind::TCMalloc:
-  case AllocatorKind::Hoard: {
+  case AllocatorKind::Hoard:
+  case AllocatorKind::Slab: {
     // Probe the reservation non-fatally before the (fatal) central ctor.
     std::string MapError;
     {
@@ -61,8 +63,10 @@ bool ThreadHeapRegistry::init(const Config &C, std::string *Error) {
     }
     if (Cfg.Kind == AllocatorKind::TCMalloc)
       TCCentral = createTCMallocCentral(SharedBytes);
-    else
+    else if (Cfg.Kind == AllocatorKind::Hoard)
       HoardBackend = createHoardCentral(SharedBytes);
+    else
+      SlabBackend = createSlabCentral(SharedBytes);
     return true;
   }
   default:
@@ -92,6 +96,7 @@ AllocatorOptions ThreadHeapRegistry::optionsFor(unsigned Thread) const {
   Options.SegmentPool = Pool;
   Options.TCCentral = TCCentral;
   Options.HoardBackend = HoardBackend;
+  Options.SlabBackend = SlabBackend;
   return Options;
 }
 
@@ -108,6 +113,7 @@ const char *ThreadHeapRegistry::sharingModel() const {
     return "sharded-pool";
   case AllocatorKind::TCMalloc:
   case AllocatorKind::Hoard:
+  case AllocatorKind::Slab:
     return "shared-central";
   default:
     return "private-heap";

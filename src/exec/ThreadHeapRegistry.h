@@ -10,6 +10,8 @@
 ///    heap + central free lists under a mutex);
 ///  - hoard: per-thread available lists over one shared HoardCentral
 ///    (superblock arena + global empty pool under a mutex);
+///  - slab: per-thread magazines over one shared SlabCentral (buddy page
+///    heap + slab partial lists under a mutex);
 ///  - region/obstack/default/glibc: fully private per-thread heaps — these
 ///    allocators have no cross-thread sharing in the paper's deployments
 ///    (one PHP process per core), so each worker simply owns one.
@@ -65,8 +67,8 @@ public:
   AllocatorKind kind() const { return Cfg.Kind; }
   unsigned threads() const { return Cfg.Threads; }
 
-  /// "sharded-pool" (ddmalloc), "shared-central" (tcmalloc/hoard), or
-  /// "private-heap" (everything else).
+  /// "sharded-pool" (ddmalloc), "shared-central" (tcmalloc/hoard/slab),
+  /// or "private-heap" (everything else).
   const char *sharingModel() const;
 
   /// The DDmalloc pool, when kind == DDmalloc (for tests/benches).
@@ -82,6 +84,7 @@ private:
   std::shared_ptr<SharedSegmentPool> Pool;      // ddmalloc
   std::shared_ptr<TCMallocCentral> TCCentral;   // tcmalloc
   std::shared_ptr<HoardCentral> HoardBackend;   // hoard
+  std::shared_ptr<SlabCentral> SlabBackend;     // slab
 };
 
 } // namespace ddm

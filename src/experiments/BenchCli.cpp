@@ -28,12 +28,29 @@ void BenchCli::addJobsFlag(ArgParser &Parser) {
                  "value produces identical output");
 }
 
+void BenchCli::addBackendFlag(ArgParser &Parser) {
+  Parser.addFlag("backend", &Backend,
+                 "page economy behind the allocator heaps: arena (private "
+                 "mmap reservations) or buddy (shared buddy page backend)");
+}
+
+PageBackendKind BenchCli::backendKind() const {
+  if (Backend == "arena")
+    return PageBackendKind::Arena;
+  if (Backend == "buddy")
+    return PageBackendKind::Buddy;
+  std::fprintf(stderr, "error: unknown backend '%s' (expected arena, buddy)\n",
+               Backend.c_str());
+  std::exit(1);
+}
+
 SimulationOptions BenchCli::simOptions() const {
   SimulationOptions Options;
   Options.Scale = Scale;
   Options.WarmupTx = static_cast<unsigned>(WarmupTx);
   Options.MeasureTx = static_cast<unsigned>(MeasureTx);
   Options.Seed = Seed;
+  Options.Backend = backendKind();
   return Options;
 }
 

@@ -28,6 +28,7 @@ struct BenchCli {
   uint64_t Jobs = 0; ///< Sweep workers; 0 = all hardware threads.
   bool Csv = false;
   bool Json = false;
+  std::string Backend = "arena"; ///< Page economy: "arena" or "buddy".
 
   /// Registers --scale, --warmup, --transactions, --seed.
   void addSimFlags(ArgParser &Parser);
@@ -37,6 +38,13 @@ struct BenchCli {
 
   /// Registers --jobs.
   void addJobsFlag(ArgParser &Parser);
+
+  /// Registers --backend (arena|buddy). Exits with a diagnostic from
+  /// backendKind() when the value is unknown.
+  void addBackendFlag(ArgParser &Parser);
+
+  /// The PageBackendKind --backend names; exits(1) on an unknown name.
+  PageBackendKind backendKind() const;
 
   /// The SimulationOptions these flags describe.
   SimulationOptions simOptions() const;

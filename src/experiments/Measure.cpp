@@ -2,6 +2,7 @@
 
 #include "experiments/Measure.h"
 
+#include "page/SlabAllocator.h"
 #include "support/Error.h"
 #include "trace/TraceReplayer.h"
 
@@ -48,6 +49,13 @@ void applyReplayMeta(RuntimeConfig &Config, const SimulationOptions &Options) {
     Config.AllocOptions.ProcessId = static_cast<uint32_t>(Meta.Seed % 64);
 }
 
+/// Creates the run's page backend per Options; null under Arena.
+std::shared_ptr<PageBackend> backendFor(const SimulationOptions &Options) {
+  if (Options.Backend != PageBackendKind::Buddy)
+    return nullptr;
+  return createBuddyBackend(Options.BackendReserveBytes);
+}
+
 } // namespace
 
 SimPoint ddm::simulateRuntime(const WorkloadSpec &Workload,
@@ -66,6 +74,9 @@ SimPoint ddm::simulateRuntime(const WorkloadSpec &Workload,
   if (Config.AllocOptions.ProcessId == 0)
     Config.AllocOptions.ProcessId = static_cast<uint32_t>(Options.Seed % 64);
   Config.AllocOptions.LargePages = Options.LargePages;
+  std::shared_ptr<PageBackend> Backend = backendFor(Options);
+  if (Backend)
+    Config.AllocOptions.Backend = Backend;
   applyReplayMeta(Config, Options);
 
   TransactionRuntime Runtime(Workload, Config, &Sink);
@@ -85,6 +96,15 @@ SimPoint ddm::simulateRuntime(const WorkloadSpec &Workload,
   Point.Perf = evaluatePerformance(P, Point.Events, ActiveCores);
   Point.MeanConsumptionBytes = Runtime.metrics().ConsumptionBytes.mean();
   Point.Metrics = Runtime.metrics();
+  if (Backend) {
+    Point.PageStats = Backend->stats();
+    Point.HasPageStats = true;
+  } else if (auto *Slab = dynamic_cast<SlabAllocator *>(&Runtime.allocator())) {
+    // A private slab central has a buddy inside: its page economy is
+    // observable even without an external backend.
+    Point.PageStats = Slab->pageStats();
+    Point.HasPageStats = true;
+  }
   return Point;
 }
 
@@ -112,6 +132,9 @@ ServiceProfile ddm::profileService(const WorkloadSpec &Workload,
   if (Config.AllocOptions.ProcessId == 0)
     Config.AllocOptions.ProcessId = static_cast<uint32_t>(Options.Seed % 64);
   Config.AllocOptions.LargePages = Options.LargePages;
+  std::shared_ptr<PageBackend> Backend = backendFor(Options);
+  if (Backend)
+    Config.AllocOptions.Backend = Backend;
   applyReplayMeta(Config, Options);
 
   TransactionRuntime Runtime(Workload, Config, &Sink);

@@ -18,6 +18,7 @@
 #ifndef DDM_EXPERIMENTS_MEASURE_H
 #define DDM_EXPERIMENTS_MEASURE_H
 
+#include "page/PageBackend.h"
 #include "runtime/TransactionRuntime.h"
 #include "sim/Performance.h"
 #include "sim/Platform.h"
@@ -28,6 +29,12 @@ namespace ddm {
 
 class TraceReplayer;
 
+/// Which page economy backs the allocator's heap spans in a simulation.
+enum class PageBackendKind {
+  Arena, ///< Legacy private mmap arenas (the default).
+  Buddy, ///< One BuddyPageBackend shared by the run's allocator.
+};
+
 /// Knobs of one simulation run.
 struct SimulationOptions {
   unsigned WarmupTx = 2;
@@ -36,6 +43,15 @@ struct SimulationOptions {
   double Scale = 1.0;
   uint64_t Seed = 0x5eed;
   bool LargePages = false;
+
+  /// Page economy behind the allocator (--backend buddy). With Buddy, a
+  /// fresh BuddyPageBackend is created per simulateRuntime call and
+  /// attached to AllocOptions.Backend; its end-of-run stats land in
+  /// SimPoint::PageStats. Kinds without backend support keep their
+  /// private arenas and the backend sits idle (stats all zero).
+  PageBackendKind Backend = PageBackendKind::Arena;
+  /// Reservation of the buddy backend (ignored under Arena).
+  size_t BackendReserveBytes = 1ull * 1024 * 1024 * 1024;
 
   /// When set, every executed event is teed into this sink (trace
   /// capture, src/trace). Warm-up transactions are recorded too: a
@@ -56,6 +72,12 @@ struct SimPoint {
   /// Mean allocator memory consumption at transaction end (Figure 9).
   double MeanConsumptionBytes = 0;
   RuntimeMetrics Metrics;
+  /// Page-economy counters at run end. Filled when the run used a buddy
+  /// backend (SimulationOptions::Backend) or a slab allocator (whose
+  /// private central has a buddy inside); HasPageStats says which runs
+  /// carry meaningful numbers.
+  PageBackendStats PageStats;
+  bool HasPageStats = false;
 };
 
 /// Runs the pipeline with full control over the runtime configuration

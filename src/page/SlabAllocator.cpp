@@ -1,0 +1,491 @@
+//===- page/SlabAllocator.cpp - Slab caches over a buddy heap -------------===//
+
+#include "page/SlabAllocator.h"
+#include "support/Error.h"
+#include "support/FaultInjection.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace ddm;
+
+namespace {
+
+constexpr uint64_t InstrMagazineAlloc = 10;
+constexpr uint64_t InstrMagazineFree = 10;
+constexpr uint64_t InstrRefillBase = 40;
+constexpr uint64_t InstrRefillPerObject = 6;
+constexpr uint64_t InstrFlushBase = 40;
+constexpr uint64_t InstrFlushPerObject = 7;
+constexpr uint64_t InstrGrowBase = 90;
+constexpr uint64_t InstrGrowPerObject = 3;
+constexpr uint64_t InstrLargeAlloc = 80;
+constexpr uint64_t InstrLargeFree = 70;
+constexpr uint64_t InstrReap = 50;
+
+/// The slab heap's standard class map (must match the allocator's).
+constexpr size_t MaxSmallBytes = 8 * 1024;
+
+unsigned buddyOrderFor(size_t NumPages) {
+  unsigned Order = BuddyAllocator::orderFor(NumPages);
+  return Order < 24 ? Order : 24;
+}
+
+void notePagesTaken(SlabCentral &C, uint64_t Pages) {
+  C.PagesLive += Pages;
+  C.PagesAcquiredTotal += Pages;
+  if (C.PagesLive > C.HighWaterPages)
+    C.HighWaterPages = C.PagesLive;
+}
+
+void notePagesReturned(SlabCentral &C, uint64_t Pages) {
+  C.PagesLive -= Pages;
+  C.PagesReturnedTotal += Pages;
+}
+
+} // namespace
+
+SlabCentral::SlabCentral(size_t HeapReserveBytes, unsigned NumClasses,
+                         bool IsShared,
+                         const std::shared_ptr<PageBackend> &Backend)
+    : Heap(BackedSpan::create(HeapReserveBytes, PageBytes, Backend)),
+      NumPages(Heap.size() / PageBytes),
+      Buddy(NumPages, buddyOrderFor(NumPages)), Shared(IsShared) {
+  SizeClassMap Classes(MaxSmallBytes);
+  if (Classes.numClasses() != NumClasses)
+    fatal("slab central was built for a different class map");
+  PageKind.assign(NumPages, PageUnused);
+  PartialHead.assign(NumClasses, NoSlab);
+  EmptySlab.assign(NumClasses, NoSlab);
+  SlabOrder.assign(NumClasses, 0);
+  SlabCapacity.assign(NumClasses, 0);
+  for (unsigned Class = 0; Class < NumClasses; ++Class) {
+    size_t ObjectSize = Classes.classSize(Class);
+    // Smallest slab that fits at least 8 objects, capped at MaxSlabOrder
+    // (the biggest classes get whatever the cap holds).
+    unsigned Order = 0;
+    while (Order < MaxSlabOrder &&
+           ((PageBytes << Order) - ObjectsOffset) / ObjectSize < 8)
+      ++Order;
+    uint32_t Capacity = static_cast<uint32_t>(
+        ((PageBytes << Order) - ObjectsOffset) / ObjectSize);
+    if (Capacity == 0)
+      fatal("slab class does not fit one object per slab");
+    SlabOrder[Class] = static_cast<uint8_t>(Order);
+    SlabCapacity[Class] = Capacity;
+  }
+}
+
+std::shared_ptr<SlabCentral> ddm::createSlabCentral(size_t HeapReserveBytes) {
+  SizeClassMap Classes(MaxSmallBytes);
+  return std::make_shared<SlabCentral>(HeapReserveBytes, Classes.numClasses(),
+                                       /*IsShared=*/true);
+}
+
+SlabAllocator::SlabAllocator(const SlabConfig &C)
+    : Config(C), Classes(MaxSmallBytes) {
+  unsigned NumClasses = Classes.numClasses();
+  if (C.Central) {
+    Central = C.Central;
+    if (Central->PartialHead.size() != NumClasses)
+      fatal("slab shared central was built for a different class map");
+  } else {
+    Central = std::make_shared<SlabCentral>(C.HeapReserveBytes, NumClasses,
+                                            /*IsShared=*/false, C.Backend);
+  }
+  if (Config.MagazineCapacity < 2)
+    Config.MagazineCapacity = 2;
+  if (Config.RefillBatch == 0)
+    Config.RefillBatch = 1;
+  if (Config.RefillBatch > Config.MagazineCapacity)
+    Config.RefillBatch = Config.MagazineCapacity;
+  MagSlots.assign(size_t(NumClasses) * Config.MagazineCapacity, 0);
+  MagCount.assign(NumClasses, 0);
+}
+
+SlabAllocator::~SlabAllocator() {
+  if (Central->Shared) {
+    // A destroyed magazine set (e.g. a Ruby-style process restart) returns
+    // its stock to the central slabs so sibling threads can reuse it;
+    // objects still live at destruction stay lost, like the pages of a
+    // really-restarted process.
+    std::lock_guard<std::mutex> Lock(Central->M);
+    for (unsigned Class = 0, End = Classes.numClasses(); Class != End;
+         ++Class) {
+      uintptr_t *Slots = &MagSlots[size_t(Class) * Config.MagazineCapacity];
+      while (MagCount[Class] > 0) {
+        --MagCount[Class];
+        auto *Object = reinterpret_cast<std::byte *>(Slots[MagCount[Class]]);
+        centralFree(Object, slabHeadFor(pageIndexFor(Object)), Class);
+      }
+    }
+  }
+  Sink.unmapRegion(Central->PageKind.data());
+  Sink.unmapRegion(MagCount.data());
+  Sink.unmapRegion(MagSlots.data());
+  Sink.unmapRegion(Central->Heap.base());
+}
+
+void SlabAllocator::attachSink(AccessSink *S) {
+  if (Central->Shared && S)
+    fatal("slab magazines on a shared central cannot attach a simulation "
+          "sink");
+  TxAllocator::attachSink(S);
+  Sink.mapRegion(Central->Heap.base(), Central->Heap.size());
+  Sink.mapRegion(MagSlots.data(), MagSlots.size() * sizeof(uintptr_t));
+  Sink.mapRegion(MagCount.data(), MagCount.size() * sizeof(uint32_t));
+  Sink.mapRegion(Central->PageKind.data(), Central->PageKind.size());
+}
+
+uint32_t SlabAllocator::slabHeadFor(size_t Page) const {
+  // Slabs span at most 2^MaxSlabOrder pages, so this back-scan is bounded.
+  while (Central->PageKind[Page] == PageSlabCont)
+    --Page;
+  return static_cast<uint32_t>(Page);
+}
+
+void SlabAllocator::linkPartial(uint32_t HeadPage, unsigned Class) {
+  SlabHeader *H = headerAt(HeadPage);
+  H->NextSlab = Central->PartialHead[Class];
+  H->PrevSlab = NoSlab;
+  if (H->NextSlab != NoSlab)
+    headerAt(H->NextSlab)->PrevSlab = HeadPage;
+  Central->PartialHead[Class] = HeadPage;
+  Sink.store(H, sizeof(SlabHeader));
+}
+
+void SlabAllocator::unlinkPartial(uint32_t HeadPage, unsigned Class) {
+  SlabHeader *H = headerAt(HeadPage);
+  if (H->PrevSlab != NoSlab)
+    headerAt(H->PrevSlab)->NextSlab = H->NextSlab;
+  else
+    Central->PartialHead[Class] = H->NextSlab;
+  if (H->NextSlab != NoSlab)
+    headerAt(H->NextSlab)->PrevSlab = H->PrevSlab;
+  H->NextSlab = NoSlab;
+  H->PrevSlab = NoSlab;
+  Sink.store(H, sizeof(SlabHeader));
+}
+
+bool SlabAllocator::growClass(unsigned Class) {
+  if (faultShouldFail(FaultSite::SlabGrow))
+    return false;
+  unsigned Order = Central->SlabOrder[Class];
+  uint32_t First = Central->Buddy.allocPages(Order);
+  if (First == BuddyAllocator::NoPage)
+    return false;
+  notePagesTaken(*Central, uint64_t(1) << Order);
+
+  auto &Kind = Central->PageKind;
+  Kind[First] = static_cast<uint8_t>(Class);
+  Sink.store(&Kind[First], 1);
+  for (size_t I = 1, Pages = size_t(1) << Order; I < Pages; ++I) {
+    Kind[First + I] = PageSlabCont;
+    Sink.store(&Kind[First + I], 1);
+  }
+
+  size_t ObjectSize = Classes.classSize(Class);
+  uint32_t Capacity = Central->SlabCapacity[Class];
+  std::byte *Slab = pageBase(First);
+  for (uint32_t I = 0; I < Capacity; ++I) {
+    auto Off = static_cast<uint32_t>(SlabCentral::ObjectsOffset +
+                                     size_t(I) * ObjectSize);
+    uint32_t NextOff =
+        I + 1 < Capacity ? static_cast<uint32_t>(Off + ObjectSize) : 0;
+    *reinterpret_cast<uint32_t *>(Slab + Off) = NextOff;
+    Sink.store(Slab + Off, sizeof(uint32_t));
+  }
+
+  SlabHeader *H = headerAt(First);
+  H->FreeHead = static_cast<uint32_t>(SlabCentral::ObjectsOffset);
+  H->InUse = 0;
+  H->ClassId = Class;
+  H->NextSlab = NoSlab;
+  H->PrevSlab = NoSlab;
+  Sink.store(H, sizeof(SlabHeader));
+  linkPartial(First, Class);
+  ++Central->SlabsCreated;
+  Sink.instructions(InstrGrowBase + InstrGrowPerObject * Capacity);
+  return true;
+}
+
+std::byte *SlabAllocator::takeObject(unsigned Class) {
+  if (Central->PartialHead[Class] == NoSlab) {
+    if (Central->EmptySlab[Class] != NoSlab) {
+      uint32_t Head = Central->EmptySlab[Class];
+      Central->EmptySlab[Class] = NoSlab;
+      linkPartial(Head, Class);
+    } else if (!growClass(Class)) {
+      return nullptr;
+    }
+  }
+  uint32_t Head = Central->PartialHead[Class];
+  SlabHeader *H = headerAt(Head);
+  Sink.load(H, sizeof(SlabHeader));
+  uint32_t Off = H->FreeHead;
+  std::byte *Object = pageBase(Head) + Off;
+  H->FreeHead = *reinterpret_cast<uint32_t *>(Object);
+  Sink.load(Object, sizeof(uint32_t));
+  ++H->InUse;
+  Sink.store(H, sizeof(SlabHeader));
+  if (H->FreeHead == 0)
+    unlinkPartial(Head, Class); // Now full; frees rediscover it via the map.
+  return Object;
+}
+
+void SlabAllocator::reapSlab(uint32_t HeadPage, unsigned Class) {
+  unsigned Order = Central->SlabOrder[Class];
+  for (size_t I = 0, Pages = size_t(1) << Order; I < Pages; ++I) {
+    Central->PageKind[HeadPage + I] = PageUnused;
+    Sink.store(&Central->PageKind[HeadPage + I], 1);
+  }
+  Central->Buddy.freePages(HeadPage, Order);
+  notePagesReturned(*Central, uint64_t(1) << Order);
+  ++Central->SlabsReaped;
+  Sink.instructions(InstrReap);
+}
+
+void SlabAllocator::centralFree(std::byte *Object, uint32_t HeadPage,
+                                unsigned Class) {
+  SlabHeader *H = headerAt(HeadPage);
+  bool WasFull = H->FreeHead == 0;
+  *reinterpret_cast<uint32_t *>(Object) = H->FreeHead;
+  Sink.store(Object, sizeof(uint32_t));
+  H->FreeHead = static_cast<uint32_t>(Object - pageBase(HeadPage));
+  --H->InUse;
+  Sink.store(H, sizeof(SlabHeader));
+  if (H->InUse == 0) {
+    // Empty: keep one reserve per class, reap the rest to the buddy.
+    if (!WasFull)
+      unlinkPartial(HeadPage, Class);
+    if (Central->EmptySlab[Class] == NoSlab)
+      Central->EmptySlab[Class] = HeadPage;
+    else
+      reapSlab(HeadPage, Class);
+    return;
+  }
+  if (WasFull)
+    linkPartial(HeadPage, Class);
+}
+
+void SlabAllocator::refillMagazine(unsigned Class) {
+  auto Lock = centralLock();
+  uintptr_t *Slots = &MagSlots[size_t(Class) * Config.MagazineCapacity];
+  unsigned Got = 0;
+  while (Got < Config.RefillBatch) {
+    std::byte *Object = takeObject(Class);
+    if (!Object)
+      break;
+    Slots[MagCount[Class]] = reinterpret_cast<uintptr_t>(Object);
+    Sink.store(&Slots[MagCount[Class]], sizeof(uintptr_t));
+    ++MagCount[Class];
+    ++Got;
+  }
+  if (Got > 0)
+    Sink.instructions(InstrRefillBase + InstrRefillPerObject * Got);
+}
+
+void SlabAllocator::flushMagazine(unsigned Class, unsigned Keep) {
+  auto Lock = centralLock();
+  uintptr_t *Slots = &MagSlots[size_t(Class) * Config.MagazineCapacity];
+  uint64_t Moved = 0;
+  while (MagCount[Class] > Keep) {
+    --MagCount[Class];
+    auto *Object = reinterpret_cast<std::byte *>(Slots[MagCount[Class]]);
+    Sink.load(&Slots[MagCount[Class]], sizeof(uintptr_t));
+    centralFree(Object, slabHeadFor(pageIndexFor(Object)), Class);
+    ++Moved;
+  }
+  Sink.instructions(InstrFlushBase + InstrFlushPerObject * Moved);
+}
+
+void *SlabAllocator::allocateSmall(size_t Size) {
+  unsigned Class = Classes.classFor(Size);
+  size_t ObjectSize = Classes.classSize(Class);
+  Sink.load(&MagCount[Class], sizeof(uint32_t));
+  if (MagCount[Class] == 0) {
+    refillMagazine(Class);
+    if (MagCount[Class] == 0)
+      return nullptr;
+  }
+  --MagCount[Class];
+  uintptr_t *Slot =
+      &MagSlots[size_t(Class) * Config.MagazineCapacity + MagCount[Class]];
+  Sink.load(Slot, sizeof(uintptr_t));
+  Sink.store(&MagCount[Class], sizeof(uint32_t));
+  Sink.instructions(InstrMagazineAlloc);
+  noteMalloc(Size, ObjectSize);
+  return reinterpret_cast<void *>(*Slot);
+}
+
+void *SlabAllocator::allocateLarge(size_t Size) {
+  size_t Pages = (Size + PageBytes - 1) / PageBytes;
+  unsigned Order = BuddyAllocator::orderFor(Pages);
+  auto Lock = centralLock();
+  if (faultShouldFail(FaultSite::SlabGrow))
+    return nullptr;
+  if (Order > Central->Buddy.maxOrder())
+    return nullptr;
+  uint32_t First = Central->Buddy.allocPages(Order);
+  if (First == BuddyAllocator::NoPage)
+    return nullptr;
+  notePagesTaken(*Central, uint64_t(1) << Order);
+  auto &Kind = Central->PageKind;
+  Kind[First] = PageLargeStart;
+  Sink.store(&Kind[First], 1);
+  for (size_t I = 1, Span = size_t(1) << Order; I < Span; ++I) {
+    Kind[First + I] = PageLargeCont;
+    Sink.store(&Kind[First + I], 1);
+  }
+  Sink.instructions(InstrLargeAlloc);
+  noteMalloc(Size, size_t(PageBytes) << Order);
+  return pageBase(First);
+}
+
+void *SlabAllocator::allocate(size_t Size) {
+  if (Classes.isSmall(Size))
+    return allocateSmall(Size);
+  return allocateLarge(Size);
+}
+
+void SlabAllocator::deallocate(void *Ptr) {
+  if (!Ptr)
+    return;
+  assert(owns(Ptr) && "pointer not from this heap");
+  size_t Page = pageIndexFor(Ptr);
+  // Reading the page map entry of a live object needs no lock even on a
+  // shared central: the slab cannot be reaped while any of its objects is
+  // live, and the object reached this thread through the central-lock
+  // happens-before chain.
+  uint8_t Mark = Central->PageKind[Page];
+  Sink.load(&Central->PageKind[Page], 1);
+  assert(Mark != PageUnused && Mark != PageLargeCont && "bad free");
+
+  if (Mark == PageLargeStart) {
+    // The boundary scan reads one entry past the run, which a sibling
+    // thread may be writing concurrently, so the whole large path locks.
+    auto Lock = centralLock();
+    size_t Pages = 1;
+    while (Page + Pages < Central->NumPages &&
+           Central->PageKind[Page + Pages] == PageLargeCont)
+      ++Pages;
+    noteFree(Pages * PageBytes);
+    for (size_t I = 0; I < Pages; ++I) {
+      Central->PageKind[Page + I] = PageUnused;
+      Sink.store(&Central->PageKind[Page + I], 1);
+    }
+    Central->Buddy.freePages(static_cast<uint32_t>(Page),
+                             BuddyAllocator::orderFor(Pages));
+    notePagesReturned(*Central, Pages);
+    Sink.instructions(InstrLargeFree);
+    return;
+  }
+
+  uint32_t Head =
+      Mark == PageSlabCont ? slabHeadFor(Page) : static_cast<uint32_t>(Page);
+  unsigned Class = Central->PageKind[Head];
+  size_t ObjectSize = Classes.classSize(Class);
+  if (MagCount[Class] == Config.MagazineCapacity)
+    flushMagazine(Class, Config.MagazineCapacity / 2);
+  uintptr_t *Slot =
+      &MagSlots[size_t(Class) * Config.MagazineCapacity + MagCount[Class]];
+  *Slot = reinterpret_cast<uintptr_t>(Ptr);
+  Sink.store(Slot, sizeof(uintptr_t));
+  ++MagCount[Class];
+  Sink.store(&MagCount[Class], sizeof(uint32_t));
+  Sink.instructions(InstrMagazineFree);
+  noteFree(ObjectSize);
+}
+
+size_t SlabAllocator::usableSize(const void *Ptr) const {
+  assert(Ptr && owns(Ptr) && "bad pointer");
+  size_t Page = pageIndexFor(Ptr);
+  uint8_t Mark = Central->PageKind[Page];
+  assert(Mark != PageUnused && Mark != PageLargeCont && "not an object");
+  if (Mark == PageLargeStart) {
+    auto Lock = centralLock(); // Boundary scan; see deallocate().
+    size_t Pages = 1;
+    while (Page + Pages < Central->NumPages &&
+           Central->PageKind[Page + Pages] == PageLargeCont)
+      ++Pages;
+    return Pages * PageBytes;
+  }
+  uint32_t Head =
+      Mark == PageSlabCont ? slabHeadFor(Page) : static_cast<uint32_t>(Page);
+  return Classes.classSize(Central->PageKind[Head]);
+}
+
+void *SlabAllocator::reallocate(void *Ptr, size_t OldSize, size_t NewSize) {
+  ++Stats.ReallocCalls;
+  (void)OldSize;
+  if (!Ptr)
+    return allocate(NewSize);
+  size_t OldUsable = usableSize(Ptr);
+  if (NewSize <= OldUsable &&
+      (!Classes.isSmall(NewSize) ||
+       Classes.roundedSize(NewSize) == OldUsable)) {
+    Sink.instructions(InstrMagazineAlloc);
+    return Ptr;
+  }
+  void *Fresh = allocate(NewSize);
+  if (!Fresh)
+    return nullptr;
+  size_t CopyBytes = OldUsable < NewSize ? OldUsable : NewSize;
+  std::memcpy(Fresh, Ptr, CopyBytes);
+  Sink.copy(Ptr, Fresh, CopyBytes);
+  Sink.instructions(CopyBytes / 16 + 8);
+  deallocate(Ptr);
+  return Fresh;
+}
+
+void SlabAllocator::freeAll() {
+  unreachable("the slab allocator has no bulk free; restart the process");
+}
+
+uint64_t SlabAllocator::memoryConsumption() const {
+  auto Lock = centralLock();
+  return Central->HighWaterPages * PageBytes;
+}
+
+uint64_t SlabAllocator::shrink() {
+  auto Lock = centralLock();
+  uint64_t Before = Central->PagesReturnedTotal;
+  for (unsigned Class = 0, End = Classes.numClasses(); Class != End;
+       ++Class) {
+    if (Central->EmptySlab[Class] == NoSlab)
+      continue;
+    uint32_t Head = Central->EmptySlab[Class];
+    Central->EmptySlab[Class] = NoSlab;
+    reapSlab(Head, Class);
+  }
+  return Central->PagesReturnedTotal - Before;
+}
+
+size_t SlabAllocator::partialSlabCount(unsigned Class) const {
+  auto Lock = centralLock();
+  size_t Count = 0;
+  for (uint32_t At = Central->PartialHead[Class]; At != NoSlab;
+       At = headerAt(At)->NextSlab)
+    ++Count;
+  return Count;
+}
+
+bool SlabAllocator::hasEmptyReserve(unsigned Class) const {
+  auto Lock = centralLock();
+  return Central->EmptySlab[Class] != NoSlab;
+}
+
+PageBackendStats SlabAllocator::pageStats() const {
+  auto Lock = centralLock();
+  PageBackendStats S;
+  S.PagesAcquired = Central->PagesAcquiredTotal;
+  S.PagesReclaimed = Central->PagesReturnedTotal;
+  S.PagesLive = Central->PagesLive;
+  S.PeakPagesLive = Central->HighWaterPages;
+  S.FreePages = Central->Buddy.freePageCount();
+  S.LargestFreeRunPages = Central->Buddy.largestFreeBlockPages();
+  S.Splits = Central->Buddy.totalSplits();
+  S.Coalesces = Central->Buddy.totalCoalesces();
+  S.PageBytes = PageBytes;
+  return S;
+}

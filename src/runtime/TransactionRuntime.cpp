@@ -28,6 +28,9 @@ double codeFootprintFor(AllocatorKind Kind) {
     return 6.0 * 1024;
   case AllocatorKind::Hoard:
     return 5.0 * 1024;
+  case AllocatorKind::Slab:
+    // Magazine fast path is tiny; the slab/buddy machinery is cold.
+    return 3.0 * 1024;
   case AllocatorKind::Default:
   case AllocatorKind::Glibc:
     return 8.0 * 1024;

@@ -21,6 +21,10 @@ const char *ddm::faultSiteName(FaultSite Site) {
     return "trace_write";
   case FaultSite::WorkerHeap:
     return "worker_heap";
+  case FaultSite::PageAcquire:
+    return "page_acquire";
+  case FaultSite::SlabGrow:
+    return "slab_grow";
   }
   return "?";
 }

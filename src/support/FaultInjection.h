@@ -15,6 +15,8 @@
 ///   chunk_acquire    region/obstack allocators growing by a chunk
 ///   trace_write      TraceWriter flushing bytes to disk
 ///   worker_heap      TransactionRuntime satisfying an allocation
+///   page_acquire     BuddyPageBackend handing out a page run
+///   slab_grow        SlabCentral creating a fresh slab or large run
 ///
 /// When no plan is armed (the default) the fast path is one relaxed
 /// atomic load, so instrumented hot paths cost nothing in normal runs.
@@ -45,12 +47,14 @@ enum class FaultSite : unsigned {
   ChunkAcquire,
   TraceWrite,
   WorkerHeap,
+  PageAcquire,
+  SlabGrow,
 };
 
-constexpr unsigned NumFaultSites = 5;
+constexpr unsigned NumFaultSites = 7;
 
 /// Stable name ("arena_map", "segment_acquire", "chunk_acquire",
-/// "trace_write", "worker_heap").
+/// "trace_write", "worker_heap", "page_acquire", "slab_grow").
 const char *faultSiteName(FaultSite Site);
 
 /// Parses a stable name back to the enum; std::nullopt if unknown.

@@ -2,8 +2,13 @@
 
 #include "core/AllocatorFactory.h"
 #include "core/DDmalloc.h"
+#include "page/PageBackend.h"
 
 #include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 using namespace ddm;
 
@@ -14,6 +19,76 @@ TEST(AllocatorFactoryTest, NamesRoundTrip) {
     ASSERT_TRUE(Parsed.has_value()) << Name;
     EXPECT_EQ(*Parsed, Kind) << Name;
   }
+}
+
+TEST(AllocatorFactoryTest, NameListIsTheFullZoo) {
+  // Adding a kind means adding it here on purpose: every consumer of
+  // allocatorNames() (CLI flags, bench sweeps, the README table) picks the
+  // new allocator up from this one list.
+  const std::vector<std::string> Expected = {"ddmalloc", "region", "obstack",
+                                             "default",  "glibc",  "tcmalloc",
+                                             "hoard",    "slab"};
+  EXPECT_EQ(allocatorNames(), Expected);
+  EXPECT_EQ(allAllocatorKinds().size(), Expected.size());
+  std::string Joined = allocatorNamesJoined();
+  for (const std::string &Name : Expected)
+    EXPECT_NE(Joined.find(Name), std::string::npos) << Name;
+}
+
+TEST(AllocatorFactoryTest, ReadmeAllocatorTableStaysInSync) {
+  // The README's zoo table must list every factory name. Walk up from the
+  // test's working directory to find the repo root.
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::current_path();
+  fs::path Readme;
+  for (int Depth = 0; Depth < 8; ++Depth) {
+    fs::path Candidate = Dir / "README.md";
+    std::error_code Ec;
+    if (fs::exists(Candidate, Ec)) {
+      Readme = Candidate;
+      break;
+    }
+    if (!Dir.has_parent_path() || Dir.parent_path() == Dir)
+      break;
+    Dir = Dir.parent_path();
+  }
+  if (Readme.empty())
+    GTEST_SKIP() << "README.md not reachable from the test working directory";
+  std::ifstream In(Readme);
+  ASSERT_TRUE(In.good()) << Readme;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  const std::string Text = Buffer.str();
+  for (const std::string &Name : allocatorNames())
+    EXPECT_NE(Text.find("| `" + Name + "`"), std::string::npos)
+        << "README.md zoo table is missing allocator '" << Name << "'";
+}
+
+TEST(AllocatorFactoryTest, BackendCapableKindsDrawFromABuddyBackend) {
+  // Every allocator that accepts a page backend really routes its heap
+  // span through it — and returns the span when the allocator dies.
+  auto Backend = createBuddyBackend(512ull * 1024 * 1024);
+  for (AllocatorKind Kind :
+       {AllocatorKind::Region, AllocatorKind::Obstack, AllocatorKind::Default,
+        AllocatorKind::Glibc, AllocatorKind::Slab}) {
+    const uint64_t LiveBefore = Backend->stats().PagesLive;
+    {
+      AllocatorOptions Options;
+      Options.HeapReserveBytes = 16ull * 1024 * 1024;
+      Options.RegionChunkBytes = 16ull * 1024 * 1024;
+      Options.Backend = Backend;
+      auto A = createAllocator(Kind, Options);
+      void *P = A->allocate(256);
+      ASSERT_NE(P, nullptr) << allocatorKindName(Kind);
+      EXPECT_TRUE(Backend->contains(P))
+          << allocatorKindName(Kind) << " ignored the page backend";
+      EXPECT_GT(Backend->stats().PagesLive, LiveBefore)
+          << allocatorKindName(Kind);
+    }
+    EXPECT_EQ(Backend->stats().PagesLive, LiveBefore)
+        << allocatorKindName(Kind) << " leaked backend pages";
+  }
+  EXPECT_GT(Backend->stats().PagesReclaimed, 0u);
 }
 
 TEST(AllocatorFactoryTest, UnknownNameRejected) {

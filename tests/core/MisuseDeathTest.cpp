@@ -39,8 +39,8 @@ TEST(MisuseDeathTest, UnreachableAborts) {
 TEST(MisuseDeathTest, FreeAllOnMallocOnlyAllocatorsAborts) {
   // The paper's Ruby-study allocators support only the malloc-free
   // interface; calling freeAll on them is a programming error.
-  for (AllocatorKind Kind :
-       {AllocatorKind::Glibc, AllocatorKind::TCMalloc, AllocatorKind::Hoard}) {
+  for (AllocatorKind Kind : {AllocatorKind::Glibc, AllocatorKind::TCMalloc,
+                             AllocatorKind::Hoard, AllocatorKind::Slab}) {
     auto A = createAllocator(Kind);
     ASSERT_FALSE(A->supportsBulkFree());
     EXPECT_DEATH(A->freeAll(), "no bulk free") << allocatorKindName(Kind);

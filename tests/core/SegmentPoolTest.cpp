@@ -137,6 +137,60 @@ TEST(SegmentPoolTest, TryCreateReportsReservationFailure) {
   FaultInjector::instance().disarm();
 }
 
+TEST(SegmentPoolTest, StatsSnapshotTracksEveryCounter) {
+  SharedSegmentPool Pool(smallConfig(2));
+  SegmentPoolStats Fresh = Pool.stats();
+  EXPECT_EQ(Fresh.Outstanding, 0u);
+  EXPECT_EQ(Fresh.FrontierSegments, 0u);
+  EXPECT_EQ(Fresh.StripeMisses, 0u);
+  EXPECT_EQ(Fresh.StripeSteals, 0u);
+  EXPECT_EQ(Fresh.RunsSplit, 0u);
+  EXPECT_EQ(Fresh.RunsCoalesced, 0u);
+
+  uint32_t Batch[8];
+  ASSERT_EQ(Pool.acquireSegments(0, Batch, 8), 8u);
+  SegmentPoolStats Held = Pool.stats();
+  EXPECT_EQ(Held.Outstanding, 8u);
+  EXPECT_EQ(Held.FrontierSegments, 8u);
+
+  // A freed run split by a smaller request, then made whole again.
+  uint32_t Run = Pool.acquireRun(6);
+  ASSERT_NE(Run, UINT32_MAX);
+  Pool.releaseRun(Run, 6);
+  uint32_t Small = Pool.acquireRun(2);
+  ASSERT_NE(Small, UINT32_MAX);
+  EXPECT_EQ(Pool.stats().RunsSplit, 1u);
+  Pool.releaseRun(Small, 2);
+  EXPECT_GE(Pool.stats().RunsCoalesced, 1u);
+
+  Pool.releaseSegments(0, Batch, 8);
+  EXPECT_EQ(Pool.stats().Outstanding, 0u);
+  EXPECT_EQ(Pool.stats().StripeMisses, Pool.stripeMisses());
+}
+
+// Regression: a refill that the frontier can only partially satisfy must
+// fall through to stealing from other stripes instead of returning the
+// short count while siblings sit on free segments.
+TEST(SegmentPoolTest, PartialFrontierFillStillStealsFromSiblings) {
+  SharedSegmentPool::Config C = smallConfig(2);
+  C.ReserveBytes = 8 * C.SegmentSize; // 8 segments total.
+  SharedSegmentPool Pool(C);
+
+  // Stripe 1 takes half the pool through the frontier and parks it on its
+  // own free list; the frontier keeps the other half.
+  uint32_t Parked[4];
+  ASSERT_EQ(Pool.acquireSegments(1, Parked, 4), 4u);
+  Pool.releaseSegments(1, Parked, 4);
+
+  // Stripe 0 asks for everything: 4 from the frontier, 4 stolen.
+  uint32_t Batch[8];
+  EXPECT_EQ(Pool.acquireSegments(0, Batch, 8), 8u);
+  SegmentPoolStats S = Pool.stats();
+  EXPECT_EQ(S.Outstanding, 8u);
+  EXPECT_GE(S.StripeSteals, 4u);
+  Pool.releaseSegments(0, Batch, 8);
+}
+
 // Concurrent uniqueness: hammer acquire/release from one thread per
 // stripe and check no segment is ever handed to two owners at once.
 TEST(SegmentPoolTest, ConcurrentAcquireNeverDuplicates) {

@@ -129,6 +129,9 @@ TEST(ThreadHeapRegistryTest, SharingModelPerKind) {
       ThreadHeapRegistry(configFor(AllocatorKind::Hoard, 2)).sharingModel(),
       "shared-central");
   EXPECT_STREQ(
+      ThreadHeapRegistry(configFor(AllocatorKind::Slab, 2)).sharingModel(),
+      "shared-central");
+  EXPECT_STREQ(
       ThreadHeapRegistry(configFor(AllocatorKind::Region, 2)).sharingModel(),
       "private-heap");
 }
@@ -146,6 +149,10 @@ TEST(ThreadHeapRegistryTest, OptionsCarryShardAndBackends) {
 
   ThreadHeapRegistry HoardReg(configFor(AllocatorKind::Hoard, 2));
   EXPECT_NE(HoardReg.optionsFor(0).HoardBackend, nullptr);
+
+  ThreadHeapRegistry SlabReg(configFor(AllocatorKind::Slab, 2));
+  EXPECT_NE(SlabReg.optionsFor(0).SlabBackend, nullptr);
+  EXPECT_EQ(SlabReg.optionsFor(0).SlabBackend, SlabReg.optionsFor(1).SlabBackend);
 
   ThreadHeapRegistry RegionReg(configFor(AllocatorKind::Region, 2));
   EXPECT_EQ(RegionReg.optionsFor(0).SegmentPool, nullptr);
@@ -167,6 +174,22 @@ TEST(ThreadHeapRegistryTest, TCMallocTeardownDonatesToCentral) {
   void *Q = B->allocate(64);
   EXPECT_NE(Q, nullptr);
   B->deallocate(Q);
+}
+
+/// Same contract for the slab allocator: a dying magazine set returns its
+/// stock to the shared central's slabs.
+TEST(ThreadHeapRegistryTest, SlabTeardownFlushesMagazinesToCentral) {
+  ThreadHeapRegistry Registry(configFor(AllocatorKind::Slab, 2));
+  std::unique_ptr<TxAllocator> A = Registry.createHeap(0);
+  std::unique_ptr<TxAllocator> B = Registry.createHeap(1);
+  void *P = A->allocate(64);
+  ASSERT_NE(P, nullptr);
+  A->deallocate(P); // Parked in A's magazine.
+  A.reset();        // Dtor returns the magazine stock to the central.
+  void *Q = B->allocate(64);
+  EXPECT_NE(Q, nullptr);
+  B->deallocate(Q);
+  EXPECT_EQ(B->stats().UsableBytesLive, 0u);
 }
 
 } // namespace
