@@ -20,6 +20,7 @@
 #include "support/FaultInjection.h"
 #include "support/Json.h"
 #include "support/Table.h"
+#include "trace/TraceInput.h"
 #include "trace/TraceRecorder.h"
 #include "trace/TraceReplayer.h"
 
@@ -159,10 +160,20 @@ int main(int Argc, char **Argv) {
   Parser.addFlag("replay-trace", &ReplayTrace,
                  "profile service times by replaying this .ddmtrc file "
                  "(workload/scale/seed/sample count come from the trace)");
+  std::string ReaderName = "auto";
+  Parser.addFlag("reader", &ReaderName,
+                 "trace reader for --replay-trace: auto (mmap for regular "
+                 "files), stream, or mmap");
   if (!Parser.parse(Argc, Argv))
     return 1;
   if (!RecordTrace.empty() && !ReplayTrace.empty()) {
     std::fprintf(stderr, "--record-trace and --replay-trace are exclusive\n");
+    return 1;
+  }
+  TraceReaderKind ReaderKind = TraceReaderKind::Auto;
+  if (!traceReaderKindFromName(ReaderName, ReaderKind)) {
+    std::fprintf(stderr, "unknown --reader '%s' (auto, stream, or mmap)\n",
+                 ReaderName.c_str());
     return 1;
   }
 
@@ -170,7 +181,7 @@ int main(int Argc, char **Argv) {
     // Validate up front and adopt the trace's provenance: the profiling
     // stage then relives the recorded transactions bit for bit.
     TraceSummary Summary;
-    if (TraceStatus S = summarizeTrace(ReplayTrace, Summary); !S) {
+    if (TraceStatus S = summarizeTrace(ReplayTrace, Summary, ReaderKind); !S) {
       std::fprintf(stderr, "bad trace '%s': %s\n", ReplayTrace.c_str(),
                    S.describe().c_str());
       return 1;
@@ -386,7 +397,7 @@ int main(int Argc, char **Argv) {
   }
   TraceReplayer Replayer;
   if (!ReplayTrace.empty()) {
-    if (TraceStatus S = Replayer.open(ReplayTrace); !S) {
+    if (TraceStatus S = Replayer.open(ReplayTrace, ReaderKind); !S) {
       std::fprintf(stderr, "cannot replay '%s': %s\n", ReplayTrace.c_str(),
                    S.describe().c_str());
       return 1;

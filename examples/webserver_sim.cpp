@@ -58,10 +58,20 @@ int main(int Argc, char **Argv) {
                  "replay transactions from this .ddmtrc file instead of "
                  "generating them (workload/scale/seed/transaction count "
                  "come from the trace)");
+  std::string ReaderName = "auto";
+  Parser.addFlag("reader", &ReaderName,
+                 "trace reader for --replay-trace: auto (mmap for regular "
+                 "files), stream, or mmap");
   if (!Parser.parse(Argc, Argv))
     return 1;
   if (!RecordTrace.empty() && !ReplayTrace.empty()) {
     std::fprintf(stderr, "--record-trace and --replay-trace are exclusive\n");
+    return 1;
+  }
+  TraceReaderKind ReaderKind = TraceReaderKind::Auto;
+  if (!traceReaderKindFromName(ReaderName, ReaderKind)) {
+    std::fprintf(stderr, "unknown --reader '%s' (auto, stream, or mmap)\n",
+                 ReaderName.c_str());
     return 1;
   }
 
@@ -70,7 +80,7 @@ int main(int Argc, char **Argv) {
     // mid-measurement abort) and take the run parameters from its
     // metadata so the replay is bit-exact against the recorded run.
     TraceSummary Summary;
-    if (TraceStatus S = summarizeTrace(ReplayTrace, Summary); !S) {
+    if (TraceStatus S = summarizeTrace(ReplayTrace, Summary, ReaderKind); !S) {
       std::fprintf(stderr, "bad trace '%s': %s\n", ReplayTrace.c_str(),
                    S.describe().c_str());
       return 1;
@@ -187,7 +197,7 @@ int main(int Argc, char **Argv) {
     TraceReplayer Replayer;
     Options.ReplaySource = nullptr;
     if (!ReplayTrace.empty()) {
-      if (TraceStatus S = Replayer.open(ReplayTrace); !S) {
+      if (TraceStatus S = Replayer.open(ReplayTrace, ReaderKind); !S) {
         std::fprintf(stderr, "cannot replay '%s': %s\n", ReplayTrace.c_str(),
                      S.describe().c_str());
         return 1;

@@ -1,8 +1,28 @@
 //===- support/Crc32.cpp - CRC-32 checksums -------------------------------===//
+//
+// Three tiers, fastest available wins, all computing the identical
+// IEEE 802.3 reflected CRC-32:
+//
+//  - PCLMULQDQ carry-less-multiply folding (x86-64 with CLMUL+SSE4.1,
+//    detected at runtime): ~1 byte/cycle/lane over 64-byte strides, the
+//    classic Intel "Fast CRC Computation Using PCLMULQDQ" kernel. This
+//    is what keeps frame verification out of the trace-replay profile —
+//    with a bytewise table the CRC pass costs more than decoding.
+//  - slice-by-8 table lookup (any platform): eight table lookups per
+//    8-byte chunk, independent enough to pipeline.
+//  - bytewise table lookup for tails and tiny inputs.
+//
+//===----------------------------------------------------------------------===//
 
 #include "support/Crc32.h"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define DDM_CRC32_CLMUL 1
+#endif
 
 using namespace ddm;
 
@@ -10,25 +30,164 @@ namespace {
 
 constexpr uint32_t Polynomial = 0xEDB88320u;
 
-constexpr std::array<uint32_t, 256> makeTable() {
-  std::array<uint32_t, 256> Table{};
+/// Slice-by-8 tables: Tables[0] is the classic bytewise table;
+/// Tables[K][B] is the CRC of byte B followed by K zero bytes.
+constexpr std::array<std::array<uint32_t, 256>, 8> makeTables() {
+  std::array<std::array<uint32_t, 256>, 8> T{};
   for (uint32_t I = 0; I < 256; ++I) {
     uint32_t C = I;
     for (int Bit = 0; Bit < 8; ++Bit)
       C = (C & 1) ? (C >> 1) ^ Polynomial : C >> 1;
-    Table[I] = C;
+    T[0][I] = C;
   }
-  return Table;
+  for (uint32_t K = 1; K < 8; ++K)
+    for (uint32_t I = 0; I < 256; ++I)
+      T[K][I] = (T[K - 1][I] >> 8) ^ T[0][T[K - 1][I] & 0xFF];
+  return T;
 }
 
-constexpr std::array<uint32_t, 256> Table = makeTable();
+constexpr std::array<std::array<uint32_t, 256>, 8> Tables = makeTables();
+
+/// Advances the raw (pre-complement) CRC register bytewise.
+inline uint32_t stepBytewise(const unsigned char *Bytes, size_t Length,
+                             uint32_t C) {
+  for (size_t I = 0; I < Length; ++I)
+    C = Tables[0][(C ^ Bytes[I]) & 0xFF] ^ (C >> 8);
+  return C;
+}
+
+/// Advances the raw CRC register 8 bytes per iteration (slice-by-8).
+uint32_t stepSlice8(const unsigned char *Bytes, size_t Length, uint32_t C) {
+  while (Length >= 8) {
+    uint64_t Chunk;
+    std::memcpy(&Chunk, Bytes, 8);
+#if __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    Chunk = __builtin_bswap64(Chunk);
+#endif
+    Chunk ^= C;
+    C = Tables[7][Chunk & 0xFF] ^ Tables[6][(Chunk >> 8) & 0xFF] ^
+        Tables[5][(Chunk >> 16) & 0xFF] ^ Tables[4][(Chunk >> 24) & 0xFF] ^
+        Tables[3][(Chunk >> 32) & 0xFF] ^ Tables[2][(Chunk >> 40) & 0xFF] ^
+        Tables[1][(Chunk >> 48) & 0xFF] ^ Tables[0][Chunk >> 56];
+    Bytes += 8;
+    Length -= 8;
+  }
+  return stepBytewise(Bytes, Length, C);
+}
+
+#ifdef DDM_CRC32_CLMUL
+
+/// PCLMULQDQ folding constants for the reflected CRC-32 polynomial
+/// (x^T mod P precomputed for the fold distances; see the Intel paper
+/// "Fast CRC Computation for Generic Polynomials Using PCLMULQDQ").
+alignas(16) const uint64_t K1K2[2] = {0x0154442bd4, 0x01c6e41596};
+alignas(16) const uint64_t K3K4[2] = {0x01751997d0, 0x00ccaa009e};
+alignas(16) const uint64_t K5K0[2] = {0x0163cd6124, 0x0000000000};
+alignas(16) const uint64_t PolyMu[2] = {0x01db710641, 0x01f7011641};
+
+/// Advances the raw CRC register over a multiple-of-16, >= 64 byte run.
+__attribute__((target("pclmul,sse4.1"))) uint32_t
+stepClmul(const unsigned char *Buf, size_t Len, uint32_t C) {
+  __m128i X0, X1, X2, X3, X4, X5, X6, X7, X8, Y5, Y6, Y7, Y8;
+
+  X1 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Buf + 0x00));
+  X2 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Buf + 0x10));
+  X3 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Buf + 0x20));
+  X4 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Buf + 0x30));
+  X1 = _mm_xor_si128(X1, _mm_cvtsi32_si128(static_cast<int>(C)));
+  X0 = _mm_load_si128(reinterpret_cast<const __m128i *>(K1K2));
+  Buf += 0x40;
+  Len -= 0x40;
+
+  // Parallel fold: four 128-bit lanes, 64 bytes per step.
+  while (Len >= 0x40) {
+    X5 = _mm_clmulepi64_si128(X1, X0, 0x00);
+    X6 = _mm_clmulepi64_si128(X2, X0, 0x00);
+    X7 = _mm_clmulepi64_si128(X3, X0, 0x00);
+    X8 = _mm_clmulepi64_si128(X4, X0, 0x00);
+    X1 = _mm_clmulepi64_si128(X1, X0, 0x11);
+    X2 = _mm_clmulepi64_si128(X2, X0, 0x11);
+    X3 = _mm_clmulepi64_si128(X3, X0, 0x11);
+    X4 = _mm_clmulepi64_si128(X4, X0, 0x11);
+    Y5 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Buf + 0x00));
+    Y6 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Buf + 0x10));
+    Y7 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Buf + 0x20));
+    Y8 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Buf + 0x30));
+    X1 = _mm_xor_si128(_mm_xor_si128(X1, X5), Y5);
+    X2 = _mm_xor_si128(_mm_xor_si128(X2, X6), Y6);
+    X3 = _mm_xor_si128(_mm_xor_si128(X3, X7), Y7);
+    X4 = _mm_xor_si128(_mm_xor_si128(X4, X8), Y8);
+    Buf += 0x40;
+    Len -= 0x40;
+  }
+
+  // Fold the four lanes into one.
+  X0 = _mm_load_si128(reinterpret_cast<const __m128i *>(K3K4));
+  X5 = _mm_clmulepi64_si128(X1, X0, 0x00);
+  X1 = _mm_clmulepi64_si128(X1, X0, 0x11);
+  X1 = _mm_xor_si128(X1, X2);
+  X1 = _mm_xor_si128(X1, X5);
+  X5 = _mm_clmulepi64_si128(X1, X0, 0x00);
+  X1 = _mm_clmulepi64_si128(X1, X0, 0x11);
+  X1 = _mm_xor_si128(X1, X3);
+  X1 = _mm_xor_si128(X1, X5);
+  X5 = _mm_clmulepi64_si128(X1, X0, 0x00);
+  X1 = _mm_clmulepi64_si128(X1, X0, 0x11);
+  X1 = _mm_xor_si128(X1, X4);
+  X1 = _mm_xor_si128(X1, X5);
+
+  // Remaining whole 16-byte chunks.
+  while (Len >= 0x10) {
+    X2 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Buf));
+    X5 = _mm_clmulepi64_si128(X1, X0, 0x00);
+    X1 = _mm_clmulepi64_si128(X1, X0, 0x11);
+    X1 = _mm_xor_si128(X1, X2);
+    X1 = _mm_xor_si128(X1, X5);
+    Buf += 0x10;
+    Len -= 0x10;
+  }
+
+  // 128 -> 64 bits.
+  X2 = _mm_clmulepi64_si128(X1, X0, 0x10);
+  X3 = _mm_setr_epi32(~0, 0, ~0, 0);
+  X1 = _mm_srli_si128(X1, 8);
+  X1 = _mm_xor_si128(X1, X2);
+  X0 = _mm_loadl_epi64(reinterpret_cast<const __m128i *>(K5K0));
+  X2 = _mm_srli_si128(X1, 4);
+  X1 = _mm_and_si128(X1, X3);
+  X1 = _mm_clmulepi64_si128(X1, X0, 0x00);
+  X1 = _mm_xor_si128(X1, X2);
+
+  // Barrett reduction 64 -> 32 bits.
+  X0 = _mm_load_si128(reinterpret_cast<const __m128i *>(PolyMu));
+  X2 = _mm_and_si128(X1, X3);
+  X2 = _mm_clmulepi64_si128(X2, X0, 0x10);
+  X2 = _mm_and_si128(X2, X3);
+  X2 = _mm_clmulepi64_si128(X2, X0, 0x00);
+  X1 = _mm_xor_si128(X1, X2);
+  return static_cast<uint32_t>(_mm_extract_epi32(X1, 1));
+}
+
+bool haveClmul() {
+  static const bool Have =
+      __builtin_cpu_supports("pclmul") && __builtin_cpu_supports("sse4.1");
+  return Have;
+}
+
+#endif // DDM_CRC32_CLMUL
 
 } // namespace
 
 uint32_t ddm::crc32(const void *Data, size_t Length, uint32_t Seed) {
   const auto *Bytes = static_cast<const unsigned char *>(Data);
   uint32_t C = ~Seed;
-  for (size_t I = 0; I < Length; ++I)
-    C = Table[(C ^ Bytes[I]) & 0xFF] ^ (C >> 8);
-  return ~C;
+#ifdef DDM_CRC32_CLMUL
+  if (Length >= 64 && haveClmul()) {
+    size_t Chunk = Length & ~size_t(15); // kernel wants whole 16B blocks
+    C = stepClmul(Bytes, Chunk, C);
+    Bytes += Chunk;
+    Length -= Chunk;
+  }
+#endif
+  return ~stepSlice8(Bytes, Length, C);
 }

@@ -1,0 +1,495 @@
+//===- trace/MappedTraceReader.cpp - mmap zero-copy trace reader ----------===//
+
+#include "trace/MappedTraceReader.h"
+
+#include "trace/TraceCodec.h"
+#include "support/Crc32.h"
+
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <limits>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace ddm;
+
+// The hot loop composes each event as four 64-bit words and stores all
+// 32 bytes at once; that packing is only valid against this exact field
+// layout (little-endian builds only — big-endian falls back to
+// field-wise stores).
+#if __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+static_assert(sizeof(TraceEvent) == 32, "TraceEvent layout changed");
+static_assert(offsetof(TraceEvent, Id) == 4 &&
+                  offsetof(TraceEvent, Size) == 8 &&
+                  offsetof(TraceEvent, OldSize) == 16 &&
+                  offsetof(TraceEvent, Alignment) == 24 &&
+                  offsetof(TraceEvent, IsWrite) == 28,
+              "TraceEvent layout changed");
+#endif
+
+namespace {
+
+/// Little-endian u32 load at an arbitrary (possibly unaligned) offset.
+inline uint32_t loadU32(const char *P) {
+  uint32_t V;
+  __builtin_memcpy(&V, P, sizeof(V));
+#if __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  V = __builtin_bswap32(V);
+#endif
+  return V;
+}
+
+/// Inline varint decoder over [P, End); advances P on success. Accepts
+/// and rejects exactly what readVarint() accepts and rejects (over-long
+/// >10-byte encodings and 64-bit overflow are errors), with a branch-free
+/// fast path for the 1-byte values that dominate delta streams.
+inline bool fastVarint(const uint8_t *&P, const uint8_t *End, uint64_t &V) {
+  if (P < End && !(*P & 0x80)) {
+    V = *P++;
+    return true;
+  }
+  V = 0;
+  for (unsigned Shift = 0; Shift < 70; Shift += 7) {
+    if (P >= End)
+      return false; // truncated varint
+    uint8_t Byte = *P++;
+    if (Shift == 63 && (Byte & 0x7E))
+      return false; // overflows 64 bits
+    if (Shift >= 63 && (Byte & 0x80))
+      return false; // over-long encoding
+    V |= static_cast<uint64_t>(Byte & 0x7F) << Shift;
+    if (!(Byte & 0x80))
+      return true;
+  }
+  return false;
+}
+
+inline bool fastZigzag(const uint8_t *&P, const uint8_t *End, int64_t &V) {
+  uint64_t Raw;
+  if (!fastVarint(P, End, Raw))
+    return false;
+  V = static_cast<int64_t>((Raw >> 1) ^ (~(Raw & 1) + 1));
+  return true;
+}
+
+constexpr uint8_t OpMask = 0x07;
+constexpr uint8_t WriteFlag = 0x08;
+
+/// One-event decode, mirroring TraceEventDecoder::decode() bit for bit
+/// (same accepted inputs, same rejections, same diagnostics) but with the
+/// varint primitives inlined into this TU — the per-event win that makes
+/// the batched path several times faster than the streaming reader's
+/// per-event API.
+bool decodeOneFast(const uint8_t *&P, const uint8_t *End, uint32_t Version,
+                   int64_t &PrevAllocId, int64_t &PrevWork, TraceEvent &E,
+                   std::string &Error) {
+  if (P >= End) {
+    Error = "event starts past the end of the block";
+    return false;
+  }
+  uint8_t Tag = *P++;
+  E = TraceEvent();
+  if (Tag == static_cast<uint8_t>(TraceOp::Calloc) ||
+      Tag == static_cast<uint8_t>(TraceOp::AllocAligned)) {
+    if (Version < 2) {
+      Error = "version-2 event tag " + std::to_string(Tag) +
+              " in a version-" + std::to_string(Version) + " trace";
+      return false;
+    }
+    E.Op = static_cast<TraceOp>(Tag);
+  } else if ((Tag & ~(OpMask | WriteFlag)) != 0 || (Tag & OpMask) > 6) {
+    Error = "unknown event tag " + std::to_string(Tag);
+    return false;
+  } else {
+    E.Op = static_cast<TraceOp>(Tag & OpMask);
+    E.IsWrite = (Tag & WriteFlag) != 0;
+  }
+
+  auto DecodeId = [&](int64_t Base, bool Subtract) {
+    int64_t Delta;
+    if (!fastZigzag(P, End, Delta)) {
+      Error = "truncated or over-long id varint";
+      return false;
+    }
+    // Unsigned arithmetic: a hostile Delta spans the full int64 range, so
+    // the sum may wrap — but Base is in [0, 2^32], so every wrapped (and
+    // every negative) result lands above UINT32_MAX and is rejected.
+    uint64_t Id = Subtract ? static_cast<uint64_t>(Base) -
+                                 static_cast<uint64_t>(Delta)
+                           : static_cast<uint64_t>(Base) +
+                                 static_cast<uint64_t>(Delta);
+    if (Id > std::numeric_limits<uint32_t>::max()) {
+      Error = "decoded object id out of range";
+      return false;
+    }
+    E.Id = static_cast<uint32_t>(Id);
+    return true;
+  };
+  auto Varint = [&](uint64_t &Value, const char *What) {
+    if (fastVarint(P, End, Value))
+      return true;
+    Error = std::string("truncated or over-long ") + What + " varint";
+    return false;
+  };
+
+  switch (E.Op) {
+  case TraceOp::Alloc:
+  case TraceOp::AllocAligned: {
+    if (!DecodeId(PrevAllocId + 1, /*Subtract=*/false))
+      return false;
+    uint64_t Alignment;
+    if (!Varint(E.Size, "size") || !Varint(Alignment, "alignment"))
+      return false;
+    if (Alignment > std::numeric_limits<uint32_t>::max()) {
+      Error = "alignment out of range";
+      return false;
+    }
+    E.Alignment = static_cast<uint32_t>(Alignment);
+    PrevAllocId = static_cast<int64_t>(E.Id);
+    break;
+  }
+  case TraceOp::Calloc:
+    if (!DecodeId(PrevAllocId + 1, /*Subtract=*/false) ||
+        !Varint(E.Size, "size"))
+      return false;
+    PrevAllocId = static_cast<int64_t>(E.Id);
+    break;
+  case TraceOp::Free:
+  case TraceOp::Touch:
+    if (!DecodeId(PrevAllocId, /*Subtract=*/true))
+      return false;
+    break;
+  case TraceOp::Realloc:
+    if (!DecodeId(PrevAllocId, /*Subtract=*/true) ||
+        !Varint(E.OldSize, "old size") || !Varint(E.Size, "new size"))
+      return false;
+    break;
+  case TraceOp::Work: {
+    int64_t Delta;
+    if (!fastZigzag(P, End, Delta)) {
+      Error = "truncated or over-long work varint";
+      return false;
+    }
+    uint64_t Instr =
+        static_cast<uint64_t>(PrevWork) + static_cast<uint64_t>(Delta);
+    if (Instr > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+      Error = "work instruction count out of range";
+      return false;
+    }
+    E.Size = Instr;
+    PrevWork = static_cast<int64_t>(Instr);
+    break;
+  }
+  case TraceOp::StateTouch:
+    if (!Varint(E.Size, "offset"))
+      return false;
+    break;
+  case TraceOp::EndTx:
+    PrevAllocId = -1;
+    break;
+  }
+  return true;
+}
+
+/// Unchecked-bounds varint for the hot loop: callers guarantee at least
+/// MaxEventBytes of readable payload past P (the SafeEnd margin), so only
+/// the *content* rules remain — over-long >10-byte encodings and 64-bit
+/// overflow are rejected exactly as readVarint() rejects them.
+inline bool rawVarint(const uint8_t *&P, uint64_t &V) {
+  // The first four lengths are unrolled straight-line: the byte loads are
+  // independent of each other (only the final P bump is serial), where a
+  // byte-at-a-time loop chains every iteration through V and the shift
+  // counter. Work deltas and sizes live in the 2..4-byte range.
+  uint64_t B0 = P[0];
+  if (!(B0 & 0x80)) {
+    V = B0;
+    P += 1;
+    return true;
+  }
+  uint64_t B1 = P[1];
+  if (!(B1 & 0x80)) {
+    V = (B0 & 0x7F) | B1 << 7;
+    P += 2;
+    return true;
+  }
+  uint64_t B2 = P[2];
+  if (!(B2 & 0x80)) {
+    V = (B0 & 0x7F) | (B1 & 0x7F) << 7 | B2 << 14;
+    P += 3;
+    return true;
+  }
+  uint64_t B3 = P[3];
+  if (!(B3 & 0x80)) {
+    V = (B0 & 0x7F) | (B1 & 0x7F) << 7 | (B2 & 0x7F) << 14 | B3 << 21;
+    P += 4;
+    return true;
+  }
+  V = (B0 & 0x7F) | (B1 & 0x7F) << 7 | (B2 & 0x7F) << 14 | (B3 & 0x7F) << 21;
+  P += 4;
+  uint64_t Byte;
+  unsigned Shift = 28;
+  do {
+    Byte = *P++;
+    if (Shift == 63 && (Byte & 0x7E))
+      return false; // overflows 64 bits
+    if (Shift >= 63 && (Byte & 0x80))
+      return false; // over-long encoding
+    V |= (Byte & 0x7F) << Shift;
+    Shift += 7;
+  } while (Byte & 0x80);
+  return true;
+}
+
+inline bool rawZigzag(const uint8_t *&P, int64_t &V) {
+  uint64_t Raw;
+  if (!rawVarint(P, Raw))
+    return false;
+  V = static_cast<int64_t>((Raw >> 1) ^ (~(Raw & 1) + 1));
+  return true;
+}
+
+/// Largest possible encoded event: 1 tag byte + three 10-byte varints
+/// (realloc: id delta, old size, new size). The hot loop runs while at
+/// least this many bytes remain, so it needs no per-byte bounds checks.
+constexpr size_t MaxEventBytes = 32;
+
+/// The decode-loop instantiation (MappedDecodeLoop.inc): a single
+/// portable threaded-code build (see the .inc header for why the
+/// alternatives — central switch, cmov-routed uniform decode, masked
+/// SIMD varint extraction — all measured slower on real tag streams).
+#define DDM_GLUE2(A, B) A##B
+#define DDM_GLUE(A, B) DDM_GLUE2(A, B)
+
+#define DDM_DECODE_FN decodeBlockThreaded
+#include "trace/MappedDecodeLoop.inc"
+#undef DDM_DECODE_FN
+
+/// Decodes up to EventCount events from one frame payload into Out.
+/// Returns the number decoded; a short count with a non-empty Error is a
+/// content failure at that index. Cursor lands one past the last byte
+/// consumed (the caller checks for trailing bytes).
+size_t decodeBlock(const uint8_t *Payload, size_t PayloadLen,
+                   uint32_t EventCount, uint32_t Version, int64_t &PrevAllocId,
+                   int64_t &PrevWork, TraceEvent *Out, const uint8_t *&Cursor,
+                   std::string &Error) {
+  return decodeBlockThreaded(Payload, PayloadLen, EventCount, Version,
+                             PrevAllocId, PrevWork, Out, Cursor, Error);
+}
+
+} // namespace
+
+MappedTraceReader::~MappedTraceReader() { unmap(); }
+
+void MappedTraceReader::unmap() {
+  if (Base && Size) // zero-byte files carry a static placeholder base
+    munmap(const_cast<char *>(Base), Size);
+  Base = nullptr;
+}
+
+TraceStatus MappedTraceReader::fail(std::string Message) {
+  Status = TraceStatus::error(std::move(Message), FrameOffset, EventIdx);
+  Done = true;
+  return Status;
+}
+
+TraceStatus MappedTraceReader::open(const std::string &Path) {
+  if (Base)
+    return TraceStatus::error("trace reader is already open");
+  // O_NONBLOCK: a no-op for the regular files this reader accepts, but it
+  // keeps open(2) from blocking forever on a writer-less FIFO — the
+  // not-a-regular-file diagnostic below must be reachable for any path.
+  int Fd = ::open(Path.c_str(), O_RDONLY | O_NONBLOCK | O_CLOEXEC);
+  if (Fd < 0)
+    return TraceStatus::error("cannot open '" + Path +
+                              "': " + std::strerror(errno));
+  struct stat St;
+  if (fstat(Fd, &St) != 0) {
+    TraceStatus S = TraceStatus::error("cannot stat '" + Path +
+                                       "': " + std::strerror(errno));
+    ::close(Fd);
+    return S;
+  }
+  if (!S_ISREG(St.st_mode)) {
+    ::close(Fd);
+    return TraceStatus::error("'" + Path +
+                              "' is not a seekable regular file; use the "
+                              "streaming reader");
+  }
+
+  Status = TraceStatus::success();
+  Done = false;
+  EventIdx = 0;
+  FrameOffset = 0;
+  PrevAllocId = -1;
+  PrevWork = 0;
+  HavePending = false;
+  Version = TraceVersion;
+  Size = static_cast<size_t>(St.st_size);
+  Pos = 0;
+  FrameP = FrameEnd = nullptr;
+  FrameEventsLeft = 0;
+
+  if (Size > 0) {
+    int Flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+    Flags |= MAP_POPULATE; // batch the page faults up front
+#endif
+    void *Map = mmap(nullptr, Size, PROT_READ, Flags, Fd, 0);
+    if (Map == MAP_FAILED) {
+      TraceStatus S = TraceStatus::error("cannot mmap '" + Path +
+                                         "': " + std::strerror(errno));
+      ::close(Fd);
+      Size = 0;
+      return S;
+    }
+    Base = static_cast<const char *>(Map);
+    // Best-effort: traces are decoded front to back exactly once.
+    madvise(Map, Size, MADV_SEQUENTIAL);
+  } else {
+    // A zero-byte file cannot be mapped; give it a non-null base so the
+    // bounds checks below produce the normal truncation diagnostics.
+    static const char EmptyBase = 0;
+    Base = &EmptyBase;
+  }
+  ::close(Fd); // the mapping keeps the pages alive
+
+  if (Size < sizeof(TraceMagic) + 4)
+    return fail("file too short for trace header");
+  if (std::memcmp(Base, TraceMagic, sizeof(TraceMagic)) != 0)
+    return fail("bad magic: not a ddm trace file");
+  Version = loadU32(Base + sizeof(TraceMagic));
+  if (Version < TraceVersionMin || Version > TraceVersion)
+    return fail("unsupported trace version " + std::to_string(Version) +
+                " (reader supports " + std::to_string(TraceVersionMin) +
+                ".." + std::to_string(TraceVersion) + ")");
+  Pos = sizeof(TraceMagic) + 4;
+
+  // The first frame is always metadata (event-count 0).
+  FrameOffset = Pos;
+  if (Pos == Size)
+    return fail("missing metadata frame");
+  if (Size - Pos < 12)
+    return fail("truncated frame header");
+  uint32_t PayloadLen = loadU32(Base + Pos);
+  uint32_t EventCount = loadU32(Base + Pos + 4);
+  uint32_t Crc = loadU32(Base + Pos + 8);
+  if (PayloadLen > TraceMaxBlockBytes)
+    return fail("frame claims " + std::to_string(PayloadLen) +
+                " payload bytes (limit " + std::to_string(TraceMaxBlockBytes) +
+                ")");
+  if (Size - (Pos + 12) < PayloadLen)
+    return fail("truncated frame payload (declared " +
+                std::to_string(PayloadLen) + " bytes)");
+  const char *Payload = Base + Pos + 12;
+  if (crc32(Payload, PayloadLen) != Crc)
+    return fail("CRC-32 mismatch: frame payload is corrupted");
+  if (EventCount != 0)
+    return fail("first frame is not a metadata frame");
+  std::string Error;
+  if (!decodeTraceMeta(Payload, PayloadLen, Meta, Error))
+    return fail("bad metadata frame: " + Error);
+  Pos += 12 + PayloadLen;
+  return Status;
+}
+
+TraceInput::Next MappedTraceReader::nextBatch(TraceEventSpan &Span) {
+  Span = TraceEventSpan();
+  if (Done)
+    return Status.ok() ? Next::End : Next::Error;
+  if (HavePending) {
+    // The error that followed the previously delivered block prefix.
+    HavePending = false;
+    Status = PendingStatus;
+    Done = true;
+    return Next::Error;
+  }
+
+  // Outer loop advances frames; the decode step at the bottom hands out
+  // at most BatchCap events per call, so one 64 KiB frame spans several
+  // calls and the output span always fits in L1. Genuinely empty frames
+  // (0 events over 0 bytes) are skipped rather than surfaced as empty
+  // spans.
+  for (;;) {
+    if (FrameEventsLeft == 0) {
+      if (FrameP != FrameEnd) {
+        // The finished frame (or a 0-event frame) still has payload the
+        // declared event count never consumed.
+        fail("frame payload has " + std::to_string(FrameEnd - FrameP) +
+             " trailing bytes beyond its declared events");
+        return Next::Error;
+      }
+      FrameOffset = Pos;
+      if (Pos == Size) {
+        Done = true;
+        return Next::End; // clean EOF: only legal on a frame boundary
+      }
+      if (Size - Pos < 12) {
+        fail("truncated frame header");
+        return Next::Error;
+      }
+      uint32_t PayloadLen = loadU32(Base + Pos);
+      uint32_t EventCount = loadU32(Base + Pos + 4);
+      uint32_t Crc = loadU32(Base + Pos + 8);
+      if (PayloadLen > TraceMaxBlockBytes) {
+        fail("frame claims " + std::to_string(PayloadLen) +
+             " payload bytes (limit " + std::to_string(TraceMaxBlockBytes) +
+             ")");
+        return Next::Error;
+      }
+      if (Size - (Pos + 12) < PayloadLen) {
+        fail("truncated frame payload (declared " + std::to_string(PayloadLen) +
+             " bytes)");
+        return Next::Error;
+      }
+      const uint8_t *Payload =
+          reinterpret_cast<const uint8_t *>(Base + Pos + 12);
+      if (crc32(Payload, PayloadLen) != Crc) {
+        fail("CRC-32 mismatch: frame payload is corrupted");
+        return Next::Error;
+      }
+      Pos += 12 + PayloadLen;
+      FrameP = Payload;
+      FrameEnd = Payload + PayloadLen;
+      FrameEventsLeft = EventCount;
+      continue; // re-enter: decode below, or skip if the frame is empty
+    }
+
+    size_t Want = FrameEventsLeft < BatchCap ? FrameEventsLeft : BatchCap;
+    if (Batch.size() < Want)
+      Batch.resize(Want);
+    std::string Error;
+    size_t Decoded = decodeBlock(FrameP, static_cast<size_t>(FrameEnd - FrameP),
+                                 static_cast<uint32_t>(Want), Version,
+                                 PrevAllocId, PrevWork, Batch.data(), FrameP,
+                                 Error);
+    FrameEventsLeft -= static_cast<uint32_t>(Decoded);
+
+    if (Decoded < Want) {
+      PendingStatus =
+          TraceStatus::error(std::move(Error), FrameOffset, EventIdx + Decoded);
+      HavePending = true;
+    } else if (FrameEventsLeft == 0 && FrameP != FrameEnd) {
+      PendingStatus = TraceStatus::error(
+          "frame payload has " + std::to_string(FrameEnd - FrameP) +
+              " trailing bytes beyond its declared events",
+          FrameOffset, EventIdx + Decoded);
+      HavePending = true;
+      FrameP = FrameEnd; // consumed: don't re-report on the next call
+    }
+
+    if (Decoded == 0) {
+      HavePending = false;
+      Status = PendingStatus;
+      Done = true;
+      return Next::Error;
+    }
+    Span.Data = Batch.data();
+    Span.Size = Decoded;
+    EventIdx += Decoded;
+    return Next::Event;
+  }
+}

@@ -1,0 +1,76 @@
+//===- trace/TraceInput.cpp - Batched trace event source ------------------===//
+
+#include "trace/TraceInput.h"
+
+#include "trace/MappedTraceReader.h"
+#include "trace/TraceReader.h"
+
+#include <sys/stat.h>
+
+using namespace ddm;
+
+bool ddm::traceReaderKindFromName(const std::string &Name,
+                                  TraceReaderKind &Kind) {
+  if (Name == "auto")
+    Kind = TraceReaderKind::Auto;
+  else if (Name == "stream" || Name == "streaming")
+    Kind = TraceReaderKind::Streaming;
+  else if (Name == "mmap" || Name == "mapped")
+    Kind = TraceReaderKind::Mapped;
+  else
+    return false;
+  return true;
+}
+
+const char *ddm::traceReaderKindName(TraceReaderKind Kind) {
+  switch (Kind) {
+  case TraceReaderKind::Auto:
+    return "auto";
+  case TraceReaderKind::Streaming:
+    return "stream";
+  case TraceReaderKind::Mapped:
+    return "mmap";
+  }
+  return "auto";
+}
+
+std::unique_ptr<TraceInput> ddm::openTraceInput(const std::string &Path,
+                                                TraceReaderKind Kind,
+                                                TraceStatus &Status) {
+  if (Kind == TraceReaderKind::Auto) {
+    // Mapped only pays off (and only works) for seekable regular files;
+    // pipes, FIFOs and character devices go straight to the streaming
+    // reader without burning an open() on the mapped path.
+    struct stat St;
+    Kind = (::stat(Path.c_str(), &St) == 0 && S_ISREG(St.st_mode))
+               ? TraceReaderKind::Mapped
+               : TraceReaderKind::Streaming;
+    if (Kind == TraceReaderKind::Mapped) {
+      auto Mapped = std::make_unique<MappedTraceReader>();
+      Status = Mapped->open(Path);
+      if (Status.ok())
+        return Mapped;
+      // A malformed trace is malformed under either reader — only retry
+      // the streaming path when mapping itself failed (e.g. mmap refused,
+      // or the file changed type under us), which the streaming reader
+      // may still be able to serve.
+      if (!Status.Message.empty() && Status.Message.find("mmap") == std::string::npos &&
+          Status.Message.find("not a seekable regular file") == std::string::npos)
+        return nullptr;
+      Kind = TraceReaderKind::Streaming;
+    }
+    auto Stream = std::make_unique<TraceReader>();
+    Status = Stream->open(Path);
+    return Status.ok() ? std::move(Stream) : nullptr;
+  }
+
+  if (Kind == TraceReaderKind::Mapped) {
+    auto Mapped = std::make_unique<MappedTraceReader>();
+    Status = Mapped->open(Path);
+    return Status.ok() ? std::move(Mapped) : nullptr;
+  }
+
+  auto Stream = std::make_unique<TraceReader>();
+  Status = Stream->open(Path);
+  return Status.ok() ? std::move(Stream) : nullptr;
+}

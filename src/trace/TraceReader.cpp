@@ -7,11 +7,14 @@
 #include <cerrno>
 #include <cstring>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 using namespace ddm;
 
 TraceReader::~TraceReader() {
-  if (File)
-    std::fclose(File);
+  if (Fd >= 0)
+    ::close(Fd);
 }
 
 TraceStatus TraceReader::fail(std::string Message) {
@@ -20,23 +23,51 @@ TraceStatus TraceReader::fail(std::string Message) {
   return Status;
 }
 
+size_t TraceReader::readFully(void *Dst, size_t Size) {
+  char *Out = static_cast<char *>(Dst);
+  size_t Got = 0;
+  while (Got < Size) {
+    ssize_t N = ::read(Fd, Out + Got, Size - Got);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // surfaces as a truncation diagnostic at the caller
+    }
+    if (N == 0)
+      break;
+    Got += static_cast<size_t>(N);
+  }
+  return Got;
+}
+
+void TraceReader::reserveBlock(size_t Size) {
+  if (Size <= BlockCap)
+    return;
+  // Fresh uninitialized storage: the frame is read() straight into it and
+  // decoded in place, so zero-filling (as std::string::resize would) or
+  // copying the old contents would both be pure waste.
+  Block.reset(new char[Size]);
+  BlockCap = Size;
+}
+
 TraceStatus TraceReader::open(const std::string &Path) {
-  if (File)
+  if (Fd >= 0)
     return TraceStatus::error("trace reader is already open");
-  File = std::fopen(Path.c_str(), "rb");
-  if (!File)
+  Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (Fd < 0)
     return TraceStatus::error("cannot open '" + Path +
                               "': " + std::strerror(errno));
   Status = TraceStatus::success();
   Done = false;
   EventIdx = 0;
   FileOffset = 0;
+  BlockSize = 0;
   BlockPos = 0;
   BlockLeft = 0;
   Version = TraceVersion;
 
   char Header[sizeof(TraceMagic) + 4];
-  if (std::fread(Header, 1, sizeof(Header), File) != sizeof(Header))
+  if (readFully(Header, sizeof(Header)) != sizeof(Header))
     return fail("file too short for trace header");
   if (std::memcmp(Header, TraceMagic, sizeof(TraceMagic)) != 0)
     return fail("bad magic: not a ddm trace file");
@@ -55,9 +86,9 @@ TraceStatus TraceReader::open(const std::string &Path) {
   if (BlockLeft != 0)
     return fail("first frame is not a metadata frame");
   std::string Error;
-  if (!decodeTraceMeta(Block.data(), Block.size(), Meta, Error))
+  if (!decodeTraceMeta(Block.get(), BlockSize, Meta, Error))
     return fail("bad metadata frame: " + Error);
-  Block.clear();
+  BlockSize = 0;
   BlockPos = 0;
   return Status;
 }
@@ -71,8 +102,8 @@ TraceReader::Next TraceReader::next(TraceEvent &E) {
   // events with BlockLeft underflowed. Looping re-runs the trailing-bytes
   // check on it (and skips genuinely empty frames).
   while (BlockLeft == 0) {
-    if (BlockPos != Block.size()) {
-      fail("frame payload has " + std::to_string(Block.size() - BlockPos) +
+    if (BlockPos != BlockSize) {
+      fail("frame payload has " + std::to_string(BlockSize - BlockPos) +
            " trailing bytes beyond its declared events");
       return Next::Error;
     }
@@ -87,7 +118,7 @@ TraceReader::Next TraceReader::next(TraceEvent &E) {
     }
   }
 
-  if (!Decoder.decode(Block.data(), Block.size(), BlockPos, E)) {
+  if (!Decoder.decode(Block.get(), BlockSize, BlockPos, E)) {
     fail(Decoder.errorMessage());
     return Next::Error;
   }
@@ -96,11 +127,68 @@ TraceReader::Next TraceReader::next(TraceEvent &E) {
   return Next::Event;
 }
 
+TraceReader::Next TraceReader::nextBatch(TraceEventSpan &Span) {
+  Span = TraceEventSpan();
+  if (HavePending) {
+    // The previous batch ended in a decode failure past a valid prefix;
+    // the prefix has been delivered, now the error surfaces.
+    HavePending = false;
+    Status = PendingStatus;
+    Done = true;
+    return Next::Error;
+  }
+  if (Done)
+    return Status.ok() ? Next::End : Next::Error;
+
+  // Same loop as next(): zero-event frames get their trailing-bytes check
+  // and are then skipped.
+  while (BlockLeft == 0) {
+    if (BlockPos != BlockSize) {
+      fail("frame payload has " + std::to_string(BlockSize - BlockPos) +
+           " trailing bytes beyond its declared events");
+      return Next::Error;
+    }
+    switch (loadBlock()) {
+    case Load::End:
+      Done = true;
+      return Next::End;
+    case Load::Error:
+      return Next::Error;
+    case Load::Block:
+      break;
+    }
+  }
+
+  size_t Count = BlockLeft;
+  if (Batch.size() < Count)
+    Batch.resize(Count);
+  size_t Decoded = 0;
+  while (Decoded < Count &&
+         Decoder.decode(Block.get(), BlockSize, BlockPos, Batch[Decoded]))
+    ++Decoded;
+  BlockLeft -= static_cast<uint32_t>(Decoded);
+  if (Decoded < Count) {
+    TraceStatus Bad = TraceStatus::error(Decoder.errorMessage(), BlockOffset,
+                                         EventIdx + Decoded);
+    if (Decoded == 0) {
+      Status = Bad;
+      Done = true;
+      return Next::Error;
+    }
+    HavePending = true;
+    PendingStatus = Bad;
+  }
+  EventIdx += Decoded;
+  Span.Data = Batch.data();
+  Span.Size = Decoded;
+  return Next::Event;
+}
+
 TraceReader::Load TraceReader::loadBlock() {
   BlockOffset = FileOffset;
   char Header[12];
-  size_t Got = std::fread(Header, 1, sizeof(Header), File);
-  if (Got == 0 && std::feof(File))
+  size_t Got = readFully(Header, sizeof(Header));
+  if (Got == 0)
     return Load::End; // clean EOF: only legal on a frame boundary
   if (Got != sizeof(Header)) {
     fail("truncated frame header");
@@ -116,18 +204,18 @@ TraceReader::Load TraceReader::loadBlock() {
          " payload bytes (limit " + std::to_string(TraceMaxBlockBytes) + ")");
     return Load::Error;
   }
-  Block.resize(PayloadLen);
-  if (PayloadLen &&
-      std::fread(Block.data(), 1, PayloadLen, File) != PayloadLen) {
+  reserveBlock(PayloadLen);
+  if (PayloadLen && readFully(Block.get(), PayloadLen) != PayloadLen) {
     fail("truncated frame payload (declared " + std::to_string(PayloadLen) +
          " bytes)");
     return Load::Error;
   }
-  if (crc32(Block.data(), Block.size()) != Crc) {
+  if (crc32(Block.get(), PayloadLen) != Crc) {
     fail("CRC-32 mismatch: frame payload is corrupted");
     return Load::Error;
   }
   FileOffset += sizeof(Header) + PayloadLen;
+  BlockSize = PayloadLen;
   BlockPos = 0;
   BlockLeft = EventCount;
   return Load::Block;

@@ -1,12 +1,23 @@
 //===- trace/TraceReader.h - Streaming trace file reader -------*- C++ -*-===//
 ///
 /// \file
-/// Streams TraceEvents out of a `.ddmtrc` container. Holds exactly one
+/// Streams TraceEvents out of a `.ddmtrc` container through a plain file
+/// descriptor — the reader that works on pipes, FIFOs and /dev/stdin,
+/// where the mmap reader (MappedTraceReader.h) cannot. Holds exactly one
 /// CRC-verified block in memory at a time, so arbitrarily large traces
-/// read in O(1) space. All corruption (bad magic, unsupported version,
-/// truncated frame, CRC mismatch, malformed varint, event-count lies)
-/// surfaces as a TraceStatus diagnostic carrying the byte offset and
-/// event index — never an exception or abort.
+/// read in O(1) space. The block buffer is raw grow-only storage: frames
+/// are read() straight into it and decoded in place, with no stdio
+/// buffering layer and no per-frame zero-fill of the payload bytes.
+///
+/// Two consumption APIs share one cursor and may be mixed freely:
+/// per-event next() (the legacy interface, and the decode-throughput
+/// baseline bench_replay_throughput measures against) and the TraceInput
+/// nextBatch() span API the replayer uses.
+///
+/// All corruption (bad magic, unsupported version, truncated frame, CRC
+/// mismatch, malformed varint, event-count lies) surfaces as a
+/// TraceStatus diagnostic carrying the byte offset and event index —
+/// never an exception or abort.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,24 +27,19 @@
 #include "trace/TraceCodec.h"
 #include "trace/TraceEvent.h"
 #include "trace/TraceFormat.h"
+#include "trace/TraceInput.h"
 
 #include <cstdint>
-#include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace ddm {
 
-class TraceReader {
+class TraceReader final : public TraceInput {
 public:
-  /// Outcome of next().
-  enum class Next {
-    Event, ///< \p E was filled in.
-    End,   ///< Clean end of trace (EOF on a frame boundary).
-    Error, ///< Malformed input; see status().
-  };
-
   TraceReader() = default;
-  ~TraceReader();
+  ~TraceReader() override;
 
   TraceReader(const TraceReader &) = delete;
   TraceReader &operator=(const TraceReader &) = delete;
@@ -42,33 +48,45 @@ public:
   TraceStatus open(const std::string &Path);
 
   /// Provenance decoded from the meta frame (valid after open()).
-  const TraceMeta &meta() const { return Meta; }
+  const TraceMeta &meta() const override { return Meta; }
 
   /// Container format version of the open file (valid after open()).
-  uint32_t version() const { return Version; }
+  uint32_t version() const override { return Version; }
 
   /// Decodes the next event into \p E.
   Next next(TraceEvent &E);
 
-  /// The diagnostic of the first failure (success-valued otherwise).
-  const TraceStatus &status() const { return Status; }
+  /// Decodes the rest of the current block in one go; see TraceInput.
+  Next nextBatch(TraceEventSpan &Span) override;
 
-  /// Zero-based index of the next event next() will produce.
-  uint64_t eventIndex() const { return EventIdx; }
+  /// The diagnostic of the first failure (success-valued otherwise).
+  const TraceStatus &status() const override { return Status; }
+
+  /// Zero-based index of the next event next()/nextBatch() will produce.
+  uint64_t eventIndex() const override { return EventIdx; }
 
   /// File offset of the frame currently being decoded (diagnostics).
-  uint64_t byteOffset() const { return BlockOffset; }
+  uint64_t byteOffset() const override { return BlockOffset; }
+
+  const char *readerName() const override { return "stream"; }
 
 private:
   enum class Load { Block, End, Error };
   Load loadBlock();
   TraceStatus fail(std::string Message);
+  /// read()s exactly \p Size bytes into \p Dst unless EOF or an error cuts
+  /// it short; returns the byte count actually read.
+  size_t readFully(void *Dst, size_t Size);
+  /// Grow-only (never shrinking, never zero-filling) block storage.
+  void reserveBlock(size_t Size);
 
-  FILE *File = nullptr;
+  int Fd = -1;
   TraceMeta Meta;
   uint32_t Version = TraceVersion;
   TraceEventDecoder Decoder;
-  std::string Block;      ///< Current block payload.
+  std::unique_ptr<char[]> Block; ///< Current block payload (raw storage).
+  size_t BlockCap = 0;    ///< Allocated bytes of Block.
+  size_t BlockSize = 0;   ///< Payload bytes of the current frame.
   size_t BlockPos = 0;    ///< Decode cursor within Block.
   uint32_t BlockLeft = 0; ///< Events the current frame still owes.
   uint64_t FileOffset = 0; ///< Bytes consumed from the file so far.
@@ -76,6 +94,10 @@ private:
   uint64_t EventIdx = 0;
   TraceStatus Status;
   bool Done = false;
+
+  std::vector<TraceEvent> Batch; ///< nextBatch() decode target (reused).
+  bool HavePending = false;      ///< Error follows the delivered prefix.
+  TraceStatus PendingStatus;
 };
 
 } // namespace ddm

@@ -7,20 +7,41 @@
 using namespace ddm;
 
 TraceStatus TraceReplayer::fail(std::string Message) {
-  // The offending event is the one just decoded: index eventIndex()-1.
-  Status = TraceStatus::error(std::move(Message), Reader.byteOffset(),
-                              Reader.eventIndex() ? Reader.eventIndex() - 1
-                                                  : 0);
+  // The offending event is the one just consumed: index eventsReplayed()-1.
+  Status = TraceStatus::error(std::move(Message),
+                              Input ? Input->byteOffset() : 0,
+                              EventsDone ? EventsDone - 1 : 0);
   return Status;
 }
 
-TraceStatus TraceReplayer::open(const std::string &Path) {
-  Status = Reader.open(Path);
+TraceStatus TraceReplayer::open(const std::string &Path, TraceReaderKind Kind) {
+  Input = openTraceInput(Path, Kind, Status);
+  Span = TraceEventSpan();
+  SpanPos = 0;
+  EventsDone = 0;
+  LiveSize.clear();
+  Total = TraceStats();
+  Transactions = 0;
+  EventsInTx = 0;
   return Status;
 }
 
 const TraceStatus &TraceReplayer::status() const {
-  return Status.ok() ? Reader.status() : Status;
+  if (!Status.ok() || !Input)
+    return Status;
+  return Input->status();
+}
+
+TraceInput::Next TraceReplayer::nextEvent(const TraceEvent *&E) {
+  while (SpanPos >= Span.Size) {
+    SpanPos = 0;
+    TraceInput::Next R = Input->nextBatch(Span);
+    if (R != TraceInput::Next::Event)
+      return R;
+  }
+  E = &Span.Data[SpanPos++];
+  ++EventsDone;
+  return TraceInput::Next::Event;
 }
 
 TraceReplayer::Step
@@ -29,22 +50,23 @@ TraceReplayer::replayTransactionInto(TxExecutor &Executor, TraceStats &Stats,
   if (!status().ok())
     return Step::Error;
 
-  TraceEvent E;
+  const TraceEvent *EP = nullptr;
   while (true) {
-    switch (Reader.next(E)) {
-    case TraceReader::Next::End:
+    switch (nextEvent(EP)) {
+    case TraceInput::Next::End:
       if (EventsInTx != 0) {
         fail("trace ends in the middle of a transaction (" +
              std::to_string(EventsInTx) + " events after the last boundary)");
         return Step::Error;
       }
       return Step::End;
-    case TraceReader::Next::Error:
+    case TraceInput::Next::Error:
       return Step::Error;
-    case TraceReader::Next::Event:
+    case TraceInput::Next::Event:
       break;
     }
 
+    const TraceEvent &E = *EP;
     auto Id = std::to_string(E.Id);
     switch (E.Op) {
     case TraceOp::Alloc:
@@ -164,8 +186,8 @@ TraceReplayer::Step TraceReplayer::replayTransaction(TransactionRuntime &RT) {
   return S;
 }
 
-TraceStatus ddm::summarizeTrace(const std::string &Path,
-                                TraceSummary &Summary) {
+TraceStatus ddm::summarizeTrace(const std::string &Path, TraceSummary &Summary,
+                                TraceReaderKind Kind) {
   /// A black hole: summarizing validates and counts without executing.
   class NullExecutor final : public TxExecutor {
     void onAlloc(uint32_t, size_t) override {}
@@ -177,7 +199,7 @@ TraceStatus ddm::summarizeTrace(const std::string &Path,
   };
 
   TraceReplayer Replayer;
-  if (TraceStatus S = Replayer.open(Path); !S)
+  if (TraceStatus S = Replayer.open(Path, Kind); !S)
     return S;
   Summary.Meta = Replayer.meta();
 

@@ -8,6 +8,11 @@
 /// trace drives every allocator at identical inputs, and replaying with
 /// the trace's own seed reproduces the live run bit-for-bit.
 ///
+/// The replayer pulls decoded events in block-sized spans from a
+/// TraceInput — the mmap zero-copy reader for regular files, the
+/// streaming reader for pipes/FIFOs (see openTraceInput) — so the hot
+/// loop costs one indirect call per ~20k events, not one per event.
+///
 /// The replayer validates events against its own live-object table before
 /// forwarding them, so a malformed or hand-edited trace produces a
 /// TraceStatus diagnostic (with byte offset and event index) instead of
@@ -20,10 +25,11 @@
 #ifndef DDM_TRACE_TRACEREPLAYER_H
 #define DDM_TRACE_TRACEREPLAYER_H
 
-#include "trace/TraceReader.h"
+#include "trace/TraceInput.h"
 #include "workload/TraceGenerator.h"
 #include "workload/WorkloadSpec.h"
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 
@@ -40,11 +46,23 @@ public:
     Error, ///< Malformed trace; see status().
   };
 
-  /// Opens \p Path and validates the container header.
-  TraceStatus open(const std::string &Path);
+  /// Opens \p Path and validates the container header. \p Kind picks the
+  /// backing reader (default: mmap for regular files, streaming
+  /// otherwise). Reopening resets all replay state.
+  TraceStatus open(const std::string &Path,
+                   TraceReaderKind Kind = TraceReaderKind::Auto);
 
   /// Provenance of the recorded run (valid after open()).
-  const TraceMeta &meta() const { return Reader.meta(); }
+  const TraceMeta &meta() const {
+    static const TraceMeta Empty;
+    return Input ? Input->meta() : Empty;
+  }
+
+  /// The backing reader's name ("mmap" or "stream"), for diagnostics and
+  /// bench labels; "none" before open().
+  const char *readerName() const {
+    return Input ? Input->readerName() : "none";
+  }
 
   /// The workload the trace was recorded from, or nullptr if the trace
   /// names a workload this build does not know.
@@ -75,13 +93,18 @@ public:
   /// @{
   const TraceStats &totalStats() const { return Total; }
   uint64_t transactionsReplayed() const { return Transactions; }
-  uint64_t eventsReplayed() const { return Reader.eventIndex(); }
+  uint64_t eventsReplayed() const { return EventsDone; }
   /// @}
 
 private:
   TraceStatus fail(std::string Message);
+  /// Advances the span cursor, refilling from the input as needed.
+  TraceInput::Next nextEvent(const TraceEvent *&E);
 
-  TraceReader Reader;
+  std::unique_ptr<TraceInput> Input;
+  TraceEventSpan Span;     ///< Current batch of decoded events.
+  size_t SpanPos = 0;      ///< Consumption cursor within Span.
+  uint64_t EventsDone = 0; ///< Events consumed (≤ Input->eventIndex()).
   std::unordered_map<uint32_t, uint64_t> LiveSize; ///< id -> current size.
   TraceStats Total;
   uint64_t Transactions = 0;
@@ -115,7 +138,8 @@ private:
 
 /// Scans \p Path end to end, validating every frame and event, and fills
 /// \p Summary. Returns the first error found, if any.
-TraceStatus summarizeTrace(const std::string &Path, TraceSummary &Summary);
+TraceStatus summarizeTrace(const std::string &Path, TraceSummary &Summary,
+                           TraceReaderKind Kind = TraceReaderKind::Auto);
 
 } // namespace ddm
 

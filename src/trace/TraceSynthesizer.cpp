@@ -1,0 +1,227 @@
+//===- trace/TraceSynthesizer.cpp - Fleet-scale trace composition ---------===//
+
+#include "trace/TraceSynthesizer.h"
+
+#include "support/Random.h"
+#include "trace/TraceInput.h"
+#include "trace/TraceWriter.h"
+
+#include <memory>
+
+using namespace ddm;
+
+bool ddm::synthScheduleFromName(const std::string &Name,
+                                SynthSchedule &Schedule) {
+  if (Name == "constant")
+    Schedule = SynthSchedule::Constant;
+  else if (Name == "diurnal")
+    Schedule = SynthSchedule::Diurnal;
+  else if (Name == "flash" || Name == "flash-crowd")
+    Schedule = SynthSchedule::FlashCrowd;
+  else
+    return false;
+  return true;
+}
+
+const char *ddm::synthScheduleName(SynthSchedule Schedule) {
+  switch (Schedule) {
+  case SynthSchedule::Constant:
+    return "constant";
+  case SynthSchedule::Diurnal:
+    return "diurnal";
+  case SynthSchedule::FlashCrowd:
+    return "flash";
+  }
+  return "constant";
+}
+
+namespace {
+
+/// Integer arrival weight per slot of the synthetic day. Integer tables
+/// (not libm curves) so apportionment is bit-identical across platforms.
+const uint32_t *scheduleWeights(SynthSchedule Schedule) {
+  // Overnight trough, morning ramp, business-hours plateau, evening decay
+  // — the classic diurnal request-rate curve, quantized to hours.
+  static const uint32_t Diurnal[SynthSlots] = {
+      12, 8,  6,  5,  4,  5,  8,  14, 24, 36, 48, 58,
+      64, 66, 68, 70, 72, 74, 72, 64, 52, 40, 28, 18};
+  // Flat day with a three-hour ~10x spike around midday: the flash crowd.
+  static const uint32_t Flash[SynthSlots] = {
+      60, 60, 60, 60, 60, 60, 60, 60, 60,  60,  60,  60,
+      60, 540, 720, 360, 60, 60, 60, 60, 60, 60, 60, 60};
+  static const uint32_t Constant[SynthSlots] = {
+      60, 60, 60, 60, 60, 60, 60, 60, 60, 60, 60, 60,
+      60, 60, 60, 60, 60, 60, 60, 60, 60, 60, 60, 60};
+  switch (Schedule) {
+  case SynthSchedule::Diurnal:
+    return Diurnal;
+  case SynthSchedule::FlashCrowd:
+    return Flash;
+  case SynthSchedule::Constant:
+    return Constant;
+  }
+  return Constant;
+}
+
+/// Apportions \p Total transactions across the slots proportionally to
+/// their weights with largest-remainder rounding (ties favor the earlier
+/// slot), so the slot counts sum to exactly \p Total on every platform.
+void apportion(uint64_t Total, const uint32_t *Weights,
+               uint64_t (&Out)[SynthSlots]) {
+  uint64_t WeightSum = 0;
+  for (size_t I = 0; I < SynthSlots; ++I)
+    WeightSum += Weights[I];
+  uint64_t Assigned = 0;
+  uint64_t Remainder[SynthSlots];
+  for (size_t I = 0; I < SynthSlots; ++I) {
+    // Total * weight fits easily: Total is a transaction count and the
+    // weight tables top out near 2^10.
+    uint64_t Product = Total * Weights[I];
+    Out[I] = Product / WeightSum;
+    Remainder[I] = Product % WeightSum;
+    Assigned += Out[I];
+  }
+  for (uint64_t Left = Total - Assigned; Left > 0; --Left) {
+    size_t Best = 0;
+    for (size_t I = 1; I < SynthSlots; ++I)
+      if (Remainder[I] > Remainder[Best])
+        Best = I;
+    ++Out[Best];
+    Remainder[Best] = 0;
+  }
+}
+
+/// One tenant's recorded behavior, loaded fully: the per-transaction
+/// event lists (each ending with its EndTx marker) in recorded order.
+struct SourceBank {
+  std::vector<std::vector<TraceEvent>> Transactions;
+  size_t Cursor = 0; ///< Next transaction to deal (cycles).
+
+  const std::vector<TraceEvent> &take() {
+    const auto &Tx = Transactions[Cursor];
+    Cursor = (Cursor + 1) % Transactions.size();
+    return Tx;
+  }
+};
+
+TraceStatus loadSource(const std::string &Path, SourceBank &Bank) {
+  TraceStatus Status;
+  std::unique_ptr<TraceInput> In =
+      openTraceInput(Path, TraceReaderKind::Auto, Status);
+  if (!In)
+    return TraceStatus::error("source '" + Path + "': " + Status.Message,
+                              Status.ByteOffset, Status.EventIndex);
+  std::vector<TraceEvent> Tx;
+  TraceEventSpan Span;
+  for (;;) {
+    switch (In->nextBatch(Span)) {
+    case TraceInput::Next::Error:
+      return TraceStatus::error("source '" + Path +
+                                    "': " + In->status().Message,
+                                In->status().ByteOffset,
+                                In->status().EventIndex);
+    case TraceInput::Next::End:
+      if (!Tx.empty())
+        return TraceStatus::error("source '" + Path +
+                                  "' ends in the middle of a transaction");
+      if (Bank.Transactions.empty())
+        return TraceStatus::error("source '" + Path +
+                                  "' contains no transactions");
+      return TraceStatus::success();
+    case TraceInput::Next::Event:
+      break;
+    }
+    for (const TraceEvent &E : Span) {
+      Tx.push_back(E);
+      if (E.Op == TraceOp::EndTx) {
+        Bank.Transactions.push_back(std::move(Tx));
+        Tx.clear();
+      }
+    }
+  }
+}
+
+} // namespace
+
+TraceStatus ddm::synthesizeTrace(const SynthSpec &Spec,
+                                 const std::string &OutPrefix,
+                                 SynthReport &Report) {
+  Report = SynthReport();
+  if (Spec.Sources.empty())
+    return TraceStatus::error("synthesis needs at least one source trace");
+  if (Spec.Shards == 0)
+    return TraceStatus::error("synthesis needs at least one output shard");
+  if (Spec.Workers == 0)
+    return TraceStatus::error("synthesis needs at least one worker");
+
+  uint64_t SourceWeightSum = 0;
+  for (const SynthSource &S : Spec.Sources) {
+    if (S.Weight == 0)
+      return TraceStatus::error("source '" + S.Path + "' has zero weight");
+    SourceWeightSum += S.Weight;
+  }
+
+  std::vector<SourceBank> Banks(Spec.Sources.size());
+  for (size_t I = 0; I < Spec.Sources.size(); ++I)
+    if (TraceStatus S = loadSource(Spec.Sources[I].Path, Banks[I]); !S)
+      return S;
+
+  TraceMeta Meta;
+  Meta.Workload = std::string("synth-") + synthScheduleName(Spec.Schedule);
+  Meta.Scale = 1.0;
+  Meta.Seed = Spec.Seed;
+
+  std::vector<std::unique_ptr<TraceWriter>> Writers;
+  Report.ShardPaths.reserve(Spec.Shards);
+  for (uint32_t I = 0; I < Spec.Shards; ++I) {
+    Report.ShardPaths.push_back(OutPrefix + "." + std::to_string(I) +
+                                ".ddmtrc");
+    Writers.push_back(std::make_unique<TraceWriter>());
+    if (TraceStatus S = Writers.back()->open(Report.ShardPaths.back(), Meta);
+        !S)
+      return S;
+  }
+
+  uint64_t SlotTx[SynthSlots];
+  apportion(Spec.Transactions, scheduleWeights(Spec.Schedule), SlotTx);
+
+  Report.ShardTransactions.assign(Spec.Shards, 0);
+  Report.ShardEvents.assign(Spec.Shards, 0);
+  Report.SourceTransactions.assign(Spec.Sources.size(), 0);
+  Report.SlotTransactions.assign(SlotTx, SlotTx + SynthSlots);
+
+  Rng R(Spec.Seed);
+  for (size_t Slot = 0; Slot < SynthSlots; ++Slot) {
+    for (uint64_t T = 0; T < SlotTx[Slot]; ++T) {
+      // Weighted tenant pick, then a uniform worker pick; the worker id
+      // only matters modulo the shard count, but drawing it over the full
+      // worker population keeps the arrival model honest (and the stream
+      // position independent of the shard count is NOT guaranteed —
+      // changing Workers or Shards is a different fleet).
+      uint64_t Draw = R.nextBelow(SourceWeightSum);
+      size_t Tenant = 0;
+      for (uint64_t Acc = Spec.Sources[0].Weight; Draw >= Acc;
+           Acc += Spec.Sources[++Tenant].Weight)
+        ;
+      uint64_t Worker = R.nextBelow(Spec.Workers);
+      size_t Shard = static_cast<size_t>(Worker % Spec.Shards);
+
+      const std::vector<TraceEvent> &Tx = Banks[Tenant].take();
+      TraceWriter &W = *Writers[Shard];
+      for (const TraceEvent &E : Tx)
+        W.append(E);
+      ++Report.ShardTransactions[Shard];
+      Report.ShardEvents[Shard] += Tx.size();
+      ++Report.SourceTransactions[Tenant];
+      Report.TotalEvents += Tx.size();
+    }
+  }
+
+  Report.ShardBytes.assign(Spec.Shards, 0);
+  for (uint32_t I = 0; I < Spec.Shards; ++I) {
+    if (TraceStatus S = Writers[I]->finish(); !S)
+      return S;
+    Report.ShardBytes[I] = Writers[I]->bytesWritten();
+  }
+  return TraceStatus::success();
+}

@@ -1,0 +1,94 @@
+//===- trace/TraceSynthesizer.h - Fleet-scale trace composition -*- C++ -*-===//
+///
+/// \file
+/// Composes recorded per-workload traces into a fleet-scale multi-tenant
+/// replay corpus: each source trace is one tenant's per-transaction
+/// behavior, and the synthesizer deals those transactions across
+/// thousands of simulated worker processes according to an arrival
+/// schedule (constant, diurnal, or flash-crowd), emitting one sharded
+/// `.ddmtrc` per replay job. Sharding is by worker id (worker w feeds
+/// shard w mod K), so one worker's transactions always land in one shard
+/// in arrival order — the property that makes sharded parallel replay
+/// equivalent to a single serial replay.
+///
+/// Everything is integer math over a seeded xoshiro256** stream: the
+/// schedule tables are integer weight vectors, transaction apportionment
+/// uses largest-remainder rounding, and tenant/worker picks use Lemire
+/// rejection sampling. The same SynthSpec therefore produces bit-identical
+/// shards on every platform, which is what lets CI regenerate the
+/// checked-in shard set and `git diff --exit-code` it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_TRACE_TRACESYNTHESIZER_H
+#define DDM_TRACE_TRACESYNTHESIZER_H
+
+#include "trace/TraceFormat.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddm {
+
+/// One tenant: a recorded trace whose transactions are replayed in
+/// recorded order (cycling when exhausted), arriving with probability
+/// proportional to Weight.
+struct SynthSource {
+  std::string Path;
+  uint32_t Weight = 1;
+};
+
+/// Arrival-rate shape over the synthetic day (see slot tables in the
+/// implementation; the day is divided into 24 slots).
+enum class SynthSchedule {
+  Constant,   ///< Flat arrival rate.
+  Diurnal,    ///< Overnight trough, business-hours plateau.
+  FlashCrowd, ///< Flat baseline with a ~10x three-slot spike.
+};
+
+/// Parses a --schedule flag value ("constant", "diurnal", "flash").
+/// Returns false on an unknown name.
+bool synthScheduleFromName(const std::string &Name, SynthSchedule &Schedule);
+
+/// The canonical name of a schedule ("constant", "diurnal", "flash").
+const char *synthScheduleName(SynthSchedule Schedule);
+
+/// Number of schedule slots in the synthetic day.
+inline constexpr size_t SynthSlots = 24;
+
+/// A full synthesis request.
+struct SynthSpec {
+  std::vector<SynthSource> Sources; ///< Tenants (at least one).
+  SynthSchedule Schedule = SynthSchedule::Diurnal;
+  uint32_t Workers = 1000;      ///< Simulated worker processes.
+  uint64_t Transactions = 1000; ///< Total transactions across the day.
+  uint32_t Shards = 4;          ///< Output shard count (>= 1).
+  uint64_t Seed = 1;            ///< Seeds tenant/worker arrival draws.
+};
+
+/// What a synthesis produced, for accounting and the tracesynth report.
+struct SynthReport {
+  std::vector<std::string> ShardPaths;       ///< "<prefix>.<i>.ddmtrc".
+  std::vector<uint64_t> ShardTransactions;   ///< Per shard.
+  std::vector<uint64_t> ShardEvents;         ///< Per shard.
+  std::vector<uint64_t> ShardBytes;          ///< Per shard (file size).
+  std::vector<uint64_t> SourceTransactions;  ///< Per tenant.
+  std::vector<uint64_t> SlotTransactions;    ///< Per schedule slot (24).
+  uint64_t TotalEvents = 0;
+};
+
+/// Synthesizes \p Spec into shard files `<OutPrefix>.<i>.ddmtrc`
+/// (i in 0..Shards-1; every shard file is created even if it receives no
+/// transactions). The shard metadata names the synthetic workload
+/// "synth-<schedule>" — deliberately not a WorkloadSpec name, so replay
+/// skips single-workload state-area validation on these multi-tenant
+/// streams. Returns the first error (unreadable source, source with no
+/// transactions, write failure), or success with \p Report filled.
+TraceStatus synthesizeTrace(const SynthSpec &Spec,
+                            const std::string &OutPrefix,
+                            SynthReport &Report);
+
+} // namespace ddm
+
+#endif // DDM_TRACE_TRACESYNTHESIZER_H

@@ -1,0 +1,228 @@
+//===- tests/trace/TraceSynthesizerTest.cpp - Fleet synthesis contract ----===//
+///
+/// The synthesizer's contract: bit-identical output for identical
+/// SynthSpecs (CI regenerates and byte-compares the checked-in shard
+/// set), exact transaction accounting across shards/tenants/slots, and
+/// every emitted shard being a valid replayable trace.
+///
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceReplayer.h"
+#include "trace/TraceSynthesizer.h"
+#include "trace/TraceWriter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+using namespace ddm;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return testing::TempDir() + "ddm_synth_" + Name;
+}
+
+std::string slurp(const std::string &Path) {
+  std::string Data;
+  FILE *F = fopen(Path.c_str(), "rb");
+  EXPECT_NE(F, nullptr) << Path;
+  if (!F)
+    return Data;
+  char Buffer[4096];
+  size_t N;
+  while ((N = fread(Buffer, 1, sizeof(Buffer), F)) > 0)
+    Data.append(Buffer, N);
+  fclose(F);
+  return Data;
+}
+
+/// A small source trace: \p Transactions transactions of a few allocs,
+/// touches, work, and frees each.
+std::string makeSource(const std::string &Name, uint64_t Seed,
+                       int Transactions) {
+  std::string Path = tempPath(Name) + TraceFileSuffix;
+  TraceWriter Writer;
+  TraceMeta Meta{Name, 1.0, Seed};
+  EXPECT_TRUE(Writer.open(Path, Meta).ok());
+  for (int Tx = 0; Tx < Transactions; ++Tx) {
+    for (uint32_t I = 0; I < 8; ++I) {
+      TraceEvent E;
+      E.Op = TraceOp::Alloc;
+      E.Id = I;
+      E.Size = 32 + 8 * I + static_cast<uint64_t>(Seed);
+      Writer.append(E);
+    }
+    TraceEvent Work;
+    Work.Op = TraceOp::Work;
+    Work.Size = 1000 + Tx;
+    Writer.append(Work);
+    for (uint32_t I = 0; I < 8; ++I) {
+      TraceEvent E;
+      E.Op = TraceOp::Free;
+      E.Id = I;
+      Writer.append(E);
+    }
+    TraceEvent End;
+    End.Op = TraceOp::EndTx;
+    Writer.append(End);
+  }
+  EXPECT_TRUE(Writer.finish().ok());
+  return Path;
+}
+
+SynthSpec makeSpec(const std::string &A, const std::string &B) {
+  SynthSpec Spec;
+  Spec.Sources = {{A, 3}, {B, 1}};
+  Spec.Schedule = SynthSchedule::Diurnal;
+  Spec.Workers = 40;
+  Spec.Transactions = 200;
+  Spec.Shards = 3;
+  Spec.Seed = 7;
+  return Spec;
+}
+
+TEST(TraceSynthesizerTest, AccountingAddsUp) {
+  std::string A = makeSource("acct_a", 1, 5);
+  std::string B = makeSource("acct_b", 2, 3);
+  SynthSpec Spec = makeSpec(A, B);
+  SynthReport Report;
+  ASSERT_TRUE(synthesizeTrace(Spec, tempPath("acct_out"), Report).ok());
+
+  ASSERT_EQ(Report.ShardPaths.size(), 3u);
+  EXPECT_EQ(std::accumulate(Report.ShardTransactions.begin(),
+                            Report.ShardTransactions.end(), uint64_t{0}),
+            Spec.Transactions);
+  EXPECT_EQ(std::accumulate(Report.SourceTransactions.begin(),
+                            Report.SourceTransactions.end(), uint64_t{0}),
+            Spec.Transactions);
+  ASSERT_EQ(Report.SlotTransactions.size(), SynthSlots);
+  EXPECT_EQ(std::accumulate(Report.SlotTransactions.begin(),
+                            Report.SlotTransactions.end(), uint64_t{0}),
+            Spec.Transactions);
+  // Tenant weights 3:1 should be visible in the apportionment.
+  EXPECT_GT(Report.SourceTransactions[0], Report.SourceTransactions[1]);
+
+  uint64_t Events = 0;
+  for (size_t I = 0; I < Report.ShardPaths.size(); ++I) {
+    TraceSummary Summary;
+    ASSERT_TRUE(summarizeTrace(Report.ShardPaths[I], Summary).ok())
+        << Report.ShardPaths[I];
+    EXPECT_EQ(Summary.Transactions, Report.ShardTransactions[I]);
+    EXPECT_EQ(Summary.Events, Report.ShardEvents[I]);
+    Events += Summary.Events;
+    std::remove(Report.ShardPaths[I].c_str());
+  }
+  EXPECT_EQ(Events, Report.TotalEvents);
+  std::remove(A.c_str());
+  std::remove(B.c_str());
+}
+
+TEST(TraceSynthesizerTest, SameSpecSameBytes) {
+  std::string A = makeSource("det_a", 1, 5);
+  std::string B = makeSource("det_b", 2, 3);
+  SynthSpec Spec = makeSpec(A, B);
+  SynthReport R1, R2;
+  ASSERT_TRUE(synthesizeTrace(Spec, tempPath("det_x"), R1).ok());
+  ASSERT_TRUE(synthesizeTrace(Spec, tempPath("det_y"), R2).ok());
+  ASSERT_EQ(R1.ShardPaths.size(), R2.ShardPaths.size());
+  for (size_t I = 0; I < R1.ShardPaths.size(); ++I) {
+    EXPECT_EQ(slurp(R1.ShardPaths[I]), slurp(R2.ShardPaths[I]))
+        << "shard " << I;
+    std::remove(R1.ShardPaths[I].c_str());
+    std::remove(R2.ShardPaths[I].c_str());
+  }
+  std::remove(A.c_str());
+  std::remove(B.c_str());
+}
+
+TEST(TraceSynthesizerTest, SeedChangesTheDeal) {
+  std::string A = makeSource("seed_a", 1, 5);
+  std::string B = makeSource("seed_b", 2, 3);
+  SynthSpec Spec = makeSpec(A, B);
+  SynthReport R1;
+  ASSERT_TRUE(synthesizeTrace(Spec, tempPath("seed_x"), R1).ok());
+  Spec.Seed = 8;
+  SynthReport R2;
+  ASSERT_TRUE(synthesizeTrace(Spec, tempPath("seed_y"), R2).ok());
+  bool AnyDiffer = false;
+  for (size_t I = 0; I < R1.ShardPaths.size(); ++I) {
+    AnyDiffer |= slurp(R1.ShardPaths[I]) != slurp(R2.ShardPaths[I]);
+    std::remove(R1.ShardPaths[I].c_str());
+    std::remove(R2.ShardPaths[I].c_str());
+  }
+  EXPECT_TRUE(AnyDiffer);
+  std::remove(A.c_str());
+  std::remove(B.c_str());
+}
+
+TEST(TraceSynthesizerTest, ScheduleShapesArrivals) {
+  std::string A = makeSource("sched_a", 1, 5);
+  SynthSpec Spec;
+  Spec.Sources = {{A, 1}};
+  Spec.Workers = 40;
+  Spec.Transactions = 2400;
+  Spec.Shards = 2;
+  Spec.Seed = 3;
+
+  Spec.Schedule = SynthSchedule::FlashCrowd;
+  SynthReport Flash;
+  ASSERT_TRUE(synthesizeTrace(Spec, tempPath("sched_f"), Flash).ok());
+  uint64_t Peak = *std::max_element(Flash.SlotTransactions.begin(),
+                                    Flash.SlotTransactions.end());
+  uint64_t Min = *std::min_element(Flash.SlotTransactions.begin(),
+                                   Flash.SlotTransactions.end());
+  EXPECT_GE(Peak, 5 * std::max<uint64_t>(Min, 1));
+  for (const std::string &P : Flash.ShardPaths)
+    std::remove(P.c_str());
+
+  Spec.Schedule = SynthSchedule::Constant;
+  SynthReport Flat;
+  ASSERT_TRUE(synthesizeTrace(Spec, tempPath("sched_c"), Flat).ok());
+  Peak = *std::max_element(Flat.SlotTransactions.begin(),
+                           Flat.SlotTransactions.end());
+  Min = *std::min_element(Flat.SlotTransactions.begin(),
+                          Flat.SlotTransactions.end());
+  EXPECT_LE(Peak - Min, 1u); // largest-remainder rounding only
+  for (const std::string &P : Flat.ShardPaths)
+    std::remove(P.c_str());
+  std::remove(A.c_str());
+}
+
+TEST(TraceSynthesizerTest, ScheduleNamesRoundTrip) {
+  for (SynthSchedule S : {SynthSchedule::Constant, SynthSchedule::Diurnal,
+                          SynthSchedule::FlashCrowd}) {
+    SynthSchedule Parsed;
+    ASSERT_TRUE(synthScheduleFromName(synthScheduleName(S), Parsed));
+    EXPECT_EQ(Parsed, S);
+  }
+  SynthSchedule Ignored;
+  EXPECT_FALSE(synthScheduleFromName("bogus", Ignored));
+}
+
+TEST(TraceSynthesizerTest, RefusesEmptyAndUnreadableSources) {
+  SynthReport Report;
+  {
+    SynthSpec Spec;
+    Spec.Sources = {{tempPath("no_such_file") + TraceFileSuffix, 1}};
+    EXPECT_FALSE(synthesizeTrace(Spec, tempPath("bad_out"), Report).ok());
+  }
+  {
+    // A valid container with zero transactions cannot seed a tenant.
+    std::string Empty = tempPath("empty_src") + TraceFileSuffix;
+    TraceWriter Writer;
+    TraceMeta Meta{"empty", 1.0, 1};
+    ASSERT_TRUE(Writer.open(Empty, Meta).ok());
+    ASSERT_TRUE(Writer.finish().ok());
+    SynthSpec Spec;
+    Spec.Sources = {{Empty, 1}};
+    EXPECT_FALSE(synthesizeTrace(Spec, tempPath("bad_out2"), Report).ok());
+    std::remove(Empty.c_str());
+  }
+}
+
+} // namespace
