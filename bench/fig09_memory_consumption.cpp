@@ -55,12 +55,13 @@ int main(int Argc, char **Argv) {
   SweepRunner Runner = Cli.makeRunner();
   std::vector<SimPoint> Points = Runner.run(Tasks);
 
-  // The last two columns report the page economy behind the heaps: external
-  // fragmentation of the backend's free pages and pages returned to it.
-  // Under the default --backend arena there is no page economy, so both
-  // read 0 (the allocators own private reservations outright).
+  // The last three columns report the page economy behind the heaps:
+  // external fragmentation of the backend's free pages, pages returned to
+  // it, and the modelled end-of-run RSS. Under the default --backend arena
+  // there is no page economy, so all read 0 (the allocators own private
+  // reservations outright).
   Table Out({"workload", "default", "region", "x default", "ddmalloc",
-             "x default", "ext frag", "pages reclaimed"});
+             "x default", "ext frag", "pages reclaimed", "rss bytes"});
   RunningStat RegionRatio, DDmallocRatio;
   double WorstRegionRatio = 0;
 
@@ -82,7 +83,9 @@ int main(int Argc, char **Argv) {
     // run has its own backend; ddmalloc ignores backends, contributing 0).
     double ExtFrag = 0;
     uint64_t PagesReclaimed = 0;
+    uint64_t RssBytes = 0;
     for (const SimPoint *Pt : {&Default, &Region, &DDm}) {
+      RssBytes += Pt->RssBytes;
       if (!Pt->HasPageStats)
         continue;
       if (Pt->PageStats.externalFragmentation() > ExtFrag)
@@ -106,6 +109,7 @@ int main(int Argc, char **Argv) {
           .field("ddmalloc_x_default", DRatio)
           .field("external_fragmentation", ExtFrag)
           .field("pages_reclaimed", PagesReclaimed)
+          .field("rss_bytes", RssBytes)
           .endObject();
     else
       Out.row()
@@ -116,7 +120,8 @@ int main(int Argc, char **Argv) {
           .cell(formatBytes(static_cast<uint64_t>(DDm.MeanConsumptionBytes)))
           .cell(DRatio, 2)
           .cell(ExtFrag, 3)
-          .cell(static_cast<uint64_t>(PagesReclaimed));
+          .cell(static_cast<uint64_t>(PagesReclaimed))
+          .cell(formatBytes(RssBytes));
   }
 
   if (Cli.Json) {

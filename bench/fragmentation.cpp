@@ -77,6 +77,9 @@ int main(int Argc, char **Argv) {
 
       SimulationOptions Options = Cli.simOptions();
       Options.BackendReserveBytes = 256ull * 1024 * 1024;
+      // Model an end-of-run madvise of the free-but-resident pages so the
+      // rss_bytes column shows what a give-back would leave resident.
+      Options.ColdGiveBack = true;
       // Several restart windows per point; an equally long aged run for
       // the no-restart baseline.
       Options.MeasureTx = static_cast<unsigned>(
@@ -91,7 +94,8 @@ int main(int Argc, char **Argv) {
   std::vector<SimPoint> Points = Runner.run(Tasks);
 
   Table Out({"allocator", "restart", "pages acquired", "pages reclaimed",
-             "peak pages", "ext frag", "peak RSS", "x live"});
+             "peak pages", "ext frag", "peak RSS", "x live", "end RSS",
+             "advised out"});
   JsonWriter J;
   if (Cli.Json)
     J.beginObject()
@@ -129,6 +133,8 @@ int main(int Argc, char **Argv) {
             .field("peak_rss_bytes", PeakRss)
             .field("mean_live_bytes", Live)
             .field("peak_rss_x_live", PeakVsLive)
+            .field("rss_bytes", Pt.RssBytes)
+            .field("advised_out_bytes", Pt.AdvisedOutBytes)
             .endObject();
       else
         Out.row()
@@ -139,7 +145,9 @@ int main(int Argc, char **Argv) {
             .cell(S.PeakPagesLive)
             .cell(S.externalFragmentation(), 3)
             .cell(formatBytes(static_cast<uint64_t>(PeakRss)))
-            .cell(PeakVsLive, 2);
+            .cell(PeakVsLive, 2)
+            .cell(formatBytes(Pt.RssBytes))
+            .cell(formatBytes(Pt.AdvisedOutBytes));
     }
     if (Check && ReclaimedUnderRestarts == 0) {
       std::fprintf(stderr,

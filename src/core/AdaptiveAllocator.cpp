@@ -1,0 +1,183 @@
+//===- core/AdaptiveAllocator.cpp - Phase-adaptive placement --------------===//
+
+#include "core/AdaptiveAllocator.h"
+
+#include <cassert>
+
+using namespace ddm;
+
+AllocatorKind ddm::choosePlacement(const StreamWindowStats &W) {
+  if (W.Mallocs == 0)
+    return AllocatorKind::Default;
+  // Almost nothing freed: transaction-scoped data, reclaimed in bulk.
+  if (W.freeRatio() < 0.25) {
+    // Strictly LIFO frees on top of a bulk phase are the obstack
+    // discipline (grow, trim back, grow again).
+    if (W.Frees > 0 && W.lifoRatio() > 0.9)
+      return AllocatorKind::Obstack;
+    return AllocatorKind::Region;
+  }
+  // Churny phase: per-object reuse is mandatory. Slabs win when the
+  // objects are small — interpreters allocate a handful of small fixed
+  // sizes, and per-class slabs keep each of them on a warm free list; a
+  // single overwhelming class is an even stronger signal. Large or mixed
+  // sizes go to the general-purpose heap.
+  double MeanBytes = static_cast<double>(W.BytesRequested) /
+                     static_cast<double>(W.Mallocs);
+  if (W.dominantClassRatio() > 0.6 || MeanBytes <= 256.0)
+    return AllocatorKind::Slab;
+  return AllocatorKind::Default;
+}
+
+namespace {
+
+unsigned sizeClassOf(size_t Size) {
+  // Power-of-two classes, class 15 collects everything >= 16 KB.
+  unsigned Class = 0;
+  size_t Bound = 1;
+  while (Class < 15 && Size > Bound) {
+    ++Class;
+    Bound <<= 1;
+  }
+  return Class;
+}
+
+} // namespace
+
+AdaptiveAllocator::AdaptiveAllocator(const AdaptiveConfig &Config)
+    : Config(Config), CurrentKind(Config.InitialKind),
+      LastRecommendation(Config.InitialKind) {
+  rebuildInner(CurrentKind);
+}
+
+AdaptiveAllocator::~AdaptiveAllocator() = default;
+
+void AdaptiveAllocator::rebuildInner(AllocatorKind Kind) {
+  Inner.reset(); // Release the old heap before reserving the new one.
+  CurrentKind = Kind;
+  Inner = createAllocator(Kind, Config.InnerOptions);
+  Inner->attachSink(RawSink);
+}
+
+void AdaptiveAllocator::attachSink(AccessSink *S) {
+  RawSink = S;
+  Sink.attach(S);
+  Inner->attachSink(S);
+}
+
+void *AdaptiveAllocator::allocate(size_t Size) {
+  void *Ptr = Inner->allocate(Size);
+  if (!Ptr)
+    return nullptr;
+  Sink.instructions(Config.InstrPerOp);
+  size_t InnerUsable = Inner->usableSize(Ptr);
+  size_t Usable = InnerUsable > Size ? InnerUsable : Size;
+  Live.emplace(Ptr, ObjectInfo{Size, Usable});
+  LastAlloc = Ptr;
+  ++Window.Mallocs;
+  Window.BytesRequested += Size;
+  ++ClassMallocs[sizeClassOf(Size)];
+  noteMalloc(Size, Usable);
+  return Ptr;
+}
+
+void AdaptiveAllocator::deallocate(void *Ptr) {
+  if (!Ptr)
+    return;
+  Sink.instructions(Config.InstrPerOp);
+  auto It = Live.find(Ptr);
+  assert(It != Live.end() && "deallocate of a pointer adaptive never saw");
+  if (It == Live.end())
+    return;
+  ++Window.Frees;
+  if (Ptr == LastAlloc) {
+    ++Window.LifoFrees;
+    LastAlloc = nullptr;
+  }
+  noteFree(It->second.Usable);
+  Live.erase(It);
+  Inner->deallocate(Ptr);
+  // All objects gone mid-phase (the Ruby-style churn shape): this is as
+  // safe a point as a freeAll boundary, so the policy gets to act here
+  // too — without it a runtime that never bulk-frees could never switch.
+  if (Live.empty())
+    maybeSwitch();
+}
+
+void *AdaptiveAllocator::reallocate(void *Ptr, size_t OldSize,
+                                    size_t NewSize) {
+  ++Stats.ReallocCalls;
+  ++Window.Reallocs;
+  if (!Ptr)
+    return allocate(NewSize);
+  auto It = Live.find(Ptr);
+  assert(It != Live.end() && "reallocate of a pointer adaptive never saw");
+  if (It == Live.end())
+    return nullptr;
+  size_t OldUsable = It->second.Usable;
+  void *Fresh = Inner->reallocate(Ptr, OldSize, NewSize);
+  if (!Fresh)
+    return nullptr;
+  Sink.instructions(Config.InstrPerOp);
+  size_t InnerUsable = Inner->usableSize(Fresh);
+  size_t Usable = InnerUsable > NewSize ? InnerUsable : NewSize;
+  Live.erase(It);
+  Live.emplace(Fresh, ObjectInfo{NewSize, Usable});
+  if (LastAlloc == Ptr)
+    LastAlloc = Fresh;
+  Stats.UsableBytesLive += Usable;
+  Stats.UsableBytesLive -= OldUsable;
+  if (Stats.UsableBytesLive > Stats.PeakUsableBytesLive)
+    Stats.PeakUsableBytesLive = Stats.UsableBytesLive;
+  return Fresh;
+}
+
+void AdaptiveAllocator::freeAll() {
+  if (Inner->supportsBulkFree()) {
+    Inner->freeAll();
+  } else {
+    // Sweep through the live table: the slab strategy reclaims per
+    // object, so adaptive's bulk-free promise is kept by iteration.
+    for (const auto &[Ptr, Info] : Live)
+      Inner->deallocate(const_cast<void *>(Ptr));
+  }
+  Live.clear();
+  LastAlloc = nullptr;
+  noteFreeAll();
+  maybeSwitch();
+}
+
+void AdaptiveAllocator::maybeSwitch() {
+  assert(Live.empty() && "strategy switch with objects live");
+  if (Window.Mallocs < Config.MinWindowMallocs)
+    return; // Carry the window forward; too little evidence.
+  uint64_t Dominant = 0;
+  for (uint64_t Count : ClassMallocs)
+    if (Count > Dominant)
+      Dominant = Count;
+  Window.DominantClassMallocs = Dominant;
+  AllocatorKind Recommendation = choosePlacement(Window);
+  if (HaveRecommendation && Recommendation == LastRecommendation &&
+      Recommendation != CurrentKind) {
+    rebuildInner(Recommendation);
+    ++Switches;
+  }
+  LastRecommendation = Recommendation;
+  HaveRecommendation = true;
+  Window = StreamWindowStats();
+  for (uint64_t &Count : ClassMallocs)
+    Count = 0;
+}
+
+bool AdaptiveAllocator::supportsPerObjectFree() const {
+  return Inner->supportsPerObjectFree();
+}
+
+size_t AdaptiveAllocator::usableSize(const void *Ptr) const {
+  auto It = Live.find(Ptr);
+  return It == Live.end() ? 0 : It->second.Usable;
+}
+
+uint64_t AdaptiveAllocator::memoryConsumption() const {
+  return Inner->memoryConsumption();
+}

@@ -1,6 +1,7 @@
 //===- core/AllocatorFactory.cpp - Allocator construction by name --------===//
 
 #include "core/AllocatorFactory.h"
+#include "core/AdaptiveAllocator.h"
 #include "core/DDmalloc.h"
 #include "core/GlibcModelAllocator.h"
 #include "core/HoardModel.h"
@@ -45,6 +46,7 @@ static bool usesPageBackend(AllocatorKind Kind,
   case AllocatorKind::Default:
   case AllocatorKind::Glibc:
   case AllocatorKind::Slab:
+  case AllocatorKind::Adaptive:
     return true;
   default:
     return false;
@@ -107,6 +109,11 @@ ddm::createAllocator(AllocatorKind Kind, const AllocatorOptions &Options) {
     Config.Central = Options.SlabBackend;
     Config.Backend = Options.Backend;
     return std::make_unique<SlabAllocator>(Config);
+  }
+  case AllocatorKind::Adaptive: {
+    AdaptiveConfig Config;
+    Config.InnerOptions = Options;
+    return std::make_unique<AdaptiveAllocator>(Config);
   }
   }
   unreachable("unknown allocator kind");
@@ -179,6 +186,7 @@ bool ddm::allocatorSupportsBulkFree(AllocatorKind Kind) {
   case AllocatorKind::Region:
   case AllocatorKind::Obstack:
   case AllocatorKind::Default:
+  case AllocatorKind::Adaptive:
     return true;
   case AllocatorKind::Glibc:
   case AllocatorKind::TCMalloc:
@@ -207,6 +215,8 @@ const char *ddm::allocatorKindName(AllocatorKind Kind) {
     return "hoard";
   case AllocatorKind::Slab:
     return "slab";
+  case AllocatorKind::Adaptive:
+    return "adaptive";
   }
   unreachable("unknown allocator kind");
 }
@@ -240,7 +250,8 @@ std::vector<AllocatorKind> ddm::allAllocatorKinds() {
   return {AllocatorKind::DDmalloc, AllocatorKind::Region,
           AllocatorKind::Obstack,  AllocatorKind::Default,
           AllocatorKind::Glibc,    AllocatorKind::TCMalloc,
-          AllocatorKind::Hoard,    AllocatorKind::Slab};
+          AllocatorKind::Hoard,    AllocatorKind::Slab,
+          AllocatorKind::Adaptive};
 }
 
 std::vector<AllocatorKind> ddm::phpStudyAllocatorKinds() {

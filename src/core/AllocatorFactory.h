@@ -35,6 +35,7 @@ enum class AllocatorKind {
   TCMalloc,   ///< Model of TCmalloc (no bulk free).
   Hoard,      ///< Model of Hoard (no bulk free).
   Slab,       ///< Buddy+slab page economy (no bulk free).
+  Adaptive,   ///< Phase-adaptive placement over region/obstack/slab/default.
 };
 
 /// Cross-allocator construction knobs. Per-allocator details (segment
@@ -98,7 +99,7 @@ createAllocatorChecked(AllocatorKind Kind, const AllocatorOptions &Options,
 bool allocatorSupportsBulkFree(AllocatorKind Kind);
 
 /// Stable name ("ddmalloc", "region", "obstack", "default", "glibc",
-/// "tcmalloc", "hoard", "slab").
+/// "tcmalloc", "hoard", "slab", "adaptive").
 const char *allocatorKindName(AllocatorKind Kind);
 
 /// Parses a stable name back to the enum; std::nullopt if unknown.

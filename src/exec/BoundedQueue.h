@@ -25,6 +25,9 @@ namespace ddm {
 /// Mutex + condvar bounded queue. All methods are thread-safe.
 template <typename T> class BoundedQueue {
 public:
+  /// Capacity 0 is floored to 1: a zero-capacity queue could never accept
+  /// a push and would deadlock the producer against a consumer that can
+  /// never be satisfied.
   explicit BoundedQueue(size_t Capacity) : Capacity(Capacity ? Capacity : 1) {}
 
   /// Blocks until there is room, then enqueues. Returns false (dropping
@@ -59,9 +62,14 @@ public:
 
   /// Blocks until at least one item is available, then dequeues up to
   /// \p Max into \p Out (cleared first). Returns the number dequeued; 0
-  /// only when the queue is closed and drained. Batch popping amortizes
-  /// the lock over several requests when workers lag the producer.
+  /// only when the queue is closed and drained. Max == 0 is treated as 1:
+  /// a zero batch would make "0" ambiguous with closed-and-drained and
+  /// turn drain loops into livelocks while leaving items queued. Batch
+  /// popping amortizes the lock over several requests when workers lag
+  /// the producer.
   size_t popBatch(std::vector<T> &Out, size_t Max) {
+    if (!Max)
+      Max = 1;
     Out.clear();
     std::unique_lock<std::mutex> Lock(M);
     NotEmpty.wait(Lock, [&] { return !Items.empty() || Closed; });

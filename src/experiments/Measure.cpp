@@ -2,12 +2,14 @@
 
 #include "experiments/Measure.h"
 
+#include "core/AdaptiveAllocator.h"
 #include "page/SlabAllocator.h"
 #include "support/Error.h"
 #include "trace/TraceReplayer.h"
 
 #include <cassert>
 #include <cmath>
+#include <optional>
 #include <vector>
 
 using namespace ddm;
@@ -79,17 +81,42 @@ SimPoint ddm::simulateRuntime(const WorkloadSpec &Workload,
     Config.AllocOptions.Backend = Backend;
   applyReplayMeta(Config, Options);
 
-  TransactionRuntime Runtime(Workload, Config, &Sink);
+  // With sampling on, the runtime talks to the sampler and the sampler
+  // forwards (plus its modeled overhead) to the machine model.
+  std::optional<AccessSampler> Sampler;
+  AccessSink *TopSink = &Sink;
+  if (Options.Sampling) {
+    Sampler.emplace(&Sink, Options.Sampler);
+    TopSink = &*Sampler;
+  }
+
+  TransactionRuntime Runtime(Workload, Config, TopSink);
   Runtime.attachTraceSink(Options.RecordSink);
 
+  SimPoint Point;
   for (unsigned I = 0; I < Options.WarmupTx; ++I)
     runOneTransaction(Runtime, Options);
+  TopSink->flush(); // keep buffered warm-up events out of the window
+  if (Sampler)
+    Point.SamplerPhases.push_back(Sampler->snapshot("warmup"));
   Sink.resetCounters();
   for (unsigned I = 0; I < Options.MeasureTx; ++I)
     runOneTransaction(Runtime, Options);
-  Sink.flush(); // drain buffered events before reading counters
+  TopSink->flush(); // drain buffered events before reading counters
+  if (Sampler) {
+    Point.SamplerPhases.push_back(Sampler->snapshot("measure"));
+    Point.SamplerRegions = Sampler->regions();
+    Point.HasSampler = true;
+  }
 
-  SimPoint Point;
+  // Cold give-back: the monitor decides whether reclaim fires. Without a
+  // sampler the give-back is unconditional (madvise everything free).
+  if (Options.ColdGiveBack && Backend) {
+    if (auto *Buddy = dynamic_cast<BuddyPageBackend *>(Backend.get()))
+      if (!Sampler || Sampler->coldBytes() > 0)
+        Point.AdvisedOutBytes = Buddy->adviseOut();
+  }
+
   Point.Events =
       averageEvents(Sink, Options.MeasureTx, Workload.AppCodeFootprintBytes,
                     Runtime.allocatorCodeFootprintBytes());
@@ -105,6 +132,12 @@ SimPoint ddm::simulateRuntime(const WorkloadSpec &Workload,
     Point.PageStats = Slab->pageStats();
     Point.HasPageStats = true;
   }
+  if (Backend)
+    Point.RssBytes = Point.PageStats.residentBytes();
+  if (auto *Adaptive = dynamic_cast<AdaptiveAllocator *>(&Runtime.allocator())) {
+    Point.StrategySwitches = Adaptive->strategySwitches();
+    Point.FinalStrategy = allocatorKindName(Adaptive->currentStrategy());
+  }
   return Point;
 }
 
@@ -115,6 +148,84 @@ SimPoint ddm::simulate(const WorkloadSpec &Workload, AllocatorKind Kind,
   Config.Kind = Kind;
   Config.UseBulkFree = true;
   return simulateRuntime(Workload, Config, P, ActiveCores, Options);
+}
+
+SimPoint ddm::simulatePhases(const std::vector<WorkloadSpec> &Phases,
+                             const RuntimeConfig &RuntimeCfg, const Platform &P,
+                             unsigned ActiveCores,
+                             const SimulationOptions &Options) {
+  assert(!Phases.empty() && "need at least one phase");
+  assert(!Options.ReplaySource && "phase runs cannot replay a trace");
+  assert(Options.MeasureTx > 0 && "need at least one measured transaction");
+
+  SimSink Sink(P, ActiveCores, Options.LargePages);
+
+  RuntimeConfig Config = RuntimeCfg;
+  Config.Scale = Options.Scale;
+  Config.Seed = Options.Seed;
+  if (Config.AllocOptions.ProcessId == 0)
+    Config.AllocOptions.ProcessId = static_cast<uint32_t>(Options.Seed % 64);
+  Config.AllocOptions.LargePages = Options.LargePages;
+  std::shared_ptr<PageBackend> Backend = backendFor(Options);
+  if (Backend)
+    Config.AllocOptions.Backend = Backend;
+
+  std::optional<AccessSampler> Sampler;
+  AccessSink *TopSink = &Sink;
+  if (Options.Sampling) {
+    Sampler.emplace(&Sink, Options.Sampler);
+    TopSink = &*Sampler;
+  }
+
+  TransactionRuntime Runtime(Phases.front(), Config, TopSink);
+  Runtime.attachTraceSink(Options.RecordSink);
+
+  SimPoint Point;
+  for (unsigned I = 0; I < Options.WarmupTx; ++I)
+    Runtime.executeTransaction();
+  TopSink->flush(); // keep buffered warm-up events out of the window
+  if (Sampler)
+    Point.SamplerPhases.push_back(Sampler->snapshot("warmup"));
+  Sink.resetCounters();
+  for (const WorkloadSpec &Phase : Phases) {
+    Runtime.setWorkload(Phase);
+    for (unsigned I = 0; I < Options.MeasureTx; ++I)
+      Runtime.executeTransaction();
+    TopSink->flush();
+    if (Sampler)
+      Point.SamplerPhases.push_back(Sampler->snapshot(Phase.Name));
+  }
+  if (Sampler) {
+    Point.SamplerRegions = Sampler->regions();
+    Point.HasSampler = true;
+  }
+
+  if (Options.ColdGiveBack && Backend) {
+    if (auto *Buddy = dynamic_cast<BuddyPageBackend *>(Backend.get()))
+      if (!Sampler || Sampler->coldBytes() > 0)
+        Point.AdvisedOutBytes = Buddy->adviseOut();
+  }
+  unsigned MeasuredTx =
+      Options.MeasureTx * static_cast<unsigned>(Phases.size());
+  Point.Events = averageEvents(Sink, MeasuredTx,
+                               Phases.front().AppCodeFootprintBytes,
+                               Runtime.allocatorCodeFootprintBytes());
+  Point.Perf = evaluatePerformance(P, Point.Events, ActiveCores);
+  Point.MeanConsumptionBytes = Runtime.metrics().ConsumptionBytes.mean();
+  Point.Metrics = Runtime.metrics();
+  if (Backend) {
+    Point.PageStats = Backend->stats();
+    Point.HasPageStats = true;
+    Point.RssBytes = Point.PageStats.residentBytes();
+  } else if (auto *Slab = dynamic_cast<SlabAllocator *>(&Runtime.allocator())) {
+    Point.PageStats = Slab->pageStats();
+    Point.HasPageStats = true;
+  }
+  if (auto *Adaptive = dynamic_cast<AdaptiveAllocator *>(&Runtime.allocator())) {
+    Point.StrategySwitches = Adaptive->strategySwitches();
+    Point.FinalStrategy = allocatorKindName(Adaptive->currentStrategy());
+  }
+  return Point;
 }
 
 ServiceProfile ddm::profileService(const WorkloadSpec &Workload,
@@ -137,10 +248,18 @@ ServiceProfile ddm::profileService(const WorkloadSpec &Workload,
     Config.AllocOptions.Backend = Backend;
   applyReplayMeta(Config, Options);
 
-  TransactionRuntime Runtime(Workload, Config, &Sink);
+  std::optional<AccessSampler> Sampler;
+  AccessSink *TopSink = &Sink;
+  if (Options.Sampling) {
+    Sampler.emplace(&Sink, Options.Sampler);
+    TopSink = &*Sampler;
+  }
+
+  TransactionRuntime Runtime(Workload, Config, TopSink);
   Runtime.attachTraceSink(Options.RecordSink);
   for (unsigned I = 0; I < Options.WarmupTx; ++I)
     runOneTransaction(Runtime, Options);
+  TopSink->flush(); // keep buffered warm-up events out of the first window
 
   // One counter window per transaction: the per-transaction events feed a
   // single-core performance evaluation whose cycles become that
@@ -150,12 +269,14 @@ ServiceProfile ddm::profileService(const WorkloadSpec &Workload,
   for (unsigned I = 0; I < SampleTx; ++I) {
     Sink.resetCounters();
     runOneTransaction(Runtime, Options);
-    Sink.flush(); // close this transaction's counter window
+    TopSink->flush(); // close this transaction's counter window
     PerTx.push_back(averageEvents(Sink, 1, Workload.AppCodeFootprintBytes,
                                   Runtime.allocatorCodeFootprintBytes()));
   }
 
   ServiceProfile Profile;
+  if (Sampler)
+    Profile.SamplerPhases.push_back(Sampler->snapshot(Workload.Name));
   DomainEvents AppSum, MmSum;
   std::vector<double> Cycles;
   Cycles.reserve(SampleTx);

@@ -20,6 +20,7 @@
 
 #include "page/PageBackend.h"
 #include "runtime/TransactionRuntime.h"
+#include "sampling/AccessSampler.h"
 #include "sim/Performance.h"
 #include "sim/Platform.h"
 #include "sim/SimSink.h"
@@ -63,6 +64,20 @@ struct SimulationOptions {
   /// the auxiliary random streams match the recorded run bit for bit. The
   /// trace must hold at least WarmupTx + MeasureTx transactions.
   TraceReplayer *ReplaySource = nullptr;
+
+  /// Interpose the DAMON-style access sampler (src/sampling) between the
+  /// runtime and the machine model. The sampler's modeled cost is charged
+  /// to the MemoryManagement domain, so sampled runs are honestly a
+  /// little slower — the overhead bench_adaptive gates at <= 5%.
+  bool Sampling = false;
+  SamplerOptions Sampler;
+
+  /// With a buddy backend: after the measured phase, model an madvise of
+  /// every free-but-resident page (BuddyPageBackend::adviseOut). When
+  /// sampling is on, the give-back only fires if the sampler actually
+  /// observed cold regions — the monitor gating the reclaim, as in
+  /// DAMON_RECLAIM.
+  bool ColdGiveBack = false;
 };
 
 /// The outputs of one (workload, allocator, platform, cores) point.
@@ -78,6 +93,26 @@ struct SimPoint {
   /// carry meaningful numbers.
   PageBackendStats PageStats;
   bool HasPageStats = false;
+
+  /// \name Sampler observability (filled when Options.Sampling).
+  /// @{
+  bool HasSampler = false;
+  /// Aggregate snapshots at the warmup/measure phase boundaries.
+  std::vector<SamplerSnapshot> SamplerPhases;
+  /// The final region table (heat, age, size-class histograms).
+  std::vector<SamplerRegion> SamplerRegions;
+  /// @}
+
+  /// Modeled RSS at run end (resident bytes of the buddy backend, after
+  /// any cold give-back) and the bytes the give-back dropped. Zero when
+  /// the run had no buddy backend.
+  uint64_t RssBytes = 0;
+  uint64_t AdvisedOutBytes = 0;
+
+  /// Adaptive-allocator telemetry: placement switches performed and the
+  /// strategy in effect at run end. Zero/empty for static allocators.
+  uint64_t StrategySwitches = 0;
+  std::string FinalStrategy;
 };
 
 /// Runs the pipeline with full control over the runtime configuration
@@ -92,6 +127,17 @@ SimPoint simulate(const WorkloadSpec &Workload, AllocatorKind Kind,
                   const Platform &P, unsigned ActiveCores,
                   const SimulationOptions &Options);
 
+/// Runs several workload phases through ONE runtime process: warm-up on
+/// the first phase, then Options.MeasureTx measured transactions per
+/// phase with TransactionRuntime::setWorkload() at every boundary — the
+/// request-mix shifts a long-lived server worker sees. Counters are
+/// averaged over all measured transactions; with Options.Sampling one
+/// snapshot per phase (named after the phase) lands in SamplerPhases.
+/// Trace replay is not supported for phase runs.
+SimPoint simulatePhases(const std::vector<WorkloadSpec> &Phases,
+                        const RuntimeConfig &RuntimeCfg, const Platform &P,
+                        unsigned ActiveCores, const SimulationOptions &Options);
+
 /// Per-transaction service-demand profile for the serving layer
 /// (src/server): the event averages of the measured transactions plus
 /// each transaction's relative cycle demand around that mean — the
@@ -101,6 +147,9 @@ struct ServiceProfile {
   /// One entry per measured transaction: its single-core cycles divided
   /// by the mean over all measured transactions (mean 1.0).
   std::vector<double> RelativeWeights;
+  /// With Options.Sampling: one end-of-profile sampler snapshot, tagged
+  /// with the workload's name (the serving layer's per-phase view).
+  std::vector<SamplerSnapshot> SamplerPhases;
 };
 
 /// Runs the pipeline like simulateRuntime() but snapshots the event

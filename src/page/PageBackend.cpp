@@ -45,7 +45,9 @@ BuddyPageBackend::BuddyPageBackend(const BuddyBackendConfig &Config)
       Arena(Config.ReserveBytes,
             Config.ReserveBytes >= MaxAlignment ? MaxAlignment
                                                 : Config.PageBytes),
-      Buddy(Arena.size() / PageBytes, maxOrderFor(Arena.size() / PageBytes)) {}
+      Buddy(Arena.size() / PageBytes, maxOrderFor(Arena.size() / PageBytes)),
+      LivePage(Arena.size() / PageBytes, 0),
+      ResidentPage(Arena.size() / PageBytes, 0) {}
 
 std::byte *BuddyPageBackend::acquire(size_t Bytes, size_t Alignment) {
   if (Alignment == 0)
@@ -66,6 +68,15 @@ std::byte *BuddyPageBackend::acquire(size_t Bytes, size_t Alignment) {
   PagesLive += Pages;
   if (PagesLive > PeakPagesLive)
     PeakPagesLive = PagesLive;
+  for (uint64_t P = First; P < First + Pages; ++P) {
+    LivePage[P] = 1;
+    if (!ResidentPage[P]) {
+      ResidentPage[P] = 1;
+      ++ResidentPages;
+    }
+  }
+  if (ResidentPages > PeakResidentPages)
+    PeakResidentPages = ResidentPages;
   return Arena.base() + size_t(First) * PageBytes;
 }
 
@@ -85,6 +96,24 @@ void BuddyPageBackend::release(std::byte *Ptr, size_t Bytes) {
   Buddy.freePages(First, Order);
   PagesReclaimed += Pages;
   PagesLive -= Pages;
+  // The pages stay resident: free memory is not returned to the OS until
+  // adviseOut() models the madvise.
+  for (uint64_t P = First; P < First + Pages; ++P)
+    LivePage[P] = 0;
+}
+
+uint64_t BuddyPageBackend::adviseOut() {
+  std::lock_guard<std::mutex> Lock(M);
+  uint64_t Dropped = 0;
+  for (size_t P = 0; P < ResidentPage.size(); ++P) {
+    if (ResidentPage[P] && !LivePage[P]) {
+      ResidentPage[P] = 0;
+      ++Dropped;
+    }
+  }
+  ResidentPages -= Dropped;
+  AdvisedOutPages += Dropped;
+  return Dropped * PageBytes;
 }
 
 PageBackendStats BuddyPageBackend::stats() const {
@@ -98,6 +127,9 @@ PageBackendStats BuddyPageBackend::stats() const {
   S.LargestFreeRunPages = Buddy.largestFreeBlockPages();
   S.Splits = Buddy.totalSplits();
   S.Coalesces = Buddy.totalCoalesces();
+  S.ResidentPages = ResidentPages;
+  S.PeakResidentPages = PeakResidentPages;
+  S.AdvisedOutPages = AdvisedOutPages;
   S.PageBytes = PageBytes;
   return S;
 }

@@ -30,6 +30,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace ddm {
 
@@ -45,7 +46,18 @@ struct PageBackendStats {
   uint64_t LargestFreeRunPages = 0;    ///< Largest contiguous free run.
   uint64_t Splits = 0;    ///< Buddy blocks split to satisfy requests.
   uint64_t Coalesces = 0; ///< Buddy pairs merged on release.
+  /// \name Modelled residency (RSS).
+  /// A page becomes resident the first time it is handed out and stays
+  /// resident after release — freeing memory does not shrink a process's
+  /// RSS — until adviseOut() models an madvise(MADV_DONTNEED) on it.
+  /// @{
+  uint64_t ResidentPages = 0;     ///< Pages currently counted in RSS.
+  uint64_t PeakResidentPages = 0; ///< High water of ResidentPages.
+  uint64_t AdvisedOutPages = 0;   ///< Cumulative pages given back.
+  /// @}
   size_t PageBytes = 4096;
+
+  uint64_t residentBytes() const { return ResidentPages * PageBytes; }
 
   /// 1 - largest/free: 0 when all free memory is one run, approaching 1
   /// as the free space shatters. 0 on an exhausted (or stat-less) backend.
@@ -95,6 +107,12 @@ public:
   PageBackendStats stats() const override;
   const char *name() const override { return "buddy"; }
 
+  /// Models madvise(MADV_DONTNEED) on every free-but-resident page: the
+  /// cold-region give-back driven by the access sampler. Returns the
+  /// number of bytes whose residency was dropped. Pages handed out again
+  /// later become resident again (and re-fault, in the real system).
+  uint64_t adviseOut();
+
   bool contains(const void *Ptr) const { return Arena.contains(Ptr); }
   size_t pageBytes() const { return PageBytes; }
 
@@ -106,6 +124,12 @@ private:
   uint64_t PagesReclaimed = 0;
   uint64_t PagesLive = 0;
   uint64_t PeakPagesLive = 0;
+  uint64_t ResidentPages = 0;
+  uint64_t PeakResidentPages = 0;
+  uint64_t AdvisedOutPages = 0;
+  /// One byte per arena page: is the page handed out / RSS-resident.
+  std::vector<uint8_t> LivePage;
+  std::vector<uint8_t> ResidentPage;
   mutable std::mutex M;
 };
 

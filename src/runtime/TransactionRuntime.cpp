@@ -34,6 +34,10 @@ double codeFootprintFor(AllocatorKind Kind) {
   case AllocatorKind::Default:
   case AllocatorKind::Glibc:
     return 8.0 * 1024;
+  case AllocatorKind::Adaptive:
+    // A thin dispatch layer plus whichever strategy is resident; only one
+    // inner allocator's hot path is live at a time.
+    return 2.5 * 1024;
   }
   unreachable("unknown allocator kind");
 }
@@ -62,6 +66,15 @@ TransactionRuntime::~TransactionRuntime() {
 
 double TransactionRuntime::allocatorCodeFootprintBytes() const {
   return codeFootprintFor(Config.Kind);
+}
+
+void TransactionRuntime::setWorkload(const WorkloadSpec &W) {
+  if (W.AppStateBytes > StateArea.size())
+    fatal("setWorkload: new workload needs " +
+          std::to_string(W.AppStateBytes) +
+          " bytes of interpreter state but the process reserved only " +
+          std::to_string(StateArea.size()));
+  Workload = W;
 }
 
 TransactionRuntime::ObjectRecord &TransactionRuntime::recordFor(uint32_t Id) {

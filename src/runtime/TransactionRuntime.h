@@ -148,6 +148,13 @@ public:
   const RuntimeMetrics &metrics() const { return Metrics; }
   TxAllocator &allocator() { return *Allocator; }
   const WorkloadSpec &workload() const { return Workload; }
+
+  /// Swaps the workload driving subsequent transactions (phase-shifting
+  /// benches run several phases against one process, the way a web worker
+  /// serves different request mixes across its lifetime). The interpreter
+  /// state area is sized at construction; a workload whose AppStateBytes
+  /// exceeds it is a fatal configuration error.
+  void setWorkload(const WorkloadSpec &W);
   const RuntimeConfig &config() const { return Config; }
 
   /// Estimated hot-code footprint of the current allocator (for the L1I

@@ -1,0 +1,377 @@
+//===- sampling/AccessSampler.cpp - DAMON-style access monitor ------------===//
+
+#include "sampling/AccessSampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+using namespace ddm;
+
+namespace {
+
+/// True when the pair straddles the region/fallback window boundary.
+/// Merging across it would create a span covering canonical bases that
+/// future mapRegion() calls will hand out, so those pairs never merge.
+bool crossesWindowBoundary(const ddm::SamplerRegion &L,
+                           const ddm::SamplerRegion &R) {
+  constexpr uint64_t Boundary = ddm::CanonicalAddressMap::FallbackWindowBase;
+  return (L.Start < Boundary) != (R.Start < Boundary);
+}
+
+unsigned widthClassFor(uint32_t Bytes) {
+  // c0 <= 8 B, c1 <= 16 B, ... c6 <= 512 B, c7 everything larger.
+  unsigned Class = 0;
+  uint32_t Bound = 8;
+  while (Class + 1 < SamplerRegion::SizeClasses && Bytes > Bound) {
+    ++Class;
+    Bound <<= 1;
+  }
+  return Class;
+}
+
+} // namespace
+
+AccessSampler::AccessSampler(AccessSink *Downstream,
+                             const SamplerOptions &Options)
+    : Opts(Options), Downstream(Downstream) {
+  if (Opts.SampleInterval == 0)
+    Opts.SampleInterval = 1;
+  if (Opts.WindowEvents == 0)
+    Opts.WindowEvents = 1;
+  if (Opts.MaxRegions < 2)
+    Opts.MaxRegions = 2;
+  if (Opts.MinRegionBytes < 4096)
+    Opts.MinRegionBytes = 4096;
+  // Catch-all over the first-touch fallback window, so accesses to
+  // unregistered memory (stack-like spill, odd metadata) are monitored
+  // too instead of dropped.
+  SamplerRegion Fallback;
+  Fallback.Start = CanonicalAddressMap::FallbackWindowBase;
+  Fallback.End = CanonicalAddressMap::FallbackWindowBase + (1ull << 40);
+  Regions.push_back(Fallback);
+}
+
+size_t AccessSampler::regionIndexFor(uint64_t CanonAddr) const {
+  // Last region whose start is <= CanonAddr.
+  auto It = std::upper_bound(
+      Regions.begin(), Regions.end(), CanonAddr,
+      [](uint64_t A, const SamplerRegion &R) { return A < R.Start; });
+  if (It == Regions.begin())
+    return Regions.size();
+  --It;
+  if (CanonAddr >= It->Start && CanonAddr < It->End)
+    return static_cast<size_t>(It - Regions.begin());
+  return Regions.size();
+}
+
+void AccessSampler::sample(uintptr_t RealAddr, uint32_t Bytes) {
+  ++Events;
+  if (Events % Opts.SampleInterval != 0)
+    return;
+  ++Sampled;
+  ++SampledThisWindow;
+  PendingOverhead += Opts.InstrPerSample;
+
+  uint64_t Canonical = Canon.translate(RealAddr);
+  size_t Index = regionIndexFor(Canonical);
+  if (Index == Regions.size()) {
+    ++Unattributed;
+  } else {
+    SamplerRegion &R = Regions[Index];
+    ++R.WindowSamples;
+    ++R.TotalSamples;
+    ++R.WidthClassSamples[widthClassFor(Bytes)];
+  }
+
+  if (SampledThisWindow >= Opts.WindowEvents)
+    foldWindow();
+}
+
+void AccessSampler::foldWindow() {
+  SampledThisWindow = 0;
+  ++Windows;
+  for (SamplerRegion &R : Regions) {
+    R.Heat = R.Heat * Opts.HeatDecay +
+             static_cast<double>(R.WindowSamples) * (1.0 - Opts.HeatDecay);
+    ++R.AgeWindows;
+  }
+  splitRegions();
+  mergeRegions();
+  for (SamplerRegion &R : Regions)
+    R.WindowSamples = 0;
+}
+
+void AccessSampler::splitRegions() {
+  // Ascending scan; children are visited again only next window, so one
+  // pass splits each hot region once — gradual refinement like DAMON's.
+  for (size_t I = 0; I < Regions.size() && Regions.size() < Opts.MaxRegions;
+       ++I) {
+    SamplerRegion &R = Regions[I];
+    if (R.WindowSamples < Opts.SplitMinSamples ||
+        R.bytes() < 2 * Opts.MinRegionBytes)
+      continue;
+    // Midpoint split, aligned down to 4 KB so region bounds stay on
+    // canonical page boundaries.
+    uint64_t Mid = (R.Start + R.bytes() / 2) & ~uint64_t(4095);
+    if (Mid <= R.Start || Mid >= R.End)
+      continue;
+    SamplerRegion Right = R;
+    Right.Start = Mid;
+    R.End = Mid;
+    // Halve the extensive counters; the odd sample stays on the left.
+    Right.WindowSamples = R.WindowSamples / 2;
+    R.WindowSamples -= Right.WindowSamples;
+    Right.TotalSamples = R.TotalSamples / 2;
+    R.TotalSamples -= Right.TotalSamples;
+    for (unsigned C = 0; C < SamplerRegion::SizeClasses; ++C) {
+      Right.WidthClassSamples[C] = R.WidthClassSamples[C] / 2;
+      R.WidthClassSamples[C] -= Right.WidthClassSamples[C];
+    }
+    R.Heat /= 2.0;
+    Right.Heat = R.Heat;
+    R.AgeWindows = Right.AgeWindows = 0;
+    Regions.insert(Regions.begin() + static_cast<ptrdiff_t>(I) + 1, Right);
+    ++Splits;
+    ++I; // Skip the right child this pass.
+  }
+}
+
+void AccessSampler::mergeRegions() {
+  // Pass 1: fold adjacent cold look-alikes.
+  for (size_t I = 0; I + 1 < Regions.size();) {
+    SamplerRegion &L = Regions[I];
+    SamplerRegion &R = Regions[I + 1];
+    bool BothCold = L.WindowSamples <= Opts.MergeMaxSamples &&
+                    R.WindowSamples <= Opts.MergeMaxSamples;
+    if (BothCold && !crossesWindowBoundary(L, R) &&
+        std::abs(L.Heat - R.Heat) <= Opts.MergeHeatDelta) {
+      L.End = R.End; // Spans any canonical guard gap; containment still holds.
+      L.WindowSamples += R.WindowSamples;
+      L.TotalSamples += R.TotalSamples;
+      for (unsigned C = 0; C < SamplerRegion::SizeClasses; ++C)
+        L.WidthClassSamples[C] += R.WidthClassSamples[C];
+      L.Heat = (L.Heat + R.Heat) / 2.0;
+      L.AgeWindows = 0;
+      Regions.erase(Regions.begin() + static_cast<ptrdiff_t>(I) + 1);
+      ++Merges;
+      continue; // Re-test the grown region against its new neighbour.
+    }
+    ++I;
+  }
+  // Pass 2: enforce the bound by merging the most-similar adjacent pair
+  // (lowest index wins ties) until within it.
+  while (Regions.size() > Opts.MaxRegions) {
+    size_t Best = Regions.size();
+    double BestDelta = 0.0;
+    for (size_t I = 0; I + 1 < Regions.size(); ++I) {
+      if (crossesWindowBoundary(Regions[I], Regions[I + 1]))
+        continue;
+      double Delta = std::abs(Regions[I].Heat - Regions[I + 1].Heat);
+      if (Best == Regions.size() || Delta < BestDelta) {
+        BestDelta = Delta;
+        Best = I;
+      }
+    }
+    if (Best == Regions.size())
+      break; // Only the window-boundary pair is left.
+    SamplerRegion &L = Regions[Best];
+    SamplerRegion &R = Regions[Best + 1];
+    L.End = R.End;
+    L.WindowSamples += R.WindowSamples;
+    L.TotalSamples += R.TotalSamples;
+    for (unsigned C = 0; C < SamplerRegion::SizeClasses; ++C)
+      L.WidthClassSamples[C] += R.WidthClassSamples[C];
+    L.Heat = (L.Heat + R.Heat) / 2.0;
+    L.AgeWindows = 0;
+    Regions.erase(Regions.begin() + static_cast<ptrdiff_t>(Best) + 1);
+    ++Merges;
+  }
+}
+
+void AccessSampler::accesses(const AccessBatch &Batch) {
+  if (Downstream)
+    Downstream->accesses(Batch);
+  for (unsigned I = 0; I < Batch.Count; ++I) {
+    const AccessBatch::Event &E = Batch.Events[I];
+    switch (E.Kind) {
+    case AccessKind::Load:
+    case AccessKind::Store:
+      sample(static_cast<uintptr_t>(E.Payload), E.Bytes);
+      break;
+    case AccessKind::Instructions:
+      break;
+    case AccessKind::Domain:
+      CurrentDomain = static_cast<CostDomain>(E.Payload);
+      break;
+    }
+  }
+  // Charge the monitoring cost where a kernel would book it: memory
+  // management, not the application. Restoring the producer's domain
+  // keeps the attribution of everything that follows unchanged.
+  if (PendingOverhead && Downstream) {
+    Downstream->setDomain(CostDomain::MemoryManagement);
+    Downstream->instructions(PendingOverhead);
+    Downstream->setDomain(CurrentDomain);
+  }
+  PendingOverhead = 0;
+}
+
+void AccessSampler::load(uintptr_t Addr, uint32_t Bytes) {
+  flush();
+  if (Downstream)
+    Downstream->load(Addr, Bytes);
+  sample(Addr, Bytes);
+  if (PendingOverhead && Downstream) {
+    Downstream->setDomain(CostDomain::MemoryManagement);
+    Downstream->instructions(PendingOverhead);
+    Downstream->setDomain(CurrentDomain);
+  }
+  PendingOverhead = 0;
+}
+
+void AccessSampler::store(uintptr_t Addr, uint32_t Bytes) {
+  flush();
+  if (Downstream)
+    Downstream->store(Addr, Bytes);
+  sample(Addr, Bytes);
+  if (PendingOverhead && Downstream) {
+    Downstream->setDomain(CostDomain::MemoryManagement);
+    Downstream->instructions(PendingOverhead);
+    Downstream->setDomain(CurrentDomain);
+  }
+  PendingOverhead = 0;
+}
+
+void AccessSampler::instructions(uint64_t Count) {
+  flush();
+  if (Downstream)
+    Downstream->instructions(Count);
+}
+
+void AccessSampler::setDomain(CostDomain Domain) {
+  flush();
+  CurrentDomain = Domain;
+  if (Downstream)
+    Downstream->setDomain(Domain);
+}
+
+void AccessSampler::mapRegion(const void *Base, size_t Size) {
+  flush();
+  if (Downstream)
+    Downstream->mapRegion(Base, Size);
+  if (!Base || Size == 0)
+    return;
+  // The canonical base this block is about to receive is the current end
+  // of the region window; open a monitoring region over its image.
+  uint64_t CanonBase = Canon.regionWindowEnd();
+  Canon.mapRegion(Base, Size);
+  SamplerRegion R;
+  R.Start = CanonBase;
+  R.End = CanonBase + Size;
+  if (R.bytes() < Opts.MinRegionBytes)
+    R.End = R.Start + Opts.MinRegionBytes;
+  auto It = std::upper_bound(
+      Regions.begin(), Regions.end(), R.Start,
+      [](uint64_t A, const SamplerRegion &X) { return A < X.Start; });
+  Regions.insert(It, R);
+  // A fresh block may push the count past the bound; fold the excess.
+  if (Regions.size() > Opts.MaxRegions)
+    mergeRegions();
+}
+
+void AccessSampler::unmapRegion(const void *Base) {
+  flush();
+  if (Downstream)
+    Downstream->unmapRegion(Base);
+  // Monitoring regions outlive their block (like DAMON monitoring a
+  // munmapped range): the canonical image is never reused, so the region
+  // simply goes cold and merges away.
+  Canon.unmapRegion(Base);
+}
+
+double AccessSampler::meanHeat() const {
+  if (Regions.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (const SamplerRegion &R : Regions)
+    Sum += R.Heat;
+  return Sum / static_cast<double>(Regions.size());
+}
+
+uint64_t AccessSampler::coldBytes(uint64_t MinAgeWindows) const {
+  // Heat is an EMA and never decays to exactly zero once a region has
+  // been touched; "cold" is less than one sampled access per window.
+  uint64_t Bytes = 0;
+  for (const SamplerRegion &R : Regions)
+    if (R.Heat < 1.0 && R.WindowSamples == 0 && R.AgeWindows >= MinAgeWindows)
+      Bytes += R.bytes();
+  return Bytes;
+}
+
+SamplerSnapshot AccessSampler::snapshot(const std::string &Phase) const {
+  SamplerSnapshot S;
+  S.Phase = Phase;
+  S.Events = Events;
+  S.Sampled = Sampled;
+  S.Windows = Windows;
+  S.Splits = Splits;
+  S.Merges = Merges;
+  S.Regions = Regions.size();
+  double Mean = meanHeat();
+  for (const SamplerRegion &R : Regions) {
+    S.MonitoredBytes += R.bytes();
+    if (R.Heat >= Mean && R.Heat > 0.0)
+      S.HotBytes += R.bytes();
+    if (R.AgeWindows > S.MaxRegionAge)
+      S.MaxRegionAge = R.AgeWindows;
+  }
+  S.ColdBytes = coldBytes();
+  return S;
+}
+
+std::string AccessSampler::renderText() const {
+  std::ostringstream Out;
+  Out << "access sampler: " << Events << " events, " << Sampled
+      << " sampled, " << Windows << " windows, " << Regions.size()
+      << " regions (" << Splits << " splits, " << Merges << " merges)\n";
+  double Mean = meanHeat();
+  for (const SamplerRegion &R : Regions) {
+    Out << "  [0x" << std::hex << R.Start << ", 0x" << R.End << std::dec
+        << ") " << (R.bytes() >> 10) << " KB heat=" << R.Heat
+        << " age=" << R.AgeWindows << " samples=" << R.TotalSamples;
+    if (R.Heat >= Mean && R.Heat > 0.0)
+      Out << " HOT";
+    Out << "\n    widths:";
+    for (unsigned C = 0; C < SamplerRegion::SizeClasses; ++C)
+      Out << ' ' << R.WidthClassSamples[C];
+    Out << '\n';
+  }
+  return Out.str();
+}
+
+std::string AccessSampler::renderJson() const {
+  std::ostringstream Out;
+  Out << "{\"events\": " << Events << ", \"sampled\": " << Sampled
+      << ", \"windows\": " << Windows << ", \"splits\": " << Splits
+      << ", \"merges\": " << Merges
+      << ", \"unattributed\": " << Unattributed
+      << ", \"mean_heat\": " << meanHeat()
+      << ", \"cold_bytes\": " << coldBytes() << ", \"regions\": [";
+  for (size_t I = 0; I < Regions.size(); ++I) {
+    const SamplerRegion &R = Regions[I];
+    if (I)
+      Out << ", ";
+    Out << "{\"start\": " << R.Start << ", \"end\": " << R.End
+        << ", \"heat\": " << R.Heat << ", \"age_windows\": " << R.AgeWindows
+        << ", \"samples\": " << R.TotalSamples << ", \"width_classes\": [";
+    for (unsigned C = 0; C < SamplerRegion::SizeClasses; ++C) {
+      if (C)
+        Out << ", ";
+      Out << R.WidthClassSamples[C];
+    }
+    Out << "]}";
+  }
+  Out << "]}";
+  return Out.str();
+}

@@ -1,0 +1,186 @@
+//===- sampling/AccessSampler.h - DAMON-style access monitor ---*- C++ -*-===//
+///
+/// \file
+/// A low-overhead, region-based access monitor in the style of Linux's
+/// DAMON, layered over the repo's batched AccessSink path. The sampler
+/// sits between the instrumented producers and a downstream sink
+/// (normally the SimSink machine model), forwards every batch untouched,
+/// and samples one in N load/store events into an adaptive region tree
+/// over the canonical simulated address space:
+///
+///  - every mapRegion() announcement opens a monitoring region over the
+///    block's canonical image (the sampler keeps its own
+///    CanonicalAddressMap fed by the same registration stream, so its
+///    addresses are bit-identical to the machine model's);
+///  - once per aggregation window (a fixed count of *sampled* events, so
+///    the schedule is deterministic), per-region heat is folded into an
+///    exponential moving average, hot regions larger than twice the
+///    minimum are split at their midpoint, and adjacent regions with
+///    similar heat are merged — with the total region count bounded like
+///    DAMON's min/max region knobs;
+///  - each region carries its age (aggregation windows survived without a
+///    split or merge) and a histogram of sampled access widths by
+///    power-of-two size class.
+///
+/// Everything the sampler consumes is already deterministic (canonical
+/// addresses, event counts), so the same seed and trace produce a
+/// byte-identical region report at any --jobs.
+///
+/// The monitoring itself is not free: the sampler charges a modeled
+/// per-sample instruction cost to the downstream sink under the
+/// MemoryManagement domain, so "sampling on" measurably costs what the
+/// bench_adaptive overhead gate checks (<= 5%).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_SAMPLING_ACCESSSAMPLER_H
+#define DDM_SAMPLING_ACCESSSAMPLER_H
+
+#include "core/AccessSink.h"
+#include "sim/CanonicalAddressMap.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddm {
+
+/// Monitoring knobs, DAMON-flavored. The defaults keep overhead well
+/// under the 5% gate while still resolving the hot/cold structure of the
+/// study's workloads.
+struct SamplerOptions {
+  /// Sample one in this many load/store events (1 = every event).
+  unsigned SampleInterval = 32;
+  /// Fold a window and run split/merge after this many *sampled* events.
+  uint64_t WindowEvents = 2048;
+  /// Region-count bounds (DAMON min_nr_regions / max_nr_regions).
+  unsigned MaxRegions = 64;
+  /// Never split a region below this many bytes.
+  uint64_t MinRegionBytes = 1ull << 16;
+  /// EMA weight of the previous heat when a window folds.
+  double HeatDecay = 0.5;
+  /// Split a region whose window sample count is at least this.
+  uint64_t SplitMinSamples = 64;
+  /// Merge adjacent regions whose window sample counts are both below
+  /// this and whose heats differ by at most MergeHeatDelta.
+  uint64_t MergeMaxSamples = 8;
+  double MergeHeatDelta = 4.0;
+  /// Modeled instructions charged downstream per sampled event
+  /// (MemoryManagement domain). 0 disables overhead charging.
+  uint64_t InstrPerSample = 6;
+};
+
+/// One monitored canonical-address interval.
+struct SamplerRegion {
+  uint64_t Start = 0; ///< Canonical, inclusive.
+  uint64_t End = 0;   ///< Canonical, exclusive.
+  /// Sampled accesses in the current (unfolded) window.
+  uint64_t WindowSamples = 0;
+  /// EMA of per-window sampled accesses.
+  double Heat = 0.0;
+  /// Aggregation windows survived without being split or merged.
+  uint64_t AgeWindows = 0;
+  /// Cumulative sampled accesses over the region's lifetime.
+  uint64_t TotalSamples = 0;
+  /// Sampled access widths by power-of-two class: class c counts widths
+  /// in (2^(c+2), 2^(c+3)] — c0 is <=8 B, c1 <=16 B, ... c7 >1 KB.
+  static constexpr unsigned SizeClasses = 8;
+  uint64_t WidthClassSamples[SizeClasses] = {};
+
+  uint64_t bytes() const { return End - Start; }
+};
+
+/// Aggregate view of one sampler at a point in time; cheap to copy, used
+/// for the per-phase snapshots carried by ServingMetrics and SimPoint.
+struct SamplerSnapshot {
+  std::string Phase;          ///< Caller-supplied label ("warmup", ...).
+  uint64_t Events = 0;        ///< Load/store events seen.
+  uint64_t Sampled = 0;       ///< Events that were sampled.
+  uint64_t Windows = 0;       ///< Aggregation windows folded.
+  uint64_t Splits = 0;        ///< Cumulative region splits.
+  uint64_t Merges = 0;        ///< Cumulative region merges.
+  uint64_t Regions = 0;       ///< Live region count.
+  uint64_t MonitoredBytes = 0;///< Sum of region sizes.
+  /// Bytes in regions whose heat is at least the mean heat ("hot"), and
+  /// in regions with zero heat and age of at least two windows ("cold").
+  uint64_t HotBytes = 0;
+  uint64_t ColdBytes = 0;
+  uint64_t MaxRegionAge = 0;
+};
+
+/// The monitor. An AccessSink that tees to a downstream sink; attach it
+/// wherever the downstream sink would have been attached.
+class AccessSampler final : public AccessSink {
+public:
+  /// Monitors the stream flowing into \p Downstream (may be null for a
+  /// pure-monitoring sampler, e.g. under tools/heatmap).
+  explicit AccessSampler(AccessSink *Downstream,
+                         const SamplerOptions &Options = SamplerOptions());
+
+  void load(uintptr_t Addr, uint32_t Bytes) override;
+  void store(uintptr_t Addr, uint32_t Bytes) override;
+  void instructions(uint64_t Count) override;
+  void setDomain(CostDomain Domain) override;
+  void accesses(const AccessBatch &Batch) override;
+  void mapRegion(const void *Base, size_t Size) override;
+  void unmapRegion(const void *Base) override;
+
+  /// The live region list, sorted by canonical start. Heat and age
+  /// reflect fully folded windows; WindowSamples holds the partial one.
+  const std::vector<SamplerRegion> &regions() const { return Regions; }
+
+  const SamplerOptions &options() const { return Opts; }
+  uint64_t eventsSeen() const { return Events; }
+  uint64_t eventsSampled() const { return Sampled; }
+  uint64_t windowsFolded() const { return Windows; }
+  uint64_t splits() const { return Splits; }
+  uint64_t merges() const { return Merges; }
+  /// Sampled events that landed outside every monitored region.
+  uint64_t unattributedSamples() const { return Unattributed; }
+
+  /// Mean region heat; 0 with no regions.
+  double meanHeat() const;
+
+  /// Bytes in regions whose heat has decayed below one sampled access per
+  /// window, with no pending window samples and age >= \p MinAgeWindows —
+  /// the give-back candidates.
+  uint64_t coldBytes(uint64_t MinAgeWindows = 2) const;
+
+  /// Captures the aggregate counters under \p Phase.
+  SamplerSnapshot snapshot(const std::string &Phase) const;
+
+  /// Human-readable region table (one line per region, hottest marked).
+  std::string renderText() const;
+  /// Machine-readable report: a JSON object with the aggregate counters
+  /// and a `regions` array. Deterministic field order.
+  std::string renderJson() const;
+
+private:
+  void sample(uintptr_t RealAddr, uint32_t Bytes);
+  void foldWindow();
+  void splitRegions();
+  void mergeRegions();
+  size_t regionIndexFor(uint64_t CanonAddr) const;
+
+  SamplerOptions Opts;
+  AccessSink *Downstream;
+  CanonicalAddressMap Canon;
+  std::vector<SamplerRegion> Regions; ///< Sorted by Start, disjoint.
+
+  uint64_t Events = 0;
+  uint64_t Sampled = 0;
+  uint64_t SampledThisWindow = 0;
+  uint64_t Windows = 0;
+  uint64_t Splits = 0;
+  uint64_t Merges = 0;
+  uint64_t Unattributed = 0;
+  /// Modeled instructions accrued and not yet charged downstream.
+  uint64_t PendingOverhead = 0;
+  /// Domain the producers believe is active (tracked so the overhead
+  /// charge can restore it after switching to MemoryManagement).
+  CostDomain CurrentDomain = CostDomain::Application;
+};
+
+} // namespace ddm
+
+#endif // DDM_SAMPLING_ACCESSSAMPLER_H

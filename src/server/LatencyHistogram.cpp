@@ -2,6 +2,8 @@
 
 #include "server/LatencyHistogram.h"
 
+#include "support/Error.h"
+
 #include <algorithm>
 #include <bit>
 #include <cassert>
@@ -57,7 +59,12 @@ void LatencyHistogram::add(uint64_t Value, uint64_t Weight) {
 }
 
 void LatencyHistogram::merge(const LatencyHistogram &Other) {
-  assert(SubBits == Other.SubBits && "incompatible resolutions");
+  // Mixed resolutions would silently mis-bucket the merged tail; Release
+  // benches merge per-worker histograms, so this must stay fatal there too.
+  if (SubBits != Other.SubBits)
+    fatal("LatencyHistogram::merge: incompatible resolutions (" +
+          std::to_string(SubBits) + " vs " + std::to_string(Other.SubBits) +
+          " sub-bucket bits)");
   if (Other.Buckets.size() > Buckets.size())
     Buckets.resize(Other.Buckets.size(), 0);
   for (size_t I = 0; I < Other.Buckets.size(); ++I)
@@ -81,11 +88,17 @@ uint64_t LatencyHistogram::percentile(double Fraction) const {
   uint64_t Target = static_cast<uint64_t>(
       std::ceil(Fraction * static_cast<double>(Total)));
   Target = std::clamp<uint64_t>(Target, 1, Total);
+  // The rank-1 order statistic is the observed minimum; returning the
+  // first nonempty bucket's upper bound would overshoot it (the MaxValue
+  // clamp below already makes the rank-Total statistic exact).
+  if (Target == 1)
+    return MinValue;
   uint64_t Seen = 0;
   for (size_t I = 0; I < Buckets.size(); ++I) {
     Seen += Buckets[I];
     if (Seen >= Target)
-      return std::min(bucketUpperBound(static_cast<unsigned>(I)), MaxValue);
+      return std::clamp(bucketUpperBound(static_cast<unsigned>(I)), MinValue,
+                        MaxValue);
   }
   return MaxValue;
 }

@@ -32,7 +32,9 @@ public:
   /// Records one sample with weight \p Weight.
   void add(uint64_t Value, uint64_t Weight = 1);
 
-  /// Merges \p Other (must use the same SubBucketBits).
+  /// Merges \p Other. Mismatched SubBucketBits is a hard error (fatal)
+  /// even in Release builds: the bucket layouts are incompatible and a
+  /// silent merge corrupts the tail.
   void merge(const LatencyHistogram &Other);
 
   uint64_t count() const { return Total; }
@@ -42,9 +44,10 @@ public:
 
   /// Smallest recorded-bucket upper bound V such that at least
   /// \p Fraction of the samples are <= V, clamped to the observed
-  /// maximum. For a sorted reference R, percentile(q) is >= the exact
-  /// order statistic and overshoots it by at most the bucket's relative
-  /// resolution.
+  /// [minimum, maximum]. For a sorted reference R, percentile(q) is >=
+  /// the exact order statistic and overshoots it by at most the bucket's
+  /// relative resolution; the rank-1 and rank-count statistics (p0/p100)
+  /// are exact.
   uint64_t percentile(double Fraction) const;
 
   /// Upper bound of the relative quantization error: 2^(1-SubBucketBits).

@@ -11,10 +11,12 @@
 #ifndef DDM_SERVER_SERVINGMETRICS_H
 #define DDM_SERVER_SERVINGMETRICS_H
 
+#include "sampling/AccessSampler.h"
 #include "server/LatencyHistogram.h"
 #include "support/Stats.h"
 
 #include <cstdint>
+#include <vector>
 
 namespace ddm {
 
@@ -60,6 +62,11 @@ struct ServingMetrics {
   double MeanBusyWorkers = 0.0;
   /// MeanBusyWorkers / pool size, in [0, 1].
   double Utilization = 0.0;
+
+  /// Access-sampler snapshots of the profiling runs behind the service
+  /// model, one per workload phase (empty unless the model was built with
+  /// SimulationOptions::Sampling).
+  std::vector<SamplerSnapshot> SamplerPhases;
 
   double dropRate() const {
     return Offered ? static_cast<double>(Dropped) /

@@ -1,0 +1,57 @@
+//===- sim/CanonicalAddressMap.cpp - Deterministic address space ----------===//
+
+#include "sim/CanonicalAddressMap.h"
+
+#include <algorithm>
+
+using namespace ddm;
+
+uint64_t CanonicalAddressMap::translateSlow(uintptr_t Addr) {
+  // Find the last region whose base is <= Addr.
+  auto It = std::upper_bound(
+      Regions.begin(), Regions.end(), Addr,
+      [](uintptr_t A, const CanonicalRegion &R) { return A < R.RealBase; });
+  if (It != Regions.begin()) {
+    const CanonicalRegion &R = *(It - 1);
+    if (Addr >= R.RealBase && Addr < R.RealEnd) {
+      MruRegion = static_cast<size_t>((It - 1) - Regions.begin());
+      return R.CanonBase + (Addr - R.RealBase);
+    }
+  }
+  // Unregistered address: canonicalize its 4 KB page on first touch. The
+  // sub-page offset is preserved, so line and page locality survive.
+  uint64_t Page = Addr >> 12;
+  auto [Entry, Inserted] = FallbackPages.try_emplace(Page, NextFallbackPage);
+  if (Inserted)
+    ++NextFallbackPage;
+  return (Entry->second << 12) | (Addr & 4095);
+}
+
+void CanonicalAddressMap::mapRegion(const void *Base, size_t Size) {
+  if (!Base || Size == 0)
+    return;
+  auto RealBase = reinterpret_cast<uintptr_t>(Base);
+  unmapRegion(Base);
+  CanonicalRegion R;
+  R.RealBase = RealBase;
+  R.RealEnd = RealBase + Size;
+  R.CanonBase = NextRegionCanonBase;
+  NextRegionCanonBase +=
+      ((Size + RegionAlign - 1) & ~(RegionAlign - 1)) + RegionAlign;
+  auto It = std::upper_bound(
+      Regions.begin(), Regions.end(), RealBase,
+      [](uintptr_t A, const CanonicalRegion &X) { return A < X.RealBase; });
+  Regions.insert(It, R);
+  MruRegion = 0;
+}
+
+void CanonicalAddressMap::unmapRegion(const void *Base) {
+  auto RealBase = reinterpret_cast<uintptr_t>(Base);
+  for (auto It = Regions.begin(); It != Regions.end(); ++It) {
+    if (It->RealBase == RealBase) {
+      Regions.erase(It);
+      MruRegion = 0;
+      return;
+    }
+  }
+}

@@ -1,0 +1,86 @@
+//===- sim/CanonicalAddressMap.h - Deterministic address space -*- C++ -*-===//
+///
+/// \file
+/// Translation from real process addresses into the canonical simulated
+/// address space shared by every address-based model in the repo (the
+/// SimSink cache/TLB hierarchy, the sampling/ access monitor). Raw
+/// pointers would make every address-derived counter depend on where the
+/// OS placed each mmap — nondeterministic across processes (ASLR) and
+/// across concurrently executing sweep points. The map assigns blocks
+/// announced through mapRegion() canonical bases in registration order
+/// (monotonically, never reused, so a restarted process's fresh heap is
+/// cold), and canonicalizes unregistered addresses page-by-page on first
+/// touch. Registration order is program order, so canonical addresses
+/// depend only on the simulated work — which is what makes simulation
+/// counters and sampler region reports byte-identical at any --jobs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDM_SIM_CANONICALADDRESSMAP_H
+#define DDM_SIM_CANONICALADDRESSMAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ddm {
+
+/// Real-to-canonical address translation with first-touch fallback.
+/// Value-type: each consumer (sink, sampler) owns one; two maps fed the
+/// same registration and access sequence produce identical translations.
+class CanonicalAddressMap {
+public:
+  /// Canonical layout: registered regions are placed from RegionWindowBase
+  /// upward with 1 MB alignment and a 1 MB guard gap; unregistered
+  /// addresses map to first-touch pages from FallbackWindowBase upward.
+  static constexpr uint64_t RegionWindowBase = 0x400000000000ull;
+  static constexpr uint64_t FallbackWindowBase = 0x700000000000ull;
+  static constexpr uint64_t RegionAlign = 1ull << 20;
+
+  /// Translates \p Addr, registering its 4 KB page on first touch if it
+  /// belongs to no mapped region.
+  uint64_t translate(uintptr_t Addr) {
+    if (MruRegion < Regions.size()) {
+      const CanonicalRegion &R = Regions[MruRegion];
+      if (Addr >= R.RealBase && Addr < R.RealEnd)
+        return R.CanonBase + (Addr - R.RealBase);
+    }
+    return translateSlow(Addr);
+  }
+
+  /// Registers a block; a re-registration of the same base replaces the
+  /// old block, and the fresh canonical base means the new incarnation
+  /// starts cold, like a new process's heap would.
+  void mapRegion(const void *Base, size_t Size);
+
+  /// Unregisters the block registered at \p Base (no-op if unknown).
+  void unmapRegion(const void *Base);
+
+  /// Number of live canonical regions (introspection for tests).
+  size_t mappedRegionCount() const { return Regions.size(); }
+
+  /// One past the highest canonical region byte handed out so far — the
+  /// upper bound a region monitor needs to size its root interval.
+  uint64_t regionWindowEnd() const { return NextRegionCanonBase; }
+
+private:
+  /// A registered memory block and its canonical image.
+  struct CanonicalRegion {
+    uintptr_t RealBase;
+    uintptr_t RealEnd;
+    uint64_t CanonBase;
+  };
+
+  uint64_t translateSlow(uintptr_t Addr);
+
+  std::vector<CanonicalRegion> Regions; ///< Sorted by RealBase.
+  size_t MruRegion = 0;                 ///< Last region that translated.
+  uint64_t NextRegionCanonBase = RegionWindowBase;
+  std::unordered_map<uint64_t, uint64_t> FallbackPages;
+  uint64_t NextFallbackPage = FallbackWindowBase >> 12;
+};
+
+} // namespace ddm
+
+#endif // DDM_SIM_CANONICALADDRESSMAP_H

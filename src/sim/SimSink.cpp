@@ -71,67 +71,11 @@ SimSink::SimSink(const Platform &P, unsigned ActiveCores, bool LargePages)
     Prefetcher.emplace();
 }
 
-uint64_t SimSink::translate(uintptr_t Addr) {
-  if (MruRegion < Regions.size()) {
-    const CanonicalRegion &R = Regions[MruRegion];
-    if (Addr >= R.RealBase && Addr < R.RealEnd)
-      return R.CanonBase + (Addr - R.RealBase);
-  }
-  return translateSlow(Addr);
-}
-
-uint64_t SimSink::translateSlow(uintptr_t Addr) {
-  // Find the last region whose base is <= Addr.
-  auto It = std::upper_bound(
-      Regions.begin(), Regions.end(), Addr,
-      [](uintptr_t A, const CanonicalRegion &R) { return A < R.RealBase; });
-  if (It != Regions.begin()) {
-    const CanonicalRegion &R = *(It - 1);
-    if (Addr >= R.RealBase && Addr < R.RealEnd) {
-      MruRegion = static_cast<size_t>((It - 1) - Regions.begin());
-      return R.CanonBase + (Addr - R.RealBase);
-    }
-  }
-  // Unregistered address: canonicalize its 4 KB page on first touch. The
-  // sub-page offset is preserved, so line and page locality survive.
-  uint64_t Page = Addr >> 12;
-  auto [Entry, Inserted] = FallbackPages.try_emplace(Page, NextFallbackPage);
-  if (Inserted)
-    ++NextFallbackPage;
-  return (Entry->second << 12) | (Addr & 4095);
-}
-
 void SimSink::mapRegion(const void *Base, size_t Size) {
-  if (!Base || Size == 0)
-    return;
-  auto RealBase = reinterpret_cast<uintptr_t>(Base);
-  // Re-registration of the same base replaces the old block; the fresh
-  // canonical base means the new incarnation starts cold, like a new
-  // process's heap would.
-  unmapRegion(Base);
-  CanonicalRegion R;
-  R.RealBase = RealBase;
-  R.RealEnd = RealBase + Size;
-  R.CanonBase = NextRegionCanonBase;
-  NextRegionCanonBase +=
-      ((Size + RegionAlign - 1) & ~(RegionAlign - 1)) + RegionAlign;
-  auto It = std::upper_bound(
-      Regions.begin(), Regions.end(), RealBase,
-      [](uintptr_t A, const CanonicalRegion &X) { return A < X.RealBase; });
-  Regions.insert(It, R);
-  MruRegion = 0;
+  Canon.mapRegion(Base, Size);
 }
 
-void SimSink::unmapRegion(const void *Base) {
-  auto RealBase = reinterpret_cast<uintptr_t>(Base);
-  for (auto It = Regions.begin(); It != Regions.end(); ++It) {
-    if (It->RealBase == RealBase) {
-      Regions.erase(It);
-      MruRegion = 0;
-      return;
-    }
-  }
-}
+void SimSink::unmapRegion(const void *Base) { Canon.unmapRegion(Base); }
 
 void SimSink::installPrefetches(const PrefetchList &List, DomainEvents &E) {
   for (unsigned I = 0; I < List.Count; ++I) {
@@ -200,11 +144,11 @@ void SimSink::accesses(const AccessBatch &Batch) {
     const AccessBatch::Event &E = Batch.Events[I];
     switch (E.Kind) {
     case AccessKind::Load:
-      touchRange(translate(static_cast<uintptr_t>(E.Payload)), E.Bytes,
+      touchRange(Canon.translate(static_cast<uintptr_t>(E.Payload)), E.Bytes,
                  /*IsWrite=*/false);
       break;
     case AccessKind::Store:
-      touchRange(translate(static_cast<uintptr_t>(E.Payload)), E.Bytes,
+      touchRange(Canon.translate(static_cast<uintptr_t>(E.Payload)), E.Bytes,
                  /*IsWrite=*/true);
       break;
     case AccessKind::Instructions:
@@ -223,12 +167,12 @@ void SimSink::accesses(const AccessBatch &Batch) {
 
 void SimSink::load(uintptr_t Addr, uint32_t Bytes) {
   flush();
-  touchRange(translate(Addr), Bytes, /*IsWrite=*/false);
+  touchRange(Canon.translate(Addr), Bytes, /*IsWrite=*/false);
 }
 
 void SimSink::store(uintptr_t Addr, uint32_t Bytes) {
   flush();
-  touchRange(translate(Addr), Bytes, /*IsWrite=*/true);
+  touchRange(Canon.translate(Addr), Bytes, /*IsWrite=*/true);
 }
 
 void SimSink::instructions(uint64_t Count) {

@@ -20,14 +20,9 @@
 ///
 /// Canonical simulated addresses: the cache/TLB model is address-based, so
 /// raw pointers would make every counter depend on where the OS placed
-/// each mmap — nondeterministic across processes (ASLR) and across
-/// concurrently executing sweep points. SimSink therefore translates real
-/// addresses into a canonical address space before they touch the model:
-/// blocks announced through mapRegion() are assigned canonical bases in
-/// registration order (monotonically, never reused, so a restarted
-/// process's fresh heap is cold), and unregistered addresses fall back to
-/// first-touch page-granular canonicalization. Registration order is
-/// program order, so counters depend only on the simulated work.
+/// each mmap. SimSink therefore translates real addresses through a
+/// CanonicalAddressMap before they touch the model — see
+/// sim/CanonicalAddressMap.h for the layout and determinism argument.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,13 +31,12 @@
 
 #include "core/AccessSink.h"
 #include "sim/Cache.h"
+#include "sim/CanonicalAddressMap.h"
 #include "sim/Platform.h"
 #include "sim/Prefetcher.h"
 #include "sim/Tlb.h"
 
 #include <optional>
-#include <unordered_map>
-#include <vector>
 
 namespace ddm {
 
@@ -101,25 +95,9 @@ public:
   unsigned effectiveTlbEntries() const { return EffTlbEntries; }
 
   /// Number of live canonical regions (introspection for tests).
-  size_t mappedRegionCount() const { return Regions.size(); }
+  size_t mappedRegionCount() const { return Canon.mappedRegionCount(); }
 
 private:
-  /// A registered memory block and its canonical image.
-  struct CanonicalRegion {
-    uintptr_t RealBase;
-    uintptr_t RealEnd;
-    uint64_t CanonBase;
-  };
-
-  /// Canonical layout: registered regions are placed from RegionWindowBase
-  /// upward with 1 MB alignment and a 1 MB guard gap; unregistered
-  /// addresses map to first-touch pages from FallbackWindowBase upward.
-  static constexpr uint64_t RegionWindowBase = 0x400000000000ull;
-  static constexpr uint64_t FallbackWindowBase = 0x700000000000ull;
-  static constexpr uint64_t RegionAlign = 1ull << 20;
-
-  uint64_t translate(uintptr_t Addr);
-  uint64_t translateSlow(uintptr_t Addr);
   void touchRange(uint64_t CanonAddr, uint32_t Bytes, bool IsWrite);
   void touchLine(uint64_t Line, bool IsWrite);
   void installPrefetches(const PrefetchList &List, DomainEvents &E);
@@ -136,11 +114,7 @@ private:
   Tlb Dtlb;
   std::optional<StreamPrefetcher> Prefetcher;
 
-  std::vector<CanonicalRegion> Regions; ///< Sorted by RealBase.
-  size_t MruRegion = 0;                 ///< Last region that translated.
-  uint64_t NextRegionCanonBase = RegionWindowBase;
-  std::unordered_map<uint64_t, uint64_t> FallbackPages;
-  uint64_t NextFallbackPage = FallbackWindowBase >> 12;
+  CanonicalAddressMap Canon;
 
   DomainEvents Events[2];
   unsigned DomainIndex = 0; ///< Index into Events for the current domain.

@@ -25,9 +25,9 @@ TEST(AllocatorFactoryTest, NameListIsTheFullZoo) {
   // Adding a kind means adding it here on purpose: every consumer of
   // allocatorNames() (CLI flags, bench sweeps, the README table) picks the
   // new allocator up from this one list.
-  const std::vector<std::string> Expected = {"ddmalloc", "region", "obstack",
-                                             "default",  "glibc",  "tcmalloc",
-                                             "hoard",    "slab"};
+  const std::vector<std::string> Expected = {
+      "ddmalloc", "region",   "obstack", "default", "glibc",
+      "tcmalloc", "hoard",    "slab",    "adaptive"};
   EXPECT_EQ(allocatorNames(), Expected);
   EXPECT_EQ(allAllocatorKinds().size(), Expected.size());
   std::string Joined = allocatorNamesJoined();

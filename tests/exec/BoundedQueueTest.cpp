@@ -54,6 +54,39 @@ TEST(BoundedQueueTest, CloseDrainsThenReportsClosed) {
   EXPECT_EQ(Q.popBatch(Batch, 8), 0u);
 }
 
+TEST(BoundedQueueTest, ZeroCapacityIsFlooredToOne) {
+  // A literal zero-capacity queue could never satisfy a push; the ctor
+  // floors it so producer and consumer can still rendezvous.
+  BoundedQueue<int> Q(0);
+  std::atomic<bool> Popped{false};
+  std::thread Consumer([&] {
+    int V = 0;
+    EXPECT_TRUE(Q.pop(V));
+    EXPECT_EQ(V, 42);
+    Popped = true;
+  });
+  EXPECT_TRUE(Q.push(42));
+  Consumer.join();
+  EXPECT_TRUE(Popped.load());
+  EXPECT_EQ(Q.maxDepth(), 1u);
+}
+
+TEST(BoundedQueueTest, PopBatchWithZeroMaxStillMakesProgress) {
+  // Regression: popBatch(Out, 0) used to return 0 with the queue open and
+  // non-empty — ambiguous with closed-and-drained, and a drain loop
+  // spinning on it would livelock while the items sat in the queue.
+  BoundedQueue<int> Q(8);
+  ASSERT_TRUE(Q.push(7));
+  ASSERT_TRUE(Q.push(8));
+  std::vector<int> Batch;
+  EXPECT_EQ(Q.popBatch(Batch, 0), 1u);
+  EXPECT_EQ(Batch, (std::vector<int>{7}));
+  EXPECT_EQ(Q.popBatch(Batch, 0), 1u);
+  EXPECT_EQ(Batch, (std::vector<int>{8}));
+  Q.close();
+  EXPECT_EQ(Q.popBatch(Batch, 0), 0u);
+}
+
 TEST(BoundedQueueTest, CloseWakesBlockedProducer) {
   BoundedQueue<int> Q(1);
   ASSERT_TRUE(Q.push(1));

@@ -56,6 +56,19 @@ TEST(SweepRunner, ZeroJobsMeansHardwareConcurrency) {
   EXPECT_GE(Runner.jobs(), 1u);
 }
 
+// std::thread::hardware_concurrency() is allowed to return 0 ("not
+// computable"); defaultJobs() must floor it so a Jobs=0 runner still has
+// at least one worker and actually executes its grid instead of spinning
+// up zero threads.
+TEST(SweepRunner, HardwareConcurrencyZeroStillExecutesTheGrid) {
+  ASSERT_GE(SweepRunner::defaultJobs(), 1u);
+  SweepRunner Runner(0);
+  std::vector<std::function<int()>> Tasks = {[] { return 11; },
+                                             [] { return 22; }};
+  EXPECT_EQ(Runner.run(Tasks), (std::vector<int>{11, 22}));
+  EXPECT_EQ(Runner.pointMillis().size(), 2u);
+}
+
 TEST(SweepRunner, ProgressFiresOncePerPoint) {
   constexpr size_t N = 32;
   std::vector<std::function<size_t()>> Tasks;

@@ -165,6 +165,44 @@ TEST(PageBackendTest, TryCreateReportsExhaustion) {
   EXPECT_NE(Error.find("exhausted"), std::string::npos) << Error;
 }
 
+TEST(PageBackendTest, ResidencyModelSurvivesReleaseUntilAdviseOut) {
+  auto Backend = smallBackend();
+  std::byte *A = Backend->acquire(4 * 4096, 4096);
+  std::byte *B = Backend->acquire(2 * 4096, 4096);
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  PageBackendStats Held = Backend->stats();
+  EXPECT_EQ(Held.ResidentPages, 6u);
+  EXPECT_EQ(Held.PeakResidentPages, 6u);
+  EXPECT_EQ(Held.residentBytes(), 6u * 4096);
+
+  // Freeing memory does not shrink RSS: the pages stay resident.
+  Backend->release(A, 4 * 4096);
+  PageBackendStats Freed = Backend->stats();
+  EXPECT_EQ(Freed.PagesLive, 2u);
+  EXPECT_EQ(Freed.ResidentPages, 6u);
+
+  // adviseOut models the madvise: only the free-but-resident pages drop.
+  uint64_t Dropped = Backend->adviseOut();
+  EXPECT_EQ(Dropped, 4u * 4096);
+  PageBackendStats Advised = Backend->stats();
+  EXPECT_EQ(Advised.ResidentPages, 2u);
+  EXPECT_EQ(Advised.PeakResidentPages, 6u); // High water sticks.
+  EXPECT_EQ(Advised.AdvisedOutPages, 4u);
+
+  // A second give-back with nothing free-and-resident drops nothing.
+  EXPECT_EQ(Backend->adviseOut(), 0u);
+
+  // Re-acquired pages fault back in and count toward RSS again.
+  std::byte *C = Backend->acquire(4 * 4096, 4096);
+  ASSERT_NE(C, nullptr);
+  PageBackendStats Refaulted = Backend->stats();
+  EXPECT_EQ(Refaulted.ResidentPages, 6u);
+  EXPECT_EQ(Refaulted.AdvisedOutPages, 4u); // Cumulative.
+  Backend->release(B, 2 * 4096);
+  Backend->release(C, 4 * 4096);
+}
+
 TEST(PageBackendDeathTest, ReleaseOfASpanItDidNotHandOutDies) {
   auto Backend = smallBackend();
   std::byte *Span = Backend->acquire(2 * 4096, 4096);

@@ -1,0 +1,302 @@
+//===- tests/sampling/AccessSamplerTest.cpp - Region monitor unit tests --===//
+
+#include "sampling/AccessSampler.h"
+#include "sim/CanonicalAddressMap.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdint>
+
+using namespace ddm;
+
+namespace {
+
+/// Downstream sink that records everything the sampler forwards, keyed by
+/// the cost domain active when it arrived.
+class RecordingSink final : public AccessSink {
+public:
+  void load(uintptr_t, uint32_t) override { ++Loads; }
+  void store(uintptr_t, uint32_t) override { ++Stores; }
+  void instructions(uint64_t Count) override {
+    InstrByDomain[static_cast<unsigned>(Domain)] += Count;
+  }
+  void setDomain(CostDomain D) override { Domain = D; }
+  void mapRegion(const void *, size_t) override { ++MapCalls; }
+  void unmapRegion(const void *) override { ++UnmapCalls; }
+
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t InstrByDomain[2] = {};
+  uint64_t MapCalls = 0;
+  uint64_t UnmapCalls = 0;
+  CostDomain Domain = CostDomain::Application;
+};
+
+uint64_t appInstr(const RecordingSink &S) {
+  return S.InstrByDomain[static_cast<unsigned>(CostDomain::Application)];
+}
+uint64_t mmInstr(const RecordingSink &S) {
+  return S.InstrByDomain[static_cast<unsigned>(CostDomain::MemoryManagement)];
+}
+
+/// Fake block addresses: translation is purely numeric, nothing is ever
+/// dereferenced, so any page-aligned constant works as a block base.
+const void *fakeBlock(uint64_t Base) {
+  return reinterpret_cast<const void *>(Base);
+}
+
+SamplerOptions monitorOnly() {
+  SamplerOptions O;
+  O.SampleInterval = 1;
+  O.WindowEvents = 1ull << 40; // Never folds unless a test wants it to.
+  O.InstrPerSample = 0;
+  return O;
+}
+
+TEST(AccessSamplerTest, CtorClampsOptionsAndOpensTheFallbackRegion) {
+  SamplerOptions Degenerate;
+  Degenerate.SampleInterval = 0;
+  Degenerate.WindowEvents = 0;
+  Degenerate.MaxRegions = 0;
+  Degenerate.MinRegionBytes = 1;
+  AccessSampler S(nullptr, Degenerate);
+  EXPECT_EQ(S.options().SampleInterval, 1u);
+  EXPECT_EQ(S.options().WindowEvents, 1u);
+  EXPECT_EQ(S.options().MaxRegions, 2u);
+  EXPECT_EQ(S.options().MinRegionBytes, 4096u);
+  // The catch-all over the first-touch window exists from birth.
+  ASSERT_EQ(S.regions().size(), 1u);
+  EXPECT_EQ(S.regions()[0].Start, CanonicalAddressMap::FallbackWindowBase);
+  EXPECT_EQ(S.regions()[0].bytes(), 1ull << 40);
+}
+
+TEST(AccessSamplerTest, MapRegionOpensAMonitoringRegionOverTheCanonicalImage) {
+  AccessSampler S(nullptr, monitorOnly());
+  const uint64_t Base = 0x12340000;
+  S.mapRegion(fakeBlock(Base), 128 * 1024);
+  ASSERT_EQ(S.regions().size(), 2u); // The block plus the fallback.
+  const SamplerRegion &R = S.regions()[0];
+  EXPECT_EQ(R.Start, CanonicalAddressMap::RegionWindowBase);
+  EXPECT_EQ(R.bytes(), 128u * 1024);
+
+  // Accesses inside the block attribute to its region with the width
+  // histogram bucketed by power-of-two class.
+  S.load(Base + 16, 4);     // c0: <= 8 B
+  S.store(Base + 100, 16);  // c1: <= 16 B
+  S.load(Base + 200, 64);   // c3: <= 64 B
+  S.load(Base + 4096, 2048); // c7: > 512 B
+  EXPECT_EQ(S.eventsSeen(), 4u);
+  EXPECT_EQ(S.eventsSampled(), 4u);
+  EXPECT_EQ(S.unattributedSamples(), 0u);
+  EXPECT_EQ(R.WindowSamples, 4u);
+  EXPECT_EQ(R.TotalSamples, 4u);
+  EXPECT_EQ(R.WidthClassSamples[0], 1u);
+  EXPECT_EQ(R.WidthClassSamples[1], 1u);
+  EXPECT_EQ(R.WidthClassSamples[3], 1u);
+  EXPECT_EQ(R.WidthClassSamples[7], 1u);
+}
+
+TEST(AccessSamplerTest, SmallBlocksGetAtLeastTheMinimumRegion) {
+  SamplerOptions O = monitorOnly();
+  O.MinRegionBytes = 1ull << 16;
+  AccessSampler S(nullptr, O);
+  S.mapRegion(fakeBlock(0x55550000), 512); // Far below the minimum.
+  ASSERT_EQ(S.regions().size(), 2u);
+  EXPECT_EQ(S.regions()[0].bytes(), 1ull << 16);
+}
+
+TEST(AccessSamplerTest, UnmappedAddressesLandInTheFallbackRegion) {
+  AccessSampler S(nullptr, monitorOnly());
+  S.load(0x77770000, 8);
+  S.store(0x88880040, 8);
+  EXPECT_EQ(S.unattributedSamples(), 0u);
+  ASSERT_EQ(S.regions().size(), 1u);
+  EXPECT_EQ(S.regions()[0].WindowSamples, 2u);
+}
+
+TEST(AccessSamplerTest, SampleIntervalDecimatesDeterministically) {
+  SamplerOptions O = monitorOnly();
+  O.SampleInterval = 4;
+  AccessSampler S(nullptr, O);
+  for (unsigned I = 0; I < 16; ++I)
+    S.load(0x1000000 + I * 64, 8);
+  EXPECT_EQ(S.eventsSeen(), 16u);
+  EXPECT_EQ(S.eventsSampled(), 4u); // Every 4th event, by event count.
+}
+
+TEST(AccessSamplerTest, WindowFoldRunsTheHeatEma) {
+  SamplerOptions O = monitorOnly();
+  O.WindowEvents = 64;
+  O.SplitMinSamples = 1ull << 40; // Isolate the EMA from split/merge.
+  const uint64_t Base = 0x42420000;
+  AccessSampler S(nullptr, O);
+  S.mapRegion(fakeBlock(Base), 64 * 1024);
+
+  for (unsigned I = 0; I < 64; ++I)
+    S.load(Base + (I % 1024) * 64, 8);
+  EXPECT_EQ(S.windowsFolded(), 1u);
+  const SamplerRegion &R = S.regions()[0];
+  // Heat = 0 * 0.5 + 64 * 0.5 after the first fold; samples reset.
+  EXPECT_DOUBLE_EQ(R.Heat, 32.0);
+  EXPECT_EQ(R.WindowSamples, 0u);
+  EXPECT_EQ(R.AgeWindows, 1u);
+
+  for (unsigned I = 0; I < 64; ++I)
+    S.load(Base + (I % 1024) * 64, 8);
+  EXPECT_EQ(S.windowsFolded(), 2u);
+  EXPECT_DOUBLE_EQ(R.Heat, 48.0); // 32 * 0.5 + 64 * 0.5.
+  EXPECT_EQ(R.AgeWindows, 2u);
+  // The untouched fallback region ages without heating.
+  EXPECT_DOUBLE_EQ(S.regions()[1].Heat, 0.0);
+  EXPECT_EQ(S.regions()[1].AgeWindows, 2u);
+}
+
+TEST(AccessSamplerTest, HotRegionsSplitAtTheMidpoint) {
+  SamplerOptions O = monitorOnly();
+  O.WindowEvents = 64;
+  O.SplitMinSamples = 64;
+  O.MinRegionBytes = 4096;
+  const uint64_t Base = 0x43430000;
+  AccessSampler S(nullptr, O);
+  S.mapRegion(fakeBlock(Base), 64 * 1024);
+
+  for (unsigned I = 0; I < 64; ++I)
+    S.load(Base + (I % 1024) * 64, 8);
+  EXPECT_EQ(S.splits(), 1u);
+  ASSERT_EQ(S.regions().size(), 3u); // Two children plus the fallback.
+  const SamplerRegion &L = S.regions()[0];
+  const SamplerRegion &R = S.regions()[1];
+  EXPECT_EQ(L.bytes(), 32u * 1024); // 4 KB-aligned midpoint split.
+  EXPECT_EQ(R.Start, L.End);
+  // The window's heat (32) halves into the two children, ages reset.
+  EXPECT_DOUBLE_EQ(L.Heat, 16.0);
+  EXPECT_DOUBLE_EQ(R.Heat, 16.0);
+  EXPECT_EQ(L.AgeWindows, 0u);
+  EXPECT_EQ(R.AgeWindows, 0u);
+  EXPECT_EQ(L.TotalSamples + R.TotalSamples, 64u);
+}
+
+TEST(AccessSamplerTest, ColdNeighborsMergeAndAgeIntoColdBytes) {
+  SamplerOptions O = monitorOnly();
+  O.WindowEvents = 16;
+  O.MinRegionBytes = 4096;
+  AccessSampler S(nullptr, O);
+  S.mapRegion(fakeBlock(0x10000000), 4096);
+  S.mapRegion(fakeBlock(0x20000000), 4096);
+  ASSERT_EQ(S.regions().size(), 3u);
+
+  // Drive windows with fallback traffic only; the two mapped blocks stay
+  // stone cold and merge into one region on the first fold.
+  for (unsigned Fold = 0; Fold < 3; ++Fold)
+    for (unsigned I = 0; I < 16; ++I)
+      S.load(0x99990000 + I * 4096, 8);
+  EXPECT_EQ(S.windowsFolded(), 3u);
+  EXPECT_GE(S.merges(), 1u);
+  ASSERT_EQ(S.regions().size(), 2u); // Merged cold pair + fallback.
+  // After the merge (age reset) two more folds age it past the give-back
+  // threshold; the merged span covers both blocks' canonical images.
+  EXPECT_GE(S.coldBytes(2), 2u * 4096);
+}
+
+TEST(AccessSamplerTest, RegionCountStaysWithinTheBound) {
+  SamplerOptions O = monitorOnly();
+  O.MaxRegions = 8;
+  O.MinRegionBytes = 4096;
+  AccessSampler S(nullptr, O);
+  for (unsigned I = 0; I < 32; ++I)
+    S.mapRegion(fakeBlock(0x30000000 + I * 0x100000), 4096);
+  EXPECT_LE(S.regions().size(), 8u);
+  EXPECT_GE(S.merges(), 24u);
+}
+
+TEST(AccessSamplerTest, MonitoringRegionsOutliveTheirBlock) {
+  RecordingSink Rec;
+  SamplerOptions O = monitorOnly();
+  AccessSampler S(&Rec, O);
+  S.mapRegion(fakeBlock(0x12340000), 64 * 1024);
+  S.unmapRegion(fakeBlock(0x12340000));
+  EXPECT_EQ(Rec.MapCalls, 1u);
+  EXPECT_EQ(Rec.UnmapCalls, 1u);
+  // The canonical image is never reused, so the region stays and simply
+  // goes cold instead of being torn down.
+  EXPECT_EQ(S.regions().size(), 2u);
+}
+
+TEST(AccessSamplerTest, ForwardsEverythingAndChargesOverheadToMmDomain) {
+  RecordingSink Rec;
+  SamplerOptions O;
+  O.SampleInterval = 1;
+  O.WindowEvents = 1ull << 40;
+  O.InstrPerSample = 6;
+  AccessSampler S(&Rec, O);
+
+  for (unsigned I = 0; I < 10; ++I)
+    S.load(0x1000000 + I * 64, 8);
+  EXPECT_EQ(Rec.Loads, 10u);
+  // 10 samples * 6 modeled instructions, booked under MemoryManagement
+  // with the producer's domain restored afterwards.
+  EXPECT_EQ(mmInstr(Rec), 60u);
+  EXPECT_EQ(appInstr(Rec), 0u);
+  EXPECT_EQ(Rec.Domain, CostDomain::Application);
+
+  // The batched path behaves identically and keeps the producer's own
+  // instruction counts in the producer's domain.
+  AccessBatch Batch;
+  for (unsigned I = 0; I < 4; ++I) {
+    Batch.Events[Batch.Count++] = {0x2000000 + I * 64, 8, AccessKind::Store};
+  }
+  Batch.Events[Batch.Count++] = {100, 0, AccessKind::Instructions};
+  S.accesses(Batch);
+  EXPECT_EQ(Rec.Stores, 4u);
+  EXPECT_EQ(appInstr(Rec), 100u);
+  EXPECT_EQ(mmInstr(Rec), 60u + 4 * 6);
+  EXPECT_EQ(Rec.Domain, CostDomain::Application);
+}
+
+TEST(AccessSamplerTest, SnapshotSummarizesHotAndColdBytes) {
+  SamplerOptions O = monitorOnly();
+  O.WindowEvents = 32;
+  O.SplitMinSamples = 1ull << 40;
+  const uint64_t Base = 0x51510000;
+  AccessSampler S(nullptr, O);
+  S.mapRegion(fakeBlock(Base), 64 * 1024);
+  for (unsigned Fold = 0; Fold < 3; ++Fold)
+    for (unsigned I = 0; I < 32; ++I)
+      S.load(Base + (I % 512) * 64, 8);
+
+  SamplerSnapshot Snap = S.snapshot("measure");
+  EXPECT_EQ(Snap.Phase, "measure");
+  EXPECT_EQ(Snap.Events, 96u);
+  EXPECT_EQ(Snap.Sampled, 96u);
+  EXPECT_EQ(Snap.Windows, 3u);
+  EXPECT_EQ(Snap.Regions, S.regions().size());
+  // The mapped block is the hot side; the fallback region aged cold.
+  EXPECT_EQ(Snap.HotBytes, 64u * 1024);
+  EXPECT_EQ(Snap.ColdBytes, 1ull << 40);
+  EXPECT_EQ(Snap.MaxRegionAge, 3u);
+}
+
+TEST(AccessSamplerTest, IdenticalStreamsRenderIdenticalReports) {
+  auto drive = [](AccessSampler &S) {
+    const uint64_t Base = 0x61610000;
+    S.mapRegion(fakeBlock(Base), 128 * 1024);
+    for (unsigned I = 0; I < 500; ++I)
+      S.load(Base + (I * 232) % (128 * 1024), 16);
+    S.mapRegion(fakeBlock(Base + 0x1000000), 4096);
+    for (unsigned I = 0; I < 100; ++I)
+      S.store(0x71710000 + I * 64, 8);
+  };
+  SamplerOptions O;
+  O.SampleInterval = 2;
+  O.WindowEvents = 32;
+  O.InstrPerSample = 0;
+  AccessSampler A(nullptr, O);
+  AccessSampler B(nullptr, O);
+  drive(A);
+  drive(B);
+  EXPECT_EQ(A.renderJson(), B.renderJson());
+  EXPECT_EQ(A.renderText(), B.renderText());
+  EXPECT_FALSE(A.renderJson().empty());
+}
+
+} // namespace

@@ -150,6 +150,53 @@ TEST(LatencyHistogramTest, ShardedMergeIsExactlyTheSingleHistogram) {
   EXPECT_EQ(Merged.render(), Reference.render());
 }
 
+TEST(LatencyHistogramTest, LowPercentilesNeverUndershootTheMinimum) {
+  // Regression: percentile() clamped to MaxValue only. With samples whose
+  // minimum sits inside a bucketed (non-exact) range, p0 used to report
+  // the first bucket's upper bound — a value above the true observed
+  // minimum. The rank-1 statistic must be exactly min().
+  LatencyHistogram H;
+  H.add(100);
+  H.add(1000);
+  EXPECT_EQ(H.percentile(0.0), 100u);
+  EXPECT_EQ(H.percentile(0.5), 100u); // rank 1 of 2 → exact minimum
+  EXPECT_EQ(H.percentile(1.0), 1000u);
+}
+
+TEST(LatencyHistogramTest, LowPercentilesMatchSortedReference) {
+  LatencyHistogram H;
+  Rng R(19);
+  std::vector<uint64_t> Samples;
+  for (int I = 0; I < 30000; ++I) {
+    // Offset so the minimum lands well inside the bucketed range.
+    uint64_t V = 5000 + static_cast<uint64_t>(
+                            std::llround(R.nextLogNormal(7.0, 1.2)));
+    Samples.push_back(V);
+    H.add(V);
+  }
+  std::sort(Samples.begin(), Samples.end());
+  EXPECT_EQ(H.percentile(0.0), Samples.front());
+  for (double Q : {0.001, 0.01, 0.05}) {
+    uint64_t Exact = exactPercentile(Samples, Q);
+    uint64_t Estimate = H.percentile(Q);
+    EXPECT_GE(Estimate, Samples.front()) << "q=" << Q;
+    EXPECT_GE(Estimate, Exact) << "q=" << Q;
+    EXPECT_LE(static_cast<double>(Estimate),
+              static_cast<double>(Exact) * (1.0 + H.relativeError()) + 1.0)
+        << "q=" << Q;
+  }
+}
+
+// The merge-resolution guard must hold in Release builds too (the benches
+// that merge per-worker histograms compile with NDEBUG): mismatched
+// SubBucketBits is fatal, not an assert.
+TEST(LatencyHistogramDeathTest, MergeMismatchedResolutionDiesHard) {
+  LatencyHistogram Coarse(4), Fine(8);
+  Coarse.add(100);
+  Fine.add(100);
+  EXPECT_DEATH(Coarse.merge(Fine), "incompatible resolutions");
+}
+
 TEST(LatencyHistogramTest, MergePreservesWeights) {
   LatencyHistogram A, B;
   A.add(100, 3);
