@@ -2,6 +2,9 @@
 
 #include "core/AdaptiveAllocator.h"
 
+#include "support/Error.h"
+
+#include <algorithm>
 #include <cassert>
 
 using namespace ddm;
@@ -72,8 +75,9 @@ void *AdaptiveAllocator::allocate(size_t Size) {
   Sink.instructions(Config.InstrPerOp);
   size_t InnerUsable = Inner->usableSize(Ptr);
   size_t Usable = InnerUsable > Size ? InnerUsable : Size;
-  Live.emplace(Ptr, ObjectInfo{Size, Usable});
-  LastAlloc = Ptr;
+  uint64_t Seq = NextSeq++;
+  Live.emplace(Ptr, ObjectInfo{Size, Usable, Seq});
+  AllocStack.emplace_back(Ptr, Seq);
   ++Window.Mallocs;
   Window.BytesRequested += Size;
   ++ClassMallocs[sizeClassOf(Size)];
@@ -81,22 +85,44 @@ void *AdaptiveAllocator::allocate(size_t Size) {
   return Ptr;
 }
 
+bool AdaptiveAllocator::isLiveEntry(
+    const std::pair<const void *, uint64_t> &Entry) const {
+  auto It = Live.find(Entry.first);
+  return It != Live.end() && It->second.Seq == Entry.second;
+}
+
+void AdaptiveAllocator::popStaleStackTops() {
+  while (!AllocStack.empty() && !isLiveEntry(AllocStack.back()))
+    AllocStack.pop_back();
+}
+
 void AdaptiveAllocator::deallocate(void *Ptr) {
   if (!Ptr)
     return;
   Sink.instructions(Config.InstrPerOp);
   auto It = Live.find(Ptr);
-  assert(It != Live.end() && "deallocate of a pointer adaptive never saw");
   if (It == Live.end())
-    return;
+    fatal("AdaptiveAllocator::deallocate: pointer was never allocated here "
+          "(or already freed)");
   ++Window.Frees;
-  if (Ptr == LastAlloc) {
+  popStaleStackTops();
+  if (!AllocStack.empty() && AllocStack.back().first == Ptr &&
+      AllocStack.back().second == It->second.Seq) {
     ++Window.LifoFrees;
-    LastAlloc = nullptr;
+    AllocStack.pop_back();
   }
   noteFree(It->second.Usable);
   Live.erase(It);
   Inner->deallocate(Ptr);
+  // Mid-stack frees leave stale entries behind; rebuild once they
+  // dominate so the stack stays proportional to the live set.
+  if (AllocStack.size() > 2 * Live.size() + 64) {
+    size_t Out = 0;
+    for (const auto &Entry : AllocStack)
+      if (isLiveEntry(Entry))
+        AllocStack[Out++] = Entry;
+    AllocStack.resize(Out);
+  }
   // All objects gone mid-phase (the Ruby-style churn shape): this is as
   // safe a point as a freeAll boundary, so the policy gets to act here
   // too — without it a runtime that never bulk-frees could never switch.
@@ -111,9 +137,9 @@ void *AdaptiveAllocator::reallocate(void *Ptr, size_t OldSize,
   if (!Ptr)
     return allocate(NewSize);
   auto It = Live.find(Ptr);
-  assert(It != Live.end() && "reallocate of a pointer adaptive never saw");
   if (It == Live.end())
-    return nullptr;
+    fatal("AdaptiveAllocator::reallocate: pointer was never allocated here "
+          "(or already freed)");
   size_t OldUsable = It->second.Usable;
   void *Fresh = Inner->reallocate(Ptr, OldSize, NewSize);
   if (!Fresh)
@@ -121,10 +147,12 @@ void *AdaptiveAllocator::reallocate(void *Ptr, size_t OldSize,
   Sink.instructions(Config.InstrPerOp);
   size_t InnerUsable = Inner->usableSize(Fresh);
   size_t Usable = InnerUsable > NewSize ? InnerUsable : NewSize;
+  uint64_t Seq = NextSeq++;
   Live.erase(It);
-  Live.emplace(Fresh, ObjectInfo{NewSize, Usable});
-  if (LastAlloc == Ptr)
-    LastAlloc = Fresh;
+  Live.emplace(Fresh, ObjectInfo{NewSize, Usable, Seq});
+  // The old entry just went stale; the grown object is now the newest.
+  popStaleStackTops();
+  AllocStack.emplace_back(Fresh, Seq);
   Stats.UsableBytesLive += Usable;
   Stats.UsableBytesLive -= OldUsable;
   if (Stats.UsableBytesLive > Stats.PeakUsableBytesLive)
@@ -136,19 +164,28 @@ void AdaptiveAllocator::freeAll() {
   if (Inner->supportsBulkFree()) {
     Inner->freeAll();
   } else {
-    // Sweep through the live table: the slab strategy reclaims per
-    // object, so adaptive's bulk-free promise is kept by iteration.
+    // The slab strategy reclaims per object, so adaptive's bulk-free
+    // promise is kept by sweeping the live table — in allocation order,
+    // because the hash table iterates in an order derived from real
+    // pointer values (ASLR), and the frees mirrored into the sink plus
+    // the inner free-list state must not.
+    std::vector<std::pair<uint64_t, void *>> Order;
+    Order.reserve(Live.size());
     for (const auto &[Ptr, Info] : Live)
-      Inner->deallocate(const_cast<void *>(Ptr));
+      Order.emplace_back(Info.Seq, const_cast<void *>(Ptr));
+    std::sort(Order.begin(), Order.end());
+    for (const auto &[Seq, Ptr] : Order)
+      Inner->deallocate(Ptr);
   }
   Live.clear();
-  LastAlloc = nullptr;
+  AllocStack.clear();
   noteFreeAll();
   maybeSwitch();
 }
 
 void AdaptiveAllocator::maybeSwitch() {
   assert(Live.empty() && "strategy switch with objects live");
+  AllocStack.clear(); // Nothing live: every remaining entry is stale.
   if (Window.Mallocs < Config.MinWindowMallocs)
     return; // Carry the window forward; too little evidence.
   uint64_t Dominant = 0;

@@ -27,6 +27,8 @@
 
 #include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace ddm {
 
@@ -37,7 +39,8 @@ struct StreamWindowStats {
   uint64_t Frees = 0;
   uint64_t Reallocs = 0;
   uint64_t BytesRequested = 0;
-  /// Frees whose target was the most recently allocated live object.
+  /// Frees that popped the most recently allocated live object (the top
+  /// of the allocation stack) — nested, stack-shaped deallocation.
   uint64_t LifoFrees = 0;
   /// Allocations in the most popular power-of-two size class.
   uint64_t DominantClassMallocs = 0;
@@ -75,7 +78,7 @@ struct AdaptiveConfig {
   uint64_t MinWindowMallocs = 64;
   /// Modeled bookkeeping instructions mirrored into the sink per
   /// allocate/deallocate (the wrapper's own cost): the windowed stream
-  /// statistics are a handful of counter updates plus one top-pointer
+  /// statistics are a handful of counter updates plus one stack-top
   /// compare per op.
   uint64_t InstrPerOp = 3;
 };
@@ -111,12 +114,21 @@ private:
   struct ObjectInfo {
     size_t Requested;
     size_t Usable;
+    /// Monotonic allocation order; freeAll sweeps by it so the sweep
+    /// order (and everything mirrored into the sink) never depends on
+    /// where the OS happened to place the heap.
+    uint64_t Seq;
   };
 
   void rebuildInner(AllocatorKind Kind);
   /// Scores the pending window and switches strategy if two consecutive
   /// windows agree; only legal with no objects live.
   void maybeSwitch();
+  /// Drops stack entries whose object is no longer live (freed or
+  /// reallocated mid-stack) from the top.
+  void popStaleStackTops();
+  /// True when the stack entry still names a live object.
+  bool isLiveEntry(const std::pair<const void *, uint64_t> &Entry) const;
 
   AdaptiveConfig Config;
   AllocatorKind CurrentKind;
@@ -124,7 +136,11 @@ private:
   AccessSink *RawSink = nullptr;
 
   std::unordered_map<const void *, ObjectInfo> Live;
-  const void *LastAlloc = nullptr;
+  /// Live allocations in allocation order, (pointer, seq). A free that
+  /// matches the top is a LIFO free; mid-stack frees leave a stale entry
+  /// that is popped lazily (and compacted when stale entries dominate).
+  std::vector<std::pair<const void *, uint64_t>> AllocStack;
+  uint64_t NextSeq = 0;
 
   StreamWindowStats Window;
   uint64_t ClassMallocs[16] = {}; ///< Per power-of-two-class counts.

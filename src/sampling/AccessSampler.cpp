@@ -302,10 +302,17 @@ double AccessSampler::meanHeat() const {
 uint64_t AccessSampler::coldBytes(uint64_t MinAgeWindows) const {
   // Heat is an EMA and never decays to exactly zero once a region has
   // been touched; "cold" is less than one sampled access per window.
+  // The fallback window is excluded: its catch-all region spans 1 TiB of
+  // first-touch virtual space, so counting it would open the give-back
+  // gate (and inflate every byte aggregate) regardless of what the
+  // sampler observed in mapped memory.
   uint64_t Bytes = 0;
-  for (const SamplerRegion &R : Regions)
+  for (const SamplerRegion &R : Regions) {
+    if (R.Start >= CanonicalAddressMap::FallbackWindowBase)
+      continue;
     if (R.Heat < 1.0 && R.WindowSamples == 0 && R.AgeWindows >= MinAgeWindows)
       Bytes += R.bytes();
+  }
   return Bytes;
 }
 
@@ -320,11 +327,15 @@ SamplerSnapshot AccessSampler::snapshot(const std::string &Phase) const {
   S.Regions = Regions.size();
   double Mean = meanHeat();
   for (const SamplerRegion &R : Regions) {
+    if (R.AgeWindows > S.MaxRegionAge)
+      S.MaxRegionAge = R.AgeWindows;
+    // Byte aggregates cover mapped-window regions only; the fallback
+    // catch-all's 1 TiB virtual span says nothing about real memory.
+    if (R.Start >= CanonicalAddressMap::FallbackWindowBase)
+      continue;
     S.MonitoredBytes += R.bytes();
     if (R.Heat >= Mean && R.Heat > 0.0)
       S.HotBytes += R.bytes();
-    if (R.AgeWindows > S.MaxRegionAge)
-      S.MaxRegionAge = R.AgeWindows;
   }
   S.ColdBytes = coldBytes();
   return S;

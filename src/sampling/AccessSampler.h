@@ -99,10 +99,15 @@ struct SamplerSnapshot {
   uint64_t Windows = 0;       ///< Aggregation windows folded.
   uint64_t Splits = 0;        ///< Cumulative region splits.
   uint64_t Merges = 0;        ///< Cumulative region merges.
-  uint64_t Regions = 0;       ///< Live region count.
-  uint64_t MonitoredBytes = 0;///< Sum of region sizes.
-  /// Bytes in regions whose heat is at least the mean heat ("hot"), and
-  /// in regions with zero heat and age of at least two windows ("cold").
+  uint64_t Regions = 0;       ///< Live region count (incl. fallback).
+  /// Sum of mapped-window region sizes. The fallback catch-all window is
+  /// excluded from all three byte aggregates: its regions span 1 TiB of
+  /// first-touch virtual space and say nothing about real memory.
+  uint64_t MonitoredBytes = 0;
+  /// Mapped-window bytes in regions whose heat is at least the mean heat
+  /// ("hot"), and in regions whose heat decayed below one sampled access
+  /// per window with age of at least two windows ("cold", see
+  /// AccessSampler::coldBytes).
   uint64_t HotBytes = 0;
   uint64_t ColdBytes = 0;
   uint64_t MaxRegionAge = 0;
@@ -141,9 +146,10 @@ public:
   /// Mean region heat; 0 with no regions.
   double meanHeat() const;
 
-  /// Bytes in regions whose heat has decayed below one sampled access per
-  /// window, with no pending window samples and age >= \p MinAgeWindows —
-  /// the give-back candidates.
+  /// Bytes in mapped-window regions whose heat has decayed below one
+  /// sampled access per window, with no pending window samples and age
+  /// >= \p MinAgeWindows — the give-back candidates. Fallback-window
+  /// regions never count: their first-touch spans are virtual.
   uint64_t coldBytes(uint64_t MinAgeWindows = 2) const;
 
   /// Captures the aggregate counters under \p Phase.

@@ -152,6 +152,53 @@ TEST(AdaptiveAllocatorTest, LifoFreesAreRecognizedAsObstack) {
   EXPECT_EQ(A.strategySwitches(), 1u);
 }
 
+TEST(AdaptiveAllocatorTest, NestedLifoFreesAllCountAsLifo) {
+  // The LIFO detector tracks a stack of live allocations, not just the
+  // single newest one: alloc a, alloc b; free b, free a is strictly
+  // LIFO and both frees must count.
+  AdaptiveAllocator A(smallWindows());
+  void *P = A.allocate(96);
+  void *Q = A.allocate(96);
+  ASSERT_NE(P, nullptr);
+  ASSERT_NE(Q, nullptr);
+  A.deallocate(Q);
+  EXPECT_EQ(A.pendingWindow().LifoFrees, 1u);
+  A.deallocate(P); // P is the top again after Q popped.
+  EXPECT_EQ(A.pendingWindow().LifoFrees, 2u);
+
+  // A mid-stack free is not LIFO, and must not break detection for the
+  // objects above it.
+  void *X = A.allocate(96);
+  void *Y = A.allocate(96);
+  void *Z = A.allocate(96);
+  A.deallocate(X); // Bottom of the stack: not LIFO.
+  EXPECT_EQ(A.pendingWindow().LifoFrees, 2u);
+  A.deallocate(Z);
+  A.deallocate(Y); // Y surfaces once Z and the stale X entry are gone.
+  EXPECT_EQ(A.pendingWindow().LifoFrees, 4u);
+}
+
+TEST(AdaptiveAllocatorTest, StackShapedTrimsReachObstack) {
+  // A bulk phase that trims its newest objects in nested LIFO order —
+  // the real obstack grow/trim shape — must score lifoRatio 1 and reach
+  // the obstack recommendation (the single-pointer detector scored this
+  // 0.5 and could never get there).
+  AdaptiveAllocator A(smallWindows());
+  for (unsigned Window = 0; Window < 2; ++Window) {
+    std::vector<void *> Ptrs;
+    for (unsigned I = 0; I < 10; ++I) {
+      void *P = A.allocate(96);
+      ASSERT_NE(P, nullptr);
+      Ptrs.push_back(P);
+    }
+    A.deallocate(Ptrs[9]); // Trim the top two, nested.
+    A.deallocate(Ptrs[8]);
+    A.freeAll();
+  }
+  EXPECT_EQ(A.currentStrategy(), AllocatorKind::Obstack);
+  EXPECT_EQ(A.strategySwitches(), 1u);
+}
+
 TEST(AdaptiveAllocatorTest, ReallocKeepsTheLiveTableCoherent) {
   AdaptiveAllocator A(smallWindows());
   void *P = A.allocate(32);

@@ -8,6 +8,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/AdaptiveAllocator.h"
 #include "core/AllocatorFactory.h"
 #include "core/BoundaryTagHeap.h"
 #include "core/DDmalloc.h"
@@ -74,4 +75,28 @@ TEST(MisuseDeathTest, BoundaryTagDoubleFreeAsserts) {
 TEST(MisuseDeathTest, BoundaryTagNullFreeAsserts) {
   BoundaryTagHeap H(1 << 20);
   EXPECT_DEATH(H.free(nullptr), "bad pointer");
+}
+
+// The adaptive wrapper tracks every object it hands out; a pointer it
+// never saw would silently leak (free) or corrupt the live table
+// (realloc) if it only asserted, so these are fatal in Release too.
+TEST(MisuseDeathTest, AdaptiveForeignPointerFreeAborts) {
+  AdaptiveAllocator A;
+  int Local = 0;
+  EXPECT_DEATH(A.deallocate(&Local), "never allocated here");
+}
+
+TEST(MisuseDeathTest, AdaptiveDoubleFreeAborts) {
+  AdaptiveAllocator A;
+  void *P = A.allocate(64);
+  ASSERT_NE(P, nullptr);
+  A.deallocate(P);
+  EXPECT_DEATH(A.deallocate(P), "never allocated here");
+}
+
+TEST(MisuseDeathTest, AdaptiveForeignPointerReallocAborts) {
+  AdaptiveAllocator A;
+  int Local = 0;
+  EXPECT_DEATH(A.reallocate(&Local, sizeof(Local), 128),
+               "never allocated here");
 }

@@ -196,6 +196,9 @@ TEST(AccessSamplerTest, ColdNeighborsMergeAndAgeIntoColdBytes) {
   // After the merge (age reset) two more folds age it past the give-back
   // threshold; the merged span covers both blocks' canonical images.
   EXPECT_GE(S.coldBytes(2), 2u * 4096);
+  // The snapshot agrees, and the aged-but-virtual fallback region (which
+  // took all the traffic here, so it is not cold anyway) adds nothing.
+  EXPECT_EQ(S.snapshot("cold").ColdBytes, S.coldBytes(2));
 }
 
 TEST(AccessSamplerTest, RegionCountStaysWithinTheBound) {
@@ -270,9 +273,12 @@ TEST(AccessSamplerTest, SnapshotSummarizesHotAndColdBytes) {
   EXPECT_EQ(Snap.Sampled, 96u);
   EXPECT_EQ(Snap.Windows, 3u);
   EXPECT_EQ(Snap.Regions, S.regions().size());
-  // The mapped block is the hot side; the fallback region aged cold.
+  // The mapped block is the hot side. The fallback region aged cold but
+  // is excluded from every byte aggregate — its 1 TiB catch-all span is
+  // first-touch virtual space, not reclaimable memory.
+  EXPECT_EQ(Snap.MonitoredBytes, 64u * 1024);
   EXPECT_EQ(Snap.HotBytes, 64u * 1024);
-  EXPECT_EQ(Snap.ColdBytes, 1ull << 40);
+  EXPECT_EQ(Snap.ColdBytes, 0u);
   EXPECT_EQ(Snap.MaxRegionAge, 3u);
 }
 
