@@ -120,6 +120,83 @@ void runtimeSoak(JsonWriter &J, uint64_t Seed, uint64_t TxPerAllocator,
   J.endArray();
 }
 
+/// Phase 1b: with --harden and the corruption-injecting sites armed, a
+/// detected scribble aborts exactly one transaction — live bytes return
+/// to zero, the outcome is structured, and the process keeps serving.
+void hardenedSoak(JsonWriter &J, uint64_t Seed, uint64_t TxPerAllocator,
+                  const WorkloadSpec &Workload,
+                  const std::vector<AllocatorKind> &Kinds) {
+  J.key("hardened").beginArray();
+  for (AllocatorKind Kind : Kinds) {
+    const char *Name = allocatorKindName(Kind);
+    // The scribble sites fire inside the hardened free path; worker_heap
+    // keeps OOM aborts in the mix so the corruption-beats-OOM precedence
+    // is exercised too.
+    // A transaction frees on the order of 20k objects at this scale, so
+    // periods of ~100k+ let most transactions complete while a steady
+    // minority abort on detected corruption and every site still fires
+    // several times over the soak.
+    FaultPlan Plan = parsePlan("seed=" + std::to_string(Seed) +
+                               ",worker_heap:p=0.00002"
+                               ",heap_scribble_overflow:every=100003"
+                               ",heap_scribble_uaf:every=140009"
+                               ",heap_double_free:every=180001");
+    FaultInjector::instance().arm(Plan);
+
+    RuntimeConfig Config;
+    Config.Kind = Kind;
+    Config.UseBulkFree = allocatorSupportsBulkFree(Kind);
+    Config.AllocOptions.Hardening.Enabled = true;
+    Config.LeakFraction = 0.0;
+    Config.Scale = 0.1;
+    Config.Seed = Seed;
+    TransactionRuntime Runtime(Workload, Config);
+
+    uint64_t CorruptionSeen = 0, OomSeen = 0;
+    for (uint64_t I = 0; I < TxPerAllocator; ++I) {
+      TxStatus S = Runtime.executeTransaction();
+      if (S == TxStatus::HeapCorruption) {
+        ++CorruptionSeen;
+        const TxOutcome &O = Runtime.lastOutcome();
+        check(O.Status == TxStatus::HeapCorruption,
+              std::string(Name) + ": lastOutcome status matches the abort");
+        check(O.Corruption.Allocator == Name,
+              std::string(Name) + ": the report names the scribbled heap");
+      } else if (S == TxStatus::OutOfMemory) {
+        ++OomSeen;
+      }
+      check(Runtime.allocator().stats().UsableBytesLive == 0,
+            std::string(Name) +
+                ": live bytes return to zero after every transaction "
+                "(quarantined bytes excluded)");
+    }
+    // Snapshot by value: the post-disarm clean transaction below must not
+    // leak into the soak's numbers.
+    const RuntimeMetrics RM = Runtime.metrics();
+    check(RM.Transactions + RM.OomAborts + RM.CorruptionAborts ==
+              TxPerAllocator,
+          std::string(Name) + ": completed + oom + corruption == executed");
+    check(RM.CorruptionAborts == CorruptionSeen,
+          std::string(Name) + ": CorruptionAborts matches returned statuses");
+    check(RM.CorruptionAborts > 0,
+          std::string(Name) + ": the scribble sites actually fired");
+    check(RM.Transactions > 0,
+          std::string(Name) + ": some transactions still complete");
+
+    FaultInjector::instance().disarm();
+    check(Runtime.executeTransaction() == TxStatus::Ok,
+          std::string(Name) + ": clean transaction succeeds after disarm");
+
+    J.beginObject()
+        .field("allocator", Name)
+        .field("transactions", RM.Transactions)
+        .field("oom_aborts", RM.OomAborts)
+        .field("corruption_aborts", RM.CorruptionAborts)
+        .endObject();
+  }
+  J.endArray();
+}
+
 void servingMetricsJson(JsonWriter &J, const ServingMetrics &M) {
   J.beginObject()
       .field("offered", M.Offered)
@@ -128,6 +205,7 @@ void servingMetricsJson(JsonWriter &J, const ServingMetrics &M) {
       .field("failed", M.Failed)
       .field("retried", M.Retried)
       .field("unfinished", M.Unfinished)
+      .field("corruption_aborts", M.CorruptionAborts)
       .field("restarts", M.Restarts)
       .field("restart_downtime_sec", M.RestartDowntimeSec)
       .field("peak_worker_heap_bytes", M.PeakWorkerHeapBytes)
@@ -145,8 +223,12 @@ std::string servingMetricsString(const ServingMetrics &M) {
 /// Phase 2: the serving layer under faults + restart policy, twice, with
 /// byte-identical results.
 void servingSoak(JsonWriter &J, uint64_t Seed, const ServiceTimeModel &Model) {
-  FaultPlan Plan =
-      parsePlan("seed=" + std::to_string(Seed) + ",worker_heap:p=0.02");
+  // worker_heap fails attempts with OOM; heap_scribble_overflow marks
+  // attempts as corruption aborts (the serving layer folds them into the
+  // failed/retried accounting and counts them separately).
+  FaultPlan Plan = parsePlan("seed=" + std::to_string(Seed) +
+                             ",worker_heap:p=0.02"
+                             ",heap_scribble_overflow:p=0.01");
 
   ServingConfig Config;
   Config.Load.Process = ArrivalProcess::ClosedLoop;
@@ -158,6 +240,7 @@ void servingSoak(JsonWriter &J, uint64_t Seed, const ServiceTimeModel &Model) {
   Config.DurationTx = 400;
   Config.Restart.EveryNTx = 50;
   Config.Restart.OnOom = true;
+  Config.Restart.OnCorruption = true;
   Config.Restart.RestartCostSec = 0.01;
   Config.Restart.HeapBytesPerTx = 1 << 20;
   Config.MaxAttempts = 3;
@@ -179,6 +262,8 @@ void servingSoak(JsonWriter &J, uint64_t Seed, const ServiceTimeModel &Model) {
   check(First.Completed + First.Failed == Config.DurationTx,
         "serving: the closed loop reached its completion target");
   check(First.Restarts > 0, "serving: the restart policy actually fired");
+  check(First.CorruptionAborts > 0,
+        "serving: corruption aborts were injected and counted");
   check(servingMetricsString(First) == servingMetricsString(Second),
         "serving: two runs with the same fault seed are byte-identical");
 
@@ -242,6 +327,7 @@ int main(int Argc, char **Argv) {
   J.beginObject().field("bench", "chaos").field("seed", Seed);
 
   runtimeSoak(J, Seed, TxPerAllocator, *Workload, Kinds);
+  hardenedSoak(J, Seed, TxPerAllocator, *Workload, Kinds);
 
   // Build the service-time model before arming anything: profiling must
   // stay fault-free.

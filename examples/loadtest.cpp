@@ -122,15 +122,17 @@ int main(int Argc, char **Argv) {
   uint64_t RestartEvery = 0;
   double RestartCostMs = 0.0;
   bool RestartOnOom = false;
+  bool RestartOnCorruption = false;
+  bool Harden = false;
   uint64_t HeapPerTx = 0;
   uint64_t MaxAttempts = 4;
   double RetryBackoffMs = 50.0;
   bool JsonOut = false;
   Parser.addFlag("faults", &FaultsSpec,
                  "deterministic fault plan for the serving phase, e.g. "
-                 "'seed=7,worker_heap:p=0.01' (sites: arena_map, "
-                 "segment_acquire, chunk_acquire, trace_write, worker_heap, "
-                 "page_acquire, slab_grow; triggers: p=, every=, after=)");
+                 "'seed=7,worker_heap:p=0.01' (sites: " +
+                     faultSiteNamesJoined() +
+                     "; triggers: p=, every=, after=)");
   std::string BackendName = "arena";
   Parser.addFlag("backend", &BackendName,
                  "page economy behind the allocator heaps: arena (private "
@@ -143,6 +145,12 @@ int main(int Argc, char **Argv) {
                  "downtime of one worker restart (ms)");
   Parser.addFlag("restart-on-oom", &RestartOnOom,
                  "restart the worker that served a failed (OOM) request");
+  Parser.addFlag("restart-on-corruption", &RestartOnCorruption,
+                 "restart the worker whose transaction aborted on detected "
+                 "heap corruption");
+  Parser.addFlag("harden", &Harden,
+                 "wrap every allocator heap in the hardening layer "
+                 "(red-zone canaries + poisoned quarantine)");
   Parser.addFlag("heap-per-tx", &HeapPerTx,
                  "modelled worker-heap growth per request, bytes (restart "
                  "resets it)");
@@ -281,6 +289,7 @@ int main(int Argc, char **Argv) {
 
     NativeExecutorConfig NC;
     NC.Kind = *Kind;
+    NC.Options.Hardening.Enabled = Harden;
     NC.Mix = Mix;
     // rps <= 0 means saturation: no real-time pacing, the bounded queue is
     // the back-pressure (there is no capacity model to derive a rate from
@@ -315,9 +324,11 @@ int main(int Argc, char **Argv) {
           .field("sharing", M->SharingModel)
           .field("faults", FaultsSpec.empty() ? std::string("none")
                                               : Faults.describe())
+          .field("harden", Harden)
           .field("offered", M->Offered)
           .field("completed", M->Completed)
           .field("oom_aborts", M->OomAborts)
+          .field("corruption_aborts", M->CorruptionAborts)
           .field("wall_sec", M->WallSec)
           .field("throughput_rps", M->Throughput)
           .field("p50_us", M->LatencyUs.percentile(0.50))
@@ -343,6 +354,7 @@ int main(int Argc, char **Argv) {
     Out.row().cell("offered").cell(M->Offered);
     Out.row().cell("completed").cell(M->Completed);
     Out.row().cell("oom aborts").cell(M->OomAborts);
+    Out.row().cell("corruption aborts").cell(M->CorruptionAborts);
     Out.row().cell("wall time s").cell(M->WallSec, 3);
     Out.row().cell("throughput rq/s").cell(M->Throughput, 1);
     Out.row().cell("p50 latency us").cell(M->LatencyUs.percentile(0.50));
@@ -379,6 +391,7 @@ int main(int Argc, char **Argv) {
   Options.WarmupTx = 1;
   Options.MeasureTx = static_cast<unsigned>(Samples);
   Options.Seed = Seed;
+  Options.Hardening.Enabled = Harden;
   if (BackendName == "buddy")
     Options.Backend = PageBackendKind::Buddy;
 
@@ -471,6 +484,7 @@ int main(int Argc, char **Argv) {
   Config.DurationTx = DurationTx;
   Config.Restart.EveryNTx = RestartEvery;
   Config.Restart.OnOom = RestartOnOom;
+  Config.Restart.OnCorruption = RestartOnCorruption;
   Config.Restart.RestartCostSec = RestartCostMs / 1e3;
   Config.Restart.HeapBytesPerTx = HeapPerTx;
   Config.MaxAttempts = MaxAttempts;
@@ -492,6 +506,8 @@ int main(int Argc, char **Argv) {
                                             : Faults.describe())
         .field("restart_every_tx", RestartEvery)
         .field("restart_on_oom", RestartOnOom)
+        .field("restart_on_corruption", RestartOnCorruption)
+        .field("harden", Harden)
         .field("restart_cost_ms", RestartCostMs)
         .field("max_attempts", MaxAttempts)
         .field("offered_rps", M.OfferedRps)
@@ -503,6 +519,7 @@ int main(int Argc, char **Argv) {
         .field("failed", M.Failed)
         .field("retried", M.Retried)
         .field("unfinished", M.Unfinished)
+        .field("corruption_aborts", M.CorruptionAborts)
         .field("restarts", M.Restarts)
         .field("restart_downtime_sec", M.RestartDowntimeSec)
         .field("peak_worker_heap_bytes", M.PeakWorkerHeapBytes)
@@ -527,6 +544,7 @@ int main(int Argc, char **Argv) {
   Out.row().cell("drop rate %").cell(100.0 * M.dropRate(), 2);
   Out.row().cell("failed").cell(M.Failed);
   Out.row().cell("retried").cell(M.Retried);
+  Out.row().cell("corruption aborts").cell(M.CorruptionAborts);
   Out.row().cell("restarts").cell(M.Restarts);
   Out.row().cell("restart downtime s").cell(M.RestartDowntimeSec, 3);
   Out.row().cell("p50 latency ms").cell(M.p50Ms(), 2);

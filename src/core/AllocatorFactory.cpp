@@ -10,6 +10,7 @@
 #include "core/SegmentPool.h"
 #include "core/TCMallocModel.h"
 #include "core/ZendDefaultAllocator.h"
+#include "hardening/Hardening.h"
 #include "page/SlabAllocator.h"
 #include "support/Arena.h"
 #include "support/Error.h"
@@ -53,8 +54,10 @@ static bool usesPageBackend(AllocatorKind Kind,
   }
 }
 
-std::unique_ptr<TxAllocator>
-ddm::createAllocator(AllocatorKind Kind, const AllocatorOptions &Options) {
+/// The bare (unhardened) construction switch; createAllocator adds the
+/// hardening wrap on top.
+static std::unique_ptr<TxAllocator>
+createBareAllocator(AllocatorKind Kind, const AllocatorOptions &Options) {
   switch (Kind) {
   case AllocatorKind::DDmalloc: {
     DDmallocConfig Config;
@@ -113,10 +116,20 @@ ddm::createAllocator(AllocatorKind Kind, const AllocatorOptions &Options) {
   case AllocatorKind::Adaptive: {
     AdaptiveConfig Config;
     Config.InnerOptions = Options;
+    // The adaptive dispatcher is hardened once at the top by
+    // createAllocator; its inner strategies stay bare (nesting would
+    // double every canary and quarantine).
+    Config.InnerOptions.Hardening = HardeningConfig();
     return std::make_unique<AdaptiveAllocator>(Config);
   }
   }
   unreachable("unknown allocator kind");
+}
+
+std::unique_ptr<TxAllocator>
+ddm::createAllocator(AllocatorKind Kind, const AllocatorOptions &Options) {
+  return hardenAllocator(createBareAllocator(Kind, Options),
+                         Options.Hardening);
 }
 
 std::unique_ptr<TxAllocator>

@@ -11,6 +11,7 @@
 #define DDM_CORE_ALLOCATORFACTORY_H
 
 #include "core/TxAllocator.h"
+#include "hardening/HardeningConfig.h"
 
 #include <memory>
 #include <optional>
@@ -76,6 +77,13 @@ struct AllocatorOptions {
   /// spans from (--backend buddy); null keeps the legacy private arenas.
   /// Kinds without backend support (ddmalloc, tcmalloc, hoard) ignore it.
   std::shared_ptr<PageBackend> Backend;
+
+  /// Heap hardening (--harden): when Enabled, the factory wraps the
+  /// allocator in the corruption-detecting HardenedAllocator
+  /// (src/hardening) — red-zone canaries, a poison-on-free quarantine,
+  /// and optional guarded-page sampling. Applies to every kind; the
+  /// adaptive allocator is wrapped once at the top, not per strategy.
+  HardeningConfig Hardening;
 };
 
 /// Constructs the allocator \p Kind. Aborts via fatal() if the

@@ -194,11 +194,15 @@ void *BoundaryTagHeap::malloc(size_t Size) {
 }
 
 void BoundaryTagHeap::free(void *Ptr) {
-  assert(Ptr && owns(Ptr) && "bad pointer passed to free");
+  // Fatal (not assert): a bad free would corrupt the bin lists silently,
+  // so the check is part of the allocator, not of the debug build.
+  if (!Ptr || !owns(Ptr))
+    fatal("boundary-tag heap: bad pointer passed to free");
   std::byte *Chunk = static_cast<std::byte *>(Ptr) - 8;
   uint64_t Header = headerOf(Chunk);
   Sink.load(Chunk, 8);
-  assert((Header & InUseBit) && "double free");
+  if (!(Header & InUseBit))
+    fatal("heap corruption detected: double free of a boundary-tag chunk");
   uint64_t Size = sizeOfHeader(Header);
   Sink.instructions(InstrFreeBase);
 
@@ -256,10 +260,13 @@ void BoundaryTagHeap::free(void *Ptr) {
 }
 
 size_t BoundaryTagHeap::usableSize(const void *Ptr) const {
-  assert(Ptr && owns(Ptr) && "bad pointer");
+  if (!Ptr || !owns(Ptr))
+    fatal("boundary-tag heap: bad pointer");
   auto *Chunk = static_cast<const std::byte *>(Ptr) - 8;
   uint64_t Header = *reinterpret_cast<const uint64_t *>(Chunk);
-  assert((Header & InUseBit) && "object is not live");
+  if (!(Header & InUseBit))
+    fatal("heap corruption detected: double free (boundary-tag object is "
+          "not live)");
   return sizeOfHeader(Header) - 8;
 }
 

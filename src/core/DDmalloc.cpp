@@ -320,19 +320,31 @@ void DDmallocAllocator::deallocateLarge(void *Ptr, size_t SegIndex) {
 void DDmallocAllocator::deallocate(void *Ptr) {
   if (!Ptr)
     return;
-  assert(owns(Ptr) && "pointer not from this heap");
+  // Fatal (not assert): these misuse checks guard the free-list and
+  // segment metadata in every build type.
+  if (!owns(Ptr))
+    fatal("ddmalloc: freed pointer not from this heap");
   size_t SegIndex = segmentIndexFor(Ptr);
   uint8_t Mark = SegClass[SegIndex];
   Sink.load(&SegClass[SegIndex], 1);
-  assert(Mark != SegUnused && "freeing into an unused segment");
+  if (Mark == SegUnused)
+    fatal("ddmalloc: freeing into an unused segment (double free of a "
+          "large object or foreign pointer)");
 
   if (Mark == SegLargeStart) {
     deallocateLarge(Ptr, SegIndex);
     return;
   }
-  assert(Mark != SegLargeCont && "pointer into the middle of a large object");
+  if (Mark == SegLargeCont)
+    fatal("ddmalloc: freed pointer into the middle of a large object");
 
   unsigned Class = Mark - 1;
+  // An immediate re-free would push the object on top of itself and tie
+  // the free list into a cycle; catch the common double free for one
+  // compare.
+  if (reinterpret_cast<uintptr_t>(Ptr) == FreeHead[Class])
+    fatal("heap corruption detected: double free (object already heads "
+          "its ddmalloc free list)");
   // Chain onto the class free list; freed objects are reused LIFO.
   *reinterpret_cast<uintptr_t *>(Ptr) = FreeHead[Class];
   Sink.store(Ptr, sizeof(uintptr_t));

@@ -206,13 +206,18 @@ void *HoardModelAllocator::allocateLarge(size_t Size) {
 void HoardModelAllocator::deallocate(void *Ptr) {
   if (!Ptr)
     return;
-  assert(owns(Ptr) && "pointer not from this heap");
+  // Fatal (not assert): a bad free would corrupt the superblock free
+  // lists silently, so the checks hold in every build type.
+  if (!owns(Ptr))
+    fatal("hoard model: freed pointer not from this heap");
   size_t Index = sbIndexFor(Ptr);
   // A live object's map entry cannot change concurrently; see the
   // TCmalloc model's deallocate for the ordering argument.
   uint8_t Mark = Central->SbMap[Index];
   Sink.load(&Central->SbMap[Index], 1);
-  assert(Mark != SbUnused && Mark != SbLargeCont && "bad free");
+  if (Mark == SbUnused || Mark == SbLargeCont)
+    fatal("hoard model: bad free (double free of a large object or "
+          "pointer into unallocated superblocks)");
 
   if (Mark == SbLargeStart) {
     // The boundary scan reads one entry past the run, so the whole large
@@ -254,6 +259,11 @@ void HoardModelAllocator::deallocate(void *Ptr) {
   unsigned Class = Sb->ClassIndex;
   bool WasFull = Sb->FreeHead == 0 && Sb->BumpRemaining == 0;
 
+  // Catch the common double free before it ties the superblock's free
+  // list into a cycle: an immediate re-free finds itself at the head.
+  if (reinterpret_cast<uintptr_t>(Ptr) == Sb->FreeHead)
+    fatal("heap corruption detected: double free (object already heads "
+          "its hoard superblock free list)");
   *reinterpret_cast<uintptr_t *>(Ptr) = Sb->FreeHead;
   Sink.store(Ptr, sizeof(uintptr_t));
   Sb->FreeHead = reinterpret_cast<uintptr_t>(Ptr);

@@ -1,6 +1,7 @@
 //===- core/ObstackAllocator.cpp - GNU-obstack-style regions -------------===//
 
 #include "core/ObstackAllocator.h"
+#include "support/Error.h"
 #include "support/FaultInjection.h"
 
 #include <cassert>
@@ -17,6 +18,14 @@ constexpr uint64_t InstrNewChunk = 90;
 constexpr uint64_t InstrFreeAll = 40;
 
 constexpr size_t alignUp8(size_t Size) { return (Size + 7) & ~size_t(7); }
+
+/// splitmix64 finalizer, for the dead-object mark.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
 
 } // namespace
 
@@ -75,8 +84,21 @@ void *ObstackAllocator::allocate(size_t Size) {
 }
 
 void ObstackAllocator::deallocate(void *Ptr) {
+  // No per-object free (freeAll rewinds), but the call is still validated
+  // like the region allocator's: range-check the pointer and stamp an
+  // epoch-salted dead mark so double frees abort instead of passing
+  // silently. Addresses recur only after a freeAll, which bumps the epoch.
   if (!Ptr)
     return;
+  auto *P = static_cast<const std::byte *>(Ptr);
+  if (P < Heap.base() || P >= Heap.base() + Heap.size())
+    fatal("obstack allocator: freed pointer is not from this heap");
+  auto *Mark = reinterpret_cast<uint64_t *>(Ptr);
+  uint64_t Dead = mix64(reinterpret_cast<uintptr_t>(Ptr) ^
+                        FreeAllEpoch * 0x9e3779b97f4a7c15ull ^ 0xdead0b5eull);
+  if (*Mark == Dead)
+    fatal("heap corruption detected: double free of an obstack object");
+  *Mark = Dead;
   ++Stats.FreeCalls;
 }
 
@@ -110,6 +132,7 @@ void ObstackAllocator::freeAll() {
   assert(Ok && "rewind cannot fail");
   ChunkIndex = 0;
   BytesAllocated = 0;
+  ++FreeAllEpoch;
   Sink.instructions(InstrFreeAll);
   noteFreeAll();
 }

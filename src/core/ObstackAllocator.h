@@ -82,6 +82,9 @@ private:
   std::byte *Limit = nullptr;
   size_t ChunkIndex = 0;
   uint64_t BytesAllocated = 0; ///< Since the last freeAll.
+  /// Incremented by every freeAll; salts the double-free dead mark (see
+  /// deallocate()) so marks from earlier epochs never false-positive.
+  uint64_t FreeAllEpoch = 0;
 };
 
 } // namespace ddm

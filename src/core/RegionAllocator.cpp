@@ -1,6 +1,7 @@
 //===- core/RegionAllocator.cpp - Bump-pointer region allocator ----------===//
 
 #include "core/RegionAllocator.h"
+#include "support/Error.h"
 #include "support/FaultInjection.h"
 
 #include <cassert>
@@ -17,6 +18,14 @@ constexpr uint64_t InstrMallocNewChunk = 64;
 constexpr uint64_t InstrFreeAll = 24;
 
 constexpr size_t alignUp8(size_t Size) { return (Size + 7) & ~size_t(7); }
+
+/// splitmix64 finalizer, for the dead-object mark.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
 
 } // namespace
 
@@ -69,12 +78,36 @@ void *RegionAllocator::allocate(size_t Size) {
   return Result;
 }
 
+bool RegionAllocator::owns(const void *Ptr) const {
+  auto *P = static_cast<const std::byte *>(Ptr);
+  for (const BackedSpan &Chunk : Chunks)
+    if (P >= Chunk.base() && P < Chunk.base() + Chunk.size())
+      return true;
+  return false;
+}
+
+uint64_t RegionAllocator::deadMark(const void *Ptr) const {
+  return mix64(reinterpret_cast<uintptr_t>(Ptr) ^
+               FreeAllEpoch * 0x9e3779b97f4a7c15ull ^ 0xdead0b5eull);
+}
+
 void RegionAllocator::deallocate(void *Ptr) {
   // No per-object free: dead objects are reclaimed only by freeAll. The
   // paper's adaptation removes the runtime's free calls entirely, so no
-  // instructions are charged here either.
+  // instructions are charged here either. The region still validates the
+  // call: a foreign pointer is misuse, and stamping an epoch-salted mark
+  // into the (now dead) object catches double frees — the bump pointer
+  // hands out each address at most once per epoch, so a stale mark can
+  // never false-positive.
   if (!Ptr)
     return;
+  if (!owns(Ptr))
+    fatal("region allocator: freed pointer is not from this heap");
+  auto *Mark = reinterpret_cast<uint64_t *>(Ptr);
+  uint64_t Dead = deadMark(Ptr);
+  if (*Mark == Dead)
+    fatal("heap corruption detected: double free of a region object");
+  *Mark = Dead;
   ++Stats.FreeCalls;
 }
 
@@ -109,6 +142,7 @@ void RegionAllocator::freeAll() {
   Next = Chunks[0].base();
   Limit = Next + Chunks[0].size();
   BytesInFullChunks = 0;
+  ++FreeAllEpoch;
   Sink.store(&Next, sizeof(Next));
   Sink.instructions(InstrFreeAll);
   noteFreeAll();

@@ -69,6 +69,12 @@ public:
   size_t numChunks() const { return Chunks.size(); }
 
 private:
+  /// True if \p Ptr lies inside one of the region's chunks.
+  bool owns(const void *Ptr) const;
+  /// The free-epoch stamp written into a dead object's first word; see
+  /// deallocate().
+  uint64_t deadMark(const void *Ptr) const;
+
   RegionConfig Config;
   std::vector<BackedSpan> Chunks;
   size_t CurrentChunk = 0;
@@ -79,6 +85,9 @@ private:
   /// Bytes bump-allocated in all full chunks before the current one,
   /// counted since the last freeAll.
   uint64_t BytesInFullChunks = 0;
+  /// Incremented by every freeAll: dead marks stamped in an earlier epoch
+  /// can never be mistaken for this epoch's.
+  uint64_t FreeAllEpoch = 0;
 };
 
 } // namespace ddm

@@ -254,7 +254,10 @@ void *TCMallocModelAllocator::allocate(size_t Size) {
 void TCMallocModelAllocator::deallocate(void *Ptr) {
   if (!Ptr)
     return;
-  assert(owns(Ptr) && "pointer not from this heap");
+  // Fatal (not assert): a bad free would corrupt the thread cache's free
+  // lists silently, so the checks hold in every build type.
+  if (!owns(Ptr))
+    fatal("tcmalloc model: freed pointer not from this heap");
   size_t Page = pageIndexFor(Ptr);
   // Reading the page map entry of a live object needs no lock even on a
   // shared central: the entry cannot change while the object is live, and
@@ -262,7 +265,9 @@ void TCMallocModelAllocator::deallocate(void *Ptr) {
   // happens-before chain.
   uint8_t Mark = Central->PageMap[Page];
   Sink.load(&Central->PageMap[Page], 1);
-  assert(Mark != PageUnused && Mark != PageLargeCont && "bad free");
+  if (Mark == PageUnused || Mark == PageLargeCont)
+    fatal("tcmalloc model: bad free (double free of a large object or "
+          "pointer into unallocated pages)");
 
   if (Mark == PageLargeStart) {
     // The boundary scan reads one entry past the run, which a sibling
@@ -280,6 +285,11 @@ void TCMallocModelAllocator::deallocate(void *Ptr) {
 
   unsigned Class = Mark;
   size_t ObjectSize = Classes.classSize(Class);
+  // Catch the common double free before it ties the cache list into a
+  // cycle: an immediate re-free finds itself at the head.
+  if (reinterpret_cast<uintptr_t>(Ptr) == CacheHead[Class])
+    fatal("heap corruption detected: double free (object already heads "
+          "its tcmalloc cache list)");
   *reinterpret_cast<uintptr_t *>(Ptr) = CacheHead[Class];
   Sink.store(Ptr, sizeof(uintptr_t));
   CacheHead[Class] = reinterpret_cast<uintptr_t>(Ptr);

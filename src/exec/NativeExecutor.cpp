@@ -26,6 +26,7 @@ struct WorkerResult {
   LatencyHistogram LatencyUs;
   uint64_t Completed = 0;
   uint64_t OomAborts = 0;
+  uint64_t CorruptionAborts = 0;
   AllocatorStats Allocator;
 };
 
@@ -74,6 +75,8 @@ void workerMain(const NativeExecutorConfig &Cfg,
       if (Status == TxStatus::Ok) {
         ++Result.Completed;
         Result.LatencyUs.add(static_cast<uint64_t>(Us));
+      } else if (Status == TxStatus::HeapCorruption) {
+        ++Result.CorruptionAborts;
       } else {
         ++Result.OomAborts;
       }
@@ -172,10 +175,12 @@ ddm::runNativeChecked(const NativeExecutorConfig &Config, std::string &Error) {
     const WorkerResult &R = Results[T];
     M.Completed += R.Completed;
     M.OomAborts += R.OomAborts;
+    M.CorruptionAborts += R.CorruptionAborts;
     M.LatencyUs.merge(R.LatencyUs);
     accumulate(M.Allocator, R.Allocator);
     M.PerThread[T].Completed = R.Completed;
     M.PerThread[T].OomAborts = R.OomAborts;
+    M.PerThread[T].CorruptionAborts = R.CorruptionAborts;
   }
   M.Throughput = WallSec > 0.0 ? static_cast<double>(M.Completed) / WallSec
                                : 0.0;

@@ -77,6 +77,7 @@ struct NativeExecutorConfig {
 struct NativeThreadMetrics {
   uint64_t Completed = 0;
   uint64_t OomAborts = 0;
+  uint64_t CorruptionAborts = 0;
 };
 
 /// Merged results of one native run.
@@ -87,6 +88,9 @@ struct NativeRunMetrics {
   /// Transactions aborted by heap exhaustion (or the worker_heap fault
   /// site); the runtime rolls them back and the worker keeps serving.
   uint64_t OomAborts = 0;
+  /// Transactions aborted because the hardening layer (--harden) detected
+  /// heap corruption; contained the same way as an OOM.
+  uint64_t CorruptionAborts = 0;
 
   double WallSec = 0.0;
   /// Completed transactions per wall-clock second.

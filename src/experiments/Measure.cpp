@@ -76,6 +76,8 @@ SimPoint ddm::simulateRuntime(const WorkloadSpec &Workload,
   if (Config.AllocOptions.ProcessId == 0)
     Config.AllocOptions.ProcessId = static_cast<uint32_t>(Options.Seed % 64);
   Config.AllocOptions.LargePages = Options.LargePages;
+  if (Options.Hardening.Enabled && !Config.AllocOptions.Hardening.Enabled)
+    Config.AllocOptions.Hardening = Options.Hardening;
   std::shared_ptr<PageBackend> Backend = backendFor(Options);
   if (Backend)
     Config.AllocOptions.Backend = Backend;
@@ -166,6 +168,8 @@ SimPoint ddm::simulatePhases(const std::vector<WorkloadSpec> &Phases,
   if (Config.AllocOptions.ProcessId == 0)
     Config.AllocOptions.ProcessId = static_cast<uint32_t>(Options.Seed % 64);
   Config.AllocOptions.LargePages = Options.LargePages;
+  if (Options.Hardening.Enabled && !Config.AllocOptions.Hardening.Enabled)
+    Config.AllocOptions.Hardening = Options.Hardening;
   std::shared_ptr<PageBackend> Backend = backendFor(Options);
   if (Backend)
     Config.AllocOptions.Backend = Backend;
@@ -243,6 +247,8 @@ ServiceProfile ddm::profileService(const WorkloadSpec &Workload,
   if (Config.AllocOptions.ProcessId == 0)
     Config.AllocOptions.ProcessId = static_cast<uint32_t>(Options.Seed % 64);
   Config.AllocOptions.LargePages = Options.LargePages;
+  if (Options.Hardening.Enabled && !Config.AllocOptions.Hardening.Enabled)
+    Config.AllocOptions.Hardening = Options.Hardening;
   std::shared_ptr<PageBackend> Backend = backendFor(Options);
   if (Backend)
     Config.AllocOptions.Backend = Backend;

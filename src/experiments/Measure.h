@@ -78,6 +78,12 @@ struct SimulationOptions {
   /// observed cold regions — the monitor gating the reclaim, as in
   /// DAMON_RECLAIM.
   bool ColdGiveBack = false;
+
+  /// Heap hardening (--harden): when Enabled, every allocator the run
+  /// creates is wrapped in the red-zone/quarantine HardenedAllocator
+  /// (src/hardening). Applied on top of RuntimeConfig::AllocOptions
+  /// unless those already request hardening explicitly.
+  HardeningConfig Hardening;
 };
 
 /// The outputs of one (workload, allocator, platform, cores) point.

@@ -351,7 +351,10 @@ void *SlabAllocator::allocate(size_t Size) {
 void SlabAllocator::deallocate(void *Ptr) {
   if (!Ptr)
     return;
-  assert(owns(Ptr) && "pointer not from this heap");
+  // Fatal (not assert): a bad free would corrupt the magazine or the page
+  // economy silently, so the checks hold in every build type.
+  if (!owns(Ptr))
+    fatal("slab allocator: freed pointer not from this heap");
   size_t Page = pageIndexFor(Ptr);
   // Reading the page map entry of a live object needs no lock even on a
   // shared central: the slab cannot be reaped while any of its objects is
@@ -359,7 +362,9 @@ void SlabAllocator::deallocate(void *Ptr) {
   // happens-before chain.
   uint8_t Mark = Central->PageKind[Page];
   Sink.load(&Central->PageKind[Page], 1);
-  assert(Mark != PageUnused && Mark != PageLargeCont && "bad free");
+  if (Mark == PageUnused || Mark == PageLargeCont)
+    fatal("slab allocator: bad free (double free of a large object or "
+          "pointer into unallocated pages)");
 
   if (Mark == PageLargeStart) {
     // The boundary scan reads one entry past the run, which a sibling
@@ -387,6 +392,13 @@ void SlabAllocator::deallocate(void *Ptr) {
   size_t ObjectSize = Classes.classSize(Class);
   if (MagCount[Class] == Config.MagazineCapacity)
     flushMagazine(Class, Config.MagazineCapacity / 2);
+  // Catch the common double free for one compare: an immediate re-free
+  // finds itself on top of the magazine.
+  if (MagCount[Class] > 0 &&
+      MagSlots[size_t(Class) * Config.MagazineCapacity + MagCount[Class] -
+               1] == reinterpret_cast<uintptr_t>(Ptr))
+    fatal("heap corruption detected: double free (object already tops its "
+          "slab magazine)");
   uintptr_t *Slot =
       &MagSlots[size_t(Class) * Config.MagazineCapacity + MagCount[Class]];
   *Slot = reinterpret_cast<uintptr_t>(Ptr);

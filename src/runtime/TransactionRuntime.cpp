@@ -52,6 +52,7 @@ TransactionRuntime::TransactionRuntime(const WorkloadSpec &W,
       CleanupRng(C.Seed ^ 0x51eeb, C.RngStream) {
   Allocator = createAllocator(Config.Kind, Config.AllocOptions);
   Allocator->attachSink(Sink);
+  installCorruptionHandler();
   // The interpreter state is mirrored into the sink; register it with the
   // canonical address map (after the allocator's regions, a fixed order).
   SinkHandleView.mapRegion(StateArea.base(), StateArea.size());
@@ -127,8 +128,28 @@ void TransactionRuntime::noteOom(size_t FailedBytes) {
   SinkHandleView.setDomain(CostDomain::Application);
 }
 
+void TransactionRuntime::noteCorruption(const CorruptionReport &Report) {
+  // One scribble can trip several verifications while the doomed
+  // transaction winds down (free, then the rollback's freeAll); the first
+  // report is the diagnosis, the rest are echoes.
+  if (CorruptionPending)
+    return;
+  CorruptionPending = true;
+  Outcome.Status = TxStatus::HeapCorruption;
+  Outcome.AllocatorName = Allocator->name();
+  Outcome.PeakLiveBytes = Allocator->stats().PeakUsableBytesLive;
+  Outcome.Corruption = Report;
+}
+
+void TransactionRuntime::installCorruptionHandler() {
+  Hardened = asHardened(Allocator.get());
+  if (Hardened)
+    Hardened->setReportHandler(
+        [this](const CorruptionReport &Report) { noteCorruption(Report); });
+}
+
 void TransactionRuntime::performAlloc(uint32_t Id, size_t Size) {
-  if (OomPending)
+  if (txAborted())
     return;
   SinkHandleView.setDomain(CostDomain::MemoryManagement);
   void *Ptr = faultShouldFail(FaultSite::WorkerHeap)
@@ -162,7 +183,7 @@ void TransactionRuntime::onFree(uint32_t Id) {
     E.Id = Id;
     Trace->event(E);
   }
-  if (OomPending)
+  if (txAborted())
     return;
   ObjectRecord &Record = recordFor(Id);
   assert(Record.Live && "freeing a dead object");
@@ -187,7 +208,7 @@ void TransactionRuntime::onRealloc(uint32_t Id, size_t OldSize,
     E.OldSize = OldSize;
     Trace->event(E);
   }
-  if (OomPending)
+  if (txAborted())
     return;
   ObjectRecord &Record = recordFor(Id);
   assert(Record.Live && "realloc of a dead object");
@@ -218,7 +239,7 @@ void TransactionRuntime::onTouch(uint32_t Id, bool IsWrite) {
     E.IsWrite = IsWrite;
     Trace->event(E);
   }
-  if (OomPending)
+  if (txAborted())
     return;
   ObjectRecord &Record = recordFor(Id);
   assert(Record.Live && "touching a dead object");
@@ -245,7 +266,7 @@ void TransactionRuntime::onWork(uint64_t Instructions) {
     E.Size = Instructions;
     Trace->event(E);
   }
-  if (OomPending)
+  if (txAborted())
     return;
   SinkHandleView.instructions(Instructions);
 }
@@ -258,7 +279,7 @@ void TransactionRuntime::onStateTouch(uint64_t Offset, bool IsWrite) {
     E.IsWrite = IsWrite;
     Trace->event(E);
   }
-  if (OomPending)
+  if (txAborted())
     return;
   assert(Offset + 64 <= StateArea.size() && "state touch out of range");
   std::byte *Addr = StateArea.base() + Offset;
@@ -323,6 +344,7 @@ void TransactionRuntime::restartProcess() {
   // is amortized over the restart period automatically.
   Allocator = createAllocator(Config.Kind, Config.AllocOptions);
   Allocator->attachSink(Sink);
+  installCorruptionHandler();
   LeakedObjects = 0;
   ++Metrics.Restarts;
   Metrics.RestartInstructions += Config.RestartCostInstructions;
@@ -335,14 +357,33 @@ TxStatus TransactionRuntime::completeTransaction(const TraceStats &Stats) {
     E.Op = TraceOp::EndTx;
     Trace->event(E);
   }
-  if (OomPending) {
+  if (txAborted()) {
     rollbackTransaction();
+    // Corruption takes precedence over OOM: a scribbled heap explains a
+    // failed allocation, not the other way around.
+    if (CorruptionPending) {
+      ++Metrics.CorruptionAborts;
+      CorruptionPending = false;
+      OomPending = false;
+      Outcome.Status = TxStatus::HeapCorruption;
+      return TxStatus::HeapCorruption;
+    }
     ++Metrics.OomAborts;
     OomPending = false;
     return TxStatus::OutOfMemory;
   }
   Outcome = TxOutcome();
   cleanupTransaction();
+  // The cleanup itself can detect corruption (a canary torn by the
+  // transaction's last write, a quarantine recycle finding poison
+  // damage). The objects are already reclaimed; abort the transaction
+  // after the fact so the caller still sees exactly one failed request.
+  if (CorruptionPending) {
+    ++Metrics.CorruptionAborts;
+    CorruptionPending = false;
+    Outcome.Status = TxStatus::HeapCorruption;
+    return TxStatus::HeapCorruption;
+  }
 
   Metrics.TotalTrace.add(Stats);
   ++Metrics.Transactions;

@@ -26,6 +26,7 @@
 #define DDM_RUNTIME_TRANSACTIONRUNTIME_H
 
 #include "core/AllocatorFactory.h"
+#include "hardening/Hardening.h"
 #include "support/Arena.h"
 #include "support/Stats.h"
 #include "trace/TraceEvent.h"
@@ -94,24 +95,31 @@ struct RuntimeMetrics {
   /// heap (or the `worker_heap` fault site fired). Aborted transactions do
   /// not count toward Transactions and contribute nothing to the averages.
   uint64_t OomAborts = 0;
+  /// Transactions abandoned because the hardening layer detected heap
+  /// corruption (same containment contract as OomAborts: rolled back, not
+  /// counted, process keeps serving).
+  uint64_t CorruptionAborts = 0;
 };
 
 /// How one transaction ended.
 enum class TxStatus {
-  Ok,          ///< Completed and cleaned up normally.
-  OutOfMemory, ///< Aborted mid-flight; its objects were rolled back.
+  Ok,             ///< Completed and cleaned up normally.
+  OutOfMemory,    ///< Aborted mid-flight; its objects were rolled back.
+  HeapCorruption, ///< Hardening detected corruption; rolled back likewise.
 };
 
 /// Details of the most recent transaction failure (valid while
-/// executeTransaction()/completeTransaction() reports OutOfMemory).
+/// executeTransaction()/completeTransaction() reports a non-Ok status).
 struct TxOutcome {
   TxStatus Status = TxStatus::Ok;
-  /// Which allocator refused the allocation.
+  /// Which allocator refused the allocation (or detected the corruption).
   std::string AllocatorName;
   /// The allocator's live-byte high-water mark when the failure hit.
   uint64_t PeakLiveBytes = 0;
-  /// Size of the allocation that failed.
+  /// Size of the allocation that failed (OutOfMemory only).
   uint64_t FailedAllocBytes = 0;
+  /// The first corruption report of the transaction (HeapCorruption only).
+  CorruptionReport Corruption;
 };
 
 /// One simulated runtime process.
@@ -125,7 +133,8 @@ public:
   /// (Ruby mode) any scheduled process restart. Heap exhaustion aborts
   /// only the transaction, never the process: the transaction's objects
   /// are rolled back, the heap stays reusable, and OutOfMemory is
-  /// returned with the details in lastOutcome().
+  /// returned with the details in lastOutcome(). Under --harden a detected
+  /// corruption follows the same contract and returns HeapCorruption.
   TxStatus executeTransaction();
 
   /// Finishes a transaction whose events were delivered externally (trace
@@ -172,7 +181,7 @@ public:
   void onTouch(uint32_t Id, bool IsWrite) override;
   void onWork(uint64_t Instructions) override;
   void onStateTouch(uint64_t Offset, bool IsWrite) override;
-  bool txAborted() const override { return OomPending; }
+  bool txAborted() const override { return OomPending || CorruptionPending; }
   /// @}
 
   /// Test hook: the heap address backing object \p Id, or nullptr if it is
@@ -195,6 +204,14 @@ private:
   /// Records the OutOfMemory outcome and switches the runtime into
   /// ignore-until-EndTx mode.
   void noteOom(size_t FailedBytes);
+  /// Receives the hardening layer's corruption reports. The first report
+  /// of a transaction wins; it flips the same ignore-until-EndTx gate as
+  /// an OOM so the doomed transaction winds down without further heap
+  /// traffic from the generator's stream.
+  void noteCorruption(const CorruptionReport &Report);
+  /// Under --harden, points Hardened at the (re)created allocator and
+  /// routes its reports into noteCorruption.
+  void installCorruptionHandler();
   void restartProcess();
   ObjectRecord &recordFor(uint32_t Id);
   /// Shared allocation body of onAlloc/onCalloc/onAllocAligned (the tee
@@ -224,6 +241,12 @@ private:
   /// no-ops, so the generator's stream stays allocator-independent while
   /// the doomed transaction winds down.
   bool OomPending = false;
+  /// Same gate for a detected corruption; takes precedence over OOM when
+  /// both are pending at the transaction boundary.
+  bool CorruptionPending = false;
+  /// The hardened view of Allocator (null unless --harden); refreshed on
+  /// every restartProcess().
+  HardenedAllocator *Hardened = nullptr;
   TxOutcome Outcome;
 };
 

@@ -43,6 +43,11 @@ struct ServingMetrics {
   /// Attempts still in flight (or queued) when the run ended; the closed
   /// loop stops at its completion target without draining.
   uint64_t Unfinished = 0;
+  /// Attempts whose serving transaction aborted on detected heap
+  /// corruption. Each such attempt is also counted as Retried or Failed
+  /// (corruption is a failure mode, not an extra outcome), so this does
+  /// not enter countersConsistent().
+  uint64_t CorruptionAborts = 0;
 
   /// Worker restarts performed under the restart policy.
   uint64_t Restarts = 0;

@@ -154,6 +154,9 @@ ServingMetrics ddm::runServing(const ServiceTimeModel &Model,
     // Whether this attempt's transaction hits the (injected) OOM; with the
     // injector disarmed this is always false at zero cost.
     Req.WillFail = faultShouldFail(FaultSite::WorkerHeap);
+    // Likewise for a detected-corruption abort (hardened heap trips a
+    // canary/quarantine check mid-transaction).
+    Req.WillCorrupt = faultShouldFail(FaultSite::HeapScribbleOverflow);
     return Req;
   };
 
@@ -201,6 +204,7 @@ ServingMetrics ddm::runServing(const ServiceTimeModel &Model,
           Request Req = Ev.Retry;
           Req.ArrivalSec = Ev.Sec;
           Req.WillFail = faultShouldFail(FaultSite::WorkerHeap);
+          Req.WillCorrupt = faultShouldFail(FaultSite::HeapScribbleOverflow);
           if (!offerTracked(Req))
             // Dropped retry: back off one think time, same attempt.
             Pending.push(
@@ -212,6 +216,10 @@ ServingMetrics ddm::runServing(const ServiceTimeModel &Model,
       } else {
         Completion Done = Pool.completeNext();
         LastFinish = Done.FinishSec;
+        // A corruption abort is one of the Failed outcomes; count it
+        // separately so operators can tell scribbles from OOMs.
+        if (Done.Corrupted)
+          ++M.CorruptionAborts;
         if (Done.Failed && Done.Req.Attempt < Config.MaxAttempts) {
           // The client retries after an exponentially growing backoff.
           ++M.Retried;
@@ -254,6 +262,8 @@ ServingMetrics ddm::runServing(const ServiceTimeModel &Model,
         Completion Done = Pool.completeNext();
         // Open-loop clients never retry: a failed attempt is a failed
         // request.
+        if (Done.Corrupted)
+          ++M.CorruptionAborts;
         if (Done.Failed)
           ++M.Failed;
         else

@@ -183,7 +183,10 @@ Completion WorkerPool::completeNext() {
   Done.Req = InService[BestIdx].Req;
   Done.StartSec = InService[BestIdx].StartSec;
   Done.FinishSec = NowSec;
-  Done.Failed = Done.Req.WillFail;
+  // A corruption abort is a failure too (the client sees an error either
+  // way); Corrupted distinguishes it for metrics and the restart policy.
+  Done.Corrupted = Done.Req.WillCorrupt;
+  Done.Failed = Done.Req.WillFail || Done.Req.WillCorrupt;
   unsigned SlotIdx = InService[BestIdx].Slot;
   InService.erase(InService.begin() + static_cast<long>(BestIdx));
 
@@ -195,7 +198,8 @@ Completion WorkerPool::completeNext() {
   PeakHeapBytes = std::max(PeakHeapBytes, S.HeapBytes);
   bool DoRestart =
       (Restart.EveryNTx != 0 && S.TxSinceRestart >= Restart.EveryNTx) ||
-      (Restart.OnOom && Done.Failed);
+      (Restart.OnOom && Done.Failed) ||
+      (Restart.OnCorruption && Done.Corrupted);
   if (DoRestart) {
     ++Restarts;
     DowntimeSec += Restart.RestartCostSec;

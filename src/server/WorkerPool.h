@@ -54,13 +54,17 @@ struct WorkerRestartPolicy {
   uint64_t EveryNTx = 0;
   /// Also restart the worker that just served a failed (OOM) request.
   bool OnOom = false;
+  /// Also restart the worker whose transaction aborted on detected heap
+  /// corruption — the containment contract's "don't trust a scribbled
+  /// worker" escalation (DESIGN.md section 14).
+  bool OnCorruption = false;
   /// Downtime of one restart, in seconds (0 = instantaneous reset).
   double RestartCostSec = 0.0;
   /// Modelled worker-heap growth per served request (interpreter litter);
   /// a restart resets the worker's heap to zero.
   uint64_t HeapBytesPerTx = 0;
 
-  bool enabled() const { return EveryNTx != 0 || OnOom; }
+  bool enabled() const { return EveryNTx != 0 || OnOom || OnCorruption; }
 };
 
 /// One request flowing through the serving simulation.
@@ -75,6 +79,9 @@ struct Request {
   /// This attempt will end in failure (the worker's transaction hits the
   /// injected/real OOM); decided by the caller before admission.
   bool WillFail = false;
+  /// This attempt will abort on detected heap corruption (the hardened
+  /// allocator trips a canary/quarantine check); decided like WillFail.
+  bool WillCorrupt = false;
   /// 1 for the first submission; retries increment it.
   unsigned Attempt = 1;
   /// Arrival of the first attempt — client-visible latency is measured
@@ -87,7 +94,9 @@ struct Completion {
   Request Req;
   double StartSec = 0.0;  ///< When a worker picked it up.
   double FinishSec = 0.0; ///< When service completed.
-  bool Failed = false;    ///< The serving transaction aborted (OOM).
+  bool Failed = false;    ///< The serving transaction aborted.
+  /// The abort was a detected-corruption abort (subset of Failed).
+  bool Corrupted = false;
 
   double waitSec() const { return StartSec - Req.ArrivalSec; }
   double sojournSec() const { return FinishSec - Req.ArrivalSec; }

@@ -1,0 +1,90 @@
+//===- support/Error.cpp - Fatal-error helpers and last-gasp hooks --------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+using namespace ddm;
+
+namespace {
+
+/// Fixed-size hook table: fatal paths must not allocate.
+constexpr size_t MaxFatalHooks = 16;
+
+struct HookEntry {
+  void *Context = nullptr;
+  FatalHook Hook = nullptr;
+};
+
+struct HookTable {
+  std::mutex Lock;
+  HookEntry Entries[MaxFatalHooks];
+};
+
+HookTable &hooks() {
+  static HookTable Table;
+  return Table;
+}
+
+/// Reentrancy guard: a hook that itself trips fatal() must abort straight
+/// away instead of re-entering the hook table (and deadlocking on Lock).
+thread_local bool InFatalHooks = false;
+
+void runFatalHooks() {
+  if (InFatalHooks)
+    return;
+  InFatalHooks = true;
+  HookTable &T = hooks();
+  // The process is about to abort: if another thread holds the lock
+  // (registering mid-crash), skip the hooks rather than deadlock.
+  if (!T.Lock.try_lock())
+    return;
+  for (HookEntry &E : T.Entries)
+    if (E.Hook)
+      E.Hook(E.Context);
+  T.Lock.unlock();
+}
+
+} // namespace
+
+void ddm::fatal(const std::string &Message) {
+  // Diagnostic first: the hooks are best-effort and must not be able to
+  // suppress the root-cause message.
+  std::fprintf(stderr, "ddmalloc fatal error: %s\n", Message.c_str());
+  std::fflush(stderr);
+  runFatalHooks();
+  std::abort();
+}
+
+void ddm::unreachable(const char *Message) {
+  std::fprintf(stderr, "ddmalloc internal error: unreachable: %s\n", Message);
+  std::fflush(stderr);
+  runFatalHooks();
+  std::abort();
+}
+
+void ddm::registerFatalHook(void *Context, FatalHook Hook) {
+  HookTable &T = hooks();
+  std::lock_guard<std::mutex> G(T.Lock);
+  HookEntry *Free = nullptr;
+  for (HookEntry &E : T.Entries) {
+    if (E.Context == Context && E.Hook) {
+      E.Hook = Hook;
+      return;
+    }
+    if (!E.Hook && !Free)
+      Free = &E;
+  }
+  if (Free)
+    *Free = {Context, Hook};
+}
+
+void ddm::unregisterFatalHook(void *Context) {
+  HookTable &T = hooks();
+  std::lock_guard<std::mutex> G(T.Lock);
+  for (HookEntry &E : T.Entries)
+    if (E.Context == Context)
+      E = HookEntry();
+}

@@ -6,30 +6,43 @@
 /// ddm::fatal, and recoverable conditions are reported through return
 /// values.
 ///
+/// Fatal hooks: long-lived writers (the streaming trace writer, say) can
+/// register a last-gasp callback that runs after the fatal diagnostic is
+/// printed and before abort(). The canonical use is flushing an open
+/// trace file to its last CRC-valid frame so a crash leaves a readable
+/// capture instead of a torn one. Hooks must be best-effort and must not
+/// allocate from the (possibly corrupted) heap under diagnosis; a hook
+/// that itself hits fatal() aborts immediately without re-running hooks.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DDM_SUPPORT_ERROR_H
 #define DDM_SUPPORT_ERROR_H
 
-#include <cstdio>
-#include <cstdlib>
 #include <string>
 
 namespace ddm {
 
-/// Prints \p Message to stderr and aborts. Used for unrecoverable
-/// environment failures (e.g. the OS refuses to map memory).
-[[noreturn]] inline void fatal(const std::string &Message) {
-  std::fprintf(stderr, "ddmalloc fatal error: %s\n", Message.c_str());
-  std::abort();
-}
+/// Prints \p Message to stderr, runs any registered fatal hooks, and
+/// aborts. Used for unrecoverable environment failures (e.g. the OS
+/// refuses to map memory) and for detected heap corruption.
+[[noreturn]] void fatal(const std::string &Message);
 
 /// Marks a point in the program that must never be reached if the library's
 /// invariants hold.
-[[noreturn]] inline void unreachable(const char *Message) {
-  std::fprintf(stderr, "ddmalloc internal error: unreachable: %s\n", Message);
-  std::abort();
-}
+[[noreturn]] void unreachable(const char *Message);
+
+/// A last-gasp callback: \p Context is the value passed at registration.
+using FatalHook = void (*)(void *Context);
+
+/// Registers \p Hook to run (with \p Context) if fatal()/unreachable()
+/// fires. Re-registering the same Context replaces its hook. The hook
+/// table is small and fixed-size; registration beyond it is silently
+/// dropped (hooks are best-effort by contract).
+void registerFatalHook(void *Context, FatalHook Hook);
+
+/// Removes the hook registered for \p Context (no-op if absent).
+void unregisterFatalHook(void *Context);
 
 } // namespace ddm
 

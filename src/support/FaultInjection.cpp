@@ -25,8 +25,24 @@ const char *ddm::faultSiteName(FaultSite Site) {
     return "page_acquire";
   case FaultSite::SlabGrow:
     return "slab_grow";
+  case FaultSite::HeapScribbleOverflow:
+    return "heap_scribble_overflow";
+  case FaultSite::HeapScribbleUaf:
+    return "heap_scribble_uaf";
+  case FaultSite::HeapDoubleFree:
+    return "heap_double_free";
   }
   return "?";
+}
+
+std::string ddm::faultSiteNamesJoined() {
+  std::string Joined;
+  for (unsigned I = 0; I < NumFaultSites; ++I) {
+    if (!Joined.empty())
+      Joined += ", ";
+    Joined += faultSiteName(static_cast<FaultSite>(I));
+  }
+  return Joined;
 }
 
 std::optional<FaultSite> ddm::faultSiteFromName(const std::string &Name) {
@@ -78,6 +94,7 @@ std::string formatProbability(double P) {
 bool FaultPlan::parse(const std::string &Spec, FaultPlan &Plan,
                       std::string &Error) {
   FaultPlan Out;
+  std::array<bool, NumFaultSites> Seen{};
   size_t Pos = 0;
   while (Pos < Spec.size()) {
     size_t Comma = Spec.find(',', Pos);
@@ -107,9 +124,18 @@ bool FaultPlan::parse(const std::string &Spec, FaultPlan &Plan,
     }
     std::optional<FaultSite> Site = faultSiteFromName(Item.substr(0, Colon));
     if (!Site) {
-      Error = "unknown fault site '" + Item.substr(0, Colon) + "'";
+      Error = "unknown fault site '" + Item.substr(0, Colon) +
+              "' (valid sites: " + faultSiteNamesJoined() + ")";
       return false;
     }
+    if (Seen[static_cast<unsigned>(*Site)]) {
+      // Last-wins would silently discard the earlier trigger; a duplicate
+      // site in a --faults spec is almost certainly a typo.
+      Error = "duplicate fault site '" + Item.substr(0, Colon) +
+              "' in fault spec";
+      return false;
+    }
+    Seen[static_cast<unsigned>(*Site)] = true;
     std::string Trigger = Item.substr(Colon + 1);
     FaultTrigger T;
     if (Trigger.compare(0, 2, "p=") == 0) {

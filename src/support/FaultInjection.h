@@ -18,6 +18,16 @@
 ///   page_acquire     BuddyPageBackend handing out a page run
 ///   slab_grow        SlabCentral creating a fresh slab or large run
 ///
+/// Three further sites inject *corruption* rather than resource failure;
+/// they are consulted by the hardening layer (src/hardening) on its free
+/// path and, when they fire, damage heap bytes that the layer's own
+/// verification must then detect — a deterministic end-to-end check of
+/// detection coverage:
+///
+///   heap_scribble_overflow  flip a red-zone byte before free-time verify
+///   heap_scribble_uaf       flip a poison byte of a quarantined object
+///   heap_double_free        free an already-freed object a second time
+///
 /// When no plan is armed (the default) the fast path is one relaxed
 /// atomic load, so instrumented hot paths cost nothing in normal runs.
 /// Arming resets every per-site stream and counter; the injector is a
@@ -49,16 +59,23 @@ enum class FaultSite : unsigned {
   WorkerHeap,
   PageAcquire,
   SlabGrow,
+  HeapScribbleOverflow,
+  HeapScribbleUaf,
+  HeapDoubleFree,
 };
 
-constexpr unsigned NumFaultSites = 7;
+constexpr unsigned NumFaultSites = 10;
 
 /// Stable name ("arena_map", "segment_acquire", "chunk_acquire",
-/// "trace_write", "worker_heap", "page_acquire", "slab_grow").
+/// "trace_write", "worker_heap", "page_acquire", "slab_grow",
+/// "heap_scribble_overflow", "heap_scribble_uaf", "heap_double_free").
 const char *faultSiteName(FaultSite Site);
 
 /// Parses a stable name back to the enum; std::nullopt if unknown.
 std::optional<FaultSite> faultSiteFromName(const std::string &Name);
+
+/// All site names joined with ", ", for --help and error messages.
+std::string faultSiteNamesJoined();
 
 /// When one site's hits fail.
 struct FaultTrigger {
@@ -87,7 +104,9 @@ struct FaultPlan {
   ///
   ///   seed=42,worker_heap:p=0.01,segment_acquire:every=50
   ///
-  /// Returns false with \p Error set on any malformed item.
+  /// Each site may appear at most once (a duplicate would silently
+  /// overwrite the earlier trigger, so it is rejected instead). Returns
+  /// false with \p Error set on any malformed item.
   static bool parse(const std::string &Spec, FaultPlan &Plan,
                     std::string &Error);
 

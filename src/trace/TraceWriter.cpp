@@ -3,6 +3,7 @@
 #include "trace/TraceWriter.h"
 
 #include "support/Crc32.h"
+#include "support/Error.h"
 #include "support/FaultInjection.h"
 
 #include <cerrno>
@@ -41,6 +42,10 @@ TraceStatus TraceWriter::open(const std::string &Path, const TraceMeta &Meta) {
   Block = encodeTraceMeta(Meta);
   BlockEvents = 0;
   flushBlock();
+  // From here until finish(), a fatal() anywhere in the process flushes
+  // this capture to its last CRC-valid frame before the abort.
+  if (Status.ok())
+    registerFatalHook(this, &TraceWriter::fatalFlushThunk);
   return Status;
 }
 
@@ -59,6 +64,7 @@ void TraceWriter::append(const TraceEvent &E) {
 TraceStatus TraceWriter::finish() {
   if (!File)
     return Status;
+  unregisterFatalHook(this);
   if (!Block.empty())
     flushBlock();
   if (!Status.ok()) {
@@ -79,6 +85,28 @@ TraceStatus TraceWriter::finish() {
                                 Bytes, Events);
   File = nullptr;
   return Status;
+}
+
+void TraceWriter::fatalFlushThunk(void *Context) {
+  static_cast<TraceWriter *>(Context)->fatalFlush();
+}
+
+void TraceWriter::fatalFlush() {
+  if (!File)
+    return;
+  if (!Block.empty())
+    flushBlock();
+  if (!Status.ok()) {
+    // Same torn-tail discipline as finish(): purge stdio, then drop
+    // everything past the last fully-flushed frame (see finish() for why
+    // the purge must come first).
+    __fpurge(File);
+    if (ftruncate(fileno(File), static_cast<off_t>(LastGoodOffset)) != 0) {
+      // Best-effort: the process is aborting anyway.
+    }
+  }
+  std::fclose(File);
+  File = nullptr;
 }
 
 void TraceWriter::flushBlock() {

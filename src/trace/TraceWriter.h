@@ -63,6 +63,12 @@ public:
 private:
   void flushBlock();
   void writeRaw(const void *Data, size_t Size);
+  /// Last-gasp path (support/Error.h fatal hook): cut the pending block
+  /// as a CRC frame, truncate away any torn tail, and close — so a
+  /// fatal() elsewhere in the process leaves this capture readable up to
+  /// the crash point. Must not unregister (the hook table is locked).
+  void fatalFlush();
+  static void fatalFlushThunk(void *Context);
 
   FILE *File = nullptr;
   TraceEventEncoder Encoder;

@@ -100,3 +100,68 @@ TEST(MisuseDeathTest, AdaptiveForeignPointerReallocAborts) {
   EXPECT_DEATH(A.reallocate(&Local, sizeof(Local), 128),
                "never allocated here");
 }
+
+//===----------------------------------------------------------------------===//
+// Zoo-wide misuse detection: every allocator kind, hardened and
+// unhardened, must detect a double free and a foreign-pointer free with a
+// loud death rather than silent corruption (DESIGN.md section 14).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// (kind, hardened?) across the whole zoo.
+class ZooMisuseDeathTest
+    : public testing::TestWithParam<std::tuple<AllocatorKind, bool>> {
+protected:
+  std::unique_ptr<TxAllocator> makeAllocator() const {
+    AllocatorOptions Options;
+    Options.Hardening.Enabled = std::get<1>(GetParam());
+    return createAllocator(std::get<0>(GetParam()), Options);
+  }
+};
+
+/// Every double-free diagnostic in the tree names the duplicate free;
+/// the adaptive wrapper reports the pointer as unknown instead.
+constexpr const char *DoubleFreePattern =
+    "double free|never allocated here";
+
+/// Foreign-pointer diagnostics differ per allocator; the hardened wrapper
+/// classifies the pointer's (absent) header as clobbered.
+constexpr const char *ForeignFreePattern =
+    "not from this heap|bad pointer|never allocated here|foreign pointer";
+
+std::string zooParamName(
+    const testing::TestParamInfo<std::tuple<AllocatorKind, bool>> &Info) {
+  return std::string(allocatorKindName(std::get<0>(Info.param))) +
+         (std::get<1>(Info.param) ? "_hardened" : "_plain");
+}
+
+} // namespace
+
+TEST_P(ZooMisuseDeathTest, DoubleFreeDetected) {
+  auto A = makeAllocator();
+  void *P = A->allocate(64);
+  ASSERT_NE(P, nullptr);
+  // Keep the chunk away from the boundary-tag wilderness: a lone freed
+  // chunk would coalesce into it and lose its header state.
+  void *Guard = A->allocate(64);
+  ASSERT_NE(Guard, nullptr);
+  A->deallocate(P);
+  EXPECT_DEATH(A->deallocate(P), DoubleFreePattern);
+}
+
+TEST_P(ZooMisuseDeathTest, ForeignPointerFreeDetected) {
+  auto A = makeAllocator();
+  // Keep the heap non-empty so pointer-validation paths that consult live
+  // metadata have something to look at.
+  void *P = A->allocate(64);
+  ASSERT_NE(P, nullptr);
+  alignas(8) unsigned char Local[64] = {};
+  EXPECT_DEATH(A->deallocate(Local + 8), ForeignFreePattern);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ZooMisuseDeathTest,
+    testing::Combine(testing::ValuesIn(allAllocatorKinds()),
+                     testing::Bool()),
+    zooParamName);

@@ -1,0 +1,129 @@
+//===- tests/hardening/CorruptionContainmentTest.cpp - Abort one tx only --===//
+///
+/// The containment contract (DESIGN.md section 14): under --harden a
+/// detected scribble follows the OOM playbook — the transaction is
+/// abandoned, its objects are rolled back to zero live bytes, the outcome
+/// carries the structured CorruptionReport, and the same heap keeps
+/// serving clean transactions. Driven with the corruption-injecting fault
+/// sites for every allocator in the zoo.
+///
+//===----------------------------------------------------------------------===//
+
+#include "hardening/Hardening.h"
+#include "runtime/TransactionRuntime.h"
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+using namespace ddm;
+
+namespace {
+
+class CorruptionContainmentTest : public testing::Test {
+protected:
+  void TearDown() override { FaultInjector::instance().disarm(); }
+
+  static void arm(const std::string &Spec) {
+    FaultPlan Plan;
+    std::string Error;
+    ASSERT_TRUE(FaultPlan::parse(Spec, Plan, Error)) << Error;
+    FaultInjector::instance().arm(Plan);
+  }
+
+  static RuntimeConfig configFor(AllocatorKind Kind) {
+    RuntimeConfig Config;
+    Config.Kind = Kind;
+    Config.UseBulkFree = allocatorSupportsBulkFree(Kind);
+    Config.LeakFraction = 0.0;
+    Config.Scale = 0.05;
+    Config.AllocOptions.Hardening.Enabled = true;
+    return Config;
+  }
+};
+
+TEST_F(CorruptionContainmentTest, EveryAllocatorAbortsOneTxAndStaysUsable) {
+  for (AllocatorKind Kind : allAllocatorKinds()) {
+    const char *Name = allocatorKindName(Kind);
+    SCOPED_TRACE(Name);
+    // The 25th hardened free of the first transaction gets its red zone
+    // scribbled; the free-time verification must catch it.
+    arm("seed=1,heap_scribble_overflow:every=25");
+    TransactionRuntime Runtime(phpBb(), configFor(Kind));
+    ASSERT_NE(asHardened(&Runtime.allocator()), nullptr);
+    EXPECT_EQ(Runtime.executeTransaction(), TxStatus::HeapCorruption);
+
+    const TxOutcome &Outcome = Runtime.lastOutcome();
+    EXPECT_EQ(Outcome.Status, TxStatus::HeapCorruption);
+    EXPECT_EQ(Outcome.AllocatorName, Name);
+    EXPECT_EQ(Outcome.Corruption.Allocator, Name);
+    EXPECT_EQ(Outcome.Corruption.Kind, CorruptionKind::RedzoneOverflow);
+    EXPECT_FALSE(Outcome.Corruption.describe().empty());
+
+    // Containment: only that transaction died, and the rollback emptied
+    // the heap (quarantined bytes are excluded from live bytes).
+    EXPECT_EQ(Runtime.allocator().stats().UsableBytesLive, 0u);
+    EXPECT_EQ(Runtime.metrics().CorruptionAborts, 1u);
+    EXPECT_EQ(Runtime.metrics().OomAborts, 0u);
+    EXPECT_EQ(Runtime.metrics().Transactions, 0u);
+
+    // The same runtime (same heap) serves cleanly afterwards.
+    FaultInjector::instance().disarm();
+    EXPECT_EQ(Runtime.executeTransaction(), TxStatus::Ok);
+    EXPECT_EQ(Runtime.lastOutcome().Status, TxStatus::Ok);
+    EXPECT_EQ(Runtime.metrics().Transactions, 1u);
+    EXPECT_EQ(Runtime.allocator().stats().UsableBytesLive, 0u);
+  }
+}
+
+TEST_F(CorruptionContainmentTest, DirectDriveAbortNoOpsUntilTxEnd) {
+  // After the detection every later event must be a safe no-op, exactly
+  // like an OOM abort: the generator's stream winds down without touching
+  // dead state, then the boundary rolls back.
+  arm("seed=1,heap_scribble_overflow:p=1");
+  TransactionRuntime Runtime(phpBb(), configFor(AllocatorKind::Glibc));
+  ASSERT_FALSE(Runtime.txAborted());
+  Runtime.onAlloc(0, 64);
+  Runtime.onAlloc(1, 64);
+  Runtime.onFree(0); // the injected scribble fires on the first free
+  EXPECT_TRUE(Runtime.txAborted());
+  Runtime.onTouch(1, true);
+  Runtime.onRealloc(1, 64, 128);
+  Runtime.onFree(1);
+  Runtime.onWork(100);
+  EXPECT_EQ(Runtime.completeTransaction(TraceStats()),
+            TxStatus::HeapCorruption);
+  EXPECT_EQ(Runtime.allocator().stats().UsableBytesLive, 0u);
+  EXPECT_EQ(Runtime.metrics().CorruptionAborts, 1u);
+  EXPECT_FALSE(Runtime.txAborted());
+}
+
+TEST_F(CorruptionContainmentTest, AbortedTxContributesNothingToAverages) {
+  arm("seed=1,heap_scribble_overflow:every=10");
+  TransactionRuntime Runtime(phpBb(), configFor(AllocatorKind::DDmalloc));
+  EXPECT_EQ(Runtime.executeTransaction(), TxStatus::HeapCorruption);
+  EXPECT_EQ(Runtime.metrics().TotalTrace.Mallocs, 0u);
+  EXPECT_EQ(Runtime.metrics().ConsumptionBytes.count(), 0u);
+
+  FaultInjector::instance().disarm();
+  EXPECT_EQ(Runtime.executeTransaction(), TxStatus::Ok);
+  EXPECT_GT(Runtime.metrics().TotalTrace.Mallocs, 0u);
+  EXPECT_EQ(Runtime.metrics().ConsumptionBytes.count(), 1u);
+}
+
+TEST_F(CorruptionContainmentTest, UnhardenedRuntimeIgnoresTheScribbleSites) {
+  // Without --harden there is no hardened free path, so the corruption
+  // sites are never consulted: the run behaves exactly like a clean one.
+  arm("seed=1,heap_scribble_overflow:p=1,heap_scribble_uaf:p=1,"
+      "heap_double_free:p=1");
+  RuntimeConfig Config = configFor(AllocatorKind::Glibc);
+  Config.AllocOptions.Hardening.Enabled = false;
+  TransactionRuntime Runtime(phpBb(), Config);
+  ASSERT_EQ(asHardened(&Runtime.allocator()), nullptr);
+  EXPECT_EQ(Runtime.executeTransaction(), TxStatus::Ok);
+  EXPECT_EQ(Runtime.metrics().CorruptionAborts, 0u);
+  EXPECT_EQ(
+      FaultInjector::instance().counters(FaultSite::HeapScribbleOverflow).Hits,
+      0u);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+//===- tests/hardening/FatalFlushTest.cpp - Last-gasp trace flush ---------===//
+///
+/// fatal() must not take buffered trace data down with the process: every
+/// open TraceWriter registers a last-gasp hook that flushes its partial
+/// block — and, if the writer was already failing, truncates back to the
+/// last CRC-valid frame — before abort(). Each death test crashes a child
+/// mid-recording, then the parent reads the child's file back and checks
+/// it is a complete, CRC-clean trace.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+#include "trace/TraceReader.h"
+#include "trace/TraceWriter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace ddm;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return testing::TempDir() + "ddm_fatal_" + Name + TraceFileSuffix;
+}
+
+TraceEvent event(TraceOp Op, uint32_t Id = 0, uint64_t Size = 0) {
+  TraceEvent E;
+  E.Op = Op;
+  E.Id = Id;
+  E.Size = Size;
+  return E;
+}
+
+/// 2000 alloc/free pairs plus the transaction end: 4001 events.
+constexpr uint64_t EventsPerTx = 4001;
+
+void appendOneTx(TraceWriter &Writer) {
+  for (uint32_t Id = 0; Id < 2000; ++Id)
+    Writer.append(event(TraceOp::Alloc, Id, 64 + (Id % 128)));
+  for (uint32_t Id = 0; Id < 2000; ++Id)
+    Writer.append(event(TraceOp::Free, Id));
+  Writer.append(event(TraceOp::EndTx));
+}
+
+/// Streams the whole file through a TraceReader; returns the number of
+/// events before a clean end, failing the test on any reader error.
+uint64_t countEventsExpectClean(const std::string &Path) {
+  TraceReader Reader;
+  EXPECT_TRUE(Reader.open(Path).ok()) << Reader.status().describe();
+  TraceEvent E;
+  uint64_t Count = 0;
+  TraceReader::Next N;
+  while ((N = Reader.next(E)) == TraceReader::Next::Event)
+    ++Count;
+  EXPECT_EQ(N, TraceReader::Next::End) << Reader.status().describe();
+  return Count;
+}
+
+using FatalFlushDeathTest = ::testing::Test;
+
+TEST(FatalFlushDeathTest, FatalFlushesTheBufferedBlock) {
+  // One transaction's events fit inside a single 64 KiB block, so at the
+  // moment of death nothing but the meta frame has reached the disk; the
+  // hook's flush is the only reason the events survive.
+  std::string Path = tempPath("buffered");
+  EXPECT_DEATH(
+      {
+        TraceWriter Writer;
+        if (!Writer.open(Path, TraceMeta{"synthetic", 1.0, 3}).ok())
+          std::abort();
+        appendOneTx(Writer);
+        fatal("boom");
+      },
+      "ddmalloc fatal error: boom");
+  EXPECT_EQ(countEventsExpectClean(Path), EventsPerTx);
+  std::remove(Path.c_str());
+}
+
+TEST(FatalFlushDeathTest, FatalOnAFailedWriterLeavesAValidPrefix) {
+  // A writer that already hit ENOSPC holds a torn tail; the hook must
+  // truncate back to the last fully-flushed frame so the survivors read
+  // cleanly.
+  std::string Path = tempPath("torn");
+  EXPECT_DEATH(
+      {
+        TraceWriter Writer;
+        if (!Writer.open(Path, TraceMeta{"synthetic", 1.0, 3}).ok())
+          std::abort();
+        Writer.limitBytesForTest(150 * 1024);
+        for (int Tx = 0; Tx < 100; ++Tx)
+          appendOneTx(Writer);
+        fatal("boom");
+      },
+      "ddmalloc fatal error: boom");
+  // Frames cut at block boundaries, not transaction boundaries: the
+  // prefix may end mid-transaction, but it must read back CRC-clean
+  // (countEventsExpectClean fails the test on any reader error).
+  uint64_t Events = countEventsExpectClean(Path);
+  EXPECT_GT(Events, 0u);
+  EXPECT_LT(Events, 100 * EventsPerTx) << "the failure really cut the tail";
+  std::remove(Path.c_str());
+}
+
+TEST(FatalFlushDeathTest, FinishedWriterIsLeftAloneByFatal) {
+  // finish() unregisters the hook: a later fatal() must not touch (or
+  // double-close) the completed file.
+  std::string Path = tempPath("finished");
+  EXPECT_DEATH(
+      {
+        TraceWriter Writer;
+        if (!Writer.open(Path, TraceMeta{"synthetic", 1.0, 3}).ok())
+          std::abort();
+        appendOneTx(Writer);
+        if (!Writer.finish().ok())
+          std::abort();
+        fatal("boom");
+      },
+      "ddmalloc fatal error: boom");
+  EXPECT_EQ(countEventsExpectClean(Path), EventsPerTx);
+  std::remove(Path.c_str());
+}
+
+} // namespace

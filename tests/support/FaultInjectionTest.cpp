@@ -70,6 +70,47 @@ TEST_F(FaultInjectionTest, ParseRejectsMalformedSpecs) {
   EXPECT_FALSE(FaultPlan::parse("worker_heap:p=0.1x", Plan, Error));
 }
 
+TEST_F(FaultInjectionTest, ParseRejectsDuplicateSites) {
+  // Last-wins would silently discard the earlier trigger, so a repeated
+  // site is an error — even with an identical trigger.
+  FaultPlan Plan;
+  std::string Error;
+  EXPECT_FALSE(
+      FaultPlan::parse("worker_heap:p=0.1,worker_heap:every=5", Plan, Error));
+  EXPECT_NE(Error.find("duplicate fault site"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("worker_heap"), std::string::npos) << Error;
+  EXPECT_FALSE(FaultPlan::parse(
+      "heap_double_free:every=7,heap_double_free:every=7", Plan, Error));
+  EXPECT_NE(Error.find("duplicate fault site"), std::string::npos) << Error;
+  // The same trigger on different sites stays legal.
+  EXPECT_TRUE(
+      FaultPlan::parse("worker_heap:p=0.1,page_acquire:p=0.1", Plan, Error))
+      << Error;
+}
+
+TEST_F(FaultInjectionTest, JoinedNamesListEverySiteForHelpText) {
+  std::string Joined = faultSiteNamesJoined();
+  for (unsigned I = 0; I < NumFaultSites; ++I)
+    EXPECT_NE(Joined.find(faultSiteName(static_cast<FaultSite>(I))),
+              std::string::npos)
+        << faultSiteName(static_cast<FaultSite>(I));
+  // The corruption-injecting sites are part of the advertised vocabulary.
+  EXPECT_NE(Joined.find("heap_scribble_overflow"), std::string::npos);
+  EXPECT_NE(Joined.find("heap_scribble_uaf"), std::string::npos);
+  EXPECT_NE(Joined.find("heap_double_free"), std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, CorruptionSitesRoundTripThroughDescribe) {
+  FaultPlan Plan = parseOk("seed=7,heap_double_free:p=0.5,"
+                           "heap_scribble_overflow:every=3,"
+                           "heap_scribble_uaf:after=2");
+  std::string Canonical = Plan.describe();
+  FaultPlan Again = parseOk(Canonical);
+  EXPECT_EQ(Again.describe(), Canonical);
+  EXPECT_EQ(Canonical, "seed=7,heap_scribble_overflow:every=3,"
+                       "heap_scribble_uaf:after=2,heap_double_free:p=0.5");
+}
+
 TEST_F(FaultInjectionTest, DisarmedNeverFails) {
   FaultInjector::instance().disarm();
   for (int I = 0; I < 100; ++I)
